@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ablation: iterative modulo scheduling vs list scheduling.
+ *
+ * The paper predicts (Section 4) that advanced techniques like iterative
+ * modulo scheduling [Rau, MICRO-27] significantly increase scheduling
+ * attempts per operation, so "the benefit of this paper's AND/OR-tree
+ * representation and MDES transformations should only increase". This
+ * bench measures it: attempts/op and checks/attempt for both techniques,
+ * per machine and representation, with the AND/OR saving factor.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sched/modulo_scheduler.h"
+#include "workload/workload.h"
+
+int
+main()
+{
+    using namespace mdes;
+    using namespace mdes::bench;
+
+    printHeader("ablation (Section 4 claim)",
+                "modulo scheduling multiplies scheduling attempts, "
+                "amplifying the AND/OR + transformation savings");
+
+    TextTable table;
+    table.setHeader({"MDES", "Scheduler", "Attempts/Op",
+                     "OR Checks/Attempt", "AND/OR Checks/Attempt",
+                     "AND/OR Saving"});
+
+    for (const auto *m : machines::all()) {
+        double checks[2][2];  // [scheduler][rep]
+        double attempts[2] = {0, 0};
+        for (int rep_idx = 0; rep_idx < 2; ++rep_idx) {
+            exp::Rep rep = rep_idx == 0 ? exp::Rep::OrTree
+                                        : exp::Rep::AndOrTree;
+            exp::RunConfig config = stageConfig(*m, rep, Stage::Full);
+            config.schedule = false;
+            exp::RunResult built = exp::run(config);
+
+            // List scheduling over the standard stream.
+            {
+                exp::RunConfig run_config = config;
+                run_config.schedule = true;
+                run_config.num_ops_override = 40000;
+                exp::RunResult r = exp::run(run_config);
+                checks[0][rep_idx] =
+                    r.stats.checks.avgChecksPerAttempt();
+                attempts[0] = r.stats.avgAttemptsPerOp();
+            }
+            // Modulo scheduling over synthetic inner loops.
+            {
+                workload::WorkloadSpec spec = m->workload;
+                spec.num_ops = 6000;
+                spec.min_block_size = 5;
+                spec.max_block_size = 12;
+                sched::Program loops =
+                    workload::generateLoops(spec, built.low);
+                sched::ModuloScheduler ms(built.low);
+                sched::SchedStats stats;
+                for (const auto &body : loops.blocks)
+                    ms.schedule(body, stats);
+                checks[1][rep_idx] =
+                    stats.checks.avgChecksPerAttempt();
+                attempts[1] = stats.avgAttemptsPerOp();
+            }
+        }
+        for (int s = 0; s < 2; ++s) {
+            table.addRow({
+                m->name,
+                s == 0 ? "list" : "modulo (IMS)",
+                TextTable::num(attempts[s], 2),
+                TextTable::num(checks[s][0], 2),
+                TextTable::num(checks[s][1], 2),
+                checks[s][1] > 0
+                    ? TextTable::num(checks[s][0] / checks[s][1], 2) + "x"
+                    : "-",
+            });
+        }
+        table.addSeparator();
+    }
+    std::printf("%s", table.toString().c_str());
+    std::printf(
+        "\nIterative modulo scheduling probes each operation across its\n"
+        "whole II window and re-probes after unscheduling, so attempts\n"
+        "per operation rise well above the list scheduler's - and every\n"
+        "attempt saved by the AND/OR representation pays off that many\n"
+        "more times. Unscheduling itself is the reservation-table\n"
+        "release() the paper contrasts with finite-state automata.\n");
+    printFootnote();
+    return 0;
+}

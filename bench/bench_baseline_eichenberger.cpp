@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Baseline comparison (paper Section 10): Eichenberger & Davidson's
+ * reduced machine descriptions (PLDI'96) vs this paper's
+ * transformations.
+ *
+ * E&D minimize, per reservation-table option, the number of resource
+ * usages (here: remove any usage whose removal preserves every pairwise
+ * collision vector) and pair it with a bit-vector representation. The
+ * paper's position: its own transformations get checks and memory *per
+ * option* close to the E&D level, and - unlike E&D - the AND/OR-tree
+ * combination also attacks the number of *option checks per scheduling
+ * attempt*. This bench measures all four settings per machine on the
+ * OR-tree representation plus the full AND/OR setting.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace mdes;
+using namespace mdes::bench;
+
+struct Setting
+{
+    const char *label;
+    exp::Rep rep;
+    bool minimize, paper_transforms;
+};
+
+const Setting kSettings[] = {
+    {"OR, unoptimized", exp::Rep::OrTree, false, false},
+    {"OR + E&D minimization (+bv)", exp::Rep::OrTree, true, false},
+    {"OR + paper transforms (+bv)", exp::Rep::OrTree, false, true},
+    {"OR + both", exp::Rep::OrTree, true, true},
+    {"AND/OR + paper transforms (+bv)", exp::Rep::AndOrTree, false, true},
+};
+
+} // namespace
+
+int
+main()
+{
+    printHeader("baseline (Section 10)",
+                "Eichenberger/Davidson usage minimization vs this "
+                "paper's transformations");
+
+    for (const auto *m : machines::all()) {
+        std::printf("--- %s ---\n", m->name.c_str());
+        TextTable table;
+        table.setHeader({"Setting", "Bytes", "Options/Attempt",
+                         "Checks/Attempt", "Checks/Option"});
+        for (const auto &setting : kSettings) {
+            exp::RunConfig config;
+            config.machine = m;
+            config.rep = setting.rep;
+            config.num_ops_override = 40000;
+            config.transforms.cse = true; // shared cleanup everywhere
+            config.transforms.redundant_options = true;
+            config.transforms.minimize = setting.minimize;
+            if (setting.paper_transforms) {
+                config.transforms.time_shift = true;
+                config.transforms.sort_usages = true;
+                config.transforms.hoist = true;
+                config.transforms.sort_or_trees = true;
+            }
+            config.bit_vector =
+                setting.minimize || setting.paper_transforms;
+            if (std::string(setting.label) == "OR, unoptimized") {
+                config.transforms = PipelineConfig::none();
+                config.bit_vector = false;
+            }
+            exp::RunResult r = exp::run(config);
+            double per_option =
+                r.stats.checks.options_checked
+                    ? double(r.stats.checks.resource_checks) /
+                          double(r.stats.checks.options_checked)
+                    : 0;
+            table.addRow({
+                setting.label,
+                std::to_string(r.memory.total()),
+                TextTable::num(r.stats.checks.avgOptionsPerAttempt(), 2),
+                TextTable::num(r.stats.checks.avgChecksPerAttempt(), 2),
+                TextTable::num(per_option, 2),
+            });
+        }
+        std::printf("%s\n", table.toString().c_str());
+    }
+    std::printf(
+        "As the paper argues: the Section 5-8 transformations land\n"
+        "checks/option and bytes close to the E&D minimization level\n"
+        "(and compose with it), but only the AND/OR-tree representation\n"
+        "also collapses the *options checked per attempt* - the term\n"
+        "E&D leave untouched. Every setting produces the identical\n"
+        "schedule.\n");
+    printFootnote();
+    return 0;
+}

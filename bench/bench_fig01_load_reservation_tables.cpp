@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reproduces Figure 1: the six reservation tables (options) that model
+ * the resources used by the SuperSPARC's one-cycle integer load - one
+ * memory unit, one of two register write ports, one of three decoders,
+ * in priority order (lowest-numbered decoder and write port first).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/expand.h"
+#include "core/print.h"
+#include "hmdes/compile.h"
+
+int
+main()
+{
+    using namespace mdes;
+    using namespace mdes::bench;
+
+    printHeader("Figure 1",
+                "the six reservation tables that represent the resources "
+                "used by the SuperSPARC's integer load operation");
+
+    Mdes m = hmdes::compileOrThrow(machines::superSparc().source);
+    Mdes flat = expandToOrForm(m);
+    OpClassId ld = flat.findOpClass("LD");
+    const AndOrTree &tree = flat.tree(flat.opClass(ld).tree);
+    std::printf("%s", printOrTree(flat, tree.or_trees[0]).c_str());
+
+    std::printf(
+        "\nAll option lists are prioritized (option 1 highest), so the\n"
+        "first available (lowest numbered) decoder and register write\n"
+        "port will be used. \"Cycle\" is the usage time relative to time\n"
+        "zero = the first stage of the execution pipeline: decoder usage\n"
+        "is at -1, the write port at +1 (around the operation latency).\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces Figure 2: the distribution of reservation-table options
+ * checked during each scheduling attempt when scheduling the SuperSPARC
+ * workload with the traditional (unoptimized) OR-tree representation,
+ * plus the summary statistics the paper quotes around the figure.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace mdes;
+    using namespace mdes::bench;
+
+    printHeader("Figure 2",
+                "distribution of options checked during each scheduling "
+                "attempt using the SuperSPARC MDES (OR-tree rep)");
+
+    exp::RunResult result = runStage(machines::superSparc(),
+                                     exp::Rep::OrTree, Stage::Original);
+    const auto &hist = result.stats.checks.options_per_attempt;
+    const auto &succ = result.stats.checks.options_per_success;
+
+    std::printf("%s", hist.render(60).c_str());
+
+    uint64_t attempts = result.stats.checks.attempts;
+    uint64_t successes = result.stats.checks.successes;
+    double first_try =
+        successes ? succ.fractionBetween(0, 3) : 0; // <= one subtree pass
+
+    std::printf("\nSummary (paper's quoted values in brackets):\n");
+    std::printf("  attempts per operation:           %.2f   [2.05]\n",
+                result.stats.avgAttemptsPerOp());
+    std::printf("  share of failing attempts:        %.1f%%  [~50%%]\n",
+                100.0 * double(attempts - successes) / double(attempts));
+    std::printf("  attempts checking exactly 1 opt:  %.2f%%  [38.02%%]\n",
+                100.0 * hist.fractionAt(1));
+    std::printf("  attempts checking 24..72 options: %.2f%%  [45.52%%]\n",
+                100.0 * hist.fractionBetween(24, 72));
+    std::printf("  attempts checking 48 options:     %.2f%%  [30.05%% "
+                "peak]\n",
+                100.0 * hist.fractionAt(48));
+    std::printf("  successful attempts, 1st option:  %.2f%%  [63.75%%]\n",
+                100.0 * (successes ? succ.fractionAt(1) : 0.0));
+    std::printf("  successful attempts, 2..16 opts:  %.2f%%  [8.23%%]\n",
+                100.0 * (successes ? succ.fractionBetween(2, 16) : 0.0));
+    std::printf("  successful attempts, 17..32 opts: %.2f%%  [16.71%%]\n",
+                100.0 * (successes ? succ.fractionBetween(17, 32) : 0.0));
+    std::printf("  successful attempts, 33+ options: %.2f%%  [1.31%%]\n",
+                100.0 *
+                    (successes ? succ.fractionBetween(33, 100000) : 0.0));
+    (void)first_try;
+    printFootnote();
+    return 0;
+}

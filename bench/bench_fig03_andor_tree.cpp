@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces Figure 3: the two ways of modeling the resource constraints
+ * of a SuperSPARC integer load - (a) the traditional flat OR-tree of six
+ * fully-enumerated options, and (b) the proposed AND/OR-tree (an AND of
+ * the memory unit, a write-port OR-tree, and a decoder OR-tree).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/expand.h"
+#include "core/print.h"
+#include "hmdes/compile.h"
+
+int
+main()
+{
+    using namespace mdes;
+    using namespace mdes::bench;
+
+    printHeader("Figure 3",
+                "two methods of modeling the resource constraints of a "
+                "SuperSPARC integer load operation");
+
+    Mdes m = hmdes::compileOrThrow(machines::superSparc().source);
+
+    std::printf("(a) Traditional OR-tree representation:\n\n");
+    Mdes flat = expandToOrForm(m);
+    std::printf(
+        "%s",
+        printTree(flat, flat.opClass(flat.findOpClass("LD")).tree)
+            .c_str());
+
+    std::printf("\n(b) Proposed AND/OR-tree representation:\n\n");
+    std::printf(
+        "%s",
+        printTree(m, m.opClass(m.findOpClass("LD")).tree).c_str());
+
+    std::printf(
+        "\nBy exploiting the short-circuit properties of AND and OR, the\n"
+        "constraint checker determines which required resources are\n"
+        "available without unnecessary checks: if no write port is free,\n"
+        "form (b) discovers it in at most 3 probes, while form (a) must\n"
+        "scan all six enumerated options.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Figure 5: the OR-tree modeling the SuperSPARC integer load
+ * after transforming the resource usage times - for each resource the
+ * earliest usage time becomes zero, concentrating usages into as few
+ * time slots as possible so the bit-vector representation packs them
+ * into single words.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/expand.h"
+#include "core/print.h"
+#include "core/transforms.h"
+#include "hmdes/compile.h"
+
+int
+main()
+{
+    using namespace mdes;
+    using namespace mdes::bench;
+
+    printHeader("Figure 5",
+                "the SuperSPARC integer-load OR-tree after transforming "
+                "the resource usage times for the bit-vector "
+                "representation");
+
+    Mdes flat =
+        expandToOrForm(hmdes::compileOrThrow(machines::superSparc().source));
+
+    std::printf("Before (actual pipeline-relative usage times):\n\n");
+    OpClassId ld = flat.findOpClass("LD");
+    std::printf(
+        "%s",
+        printOrTree(flat, flat.tree(flat.opClass(ld).tree).or_trees[0])
+            .c_str());
+
+    auto shifts = shiftUsageTimes(flat);
+    sortUsageChecks(flat);
+
+    std::printf("\nAfter (per-resource constants subtracted):\n\n");
+    std::printf(
+        "%s",
+        printOrTree(flat, flat.tree(flat.opClass(ld).tree).or_trees[0])
+            .c_str());
+
+    std::printf("\nPer-resource shift constants chosen by the heuristic "
+                "(earliest usage time per resource):\n");
+    for (ResourceId r = 0; r < flat.numResources(); ++r) {
+        if (shifts[r] != 0)
+            std::printf("  %-12s %+d\n", flat.resourceName(r).c_str(),
+                        shifts[r]);
+    }
+    std::printf(
+        "\nOnly usage-time *differences per resource* define forbidden\n"
+        "latencies, so the shift preserves every collision vector and\n"
+        "every schedule while letting one RU-map word per cycle cover\n"
+        "all of an option's usages.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces Figure 6: optimizing the order of the OR-trees in an
+ * AND/OR-tree for resource conflict detection - before and after
+ * applying the heuristic sort (earliest usage time, then fewest options,
+ * then most shared, then original order).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/transforms.h"
+#include "hmdes/compile.h"
+
+namespace {
+
+void
+showTree(const mdes::Mdes &m, const char *op)
+{
+    using namespace mdes;
+    OpClassId cls = m.findOpClass(op);
+    const AndOrTree &tree = m.tree(m.opClass(cls).tree);
+    std::printf("  %-6s AND(", op);
+    for (size_t i = 0; i < tree.or_trees.size(); ++i) {
+        const OrTree &ot = m.orTree(tree.or_trees[i]);
+        std::printf("%s%s[%zu opt, t%+d]", i ? ", " : "",
+                    ot.name.c_str(), ot.options.size(),
+                    m.earliestTimeOr(tree.or_trees[i]));
+    }
+    std::printf(")\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mdes;
+    using namespace mdes::bench;
+
+    printHeader("Figure 6",
+                "optimizing the order of the OR-trees in an AND/OR-tree "
+                "for resource conflict detection");
+
+    Mdes m = hmdes::compileOrThrow(machines::superSparc().source);
+    eliminateRedundantInfo(m);
+    shiftUsageTimes(m);
+    sortUsageChecks(m);
+
+    const char *ops[] = {"LD", "ST", "ADD_I", "ADD_R", "SLL_R"};
+
+    std::printf("(a) Original order specified in the description\n");
+    std::printf("    [options, earliest usage time per subtree]:\n\n");
+    for (const char *op : ops)
+        showTree(m, op);
+
+    size_t reordered = sortOrSubtrees(m);
+
+    std::printf("\n(b) After sorting with the Section 8 heuristics\n");
+    std::printf("    (earliest time, fewest options, most shared):\n\n");
+    for (const char *op : ops)
+        showTree(m, op);
+
+    std::printf("\n%zu AND/OR-trees were reordered.\n", reordered);
+    std::printf(
+        "\nAs in the paper's example, the single-option memory-unit\n"
+        "subtree moves ahead of the multi-option write-port and decoder\n"
+        "subtrees, so the most conflict-prone resource is probed first\n"
+        "and a busy memory unit rejects the attempt after one check.\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the resource-constraint checker:
+ * tryReserve throughput per machine, representation, and optimization
+ * stage. This is the wall-clock counterpart of the paper's
+ * checks-per-attempt tables - fewer probes means faster scheduling.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "rumap/checker.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace mdes;
+using namespace mdes::bench;
+
+void
+checkerThroughput(benchmark::State &state, const machines::MachineInfo &m,
+                  exp::Rep rep, Stage stage)
+{
+    exp::RunConfig config = stageConfig(m, rep, stage);
+    config.schedule = false;
+    exp::RunResult built = exp::run(config);
+
+    // A fixed probe set: every operation class attempted over a window
+    // of cycles against a progressively filling RU map.
+    rumap::Checker checker(built.low);
+    rumap::CheckStats stats;
+    uint64_t attempts = 0;
+    for (auto _ : state) {
+        rumap::RuMap ru;
+        for (int cycle = 0; cycle < 32; ++cycle) {
+            for (const auto &oc : built.low.opClasses()) {
+                checker.tryReserve(oc.tree, cycle, ru, stats);
+                ++attempts;
+            }
+        }
+    }
+    state.SetItemsProcessed(int64_t(attempts));
+    state.counters["checks/attempt"] =
+        stats.attempts ? double(stats.resource_checks) /
+                             double(stats.attempts)
+                       : 0;
+}
+
+void
+registerAll()
+{
+    for (const auto *m : machines::all()) {
+        for (auto rep : {exp::Rep::OrTree, exp::Rep::AndOrTree}) {
+            for (Stage stage : {Stage::Original, Stage::Full}) {
+                std::string name = "checker/" + m->name + "/" +
+                                   (rep == exp::Rep::OrTree ? "or"
+                                                            : "andor") +
+                                   "/" +
+                                   (stage == Stage::Original ? "original"
+                                                             : "full");
+                benchmark::RegisterBenchmark(
+                    name.c_str(),
+                    [m, rep, stage](benchmark::State &state) {
+                        checkerThroughput(state, *m, rep, stage);
+                    });
+            }
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the MDES toolchain itself: parsing
+ * the high-level language, the transformation pipeline, the AND/OR -> OR
+ * preprocessor expansion, and lowering to the packed low-level form.
+ * The two-tier model only works if translation stays cheap enough to run
+ * at compiler-build (or even compiler-start) time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "bench_util.h"
+#include "core/expand.h"
+#include "hmdes/compile.h"
+
+namespace {
+
+using namespace mdes;
+using namespace mdes::bench;
+
+void
+compileOnly(benchmark::State &state, const machines::MachineInfo &m)
+{
+    for (auto _ : state) {
+        Mdes model = hmdes::compileOrThrow(m.source);
+        benchmark::DoNotOptimize(model.options().size());
+    }
+}
+
+void
+fullPipeline(benchmark::State &state, const machines::MachineInfo &m,
+             exp::Rep rep)
+{
+    for (auto _ : state) {
+        exp::RunConfig config = stageConfig(m, rep, Stage::Full);
+        config.schedule = false;
+        exp::RunResult result = exp::run(config);
+        benchmark::DoNotOptimize(result.memory.total());
+    }
+}
+
+void
+saveLoadRoundTrip(benchmark::State &state, const machines::MachineInfo &m)
+{
+    exp::RunConfig config =
+        stageConfig(m, exp::Rep::AndOrTree, Stage::Full);
+    config.schedule = false;
+    exp::RunResult built = exp::run(config);
+    for (auto _ : state) {
+        std::stringstream buf;
+        built.low.save(buf);
+        auto loaded = lmdes::LowMdes::load(buf);
+        benchmark::DoNotOptimize(loaded.checks().size());
+    }
+}
+
+void
+registerAll()
+{
+    for (const auto *m : machines::all()) {
+        benchmark::RegisterBenchmark(
+            ("hmdes_compile/" + m->name).c_str(),
+            [m](benchmark::State &state) { compileOnly(state, *m); });
+        benchmark::RegisterBenchmark(
+            ("translate_full_or/" + m->name).c_str(),
+            [m](benchmark::State &state) {
+                fullPipeline(state, *m, exp::Rep::OrTree);
+            });
+        benchmark::RegisterBenchmark(
+            ("translate_full_andor/" + m->name).c_str(),
+            [m](benchmark::State &state) {
+                fullPipeline(state, *m, exp::Rep::AndOrTree);
+            });
+        benchmark::RegisterBenchmark(
+            ("lmdes_save_load/" + m->name).c_str(),
+            [m](benchmark::State &state) {
+                saveLoadRoundTrip(state, *m);
+            });
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of end-to-end list scheduling: wall
+ * clock per scheduled operation across machines, representations, and
+ * optimization stages. Demonstrates the paper's bottom line - the
+ * fully optimized AND/OR representation makes exact constraint modeling
+ * cheap enough for production compile times.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "sched/list_scheduler.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace mdes;
+using namespace mdes::bench;
+
+void
+schedulerThroughput(benchmark::State &state,
+                    const machines::MachineInfo &m, exp::Rep rep,
+                    Stage stage)
+{
+    exp::RunConfig config = stageConfig(m, rep, stage);
+    config.schedule = false;
+    exp::RunResult built = exp::run(config);
+
+    workload::WorkloadSpec spec = m.workload;
+    spec.num_ops = 20000;
+    sched::Program program = workload::generate(spec, built.low);
+
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        sched::ListScheduler scheduler(built.low);
+        sched::SchedStats stats;
+        scheduler.scheduleProgram(program, stats);
+        ops += stats.ops_scheduled;
+    }
+    state.SetItemsProcessed(int64_t(ops));
+}
+
+void
+registerAll()
+{
+    for (const auto *m : machines::all()) {
+        for (auto rep : {exp::Rep::OrTree, exp::Rep::AndOrTree}) {
+            for (Stage stage : {Stage::Original, Stage::Full}) {
+                std::string name = "schedule/" + m->name + "/" +
+                                   (rep == exp::Rep::OrTree ? "or"
+                                                            : "andor") +
+                                   "/" +
+                                   (stage == Stage::Original ? "original"
+                                                             : "full");
+                benchmark::RegisterBenchmark(
+                    name.c_str(),
+                    [m, rep, stage](benchmark::State &state) {
+                        schedulerThroughput(state, *m, rep, stage);
+                    });
+            }
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

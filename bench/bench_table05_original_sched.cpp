@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces Table 5: original (untransformed) scheduling
+ * characteristics of all four machine descriptions under the OR-tree and
+ * AND/OR-tree representations.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace mdes;
+    using namespace mdes::bench;
+
+    printHeader("Table 5",
+                "original scheduling characteristics of the machine "
+                "descriptions for each target machine");
+
+    // Paper values (OR options/attempt, OR checks/attempt, AND/OR
+    // options, AND/OR checks, % checks reduced); -1 where the scan is
+    // illegible.
+    struct PaperRow
+    {
+        const char *name;
+        double or_options, or_checks, andor_options, andor_checks;
+    };
+    const PaperRow paper[] = {
+        {"PA7100", 1.56, 2.47, 1.45, 1.96},
+        {"Pentium", 1.49, 3.99, 1.49, 3.99},
+        {"SuperSPARC", 21.48, 31.89, -1, 4.92},
+        {"K5", 19.59, 35.49, 5.20, 5.73},
+    };
+
+    TextTable table;
+    table.setHeader({"MDES", "Total Ops Sched.", "Attempts/Op",
+                     "OR Options/Attempt", "OR Checks/Attempt",
+                     "AND/OR Options/Attempt", "AND/OR Checks/Attempt",
+                     "% Checks Reduced"});
+    for (const auto *m : machines::all()) {
+        exp::RunResult or_run =
+            runStage(*m, exp::Rep::OrTree, Stage::Original);
+        exp::RunResult andor_run =
+            runStage(*m, exp::Rep::AndOrTree, Stage::Original);
+        double or_checks = or_run.stats.checks.avgChecksPerAttempt();
+        double andor_checks =
+            andor_run.stats.checks.avgChecksPerAttempt();
+        table.addRow({
+            m->name,
+            std::to_string(or_run.stats.ops_scheduled),
+            TextTable::num(or_run.stats.avgAttemptsPerOp(), 2),
+            TextTable::num(or_run.stats.checks.avgOptionsPerAttempt(), 2),
+            TextTable::num(or_checks, 2),
+            TextTable::num(andor_run.stats.checks.avgOptionsPerAttempt(),
+                           2),
+            TextTable::num(andor_checks, 2),
+            reduction(or_checks, andor_checks),
+        });
+    }
+    std::printf("%s", table.toString().c_str());
+
+    std::printf("\nPaper's values for comparison:\n");
+    TextTable ptable;
+    ptable.setHeader({"MDES", "OR Options/Attempt", "OR Checks/Attempt",
+                      "AND/OR Options/Attempt", "AND/OR Checks/Attempt",
+                      "% Checks Reduced"});
+    for (const auto &row : paper) {
+        auto fmt = [](double v) {
+            return v < 0 ? std::string("(illegible)")
+                         : TextTable::num(v, 2);
+        };
+        ptable.addRow({row.name, fmt(row.or_options), fmt(row.or_checks),
+                       fmt(row.andor_options), fmt(row.andor_checks),
+                       reduction(row.or_checks, row.andor_checks)});
+    }
+    std::printf("%s", ptable.toString().c_str());
+    printFootnote();
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces Table 6: original MDES memory requirements under the
+ * OR-tree and AND/OR-tree representations (before any transformations;
+ * scalar cycle/resource-pair check encoding).
+ */
+
+#include "bench_util.h"
+
+namespace {
+
+/** Total reservation-table options across all trees of a lowered MDES
+ * (each tree's flat-OR option count for the OR rep; leaf options for the
+ * AND/OR rep). */
+uint64_t
+totalOptions(const mdes::lmdes::LowMdes &low)
+{
+    return low.options().size();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mdes;
+    using namespace mdes::bench;
+
+    printHeader("Table 6", "original MDES memory requirements");
+
+    struct PaperRow
+    {
+        const char *name;
+        long or_size, andor_size;
+        double reduction_pct;
+    };
+    const PaperRow paper[] = {
+        {"PA7100", -1, -1, -1},
+        {"Pentium", 14824, 15416, -4.0},
+        {"SuperSPARC", 17124, 2624, 84.7},
+        {"K5", 312640, 4316, 98.6},
+    };
+
+    TextTable table;
+    table.setHeader({"MDES", "Trees", "OR Options", "OR Size (bytes)",
+                     "AND/OR Options", "AND/OR Size (bytes)",
+                     "% Size Reduced", "paper: OR size",
+                     "paper: AND/OR size", "paper: % reduced"});
+    for (size_t i = 0; i < machines::all().size(); ++i) {
+        const auto *m = machines::all()[i];
+        exp::RunResult or_run =
+            runStageSizeOnly(*m, exp::Rep::OrTree, Stage::Original);
+        exp::RunResult andor_run =
+            runStageSizeOnly(*m, exp::Rep::AndOrTree, Stage::Original);
+        size_t or_size = or_run.memory.total();
+        size_t andor_size = andor_run.memory.total();
+        auto fmtL = [](long v) {
+            return v < 0 ? std::string("(illegible)")
+                         : std::to_string(v);
+        };
+        table.addRow({
+            m->name,
+            std::to_string(andor_run.low.trees().size()),
+            std::to_string(totalOptions(or_run.low)),
+            std::to_string(or_size),
+            std::to_string(totalOptions(andor_run.low)),
+            std::to_string(andor_size),
+            reduction(double(or_size), double(andor_size)),
+            fmtL(paper[i].or_size),
+            fmtL(paper[i].andor_size),
+            paper[i].reduction_pct < -10
+                ? "(illegible)"
+                : TextTable::percent(paper[i].reduction_pct / 100.0, 1),
+        });
+    }
+    std::printf("%s", table.toString().c_str());
+    std::printf(
+        "\nAs in the paper: the AND/OR-tree representation avoids the\n"
+        "explicit enumeration of every resource-usage combination, so\n"
+        "machines with flexible constraints (SuperSPARC, K5) shrink by\n"
+        "~85-99%%, while the Pentium - whose AND level always points at\n"
+        "one OR-tree - pays a small overhead for the extra AND level.\n");
+    printFootnote();
+    return 0;
+}

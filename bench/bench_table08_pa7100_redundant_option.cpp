@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces Table 8: PA7100 scheduling characteristics after removing
+ * the unnecessary (historically duplicated) reservation-table option of
+ * the memory operations.
+ *
+ * The paper reports that during the retargeting from an earlier HP PA
+ * description two memory-operation options became identical, unnoticed
+ * because correct schedules were still produced; the redundant-option
+ * transformation finds and removes the duplicate.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace mdes;
+    using namespace mdes::bench;
+
+    printHeader("Table 8",
+                "PA7100 scheduling characteristics after removing "
+                "unnecessary options for memory operations");
+
+    const auto &m = machines::pa7100();
+
+    // "Before" = original; "after" = CSE + redundant-option removal
+    // only (no other transformations), isolating the Table 8 effect.
+    exp::RunResult or_before =
+        runStage(m, exp::Rep::OrTree, Stage::Original);
+    exp::RunResult or_after = runStage(m, exp::Rep::OrTree, Stage::Cleaned);
+    exp::RunResult andor_before =
+        runStage(m, exp::Rep::AndOrTree, Stage::Original);
+    exp::RunResult andor_after =
+        runStage(m, exp::Rep::AndOrTree, Stage::Cleaned);
+
+    TextTable table;
+    table.setHeader({"Configuration", "Options/Attempt", "Checks/Attempt"});
+    table.addRow({"OR-tree, with duplicate option",
+                  TextTable::num(
+                      or_before.stats.checks.avgOptionsPerAttempt(), 2),
+                  TextTable::num(
+                      or_before.stats.checks.avgChecksPerAttempt(), 2)});
+    table.addRow({"OR-tree, duplicate removed",
+                  TextTable::num(
+                      or_after.stats.checks.avgOptionsPerAttempt(), 2),
+                  TextTable::num(
+                      or_after.stats.checks.avgChecksPerAttempt(), 2)});
+    table.addSeparator();
+    table.addRow({"AND/OR-tree, with duplicate option",
+                  TextTable::num(
+                      andor_before.stats.checks.avgOptionsPerAttempt(), 2),
+                  TextTable::num(
+                      andor_before.stats.checks.avgChecksPerAttempt(),
+                      2)});
+    table.addRow({"AND/OR-tree, duplicate removed",
+                  TextTable::num(
+                      andor_after.stats.checks.avgOptionsPerAttempt(), 2),
+                  TextTable::num(
+                      andor_after.stats.checks.avgChecksPerAttempt(), 2)});
+    std::printf("%s", table.toString().c_str());
+
+    std::printf("\nPaper (Table 8, after removal): OR-tree 1.45 "
+                "options / 2.42 checks per attempt;\nAND/OR-tree 1.38 "
+                "options / 1.89 checks per attempt, on the same 201011 "
+                "operations\nand the identical schedule.\n");
+    std::printf("\nOperations scheduled: %llu (identical schedule in "
+                "all four configurations).\n",
+                (unsigned long long)or_before.stats.ops_scheduled);
+    printFootnote();
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces Table 9: MDES size before and after adopting the bit-vector
+ * check encoding (one cycle's resource usages packed per memory word),
+ * applied on top of the Section 5 cleanups.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace mdes;
+    using namespace mdes::bench;
+
+    printHeader("Table 9",
+                "MDES size characteristics before and after a bit-vector "
+                "representation is used (one cycle/word)");
+
+    struct PaperRow
+    {
+        const char *name;
+        long or_before, or_after;
+        double or_diff;
+        long andor_before, andor_after;
+        double andor_diff;
+    };
+    const PaperRow paper[] = {
+        {"PA7100", 1712, 1404, 17.8, 1232, 1128, 8.4},
+        {"Pentium", 10814, 3224, 70.2, 11296, 3704, 67.2},
+        {"SuperSPARC", 14752, 11152, 24.4, 1896, 1640, 13.5},
+        {"K5", 266034, 183280, 31.1, 3562, 3136, 12.0},
+    };
+
+    TextTable table;
+    table.setHeader({"MDES", "Rep", "Before (bytes)", "After (bytes)",
+                     "Diff", "paper: before", "paper: after",
+                     "paper: diff"});
+    for (size_t i = 0; i < machines::all().size(); ++i) {
+        const auto *m = machines::all()[i];
+        for (auto rep : {exp::Rep::OrTree, exp::Rep::AndOrTree}) {
+            size_t before =
+                runStageSizeOnly(*m, rep, Stage::Cleaned).memory.total();
+            size_t after =
+                runStageSizeOnly(*m, rep, Stage::BitVector)
+                    .memory.total();
+            bool is_or = rep == exp::Rep::OrTree;
+            table.addRow({
+                m->name,
+                exp::repName(rep),
+                std::to_string(before),
+                std::to_string(after),
+                reduction(double(before), double(after)),
+                std::to_string(is_or ? paper[i].or_before
+                                     : paper[i].andor_before),
+                std::to_string(is_or ? paper[i].or_after
+                                     : paper[i].andor_after),
+                TextTable::percent(
+                    (is_or ? paper[i].or_diff : paper[i].andor_diff) /
+                        100.0,
+                    1),
+            });
+        }
+        table.addSeparator();
+    }
+    std::printf("%s", table.toString().c_str());
+    std::printf(
+        "\nAs in the paper: the Pentium benefits most because its\n"
+        "options probe several resources in the same cycle; machines\n"
+        "whose usages spread across cycles gain less until the\n"
+        "usage-time transformation (Table 11) concentrates them.\n");
+    printFootnote();
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Table 10: resource checks per scheduling attempt before and
+ * after the bit-vector check encoding (one cycle/word), on top of the
+ * Section 5 cleanups.
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace mdes;
+    using namespace mdes::bench;
+
+    printHeader("Table 10",
+                "scheduling characteristics before and after a "
+                "bit-vector representation is used (one cycle/word)");
+
+    struct PaperRow
+    {
+        const char *name;
+        double or_before, or_after, andor_before, andor_after;
+    };
+    const PaperRow paper[] = {
+        {"PA7100", 2.32, 2.18, 1.89, 1.6},
+        {"Pentium", 3.99, 2.31, 3.99, 2.31},
+        {"SuperSPARC", 31.09, 26.69, 4.83, 4.62},
+        {"K5", 35.49, 34.35, 5.73, 5.30},
+    };
+
+    TextTable table;
+    table.setHeader({"MDES", "Rep", "Checks/Attempt Before",
+                     "Checks/Attempt After", "Diff", "paper: before",
+                     "paper: after"});
+    for (size_t i = 0; i < machines::all().size(); ++i) {
+        const auto *m = machines::all()[i];
+        for (auto rep : {exp::Rep::OrTree, exp::Rep::AndOrTree}) {
+            double before = runStage(*m, rep, Stage::Cleaned)
+                                .stats.checks.avgChecksPerAttempt();
+            double after = runStage(*m, rep, Stage::BitVector)
+                               .stats.checks.avgChecksPerAttempt();
+            bool is_or = rep == exp::Rep::OrTree;
+            table.addRow({
+                m->name,
+                exp::repName(rep),
+                TextTable::num(before, 2),
+                TextTable::num(after, 2),
+                reduction(before, after),
+                TextTable::num(is_or ? paper[i].or_before
+                                     : paper[i].andor_before,
+                               2),
+                TextTable::num(is_or ? paper[i].or_after
+                                     : paper[i].andor_after,
+                               2),
+            });
+        }
+        table.addSeparator();
+    }
+    std::printf("%s", table.toString().c_str());
+    std::printf(
+        "\nAs in the paper: packing merges same-cycle probes, so the\n"
+        "Pentium (several usages per cycle) improves ~40%% while the\n"
+        "other machines improve modestly until usage times are shifted\n"
+        "into the same cycle (Table 12).\n");
+    printFootnote();
+    return 0;
+}

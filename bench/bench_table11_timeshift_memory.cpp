@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Table 11: MDES memory requirements before and after
+ * transforming resource usage times (per-resource shift so usages
+ * concentrate at time zero; one cycle per word).
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace mdes;
+    using namespace mdes::bench;
+
+    printHeader("Table 11",
+                "MDES memory requirements before and after transforming "
+                "resource usage times (one cycle per word)");
+
+    struct PaperRow
+    {
+        const char *name;
+        long or_before, or_after;
+        long andor_before, andor_after;
+    };
+    const PaperRow paper[] = {
+        {"PA7100", 1404, 1168, 1128, 1032},
+        {"Pentium", 3224, 3080, 3704, 3560},
+        {"SuperSPARC", 11152, 7016, 1640, 1584},
+        {"K5", 183280, 125488, 3136, 3096},
+    };
+
+    TextTable table;
+    table.setHeader({"MDES", "Rep", "Before (bytes)", "After (bytes)",
+                     "Diff", "paper: before", "paper: after"});
+    for (size_t i = 0; i < machines::all().size(); ++i) {
+        const auto *m = machines::all()[i];
+        for (auto rep : {exp::Rep::OrTree, exp::Rep::AndOrTree}) {
+            size_t before =
+                runStageSizeOnly(*m, rep, Stage::BitVector)
+                    .memory.total();
+            size_t after =
+                runStageSizeOnly(*m, rep, Stage::TimeShifted)
+                    .memory.total();
+            bool is_or = rep == exp::Rep::OrTree;
+            table.addRow({
+                m->name,
+                exp::repName(rep),
+                std::to_string(before),
+                std::to_string(after),
+                reduction(double(before), double(after)),
+                std::to_string(is_or ? paper[i].or_before
+                                     : paper[i].andor_before),
+                std::to_string(is_or ? paper[i].or_after
+                                     : paper[i].andor_after),
+            });
+        }
+        table.addSeparator();
+    }
+    std::printf("%s", table.toString().c_str());
+    std::printf(
+        "\nAs in the paper: after the shift, more usages share a cycle\n"
+        "and merge into one check word; the OR representation (more\n"
+        "usages per option) shrinks most. These are the final MDES\n"
+        "sizes - Section 8's transformations do not change size.\n");
+    printFootnote();
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces Table 15: aggregate effect of all transformations on
+ * resource checks per scheduling attempt - unoptimized OR-trees vs
+ * fully optimized OR-trees vs fully optimized AND/OR-trees (with the
+ * bit-vector representation).
+ */
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace mdes;
+    using namespace mdes::bench;
+
+    printHeader("Table 15",
+                "aggregate effect of all transformations on MDES "
+                "scheduling characteristics (checks per attempt)");
+
+    struct PaperRow
+    {
+        const char *name;
+        double unopt, or_full, or_red, andor_full, andor_red;
+    };
+    const PaperRow paper[] = {
+        {"PA7100", 2.47, 1.59, 35.6, 1.55, 37.2},
+        {"Pentium", 3.99, 1.57, 60.7, 1.57, 60.7},
+        {"SuperSPARC", 31.09, 21.59, 30.6, 3.08, 90.1},
+        {"K5", 35.49, 19.87, 44.0, 4.38, 87.7},
+    };
+
+    TextTable table;
+    table.setHeader({"MDES", "Unoptimized OR", "Optimized OR",
+                     "Reduction", "Optimized AND/OR", "Reduction",
+                     "paper: unopt -> OR -> AND/OR"});
+    for (size_t i = 0; i < machines::all().size(); ++i) {
+        const auto *m = machines::all()[i];
+        double unopt = runStage(*m, exp::Rep::OrTree, Stage::Original)
+                           .stats.checks.avgChecksPerAttempt();
+        double or_full = runStage(*m, exp::Rep::OrTree, Stage::Full)
+                             .stats.checks.avgChecksPerAttempt();
+        double andor_full =
+            runStage(*m, exp::Rep::AndOrTree, Stage::Full)
+                .stats.checks.avgChecksPerAttempt();
+        table.addRow({
+            m->name,
+            TextTable::num(unopt, 2),
+            TextTable::num(or_full, 2),
+            reduction(unopt, or_full),
+            TextTable::num(andor_full, 2),
+            reduction(unopt, andor_full),
+            TextTable::num(paper[i].unopt, 2) + " -> " +
+                TextTable::num(paper[i].or_full, 2) + " -> " +
+                TextTable::num(paper[i].andor_full, 2),
+        });
+    }
+    std::printf("%s", table.toString().c_str());
+    std::printf(
+        "\nAs in the paper: the transformations alone cut OR-tree checks\n"
+        "by up to a factor of ~2.6; combined with AND/OR-trees the\n"
+        "reduction reaches a factor of ~10 for the machines with\n"
+        "flexible execution constraints (SuperSPARC, K5) - the trend\n"
+        "that matters as processors grow more powerful and flexible.\n");
+    printFootnote();
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Transformation explorer: walks one machine description (default K5,
+ * the most complex) through every optimization stage in the paper's
+ * order, printing the representation size and the measured scheduling
+ * cost after each stage, for both representations - a miniature of
+ * Tables 14 and 15 with all the intermediate points visible.
+ *
+ * Run: ./build/examples/explore_transforms [machine-name]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "exp/runner.h"
+#include "support/text_table.h"
+
+using namespace mdes;
+
+namespace {
+
+struct StageSpec
+{
+    const char *label;
+    bool cse, redundant, bitvec, timeshift, hoist_sort;
+};
+
+const StageSpec kStages[] = {
+    {"original (Section 4)", false, false, false, false, false},
+    {"+ CSE / dead code / redundant options (Section 5)", true, true,
+     false, false, false},
+    {"+ bit-vector packing (Section 6)", true, true, true, false, false},
+    {"+ usage-time shift & sort (Section 7)", true, true, true, true,
+     false},
+    {"+ hoisting & OR-subtree sort (Section 8)", true, true, true, true,
+     true},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const machines::MachineInfo *machine = &machines::k5();
+    if (argc > 1) {
+        machine = machines::byName(argv[1]);
+        if (!machine) {
+            std::fprintf(stderr,
+                         "unknown machine '%s' (try PA7100, Pentium, "
+                         "SuperSPARC, K5)\n",
+                         argv[1]);
+            return 1;
+        }
+    }
+    std::printf("Transformation walk for the %s description\n"
+                "(workload: %zu synthetic operations)\n\n",
+                machine->name.c_str(), machine->workload.num_ops);
+
+    for (auto rep : {exp::Rep::OrTree, exp::Rep::AndOrTree}) {
+        std::printf("--- %s representation ---\n", exp::repName(rep));
+        TextTable table;
+        table.setHeader({"Stage", "Bytes", "Options/Attempt",
+                         "Checks/Attempt"});
+        for (const auto &stage : kStages) {
+            exp::RunConfig config;
+            config.machine = machine;
+            config.rep = rep;
+            config.transforms.cse = stage.cse;
+            config.transforms.redundant_options = stage.redundant;
+            config.bit_vector = stage.bitvec;
+            config.transforms.time_shift = stage.timeshift;
+            config.transforms.sort_usages = stage.timeshift;
+            config.transforms.hoist = stage.hoist_sort;
+            config.transforms.sort_or_trees = stage.hoist_sort;
+            config.num_ops_override = 50000;
+            exp::RunResult result = exp::run(config);
+            table.addRow({
+                stage.label,
+                std::to_string(result.memory.total()),
+                TextTable::num(
+                    result.stats.checks.avgOptionsPerAttempt(), 2),
+                TextTable::num(result.stats.checks.avgChecksPerAttempt(),
+                               2),
+            });
+        }
+        std::printf("%s\n", table.toString().c_str());
+    }
+    std::printf("Every row produced the *identical schedule* - the\n"
+                "transformations change only how cheaply the execution\n"
+                "constraints are represented and checked.\n");
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Software pipelining walkthrough: modulo-schedule an inner loop on the
+ * SuperSPARC with the MDES-driven iterative modulo scheduler (the
+ * paper's reference [12]), print the MII analysis and the modulo
+ * reservation table, and contrast the attempt counts with plain list
+ * scheduling - the paper's argument for why efficient constraint
+ * checking matters even more for advanced scheduling techniques.
+ *
+ * Run: ./build/examples/software_pipeline
+ */
+
+#include <cstdio>
+
+#include "core/transforms.h"
+#include "hmdes/compile.h"
+#include "lmdes/low_mdes.h"
+#include "machines/machines.h"
+#include "sched/list_scheduler.h"
+#include "sched/modulo_scheduler.h"
+
+using namespace mdes;
+
+namespace {
+
+sched::Instr
+op(const lmdes::LowMdes &low, const char *opcode,
+   std::vector<int32_t> srcs, std::vector<int32_t> dsts)
+{
+    sched::Instr in;
+    in.op_class = low.findOpClass(opcode);
+    in.srcs = std::move(srcs);
+    in.dsts = std::move(dsts);
+    return in;
+}
+
+} // namespace
+
+int
+main()
+{
+    Mdes model = hmdes::compileOrThrow(machines::superSparc().source);
+    runPipeline(model, PipelineConfig::all());
+    lmdes::LowerOptions lopts;
+    lopts.pack_bit_vector = true;
+    lmdes::LowMdes low = lmdes::LowMdes::lower(model, lopts);
+
+    // A latency-bound streaming loop (a[i] = b[i] * c for FP data):
+    //   loop:  r10 = load [r1]       ; stream element (1-cycle latency)
+    //          f12 = f10 * f5        ; 3-cycle FP multiply
+    //          f13 = f12 + f6        ; 3-cycle FP add, chained
+    //          store f13 -> [r4]
+    //          r1  = r1 + 8          ; induction variables (recurrences)
+    //          r4  = r4 + 8
+    // List scheduling must ride the 7-cycle dependence chain every
+    // iteration; modulo scheduling overlaps iterations down to the
+    // memory unit's resource bound.
+    sched::Block body;
+    body.instrs = {
+        op(low, "LD", {1}, {10}),
+        op(low, "FMUL", {10, 5}, {12}),
+        op(low, "FADD", {12, 6}, {13}),
+        op(low, "ST", {13, 4}, {}),
+        op(low, "ADD_I", {1}, {1}),
+        op(low, "ADD_I", {4}, {4}),
+    };
+
+    sched::ModuloScheduler ms(low);
+    sched::SchedStats modulo_stats;
+    sched::ModuloSchedule sched = ms.schedule(body, modulo_stats);
+    if (!sched.success) {
+        std::fprintf(stderr, "modulo scheduling failed\n");
+        return 1;
+    }
+
+    auto graph = sched::LoopDepGraph::build(body, low);
+    std::string problem =
+        sched::verifyModuloSchedule(body, graph, sched);
+    if (!problem.empty()) {
+        std::fprintf(stderr, "invalid modulo schedule: %s\n",
+                     problem.c_str());
+        return 1;
+    }
+
+    std::printf("Loop of %zu operations on the %s:\n", body.instrs.size(),
+                low.machineName().c_str());
+    std::printf("  ResMII (resource bound):    %d\n", sched.res_mii);
+    std::printf("  RecMII (recurrence bound):  %d\n", sched.rec_mii);
+    std::printf("  achieved II:                %d cycles/iteration\n",
+                sched.ii);
+    std::printf("  operations displaced:       %llu\n\n",
+                (unsigned long long)sched.evictions);
+
+    const char *names[] = {"LD",    "FMUL", "FADD",
+                           "ST",    "ADD_I", "ADD_I"};
+    std::printf("Flat schedule (issue time, stage = time / II):\n");
+    for (size_t i = 0; i < body.instrs.size(); ++i) {
+        std::printf("  op %zu %-6s time %2d  -> modulo slot %d, stage %d\n",
+                    i, names[i], sched.times[i],
+                    sched.times[i] % sched.ii,
+                    sched.times[i] / sched.ii);
+    }
+
+    // Contrast with list scheduling of the same body (no overlap across
+    // iterations): the loop takes schedule-length cycles per iteration.
+    sched::ListScheduler ls(low);
+    sched::SchedStats list_stats;
+    sched::BlockSchedule flat = ls.scheduleBlock(body, list_stats);
+
+    std::printf("\nList-scheduled loop body: %d cycles/iteration;\n",
+                flat.length);
+    std::printf("software pipelining sustains one iteration every %d "
+                "cycles (%.2fx).\n",
+                sched.ii, double(flat.length) / double(sched.ii));
+    std::printf("\nScheduling effort (the paper's Section 4 point):\n");
+    std::printf("  list scheduler:   %.2f attempts per operation\n",
+                list_stats.avgAttemptsPerOp());
+    std::printf("  modulo scheduler: %.2f attempts per operation\n",
+                modulo_stats.avgAttemptsPerOp());
+    std::printf("Every attempt is a resource-constraint query - exactly "
+                "the cost the\nAND/OR-tree representation and the MDES "
+                "transformations minimize.\n");
+    return 0;
+}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Full local gate: configure, build, run every test, smoke-run every
+# table/figure bench (perf benches get a short min_time so the whole
+# sweep stays fast). Mirrors what CI would run.
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/bench_*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    case "$(basename "$b")" in
+        bench_perf_*)
+            "$b" --benchmark_min_time=0.05s ;;
+        *)
+            "$b" ;;
+    esac
+done
+echo "check.sh: all green"

@@ -1,0 +1,48 @@
+#include "core/collision.h"
+
+#include <algorithm>
+
+namespace mdes {
+
+std::set<int32_t>
+forbiddenLatencies(const Mdes &m, OptionId a, OptionId b)
+{
+    std::set<int32_t> forbidden;
+    for (const auto &ua : m.option(a).usages) {
+        for (const auto &ub : m.option(b).usages) {
+            if (ua.resource == ub.resource && ua.time >= ub.time)
+                forbidden.insert(ua.time - ub.time);
+        }
+    }
+    return forbidden;
+}
+
+BitVector
+collisionVector(const Mdes &m, OptionId a, OptionId b, int max_latency)
+{
+    BitVector cv(size_t(max_latency) + 1);
+    for (int32_t t : forbiddenLatencies(m, a, b)) {
+        if (t <= max_latency)
+            cv.set(size_t(t));
+    }
+    return cv;
+}
+
+int32_t
+maxUsageSpan(const Mdes &m)
+{
+    int32_t span = 0;
+    for (const auto &opt : m.options()) {
+        if (opt.usages.empty())
+            continue;
+        int32_t lo = opt.usages[0].time, hi = opt.usages[0].time;
+        for (const auto &u : opt.usages) {
+            lo = std::min(lo, u.time);
+            hi = std::max(hi, u.time);
+        }
+        span = std::max(span, hi - lo);
+    }
+    return span;
+}
+
+} // namespace mdes

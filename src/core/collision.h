@@ -1,0 +1,52 @@
+#ifndef MDES_CORE_COLLISION_H
+#define MDES_CORE_COLLISION_H
+
+/**
+ * @file
+ * Forbidden latencies and collision vectors.
+ *
+ * Section 7 of the paper grounds the resource-usage-time transformation in
+ * the theory of pipelined multi-function unit design (Davidson et al.):
+ * for an ordered pair of reservation-table options (A, B), latency t >= 0
+ * is *forbidden* iff A and B use some common resource at times i and j
+ * with i >= j and i - j = t (an operation using B cannot be initiated t
+ * cycles after one using A). A schedule is conflict-free iff no pair of
+ * operations violates the collision vector of its option pair, and the
+ * collision vector depends only on usage-time *differences per resource*
+ * - which is exactly why adding a per-resource constant preserves
+ * scheduling semantics.
+ *
+ * This module is used by tests to prove the time-shift transformation is
+ * semantics-preserving, and by the hazard-analysis example.
+ */
+
+#include <set>
+
+#include "core/mdes.h"
+#include "support/bit_vector.h"
+
+namespace mdes {
+
+/**
+ * The set of forbidden latencies t >= 0 for initiating an operation using
+ * option @p b t cycles after one using option @p a.
+ */
+std::set<int32_t> forbiddenLatencies(const Mdes &m, OptionId a, OptionId b);
+
+/**
+ * The collision vector for the ordered pair (@p a, @p b): bit t set means
+ * latency t is forbidden. Sized @p max_latency + 1 bits; latencies beyond
+ * the options' usage spans are never forbidden.
+ */
+BitVector collisionVector(const Mdes &m, OptionId a, OptionId b,
+                          int max_latency);
+
+/**
+ * Largest usage-time span (latest - earliest usage time) over all options
+ * in @p m; an upper bound on any forbidden latency.
+ */
+int32_t maxUsageSpan(const Mdes &m);
+
+} // namespace mdes
+
+#endif // MDES_CORE_COLLISION_H

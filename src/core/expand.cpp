@@ -1,0 +1,114 @@
+#include "core/expand.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mdes {
+
+namespace {
+
+/**
+ * Merge the usage lists of one option per OR subtree into a single flat
+ * option. @return false if the combination conflicts internally (same
+ * resource instance used twice at the same time).
+ */
+bool
+mergeUsages(const Mdes &m, const std::vector<OptionId> &choice,
+            Option &out)
+{
+    out.usages.clear();
+    for (OptionId o : choice) {
+        for (const auto &u : m.option(o).usages)
+            out.usages.push_back(u);
+    }
+    auto sorted = out.usages;
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+        if (sorted[i] == sorted[i + 1])
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+Mdes
+expandToOrForm(const Mdes &input)
+{
+    Mdes out(input.name());
+    for (const auto &rc : input.resourceClasses())
+        out.addResourceClass(rc.name, rc.count);
+
+    // Expand each AND/OR-tree once; operation classes referencing the same
+    // tree share the expansion (writer-specified sharing).
+    std::map<TreeId, TreeId> expanded;
+    auto expandTree = [&](TreeId tid) -> TreeId {
+        auto it = expanded.find(tid);
+        if (it != expanded.end())
+            return it->second;
+
+        const AndOrTree &tree = input.tree(tid);
+        std::vector<OptionId> flat_options;
+        // Odometer enumeration; the last OR subtree varies fastest so that
+        // priority order matches the original description's intent.
+        std::vector<size_t> idx(tree.or_trees.size(), 0);
+        bool done = tree.or_trees.empty();
+        while (!done) {
+            std::vector<OptionId> choice;
+            choice.reserve(tree.or_trees.size());
+            for (size_t s = 0; s < tree.or_trees.size(); ++s)
+                choice.push_back(
+                    input.orTree(tree.or_trees[s]).options[idx[s]]);
+            Option merged;
+            if (mergeUsages(input, choice, merged))
+                flat_options.push_back(out.addOption(std::move(merged)));
+            // Advance the odometer (last digit fastest).
+            size_t d = tree.or_trees.size();
+            for (;;) {
+                if (d == 0) {
+                    done = true;
+                    break;
+                }
+                --d;
+                if (++idx[d] <
+                    input.orTree(tree.or_trees[d]).options.size())
+                    break;
+                idx[d] = 0;
+            }
+        }
+
+        OrTree flat;
+        flat.name = tree.name + ".expanded";
+        flat.options = std::move(flat_options);
+        OrTreeId or_id = out.addOrTree(std::move(flat));
+
+        AndOrTree wrapper;
+        wrapper.name = tree.name;
+        wrapper.or_trees = {or_id};
+        TreeId new_id = out.addTree(std::move(wrapper));
+        expanded.emplace(tid, new_id);
+        return new_id;
+    };
+
+    // Expand every tree in the pool - including tables no operation
+    // references - so unused information survives into the OR-tree form
+    // exactly as it does in the AND/OR form (Section 5's dead-code
+    // removal must have the same work to do in both representations).
+    for (TreeId t = 0; t < input.trees().size(); ++t)
+        expandTree(t);
+
+    for (const auto &oc : input.opClasses()) {
+        OperationClass copy = oc;
+        copy.tree = expandTree(oc.tree);
+        if (oc.cascade_tree != kInvalidId)
+            copy.cascade_tree = expandTree(oc.cascade_tree);
+        out.addOpClass(std::move(copy));
+    }
+    // Operation-class ids are preserved 1:1, so forwarding paths carry
+    // over verbatim.
+    for (const auto &bypass : input.bypasses())
+        out.addBypass(bypass);
+    return out;
+}
+
+} // namespace mdes

@@ -1,0 +1,41 @@
+#ifndef MDES_CORE_EXPAND_H
+#define MDES_CORE_EXPAND_H
+
+/**
+ * @file
+ * The MDES preprocessor: AND/OR-tree to flat OR-tree expansion.
+ *
+ * The paper's experiments generate the traditional OR-tree representation
+ * by "running each MDES that uses AND/OR-trees through an MDES
+ * preprocessor that expanded out each AND/OR-tree specification into the
+ * corresponding OR-tree specification" (Section 4). This module is that
+ * preprocessor.
+ */
+
+#include "core/mdes.h"
+
+namespace mdes {
+
+/**
+ * Produce the flat OR-tree form of @p input: every operation class's
+ * AND/OR-tree is replaced by a single-OR-subtree AND/OR-tree whose options
+ * enumerate the cross product of the original OR subtrees' options.
+ *
+ * Priority order is preserved: the last OR subtree varies fastest, so for
+ * the SuperSPARC integer load AND(M, WrPt, Decoder) the expansion yields
+ * options in exactly the order of the paper's Figure 1 (lowest-numbered
+ * decoder first, then lowest-numbered write port).
+ *
+ * Cross-product combinations whose merged usage lists would use the same
+ * resource instance at the same time twice (an internal conflict) are
+ * dropped; the four shipped machine descriptions keep AND subtrees
+ * resource-disjoint, so nothing is dropped for them.
+ *
+ * Trees referenced by several operation classes are expanded once and
+ * shared, mirroring writer-specified sharing in the original.
+ */
+Mdes expandToOrForm(const Mdes &input);
+
+} // namespace mdes
+
+#endif // MDES_CORE_EXPAND_H

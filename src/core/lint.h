@@ -1,0 +1,79 @@
+#ifndef MDES_CORE_LINT_H
+#define MDES_CORE_LINT_H
+
+/**
+ * @file
+ * Machine-description linting.
+ *
+ * Section 5 of the paper documents how descriptions decay: writers copy
+ * rather than refactor, retargeting leaves duplicated options behind
+ * ("the MDES author never realized this since correct output was still
+ * generated"), and unused information accumulates. The transformations
+ * silently *fix* these at translation time; this module instead
+ * *reports* them to the description writer, so the source text itself
+ * can be cleaned - the tool that would have caught the paper's PA7100
+ * accident when it happened.
+ *
+ * Findings mirror the transformation suite:
+ *  - RedundantOption: an option identical to or a superset of a
+ *    higher-priority option in the same OR-tree (Table 8's case);
+ *  - DuplicateOption / DuplicateOrTree / DuplicateTable: structurally
+ *    identical entities with distinct identities (CSE fodder);
+ *  - UnusedEntity: options/OR-trees/tables no operation can reach;
+ *  - OverlappingSubtrees: AND subtrees able to claim the same resource
+ *    instance at the same time (greedy-vs-cross-product divergence);
+ *  - UselessBypass: a forwarding path no faster than the producer's
+ *    nominal latency;
+ *  - RemovableUsage: a usage whose removal provably preserves every
+ *    collision vector (Eichenberger/Davidson-redundant modeling).
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/mdes.h"
+
+namespace mdes {
+
+/** Categories of lint findings. */
+enum class LintKind {
+    RedundantOption,
+    DuplicateOption,
+    DuplicateOrTree,
+    DuplicateTable,
+    UnusedEntity,
+    OverlappingSubtrees,
+    UselessBypass,
+    RemovableUsage,
+};
+
+/** Printable name of a finding category. */
+const char *lintKindName(LintKind kind);
+
+/** One finding, anchored to named entities where possible. */
+struct LintFinding
+{
+    LintKind kind;
+    std::string message;
+};
+
+/** Which (potentially expensive) checks to run. */
+struct LintOptions
+{
+    bool redundant_options = true;
+    bool duplicates = true;
+    bool unused = true;
+    bool overlapping_subtrees = true;
+    bool useless_bypasses = true;
+    /** Collision-vector analysis is O(options^2 * usages^2); off for
+     * huge expanded OR forms unless requested. */
+    bool removable_usages = false;
+};
+
+/** Analyze @p m without modifying it. */
+std::vector<LintFinding> lint(const Mdes &m,
+                              const LintOptions &options = {});
+
+} // namespace mdes
+
+#endif // MDES_CORE_LINT_H

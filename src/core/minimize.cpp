@@ -1,0 +1,102 @@
+#include "core/minimize.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace mdes {
+
+namespace {
+
+/**
+ * True if some pair (x in @p first, y in @p second) with a common
+ * resource has x.time - y.time == @p latency, i.e. latency is forbidden
+ * for initiating `second` that many cycles after `first`.
+ */
+bool
+forbids(const std::vector<ResourceUsage> &first,
+        const std::vector<ResourceUsage> &second, int32_t latency)
+{
+    for (const auto &x : first) {
+        for (const auto &y : second) {
+            if (x.resource == y.resource && x.time - y.time == latency)
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+size_t
+minimizeUsages(Mdes &m)
+{
+    size_t removed = 0;
+
+    // Options that use each resource instance - the only options whose
+    // collision vectors a removal on that resource can touch.
+    std::vector<std::vector<OptionId>> users(m.numResources());
+    for (OptionId o = 0; o < m.options().size(); ++o) {
+        std::vector<bool> seen(m.numResources(), false);
+        for (const auto &u : m.option(o).usages) {
+            if (!seen[u.resource]) {
+                seen[u.resource] = true;
+                users[u.resource].push_back(o);
+            }
+        }
+    }
+
+    for (OptionId a = 0; a < m.options().size(); ++a) {
+        auto &usages = m.option(a).usages;
+        for (size_t i = 0; i < usages.size() && usages.size() > 1;) {
+            const ResourceUsage u = usages[i];
+
+            // Candidate usage list with u removed.
+            std::vector<ResourceUsage> without;
+            without.reserve(usages.size() - 1);
+            for (size_t k = 0; k < usages.size(); ++k) {
+                if (k != i)
+                    without.push_back(usages[k]);
+            }
+
+            bool safe = true;
+            for (OptionId b : users[u.resource]) {
+                // When checking against itself, the removal applies to
+                // both sides of the pair.
+                const std::vector<ResourceUsage> &b_usages =
+                    b == a ? without : m.option(b).usages;
+
+                // Latencies u contributed to CV(a, b): u as the earlier
+                // operation's usage, b's usages of the same resource at
+                // or before u.time.
+                for (const auto &bu : b_usages) {
+                    if (bu.resource != u.resource)
+                        continue;
+                    if (u.time >= bu.time &&
+                        !forbids(without, b_usages, u.time - bu.time)) {
+                        safe = false;
+                        break;
+                    }
+                    // Latencies u contributed to CV(b, a): u as the
+                    // later operation's usage.
+                    if (bu.time >= u.time &&
+                        !forbids(b_usages, without, bu.time - u.time)) {
+                        safe = false;
+                        break;
+                    }
+                }
+                if (!safe)
+                    break;
+            }
+
+            if (safe) {
+                usages.erase(usages.begin() + std::ptrdiff_t(i));
+                ++removed;
+            } else {
+                ++i;
+            }
+        }
+    }
+    return removed;
+}
+
+} // namespace mdes

@@ -1,0 +1,49 @@
+#ifndef MDES_CORE_MINIMIZE_H
+#define MDES_CORE_MINIMIZE_H
+
+/**
+ * @file
+ * Eichenberger/Davidson-style reservation-table minimization - the
+ * paper's primary related-work comparison (Section 10).
+ *
+ * Eichenberger & Davidson (PLDI'96) generate, for each reservation
+ * table option, an equivalent option with a minimum number of resource
+ * usages, which minimizes both the memory per option and the resource
+ * checks per option - but, as the paper notes, "do not address the
+ * problem of reducing the number of option checks per scheduling
+ * attempt", which is what the AND/OR-tree representation attacks.
+ *
+ * This module implements the usage-minimization side of that work as a
+ * baseline: a usage is removed from an option whenever removal leaves
+ * every ordered-pair collision vector in the MDES unchanged. Since a
+ * schedule is resource-conflict-free iff no operation pair violates its
+ * collision vector (Section 7's theory), and the constraint checker's
+ * accept/reject behavior at any RU-map state built from these same
+ * options is fully determined by those collision vectors, minimization
+ * preserves every schedule bit-for-bit - a property the tests assert.
+ *
+ * The resource-renaming half of Eichenberger & Davidson (compacting the
+ * resource set itself) is not reproduced; dropping usages already
+ * leaves orphaned resources unused, which the RU-map word simply never
+ * tests.
+ */
+
+#include <cstddef>
+
+#include "core/mdes.h"
+
+namespace mdes {
+
+/**
+ * Minimize every reservation-table option of @p m: greedily remove
+ * usages whose removal preserves all pairwise collision vectors
+ * (including each option against itself). Options always keep at least
+ * one usage.
+ *
+ * @return number of usages removed.
+ */
+size_t minimizeUsages(Mdes &m);
+
+} // namespace mdes
+
+#endif // MDES_CORE_MINIMIZE_H

@@ -1,0 +1,59 @@
+#include "core/minimize.h"
+#include "core/transforms.h"
+
+/**
+ * @file
+ * The canonical transformation pipeline, in the paper's section order:
+ * redundancy elimination (5), usage-time shifting (7), hoisting and
+ * OR-subtree sorting (8), with usage-check sorting applied once options
+ * have reached their final shape. A second CSE pass re-merges entities
+ * cloned by hoisting.
+ */
+
+namespace mdes {
+
+PipelineConfig
+PipelineConfig::all()
+{
+    PipelineConfig c;
+    c.cse = true;
+    c.redundant_options = true;
+    c.time_shift = true;
+    c.sort_usages = true;
+    c.hoist = true;
+    c.sort_or_trees = true;
+    return c;
+}
+
+PipelineStats
+runPipeline(Mdes &m, const PipelineConfig &config)
+{
+    PipelineStats stats;
+    if (config.cse)
+        stats.cse = eliminateRedundantInfo(m);
+    if (config.redundant_options)
+        stats.redundant_options_removed = removeRedundantOptions(m);
+    if (config.minimize)
+        minimizeUsages(m);
+    if (config.time_shift)
+        shiftUsageTimes(m, config.direction);
+    if (config.hoist) {
+        stats.usages_hoisted = hoistCommonUsages(m);
+        if (stats.usages_hoisted > 0) {
+            // Re-merge clones created by hoisting and drop the originals
+            // they replaced.
+            auto cse = eliminateRedundantInfo(m);
+            stats.cse.merged_options += cse.merged_options;
+            stats.cse.merged_or_trees += cse.merged_or_trees;
+            stats.cse.merged_trees += cse.merged_trees;
+            stats.cse.removed_dead += cse.removed_dead;
+        }
+    }
+    if (config.sort_usages)
+        sortUsageChecks(m, config.direction);
+    if (config.sort_or_trees)
+        stats.trees_reordered = sortOrSubtrees(m);
+    return stats;
+}
+
+} // namespace mdes

@@ -1,0 +1,107 @@
+#include "core/print.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/text_table.h"
+
+namespace mdes {
+
+namespace {
+
+std::vector<ResourceId>
+optionColumns(const Mdes &m, OptionId option)
+{
+    std::set<ResourceId> used;
+    for (const auto &u : m.option(option).usages)
+        used.insert(u.resource);
+    return {used.begin(), used.end()};
+}
+
+std::string
+gridFor(const Mdes &m, OptionId option,
+        const std::vector<ResourceId> &columns)
+{
+    const Option &opt = m.option(option);
+    int32_t lo = 0, hi = 0;
+    for (const auto &u : opt.usages) {
+        lo = std::min(lo, u.time);
+        hi = std::max(hi, u.time);
+    }
+
+    TextTable table;
+    std::vector<std::string> header = {"Cycle"};
+    for (ResourceId r : columns)
+        header.push_back(m.resourceName(r));
+    table.setHeader(std::move(header));
+
+    for (int32_t t = lo; t <= hi; ++t) {
+        std::vector<std::string> row = {std::to_string(t)};
+        for (ResourceId r : columns) {
+            bool used = std::any_of(
+                opt.usages.begin(), opt.usages.end(),
+                [&](const ResourceUsage &u) {
+                    return u.time == t && u.resource == r;
+                });
+            row.push_back(used ? "X" : "");
+        }
+        table.addRow(std::move(row));
+    }
+    return table.toString();
+}
+
+} // namespace
+
+std::vector<ResourceId>
+orTreeColumns(const Mdes &m, OrTreeId tree)
+{
+    std::set<ResourceId> used;
+    for (OptionId o : m.orTree(tree).options) {
+        for (const auto &u : m.option(o).usages)
+            used.insert(u.resource);
+    }
+    return {used.begin(), used.end()};
+}
+
+std::string
+printOption(const Mdes &m, OptionId option,
+            const std::vector<ResourceId> &columns)
+{
+    return gridFor(m, option,
+                   columns.empty() ? optionColumns(m, option) : columns);
+}
+
+std::string
+printOrTree(const Mdes &m, OrTreeId tree)
+{
+    std::ostringstream os;
+    const OrTree &ot = m.orTree(tree);
+    auto columns = orTreeColumns(m, tree);
+    os << "OR-tree '" << ot.name << "' (" << ot.options.size()
+       << " option" << (ot.options.size() == 1 ? "" : "s")
+       << ", priority order):\n";
+    int n = 1;
+    for (OptionId o : ot.options) {
+        os << "Option " << n++ << ":\n";
+        os << gridFor(m, o, columns);
+    }
+    return os.str();
+}
+
+std::string
+printTree(const Mdes &m, TreeId tree)
+{
+    std::ostringstream os;
+    const AndOrTree &t = m.tree(tree);
+    os << "AND/OR-tree '" << t.name << "' (AND of " << t.or_trees.size()
+       << " OR-tree" << (t.or_trees.size() == 1 ? "" : "s") << "):\n";
+    int n = 1;
+    for (OrTreeId ot : t.or_trees) {
+        os << "-- AND input " << n++ << " --\n";
+        os << printOrTree(m, ot);
+    }
+    return os.str();
+}
+
+} // namespace mdes

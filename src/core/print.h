@@ -1,0 +1,47 @@
+#ifndef MDES_CORE_PRINT_H
+#define MDES_CORE_PRINT_H
+
+/**
+ * @file
+ * Human-readable rendering of reservation tables and trees.
+ *
+ * Reproduces the visual form of the paper's Figures 1, 3, 5, and 6:
+ * reservation-table grids (cycle rows x resource columns, 'X' marks) and
+ * tree structure dumps.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/mdes.h"
+
+namespace mdes {
+
+/**
+ * Render one reservation-table option as a grid. Columns are limited to
+ * @p columns (resource instances) when non-empty; otherwise to the
+ * resources the option uses.
+ */
+std::string printOption(const Mdes &m, OptionId option,
+                        const std::vector<ResourceId> &columns = {});
+
+/**
+ * Render an OR-tree as its prioritized list of option grids
+ * (Figure 1 / Figure 3a style). All options share one column set so the
+ * grids line up.
+ */
+std::string printOrTree(const Mdes &m, OrTreeId tree);
+
+/**
+ * Render an AND/OR-tree: each OR subtree in AND order with its options
+ * (Figure 3b style).
+ */
+std::string printTree(const Mdes &m, TreeId tree);
+
+/** Collect the distinct resource instances used anywhere in an OR-tree,
+ * in ResourceId order. */
+std::vector<ResourceId> orTreeColumns(const Mdes &m, OrTreeId tree);
+
+} // namespace mdes
+
+#endif // MDES_CORE_PRINT_H

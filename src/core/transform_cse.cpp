@@ -1,0 +1,79 @@
+#include <map>
+
+#include "core/transforms.h"
+
+/**
+ * @file
+ * MDES-domain CSE, copy propagation, and dead-code removal (Section 5).
+ *
+ * The classical optimizations map onto the MDES like this: CSE and copy
+ * propagation combine into "find redundant MDES information and point all
+ * references to one particular copy"; dead-code removal eliminates
+ * whatever is no longer referenced afterwards.
+ *
+ * Options are merged only when their usage lists match *including order*:
+ * usage order determines check order in the low-level representation, so
+ * merging differently-ordered but set-equal options would silently apply
+ * the Section 7 sorting transformation. Copy-pasted duplicates - the case
+ * the paper targets - match exactly.
+ */
+
+namespace mdes {
+
+CseStats
+eliminateRedundantInfo(Mdes &m)
+{
+    CseStats stats;
+
+    // --- Merge structurally identical options. -----------------------
+    std::map<std::vector<ResourceUsage>, OptionId> option_canon;
+    std::vector<OptionId> opt_remap(m.options().size());
+    for (OptionId i = 0; i < m.options().size(); ++i) {
+        auto [it, inserted] =
+            option_canon.emplace(m.option(i).usages, i);
+        opt_remap[i] = it->second;
+        if (!inserted)
+            ++stats.merged_options;
+    }
+    for (OrTreeId t = 0; t < m.orTrees().size(); ++t) {
+        for (auto &o : m.orTree(t).options)
+            o = opt_remap[o];
+    }
+
+    // --- Merge OR-trees with identical (remapped) option lists. ------
+    std::map<std::vector<OptionId>, OrTreeId> or_canon;
+    std::vector<OrTreeId> or_remap(m.orTrees().size());
+    for (OrTreeId i = 0; i < m.orTrees().size(); ++i) {
+        auto [it, inserted] = or_canon.emplace(m.orTree(i).options, i);
+        or_remap[i] = it->second;
+        if (!inserted)
+            ++stats.merged_or_trees;
+    }
+    for (TreeId t = 0; t < m.trees().size(); ++t) {
+        for (auto &ot : m.tree(t).or_trees)
+            ot = or_remap[ot];
+    }
+
+    // --- Merge AND/OR-trees with identical subtree lists. ------------
+    std::map<std::vector<OrTreeId>, TreeId> tree_canon;
+    std::vector<TreeId> tree_remap(m.trees().size());
+    for (TreeId i = 0; i < m.trees().size(); ++i) {
+        auto [it, inserted] = tree_canon.emplace(m.tree(i).or_trees, i);
+        tree_remap[i] = it->second;
+        if (!inserted)
+            ++stats.merged_trees;
+    }
+    for (OpClassId c = 0; c < m.opClasses().size(); ++c) {
+        auto &oc = m.opClass(c);
+        if (oc.tree != kInvalidId)
+            oc.tree = tree_remap[oc.tree];
+        if (oc.cascade_tree != kInvalidId)
+            oc.cascade_tree = tree_remap[oc.cascade_tree];
+    }
+
+    // --- Dead-code removal. ------------------------------------------
+    stats.removed_dead = m.removeDeadEntities();
+    return stats;
+}
+
+} // namespace mdes

@@ -1,0 +1,48 @@
+#include <algorithm>
+
+#include "core/transforms.h"
+
+/**
+ * @file
+ * Redundant reservation-table option removal (Section 5).
+ *
+ * An option can be removed from an OR-tree if its resource usages are
+ * identical to, or a superset of, the usages of a higher-priority option:
+ * whenever the lower-priority option would be available, the
+ * higher-priority one is too and is selected first. Such options appear
+ * when preprocessor-style enumeration overlaps, or as descriptions evolve
+ * (the paper's PA7100 MDES inherited a duplicated memory-operation option
+ * from an earlier HP PA description).
+ */
+
+namespace mdes {
+
+size_t
+removeRedundantOptions(Mdes &m)
+{
+    size_t removed = 0;
+    for (OrTreeId t = 0; t < m.orTrees().size(); ++t) {
+        auto &options = m.orTree(t).options;
+        std::vector<OptionId> kept;
+        kept.reserve(options.size());
+        for (OptionId candidate : options) {
+            bool redundant = false;
+            for (OptionId higher : kept) {
+                if (m.option(candidate).covers(m.option(higher))) {
+                    redundant = true;
+                    break;
+                }
+            }
+            if (redundant)
+                ++removed;
+            else
+                kept.push_back(candidate);
+        }
+        options = std::move(kept);
+    }
+    if (removed > 0)
+        m.removeDeadEntities();
+    return removed;
+}
+
+} // namespace mdes

@@ -1,0 +1,69 @@
+#include <algorithm>
+#include <limits>
+
+#include "core/transforms.h"
+
+/**
+ * @file
+ * Resource-usage-time transformations (Section 7).
+ *
+ * In computing a forbidden latency only the *difference* between two
+ * usage times of the same resource matters, so a common per-resource
+ * constant can be added to all of that resource's usage times without
+ * altering any collision vector - and therefore without altering any
+ * schedule. The paper's heuristic picks, for each resource, the earliest
+ * usage time across all reservation-table options (forward scheduling),
+ * concentrating usages at time zero where the bit-vector packing is most
+ * effective and where a forward scheduler sees most conflicts.
+ */
+
+namespace mdes {
+
+std::vector<int32_t>
+shiftUsageTimes(Mdes &m, SchedDirection direction)
+{
+    constexpr int32_t kNoUsage = std::numeric_limits<int32_t>::min();
+    std::vector<int32_t> shift(m.numResources(), kNoUsage);
+
+    for (const auto &opt : m.options()) {
+        for (const auto &u : opt.usages) {
+            if (shift[u.resource] == kNoUsage) {
+                shift[u.resource] = u.time;
+            } else if (direction == SchedDirection::Forward) {
+                shift[u.resource] = std::min(shift[u.resource], u.time);
+            } else {
+                shift[u.resource] = std::max(shift[u.resource], u.time);
+            }
+        }
+    }
+    for (auto &s : shift) {
+        if (s == kNoUsage)
+            s = 0;
+    }
+
+    for (OptionId i = 0; i < m.options().size(); ++i) {
+        for (auto &u : m.option(i).usages)
+            u.time -= shift[u.resource];
+    }
+    return shift;
+}
+
+void
+sortUsageChecks(Mdes &m, SchedDirection direction)
+{
+    for (OptionId i = 0; i < m.options().size(); ++i) {
+        auto &usages = m.option(i).usages;
+        std::stable_sort(
+            usages.begin(), usages.end(),
+            [direction](const ResourceUsage &a, const ResourceUsage &b) {
+                if (a.time != b.time) {
+                    return direction == SchedDirection::Forward
+                               ? a.time < b.time
+                               : a.time > b.time;
+                }
+                return a.resource < b.resource;
+            });
+    }
+}
+
+} // namespace mdes

@@ -1,0 +1,79 @@
+#include "exp/runner.h"
+
+#include "core/expand.h"
+#include "hmdes/compile.h"
+#include "workload/workload.h"
+
+namespace mdes::exp {
+
+const char *
+repName(Rep rep)
+{
+    return rep == Rep::OrTree ? "OR-tree" : "AND/OR-tree";
+}
+
+Mdes
+compileMachine(const machines::MachineInfo &machine)
+{
+    return hmdes::compileOrThrow(machine.source);
+}
+
+Mdes
+buildModel(const RunConfig &config)
+{
+    Mdes model = compileMachine(*config.machine);
+    if (config.rep == Rep::OrTree)
+        model = expandToOrForm(model);
+    runPipeline(model, config.transforms);
+    return model;
+}
+
+RunResult
+run(const RunConfig &config)
+{
+    RunResult result;
+    result.mid = compileMachine(*config.machine);
+    if (config.rep == Rep::OrTree)
+        result.mid = expandToOrForm(result.mid);
+    result.pipeline = runPipeline(result.mid, config.transforms);
+
+    lmdes::LowerOptions lopts;
+    lopts.pack_bit_vector = config.bit_vector;
+    result.low = lmdes::LowMdes::lower(result.mid, lopts);
+    result.memory = result.low.memory();
+
+    if (config.schedule) {
+        workload::WorkloadSpec spec = config.machine->workload;
+        if (config.num_ops_override != 0)
+            spec.num_ops = config.num_ops_override;
+        sched::Program program = workload::generate(spec, result.low);
+        sched::ListScheduler scheduler(result.low);
+        result.schedules =
+            scheduler.scheduleProgram(program, result.stats);
+    }
+    return result;
+}
+
+RunConfig
+originalConfig(const machines::MachineInfo &machine, Rep rep)
+{
+    RunConfig config;
+    config.machine = &machine;
+    config.rep = rep;
+    config.transforms = PipelineConfig::none();
+    config.bit_vector = false;
+    return config;
+}
+
+RunConfig
+optimizedConfig(const machines::MachineInfo &machine, Rep rep)
+{
+    RunConfig config;
+    config.machine = &machine;
+    config.rep = rep;
+    config.transforms = PipelineConfig::all();
+    config.bit_vector = true;
+    return config;
+}
+
+} // namespace mdes::exp

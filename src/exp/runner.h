@@ -1,0 +1,85 @@
+#ifndef MDES_EXP_RUNNER_H
+#define MDES_EXP_RUNNER_H
+
+/**
+ * @file
+ * The shared experiment driver behind every benchmark binary.
+ *
+ * One experiment = (machine, representation, transformation set,
+ * bit-vector packing): compile the high-level description, optionally
+ * preprocess it into the flat OR-tree form, run the selected
+ * transformations, lower to the low-level representation, generate the
+ * machine's synthetic workload, schedule it with the multi-platform list
+ * scheduler, and report sizes and scheduling statistics.
+ *
+ * The workload for a given machine is identical across configurations
+ * (same seed), and every configuration produces the identical schedule -
+ * the paper's Section 4 invariant - so all differences between
+ * configurations are purely representation efficiency.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mdes.h"
+#include "core/transforms.h"
+#include "lmdes/low_mdes.h"
+#include "machines/machines.h"
+#include "sched/list_scheduler.h"
+
+namespace mdes::exp {
+
+/** Which resource-constraint representation to evaluate. */
+enum class Rep { OrTree, AndOrTree };
+
+/** Printable representation name. */
+const char *repName(Rep rep);
+
+/** One experiment configuration. */
+struct RunConfig
+{
+    const machines::MachineInfo *machine = nullptr;
+    Rep rep = Rep::AndOrTree;
+    PipelineConfig transforms;
+    bool bit_vector = false;
+    /** Override the machine's workload size (0 = use the default). */
+    size_t num_ops_override = 0;
+    /** Skip workload scheduling (size-only experiments). */
+    bool schedule = true;
+};
+
+/** Everything an experiment produces. */
+struct RunResult
+{
+    /** Structured model after representation choice + transformations. */
+    Mdes mid;
+    lmdes::LowMdes low;
+    lmdes::MemoryBreakdown memory;
+    sched::SchedStats stats;
+    /** Per-block schedules (for cross-configuration identity checks). */
+    std::vector<sched::BlockSchedule> schedules;
+    PipelineStats pipeline;
+};
+
+/** Compile @p machine's description (uncached). */
+Mdes compileMachine(const machines::MachineInfo &machine);
+
+/**
+ * Build the structured model for a configuration without scheduling:
+ * compile, apply representation, run transformations.
+ */
+Mdes buildModel(const RunConfig &config);
+
+/** Run the full experiment. */
+RunResult run(const RunConfig &config);
+
+/** Convenience: "original" (no transformations, no bit-vector) config. */
+RunConfig originalConfig(const machines::MachineInfo &machine, Rep rep);
+
+/** Convenience: fully optimized config (all transforms + bit-vector). */
+RunConfig optimizedConfig(const machines::MachineInfo &machine, Rep rep);
+
+} // namespace mdes::exp
+
+#endif // MDES_EXP_RUNNER_H

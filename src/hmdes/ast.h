@@ -1,0 +1,183 @@
+#ifndef MDES_HMDES_AST_H
+#define MDES_HMDES_AST_H
+
+/**
+ * @file
+ * Abstract syntax tree for the high-level MDES language.
+ *
+ * Grammar (EBNF):
+ *
+ *   machine    := 'machine' STRING '{' decl* '}'
+ *   decl       := resource | let | ortree | table | operation | bypass
+ *   resource   := 'resource' IDENT ('[' expr ']')? ';'
+ *   let        := 'let' IDENT '=' expr ';'
+ *   ortree     := 'ortree' IDENT '{' oritem* '}'
+ *   oritem     := option | for
+ *   for        := 'for' IDENT 'in' expr '..' expr '{' oritem* '}'
+ *   option     := 'option' '{' usage* '}'
+ *   usage      := 'use' IDENT ('[' expr ']')? 'at' expr ';'
+ *   table      := 'table' IDENT '='
+ *                   ( 'and' '(' IDENT (',' IDENT)* ')' | IDENT ) ';'
+ *   operation  := 'operation' IDENT '{' opfield* '}'
+ *   opfield    := 'table' IDENT ';' | 'latency' expr ';'
+ *               | 'cascade' IDENT ';' | 'note' STRING ';'
+ *   bypass     := 'bypass' IDENT IDENT 'latency' expr ';'
+ *   expr       := additive over INT | IDENT | '(' expr ')' with
+ *                 + - * / % and unary minus
+ *
+ * `for` loops expand (nested) option lists; `and(...)` composes named
+ * OR-trees into an AND/OR-tree; a bare identifier makes a table whose AND
+ * level points at one OR-tree (the paper's Pentium-style description).
+ */
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace mdes::hmdes {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Arithmetic expression node. */
+struct Expr
+{
+    enum class Kind { IntLit, VarRef, Unary, Binary };
+
+    Kind kind = Kind::IntLit;
+    SourceLocation loc;
+    int64_t value = 0;       ///< IntLit
+    std::string name;        ///< VarRef
+    char op = 0;             ///< Unary ('-') / Binary ('+','-','*','/','%')
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+/** `use Res[idx] at time;` */
+struct UsageDecl
+{
+    SourceLocation loc;
+    std::string resource;
+    ExprPtr index; ///< null for single-instance resources
+    ExprPtr time;
+};
+
+struct UsageForDecl;
+
+/** An item inside an option body: a usage or a usage-level for loop. */
+using OptItem = std::variant<UsageDecl, UsageForDecl>;
+
+/** `for v in lo .. hi { usage* }` inside an option: expands to the
+ * loop body's usages once per iteration (e.g. a divide unit busy for
+ * cycles 0..5 in a single reservation-table option). */
+struct UsageForDecl
+{
+    SourceLocation loc;
+    std::string var;
+    ExprPtr lo;
+    ExprPtr hi;
+    std::vector<OptItem> body;
+};
+
+/** `option { optitem* }` */
+struct OptionDecl
+{
+    SourceLocation loc;
+    std::vector<OptItem> items;
+};
+
+struct ForDecl;
+
+/** An item inside an ortree body: a literal option or a for expansion. */
+using OrItem = std::variant<OptionDecl, ForDecl>;
+
+/** `for v in lo .. hi { oritem* }` */
+struct ForDecl
+{
+    SourceLocation loc;
+    std::string var;
+    ExprPtr lo;
+    ExprPtr hi;
+    std::vector<OrItem> body;
+};
+
+/** `resource Name[count];` */
+struct ResourceDecl
+{
+    SourceLocation loc;
+    std::string name;
+    ExprPtr count; ///< null means 1
+};
+
+/** `let NAME = expr;` */
+struct LetDecl
+{
+    SourceLocation loc;
+    std::string name;
+    ExprPtr value;
+};
+
+/** `ortree Name { ... }` */
+struct OrTreeDecl
+{
+    SourceLocation loc;
+    std::string name;
+    std::vector<OrItem> items;
+};
+
+/** `table Name = and(A, B, ...);` or `table Name = A;` */
+struct TableDecl
+{
+    SourceLocation loc;
+    std::string name;
+    bool is_and = false;
+    std::vector<std::string> or_tree_names;
+    std::vector<SourceLocation> or_tree_locs;
+};
+
+/** `operation Name { table T; latency n; cascade C; note "..."; }` */
+struct OperationDecl
+{
+    SourceLocation loc;
+    std::string name;
+    std::optional<std::string> table;
+    SourceLocation table_loc;
+    ExprPtr latency; ///< null means 1
+    std::optional<std::string> cascade;
+    SourceLocation cascade_loc;
+    std::optional<std::string> note;
+};
+
+/** `bypass PRODUCER CONSUMER latency N;` - a forwarding path: when
+ * CONSUMER directly consumes PRODUCER's result, the effective flow
+ * latency is N instead of PRODUCER's nominal latency (paper footnote 1:
+ * machine descriptions also model bypassing and forwarding effects). */
+struct BypassDecl
+{
+    SourceLocation loc;
+    std::string from;
+    std::string to;
+    SourceLocation from_loc;
+    SourceLocation to_loc;
+    ExprPtr latency;
+};
+
+/** One top-level declaration, in source order. */
+using Decl = std::variant<ResourceDecl, LetDecl, OrTreeDecl, TableDecl,
+                          OperationDecl, BypassDecl>;
+
+/** A whole machine description. */
+struct MachineDecl
+{
+    SourceLocation loc;
+    std::string name;
+    std::vector<Decl> decls;
+};
+
+} // namespace mdes::hmdes
+
+#endif // MDES_HMDES_AST_H

@@ -1,0 +1,31 @@
+#ifndef MDES_HMDES_BUILDER_H
+#define MDES_HMDES_BUILDER_H
+
+/**
+ * @file
+ * Semantic analysis and translation of a parsed machine description into
+ * the structured core::Mdes model: evaluates let constants and for-loop
+ * expansions, resolves resource/OR-tree/table references, and enforces
+ * the language's semantic rules with located diagnostics.
+ */
+
+#include <optional>
+
+#include "core/mdes.h"
+#include "hmdes/ast.h"
+
+namespace mdes::hmdes {
+
+/**
+ * Translate @p machine into a core Mdes.
+ *
+ * Declarations are processed in source order and must be declared before
+ * use (resources before usages, OR-trees before tables, tables before
+ * operations). @return std::nullopt and diagnostics in @p diags on error.
+ */
+std::optional<Mdes> buildMdes(const MachineDecl &machine,
+                              DiagnosticEngine &diags);
+
+} // namespace mdes::hmdes
+
+#endif // MDES_HMDES_BUILDER_H

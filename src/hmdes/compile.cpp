@@ -1,0 +1,29 @@
+#include "hmdes/compile.h"
+
+#include "hmdes/builder.h"
+#include "hmdes/parser.h"
+
+namespace mdes::hmdes {
+
+std::optional<Mdes>
+compile(std::string_view source, DiagnosticEngine &diags)
+{
+    auto ast = parseMachine(source, diags);
+    if (!ast || diags.hasErrors())
+        return std::nullopt;
+    return buildMdes(*ast, diags);
+}
+
+Mdes
+compileOrThrow(std::string_view source)
+{
+    DiagnosticEngine diags;
+    auto mdes = compile(source, diags);
+    if (!mdes) {
+        throw MdesError("machine description failed to compile:\n" +
+                        diags.toString());
+    }
+    return std::move(*mdes);
+}
+
+} // namespace mdes::hmdes

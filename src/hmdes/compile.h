@@ -1,0 +1,33 @@
+#ifndef MDES_HMDES_COMPILE_H
+#define MDES_HMDES_COMPILE_H
+
+/**
+ * @file
+ * One-call entry points for turning high-level MDES text into a core
+ * Mdes model (parse + semantic analysis + build).
+ */
+
+#include <optional>
+#include <string_view>
+
+#include "core/mdes.h"
+#include "support/diagnostics.h"
+
+namespace mdes::hmdes {
+
+/**
+ * Compile @p source into an Mdes, reporting problems to @p diags.
+ * @return std::nullopt when compilation failed.
+ */
+std::optional<Mdes> compile(std::string_view source,
+                            DiagnosticEngine &diags);
+
+/**
+ * Compile @p source, throwing MdesError carrying the rendered diagnostics
+ * when compilation fails. Convenience for machines known to be valid.
+ */
+Mdes compileOrThrow(std::string_view source);
+
+} // namespace mdes::hmdes
+
+#endif // MDES_HMDES_COMPILE_H

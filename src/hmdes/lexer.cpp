@@ -1,0 +1,258 @@
+#include "hmdes/lexer.h"
+
+#include <cctype>
+#include <map>
+
+namespace mdes::hmdes {
+
+const char *
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::Identifier: return "identifier";
+      case TokenKind::Integer: return "integer";
+      case TokenKind::String: return "string";
+      case TokenKind::KwMachine: return "'machine'";
+      case TokenKind::KwResource: return "'resource'";
+      case TokenKind::KwLet: return "'let'";
+      case TokenKind::KwOrTree: return "'ortree'";
+      case TokenKind::KwFor: return "'for'";
+      case TokenKind::KwIn: return "'in'";
+      case TokenKind::KwOption: return "'option'";
+      case TokenKind::KwUse: return "'use'";
+      case TokenKind::KwAt: return "'at'";
+      case TokenKind::KwTable: return "'table'";
+      case TokenKind::KwAnd: return "'and'";
+      case TokenKind::KwOperation: return "'operation'";
+      case TokenKind::KwLatency: return "'latency'";
+      case TokenKind::KwCascade: return "'cascade'";
+      case TokenKind::KwNote: return "'note'";
+      case TokenKind::KwBypass: return "'bypass'";
+      case TokenKind::LBrace: return "'{'";
+      case TokenKind::RBrace: return "'}'";
+      case TokenKind::LBracket: return "'['";
+      case TokenKind::RBracket: return "']'";
+      case TokenKind::LParen: return "'('";
+      case TokenKind::RParen: return "')'";
+      case TokenKind::Semicolon: return "';'";
+      case TokenKind::Comma: return "','";
+      case TokenKind::Equals: return "'='";
+      case TokenKind::DotDot: return "'..'";
+      case TokenKind::Plus: return "'+'";
+      case TokenKind::Minus: return "'-'";
+      case TokenKind::Star: return "'*'";
+      case TokenKind::Slash: return "'/'";
+      case TokenKind::Percent: return "'%'";
+      case TokenKind::EndOfFile: return "end of file";
+      case TokenKind::Error: return "invalid token";
+    }
+    return "unknown";
+}
+
+namespace {
+
+const std::map<std::string_view, TokenKind> kKeywords = {
+    {"machine", TokenKind::KwMachine},
+    {"resource", TokenKind::KwResource},
+    {"let", TokenKind::KwLet},
+    {"ortree", TokenKind::KwOrTree},
+    {"for", TokenKind::KwFor},
+    {"in", TokenKind::KwIn},
+    {"option", TokenKind::KwOption},
+    {"use", TokenKind::KwUse},
+    {"at", TokenKind::KwAt},
+    {"table", TokenKind::KwTable},
+    {"and", TokenKind::KwAnd},
+    {"operation", TokenKind::KwOperation},
+    {"latency", TokenKind::KwLatency},
+    {"cascade", TokenKind::KwCascade},
+    {"note", TokenKind::KwNote},
+    {"bypass", TokenKind::KwBypass},
+};
+
+} // namespace
+
+Lexer::Lexer(std::string_view source, DiagnosticEngine &diags)
+    : source_(source), diags_(diags)
+{
+}
+
+std::vector<Token>
+Lexer::lexAll()
+{
+    std::vector<Token> tokens;
+    for (;;) {
+        Token t = next();
+        bool eof = t.kind == TokenKind::EndOfFile;
+        tokens.push_back(std::move(t));
+        if (eof)
+            break;
+    }
+    return tokens;
+}
+
+char
+Lexer::peek() const
+{
+    return atEnd() ? '\0' : source_[pos_];
+}
+
+char
+Lexer::peekAhead() const
+{
+    return pos_ + 1 < source_.size() ? source_[pos_ + 1] : '\0';
+}
+
+char
+Lexer::advance()
+{
+    char c = source_[pos_++];
+    if (c == '\n') {
+        ++line_;
+        column_ = 1;
+    } else {
+        ++column_;
+    }
+    return c;
+}
+
+bool
+Lexer::atEnd() const
+{
+    return pos_ >= source_.size();
+}
+
+SourceLocation
+Lexer::here() const
+{
+    return {line_, column_};
+}
+
+void
+Lexer::skipTrivia()
+{
+    for (;;) {
+        if (atEnd())
+            return;
+        char c = peek();
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+        } else if (c == '/' && peekAhead() == '/') {
+            while (!atEnd() && peek() != '\n')
+                advance();
+        } else if (c == '/' && peekAhead() == '*') {
+            SourceLocation start = here();
+            advance();
+            advance();
+            bool closed = false;
+            while (!atEnd()) {
+                if (peek() == '*' && peekAhead() == '/') {
+                    advance();
+                    advance();
+                    closed = true;
+                    break;
+                }
+                advance();
+            }
+            if (!closed)
+                diags_.error(start, "unterminated block comment");
+        } else {
+            return;
+        }
+    }
+}
+
+Token
+Lexer::next()
+{
+    skipTrivia();
+    Token t;
+    t.loc = here();
+    if (atEnd()) {
+        t.kind = TokenKind::EndOfFile;
+        return t;
+    }
+
+    char c = advance();
+    switch (c) {
+      case '{': t.kind = TokenKind::LBrace; return t;
+      case '}': t.kind = TokenKind::RBrace; return t;
+      case '[': t.kind = TokenKind::LBracket; return t;
+      case ']': t.kind = TokenKind::RBracket; return t;
+      case '(': t.kind = TokenKind::LParen; return t;
+      case ')': t.kind = TokenKind::RParen; return t;
+      case ';': t.kind = TokenKind::Semicolon; return t;
+      case ',': t.kind = TokenKind::Comma; return t;
+      case '=': t.kind = TokenKind::Equals; return t;
+      case '+': t.kind = TokenKind::Plus; return t;
+      case '-': t.kind = TokenKind::Minus; return t;
+      case '*': t.kind = TokenKind::Star; return t;
+      case '/': t.kind = TokenKind::Slash; return t;
+      case '%': t.kind = TokenKind::Percent; return t;
+      case '.':
+        if (peek() == '.') {
+            advance();
+            t.kind = TokenKind::DotDot;
+            return t;
+        }
+        diags_.error(t.loc, "unexpected '.'");
+        t.kind = TokenKind::Error;
+        return t;
+      case '"': {
+        std::string text;
+        while (!atEnd() && peek() != '"' && peek() != '\n')
+            text.push_back(advance());
+        if (atEnd() || peek() != '"') {
+            diags_.error(t.loc, "unterminated string literal");
+            t.kind = TokenKind::Error;
+            return t;
+        }
+        advance();
+        t.kind = TokenKind::String;
+        t.text = std::move(text);
+        return t;
+      }
+      default:
+        break;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+        int64_t value = c - '0';
+        bool overflow = false;
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+            value = value * 10 + (advance() - '0');
+            if (value > 1'000'000'000) {
+                overflow = true;
+                value = 1'000'000'000;
+            }
+        }
+        if (overflow)
+            diags_.error(t.loc, "integer literal too large");
+        t.kind = TokenKind::Integer;
+        t.value = value;
+        return t;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string text(1, c);
+        while (!atEnd() &&
+               (std::isalnum(static_cast<unsigned char>(peek())) ||
+                peek() == '_')) {
+            text.push_back(advance());
+        }
+        auto it = kKeywords.find(text);
+        if (it != kKeywords.end()) {
+            t.kind = it->second;
+        } else {
+            t.kind = TokenKind::Identifier;
+            t.text = std::move(text);
+        }
+        return t;
+    }
+
+    diags_.error(t.loc, std::string("unexpected character '") + c + "'");
+    t.kind = TokenKind::Error;
+    return t;
+}
+
+} // namespace mdes::hmdes

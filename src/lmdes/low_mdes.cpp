@@ -1,0 +1,149 @@
+#include "lmdes/low_mdes.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "support/diagnostics.h"
+
+namespace mdes::lmdes {
+
+LowMdes
+LowMdes::lower(const Mdes &m, const LowerOptions &opts)
+{
+    LowMdes low;
+    low.machine_name_ = m.name();
+    low.num_resources_ = m.numResources();
+    low.slot_words_ = std::max(1u, (m.numResources() + 63) / 64);
+    low.packed_ = opts.pack_bit_vector;
+    const int32_t words = int32_t(low.slot_words_);
+
+    // Options: one low record per core option (id-level sharing kept).
+    for (const auto &opt : m.options()) {
+        LowOption lo;
+        lo.first_check = uint32_t(low.checks_.size());
+        if (opts.pack_bit_vector) {
+            // Merge all usages in the same RU-map slot (same time and
+            // same 64-resource word) into one check, keeping the
+            // position of each slot's first appearance so the
+            // usage-sorting transformation's order survives packing.
+            for (const auto &u : opt.usages) {
+                int32_t slot =
+                    u.time * words + int32_t(u.resource / 64);
+                uint64_t bit = uint64_t(1) << (u.resource % 64);
+                bool merged = false;
+                for (uint32_t c = lo.first_check;
+                     c < low.checks_.size(); ++c) {
+                    if (low.checks_[c].slot == slot) {
+                        low.checks_[c].mask |= bit;
+                        merged = true;
+                        break;
+                    }
+                }
+                if (!merged)
+                    low.checks_.push_back({slot, bit});
+            }
+        } else {
+            for (const auto &u : opt.usages) {
+                int32_t slot =
+                    u.time * words + int32_t(u.resource / 64);
+                low.checks_.push_back(
+                    {slot, uint64_t(1) << (u.resource % 64)});
+            }
+        }
+        size_t n = low.checks_.size() - lo.first_check;
+        if (n > std::numeric_limits<uint16_t>::max())
+            throw MdesError("option with more than 65535 checks");
+        lo.num_checks = uint16_t(n);
+        low.options_.push_back(lo);
+    }
+
+    for (const auto &ot : m.orTrees()) {
+        LowOrTree lt;
+        lt.first_option_ref = uint32_t(low.option_refs_.size());
+        if (ot.options.size() > std::numeric_limits<uint16_t>::max())
+            throw MdesError("OR-tree with more than 65535 options");
+        lt.num_options = uint16_t(ot.options.size());
+        for (OptionId o : ot.options)
+            low.option_refs_.push_back(o);
+        low.or_trees_.push_back(lt);
+    }
+
+    for (const auto &t : m.trees()) {
+        LowTree lt;
+        lt.first_or_ref = uint32_t(low.or_refs_.size());
+        if (t.or_trees.size() > std::numeric_limits<uint16_t>::max())
+            throw MdesError("AND/OR-tree with more than 65535 subtrees");
+        lt.num_or_trees = uint16_t(t.or_trees.size());
+        for (OrTreeId ot : t.or_trees)
+            low.or_refs_.push_back(ot);
+        low.trees_.push_back(lt);
+    }
+
+    for (const auto &oc : m.opClasses()) {
+        LowOpClass lc;
+        lc.name = oc.name;
+        lc.tree = oc.tree;
+        lc.cascade_tree = oc.cascade_tree;
+        lc.latency = oc.latency;
+        lc.comment = oc.comment;
+        low.op_classes_.push_back(std::move(lc));
+    }
+    for (const auto &bp : m.bypasses())
+        low.bypasses_.push_back({bp.from, bp.to, bp.latency});
+    return low;
+}
+
+int32_t
+LowMdes::flowLatency(uint32_t producer, uint32_t consumer) const
+{
+    for (const auto &bp : bypasses_) {
+        if (bp.from == producer && bp.to == consumer)
+            return bp.latency;
+    }
+    return op_classes_[producer].latency;
+}
+
+uint32_t
+LowMdes::findOpClass(const std::string &name) const
+{
+    for (size_t i = 0; i < op_classes_.size(); ++i) {
+        if (op_classes_[i].name == name)
+            return uint32_t(i);
+    }
+    return kInvalidId;
+}
+
+uint64_t
+LowMdes::expandedOptionCount(uint32_t tree) const
+{
+    const LowTree &t = trees_[tree];
+    uint64_t product = 1;
+    for (uint32_t i = 0; i < t.num_or_trees; ++i)
+        product *= or_trees_[or_refs_[t.first_or_ref + i]].num_options;
+    return product;
+}
+
+uint64_t
+LowMdes::leafOptionCount(uint32_t tree) const
+{
+    const LowTree &t = trees_[tree];
+    uint64_t sum = 0;
+    for (uint32_t i = 0; i < t.num_or_trees; ++i)
+        sum += or_trees_[or_refs_[t.first_or_ref + i]].num_options;
+    return sum;
+}
+
+MemoryBreakdown
+LowMdes::memory() const
+{
+    MemoryBreakdown mem;
+    mem.check_bytes = checks_.size() * 8;
+    mem.option_bytes = options_.size() * 8;
+    mem.option_ref_bytes = option_refs_.size() * 4;
+    mem.or_tree_bytes = or_trees_.size() * 8;
+    mem.or_ref_bytes = or_refs_.size() * 4;
+    mem.tree_bytes = trees_.size() * 8;
+    return mem;
+}
+
+} // namespace mdes::lmdes

@@ -1,0 +1,198 @@
+#ifndef MDES_LMDES_LOW_MDES_H
+#define MDES_LMDES_LOW_MDES_H
+
+/**
+ * @file
+ * The low-level machine-description representation.
+ *
+ * This is what the compiler actually queries: flat, pointer-free arrays
+ * tuned for the resource-constraint check loop. Sharing established in
+ * the structured model (by the description writer or by the CSE
+ * transformation) is preserved: entities with the same core id share one
+ * low-level record.
+ *
+ * Check encoding (Section 6): every check is a (time, resource-set) pair
+ * occupying two words. In scalar encoding each resource usage is its own
+ * check; with bit-vector packing all of an option's usages in the same
+ * cycle merge into a single check word, so one AND against the RU map
+ * probes them all.
+ *
+ * Memory accounting model (documented in DESIGN.md §2.3): check entries
+ * and descriptors are 8 bytes, membership list entries 4 bytes. The
+ * absolute bytes differ from the paper's 1996 implementation; reduction
+ * percentages and cross-representation ratios are the reproduction
+ * target.
+ */
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/mdes.h"
+
+namespace mdes::lmdes {
+
+/**
+ * One resource-constraint probe.
+ *
+ * `slot` addresses the RU map in *slot* units: a machine with R resource
+ * instances packs them into slot_words() = ceil(R/64) words per cycle,
+ * and a usage at time t of a resource in word w probes slot
+ * t * slot_words + w. For machines with at most 64 instances (all four
+ * paper machines) slot_words is 1 and the slot equals the usage time.
+ */
+struct Check
+{
+    int32_t slot = 0;
+    uint64_t mask = 0;
+
+    bool operator==(const Check &) const = default;
+};
+
+/** A lowered reservation-table option: a slice of the check pool. */
+struct LowOption
+{
+    uint32_t first_check = 0;
+    uint16_t num_checks = 0;
+
+    bool operator==(const LowOption &) const = default;
+};
+
+/** A lowered OR-tree: a slice of the option-reference pool. */
+struct LowOrTree
+{
+    uint32_t first_option_ref = 0;
+    uint16_t num_options = 0;
+
+    bool operator==(const LowOrTree &) const = default;
+};
+
+/** A lowered AND/OR-tree: a slice of the OR-tree-reference pool. */
+struct LowTree
+{
+    uint32_t first_or_ref = 0;
+    uint16_t num_or_trees = 0;
+
+    bool operator==(const LowTree &) const = default;
+};
+
+/** A lowered forwarding path (see core Bypass). */
+struct LowBypass
+{
+    uint32_t from = kInvalidId;
+    uint32_t to = kInvalidId;
+    int32_t latency = 0;
+
+    bool operator==(const LowBypass &) const = default;
+};
+
+/** A lowered operation class. */
+struct LowOpClass
+{
+    std::string name;
+    uint32_t tree = kInvalidId;
+    uint32_t cascade_tree = kInvalidId;
+    int32_t latency = 1;
+    std::string comment;
+
+    bool operator==(const LowOpClass &) const = default;
+};
+
+/** Byte accounting of the resource-constraint representation. */
+struct MemoryBreakdown
+{
+    size_t check_bytes = 0;
+    size_t option_bytes = 0;
+    size_t option_ref_bytes = 0;
+    size_t or_tree_bytes = 0;
+    size_t or_ref_bytes = 0;
+    size_t tree_bytes = 0;
+
+    size_t
+    total() const
+    {
+        return check_bytes + option_bytes + option_ref_bytes +
+               or_tree_bytes + or_ref_bytes + tree_bytes;
+    }
+};
+
+/** Lowering controls. */
+struct LowerOptions
+{
+    /** Pack one cycle's usages per option into a single check word. */
+    bool pack_bit_vector = false;
+};
+
+/**
+ * The packed low-level MDES. Construct via lower(); query from the
+ * constraint checker and the scheduler.
+ */
+class LowMdes
+{
+  public:
+    /** Lower the structured model @p m. Machines wider than 64 resource
+     * instances use several RU-map words per cycle (see Check::slot). */
+    static LowMdes lower(const Mdes &m, const LowerOptions &opts = {});
+
+    const std::string &machineName() const { return machine_name_; }
+    uint32_t numResources() const { return num_resources_; }
+    /** RU-map words per cycle: ceil(numResources / 64). */
+    uint32_t slotWords() const { return slot_words_; }
+    bool packed() const { return packed_; }
+
+    const std::vector<Check> &checks() const { return checks_; }
+    const std::vector<LowOption> &options() const { return options_; }
+    const std::vector<uint32_t> &optionRefs() const { return option_refs_; }
+    const std::vector<LowOrTree> &orTrees() const { return or_trees_; }
+    const std::vector<uint32_t> &orRefs() const { return or_refs_; }
+    const std::vector<LowTree> &trees() const { return trees_; }
+    const std::vector<LowOpClass> &opClasses() const { return op_classes_; }
+    const std::vector<LowBypass> &bypasses() const { return bypasses_; }
+
+    /**
+     * Effective flow latency when @p consumer directly consumes
+     * @p producer's result: the bypass latency when a forwarding path is
+     * declared, else the producer's nominal latency.
+     */
+    int32_t flowLatency(uint32_t producer, uint32_t consumer) const;
+
+    /** Find an operation class by name; kInvalidId if absent. */
+    uint32_t findOpClass(const std::string &name) const;
+
+    /** Number of options the flat OR-tree form of @p tree would have
+     * (product of subtree option counts). */
+    uint64_t expandedOptionCount(uint32_t tree) const;
+
+    /** Sum of option counts across @p tree's OR subtrees. */
+    uint64_t leafOptionCount(uint32_t tree) const;
+
+    /** Byte accounting under the documented model. */
+    MemoryBreakdown memory() const;
+
+    /** Serialize to a binary stream. */
+    void save(std::ostream &os) const;
+
+    /** Deserialize; throws MdesError on malformed input. */
+    static LowMdes load(std::istream &is);
+
+    bool operator==(const LowMdes &) const = default;
+
+  private:
+    std::string machine_name_;
+    uint32_t num_resources_ = 0;
+    uint32_t slot_words_ = 1;
+    bool packed_ = false;
+    std::vector<Check> checks_;
+    std::vector<LowOption> options_;
+    std::vector<uint32_t> option_refs_;
+    std::vector<LowOrTree> or_trees_;
+    std::vector<uint32_t> or_refs_;
+    std::vector<LowTree> trees_;
+    std::vector<LowOpClass> op_classes_;
+    std::vector<LowBypass> bypasses_;
+};
+
+} // namespace mdes::lmdes
+
+#endif // MDES_LMDES_LOW_MDES_H

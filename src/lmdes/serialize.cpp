@@ -1,0 +1,192 @@
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "lmdes/low_mdes.h"
+#include "support/diagnostics.h"
+
+/**
+ * @file
+ * Binary serialization of the low-level representation, so a translated
+ * and optimized MDES can be shipped to and loaded by the compiler without
+ * reparsing or reoptimizing (the paper's "minimize the time required to
+ * load the MDES into memory").
+ *
+ * Format: magic "LMDS", version u32, then length-prefixed sections. All
+ * integers little-endian as written by the host (the format is meant for
+ * same-host caching, not interchange).
+ */
+
+namespace mdes::lmdes {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'M', 'D', 'S'};
+constexpr uint32_t kVersion = 3;
+
+void
+writeU32(std::ostream &os, uint32_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeStr(std::ostream &os, const std::string &s)
+{
+    writeU32(os, uint32_t(s.size()));
+    os.write(s.data(), std::streamsize(s.size()));
+}
+
+template <typename T>
+void
+writePod(std::ostream &os, const std::vector<T> &v)
+{
+    writeU32(os, uint32_t(v.size()));
+    os.write(reinterpret_cast<const char *>(v.data()),
+             std::streamsize(v.size() * sizeof(T)));
+}
+
+uint32_t
+readU32(std::istream &is)
+{
+    uint32_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!is)
+        throw MdesError("truncated LMDES stream");
+    return v;
+}
+
+std::string
+readStr(std::istream &is)
+{
+    uint32_t n = readU32(is);
+    if (n > (1u << 20))
+        throw MdesError("implausible string length in LMDES stream");
+    std::string s(n, '\0');
+    is.read(s.data(), std::streamsize(n));
+    if (!is)
+        throw MdesError("truncated LMDES stream");
+    return s;
+}
+
+template <typename T>
+std::vector<T>
+readPod(std::istream &is)
+{
+    uint32_t n = readU32(is);
+    if (n > (1u << 26))
+        throw MdesError("implausible section length in LMDES stream");
+    std::vector<T> v(n);
+    is.read(reinterpret_cast<char *>(v.data()),
+            std::streamsize(size_t(n) * sizeof(T)));
+    if (!is)
+        throw MdesError("truncated LMDES stream");
+    return v;
+}
+
+} // namespace
+
+void
+LowMdes::save(std::ostream &os) const
+{
+    os.write(kMagic, 4);
+    writeU32(os, kVersion);
+    writeStr(os, machine_name_);
+    writeU32(os, num_resources_);
+    writeU32(os, slot_words_);
+    writeU32(os, packed_ ? 1 : 0);
+    writePod(os, checks_);
+    writePod(os, options_);
+    writePod(os, option_refs_);
+    writePod(os, or_trees_);
+    writePod(os, or_refs_);
+    writePod(os, trees_);
+    writeU32(os, uint32_t(op_classes_.size()));
+    for (const auto &oc : op_classes_) {
+        writeStr(os, oc.name);
+        writeU32(os, oc.tree);
+        writeU32(os, oc.cascade_tree);
+        writeU32(os, uint32_t(oc.latency));
+        writeStr(os, oc.comment);
+    }
+    writePod(os, bypasses_);
+}
+
+LowMdes
+LowMdes::load(std::istream &is)
+{
+    char magic[4] = {};
+    is.read(magic, 4);
+    if (!is || std::memcmp(magic, kMagic, 4) != 0)
+        throw MdesError("not an LMDES stream (bad magic)");
+    uint32_t version = readU32(is);
+    if (version != kVersion)
+        throw MdesError("unsupported LMDES version " +
+                        std::to_string(version));
+
+    LowMdes low;
+    low.machine_name_ = readStr(is);
+    low.num_resources_ = readU32(is);
+    low.slot_words_ = readU32(is);
+    if (low.slot_words_ == 0 || low.slot_words_ > 64)
+        throw MdesError("implausible slot_words in LMDES stream");
+    low.packed_ = readU32(is) != 0;
+    low.checks_ = readPod<Check>(is);
+    low.options_ = readPod<LowOption>(is);
+    low.option_refs_ = readPod<uint32_t>(is);
+    low.or_trees_ = readPod<LowOrTree>(is);
+    low.or_refs_ = readPod<uint32_t>(is);
+    low.trees_ = readPod<LowTree>(is);
+    uint32_t num_classes = readU32(is);
+    if (num_classes > (1u << 20))
+        throw MdesError("implausible operation-class count");
+    for (uint32_t i = 0; i < num_classes; ++i) {
+        LowOpClass oc;
+        oc.name = readStr(is);
+        oc.tree = readU32(is);
+        oc.cascade_tree = readU32(is);
+        oc.latency = int32_t(readU32(is));
+        oc.comment = readStr(is);
+        low.op_classes_.push_back(std::move(oc));
+    }
+    low.bypasses_ = readPod<LowBypass>(is);
+
+    // Validate every reference so a corrupt stream cannot cause
+    // out-of-range indexing later.
+    for (const auto &o : low.options_) {
+        if (size_t(o.first_check) + o.num_checks > low.checks_.size())
+            throw MdesError("LMDES option references bad check range");
+    }
+    for (const auto &t : low.or_trees_) {
+        if (size_t(t.first_option_ref) + t.num_options >
+            low.option_refs_.size())
+            throw MdesError("LMDES OR-tree references bad option range");
+    }
+    for (uint32_t r : low.option_refs_) {
+        if (r >= low.options_.size())
+            throw MdesError("LMDES option reference out of range");
+    }
+    for (const auto &t : low.trees_) {
+        if (size_t(t.first_or_ref) + t.num_or_trees > low.or_refs_.size())
+            throw MdesError("LMDES tree references bad OR range");
+    }
+    for (uint32_t r : low.or_refs_) {
+        if (r >= low.or_trees_.size())
+            throw MdesError("LMDES OR reference out of range");
+    }
+    for (const auto &oc : low.op_classes_) {
+        if (oc.tree >= low.trees_.size())
+            throw MdesError("LMDES op class references bad tree");
+        if (oc.cascade_tree != kInvalidId &&
+            oc.cascade_tree >= low.trees_.size())
+            throw MdesError("LMDES op class references bad cascade tree");
+    }
+    for (const auto &bp : low.bypasses_) {
+        if (bp.from >= low.op_classes_.size() ||
+            bp.to >= low.op_classes_.size())
+            throw MdesError("LMDES bypass references bad operation");
+    }
+    return low;
+}
+
+} // namespace mdes::lmdes

@@ -1,0 +1,35 @@
+#include "machines/machines.h"
+
+namespace mdes::machines {
+
+std::vector<const MachineInfo *>
+all()
+{
+    // The four machines the paper evaluates, in its table order. The
+    // forward-looking PentiumPro extension is exposed separately via
+    // pentiumPro()/byName() so the Table 1-15 reproductions keep the
+    // paper's exact machine set.
+    return {&pa7100(), &pentium(), &superSparc(), &k5()};
+}
+
+std::vector<const MachineInfo *>
+extensions()
+{
+    return {&pentiumPro(), &pa8000()};
+}
+
+const MachineInfo *
+byName(const std::string &name)
+{
+    for (const MachineInfo *m : all()) {
+        if (m->name == name)
+            return m;
+    }
+    for (const MachineInfo *m : extensions()) {
+        if (m->name == name)
+            return m;
+    }
+    return nullptr;
+}
+
+} // namespace mdes::machines

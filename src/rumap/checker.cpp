@@ -1,0 +1,143 @@
+#include "rumap/checker.h"
+
+namespace mdes::rumap {
+
+void
+CheckStats::merge(const CheckStats &other)
+{
+    attempts += other.attempts;
+    successes += other.successes;
+    options_checked += other.options_checked;
+    resource_checks += other.resource_checks;
+    options_per_attempt.merge(other.options_per_attempt);
+    options_per_success.merge(other.options_per_success);
+    if (other.attempts_per_tree.size() > attempts_per_tree.size())
+        attempts_per_tree.resize(other.attempts_per_tree.size(), 0);
+    for (size_t i = 0; i < other.attempts_per_tree.size(); ++i)
+        attempts_per_tree[i] += other.attempts_per_tree[i];
+}
+
+bool
+Checker::pendingConflict(int32_t cycle, uint64_t mask) const
+{
+    for (const auto &p : pending_) {
+        if (p.cycle == cycle && (p.mask & mask) != 0)
+            return true;
+    }
+    return false;
+}
+
+bool
+Checker::tryReserve(uint32_t tree, int32_t cycle, RuMap &ru,
+                    CheckStats &stats,
+                    std::vector<uint32_t> *chosen_options,
+                    std::vector<Reservation> *reserved)
+{
+    // Issue cycle in RU-map slot units (slotWords() words per cycle).
+    const int32_t base = cycle * int32_t(low_.slotWords());
+    ++stats.attempts;
+    if (stats.attempts_per_tree.size() <= tree)
+        stats.attempts_per_tree.resize(tree + 1, 0);
+    ++stats.attempts_per_tree[tree];
+    if (chosen_options)
+        chosen_options->clear();
+    pending_.clear();
+
+    uint64_t options_this_attempt = 0;
+    const lmdes::LowTree &t = low_.trees()[tree];
+    bool all_satisfied = true;
+
+    for (uint32_t s = 0; s < t.num_or_trees && all_satisfied; ++s) {
+        const lmdes::LowOrTree &ot =
+            low_.orTrees()[low_.orRefs()[t.first_or_ref + s]];
+        bool found = false;
+        for (uint32_t oi = 0; oi < ot.num_options && !found; ++oi) {
+            uint32_t opt_id =
+                low_.optionRefs()[ot.first_option_ref + oi];
+            const lmdes::LowOption &opt = low_.options()[opt_id];
+            ++options_this_attempt;
+
+            bool fits = true;
+            for (uint32_t c = 0; c < opt.num_checks; ++c) {
+                const lmdes::Check &check =
+                    low_.checks()[opt.first_check + c];
+                ++stats.resource_checks;
+                int32_t at = ru.normalize(base + check.slot);
+                if (!ru.available(at, check.mask) ||
+                    pendingConflict(at, check.mask)) {
+                    fits = false;
+                    break;
+                }
+            }
+            if (fits) {
+                found = true;
+                for (uint32_t c = 0; c < opt.num_checks; ++c) {
+                    const lmdes::Check &check =
+                        low_.checks()[opt.first_check + c];
+                    pending_.push_back(
+                        {ru.normalize(base + check.slot), check.mask});
+                }
+                if (chosen_options)
+                    chosen_options->push_back(opt_id);
+            }
+        }
+        all_satisfied = found;
+    }
+
+    stats.options_checked += options_this_attempt;
+    stats.options_per_attempt.add(options_this_attempt);
+    if (!all_satisfied)
+        return false;
+
+    ++stats.successes;
+    stats.options_per_success.add(options_this_attempt);
+    for (const auto &p : pending_) {
+        ru.reserve(p.cycle, p.mask);
+        if (reserved)
+            reserved->push_back({p.cycle, p.mask});
+    }
+    return true;
+}
+
+bool
+Checker::wouldFit(uint32_t tree, int32_t cycle, const RuMap &ru)
+{
+    const int32_t base = cycle * int32_t(low_.slotWords());
+    pending_.clear();
+    const lmdes::LowTree &t = low_.trees()[tree];
+    for (uint32_t s = 0; s < t.num_or_trees; ++s) {
+        const lmdes::LowOrTree &ot =
+            low_.orTrees()[low_.orRefs()[t.first_or_ref + s]];
+        bool found = false;
+        for (uint32_t oi = 0; oi < ot.num_options && !found; ++oi) {
+            const lmdes::LowOption &opt =
+                low_.options()[low_.optionRefs()[ot.first_option_ref +
+                                                 oi]];
+            bool fits = true;
+            for (uint32_t c = 0; c < opt.num_checks; ++c) {
+                const lmdes::Check &check =
+                    low_.checks()[opt.first_check + c];
+                int32_t at = ru.normalize(base + check.slot);
+                if (!ru.available(at, check.mask) ||
+                    pendingConflict(at, check.mask)) {
+                    fits = false;
+                    break;
+                }
+            }
+            if (fits) {
+                found = true;
+                for (uint32_t c = 0; c < opt.num_checks; ++c) {
+                    const lmdes::Check &check =
+                        low_.checks()[opt.first_check + c];
+                    pending_.push_back(
+                        {ru.normalize(base + check.slot), check.mask});
+                }
+            }
+        }
+        if (!found)
+            return false;
+    }
+    return true;
+}
+
+} // namespace mdes::rumap

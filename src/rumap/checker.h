@@ -1,0 +1,122 @@
+#ifndef MDES_RUMAP_CHECKER_H
+#define MDES_RUMAP_CHECKER_H
+
+/**
+ * @file
+ * The resource-constraint checker.
+ *
+ * One algorithm serves both representations: an AND/OR-tree is processed
+ * as an outer loop over its OR subtrees around the classic OR-tree check
+ * (exactly the implementation the paper describes in Section 3), and the
+ * traditional OR-tree representation is the one-subtree special case.
+ *
+ * Short-circuiting: within an option, probing stops at the first busy
+ * usage; within an OR subtree, at the first available option; across the
+ * AND level, at the first subtree with no available option.
+ *
+ * Statistics mirror the paper's metrics: scheduling attempts, options
+ * checked per attempt, and resource checks (RU-map probes) per attempt.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "lmdes/low_mdes.h"
+#include "rumap/ru_map.h"
+#include "support/histogram.h"
+
+namespace mdes::rumap {
+
+/** One reservation made by a successful attempt (map-normalized). */
+struct Reservation
+{
+    int32_t cycle;
+    uint64_t mask;
+};
+
+/** Counters accumulated across scheduling attempts. */
+struct CheckStats
+{
+    uint64_t attempts = 0;
+    uint64_t successes = 0;
+    uint64_t options_checked = 0;
+    uint64_t resource_checks = 0;
+
+    /** Options checked in each attempt (the paper's Figure 2 series). */
+    Histogram options_per_attempt;
+    /** Options checked per *successful* attempt. */
+    Histogram options_per_success;
+    /** Scheduling attempts per AND/OR-tree (for the option-count
+     * breakdowns of Tables 1-4); sized on first use. */
+    std::vector<uint64_t> attempts_per_tree;
+
+    double
+    avgOptionsPerAttempt() const
+    {
+        return attempts ? double(options_checked) / double(attempts) : 0;
+    }
+    double
+    avgChecksPerAttempt() const
+    {
+        return attempts ? double(resource_checks) / double(attempts) : 0;
+    }
+
+    void merge(const CheckStats &other);
+};
+
+/**
+ * Checks and reserves resource constraints against an RU map.
+ *
+ * The checker accumulates the chosen options' probes during an attempt
+ * and tests later subtrees against them as well as the RU map, so the
+ * AND/OR evaluation stays exact even for descriptions whose subtrees
+ * share resources (the four shipped machines keep subtrees disjoint, in
+ * which case this has no effect on results).
+ */
+class Checker
+{
+  public:
+    explicit Checker(const lmdes::LowMdes &low) : low_(low) {}
+
+    /**
+     * One scheduling attempt: try to place an operation using AND/OR-tree
+     * @p tree with issue cycle @p cycle. On success the resources of the
+     * chosen options are reserved in @p ru.
+     *
+     * @param chosen_options when non-null, receives the option id chosen
+     *        for each OR subtree (in subtree order) on success.
+     * @param reserved when non-null, receives the reservations made on
+     *        success (for later release() - modulo-scheduling
+     *        unscheduling).
+     * @return true when the operation was placed.
+     */
+    bool tryReserve(uint32_t tree, int32_t cycle, RuMap &ru,
+                    CheckStats &stats,
+                    std::vector<uint32_t> *chosen_options = nullptr,
+                    std::vector<Reservation> *reserved = nullptr);
+
+    /**
+     * Probe-only variant: like tryReserve() but never reserves, and
+     * records no statistics. Used by schedule-validation replay.
+     */
+    bool wouldFit(uint32_t tree, int32_t cycle, const RuMap &ru);
+
+    const lmdes::LowMdes &low() const { return low_; }
+
+  private:
+    struct PendingCheck
+    {
+        int32_t cycle;
+        uint64_t mask;
+    };
+
+    bool pendingConflict(int32_t cycle, uint64_t mask) const;
+
+    const lmdes::LowMdes &low_;
+    /** Probes of options already chosen in the current attempt. */
+    std::vector<PendingCheck> pending_;
+};
+
+} // namespace mdes::rumap
+
+#endif // MDES_RUMAP_CHECKER_H

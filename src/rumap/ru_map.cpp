@@ -1,0 +1,26 @@
+#include "rumap/ru_map.h"
+
+namespace mdes::rumap {
+
+void
+RuMap::ensure(int32_t cycle)
+{
+    if (words_.empty()) {
+        base_ = cycle;
+        words_.assign(16, 0);
+        return;
+    }
+    if (cycle < base_) {
+        // Grow downward with slack so repeated negative-time reservations
+        // do not keep shifting the buffer.
+        size_t extra = size_t(base_ - cycle) + 16;
+        words_.insert(words_.begin(), extra, 0);
+        base_ -= int32_t(extra);
+    } else if (size_t(cycle - base_) >= words_.size()) {
+        size_t needed = size_t(cycle - base_) + 1;
+        size_t grown = words_.size() * 2;
+        words_.resize(needed > grown ? needed + 16 : grown, 0);
+    }
+}
+
+} // namespace mdes::rumap

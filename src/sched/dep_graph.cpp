@@ -1,0 +1,93 @@
+#include "sched/dep_graph.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mdes::sched {
+
+DepGraph
+DepGraph::build(const Block &block, const lmdes::LowMdes &low)
+{
+    DepGraph g;
+    const size_t n = block.instrs.size();
+    g.pred_edges_.resize(n);
+    g.succ_edges_.resize(n);
+
+    auto addEdge = [&](uint32_t pred, uint32_t succ, int32_t dist,
+                       bool relax) {
+        // An instruction never depends on itself (e.g. a double write to
+        // one register, or reading a register it also writes).
+        if (pred == succ)
+            return;
+        // Keep only the strongest edge per (pred, succ) pair; a
+        // non-relaxable edge dominates a relaxable one of equal length.
+        for (uint32_t e : g.succ_edges_[pred]) {
+            DepEdge &edge = g.edges_[e];
+            if (edge.succ == succ) {
+                if (dist > edge.min_dist) {
+                    edge.min_dist = dist;
+                    edge.cascade_relax = relax;
+                } else if (dist == edge.min_dist && !relax) {
+                    edge.cascade_relax = false;
+                }
+                return;
+            }
+        }
+        g.edges_.push_back({pred, succ, dist, relax});
+        uint32_t idx = uint32_t(g.edges_.size() - 1);
+        g.succ_edges_[pred].push_back(idx);
+        g.pred_edges_[succ].push_back(idx);
+    };
+
+    // Last writer and readers-since-last-write per register.
+    std::map<int32_t, uint32_t> last_writer;
+    std::map<int32_t, std::vector<uint32_t>> readers;
+
+    for (uint32_t i = 0; i < n; ++i) {
+        const Instr &in = block.instrs[i];
+        for (int32_t r : in.srcs) {
+            auto w = last_writer.find(r);
+            if (w != last_writer.end()) {
+                const Instr &producer = block.instrs[w->second];
+                int32_t lat =
+                    low.flowLatency(producer.op_class, in.op_class);
+                bool relax = in.cascadable && lat == 1;
+                addEdge(w->second, i, lat, relax);
+            }
+            readers[r].push_back(i);
+        }
+        for (int32_t r : in.dsts) {
+            auto w = last_writer.find(r);
+            if (w != last_writer.end())
+                addEdge(w->second, i, 1, false); // WAW
+            for (uint32_t reader : readers[r]) {
+                if (reader != i)
+                    addEdge(reader, i, 0, false); // WAR
+            }
+            readers[r].clear();
+            last_writer[r] = i;
+        }
+    }
+
+    // Control: the terminating branch issues no earlier than anything.
+    if (n > 0 && block.instrs[n - 1].is_branch) {
+        for (uint32_t i = 0; i + 1 < n; ++i)
+            addEdge(i, uint32_t(n - 1), 0, false);
+    }
+
+    // Critical-path priorities, computed backwards (the IR is a DAG in
+    // program order, so a reverse scan sees all successors first).
+    g.priorities_.assign(n, 0);
+    for (size_t i = n; i > 0; --i) {
+        uint32_t u = uint32_t(i - 1);
+        int32_t h = low.opClasses()[block.instrs[u].op_class].latency;
+        for (uint32_t e : g.succ_edges_[u]) {
+            const DepEdge &edge = g.edges_[e];
+            h = std::max(h, edge.min_dist + g.priorities_[edge.succ]);
+        }
+        g.priorities_[u] = h;
+    }
+    return g;
+}
+
+} // namespace mdes::sched

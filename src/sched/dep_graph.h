@@ -1,0 +1,77 @@
+#ifndef MDES_SCHED_DEP_GRAPH_H
+#define MDES_SCHED_DEP_GRAPH_H
+
+/**
+ * @file
+ * Dependence-graph construction for one basic block.
+ *
+ * Edges:
+ *  - RAW (flow): consumer no earlier than producer + producer latency.
+ *    When the consumer is cascadable and the producer is a single-cycle
+ *    operation, the edge may *relax to distance zero* provided the
+ *    consumer is scheduled with its cascade reservation table (the
+ *    SuperSPARC's cascaded-IALU feature; the paper selects the table
+ *    "based on an operation's incoming dependence distances").
+ *  - WAR (anti): writer no earlier than reader (distance 0).
+ *  - WAW (output): writer no earlier than previous writer + 1.
+ *  - Control: a block-terminating branch is kept last (distance 0 from
+ *    every other operation).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "lmdes/low_mdes.h"
+#include "sched/ir.h"
+
+namespace mdes::sched {
+
+/** One dependence edge. */
+struct DepEdge
+{
+    uint32_t pred = 0;
+    uint32_t succ = 0;
+    /** Minimum scheduled-cycle distance succ - pred. */
+    int32_t min_dist = 0;
+    /** RAW edge that shrinks to 0 when the successor cascades. */
+    bool cascade_relax = false;
+};
+
+/** The dependence graph of one basic block. */
+class DepGraph
+{
+  public:
+    /** Build the graph for @p block using latencies from @p low. */
+    static DepGraph build(const Block &block, const lmdes::LowMdes &low);
+
+    const std::vector<DepEdge> &edges() const { return edges_; }
+
+    /** Edge indices entering each instruction. */
+    const std::vector<std::vector<uint32_t>> &predEdges() const
+    {
+        return pred_edges_;
+    }
+
+    /** Edge indices leaving each instruction. */
+    const std::vector<std::vector<uint32_t>> &succEdges() const
+    {
+        return succ_edges_;
+    }
+
+    /**
+     * Critical-path priority of each instruction: the longest distance
+     * (by min_dist, plus the op's own latency at the leaves) to any
+     * graph sink. Higher schedules first.
+     */
+    const std::vector<int32_t> &priorities() const { return priorities_; }
+
+  private:
+    std::vector<DepEdge> edges_;
+    std::vector<std::vector<uint32_t>> pred_edges_;
+    std::vector<std::vector<uint32_t>> succ_edges_;
+    std::vector<int32_t> priorities_;
+};
+
+} // namespace mdes::sched
+
+#endif // MDES_SCHED_DEP_GRAPH_H

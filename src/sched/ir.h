@@ -1,0 +1,61 @@
+#ifndef MDES_SCHED_IR_H
+#define MDES_SCHED_IR_H
+
+/**
+ * @file
+ * The minimal compiler IR the scheduler operates on: operations with
+ * register operands grouped into basic blocks. This is the substrate
+ * standing in for the paper's per-platform SPEC CINT92 assembly (see
+ * DESIGN.md §2.5): resource-constraint checking only cares about each
+ * operation's class (reservation alternatives + latency) and its
+ * dependences, both of which this IR carries.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace mdes::sched {
+
+/** One operation instance in a basic block. */
+struct Instr
+{
+    /** Index into the LowMdes operation-class table. */
+    uint32_t op_class = 0;
+    /** Registers read. */
+    std::vector<int32_t> srcs;
+    /** Registers written. */
+    std::vector<int32_t> dsts;
+    /**
+     * May use its class's cascade reservation table to execute in the
+     * same cycle as a flow-dependent producer (SuperSPARC cascaded IALU).
+     */
+    bool cascadable = false;
+    /** Block-terminating branch: must not be scheduled before any other
+     * operation of the block completes issue ordering constraints. */
+    bool is_branch = false;
+};
+
+/** A basic block: the unit of local list scheduling. */
+struct Block
+{
+    std::vector<Instr> instrs;
+};
+
+/** A whole synthetic program. */
+struct Program
+{
+    std::vector<Block> blocks;
+
+    size_t
+    numOps() const
+    {
+        size_t n = 0;
+        for (const auto &b : blocks)
+            n += b.instrs.size();
+        return n;
+    }
+};
+
+} // namespace mdes::sched
+
+#endif // MDES_SCHED_IR_H

@@ -1,0 +1,105 @@
+#include "sched/list_scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/diagnostics.h"
+
+namespace mdes::sched {
+
+BlockSchedule
+ListScheduler::scheduleBlock(const Block &block, SchedStats &stats)
+{
+    const size_t n = block.instrs.size();
+    BlockSchedule sched;
+    sched.cycles.assign(n, -1);
+    sched.used_cascade.assign(n, 0);
+    if (n == 0)
+        return sched;
+
+    DepGraph graph = DepGraph::build(block, low_);
+    rumap::RuMap ru;
+
+    // Instruction order for the ready list: critical path first, then
+    // source order (deterministic across representations/transforms).
+    std::vector<uint32_t> order(n);
+    for (uint32_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return graph.priorities()[a] >
+                                graph.priorities()[b];
+                     });
+
+    std::vector<uint32_t> unscheduled_preds(n, 0);
+    for (const auto &e : graph.edges())
+        ++unscheduled_preds[e.succ];
+
+    size_t remaining = n;
+    // Generous safety bound: every op needs at least one cycle, plus
+    // dependence spans bounded by per-op latency sums.
+    int64_t cycle_bound = 64;
+    for (const auto &in : block.instrs)
+        cycle_bound += 2 + low_.opClasses()[in.op_class].latency;
+
+    for (int32_t cycle = 0; remaining > 0; ++cycle) {
+        if (cycle > cycle_bound) {
+            throw MdesError(
+                "list scheduler exceeded cycle bound; the machine "
+                "description cannot issue some operation");
+        }
+        for (uint32_t u : order) {
+            if (sched.cycles[u] >= 0 || unscheduled_preds[u] > 0)
+                continue;
+            const Instr &in = block.instrs[u];
+            const lmdes::LowOpClass &cls = low_.opClasses()[in.op_class];
+
+            // Earliest cycle with all dependences honored, and the
+            // earlier cycle reachable by cascading relaxable RAW edges.
+            int32_t normal_ready = 0;
+            int32_t cascade_ready = 0;
+            for (uint32_t e : graph.predEdges()[u]) {
+                const DepEdge &edge = graph.edges()[e];
+                int32_t at = sched.cycles[edge.pred] + edge.min_dist;
+                normal_ready = std::max(normal_ready, at);
+                int32_t relaxed = edge.cascade_relax
+                                      ? sched.cycles[edge.pred]
+                                      : at;
+                cascade_ready = std::max(cascade_ready, relaxed);
+            }
+
+            bool can_cascade = in.cascadable &&
+                               cls.cascade_tree != kInvalidId;
+            if (cycle < (can_cascade ? cascade_ready : normal_ready))
+                continue;
+            bool use_cascade = can_cascade && cycle < normal_ready;
+            uint32_t tree = use_cascade ? cls.cascade_tree : cls.tree;
+
+            if (checker_.tryReserve(tree, cycle, ru, stats.checks)) {
+                sched.cycles[u] = cycle;
+                sched.used_cascade[u] = use_cascade ? 1 : 0;
+                sched.length = std::max(sched.length, cycle + 1);
+                sched.issue_order.push_back(u);
+                --remaining;
+                for (uint32_t e : graph.succEdges()[u])
+                    --unscheduled_preds[graph.edges()[e].succ];
+            }
+        }
+    }
+
+    stats.ops_scheduled += n;
+    stats.total_schedule_length += uint64_t(sched.length);
+    return sched;
+}
+
+std::vector<BlockSchedule>
+ListScheduler::scheduleProgram(const Program &program, SchedStats &stats)
+{
+    std::vector<BlockSchedule> schedules;
+    schedules.reserve(program.blocks.size());
+    for (const auto &block : program.blocks)
+        schedules.push_back(scheduleBlock(block, stats));
+    return schedules;
+}
+
+} // namespace mdes::sched

@@ -1,0 +1,88 @@
+#ifndef MDES_SCHED_LIST_SCHEDULER_H
+#define MDES_SCHED_LIST_SCHEDULER_H
+
+/**
+ * @file
+ * The MDES-driven, multi-platform forward list scheduler.
+ *
+ * The scheduler never hard-codes machine behavior: all execution
+ * constraints come from the low-level MDES via the constraint checker,
+ * which is exactly the paper's experimental setup (a generic list
+ * scheduler driven by per-machine descriptions). Each TrySchedule of one
+ * operation at one cycle is one *scheduling attempt*; the checker
+ * tallies attempts, options checked, and resource checks.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "lmdes/low_mdes.h"
+#include "rumap/checker.h"
+#include "sched/dep_graph.h"
+#include "sched/ir.h"
+
+namespace mdes::sched {
+
+/** The schedule of one basic block. */
+struct BlockSchedule
+{
+    /** Issue cycle per instruction. */
+    std::vector<int32_t> cycles;
+    /** Whether each instruction used its cascade reservation table. */
+    std::vector<uint8_t> used_cascade;
+    /** Schedule length (one past the last issue cycle). */
+    int32_t length = 0;
+    /**
+     * Instructions in the order their reservations were made. Schedule
+     * validation replays reservations in this order so the checker's
+     * greedy option choices match the scheduler's; left empty, replay
+     * uses (cycle, critical-path priority) order.
+     */
+    std::vector<uint32_t> issue_order;
+
+    bool operator==(const BlockSchedule &) const = default;
+};
+
+/** Aggregated scheduling results and statistics. */
+struct SchedStats
+{
+    uint64_t ops_scheduled = 0;
+    uint64_t total_schedule_length = 0;
+    rumap::CheckStats checks;
+
+    double
+    avgAttemptsPerOp() const
+    {
+        return ops_scheduled
+                   ? double(checks.attempts) / double(ops_scheduled)
+                   : 0;
+    }
+};
+
+/** Forward cycle-driven list scheduler. */
+class ListScheduler
+{
+  public:
+    explicit ListScheduler(const lmdes::LowMdes &low)
+        : low_(low), checker_(low)
+    {
+    }
+
+    /**
+     * Schedule one basic block with a fresh RU map, accumulating
+     * statistics into @p stats.
+     */
+    BlockSchedule scheduleBlock(const Block &block, SchedStats &stats);
+
+    /** Schedule every block of @p program; returns per-block schedules. */
+    std::vector<BlockSchedule> scheduleProgram(const Program &program,
+                                               SchedStats &stats);
+
+  private:
+    const lmdes::LowMdes &low_;
+    rumap::Checker checker_;
+};
+
+} // namespace mdes::sched
+
+#endif // MDES_SCHED_LIST_SCHEDULER_H

@@ -1,0 +1,93 @@
+#include "sched/pressure.h"
+
+#include <algorithm>
+
+namespace mdes::sched {
+
+namespace {
+
+/** Add one operation class's guaranteed demand into @p demand. */
+void
+addDemand(const lmdes::LowMdes &low, uint32_t op_class,
+          std::vector<double> &demand)
+{
+    const auto &cls = low.opClasses()[op_class];
+    const lmdes::LowTree &tree = low.trees()[cls.tree];
+    const int32_t words = int32_t(low.slotWords());
+    for (uint32_t s = 0; s < tree.num_or_trees; ++s) {
+        const lmdes::LowOrTree &ot =
+            low.orTrees()[low.orRefs()[tree.first_or_ref + s]];
+        std::vector<uint32_t> min_uses(low.numResources(), UINT32_MAX);
+        for (uint32_t oi = 0; oi < ot.num_options; ++oi) {
+            const lmdes::LowOption &opt =
+                low.options()[low.optionRefs()[ot.first_option_ref +
+                                               oi]];
+            std::vector<uint32_t> uses(low.numResources(), 0);
+            for (uint32_t c = 0; c < opt.num_checks; ++c) {
+                const lmdes::Check &check =
+                    low.checks()[opt.first_check + c];
+                uint32_t word =
+                    uint32_t(((check.slot % words) + words) % words);
+                for (uint32_t b = 0; b < 64; ++b) {
+                    uint32_t r = word * 64 + b;
+                    if (r < low.numResources() &&
+                        (check.mask & (uint64_t(1) << b)))
+                        ++uses[r];
+                }
+            }
+            for (uint32_t r = 0; r < low.numResources(); ++r)
+                min_uses[r] = std::min(min_uses[r], uses[r]);
+        }
+        for (uint32_t r = 0; r < low.numResources(); ++r) {
+            if (min_uses[r] != UINT32_MAX)
+                demand[r] += min_uses[r];
+        }
+    }
+}
+
+int32_t
+boundOf(const std::vector<double> &demand, uint32_t *bottleneck)
+{
+    int32_t bound = 0;
+    uint32_t best = 0;
+    for (uint32_t r = 0; r < demand.size(); ++r) {
+        int32_t whole = int32_t(demand[r]);
+        int32_t cycles =
+            demand[r] > double(whole) ? whole + 1 : whole;
+        if (cycles > bound ||
+            (cycles == bound && demand[r] > demand[best])) {
+            bound = cycles;
+            best = r;
+        }
+    }
+    if (bottleneck)
+        *bottleneck = best;
+    return bound;
+}
+
+} // namespace
+
+ResourcePressure
+analyzePressure(const Block &block, const lmdes::LowMdes &low)
+{
+    ResourcePressure result;
+    result.demand.assign(low.numResources(), 0.0);
+    for (const auto &instr : block.instrs)
+        addDemand(low, instr.op_class, result.demand);
+    result.resource_bound =
+        boundOf(result.demand, &result.bottleneck);
+    return result;
+}
+
+bool
+wouldOversubscribe(const Block &block, const lmdes::LowMdes &low,
+                   uint32_t op_class, int extra, int32_t budget)
+{
+    ResourcePressure base = analyzePressure(block, low);
+    std::vector<double> demand = base.demand;
+    for (int i = 0; i < extra; ++i)
+        addDemand(low, op_class, demand);
+    return boundOf(demand, nullptr) > budget;
+}
+
+} // namespace mdes::sched

@@ -1,0 +1,65 @@
+#ifndef MDES_SCHED_PRESSURE_H
+#define MDES_SCHED_PRESSURE_H
+
+/**
+ * @file
+ * Resource-pressure analysis for non-scheduler MDES clients.
+ *
+ * The paper's introduction motivates giving *every* compiler module
+ * access to execution constraints: "transformations such as predication
+ * and height reduction also need to use execution constraints to avoid
+ * over-subscription of processor resources." This module is that query
+ * interface: given a set of operations (no schedule yet), report how
+ * many cycles each resource instance is guaranteed to be busy and the
+ * resulting lower bound on any schedule's length - the quantity an
+ * if-converter or height-reduction pass compares against the critical
+ * path before deciding to add instructions.
+ *
+ * Demand is a sound per-operation lower bound: for each AND subtree of
+ * the operation's tree, the minimum usage count of each instance over
+ * the subtree's options (the same bound iterative modulo scheduling
+ * uses for ResMII).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lmdes/low_mdes.h"
+#include "sched/ir.h"
+
+namespace mdes::sched {
+
+/** Pressure report for one operation set. */
+struct ResourcePressure
+{
+    /** Guaranteed busy-cycle demand per resource instance. */
+    std::vector<double> demand;
+    /** The instance with the highest demand. */
+    uint32_t bottleneck = 0;
+    /**
+     * Lower bound implied by resources alone (max over instances of
+     * ceil(demand)): no schedule can have a *busy makespan* - first to
+     * last occupied cycle, including multi-cycle unit tails - shorter
+     * than this, and no modulo schedule an II below it. Dependences may
+     * bound higher.
+     */
+    int32_t resource_bound = 0;
+};
+
+/** Compute the pressure of the operations in @p block under @p low. */
+ResourcePressure analyzePressure(const Block &block,
+                                 const lmdes::LowMdes &low);
+
+/**
+ * Would adding @p extra copies of operation class @p op_class push the
+ * resource bound of @p block beyond @p budget cycles? The
+ * over-subscription test a predication/height-reduction client runs
+ * before speculating more work into a region.
+ */
+bool wouldOversubscribe(const Block &block, const lmdes::LowMdes &low,
+                        uint32_t op_class, int extra, int32_t budget);
+
+} // namespace mdes::sched
+
+#endif // MDES_SCHED_PRESSURE_H

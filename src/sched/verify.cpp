@@ -1,0 +1,90 @@
+#include "sched/verify.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "rumap/checker.h"
+#include "sched/dep_graph.h"
+
+namespace mdes::sched {
+
+std::string
+verifySchedule(const Block &block, const BlockSchedule &sched,
+               const lmdes::LowMdes &low)
+{
+    const size_t n = block.instrs.size();
+    std::ostringstream os;
+    if (sched.cycles.size() != n || sched.used_cascade.size() != n)
+        return "schedule size does not match block size";
+
+    for (size_t i = 0; i < n; ++i) {
+        if (sched.cycles[i] < 0) {
+            os << "instruction " << i << " was never scheduled";
+            return os.str();
+        }
+    }
+
+    // Dependence distances.
+    DepGraph graph = DepGraph::build(block, low);
+    for (const auto &edge : graph.edges()) {
+        int32_t dist = edge.min_dist;
+        if (edge.cascade_relax && sched.used_cascade[edge.succ])
+            dist = 0;
+        if (sched.cycles[edge.succ] - sched.cycles[edge.pred] < dist) {
+            os << "dependence violated: instruction " << edge.succ
+               << " at cycle " << sched.cycles[edge.succ]
+               << " is closer than " << dist << " to instruction "
+               << edge.pred << " at cycle " << sched.cycles[edge.pred];
+            return os.str();
+        }
+    }
+
+    // Resource feasibility: replay placements in the order the scheduler
+    // made its reservations, so the checker's greedy option choices
+    // coincide with the original ones. Without a recorded issue order,
+    // fall back to (cycle, critical-path priority) - the forward
+    // scheduler's attempt order.
+    std::vector<uint32_t> order;
+    if (sched.issue_order.size() == n) {
+        order = sched.issue_order;
+        std::vector<bool> seen(n, false);
+        for (uint32_t u : order) {
+            if (u >= n || seen[u])
+                return "issue order is not a permutation of the block";
+            seen[u] = true;
+        }
+    } else {
+        order.resize(n);
+        for (uint32_t i = 0; i < n; ++i)
+            order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](uint32_t a, uint32_t b) {
+                             if (sched.cycles[a] != sched.cycles[b])
+                                 return sched.cycles[a] < sched.cycles[b];
+                             return graph.priorities()[a] >
+                                    graph.priorities()[b];
+                         });
+    }
+
+    rumap::RuMap ru;
+    rumap::Checker checker(low);
+    rumap::CheckStats scratch;
+    for (uint32_t u : order) {
+        const auto &cls = low.opClasses()[block.instrs[u].op_class];
+        uint32_t tree =
+            sched.used_cascade[u] ? cls.cascade_tree : cls.tree;
+        if (tree == kInvalidId) {
+            os << "instruction " << u
+               << " claims cascade but has no cascade tree";
+            return os.str();
+        }
+        if (!checker.tryReserve(tree, sched.cycles[u], ru, scratch)) {
+            os << "resource conflict replaying instruction " << u
+               << " at cycle " << sched.cycles[u];
+            return os.str();
+        }
+    }
+    return "";
+}
+
+} // namespace mdes::sched

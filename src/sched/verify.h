@@ -1,0 +1,32 @@
+#ifndef MDES_SCHED_VERIFY_H
+#define MDES_SCHED_VERIFY_H
+
+/**
+ * @file
+ * Independent schedule validation: replays a block schedule against the
+ * dependence graph and a fresh RU map, proving (a) every dependence
+ * distance is honored (cascaded operations may shrink relaxable RAW
+ * edges to zero) and (b) the machine's resource constraints admit the
+ * schedule. Used by tests and by the property suite to show that every
+ * representation/transformation combination produced a legal schedule.
+ */
+
+#include <string>
+
+#include "lmdes/low_mdes.h"
+#include "sched/ir.h"
+#include "sched/list_scheduler.h"
+
+namespace mdes::sched {
+
+/**
+ * Validate @p sched for @p block under @p low.
+ * @return an empty string when valid, else a description of the first
+ *         violation found.
+ */
+std::string verifySchedule(const Block &block, const BlockSchedule &sched,
+                           const lmdes::LowMdes &low);
+
+} // namespace mdes::sched
+
+#endif // MDES_SCHED_VERIFY_H

@@ -1,0 +1,106 @@
+#include "support/bit_vector.h"
+
+#include <bit>
+#include <cassert>
+
+namespace mdes {
+
+void
+BitVector::resize(size_t num_bits)
+{
+    num_bits_ = num_bits;
+    words_.resize((num_bits + 63) / 64, 0);
+    // Clear any stale bits beyond the new width in the last word so that
+    // equality and none() remain exact.
+    if (num_bits % 64 != 0 && !words_.empty()) {
+        words_.back() &= (uint64_t(1) << (num_bits % 64)) - 1;
+    }
+}
+
+void
+BitVector::set(size_t idx)
+{
+    assert(idx < num_bits_);
+    words_[idx / 64] |= uint64_t(1) << (idx % 64);
+}
+
+void
+BitVector::reset(size_t idx)
+{
+    assert(idx < num_bits_);
+    words_[idx / 64] &= ~(uint64_t(1) << (idx % 64));
+}
+
+void
+BitVector::clear()
+{
+    for (auto &w : words_)
+        w = 0;
+}
+
+bool
+BitVector::test(size_t idx) const
+{
+    assert(idx < num_bits_);
+    return (words_[idx / 64] >> (idx % 64)) & 1;
+}
+
+bool
+BitVector::none() const
+{
+    for (auto w : words_) {
+        if (w != 0)
+            return false;
+    }
+    return true;
+}
+
+size_t
+BitVector::count() const
+{
+    size_t n = 0;
+    for (auto w : words_)
+        n += std::popcount(w);
+    return n;
+}
+
+bool
+BitVector::intersects(const BitVector &other) const
+{
+    size_t n = std::min(words_.size(), other.words_.size());
+    for (size_t i = 0; i < n; ++i) {
+        if (words_[i] & other.words_[i])
+            return true;
+    }
+    return false;
+}
+
+BitVector &
+BitVector::operator|=(const BitVector &other)
+{
+    assert(num_bits_ == other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] |= other.words_[i];
+    return *this;
+}
+
+BitVector &
+BitVector::operator&=(const BitVector &other)
+{
+    assert(num_bits_ == other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] &= other.words_[i];
+    return *this;
+}
+
+std::string
+BitVector::toString() const
+{
+    std::string s;
+    s.reserve(num_bits_);
+    for (size_t i = 0; i < num_bits_; ++i)
+        s.push_back(test(i) ? '1' : '0');
+    return s;
+}
+
+} // namespace mdes

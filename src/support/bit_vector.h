@@ -1,0 +1,84 @@
+#ifndef MDES_SUPPORT_BIT_VECTOR_H
+#define MDES_SUPPORT_BIT_VECTOR_H
+
+/**
+ * @file
+ * Dynamically sized bit vector.
+ *
+ * Used for resource-instance sets wider than one machine word, for
+ * collision vectors (Section 7 of the paper), and by tests as a reference
+ * implementation for the packed RU-map words.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdes {
+
+/**
+ * A fixed-width (set at construction or resize) vector of bits with the
+ * word-parallel operations needed by the resource-constraint machinery:
+ * test-any-overlap, set-union, and per-bit access.
+ */
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    /** Construct with @p num_bits bits, all clear. */
+    explicit BitVector(size_t num_bits)
+        : num_bits_(num_bits), words_((num_bits + 63) / 64, 0)
+    {
+    }
+
+    /** Number of bits this vector holds. */
+    size_t size() const { return num_bits_; }
+
+    /** Resize to @p num_bits, preserving existing bits, clearing new ones. */
+    void resize(size_t num_bits);
+
+    /** Set bit @p idx. */
+    void set(size_t idx);
+
+    /** Clear bit @p idx. */
+    void reset(size_t idx);
+
+    /** Clear all bits. */
+    void clear();
+
+    /** @return true if bit @p idx is set. */
+    bool test(size_t idx) const;
+
+    /** @return true if no bit is set. */
+    bool none() const;
+
+    /** @return true if any bit is set. */
+    bool any() const { return !none(); }
+
+    /** Number of set bits. */
+    size_t count() const;
+
+    /** @return true if this and @p other share any set bit. */
+    bool intersects(const BitVector &other) const;
+
+    /** Union @p other into this vector. Widths must match. */
+    BitVector &operator|=(const BitVector &other);
+
+    /** Intersect @p other into this vector. Widths must match. */
+    BitVector &operator&=(const BitVector &other);
+
+    bool operator==(const BitVector &other) const = default;
+
+    /** Render as a string of '0'/'1', bit 0 first (for tests/debugging). */
+    std::string toString() const;
+
+  private:
+    size_t num_bits_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace mdes
+
+#endif // MDES_SUPPORT_BIT_VECTOR_H

@@ -1,0 +1,50 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace mdes {
+
+std::string
+SourceLocation::toString() const
+{
+    std::ostringstream os;
+    os << line << ":" << column;
+    return os.str();
+}
+
+std::string
+Diagnostic::toString() const
+{
+    const char *sev = severity == Severity::Error     ? "error"
+                      : severity == Severity::Warning ? "warning"
+                                                      : "note";
+    std::ostringstream os;
+    os << loc.toString() << ": " << sev << ": " << message;
+    return os.str();
+}
+
+void
+DiagnosticEngine::error(SourceLocation loc, std::string message)
+{
+    diags_.push_back({Severity::Error, loc, std::move(message)});
+    ++num_errors_;
+}
+
+void
+DiagnosticEngine::warning(SourceLocation loc, std::string message)
+{
+    diags_.push_back({Severity::Warning, loc, std::move(message)});
+}
+
+std::string
+DiagnosticEngine::toString() const
+{
+    std::string out;
+    for (const auto &d : diags_) {
+        out += d.toString();
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace mdes

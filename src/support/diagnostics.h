@@ -1,0 +1,82 @@
+#ifndef MDES_SUPPORT_DIAGNOSTICS_H
+#define MDES_SUPPORT_DIAGNOSTICS_H
+
+/**
+ * @file
+ * Source locations and error reporting for the high-level MDES language.
+ *
+ * The paper's model asks compiler writers to author machine descriptions by
+ * hand, so the translator must produce precise, human-quality diagnostics.
+ */
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mdes {
+
+/** A position inside a high-level MDES source buffer (1-based). */
+struct SourceLocation
+{
+    int line = 0;
+    int column = 0;
+
+    bool operator==(const SourceLocation &) const = default;
+
+    /** Render as "line:column". */
+    std::string toString() const;
+};
+
+/** Severity of a reported diagnostic. */
+enum class Severity { Error, Warning, Note };
+
+/** One reported problem with its location. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    SourceLocation loc;
+    std::string message;
+
+    /** Render as "file-less <line:col>: <severity>: <message>". */
+    std::string toString() const;
+};
+
+/**
+ * Collects diagnostics during parsing/semantic analysis.
+ *
+ * The parser reports and recovers where it can; callers check hasErrors()
+ * after a phase and may render all diagnostics for the user.
+ */
+class DiagnosticEngine
+{
+  public:
+    /** Report an error at @p loc. */
+    void error(SourceLocation loc, std::string message);
+
+    /** Report a warning at @p loc. */
+    void warning(SourceLocation loc, std::string message);
+
+    /** @return true if any error (not warning) was reported. */
+    bool hasErrors() const { return num_errors_ > 0; }
+
+    /** All diagnostics in report order. */
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+
+    /** Render every diagnostic, one per line. */
+    std::string toString() const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+    int num_errors_ = 0;
+};
+
+/** Thrown by convenience entry points when a description fails to compile. */
+class MdesError : public std::runtime_error
+{
+  public:
+    explicit MdesError(const std::string &what) : std::runtime_error(what) {}
+};
+
+} // namespace mdes
+
+#endif // MDES_SUPPORT_DIAGNOSTICS_H

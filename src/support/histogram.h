@@ -1,0 +1,63 @@
+#ifndef MDES_SUPPORT_HISTOGRAM_H
+#define MDES_SUPPORT_HISTOGRAM_H
+
+/**
+ * @file
+ * Integer histogram with ASCII bar rendering.
+ *
+ * Figure 2 of the paper plots the distribution of options checked per
+ * scheduling attempt; the checker records per-attempt counts here and the
+ * bench renders the same series.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdes {
+
+/** Counts occurrences of small non-negative integer samples. */
+class Histogram
+{
+  public:
+    /** Record one sample of @p value. */
+    void add(uint64_t value);
+
+    /** Merge another histogram into this one. */
+    void merge(const Histogram &other);
+
+    /** Total number of samples recorded. */
+    uint64_t total() const { return total_; }
+
+    /** Count for a specific @p value (0 if never seen). */
+    uint64_t countAt(uint64_t value) const;
+
+    /** Fraction of samples equal to @p value. */
+    double fractionAt(uint64_t value) const;
+
+    /** Fraction of samples in the inclusive range [lo, hi]. */
+    double fractionBetween(uint64_t lo, uint64_t hi) const;
+
+    /** Largest sample value seen (0 for an empty histogram). */
+    uint64_t maxValue() const;
+
+    /** Mean of all samples. */
+    double mean() const;
+
+    /**
+     * Render an ASCII bar chart: one row per distinct value up to
+     * maxValue(), bar lengths scaled to @p bar_width characters, with
+     * percentage labels. Values with zero count are skipped when
+     * @p skip_zero is true.
+     */
+    std::string render(int bar_width = 50, bool skip_zero = true) const;
+
+  private:
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+    uint64_t weighted_sum_ = 0;
+};
+
+} // namespace mdes
+
+#endif // MDES_SUPPORT_HISTOGRAM_H

@@ -1,0 +1,128 @@
+#include "support/text_table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace mdes {
+
+namespace {
+
+const char *const kSeparatorSentinel = "\x01";
+
+/** True if the cell looks numeric and should right-align. */
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '-' && c != '+' && c != '%' && c != ',' && c != 'x') {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back({kSeparatorSentinel});
+}
+
+std::string
+TextTable::toString() const
+{
+    // Compute column widths over header + all rows.
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &row) {
+        if (row.size() == 1 && row[0] == kSeparatorSentinel)
+            return;
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    std::ostringstream os;
+    auto renderSep = [&] {
+        os << '+';
+        for (size_t w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto renderRow = [&](const std::vector<std::string> &row, bool head) {
+        os << '|';
+        for (size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < row.size() ? row[i] : "";
+            bool right = !head && looksNumeric(cell);
+            size_t pad = widths[i] - cell.size();
+            os << ' ';
+            if (right)
+                os << std::string(pad, ' ') << cell;
+            else
+                os << cell << std::string(pad, ' ');
+            os << " |";
+        }
+        os << '\n';
+    };
+
+    renderSep();
+    if (!header_.empty()) {
+        renderRow(header_, true);
+        renderSep();
+    }
+    for (const auto &r : rows_) {
+        if (r.size() == 1 && r[0] == kSeparatorSentinel)
+            renderSep();
+        else
+            renderRow(r, false);
+    }
+    renderSep();
+    return os.str();
+}
+
+std::string
+TextTable::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+TextTable::percent(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, v * 100.0);
+    return buf;
+}
+
+std::string
+TextTable::bytes(size_t v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+} // namespace mdes

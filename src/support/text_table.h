@@ -1,0 +1,46 @@
+#ifndef MDES_SUPPORT_TEXT_TABLE_H
+#define MDES_SUPPORT_TEXT_TABLE_H
+
+/**
+ * @file
+ * Column-aligned ASCII table rendering for the benchmark harness.
+ *
+ * Every bench binary reproduces one of the paper's tables; this helper
+ * renders rows the same way so outputs are easy to diff against the paper.
+ */
+
+#include <string>
+#include <vector>
+
+namespace mdes {
+
+/** A simple right-aligned-numbers, left-aligned-text ASCII table. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row. Rows may have fewer cells than the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render the table with box-drawing in plain ASCII. */
+    std::string toString() const;
+
+    /** Format helpers used throughout the benches. */
+    static std::string num(double v, int decimals);
+    static std::string percent(double v, int decimals = 1);
+    static std::string bytes(size_t v);
+
+  private:
+    std::vector<std::string> header_;
+    // A row with the single sentinel cell "\x01" renders as a separator.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mdes
+
+#endif // MDES_SUPPORT_TEXT_TABLE_H

@@ -1,0 +1,58 @@
+#ifndef MDES_WORKLOAD_SASM_H
+#define MDES_WORKLOAD_SASM_H
+
+/**
+ * @file
+ * The .sasm textual assembly-stream format.
+ *
+ * A machine-neutral way to hand the schedulers a concrete instruction
+ * sequence (the role SPEC CINT92 assembly played in the paper's
+ * experiments, for users who have real streams instead of the synthetic
+ * generator). One instruction per line inside block/end groups:
+ *
+ *     # scalar product kernel for the SuperSPARC
+ *     block
+ *         LD     r10 <- r1
+ *         LD     r11 <- r2
+ *         ADD_R  r12 <- r10, r11    !cascade
+ *         ST     <- r12, r3         # stores write no register
+ *         BPCC   <- r12             !branch
+ *     end
+ *
+ * Syntax per instruction:
+ *     OPCODE [dst-regs] '<-' [src-regs] [!cascade] [!branch]
+ * where registers are written r<N> and lists are comma-separated. The
+ * opcode must name an operation class of the target machine; !cascade
+ * marks the instruction as able to use its class's cascade reservation
+ * table; !branch marks the block terminator (only valid on the last
+ * instruction of a block). '#' and ';' start comments.
+ */
+
+#include <string_view>
+
+#include "lmdes/low_mdes.h"
+#include "sched/ir.h"
+#include "support/diagnostics.h"
+
+namespace mdes::workload {
+
+/**
+ * Parse @p text against machine @p low. Problems are reported to
+ * @p diags with line/column locations; returns the program parsed so
+ * far (callers should check diags.hasErrors()).
+ */
+sched::Program parseSasm(std::string_view text,
+                         const lmdes::LowMdes &low,
+                         DiagnosticEngine &diags);
+
+/** Convenience: parse or throw MdesError with rendered diagnostics. */
+sched::Program parseSasmOrThrow(std::string_view text,
+                                const lmdes::LowMdes &low);
+
+/** Render @p program back to .sasm text (round-trip aid and debugging). */
+std::string formatSasm(const sched::Program &program,
+                       const lmdes::LowMdes &low);
+
+} // namespace mdes::workload
+
+#endif // MDES_WORKLOAD_SASM_H

@@ -1,0 +1,177 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+#include "support/rng.h"
+
+namespace mdes::workload {
+
+namespace {
+
+/** A class mix entry resolved against the machine description. */
+struct ResolvedClass
+{
+    uint32_t op_class;
+    double weight;
+    int num_srcs;
+    int num_dsts;
+    bool cascadable;
+};
+
+} // namespace
+
+sched::Program
+generate(const WorkloadSpec &spec, const lmdes::LowMdes &low)
+{
+    std::vector<ResolvedClass> body_classes;
+    std::vector<ResolvedClass> branch_classes;
+    for (const auto &mix : spec.classes) {
+        uint32_t cls = low.findOpClass(mix.op_class);
+        if (cls == kInvalidId) {
+            throw MdesError("workload references unknown operation '" +
+                            mix.op_class + "' for machine '" +
+                            low.machineName() + "'");
+        }
+        ResolvedClass rc{cls, mix.weight, mix.num_srcs, mix.num_dsts,
+                         mix.cascadable};
+        (mix.is_branch ? branch_classes : body_classes).push_back(rc);
+    }
+    if (body_classes.empty())
+        throw MdesError("workload has no non-branch operation classes");
+
+    std::vector<double> body_weights, branch_weights;
+    for (const auto &rc : body_classes)
+        body_weights.push_back(rc.weight);
+    for (const auto &rc : branch_classes)
+        branch_weights.push_back(rc.weight);
+
+    Rng rng(spec.seed);
+    sched::Program program;
+    size_t generated = 0;
+
+    // Ring of recently written registers, biasing source selection
+    // toward fresh values the way compiled code does.
+    std::vector<int32_t> recent;
+    const size_t kRecentWindow = 8;
+
+    while (generated < spec.num_ops) {
+        sched::Block block;
+        int body = int(rng.range(spec.min_block_size,
+                                 spec.max_block_size));
+        bool with_branch = !branch_classes.empty();
+        for (int i = 0; i < body; ++i) {
+            const ResolvedClass &rc =
+                body_classes[rng.pickWeighted(body_weights)];
+            sched::Instr in;
+            in.op_class = rc.op_class;
+            in.cascadable = rc.cascadable;
+            for (int s = 0; s < rc.num_srcs; ++s) {
+                bool local = !recent.empty() &&
+                             rng.chance(spec.src_locality);
+                int32_t reg =
+                    local ? recent[rng.below(recent.size())]
+                          : int32_t(rng.below(uint64_t(spec.num_regs)));
+                in.srcs.push_back(reg);
+            }
+            for (int d = 0; d < rc.num_dsts; ++d) {
+                int32_t reg =
+                    int32_t(rng.below(uint64_t(spec.num_regs)));
+                in.dsts.push_back(reg);
+                recent.push_back(reg);
+                if (recent.size() > kRecentWindow)
+                    recent.erase(recent.begin());
+            }
+            block.instrs.push_back(std::move(in));
+        }
+        if (with_branch) {
+            const ResolvedClass &rc =
+                branch_classes[rng.pickWeighted(branch_weights)];
+            sched::Instr in;
+            in.op_class = rc.op_class;
+            in.is_branch = true;
+            for (int s = 0; s < rc.num_srcs; ++s) {
+                bool local = !recent.empty() &&
+                             rng.chance(spec.src_locality);
+                int32_t reg =
+                    local ? recent[rng.below(recent.size())]
+                          : int32_t(rng.below(uint64_t(spec.num_regs)));
+                in.srcs.push_back(reg);
+            }
+            block.instrs.push_back(std::move(in));
+        }
+        generated += block.instrs.size();
+        program.blocks.push_back(std::move(block));
+    }
+    return program;
+}
+
+sched::Program
+generateLoops(const WorkloadSpec &spec, const lmdes::LowMdes &low)
+{
+    std::vector<ResolvedClass> body_classes;
+    for (const auto &mix : spec.classes) {
+        if (mix.is_branch)
+            continue;
+        uint32_t cls = low.findOpClass(mix.op_class);
+        if (cls == kInvalidId) {
+            throw MdesError("workload references unknown operation '" +
+                            mix.op_class + "' for machine '" +
+                            low.machineName() + "'");
+        }
+        body_classes.push_back({cls, mix.weight, mix.num_srcs,
+                                mix.num_dsts, mix.cascadable});
+    }
+    if (body_classes.empty())
+        throw MdesError("loop workload has no non-branch classes");
+    std::vector<double> weights;
+    for (const auto &rc : body_classes)
+        weights.push_back(rc.weight);
+
+    Rng rng(spec.seed ^ 0x100BULL);
+    sched::Program program;
+    size_t generated = 0;
+
+    while (generated < spec.num_ops) {
+        sched::Block body;
+        int size = int(rng.range(spec.min_block_size,
+                                 spec.max_block_size));
+        // A loop keeps a small set of live-across-iterations registers
+        // (induction variables, accumulators); reading one of them
+        // before it is rewritten creates a recurrence.
+        int carried = int(rng.range(1, 3));
+        for (int i = 0; i < size; ++i) {
+            const ResolvedClass &rc =
+                body_classes[rng.pickWeighted(weights)];
+            sched::Instr in;
+            in.op_class = rc.op_class;
+            in.cascadable = rc.cascadable;
+            for (int s = 0; s < rc.num_srcs; ++s) {
+                bool recurrent = rng.chance(0.25);
+                int32_t reg =
+                    recurrent
+                        ? int32_t(rng.below(uint64_t(carried)))
+                        : int32_t(carried +
+                                  rng.below(uint64_t(
+                                      spec.num_regs - carried)));
+                in.srcs.push_back(reg);
+            }
+            for (int d = 0; d < rc.num_dsts; ++d) {
+                bool recurrent = rng.chance(0.2);
+                int32_t reg =
+                    recurrent
+                        ? int32_t(rng.below(uint64_t(carried)))
+                        : int32_t(carried +
+                                  rng.below(uint64_t(
+                                      spec.num_regs - carried)));
+                in.dsts.push_back(reg);
+            }
+            body.instrs.push_back(std::move(in));
+        }
+        generated += body.instrs.size();
+        program.blocks.push_back(std::move(body));
+    }
+    return program;
+}
+
+} // namespace mdes::workload

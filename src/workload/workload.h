@@ -1,0 +1,81 @@
+#ifndef MDES_WORKLOAD_WORKLOAD_H
+#define MDES_WORKLOAD_WORKLOAD_H
+
+/**
+ * @file
+ * Synthetic assembly-stream generation.
+ *
+ * Substitute for the paper's per-platform SPEC CINT92 assembly (201k-282k
+ * static operations produced by the IMPACT compiler): a deterministic
+ * generator that draws operation classes from a per-machine mix matching
+ * the published breakdowns (Tables 1-4), forms basic blocks terminated by
+ * branches, and wires register operands with a recency bias so dependence
+ * density resembles compiled code. Postpass x86 streams use few
+ * architectural registers (denser anti/output dependences); prepass RISC
+ * streams use many.
+ *
+ * Everything the paper measures depends only on the mix of scheduling
+ * attempts and conflict rates this stream induces, not on instruction
+ * semantics - see DESIGN.md §2.5 for the substitution argument.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lmdes/low_mdes.h"
+#include "sched/ir.h"
+
+namespace mdes::workload {
+
+/** One operation class's share of the stream. */
+struct ClassMix
+{
+    /** Operation-class name in the machine description. */
+    std::string op_class;
+    /** Relative frequency (branch classes compete only for the
+     * block-terminating slot, others for the rest). */
+    double weight = 1.0;
+    int num_srcs = 1;
+    int num_dsts = 1;
+    /** May use a cascade reservation table (SuperSPARC cascaded IALU). */
+    bool cascadable = false;
+    /** Block-terminating branch class. */
+    bool is_branch = false;
+};
+
+/** Full workload description for one machine. */
+struct WorkloadSpec
+{
+    uint64_t seed = 1;
+    /** Stop once at least this many operations were generated. */
+    size_t num_ops = 200000;
+    /** Architectural/virtual registers available. */
+    int32_t num_regs = 32;
+    int min_block_size = 4;
+    int max_block_size = 12;
+    /** Probability a source register is drawn from recent definitions
+     * (higher = denser flow dependences). */
+    double src_locality = 0.5;
+    std::vector<ClassMix> classes;
+};
+
+/**
+ * Generate the stream for @p spec, resolving class names against
+ * @p low. Throws MdesError when a class name is unknown.
+ */
+sched::Program generate(const WorkloadSpec &spec,
+                        const lmdes::LowMdes &low);
+
+/**
+ * Generate innermost-loop bodies for modulo scheduling: each block is a
+ * branch-free loop body whose register reuse creates both intra- and
+ * loop-carried (recurrence) dependences. Branch classes in the mix are
+ * ignored (the loop back-edge is implicit).
+ */
+sched::Program generateLoops(const WorkloadSpec &spec,
+                             const lmdes::LowMdes &low);
+
+} // namespace mdes::workload
+
+#endif // MDES_WORKLOAD_WORKLOAD_H

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Core model tests: Mdes construction and queries, validation, dead-code
+ * removal, AND/OR -> OR expansion, and collision-vector theory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/collision.h"
+#include "core/expand.h"
+#include "core/mdes.h"
+#include "core/print.h"
+#include "core/transforms.h"
+#include "hmdes/compile.h"
+#include "machines/machines.h"
+
+namespace mdes {
+namespace {
+
+/** Build a small AND/OR machine by hand: AND(U(1), W(2), D(3)). */
+Mdes
+smallMachine()
+{
+    Mdes m("small");
+    ResourceId u = m.addResourceClass("U", 1);
+    ResourceId w = m.addResourceClass("W", 2);
+    ResourceId d = m.addResourceClass("D", 3);
+
+    OptionId u0 = m.addOption({{{0, u}}});
+    OrTreeId unit = m.addOrTree({"Unit", {u0}});
+
+    std::vector<OptionId> wopts;
+    for (uint32_t i = 0; i < 2; ++i)
+        wopts.push_back(m.addOption({{{1, w + i}}}));
+    OrTreeId anyw = m.addOrTree({"AnyW", wopts});
+
+    std::vector<OptionId> dopts;
+    for (uint32_t i = 0; i < 3; ++i)
+        dopts.push_back(m.addOption({{{-1, d + i}}}));
+    OrTreeId anyd = m.addOrTree({"AnyD", dopts});
+
+    TreeId tree = m.addTree({"Op", {unit, anyw, anyd}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+    return m;
+}
+
+TEST(Core, ResourceNaming)
+{
+    Mdes m = smallMachine();
+    EXPECT_EQ(m.numResources(), 6u);
+    EXPECT_EQ(m.resourceName(0), "U");
+    EXPECT_EQ(m.resourceName(1), "W[0]");
+    EXPECT_EQ(m.resourceName(5), "D[2]");
+    EXPECT_EQ(m.findResource("D", 2), 5u);
+    EXPECT_EQ(m.findResource("D", 3), kInvalidId);
+    EXPECT_EQ(m.findResource("Z", 0), kInvalidId);
+}
+
+TEST(Core, CountsAndTimes)
+{
+    Mdes m = smallMachine();
+    EXPECT_EQ(m.expandedOptionCount(0), 6u);
+    EXPECT_EQ(m.leafOptionCount(0), 6u);
+    EXPECT_EQ(m.earliestTimeTree(0), -1);
+    EXPECT_EQ(m.earliestTimeOr(0), 0);   // Unit
+    EXPECT_EQ(m.earliestTimeOr(1), 1);   // AnyW
+    EXPECT_EQ(m.earliestTimeOr(2), -1);  // AnyD
+}
+
+TEST(Core, ValidateCatchesProblems)
+{
+    Mdes m = smallMachine();
+    EXPECT_EQ(m.validate(), "");
+
+    Mdes bad1 = m;
+    bad1.addOption({});
+    EXPECT_NE(bad1.validate().find("no usages"), std::string::npos);
+
+    Mdes bad2 = m;
+    bad2.addOption({{{0, 1}, {0, 1}}});
+    EXPECT_NE(bad2.validate().find("more than once"), std::string::npos);
+
+    Mdes bad3 = m;
+    bad3.addOption({{{0, 99}}});
+    EXPECT_NE(bad3.validate().find("out of range"), std::string::npos);
+
+    Mdes bad4 = m;
+    bad4.addOrTree({"Empty", {}});
+    EXPECT_NE(bad4.validate().find("no options"), std::string::npos);
+}
+
+TEST(Core, CoversIsSupersetTest)
+{
+    Option a{{{0, 1}, {0, 2}}};
+    Option b{{{0, 1}}};
+    Option c{{{0, 3}}};
+    EXPECT_TRUE(a.covers(b));
+    EXPECT_FALSE(b.covers(a));
+    EXPECT_TRUE(a.covers(a));
+    EXPECT_FALSE(a.covers(c));
+}
+
+TEST(Core, DeadEntityRemoval)
+{
+    Mdes m = smallMachine();
+    // Add an unreferenced option, OR-tree, and tree.
+    OptionId dead_opt = m.addOption({{{0, 0}}});
+    OrTreeId dead_or = m.addOrTree({"DeadOr", {dead_opt}});
+    m.addTree({"DeadTree", {dead_or}});
+
+    size_t removed = m.removeDeadEntities();
+    EXPECT_EQ(removed, 3u);
+    EXPECT_EQ(m.validate(), "");
+    EXPECT_EQ(m.trees().size(), 1u);
+    EXPECT_EQ(m.orTrees().size(), 3u);
+    EXPECT_EQ(m.options().size(), 6u);
+    // Ids were compacted; the op class still points at a valid tree.
+    EXPECT_EQ(m.expandedOptionCount(m.opClasses()[0].tree), 6u);
+}
+
+TEST(Core, ShareCounts)
+{
+    Mdes m = smallMachine();
+    // A second op class sharing AnyD (OR-tree id 2).
+    TreeId t2 = m.addTree({"Op2", {2u}});
+    m.addOpClass({"OP2", t2, 1, kInvalidId, ""});
+    auto shares = m.orTreeShareCounts();
+    EXPECT_EQ(shares[0], 1u);
+    EXPECT_EQ(shares[2], 2u);
+}
+
+// ----------------------------------------------------------------- Expand
+
+TEST(Expand, ProductCountAndPriorityOrder)
+{
+    Mdes m = smallMachine();
+    Mdes flat = expandToOrForm(m);
+    ASSERT_EQ(flat.opClasses().size(), 1u);
+    const auto &tree = flat.tree(flat.opClasses()[0].tree);
+    ASSERT_EQ(tree.or_trees.size(), 1u);
+    const auto &ot = flat.orTree(tree.or_trees[0]);
+    ASSERT_EQ(ot.options.size(), 6u);
+
+    // Last subtree (AnyD) varies fastest: options 1-3 use W[0] with
+    // D[0..2], options 4-6 use W[1].
+    auto resOf = [&](size_t opt, size_t usage) {
+        return flat.option(ot.options[opt]).usages[usage].resource;
+    };
+    // usages merged in subtree order: U, W, D.
+    EXPECT_EQ(resOf(0, 1), flat.findResource("W", 0));
+    EXPECT_EQ(resOf(0, 2), flat.findResource("D", 0));
+    EXPECT_EQ(resOf(1, 2), flat.findResource("D", 1));
+    EXPECT_EQ(resOf(2, 2), flat.findResource("D", 2));
+    EXPECT_EQ(resOf(3, 1), flat.findResource("W", 1));
+    EXPECT_EQ(resOf(3, 2), flat.findResource("D", 0));
+}
+
+TEST(Expand, DropsInternallyConflictingCombinations)
+{
+    Mdes m("conflict");
+    ResourceId r = m.addResourceClass("R", 2);
+    // Two subtrees that can pick the same instance at the same time.
+    std::vector<OptionId> o1 = {m.addOption({{{0, r}}}),
+                                m.addOption({{{0, r + 1}}})};
+    std::vector<OptionId> o2 = {m.addOption({{{0, r}}}),
+                                m.addOption({{{0, r + 1}}})};
+    OrTreeId t1 = m.addOrTree({"A", o1});
+    OrTreeId t2 = m.addOrTree({"B", o2});
+    TreeId tree = m.addTree({"Both", {t1, t2}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    Mdes flat = expandToOrForm(m);
+    const auto &ot =
+        flat.orTree(flat.tree(flat.opClasses()[0].tree).or_trees[0]);
+    // 2x2 = 4 combos, minus the two same-instance conflicts.
+    EXPECT_EQ(ot.options.size(), 2u);
+}
+
+TEST(Expand, SharedTreesExpandOnce)
+{
+    Mdes m = smallMachine();
+    m.addOpClass({"OP_B", 0u, 2, kInvalidId, ""});
+    Mdes flat = expandToOrForm(m);
+    EXPECT_EQ(flat.opClasses()[0].tree, flat.opClasses()[1].tree);
+}
+
+TEST(Expand, CascadeTreesAreExpanded)
+{
+    Mdes m = smallMachine();
+    // Cascade = the one-option Unit tree wrapped as a table.
+    TreeId casc = m.addTree({"Casc", {0u}});
+    m.opClass(0).cascade_tree = casc;
+    Mdes flat = expandToOrForm(m);
+    ASSERT_NE(flat.opClasses()[0].cascade_tree, kInvalidId);
+    EXPECT_EQ(flat.expandedOptionCount(flat.opClasses()[0].cascade_tree),
+              1u);
+}
+
+// ------------------------------------------------------------------ Print
+
+TEST(Print, OptionGridShowsUsages)
+{
+    Mdes m = smallMachine();
+    std::string grid = printOption(m, 0);
+    EXPECT_NE(grid.find("Cycle"), std::string::npos);
+    EXPECT_NE(grid.find("U"), std::string::npos);
+    EXPECT_NE(grid.find("X"), std::string::npos);
+}
+
+TEST(Print, OrTreeListsOptionsInPriorityOrder)
+{
+    Mdes m = smallMachine();
+    std::string out = printOrTree(m, 2);
+    EXPECT_NE(out.find("3 options"), std::string::npos);
+    EXPECT_LT(out.find("Option 1"), out.find("Option 2"));
+    EXPECT_LT(out.find("Option 2"), out.find("Option 3"));
+}
+
+TEST(Print, TreeShowsAndLevel)
+{
+    Mdes m = smallMachine();
+    std::string out = printTree(m, 0);
+    EXPECT_NE(out.find("AND of 3 OR-trees"), std::string::npos);
+    EXPECT_NE(out.find("AND input 3"), std::string::npos);
+}
+
+// -------------------------------------------------------------- Collision
+
+TEST(Collision, ForbiddenLatenciesBasic)
+{
+    Mdes m("cv");
+    ResourceId r = m.addResourceClass("R", 1);
+    // A uses R at times 0 and 3; B uses R at time 1.
+    OptionId a = m.addOption({{{0, r}, {3, r}}});
+    OptionId b = m.addOption({{{1, r}}});
+
+    // (A, B): conflicts when B starts t after A with A.time - B.time = t:
+    // 3-1=2 (and 0-1 < 0 ignored).
+    auto fab = forbiddenLatencies(m, a, b);
+    EXPECT_EQ(fab, (std::set<int32_t>{2}));
+    // (B, A): 1-0=1; (1-3 negative).
+    auto fba = forbiddenLatencies(m, b, a);
+    EXPECT_EQ(fba, (std::set<int32_t>{1}));
+    // (A, A): 0 and 3.
+    auto faa = forbiddenLatencies(m, a, a);
+    EXPECT_EQ(faa, (std::set<int32_t>{0, 3}));
+}
+
+TEST(Collision, DisjointResourcesNeverCollide)
+{
+    Mdes m("cv");
+    ResourceId r = m.addResourceClass("R", 2);
+    OptionId a = m.addOption({{{0, r}}});
+    OptionId b = m.addOption({{{0, r + 1}}});
+    EXPECT_TRUE(forbiddenLatencies(m, a, b).empty());
+    EXPECT_TRUE(collisionVector(m, a, b, 4).none());
+}
+
+TEST(Collision, VectorMatchesSetWithinBound)
+{
+    Mdes m("cv");
+    ResourceId r = m.addResourceClass("R", 1);
+    OptionId a = m.addOption({{{0, r}, {5, r}}});
+    BitVector cv = collisionVector(m, a, a, 5);
+    EXPECT_TRUE(cv.test(0));
+    EXPECT_TRUE(cv.test(5));
+    EXPECT_EQ(cv.count(), 2u);
+}
+
+TEST(Collision, MaxUsageSpanOverMachines)
+{
+    // The widest single option in the SuperSPARC description is the
+    // divide-unit option (busy cycles 0..5). In the expanded OR form the
+    // FDIV options also absorb the decode usage at -1, widening to 6.
+    Mdes m = hmdes::compileOrThrow(machines::superSparc().source);
+    EXPECT_EQ(maxUsageSpan(m), 5);
+    EXPECT_EQ(maxUsageSpan(expandToOrForm(m)), 6);
+}
+
+TEST(Collision, TimeShiftPreservesAllCollisionVectors)
+{
+    // Section 7's soundness argument, checked exhaustively on a real
+    // machine: per-resource constant shifts leave every ordered pair's
+    // forbidden-latency set unchanged.
+    Mdes before = hmdes::compileOrThrow(machines::pa7100().source);
+    Mdes after = before;
+    shiftUsageTimes(after);
+    int32_t bound = std::max(maxUsageSpan(before), maxUsageSpan(after));
+    ASSERT_EQ(before.options().size(), after.options().size());
+    for (OptionId a = 0; a < before.options().size(); ++a) {
+        for (OptionId b = 0; b < before.options().size(); ++b) {
+            EXPECT_EQ(collisionVector(before, a, b, bound),
+                      collisionVector(after, a, b, bound))
+                << "pair (" << a << ", " << b << ")";
+        }
+    }
+}
+
+} // namespace
+} // namespace mdes

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Documentation/asset sync tests: the complete example in
+ * docs/LANGUAGE.md must actually compile (warning-free), and the
+ * on-disk description and .sasm assets under descriptions/ must stay
+ * valid as the language evolves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/transforms.h"
+#include "hmdes/compile.h"
+#include "lmdes/low_mdes.h"
+#include "machines/machines.h"
+#include "workload/sasm.h"
+
+#ifndef MDES_SOURCE_DIR
+#define MDES_SOURCE_DIR "."
+#endif
+
+namespace mdes {
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** The first fenced ```text block of a markdown file. */
+std::string
+firstFencedBlock(const std::string &markdown)
+{
+    size_t open = markdown.find("```text\n");
+    EXPECT_NE(open, std::string::npos);
+    open += 8;
+    size_t close = markdown.find("```", open);
+    EXPECT_NE(close, std::string::npos);
+    return markdown.substr(open, close - open);
+}
+
+TEST(Docs, LanguageReferenceExampleCompiles)
+{
+    std::string md =
+        readFile(std::string(MDES_SOURCE_DIR) + "/docs/LANGUAGE.md");
+    std::string example = firstFencedBlock(md);
+    ASSERT_NE(example.find("machine \"Blackbird-VLIW\""),
+              std::string::npos)
+        << "the first fenced block is expected to be the full example";
+
+    DiagnosticEngine diags;
+    auto m = hmdes::compile(example, diags);
+    ASSERT_TRUE(m.has_value()) << diags.toString();
+    EXPECT_TRUE(diags.diagnostics().empty()) << diags.toString();
+    EXPECT_EQ(m->validate(), "");
+    EXPECT_EQ(m->bypasses().size(), 1u);
+    // The doc's claims about the example hold.
+    EXPECT_EQ(m->expandedOptionCount(m->opClass(m->findOpClass("MUL_A"))
+                                         .tree),
+              4u);
+}
+
+TEST(Docs, ShippedDescriptionCompilesWarningFree)
+{
+    std::string src = readFile(std::string(MDES_SOURCE_DIR) +
+                               "/descriptions/blackbird_vliw.hmdes");
+    DiagnosticEngine diags;
+    auto m = hmdes::compile(src, diags);
+    ASSERT_TRUE(m.has_value()) << diags.toString();
+    EXPECT_TRUE(diags.diagnostics().empty()) << diags.toString();
+    runPipeline(*m, PipelineConfig::all());
+    EXPECT_EQ(m->validate(), "");
+}
+
+TEST(Docs, ShippedSasmStreamParsesForSuperSparc)
+{
+    std::string text = readFile(std::string(MDES_SOURCE_DIR) +
+                                "/descriptions/dotproduct.sasm");
+    Mdes m = hmdes::compileOrThrow(machines::superSparc().source);
+    lmdes::LowMdes low = lmdes::LowMdes::lower(m, {});
+    DiagnosticEngine diags;
+    auto program = workload::parseSasm(text, low, diags);
+    EXPECT_FALSE(diags.hasErrors()) << diags.toString();
+    EXPECT_GE(program.blocks.size(), 2u);
+    EXPECT_GE(program.numOps(), 10u);
+}
+
+} // namespace
+} // namespace mdes

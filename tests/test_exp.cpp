@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Experiment-runner tests: configuration helpers, determinism,
+ * workload-size overrides, size-only runs, and cross-run consistency of
+ * the statistics the benches report.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/runner.h"
+
+namespace mdes {
+namespace {
+
+TEST(Exp, RepNames)
+{
+    EXPECT_STREQ(exp::repName(exp::Rep::OrTree), "OR-tree");
+    EXPECT_STREQ(exp::repName(exp::Rep::AndOrTree), "AND/OR-tree");
+}
+
+TEST(Exp, OriginalConfigRunsNoTransforms)
+{
+    auto config =
+        exp::originalConfig(machines::pa7100(), exp::Rep::AndOrTree);
+    EXPECT_FALSE(config.transforms.cse);
+    EXPECT_FALSE(config.transforms.time_shift);
+    EXPECT_FALSE(config.bit_vector);
+    config.num_ops_override = 2000;
+    auto result = exp::run(config);
+    // Untransformed: the duplicated memory option is still there.
+    EXPECT_EQ(result.mid.expandedOptionCount(
+                  result.mid.opClass(result.mid.findOpClass("LDW")).tree),
+              3u);
+}
+
+TEST(Exp, OptimizedConfigRunsEverything)
+{
+    auto config =
+        exp::optimizedConfig(machines::pa7100(), exp::Rep::AndOrTree);
+    EXPECT_TRUE(config.transforms.cse);
+    EXPECT_TRUE(config.transforms.redundant_options);
+    EXPECT_TRUE(config.transforms.time_shift);
+    EXPECT_TRUE(config.transforms.sort_usages);
+    EXPECT_TRUE(config.transforms.hoist);
+    EXPECT_TRUE(config.transforms.sort_or_trees);
+    EXPECT_TRUE(config.bit_vector);
+    config.num_ops_override = 2000;
+    auto result = exp::run(config);
+    EXPECT_EQ(result.mid.expandedOptionCount(
+                  result.mid.opClass(result.mid.findOpClass("LDW")).tree),
+              2u);
+    EXPECT_TRUE(result.low.packed());
+}
+
+TEST(Exp, RunsAreDeterministic)
+{
+    auto config =
+        exp::originalConfig(machines::superSparc(), exp::Rep::OrTree);
+    config.num_ops_override = 3000;
+    auto a = exp::run(config);
+    auto b = exp::run(config);
+    EXPECT_EQ(a.stats.checks.attempts, b.stats.checks.attempts);
+    EXPECT_EQ(a.stats.checks.resource_checks,
+              b.stats.checks.resource_checks);
+    EXPECT_EQ(a.memory.total(), b.memory.total());
+    ASSERT_EQ(a.schedules.size(), b.schedules.size());
+    for (size_t i = 0; i < a.schedules.size(); ++i)
+        EXPECT_EQ(a.schedules[i].cycles, b.schedules[i].cycles);
+}
+
+TEST(Exp, NumOpsOverrideChangesWorkloadSize)
+{
+    auto config =
+        exp::originalConfig(machines::pa7100(), exp::Rep::AndOrTree);
+    config.num_ops_override = 1000;
+    auto small = exp::run(config);
+    config.num_ops_override = 4000;
+    auto large = exp::run(config);
+    EXPECT_GE(small.stats.ops_scheduled, 1000u);
+    EXPECT_LT(small.stats.ops_scheduled, 1200u);
+    EXPECT_GE(large.stats.ops_scheduled, 4000u);
+}
+
+TEST(Exp, SizeOnlyRunSkipsScheduling)
+{
+    auto config =
+        exp::originalConfig(machines::k5(), exp::Rep::AndOrTree);
+    config.schedule = false;
+    auto result = exp::run(config);
+    EXPECT_EQ(result.stats.ops_scheduled, 0u);
+    EXPECT_TRUE(result.schedules.empty());
+    EXPECT_GT(result.memory.total(), 0u);
+}
+
+TEST(Exp, BuildModelMatchesRunModel)
+{
+    auto config =
+        exp::optimizedConfig(machines::superSparc(), exp::Rep::OrTree);
+    config.schedule = false;
+    Mdes via_build = exp::buildModel(config);
+    auto via_run = exp::run(config);
+    EXPECT_EQ(via_build.options().size(), via_run.mid.options().size());
+    EXPECT_EQ(via_build.orTrees().size(), via_run.mid.orTrees().size());
+    EXPECT_EQ(via_build.trees().size(), via_run.mid.trees().size());
+}
+
+TEST(Exp, MemoryMatchesLoweredModel)
+{
+    for (const auto *m : machines::all()) {
+        auto config = exp::originalConfig(*m, exp::Rep::AndOrTree);
+        config.schedule = false;
+        auto result = exp::run(config);
+        EXPECT_EQ(result.memory.total(), result.low.memory().total());
+    }
+}
+
+} // namespace
+} // namespace mdes

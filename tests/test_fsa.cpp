@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Finite-state-automaton baseline tests: lazy construction, transition
+ * semantics, the negative-time precondition, the state budget, and -
+ * most importantly - bit-identical schedules between the FSA-driven and
+ * the reservation-table-driven list schedulers on every machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/transforms.h"
+#include "exp/runner.h"
+#include "fsa/automaton.h"
+#include "hmdes/compile.h"
+#include "machines/machines.h"
+#include "sched/list_scheduler.h"
+#include "workload/workload.h"
+
+namespace mdes {
+namespace {
+
+using fsa::FsaListScheduler;
+using fsa::SchedulerAutomaton;
+using lmdes::LowMdes;
+
+LowMdes
+shiftedLow(const char *source)
+{
+    Mdes m = hmdes::compileOrThrow(source);
+    shiftUsageTimes(m);
+    lmdes::LowerOptions lopts;
+    lopts.pack_bit_vector = true;
+    return LowMdes::lower(m, lopts);
+}
+
+const char *const kTiny = R"(
+machine "tiny" {
+    resource S[2];
+    resource M;
+    ortree AnyS { for i in 0 .. 1 { option { use S[i] at 0; } } }
+    ortree MemU { option { use M at 0; use M at 1; } }
+    table Alu = AnyS;
+    table Mem = and(MemU, AnyS);
+    operation ADD { table Alu; latency 1; }
+    operation LOAD { table Mem; latency 2; }
+}
+)";
+
+TEST(Fsa, RequiresNonNegativeTimes)
+{
+    Mdes m = hmdes::compileOrThrow(machines::superSparc().source);
+    // Unshifted: decode usages at -1.
+    LowMdes low = LowMdes::lower(m, {});
+    EXPECT_THROW(SchedulerAutomaton fsa(low), MdesError);
+}
+
+TEST(Fsa, IssueAndAdvanceSemantics)
+{
+    LowMdes low = shiftedLow(kTiny);
+    SchedulerAutomaton fsa(low);
+    uint32_t ADD = low.opClasses()[low.findOpClass("ADD")].tree;
+    uint32_t LOAD = low.opClasses()[low.findOpClass("LOAD")].tree;
+
+    uint32_t s0 = fsa.initialState();
+    // Two adds fit in one cycle, the third does not.
+    uint32_t s1 = fsa.issue(s0, ADD);
+    ASSERT_NE(s1, SchedulerAutomaton::kFail);
+    uint32_t s2 = fsa.issue(s1, ADD);
+    ASSERT_NE(s2, SchedulerAutomaton::kFail);
+    EXPECT_EQ(fsa.issue(s2, ADD), SchedulerAutomaton::kFail);
+    // After a cycle advance the slots free up again.
+    uint32_t s3 = fsa.advanceCycle(s2);
+    EXPECT_NE(fsa.issue(s3, ADD), SchedulerAutomaton::kFail);
+
+    // The memory unit is busy for two cycles: a load issued now blocks
+    // another load in the *next* cycle too.
+    uint32_t m1 = fsa.issue(s0, LOAD);
+    ASSERT_NE(m1, SchedulerAutomaton::kFail);
+    EXPECT_EQ(fsa.issue(m1, LOAD), SchedulerAutomaton::kFail);
+    uint32_t m2 = fsa.advanceCycle(m1);
+    EXPECT_EQ(fsa.issue(m2, LOAD), SchedulerAutomaton::kFail);
+    uint32_t m3 = fsa.advanceCycle(m2);
+    EXPECT_NE(fsa.issue(m3, LOAD), SchedulerAutomaton::kFail);
+}
+
+TEST(Fsa, TransitionsAreMemoized)
+{
+    LowMdes low = shiftedLow(kTiny);
+    SchedulerAutomaton fsa(low);
+    uint32_t ADD = low.opClasses()[low.findOpClass("ADD")].tree;
+    uint32_t a = fsa.issue(fsa.initialState(), ADD);
+    uint32_t b = fsa.issue(fsa.initialState(), ADD);
+    EXPECT_EQ(a, b);
+    auto stats = fsa.stats();
+    EXPECT_EQ(stats.issue_lookups, 2u);
+    EXPECT_EQ(stats.transitions_built, 1u);
+}
+
+TEST(Fsa, StateBudgetEnforced)
+{
+    LowMdes low = shiftedLow(kTiny);
+    SchedulerAutomaton fsa(low, 2); // absurdly small budget
+    uint32_t ADD = low.opClasses()[low.findOpClass("ADD")].tree;
+    uint32_t s = fsa.issue(fsa.initialState(), ADD);
+    ASSERT_NE(s, SchedulerAutomaton::kFail);
+    EXPECT_THROW(fsa.issue(s, ADD), MdesError);
+}
+
+TEST(Fsa, IdenticalSchedulesOnAllMachines)
+{
+    for (const auto *info : machines::all()) {
+        SCOPED_TRACE(info->name);
+        exp::RunConfig config =
+            exp::optimizedConfig(*info, exp::Rep::AndOrTree);
+        config.schedule = false;
+        exp::RunResult built = exp::run(config);
+
+        workload::WorkloadSpec spec = info->workload;
+        spec.num_ops = 6000;
+        sched::Program program = workload::generate(spec, built.low);
+
+        sched::ListScheduler table_sched(built.low);
+        sched::SchedStats table_stats;
+        auto table_result =
+            table_sched.scheduleProgram(program, table_stats);
+
+        SchedulerAutomaton fsa(built.low);
+        FsaListScheduler fsa_sched(built.low, fsa);
+        sched::SchedStats fsa_stats;
+        auto fsa_result = fsa_sched.scheduleProgram(program, fsa_stats);
+
+        ASSERT_EQ(fsa_result.size(), table_result.size());
+        for (size_t b = 0; b < table_result.size(); ++b) {
+            ASSERT_EQ(fsa_result[b].cycles, table_result[b].cycles)
+                << "block " << b;
+            ASSERT_EQ(fsa_result[b].used_cascade,
+                      table_result[b].used_cascade)
+                << "block " << b;
+        }
+        // Same attempts; exactly one "check" (lookup) per attempt.
+        EXPECT_EQ(fsa_stats.checks.attempts, table_stats.checks.attempts);
+        EXPECT_EQ(fsa_stats.checks.resource_checks,
+                  fsa_stats.checks.attempts);
+        // The automaton materialized a nontrivial state table.
+        EXPECT_GT(fsa.stats().states, 2u);
+    }
+}
+
+TEST(Fsa, WarmAutomatonStopsBuildingTransitions)
+{
+    const auto &info = machines::superSparc();
+    exp::RunConfig config =
+        exp::optimizedConfig(info, exp::Rep::AndOrTree);
+    config.schedule = false;
+    exp::RunResult built = exp::run(config);
+
+    workload::WorkloadSpec spec = info.workload;
+    spec.num_ops = 3000;
+    sched::Program program = workload::generate(spec, built.low);
+
+    SchedulerAutomaton fsa(built.low);
+    FsaListScheduler scheduler(built.low, fsa);
+    sched::SchedStats s1;
+    scheduler.scheduleProgram(program, s1);
+    uint64_t built_cold = fsa.stats().transitions_built;
+    sched::SchedStats s2;
+    scheduler.scheduleProgram(program, s2);
+    // Second pass over the same program: everything cached.
+    EXPECT_EQ(fsa.stats().transitions_built, built_cold);
+}
+
+} // namespace
+} // namespace mdes

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * MDES lint tests: every finding category fires on a minimal trigger,
+ * clean descriptions stay clean, lint never mutates its input, and the
+ * shipped machines' deliberate decay is reported - including the
+ * paper's PA7100 duplicated-option accident (Table 8), which is the
+ * scenario the linter exists to catch at authoring time.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/lint.h"
+#include "hmdes/compile.h"
+#include "machines/machines.h"
+
+namespace mdes {
+namespace {
+
+size_t
+countKind(const std::vector<LintFinding> &findings, LintKind kind)
+{
+    return size_t(std::count_if(
+        findings.begin(), findings.end(),
+        [kind](const LintFinding &f) { return f.kind == kind; }));
+}
+
+TEST(Lint, CleanDescriptionHasNoFindings)
+{
+    auto m = hmdes::compileOrThrow(R"(
+machine "clean" {
+    resource S[2]; resource M;
+    ortree AnyS { for i in 0 .. 1 { option { use S[i] at 0; } } }
+    ortree MemU { option { use M at 0; } }
+    table T = and(MemU, AnyS);
+    operation LD { table T; latency 2; }
+    operation ST { table T; latency 1; }
+    bypass LD ST latency 1;
+}
+)");
+    LintOptions options;
+    options.removable_usages = true;
+    EXPECT_TRUE(lint(m, options).empty());
+}
+
+TEST(Lint, DetectsPa7100DuplicatedOption)
+{
+    // The exact historical accident from the paper's Table 8.
+    Mdes m = hmdes::compileOrThrow(machines::pa7100().source);
+    auto findings = lint(m);
+    EXPECT_GE(countKind(findings, LintKind::RedundantOption), 1u);
+    bool mentions_mempipe = false;
+    for (const auto &f : findings) {
+        if (f.kind == LintKind::RedundantOption)
+            mentions_mempipe |=
+                f.message.find("MemPipe") != std::string::npos;
+    }
+    EXPECT_TRUE(mentions_mempipe);
+}
+
+TEST(Lint, DetectsSupersetOption)
+{
+    auto m = hmdes::compileOrThrow(R"(
+machine "sup" {
+    resource R[2];
+    ortree O {
+        option { use R[0] at 0; }
+        option { use R[0] at 0; use R[1] at 0; }
+    }
+    table T = O;
+    operation X { table T; }
+}
+)");
+    auto findings = lint(m);
+    ASSERT_EQ(countKind(findings, LintKind::RedundantOption), 1u);
+    EXPECT_NE(findings[0].message.find("superset"), std::string::npos);
+}
+
+TEST(Lint, DetectsDuplicatesAndUnused)
+{
+    for (const auto *info : machines::all()) {
+        SCOPED_TRACE(info->name);
+        Mdes m = hmdes::compileOrThrow(info->source);
+        auto findings = lint(m);
+        // Every shipped description carries deliberate Section 5 decay.
+        EXPECT_GE(countKind(findings, LintKind::DuplicateOrTree) +
+                      countKind(findings, LintKind::DuplicateOption) +
+                      countKind(findings, LintKind::UnusedEntity) +
+                      countKind(findings, LintKind::DuplicateTable) +
+                      countKind(findings, LintKind::RedundantOption),
+                  1u)
+            << "expected decay findings";
+    }
+}
+
+TEST(Lint, DetectsOverlappingSubtrees)
+{
+    auto m = hmdes::compileOrThrow(R"(
+machine "ovl" {
+    resource R[2];
+    ortree A { for i in 0 .. 1 { option { use R[i] at 0; } } }
+    ortree B { option { use R[0] at 0; } }
+    table T = and(A, B);
+    operation X { table T; }
+}
+)");
+    auto findings = lint(m);
+    EXPECT_EQ(countKind(findings, LintKind::OverlappingSubtrees), 1u);
+}
+
+TEST(Lint, DetectsUselessBypass)
+{
+    auto m = hmdes::compileOrThrow(R"(
+machine "bp" {
+    resource S;
+    ortree O { option { use S at 0; } }
+    table T = O;
+    operation A { table T; latency 2; }
+    operation B { table T; latency 1; }
+    bypass A B latency 2;
+}
+)");
+    auto findings = lint(m);
+    EXPECT_EQ(countKind(findings, LintKind::UselessBypass), 1u);
+}
+
+TEST(Lint, DeepModeFindsRemovableUsages)
+{
+    auto m = hmdes::compileOrThrow(R"(
+machine "rm" {
+    resource A; resource B;
+    ortree O { option { use A at 0; use B at 0; } } // lock-step pair
+    table T = O;
+    operation X { table T; }
+}
+)");
+    LintOptions shallow;
+    EXPECT_EQ(countKind(lint(m, shallow), LintKind::RemovableUsage), 0u);
+    LintOptions deep;
+    deep.removable_usages = true;
+    EXPECT_EQ(countKind(lint(m, deep), LintKind::RemovableUsage), 1u);
+}
+
+TEST(Lint, NeverMutatesInput)
+{
+    Mdes m = hmdes::compileOrThrow(machines::pa7100().source);
+    Mdes before = m;
+    LintOptions options;
+    options.removable_usages = true;
+    lint(m, options);
+    EXPECT_EQ(m.options().size(), before.options().size());
+    for (OptionId o = 0; o < m.options().size(); ++o)
+        EXPECT_EQ(m.option(o).usages, before.option(o).usages);
+    EXPECT_EQ(m.orTrees().size(), before.orTrees().size());
+    EXPECT_EQ(m.trees().size(), before.trees().size());
+}
+
+TEST(Lint, KindNamesArePrintable)
+{
+    for (LintKind kind :
+         {LintKind::RedundantOption, LintKind::DuplicateOption,
+          LintKind::DuplicateOrTree, LintKind::DuplicateTable,
+          LintKind::UnusedEntity, LintKind::OverlappingSubtrees,
+          LintKind::UselessBypass, LintKind::RemovableUsage}) {
+        EXPECT_STRNE(lintKindName(kind), "?");
+    }
+}
+
+} // namespace
+} // namespace mdes

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Low-level representation tests: lowering (scalar and bit-vector check
+ * encodings), sharing, the memory-accounting model, and binary
+ * serialization round-trips with corruption rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hmdes/compile.h"
+#include "lmdes/low_mdes.h"
+#include "machines/machines.h"
+
+namespace mdes {
+namespace {
+
+using lmdes::LowerOptions;
+using lmdes::LowMdes;
+
+Mdes
+twoCycleMachine()
+{
+    // One option with usages at times 0, 0, 1 - the bit-vector encoding
+    // must merge the two time-0 usages into one check word.
+    Mdes m("two");
+    ResourceId r = m.addResourceClass("R", 3);
+    OptionId o = m.addOption({{{0, r}, {0, r + 1}, {1, r + 2}}});
+    OrTreeId t = m.addOrTree({"T", {o}});
+    TreeId tree = m.addTree({"Tbl", {t}});
+    m.addOpClass({"OP", tree, 2, kInvalidId, "test"});
+    return m;
+}
+
+TEST(Lower, ScalarOneCheckPerUsage)
+{
+    Mdes m = twoCycleMachine();
+    LowMdes low = LowMdes::lower(m, {});
+    ASSERT_EQ(low.options().size(), 1u);
+    EXPECT_EQ(low.options()[0].num_checks, 3u);
+    EXPECT_FALSE(low.packed());
+    EXPECT_EQ(low.checks()[0].mask, uint64_t(1) << 0);
+    EXPECT_EQ(low.checks()[1].mask, uint64_t(1) << 1);
+}
+
+TEST(Lower, BitVectorMergesSameCycle)
+{
+    Mdes m = twoCycleMachine();
+    LowerOptions opts;
+    opts.pack_bit_vector = true;
+    LowMdes low = LowMdes::lower(m, opts);
+    ASSERT_EQ(low.options().size(), 1u);
+    EXPECT_EQ(low.options()[0].num_checks, 2u);
+    EXPECT_TRUE(low.packed());
+    EXPECT_EQ(low.checks()[0].slot, 0);
+    EXPECT_EQ(low.checks()[0].mask, (uint64_t(1) << 0) | (uint64_t(1) << 1));
+    EXPECT_EQ(low.checks()[1].slot, 1);
+}
+
+TEST(Lower, BitVectorPreservesFirstAppearanceOrder)
+{
+    // Usage order (post-sorting transform) must survive packing: the
+    // first time seen keeps its position.
+    Mdes m("o");
+    ResourceId r = m.addResourceClass("R", 3);
+    OptionId o = m.addOption({{{1, r}, {0, r + 1}, {1, r + 2}}});
+    OrTreeId t = m.addOrTree({"T", {o}});
+    TreeId tree = m.addTree({"Tbl", {t}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    LowerOptions opts;
+    opts.pack_bit_vector = true;
+    LowMdes low = LowMdes::lower(m, opts);
+    ASSERT_EQ(low.options()[0].num_checks, 2u);
+    EXPECT_EQ(low.checks()[low.options()[0].first_check].slot, 1);
+    EXPECT_EQ(low.checks()[low.options()[0].first_check + 1].slot, 0);
+}
+
+TEST(Lower, SharedEntitiesStoredOnce)
+{
+    // Two tables referencing the same OR-tree share its lowered record
+    // and its option-reference list.
+    Mdes m("share");
+    ResourceId r = m.addResourceClass("R", 2);
+    std::vector<OptionId> opts = {m.addOption({{{0, r}}}),
+                                  m.addOption({{{0, r + 1}}})};
+    OrTreeId shared = m.addOrTree({"S", opts});
+    TreeId t1 = m.addTree({"T1", {shared}});
+    TreeId t2 = m.addTree({"T2", {shared}});
+    m.addOpClass({"A", t1, 1, kInvalidId, ""});
+    m.addOpClass({"B", t2, 1, kInvalidId, ""});
+
+    LowMdes low = LowMdes::lower(m, {});
+    EXPECT_EQ(low.orTrees().size(), 1u);
+    EXPECT_EQ(low.optionRefs().size(), 2u);
+    EXPECT_EQ(low.trees().size(), 2u);
+    EXPECT_EQ(low.orRefs().size(), 2u);
+}
+
+TEST(Lower, MemoryAccountingModel)
+{
+    Mdes m = twoCycleMachine();
+    LowMdes low = LowMdes::lower(m, {});
+    auto mem = low.memory();
+    EXPECT_EQ(mem.check_bytes, 3u * 8);
+    EXPECT_EQ(mem.option_bytes, 1u * 8);
+    EXPECT_EQ(mem.option_ref_bytes, 1u * 4);
+    EXPECT_EQ(mem.or_tree_bytes, 1u * 8);
+    EXPECT_EQ(mem.or_ref_bytes, 1u * 4);
+    EXPECT_EQ(mem.tree_bytes, 1u * 8);
+    EXPECT_EQ(mem.total(), 24u + 8 + 4 + 8 + 4 + 8);
+}
+
+TEST(Lower, WideMachinesUseMultipleSlotWords)
+{
+    // 100 resource instances: two RU-map words per cycle; usages in
+    // different words probe different slots even at the same time.
+    Mdes m("wide");
+    ResourceId r = m.addResourceClass("R", 100);
+    OptionId o = m.addOption({{{0, r + 3}, {0, r + 70}, {1, r + 70}}});
+    OrTreeId t = m.addOrTree({"T", {o}});
+    TreeId tree = m.addTree({"Tbl", {t}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    lmdes::LowerOptions opts;
+    opts.pack_bit_vector = true;
+    LowMdes low = LowMdes::lower(m, opts);
+    EXPECT_EQ(low.slotWords(), 2u);
+    // Same time but different words: no merging across words.
+    ASSERT_EQ(low.options()[0].num_checks, 3u);
+    EXPECT_EQ(low.checks()[0].slot, 0); // time 0, word 0
+    EXPECT_EQ(low.checks()[0].mask, uint64_t(1) << 3);
+    EXPECT_EQ(low.checks()[1].slot, 1); // time 0, word 1
+    EXPECT_EQ(low.checks()[1].mask, uint64_t(1) << (70 - 64));
+    EXPECT_EQ(low.checks()[2].slot, 3); // time 1, word 1
+}
+
+TEST(Lower, CountsMatchStructuredModel)
+{
+    for (const auto *info : machines::all()) {
+        SCOPED_TRACE(info->name);
+        Mdes m = hmdes::compileOrThrow(info->source);
+        LowMdes low = LowMdes::lower(m, {});
+        ASSERT_EQ(low.trees().size(), m.trees().size());
+        for (TreeId t = 0; t < m.trees().size(); ++t) {
+            EXPECT_EQ(low.expandedOptionCount(t),
+                      m.expandedOptionCount(t));
+            EXPECT_EQ(low.leafOptionCount(t), m.leafOptionCount(t));
+        }
+        EXPECT_EQ(low.opClasses().size(), m.opClasses().size());
+        EXPECT_EQ(low.findOpClass(m.opClasses()[0].name), 0u);
+        EXPECT_EQ(low.findOpClass("NO_SUCH_OP"), kInvalidId);
+    }
+}
+
+// ------------------------------------------------------------ Serialization
+
+TEST(Serialize, RoundTripsEveryMachine)
+{
+    for (const auto *info : machines::all()) {
+        for (bool packed : {false, true}) {
+            SCOPED_TRACE(info->name + (packed ? "/bv" : "/scalar"));
+            Mdes m = hmdes::compileOrThrow(info->source);
+            LowerOptions opts;
+            opts.pack_bit_vector = packed;
+            LowMdes low = LowMdes::lower(m, opts);
+
+            std::stringstream buf;
+            low.save(buf);
+            LowMdes loaded = LowMdes::load(buf);
+            EXPECT_EQ(loaded, low);
+        }
+    }
+}
+
+TEST(Serialize, RejectsBadMagic)
+{
+    std::stringstream buf;
+    buf << "NOPE additional data";
+    EXPECT_THROW(LowMdes::load(buf), MdesError);
+}
+
+TEST(Serialize, RejectsTruncation)
+{
+    Mdes m = twoCycleMachine();
+    LowMdes low = LowMdes::lower(m, {});
+    std::stringstream buf;
+    low.save(buf);
+    std::string data = buf.str();
+    for (size_t cut : {size_t(3), data.size() / 2, data.size() - 2}) {
+        std::stringstream cut_buf(data.substr(0, cut));
+        EXPECT_THROW(LowMdes::load(cut_buf), MdesError) << "cut " << cut;
+    }
+}
+
+TEST(Serialize, RejectsCorruptReferences)
+{
+    Mdes m = twoCycleMachine();
+    LowMdes low = LowMdes::lower(m, {});
+    std::stringstream buf;
+    low.save(buf);
+    std::string data = buf.str();
+    // Flip bytes throughout the stream; every mutation must either load
+    // to a *valid* structure or throw - never crash.
+    for (size_t i = 8; i < data.size(); i += 7) {
+        std::string mutated = data;
+        mutated[i] = char(mutated[i] ^ 0x5A);
+        std::stringstream mbuf(mutated);
+        try {
+            LowMdes loaded = LowMdes::load(mbuf);
+            // Loaded fine: all references must be in range.
+            for (const auto &oc : loaded.opClasses())
+                ASSERT_LT(oc.tree, loaded.trees().size());
+        } catch (const MdesError &) {
+            // Rejection is the expected outcome.
+        }
+    }
+}
+
+} // namespace
+} // namespace mdes

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Machine-description correctness: the four shipped descriptions compile,
+ * validate, and reproduce the paper's option-count breakdowns
+ * (Tables 1-4) exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/expand.h"
+#include "exp/runner.h"
+#include "hmdes/compile.h"
+#include "machines/machines.h"
+
+namespace mdes {
+namespace {
+
+/** Expanded option count for every operation class, via its tree. */
+std::map<std::string, uint64_t>
+optionCounts(const Mdes &m)
+{
+    std::map<std::string, uint64_t> counts;
+    for (const auto &oc : m.opClasses())
+        counts[oc.name] = m.expandedOptionCount(oc.tree);
+    return counts;
+}
+
+/** The distinct option-count groups over all operation classes. */
+std::set<uint64_t>
+optionGroups(const Mdes &m)
+{
+    std::set<uint64_t> groups;
+    for (const auto &oc : m.opClasses())
+        groups.insert(m.expandedOptionCount(oc.tree));
+    return groups;
+}
+
+TEST(Machines, AllCompileAndValidate)
+{
+    for (const auto *info : machines::all()) {
+        SCOPED_TRACE(info->name);
+        Mdes m = hmdes::compileOrThrow(info->source);
+        EXPECT_EQ(m.validate(), "");
+        EXPECT_EQ(m.name(), info->name);
+        EXPECT_LE(m.numResources(), 64u);
+    }
+}
+
+TEST(Machines, SuperSparcMatchesTable1)
+{
+    Mdes m = hmdes::compileOrThrow(machines::superSparc().source);
+    auto counts = optionCounts(m);
+
+    // Branches and serial ops: 1 option.
+    EXPECT_EQ(counts["BA"], 1u);
+    EXPECT_EQ(counts["CALL"], 1u);
+    EXPECT_EQ(counts["LDSTUB"], 1u);
+    // Floating-point ops: 3 options.
+    EXPECT_EQ(counts["FADD"], 3u);
+    EXPECT_EQ(counts["FDIV"], 3u);
+    // Loads: 6. Stores: 12.
+    EXPECT_EQ(counts["LD"], 6u);
+    EXPECT_EQ(counts["ST"], 12u);
+    // Shifts: 24 (1 source) and 36 (2 sources).
+    EXPECT_EQ(counts["SLL_I"], 24u);
+    EXPECT_EQ(counts["SLL_R"], 36u);
+    // IALU: 48 (1 source) and 72 (2 sources).
+    EXPECT_EQ(counts["ADD_I"], 48u);
+    EXPECT_EQ(counts["ADD_R"], 72u);
+    // Cascaded IALU tables have half the options of the normal tables.
+    auto cascade1 = m.opClass(m.findOpClass("ADD_I")).cascade_tree;
+    auto cascade2 = m.opClass(m.findOpClass("ADD_R")).cascade_tree;
+    ASSERT_NE(cascade1, kInvalidId);
+    ASSERT_NE(cascade2, kInvalidId);
+    EXPECT_EQ(m.expandedOptionCount(cascade1), 24u);
+    EXPECT_EQ(m.expandedOptionCount(cascade2), 36u);
+
+    EXPECT_EQ(optionGroups(m),
+              (std::set<uint64_t>{1, 3, 6, 12, 24, 36, 48, 72}));
+}
+
+TEST(Machines, Pa7100MatchesTable2)
+{
+    Mdes m = hmdes::compileOrThrow(machines::pa7100().source);
+    auto counts = optionCounts(m);
+
+    EXPECT_EQ(counts["B"], 1u);
+    EXPECT_EQ(counts["ADD"], 2u);
+    EXPECT_EQ(counts["FADD"], 2u);
+    // The original memory table carries the historical duplicated option
+    // (3 = 2 + 1 duplicate); Table 8's transformation removes it.
+    EXPECT_EQ(counts["LDW"], 3u);
+
+    Mdes cleaned = m;
+    removeRedundantOptions(cleaned);
+    EXPECT_EQ(optionCounts(cleaned)["LDW"], 2u);
+    EXPECT_EQ(optionGroups(cleaned), (std::set<uint64_t>{1, 2}));
+}
+
+TEST(Machines, PentiumMatchesTable3)
+{
+    Mdes m = hmdes::compileOrThrow(machines::pentium().source);
+    auto counts = optionCounts(m);
+
+    // Either pipe: 2 options.
+    EXPECT_EQ(counts["MOV_RR"], 2u);
+    EXPECT_EQ(counts["MOV_RM"], 2u);
+    EXPECT_EQ(counts["ALU_RR"], 2u);
+    // Only one pipe (or issue alone): 1 option.
+    EXPECT_EQ(counts["SHL"], 1u);
+    EXPECT_EQ(counts["IMUL"], 1u);
+    EXPECT_EQ(counts["CMP_BR"], 1u);
+
+    EXPECT_EQ(optionGroups(m), (std::set<uint64_t>{1, 2}));
+
+    // The paper: the Pentium MDES does not use AND/OR-trees - every
+    // table's AND level points at a single OR-tree.
+    for (const auto &oc : m.opClasses())
+        EXPECT_EQ(m.tree(oc.tree).or_trees.size(), 1u) << oc.name;
+}
+
+TEST(Machines, K5MatchesTable4)
+{
+    Mdes m = hmdes::compileOrThrow(machines::k5().source);
+    auto counts = optionCounts(m);
+
+    EXPECT_EQ(counts["FADD_X87"], 16u);
+    EXPECT_EQ(counts["IMUL"], 16u);
+    EXPECT_EQ(counts["XCHG"], 24u);
+    EXPECT_EQ(counts["MOV_RR"], 32u);
+    EXPECT_EQ(counts["MOV_RM"], 32u);
+    EXPECT_EQ(counts["CMP_BR"], 48u);
+    EXPECT_EQ(counts["CMPM_BR"], 64u);
+    EXPECT_EQ(counts["LOAD_OP"], 96u);
+    EXPECT_EQ(counts["CMP_BR_FAR"], 128u);
+    EXPECT_EQ(counts["PUSH_MEM"], 192u);
+    EXPECT_EQ(counts["LOAD_OP_W"], 256u);
+    EXPECT_EQ(counts["CMPM_BR_FAR"], 384u);
+    EXPECT_EQ(counts["RMW"], 768u);
+
+    EXPECT_EQ(optionGroups(m),
+              (std::set<uint64_t>{16, 24, 32, 48, 64, 96, 128, 192, 256,
+                                  384, 768}));
+}
+
+TEST(Machines, ExpansionMatchesProductCounts)
+{
+    // The MDES preprocessor's flat OR-trees must have exactly the
+    // product-of-subtrees option counts (no internal conflicts in the
+    // shipped descriptions).
+    for (const auto *info : machines::all()) {
+        SCOPED_TRACE(info->name);
+        Mdes m = hmdes::compileOrThrow(info->source);
+        Mdes flat = expandToOrForm(m);
+        for (const auto &oc : m.opClasses()) {
+            uint64_t expect = m.expandedOptionCount(oc.tree);
+            uint32_t flat_cls = flat.findOpClass(oc.name);
+            ASSERT_NE(flat_cls, kInvalidId);
+            const auto &ft = flat.tree(flat.opClass(flat_cls).tree);
+            ASSERT_EQ(ft.or_trees.size(), 1u);
+            EXPECT_EQ(flat.orTree(ft.or_trees[0]).options.size(), expect)
+                << oc.name;
+        }
+    }
+}
+
+TEST(Machines, PentiumProExtensionCompilesAndPatternsWithK5)
+{
+    // The forward-looking extension machine (the paper's closing
+    // prediction): compiles clean, exposes K5-style combinatorics, and
+    // stays out of the paper's four-machine lineup.
+    const auto &info = machines::pentiumPro();
+    DiagnosticEngine diags;
+    auto m = hmdes::compile(info.source, diags);
+    ASSERT_TRUE(m.has_value()) << diags.toString();
+    EXPECT_TRUE(diags.diagnostics().empty()) << diags.toString();
+    EXPECT_EQ(m->validate(), "");
+
+    auto counts = optionCounts(*m);
+    EXPECT_EQ(counts["ALU_RR"], 54u); // 3 dec x 3 rat x 2 ports x 3 ret
+    EXPECT_EQ(counts["MOV_RM"], 27u);
+    EXPECT_EQ(counts["MOV_MR"], 9u);
+    EXPECT_EQ(counts["RMW"], 6u);
+    EXPECT_EQ(m->bypasses().size(), 1u);
+
+    // Not part of the paper's evaluated set.
+    for (const auto *paper_machine : machines::all())
+        EXPECT_NE(paper_machine->name, info.name);
+    EXPECT_EQ(machines::byName("PentiumPro"), &info);
+
+    // Full pipeline + scheduling works end to end.
+    exp::RunConfig config = exp::optimizedConfig(info, exp::Rep::AndOrTree);
+    config.num_ops_override = 5000;
+    exp::RunResult result = exp::run(config);
+    EXPECT_GT(result.stats.ops_scheduled, 5000u - 20u);
+    EXPECT_GT(result.stats.avgAttemptsPerOp(), 1.0);
+}
+
+TEST(Machines, Pa8000ExtensionCompilesAndPatternsWithK5)
+{
+    const auto &info = machines::pa8000();
+    DiagnosticEngine diags;
+    auto m = hmdes::compile(info.source, diags);
+    ASSERT_TRUE(m.has_value()) << diags.toString();
+    EXPECT_TRUE(diags.diagnostics().empty()) << diags.toString();
+    EXPECT_EQ(m->validate(), "");
+
+    auto counts = optionCounts(*m);
+    EXPECT_EQ(counts["ADD"], 128u); // 4 pos x 4 insert x 2 ALUs x 4 ret
+    EXPECT_EQ(counts["LDW"], 128u);
+    EXPECT_EQ(counts["COMBT"], 32u);
+    EXPECT_EQ(m->bypasses().size(), 1u);
+
+    ASSERT_EQ(machines::extensions().size(), 2u);
+    EXPECT_EQ(machines::byName("PA8000"), &info);
+
+    exp::RunConfig config = exp::optimizedConfig(info, exp::Rep::AndOrTree);
+    config.num_ops_override = 5000;
+    exp::RunResult result = exp::run(config);
+    EXPECT_GT(result.stats.ops_scheduled, 5000u - 20u);
+}
+
+TEST(Machines, DescriptionsCarryDecayForSection5)
+{
+    // Each description deliberately contains duplicated or unused
+    // information; the Section 5 transformations must find work.
+    for (const auto *info : machines::all()) {
+        SCOPED_TRACE(info->name);
+        Mdes m = hmdes::compileOrThrow(info->source);
+        auto stats = eliminateRedundantInfo(m);
+        EXPECT_GT(stats.merged_options + stats.merged_or_trees +
+                      stats.merged_trees + stats.removed_dead,
+                  0u);
+        EXPECT_EQ(m.validate(), "");
+    }
+}
+
+} // namespace
+} // namespace mdes

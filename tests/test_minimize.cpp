@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Eichenberger/Davidson-style usage minimization tests: collision
+ * vectors are preserved exactly, redundant usages disappear,
+ * load-bearing usages survive, and - the key soundness property -
+ * schedules are bit-identical before and after minimization, on the
+ * shipped machines and on randomly generated ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/collision.h"
+#include "core/expand.h"
+#include "core/minimize.h"
+#include "core/transforms.h"
+#include "hmdes/compile.h"
+#include "lmdes/low_mdes.h"
+#include "machines/machines.h"
+#include "random_mdes.h"
+#include "sched/list_scheduler.h"
+#include "workload/workload.h"
+
+namespace mdes {
+namespace {
+
+TEST(Minimize, RemovesShadowedUsage)
+{
+    // Two resources used in lock-step: either one alone forbids exactly
+    // the same latencies, so one of the pair can go.
+    Mdes m("shadow");
+    ResourceId a = m.addResourceClass("A", 1);
+    ResourceId b = m.addResourceClass("B", 1);
+    OptionId o = m.addOption({{{0, a}, {0, b}, {1, a}, {1, b}}});
+    OrTreeId t = m.addOrTree({"T", {o}});
+    TreeId tree = m.addTree({"Tbl", {t}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    EXPECT_EQ(minimizeUsages(m), 2u);
+    EXPECT_EQ(m.option(o).usages.size(), 2u);
+    EXPECT_EQ(m.validate(), "");
+}
+
+TEST(Minimize, KeepsLoadBearingUsages)
+{
+    // One resource used at two distinct times: the self collision
+    // vector {0, 2} needs both usages (each forbidden latency has only
+    // one witness pair).
+    Mdes m("tight");
+    ResourceId a = m.addResourceClass("A", 1);
+    OptionId o = m.addOption({{{0, a}, {2, a}}});
+    OrTreeId t = m.addOrTree({"T", {o}});
+    TreeId tree = m.addTree({"Tbl", {t}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    EXPECT_EQ(minimizeUsages(m), 0u);
+    EXPECT_EQ(m.option(o).usages.size(), 2u);
+}
+
+TEST(Minimize, LockStepResourcesCollapse)
+{
+    // The Eichenberger/Davidson insight: a resource whose usages track
+    // another's in lock-step adds no forbidden latency of its own, so
+    // one copy suffices - here B@2 and even A@0 fold into the self
+    // collision vector {0} that any single usage provides.
+    Mdes m("fold");
+    ResourceId a = m.addResourceClass("A", 1);
+    ResourceId b = m.addResourceClass("B", 1);
+    OptionId o = m.addOption({{{0, a}, {2, b}}});
+    OrTreeId t = m.addOrTree({"T", {o}});
+    TreeId tree = m.addTree({"Tbl", {t}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    EXPECT_EQ(minimizeUsages(m), 1u);
+    EXPECT_EQ(m.option(o).usages.size(), 1u);
+}
+
+TEST(Minimize, NeverEmptiesAnOption)
+{
+    Mdes m("single");
+    ResourceId a = m.addResourceClass("A", 1);
+    OptionId o = m.addOption({{{0, a}}});
+    OrTreeId t = m.addOrTree({"T", {o}});
+    TreeId tree = m.addTree({"Tbl", {t}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    minimizeUsages(m);
+    EXPECT_GE(m.option(o).usages.size(), 1u);
+    EXPECT_EQ(m.validate(), "");
+}
+
+TEST(Minimize, CrossOptionInteractionBlocksRemoval)
+{
+    // Option X uses A at 0 and 1; option Y uses A at 1 only. X's usage
+    // at 1 is shadowed within (X, X) but still needed for CV(X, Y) and
+    // CV(Y, X) latency 0... verify minimization accounts for Y.
+    Mdes m("cross");
+    ResourceId a = m.addResourceClass("A", 1);
+    ResourceId b = m.addResourceClass("B", 1);
+    // X: A@0, A@1, B@0(B makes self-CV of A@1 non-trivially covered?).
+    OptionId x = m.addOption({{{0, a}, {1, a}}});
+    OptionId y = m.addOption({{{1, b}}});
+    OrTreeId tx = m.addOrTree({"X", {x}});
+    OrTreeId ty = m.addOrTree({"Y", {y}});
+    m.addOpClass({"OPX", m.addTree({"TX", {tx}}), 1, kInvalidId, ""});
+    m.addOpClass({"OPY", m.addTree({"TY", {ty}}), 1, kInvalidId, ""});
+
+    Mdes before = m;
+    minimizeUsages(m);
+    // Whatever was removed, every pairwise collision vector must match.
+    int32_t bound = std::max(maxUsageSpan(before), 4);
+    for (OptionId p = 0; p < before.options().size(); ++p) {
+        for (OptionId q = 0; q < before.options().size(); ++q) {
+            EXPECT_EQ(collisionVector(before, p, q, bound),
+                      collisionVector(m, p, q, bound));
+        }
+    }
+}
+
+TEST(Minimize, PreservesAllCollisionVectorsOnShippedMachines)
+{
+    for (const auto *info : machines::all()) {
+        SCOPED_TRACE(info->name);
+        Mdes before = hmdes::compileOrThrow(info->source);
+        Mdes after = before;
+        size_t removed = minimizeUsages(after);
+        ASSERT_EQ(after.validate(), "");
+        int32_t bound = maxUsageSpan(before) + 1;
+        ASSERT_EQ(before.options().size(), after.options().size());
+        for (OptionId p = 0; p < before.options().size(); ++p) {
+            for (OptionId q = 0; q < before.options().size(); ++q) {
+                ASSERT_EQ(collisionVector(before, p, q, bound),
+                          collisionVector(after, p, q, bound))
+                    << "pair " << p << "," << q;
+            }
+        }
+        (void)removed; // some machines may have nothing redundant
+    }
+}
+
+TEST(Minimize, SchedulesIdenticalOnShippedMachines)
+{
+    for (const auto *info : machines::all()) {
+        SCOPED_TRACE(info->name);
+        Mdes base = hmdes::compileOrThrow(info->source);
+
+        workload::WorkloadSpec spec = info->workload;
+        spec.num_ops = 5000;
+
+        auto scheduleWith = [&](const Mdes &model) {
+            lmdes::LowMdes low = lmdes::LowMdes::lower(model, {});
+            sched::Program program = workload::generate(spec, low);
+            sched::ListScheduler s(low);
+            sched::SchedStats stats;
+            return s.scheduleProgram(program, stats);
+        };
+
+        auto before = scheduleWith(base);
+        Mdes minimized = base;
+        minimizeUsages(minimized);
+        auto after = scheduleWith(minimized);
+
+        ASSERT_EQ(before.size(), after.size());
+        for (size_t i = 0; i < before.size(); ++i)
+            ASSERT_EQ(before[i].cycles, after[i].cycles) << "block " << i;
+    }
+}
+
+TEST(Minimize, SchedulesIdenticalOnRandomMachines)
+{
+    Rng rng(0xED96);
+    for (int trial = 0; trial < 25; ++trial) {
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        Mdes base = mdes::testing::randomMdes(rng);
+        lmdes::LowMdes low0 = lmdes::LowMdes::lower(base, {});
+        auto spec = mdes::testing::randomWorkloadSpec(
+            base, 0xAB + uint64_t(trial), 400);
+        sched::Program program = workload::generate(spec, low0);
+
+        auto scheduleWith = [&](const Mdes &model) {
+            lmdes::LowMdes low = lmdes::LowMdes::lower(model, {});
+            sched::ListScheduler s(low);
+            sched::SchedStats stats;
+            return s.scheduleProgram(program, stats);
+        };
+        auto before = scheduleWith(base);
+        Mdes minimized = base;
+        minimizeUsages(minimized);
+        ASSERT_EQ(minimized.validate(), "");
+        auto after = scheduleWith(minimized);
+        for (size_t i = 0; i < before.size(); ++i)
+            ASSERT_EQ(before[i].cycles, after[i].cycles) << "block " << i;
+    }
+}
+
+TEST(Minimize, Idempotent)
+{
+    Mdes m = expandToOrForm(
+        hmdes::compileOrThrow(machines::superSparc().source));
+    minimizeUsages(m);
+    EXPECT_EQ(minimizeUsages(m), 0u);
+}
+
+} // namespace
+} // namespace mdes

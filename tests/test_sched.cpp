@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Scheduler substrate tests: dependence-graph construction (RAW/WAR/WAW,
+ * cascade relaxation, branch ordering, priorities), list scheduling
+ * against the MDES, cascade selection, and schedule verification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hmdes/compile.h"
+#include "lmdes/low_mdes.h"
+#include "machines/machines.h"
+#include "sched/dep_graph.h"
+#include "sched/list_scheduler.h"
+#include "sched/verify.h"
+
+namespace mdes {
+namespace {
+
+using lmdes::LowMdes;
+using sched::Block;
+using sched::BlockSchedule;
+using sched::DepGraph;
+using sched::Instr;
+using sched::ListScheduler;
+using sched::SchedStats;
+
+/** A 2-wide machine: 2 slots, ops take one slot; ADD cascades on S[1]. */
+LowMdes
+twoWide()
+{
+    static const char *src = R"(
+machine "two-wide" {
+    resource S[2];
+    ortree AnyS { for i in 0 .. 1 { option { use S[i] at 0; } } }
+    ortree S1 { option { use S[1] at 0; } }
+    table Any = AnyS;
+    table Casc = S1;
+    operation ADD { table Any; latency 1; cascade Casc; }
+    operation LOAD { table Any; latency 3; }
+    operation BR { table Any; latency 1; }
+}
+)";
+    Mdes m = hmdes::compileOrThrow(src);
+    return LowMdes::lower(m, {});
+}
+
+Instr
+instr(uint32_t cls, std::vector<int32_t> srcs, std::vector<int32_t> dsts,
+      bool cascadable = false, bool is_branch = false)
+{
+    Instr in;
+    in.op_class = cls;
+    in.srcs = std::move(srcs);
+    in.dsts = std::move(dsts);
+    in.cascadable = cascadable;
+    in.is_branch = is_branch;
+    return in;
+}
+
+// --------------------------------------------------------------- DepGraph
+
+TEST(DepGraph, RawWarWawEdges)
+{
+    LowMdes low = twoWide();
+    uint32_t ADD = low.findOpClass("ADD");
+    uint32_t LOAD = low.findOpClass("LOAD");
+    Block b;
+    b.instrs = {
+        instr(LOAD, {1}, {2}), // 0: r2 = load r1
+        instr(ADD, {2}, {3}),  // 1: r3 = r2 + ...   RAW 0->1 dist 3
+        instr(ADD, {9}, {2}),  // 2: r2 = ...        WAW 0->2, WAR 1->2
+    };
+    DepGraph g = DepGraph::build(b, low);
+
+    bool raw = false, waw = false, war = false;
+    for (const auto &e : g.edges()) {
+        if (e.pred == 0 && e.succ == 1) {
+            raw = true;
+            EXPECT_EQ(e.min_dist, 3);
+        }
+        if (e.pred == 0 && e.succ == 2) {
+            waw = true;
+            EXPECT_EQ(e.min_dist, 1);
+        }
+        if (e.pred == 1 && e.succ == 2) {
+            war = true;
+            EXPECT_EQ(e.min_dist, 0);
+        }
+    }
+    EXPECT_TRUE(raw && waw && war);
+}
+
+TEST(DepGraph, CascadeRelaxOnlyForSingleCycleProducers)
+{
+    LowMdes low = twoWide();
+    uint32_t ADD = low.findOpClass("ADD");
+    uint32_t LOAD = low.findOpClass("LOAD");
+    Block b;
+    b.instrs = {
+        instr(ADD, {1}, {2}),              // 0
+        instr(ADD, {2}, {3}, true),        // 1: cascadable consumer
+        instr(LOAD, {9}, {4}),             // 2
+        instr(ADD, {4}, {5}, true),        // 3: load-fed: no relax
+    };
+    DepGraph g = DepGraph::build(b, low);
+    for (const auto &e : g.edges()) {
+        if (e.pred == 0 && e.succ == 1)
+            EXPECT_TRUE(e.cascade_relax);
+        if (e.pred == 2 && e.succ == 3)
+            EXPECT_FALSE(e.cascade_relax);
+    }
+}
+
+TEST(DepGraph, NoSelfEdges)
+{
+    LowMdes low = twoWide();
+    uint32_t ADD = low.findOpClass("ADD");
+    Block b;
+    // Reads and writes the same register, plus a double write.
+    b.instrs = {instr(ADD, {1}, {1}), instr(ADD, {2}, {3, 3})};
+    DepGraph g = DepGraph::build(b, low);
+    for (const auto &e : g.edges())
+        EXPECT_NE(e.pred, e.succ);
+}
+
+TEST(DepGraph, BranchOrderedLast)
+{
+    LowMdes low = twoWide();
+    uint32_t ADD = low.findOpClass("ADD");
+    uint32_t BR = low.findOpClass("BR");
+    Block b;
+    b.instrs = {instr(ADD, {1}, {2}), instr(ADD, {3}, {4}),
+                instr(BR, {}, {}, false, true)};
+    DepGraph g = DepGraph::build(b, low);
+    int edges_to_branch = 0;
+    for (const auto &e : g.edges())
+        edges_to_branch += e.succ == 2;
+    EXPECT_EQ(edges_to_branch, 2);
+}
+
+TEST(DepGraph, PrioritiesAreCriticalPath)
+{
+    LowMdes low = twoWide();
+    uint32_t ADD = low.findOpClass("ADD");
+    uint32_t LOAD = low.findOpClass("LOAD");
+    Block b;
+    b.instrs = {
+        instr(LOAD, {1}, {2}), // 0: feeds the chain, lat 3
+        instr(ADD, {2}, {3}),  // 1
+        instr(ADD, {3}, {4}),  // 2
+        instr(ADD, {9}, {8}),  // 3: independent
+    };
+    DepGraph g = DepGraph::build(b, low);
+    // height(2) = 1, height(1) = 1 + 1, height(0) = 3 + 2.
+    EXPECT_EQ(g.priorities()[0], 5);
+    EXPECT_EQ(g.priorities()[1], 2);
+    EXPECT_EQ(g.priorities()[2], 1);
+    EXPECT_EQ(g.priorities()[3], 1);
+}
+
+// ---------------------------------------------------------- ListScheduler
+
+TEST(Scheduler, PacksIndependentOpsByWidth)
+{
+    LowMdes low = twoWide();
+    uint32_t ADD = low.findOpClass("ADD");
+    Block b;
+    for (int i = 0; i < 4; ++i)
+        b.instrs.push_back(instr(ADD, {10 + i}, {20 + i}));
+    ListScheduler s(low);
+    SchedStats stats;
+    BlockSchedule sched = s.scheduleBlock(b, stats);
+    // 4 independent single-slot ops on a 2-wide machine: 2 cycles.
+    EXPECT_EQ(sched.length, 2);
+    EXPECT_EQ(stats.ops_scheduled, 4u);
+    EXPECT_EQ(sched.cycles[0], 0);
+    EXPECT_EQ(sched.cycles[1], 0);
+    EXPECT_EQ(sched.cycles[2], 1);
+    EXPECT_EQ(sched.cycles[3], 1);
+}
+
+TEST(Scheduler, HonorsLatency)
+{
+    LowMdes low = twoWide();
+    uint32_t ADD = low.findOpClass("ADD");
+    uint32_t LOAD = low.findOpClass("LOAD");
+    Block b;
+    b.instrs = {instr(LOAD, {1}, {2}), instr(ADD, {2}, {3})};
+    ListScheduler s(low);
+    SchedStats stats;
+    BlockSchedule sched = s.scheduleBlock(b, stats);
+    EXPECT_EQ(sched.cycles[0], 0);
+    EXPECT_EQ(sched.cycles[1], 3);
+}
+
+TEST(Scheduler, CascadeExecutesSameCycle)
+{
+    LowMdes low = twoWide();
+    uint32_t ADD = low.findOpClass("ADD");
+    Block b;
+    b.instrs = {instr(ADD, {1}, {2}), instr(ADD, {2}, {3}, true)};
+    ListScheduler s(low);
+    SchedStats stats;
+    BlockSchedule sched = s.scheduleBlock(b, stats);
+    // The flow-dependent consumer cascades into the same cycle using
+    // the dedicated cascade slot.
+    EXPECT_EQ(sched.cycles[0], 0);
+    EXPECT_EQ(sched.cycles[1], 0);
+    EXPECT_EQ(sched.used_cascade[1], 1);
+    EXPECT_EQ(sched.length, 1);
+}
+
+TEST(Scheduler, NonCascadableWaitsFullLatency)
+{
+    LowMdes low = twoWide();
+    uint32_t ADD = low.findOpClass("ADD");
+    Block b;
+    b.instrs = {instr(ADD, {1}, {2}), instr(ADD, {2}, {3}, false)};
+    ListScheduler s(low);
+    SchedStats stats;
+    BlockSchedule sched = s.scheduleBlock(b, stats);
+    EXPECT_EQ(sched.cycles[1], 1);
+    EXPECT_EQ(sched.used_cascade[1], 0);
+}
+
+TEST(Scheduler, CountsAttemptsPerTree)
+{
+    LowMdes low = twoWide();
+    uint32_t ADD = low.findOpClass("ADD");
+    Block b;
+    for (int i = 0; i < 3; ++i)
+        b.instrs.push_back(instr(ADD, {10 + i}, {20 + i}));
+    ListScheduler s(low);
+    SchedStats stats;
+    s.scheduleBlock(b, stats);
+    // 2 fit in cycle 0, third fails once then lands in cycle 1: four
+    // attempts total on the ADD tree.
+    EXPECT_EQ(stats.checks.attempts, 4u);
+    uint32_t add_tree = low.opClasses()[ADD].tree;
+    EXPECT_EQ(stats.checks.attempts_per_tree[add_tree], 4u);
+}
+
+TEST(Scheduler, EmptyBlock)
+{
+    LowMdes low = twoWide();
+    ListScheduler s(low);
+    SchedStats stats;
+    BlockSchedule sched = s.scheduleBlock({}, stats);
+    EXPECT_EQ(sched.length, 0);
+    EXPECT_EQ(stats.ops_scheduled, 0u);
+}
+
+// ----------------------------------------------------------------- Verify
+
+TEST(Verify, AcceptsSchedulerOutput)
+{
+    LowMdes low = twoWide();
+    uint32_t ADD = low.findOpClass("ADD");
+    uint32_t LOAD = low.findOpClass("LOAD");
+    Block b;
+    b.instrs = {instr(LOAD, {1}, {2}), instr(ADD, {2}, {3}, true),
+                instr(ADD, {3}, {4}, true), instr(ADD, {9}, {5})};
+    ListScheduler s(low);
+    SchedStats stats;
+    BlockSchedule sched = s.scheduleBlock(b, stats);
+    EXPECT_EQ(sched::verifySchedule(b, sched, low), "");
+}
+
+TEST(Verify, RejectsDependenceViolation)
+{
+    LowMdes low = twoWide();
+    uint32_t ADD = low.findOpClass("ADD");
+    uint32_t LOAD = low.findOpClass("LOAD");
+    Block b;
+    b.instrs = {instr(LOAD, {1}, {2}), instr(ADD, {2}, {3})};
+    BlockSchedule bad;
+    bad.cycles = {0, 1}; // needs distance 3
+    bad.used_cascade = {0, 0};
+    bad.length = 2;
+    EXPECT_NE(sched::verifySchedule(b, bad, low).find("dependence"),
+              std::string::npos);
+}
+
+TEST(Verify, RejectsResourceOversubscription)
+{
+    LowMdes low = twoWide();
+    uint32_t ADD = low.findOpClass("ADD");
+    Block b;
+    b.instrs = {instr(ADD, {1}, {2}), instr(ADD, {3}, {4}),
+                instr(ADD, {5}, {6})};
+    BlockSchedule bad;
+    bad.cycles = {0, 0, 0}; // 3 ops on a 2-wide machine
+    bad.used_cascade = {0, 0, 0};
+    bad.length = 1;
+    EXPECT_NE(sched::verifySchedule(b, bad, low).find("resource"),
+              std::string::npos);
+}
+
+TEST(Verify, RejectsUnscheduledAndSizeMismatch)
+{
+    LowMdes low = twoWide();
+    uint32_t ADD = low.findOpClass("ADD");
+    Block b;
+    b.instrs = {instr(ADD, {1}, {2})};
+    BlockSchedule bad;
+    bad.cycles = {-1};
+    bad.used_cascade = {0};
+    EXPECT_NE(sched::verifySchedule(b, bad, low).find("never scheduled"),
+              std::string::npos);
+    BlockSchedule wrong;
+    EXPECT_NE(sched::verifySchedule(b, wrong, low).find("size"),
+              std::string::npos);
+}
+
+// -------------------------------------------------- SuperSPARC integration
+
+TEST(Scheduler, SuperSparcCascadePairsIssueTogether)
+{
+    Mdes m = hmdes::compileOrThrow(machines::superSparc().source);
+    LowMdes low = LowMdes::lower(m, {});
+    uint32_t ADD_I = low.findOpClass("ADD_I");
+
+    Block b;
+    b.instrs = {instr(ADD_I, {1}, {2}, true),
+                instr(ADD_I, {2}, {3}, true)};
+    ListScheduler s(low);
+    SchedStats stats;
+    BlockSchedule sched = s.scheduleBlock(b, stats);
+    EXPECT_EQ(sched.cycles[0], 0);
+    EXPECT_EQ(sched.cycles[1], 0);
+    EXPECT_EQ(sched.used_cascade[1], 1);
+    EXPECT_EQ(sched::verifySchedule(b, sched, low), "");
+}
+
+TEST(Scheduler, SuperSparcIssueWidthIsThree)
+{
+    Mdes m = hmdes::compileOrThrow(machines::superSparc().source);
+    LowMdes low = LowMdes::lower(m, {});
+    uint32_t ADD_I = low.findOpClass("ADD_I");
+    Block b;
+    for (int i = 0; i < 6; ++i)
+        b.instrs.push_back(instr(ADD_I, {10 + i}, {20 + i}));
+    ListScheduler s(low);
+    SchedStats stats;
+    BlockSchedule sched = s.scheduleBlock(b, stats);
+    // Six independent IALU ops: 3 decoders but only 2 IALUs and 2 write
+    // ports per cycle, so 2 per cycle -> 3 cycles.
+    EXPECT_EQ(sched.length, 3);
+}
+
+} // namespace
+} // namespace mdes

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Unit tests for the support library: bit vectors, deterministic RNG,
+ * histograms, text tables, diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/bit_vector.h"
+#include "support/diagnostics.h"
+#include "support/histogram.h"
+#include "support/rng.h"
+#include "support/text_table.h"
+
+namespace mdes {
+namespace {
+
+// ---------------------------------------------------------------- BitVector
+
+TEST(BitVector, StartsEmpty)
+{
+    BitVector v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_TRUE(v.none());
+    EXPECT_FALSE(v.any());
+    EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVector, SetResetTest)
+{
+    BitVector v(130);
+    v.set(0);
+    v.set(64);
+    v.set(129);
+    EXPECT_TRUE(v.test(0));
+    EXPECT_TRUE(v.test(64));
+    EXPECT_TRUE(v.test(129));
+    EXPECT_FALSE(v.test(1));
+    EXPECT_EQ(v.count(), 3u);
+    v.reset(64);
+    EXPECT_FALSE(v.test(64));
+    EXPECT_EQ(v.count(), 2u);
+}
+
+TEST(BitVector, ClearRemovesEverything)
+{
+    BitVector v(70);
+    for (size_t i = 0; i < 70; i += 7)
+        v.set(i);
+    v.clear();
+    EXPECT_TRUE(v.none());
+}
+
+TEST(BitVector, IntersectsDetectsSharedBits)
+{
+    BitVector a(100), b(100);
+    a.set(3);
+    a.set(77);
+    b.set(50);
+    EXPECT_FALSE(a.intersects(b));
+    b.set(77);
+    EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(BitVector, UnionAndIntersection)
+{
+    BitVector a(100), b(100);
+    a.set(1);
+    a.set(65);
+    b.set(65);
+    b.set(99);
+    BitVector u = a;
+    u |= b;
+    EXPECT_TRUE(u.test(1));
+    EXPECT_TRUE(u.test(65));
+    EXPECT_TRUE(u.test(99));
+    BitVector i = a;
+    i &= b;
+    EXPECT_FALSE(i.test(1));
+    EXPECT_TRUE(i.test(65));
+    EXPECT_FALSE(i.test(99));
+}
+
+TEST(BitVector, ResizePreservesAndClearsTail)
+{
+    BitVector v(10);
+    v.set(9);
+    v.resize(70);
+    EXPECT_TRUE(v.test(9));
+    EXPECT_FALSE(v.test(69));
+    v.set(69);
+    v.resize(65);
+    v.resize(70);
+    // Bit 69 was truncated away; shrinking must clear it.
+    EXPECT_FALSE(v.test(69));
+    EXPECT_TRUE(v.test(9));
+}
+
+TEST(BitVector, EqualityAndToString)
+{
+    BitVector a(4), b(4);
+    a.set(1);
+    b.set(1);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.toString(), "0100");
+    b.set(3);
+    EXPECT_NE(a, b);
+}
+
+// --------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t v = rng.below(13);
+        ASSERT_LT(v, 13u);
+        seen.insert(v);
+    }
+    // All 13 values should appear in 2000 draws.
+    EXPECT_EQ(seen.size(), 13u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        lo |= v == -3;
+        hi |= v == 3;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, PickWeightedRespectsWeights)
+{
+    Rng rng(13);
+    std::vector<double> weights = {1.0, 0.0, 3.0};
+    size_t counts[3] = {0, 0, 0};
+    for (int i = 0; i < 8000; ++i)
+        ++counts[rng.pickWeighted(weights)];
+    EXPECT_EQ(counts[1], 0u);
+    EXPECT_NEAR(double(counts[2]) / double(counts[0]), 3.0, 0.4);
+}
+
+// --------------------------------------------------------------- Histogram
+
+TEST(Histogram, CountsAndFractions)
+{
+    Histogram h;
+    h.add(1);
+    h.add(1);
+    h.add(4);
+    h.add(0);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.countAt(1), 2u);
+    EXPECT_EQ(h.countAt(7), 0u);
+    EXPECT_DOUBLE_EQ(h.fractionAt(1), 0.5);
+    EXPECT_DOUBLE_EQ(h.fractionBetween(1, 4), 0.75);
+    EXPECT_EQ(h.maxValue(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), 1.5);
+}
+
+TEST(Histogram, MergeCombines)
+{
+    Histogram a, b;
+    a.add(2);
+    b.add(2);
+    b.add(5);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.countAt(2), 2u);
+    EXPECT_EQ(a.countAt(5), 1u);
+}
+
+TEST(Histogram, EmptyBehaves)
+{
+    Histogram h;
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.maxValue(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionAt(3), 0.0);
+    EXPECT_NE(h.render(), "");
+}
+
+TEST(Histogram, RenderShowsBars)
+{
+    Histogram h;
+    for (int i = 0; i < 10; ++i)
+        h.add(1);
+    h.add(3);
+    std::string out = h.render(20);
+    EXPECT_NE(out.find("90.91%"), std::string::npos); // 10 of 11 samples
+    EXPECT_NE(out.find("####################"), std::string::npos);
+    // Zero-count rows (value 0 and 2) are skipped.
+    EXPECT_EQ(out.find(" 0.00%"), std::string::npos);
+}
+
+// --------------------------------------------------------------- TextTable
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t;
+    t.setHeader({"Name", "Count"});
+    t.addRow({"alpha", "10"});
+    t.addRow({"b", "2000"});
+    std::string out = t.toString();
+    EXPECT_NE(out.find("| Name"), std::string::npos);
+    EXPECT_NE(out.find("2000"), std::string::npos);
+    // All lines equally wide.
+    size_t width = out.find('\n');
+    size_t pos = 0;
+    while (pos < out.size()) {
+        size_t next = out.find('\n', pos);
+        EXPECT_EQ(next - pos, width);
+        pos = next + 1;
+    }
+}
+
+TEST(TextTable, Formatters)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::percent(0.845, 1), "84.5%");
+    EXPECT_EQ(TextTable::bytes(312640), "312640");
+}
+
+TEST(TextTable, SeparatorRows)
+{
+    TextTable t;
+    t.setHeader({"A"});
+    t.addRow({"x"});
+    t.addSeparator();
+    t.addRow({"y"});
+    std::string out = t.toString();
+    // header sep + top + mid + bottom = 4 separator lines.
+    size_t count = 0, pos = 0;
+    while ((pos = out.find("+-", pos)) != std::string::npos) {
+        ++count;
+        pos += 2;
+    }
+    EXPECT_EQ(count, 4u);
+}
+
+// ------------------------------------------------------------- Diagnostics
+
+TEST(Diagnostics, CollectsAndRenders)
+{
+    DiagnosticEngine diags;
+    EXPECT_FALSE(diags.hasErrors());
+    diags.warning({1, 2}, "watch out");
+    EXPECT_FALSE(diags.hasErrors());
+    diags.error({3, 4}, "boom");
+    EXPECT_TRUE(diags.hasErrors());
+    ASSERT_EQ(diags.diagnostics().size(), 2u);
+    EXPECT_EQ(diags.diagnostics()[1].toString(), "3:4: error: boom");
+    EXPECT_NE(diags.toString().find("warning: watch out"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace mdes

@@ -1,0 +1,459 @@
+/**
+ * @file
+ * Unit tests for every MDES transformation (paper Sections 5, 7, 8):
+ * CSE/copy-propagation/dead-code, redundant-option removal, usage-time
+ * shifting, usage sorting, OR-subtree sorting, and common-usage hoisting
+ * with its two application heuristics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/transforms.h"
+#include "hmdes/compile.h"
+#include "machines/machines.h"
+
+namespace mdes {
+namespace {
+
+// ------------------------------------------------------------------- CSE
+
+TEST(Cse, MergesIdenticalOptions)
+{
+    Mdes m("t");
+    ResourceId r = m.addResourceClass("R", 1);
+    OptionId a = m.addOption({{{0, r}}});
+    OptionId b = m.addOption({{{0, r}}}); // duplicate
+    OrTreeId t1 = m.addOrTree({"A", {a}});
+    OrTreeId t2 = m.addOrTree({"B", {b}});
+    TreeId tree = m.addTree({"T", {t1, t2}});
+    // Both subtrees need R at 0 - contrived but legal for this test.
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    auto stats = eliminateRedundantInfo(m);
+    EXPECT_EQ(stats.merged_options, 1u);
+    // The two OR-trees now have identical option lists and merge too.
+    EXPECT_EQ(stats.merged_or_trees, 1u);
+    EXPECT_EQ(m.options().size(), 1u);
+    EXPECT_EQ(m.validate(), "");
+}
+
+TEST(Cse, DoesNotMergeDifferentlyOrderedOptions)
+{
+    // Usage order determines check order; set-equal but differently
+    // ordered options must stay distinct.
+    Mdes m("t");
+    ResourceId r = m.addResourceClass("R", 2);
+    OptionId a = m.addOption({{{0, r}, {0, r + 1}}});
+    OptionId b = m.addOption({{{0, r + 1}, {0, r}}});
+    OrTreeId t1 = m.addOrTree({"A", {a, b}});
+    TreeId tree = m.addTree({"T", {t1}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    auto stats = eliminateRedundantInfo(m);
+    EXPECT_EQ(stats.merged_options, 0u);
+    EXPECT_EQ(m.options().size(), 2u);
+}
+
+TEST(Cse, RemovesUnusedInformation)
+{
+    Mdes m("t");
+    ResourceId r = m.addResourceClass("R", 1);
+    OptionId used = m.addOption({{{0, r}}});
+    OptionId unused = m.addOption({{{1, r}}});
+    OrTreeId live = m.addOrTree({"Live", {used}});
+    m.addOrTree({"Dead", {unused}});
+    TreeId tree = m.addTree({"T", {live}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    auto stats = eliminateRedundantInfo(m);
+    EXPECT_EQ(stats.removed_dead, 2u);
+    EXPECT_EQ(m.options().size(), 1u);
+    EXPECT_EQ(m.orTrees().size(), 1u);
+}
+
+TEST(Cse, Idempotent)
+{
+    Mdes m = hmdes::compileOrThrow(machines::pentium().source);
+    eliminateRedundantInfo(m);
+    Mdes once = m;
+    auto stats = eliminateRedundantInfo(m);
+    EXPECT_EQ(stats.merged_options, 0u);
+    EXPECT_EQ(stats.merged_or_trees, 0u);
+    EXPECT_EQ(stats.merged_trees, 0u);
+    EXPECT_EQ(stats.removed_dead, 0u);
+    EXPECT_EQ(m.options().size(), once.options().size());
+}
+
+TEST(Cse, PentiumCollapsesCopyPastedPipes)
+{
+    // The Pentium description copy-pastes the either-pipe OR-tree per
+    // opcode family; CSE must fold them to one.
+    Mdes m = hmdes::compileOrThrow(machines::pentium().source);
+    size_t before = m.orTrees().size();
+    auto stats = eliminateRedundantInfo(m);
+    EXPECT_GT(stats.merged_or_trees, 2u);
+    EXPECT_LT(m.orTrees().size(), before);
+}
+
+// ------------------------------------------------- Redundant option removal
+
+TEST(RedundantOptions, RemovesExactDuplicate)
+{
+    Mdes m("t");
+    ResourceId r = m.addResourceClass("R", 2);
+    OptionId a = m.addOption({{{0, r}}});
+    OptionId b = m.addOption({{{0, r}}});
+    OptionId c = m.addOption({{{0, r + 1}}});
+    OrTreeId t = m.addOrTree({"T", {a, b, c}});
+    TreeId tree = m.addTree({"T", {t}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    EXPECT_EQ(removeRedundantOptions(m), 1u);
+    EXPECT_EQ(m.orTree(m.tree(m.opClasses()[0].tree).or_trees[0])
+                  .options.size(),
+              2u);
+}
+
+TEST(RedundantOptions, RemovesSupersetOfHigherPriority)
+{
+    Mdes m("t");
+    ResourceId r = m.addResourceClass("R", 2);
+    OptionId small = m.addOption({{{0, r}}});
+    OptionId big = m.addOption({{{0, r}, {0, r + 1}}}); // superset
+    OrTreeId t = m.addOrTree({"T", {small, big}});
+    TreeId tree = m.addTree({"T", {t}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    EXPECT_EQ(removeRedundantOptions(m), 1u);
+}
+
+TEST(RedundantOptions, KeepsSupersetWithHigherPriority)
+{
+    // The superset option listed FIRST is not redundant: it is preferred
+    // when available, and the subset may fit when it does not.
+    Mdes m("t");
+    ResourceId r = m.addResourceClass("R", 2);
+    OptionId big = m.addOption({{{0, r}, {0, r + 1}}});
+    OptionId small = m.addOption({{{0, r}}});
+    OrTreeId t = m.addOrTree({"T", {big, small}});
+    TreeId tree = m.addTree({"T", {t}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    EXPECT_EQ(removeRedundantOptions(m), 0u);
+}
+
+TEST(RedundantOptions, Pa7100MemoryDuplicate)
+{
+    Mdes m = hmdes::compileOrThrow(machines::pa7100().source);
+    size_t removed = removeRedundantOptions(m);
+    EXPECT_GE(removed, 1u);
+    // Memory ops now have exactly 2 options.
+    EXPECT_EQ(m.expandedOptionCount(m.opClass(m.findOpClass("LDW")).tree),
+              2u);
+}
+
+// ------------------------------------------------------------- Time shift
+
+TEST(TimeShift, ForwardConcentratesEarliestAtZero)
+{
+    Mdes m("t");
+    ResourceId a = m.addResourceClass("A", 1);
+    ResourceId b = m.addResourceClass("B", 1);
+    OptionId o1 = m.addOption({{{-1, a}, {2, b}}});
+    OptionId o2 = m.addOption({{{1, a}, {3, b}}});
+    OrTreeId t = m.addOrTree({"T", {o1, o2}});
+    TreeId tree = m.addTree({"T", {t}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    auto shifts = shiftUsageTimes(m, SchedDirection::Forward);
+    EXPECT_EQ(shifts[a], -1);
+    EXPECT_EQ(shifts[b], 2);
+    EXPECT_EQ(m.option(o1).usages[0].time, 0); // -1 - (-1)
+    EXPECT_EQ(m.option(o1).usages[1].time, 0); // 2 - 2
+    EXPECT_EQ(m.option(o2).usages[0].time, 2); // 1 - (-1)
+    EXPECT_EQ(m.option(o2).usages[1].time, 1); // 3 - 2
+}
+
+TEST(TimeShift, BackwardConcentratesLatestAtZero)
+{
+    Mdes m("t");
+    ResourceId a = m.addResourceClass("A", 1);
+    OptionId o1 = m.addOption({{{-1, a}}});
+    OptionId o2 = m.addOption({{{2, a}}});
+    OrTreeId t = m.addOrTree({"T", {o1, o2}});
+    TreeId tree = m.addTree({"T", {t}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    shiftUsageTimes(m, SchedDirection::Backward);
+    EXPECT_EQ(m.option(o1).usages[0].time, -3);
+    EXPECT_EQ(m.option(o2).usages[0].time, 0);
+}
+
+TEST(TimeShift, IdempotentForward)
+{
+    Mdes m = hmdes::compileOrThrow(machines::superSparc().source);
+    shiftUsageTimes(m);
+    Mdes once = m;
+    auto shifts = shiftUsageTimes(m);
+    for (int32_t s : shifts)
+        EXPECT_EQ(s, 0);
+    EXPECT_EQ(m.options().size(), once.options().size());
+}
+
+TEST(TimeShift, AllMachinesEndUpNonNegative)
+{
+    for (const auto *info : machines::all()) {
+        SCOPED_TRACE(info->name);
+        Mdes m = hmdes::compileOrThrow(info->source);
+        shiftUsageTimes(m);
+        for (const auto &opt : m.options()) {
+            for (const auto &u : opt.usages)
+                EXPECT_GE(u.time, 0);
+        }
+    }
+}
+
+// ------------------------------------------------------------ Usage sorting
+
+TEST(SortUsages, ForwardPutsTimeZeroFirst)
+{
+    Mdes m("t");
+    ResourceId r = m.addResourceClass("R", 3);
+    OptionId o = m.addOption({{{2, r}, {0, r + 1}, {1, r + 2}}});
+    OrTreeId t = m.addOrTree({"T", {o}});
+    TreeId tree = m.addTree({"T", {t}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    sortUsageChecks(m, SchedDirection::Forward);
+    EXPECT_EQ(m.option(o).usages[0].time, 0);
+    EXPECT_EQ(m.option(o).usages[1].time, 1);
+    EXPECT_EQ(m.option(o).usages[2].time, 2);
+
+    sortUsageChecks(m, SchedDirection::Backward);
+    EXPECT_EQ(m.option(o).usages[0].time, 2);
+    EXPECT_EQ(m.option(o).usages[2].time, 0);
+}
+
+TEST(SortUsages, TiesBrokenByResource)
+{
+    Mdes m("t");
+    ResourceId r = m.addResourceClass("R", 3);
+    OptionId o = m.addOption({{{0, r + 2}, {0, r}, {0, r + 1}}});
+    OrTreeId t = m.addOrTree({"T", {o}});
+    TreeId tree = m.addTree({"T", {t}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    sortUsageChecks(m);
+    EXPECT_EQ(m.option(o).usages[0].resource, r);
+    EXPECT_EQ(m.option(o).usages[1].resource, r + 1);
+    EXPECT_EQ(m.option(o).usages[2].resource, r + 2);
+}
+
+// --------------------------------------------------------- OR-subtree sort
+
+TEST(SortOrTrees, OrdersByEarliestTimeThenOptionsThenSharing)
+{
+    Mdes m("t");
+    ResourceId a = m.addResourceClass("A", 4);
+    ResourceId b = m.addResourceClass("B", 2);
+    ResourceId c = m.addResourceClass("C", 1);
+
+    // big: 4 options at time 0; late: 1 option at time 1;
+    // unit: 1 option at time 0.
+    std::vector<OptionId> big_opts;
+    for (uint32_t i = 0; i < 4; ++i)
+        big_opts.push_back(m.addOption({{{0, a + i}}}));
+    OrTreeId big = m.addOrTree({"Big", big_opts});
+    OrTreeId late = m.addOrTree({"Late", {m.addOption({{{1, b}}})}});
+    OrTreeId unit = m.addOrTree({"Unit", {m.addOption({{{0, c}}})}});
+
+    TreeId tree = m.addTree({"T", {big, late, unit}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    EXPECT_EQ(sortOrSubtrees(m), 1u);
+    // Earliest time first (0 before 1); among time-0 trees the
+    // one-option tree precedes the four-option tree.
+    EXPECT_EQ(m.tree(tree).or_trees,
+              (std::vector<OrTreeId>{unit, big, late}));
+}
+
+TEST(SortOrTrees, SharingBreaksTies)
+{
+    Mdes m("t");
+    ResourceId a = m.addResourceClass("A", 2);
+    ResourceId b = m.addResourceClass("B", 2);
+    // Two 2-option trees at time 0; "shared" is used by a second table.
+    OrTreeId lonely = m.addOrTree(
+        {"Lonely",
+         {m.addOption({{{0, a}}}), m.addOption({{{0, a + 1}}})}});
+    OrTreeId shared = m.addOrTree(
+        {"Shared",
+         {m.addOption({{{0, b}}}), m.addOption({{{0, b + 1}}})}});
+    TreeId t1 = m.addTree({"T1", {lonely, shared}});
+    TreeId t2 = m.addTree({"T2", {shared}});
+    m.addOpClass({"OP1", t1, 1, kInvalidId, ""});
+    m.addOpClass({"OP2", t2, 1, kInvalidId, ""});
+
+    sortOrSubtrees(m);
+    EXPECT_EQ(m.tree(t1).or_trees,
+              (std::vector<OrTreeId>{shared, lonely}));
+}
+
+TEST(SortOrTrees, StableWhenAlreadySorted)
+{
+    Mdes m("t");
+    ResourceId a = m.addResourceClass("A", 1);
+    ResourceId b = m.addResourceClass("B", 1);
+    OrTreeId first = m.addOrTree({"F", {m.addOption({{{0, a}}})}});
+    OrTreeId second = m.addOrTree({"S", {m.addOption({{{0, b}}})}});
+    TreeId tree = m.addTree({"T", {first, second}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    EXPECT_EQ(sortOrSubtrees(m), 0u);
+    EXPECT_EQ(m.tree(tree).or_trees,
+              (std::vector<OrTreeId>{first, second}));
+}
+
+// ----------------------------------------------------------------- Hoisting
+
+TEST(Hoist, Rule1AppendsToExistingOneOptionSubtree)
+{
+    Mdes m("t");
+    ResourceId u = m.addResourceClass("U", 1);
+    ResourceId c = m.addResourceClass("C", 1);
+    ResourceId d = m.addResourceClass("D", 2);
+    // One-option subtree at time 0; a 2-option subtree whose options
+    // share C@0 (plus differing D usages).
+    OrTreeId unit = m.addOrTree({"Unit", {m.addOption({{{0, u}}})}});
+    OrTreeId multi = m.addOrTree(
+        {"Multi",
+         {m.addOption({{{0, c}, {0, d}}}),
+          m.addOption({{{0, c}, {0, d + 1}}})}});
+    TreeId tree = m.addTree({"T", {unit, multi}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    EXPECT_EQ(hoistCommonUsages(m), 1u);
+    eliminateRedundantInfo(m);
+
+    const auto &t = m.tree(m.opClasses()[0].tree);
+    ASSERT_EQ(t.or_trees.size(), 2u);
+    // The one-option subtree absorbed C@0.
+    const auto &one = m.orTree(t.or_trees[0]);
+    ASSERT_EQ(one.options.size(), 1u);
+    EXPECT_EQ(m.option(one.options[0]).usages.size(), 2u);
+    // The multi subtree's options lost the common usage.
+    const auto &rest = m.orTree(t.or_trees[1]);
+    for (OptionId o : rest.options)
+        EXPECT_EQ(m.option(o).usages.size(), 1u);
+    EXPECT_EQ(m.validate(), "");
+}
+
+TEST(Hoist, Rule2CreatesNewSubtreeWhenOnlyUsageAtThatTime)
+{
+    Mdes m("t");
+    ResourceId c = m.addResourceClass("C", 1);
+    ResourceId d = m.addResourceClass("D", 2);
+    // Options share C@1 (the only usage at time 1) and differ at time 0.
+    OrTreeId multi = m.addOrTree(
+        {"Multi",
+         {m.addOption({{{0, d}, {1, c}}}),
+          m.addOption({{{0, d + 1}, {1, c}}})}});
+    TreeId tree = m.addTree({"T", {multi}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    EXPECT_EQ(hoistCommonUsages(m), 1u);
+    eliminateRedundantInfo(m);
+
+    const auto &t = m.tree(m.opClasses()[0].tree);
+    ASSERT_EQ(t.or_trees.size(), 2u);
+    // New one-option subtree placed first.
+    const auto &common = m.orTree(t.or_trees[0]);
+    ASSERT_EQ(common.options.size(), 1u);
+    EXPECT_EQ(m.option(common.options[0]).usages[0].resource, c);
+    EXPECT_EQ(m.validate(), "");
+}
+
+TEST(Hoist, SkipsWhenCommonUsageSharesItsTimeSlot)
+{
+    Mdes m("t");
+    ResourceId c = m.addResourceClass("C", 1);
+    ResourceId d = m.addResourceClass("D", 2);
+    // Common usage C@0 coexists with the differing D usages at time 0:
+    // no rule-1 target exists, and rule 2's only-usage test fails.
+    OrTreeId multi = m.addOrTree(
+        {"Multi",
+         {m.addOption({{{0, c}, {0, d}}}),
+          m.addOption({{{0, c}, {0, d + 1}}})}});
+    TreeId tree = m.addTree({"T", {multi}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    EXPECT_EQ(hoistCommonUsages(m), 0u);
+}
+
+TEST(Hoist, ClonesSharedSubtreesBeforeMutating)
+{
+    Mdes m("t");
+    ResourceId u = m.addResourceClass("U", 2);
+    ResourceId c = m.addResourceClass("C", 1);
+    ResourceId d = m.addResourceClass("D", 2);
+    OrTreeId multi = m.addOrTree(
+        {"Multi",
+         {m.addOption({{{0, c}, {0, d}}}),
+          m.addOption({{{0, c}, {0, d + 1}}})}});
+    // Tree 1 has a one-option companion (rule 1 fires); tree 2 shares
+    // the multi subtree but has no companion (no hoist there).
+    OrTreeId unit = m.addOrTree({"Unit", {m.addOption({{{0, u}}})}});
+    TreeId t1 = m.addTree({"T1", {unit, multi}});
+    TreeId t2 = m.addTree({"T2", {multi}});
+    m.addOpClass({"OP1", t1, 1, kInvalidId, ""});
+    m.addOpClass({"OP2", t2, 1, kInvalidId, ""});
+
+    EXPECT_EQ(hoistCommonUsages(m), 1u);
+    // Tree 2 still sees the original, unmutated subtree.
+    const auto &orig = m.orTree(m.tree(t2).or_trees[0]);
+    for (OptionId o : orig.options)
+        EXPECT_EQ(m.option(o).usages.size(), 2u);
+    EXPECT_EQ(m.validate(), "");
+}
+
+TEST(Hoist, NeverCreatesEmptyOptions)
+{
+    Mdes m("t");
+    ResourceId c = m.addResourceClass("C", 1);
+    // Both options are exactly the common usage; hoisting would empty
+    // them, so it must decline.
+    OrTreeId multi = m.addOrTree(
+        {"Multi", {m.addOption({{{1, c}}}), m.addOption({{{1, c}}})}});
+    TreeId tree = m.addTree({"T", {multi}});
+    m.addOpClass({"OP", tree, 1, kInvalidId, ""});
+
+    EXPECT_EQ(hoistCommonUsages(m), 0u);
+    EXPECT_EQ(m.validate(), "");
+}
+
+// ----------------------------------------------------------------- Pipeline
+
+TEST(Pipeline, AllRunsEveryPassAndStaysValid)
+{
+    for (const auto *info : machines::all()) {
+        SCOPED_TRACE(info->name);
+        Mdes m = hmdes::compileOrThrow(info->source);
+        auto stats = runPipeline(m, PipelineConfig::all());
+        EXPECT_EQ(m.validate(), "");
+        // Every machine carries decay, so Section 5 always finds work.
+        EXPECT_GT(stats.cse.merged_options + stats.cse.removed_dead, 0u);
+    }
+}
+
+TEST(Pipeline, NoneIsIdentity)
+{
+    Mdes m = hmdes::compileOrThrow(machines::superSparc().source);
+    Mdes copy = m;
+    runPipeline(copy, PipelineConfig::none());
+    EXPECT_EQ(copy.options().size(), m.options().size());
+    EXPECT_EQ(copy.orTrees().size(), m.orTrees().size());
+    EXPECT_EQ(copy.trees().size(), m.trees().size());
+}
+
+} // namespace
+} // namespace mdes

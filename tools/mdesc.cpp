@@ -1,0 +1,422 @@
+/**
+ * @file
+ * mdesc - the MDES translator command-line tool.
+ *
+ * The paper's two-tier model in executable form: compile a high-level
+ * machine description into the optimized low-level representation the
+ * compiler loads at start-up, or inspect either form.
+ *
+ * Usage:
+ *   mdesc compile <file.hmdes> [-o <file.lmdes>] [--or-form]
+ *                 [--no-optimize] [--no-bit-vector] [--backward]
+ *   mdesc info <file.hmdes | file.lmdes>
+ *   mdesc dump <file.hmdes> [operation]
+ *   mdesc export <machine-name>         (PA7100 | Pentium | SuperSPARC | K5)
+ *
+ * `compile` reports sizes before/after; `info` summarizes either tier;
+ * `dump` prints reservation tables; `stats` walks the description
+ * through every optimization stage reporting options/checks/bytes;
+ * `export` writes a built-in description's source to stdout so it can
+ * be edited and recompiled.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/expand.h"
+#include "core/lint.h"
+#include "core/print.h"
+#include "core/transforms.h"
+#include "hmdes/compile.h"
+#include "lmdes/low_mdes.h"
+#include "machines/machines.h"
+#include "sched/list_scheduler.h"
+#include "sched/verify.h"
+#include "support/text_table.h"
+#include "workload/sasm.h"
+
+using namespace mdes;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  mdesc compile <file.hmdes> [-o <file.lmdes>] [--or-form]\n"
+        "                [--no-optimize] [--no-bit-vector] [--backward]\n"
+        "  mdesc info <file.hmdes | file.lmdes>\n"
+        "  mdesc dump <file.hmdes> [operation]\n"
+        "  mdesc stats <file.hmdes>\n"
+        "  mdesc lint <file.hmdes> [--deep]\n"
+        "  mdesc schedule <machine-name | file.hmdes> <file.sasm>\n"
+        "  mdesc export <PA7100 | Pentium | SuperSPARC | K5>\n");
+    return 2;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw MdesError("cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+bool
+looksLikeLmdes(const std::string &data)
+{
+    return data.size() >= 4 && data.compare(0, 4, "LMDS") == 0;
+}
+
+Mdes
+compileFile(const std::string &path)
+{
+    std::string text = readFile(path);
+    DiagnosticEngine diags;
+    auto m = hmdes::compile(text, diags);
+    // Surface warnings even on success.
+    for (const auto &d : diags.diagnostics())
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     d.toString().c_str());
+    if (!m)
+        throw MdesError("compilation of '" + path + "' failed");
+    return std::move(*m);
+}
+
+int
+cmdCompile(const std::vector<std::string> &args)
+{
+    std::string input, output;
+    bool or_form = false, optimize = true, bit_vector = true;
+    SchedDirection direction = SchedDirection::Forward;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "-o" && i + 1 < args.size()) {
+            output = args[++i];
+        } else if (args[i] == "--or-form") {
+            or_form = true;
+        } else if (args[i] == "--no-optimize") {
+            optimize = false;
+        } else if (args[i] == "--no-bit-vector") {
+            bit_vector = false;
+        } else if (args[i] == "--backward") {
+            direction = SchedDirection::Backward;
+        } else if (!args[i].empty() && args[i][0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         args[i].c_str());
+            return usage();
+        } else if (input.empty()) {
+            input = args[i];
+        } else {
+            return usage();
+        }
+    }
+    if (input.empty())
+        return usage();
+
+    Mdes m = compileFile(input);
+    if (or_form)
+        m = expandToOrForm(m);
+
+    lmdes::LowerOptions lopts;
+    lopts.pack_bit_vector = false;
+    size_t before = lmdes::LowMdes::lower(m, lopts).memory().total();
+
+    if (optimize) {
+        PipelineConfig config = PipelineConfig::all();
+        config.direction = direction;
+        runPipeline(m, config);
+    }
+    lopts.pack_bit_vector = bit_vector;
+    lmdes::LowMdes low = lmdes::LowMdes::lower(m, lopts);
+
+    std::printf("%s: %u resources, %zu operation classes, %zu tables\n",
+                m.name().c_str(), m.numResources(),
+                m.opClasses().size(), m.trees().size());
+    std::printf("resource-constraint size: %zu bytes (was %zu, %s "
+                "representation%s)\n",
+                low.memory().total(), before,
+                or_form ? "OR-tree" : "AND/OR-tree",
+                optimize ? ", fully optimized" : "");
+
+    if (!output.empty()) {
+        std::ofstream out(output, std::ios::binary);
+        if (!out)
+            throw MdesError("cannot write '" + output + "'");
+        low.save(out);
+        std::printf("wrote %s\n", output.c_str());
+    }
+    return 0;
+}
+
+int
+cmdInfo(const std::vector<std::string> &args)
+{
+    if (args.size() != 1)
+        return usage();
+    std::string data = readFile(args[0]);
+    if (looksLikeLmdes(data)) {
+        std::istringstream in(data);
+        lmdes::LowMdes low = lmdes::LowMdes::load(in);
+        std::printf("low-level MDES '%s'\n", low.machineName().c_str());
+        std::printf("  resources:        %u\n", low.numResources());
+        std::printf("  operation classes:%zu\n", low.opClasses().size());
+        std::printf("  AND/OR trees:     %zu\n", low.trees().size());
+        std::printf("  OR-trees:         %zu\n", low.orTrees().size());
+        std::printf("  options:          %zu\n", low.options().size());
+        std::printf("  checks:           %zu (%s encoding)\n",
+                    low.checks().size(),
+                    low.packed() ? "bit-vector" : "scalar pair");
+        std::printf("  constraint bytes: %zu\n", low.memory().total());
+        return 0;
+    }
+    DiagnosticEngine diags;
+    auto m = hmdes::compile(data, diags);
+    std::fprintf(stderr, "%s", diags.toString().c_str());
+    if (!m)
+        return 1;
+    std::printf("high-level MDES '%s'\n", m->name().c_str());
+    std::printf("  resources:        %u", m->numResources());
+    std::printf(" (");
+    for (size_t i = 0; i < m->resourceClasses().size(); ++i) {
+        const auto &rc = m->resourceClasses()[i];
+        std::printf("%s%s", i ? ", " : "", rc.name.c_str());
+        if (rc.count > 1)
+            std::printf("[%u]", rc.count);
+    }
+    std::printf(")\n");
+    std::printf("  operation classes:%zu\n", m->opClasses().size());
+    std::printf("  tables:           %zu\n", m->trees().size());
+    TextTable table;
+    table.setHeader({"Operation", "Table", "Options", "Latency", "Note"});
+    for (const auto &oc : m->opClasses()) {
+        table.addRow({oc.name, m->tree(oc.tree).name,
+                      std::to_string(m->expandedOptionCount(oc.tree)),
+                      std::to_string(oc.latency), oc.comment});
+    }
+    std::printf("%s", table.toString().c_str());
+    return 0;
+}
+
+int
+cmdDump(const std::vector<std::string> &args)
+{
+    if (args.empty() || args.size() > 2)
+        return usage();
+    Mdes m = compileFile(args[0]);
+    if (args.size() == 2) {
+        OpClassId cls = m.findOpClass(args[1]);
+        if (cls == kInvalidId) {
+            std::fprintf(stderr, "no operation '%s' in '%s'\n",
+                         args[1].c_str(), m.name().c_str());
+            return 1;
+        }
+        std::printf("%s", printTree(m, m.opClass(cls).tree).c_str());
+        return 0;
+    }
+    for (TreeId t = 0; t < m.trees().size(); ++t)
+        std::printf("%s\n", printTree(m, t).c_str());
+    return 0;
+}
+
+int
+cmdStats(const std::vector<std::string> &args)
+{
+    if (args.size() != 1)
+        return usage();
+    struct StageSpec
+    {
+        const char *label;
+        bool cse, bitvec, timeshift, hoist_sort;
+    };
+    const StageSpec stages[] = {
+        {"original", false, false, false, false},
+        {"+ redundancy elimination (Sec. 5)", true, false, false, false},
+        {"+ bit-vector packing (Sec. 6)", true, true, false, false},
+        {"+ usage-time shift & sort (Sec. 7)", true, true, true, false},
+        {"+ hoist & subtree sort (Sec. 8)", true, true, true, true},
+    };
+    std::string text = readFile(args[0]);
+
+    TextTable table;
+    table.setHeader({"Stage", "Options", "Checks", "Bytes"});
+    for (const auto &stage : stages) {
+        DiagnosticEngine diags;
+        auto m = hmdes::compile(text, diags);
+        if (!m) {
+            std::fprintf(stderr, "%s", diags.toString().c_str());
+            return 1;
+        }
+        PipelineConfig config;
+        config.cse = stage.cse;
+        config.redundant_options = stage.cse;
+        config.time_shift = stage.timeshift;
+        config.sort_usages = stage.timeshift;
+        config.hoist = stage.hoist_sort;
+        config.sort_or_trees = stage.hoist_sort;
+        runPipeline(*m, config);
+        lmdes::LowerOptions lopts;
+        lopts.pack_bit_vector = stage.bitvec;
+        lmdes::LowMdes low = lmdes::LowMdes::lower(*m, lopts);
+        table.addRow({stage.label,
+                      std::to_string(low.options().size()),
+                      std::to_string(low.checks().size()),
+                      std::to_string(low.memory().total())});
+    }
+    std::printf("%s", table.toString().c_str());
+    return 0;
+}
+
+int
+cmdLint(const std::vector<std::string> &args)
+{
+    if (args.empty() || args.size() > 2)
+        return usage();
+    LintOptions options;
+    std::string input;
+    for (const auto &arg : args) {
+        if (arg == "--deep")
+            options.removable_usages = true;
+        else if (!arg.empty() && arg[0] == '-')
+            return usage();
+        else
+            input = arg;
+    }
+    if (input.empty())
+        return usage();
+
+    Mdes m = compileFile(input);
+    auto findings = lint(m, options);
+    if (findings.empty()) {
+        std::printf("%s: clean (no findings)\n", m.name().c_str());
+        return 0;
+    }
+    for (const auto &f : findings) {
+        std::printf("[%s] %s\n", lintKindName(f.kind),
+                    f.message.c_str());
+    }
+    std::printf("%zu finding(s). The translator's transformations fix "
+                "all of these at\ncompile time; fixing the source keeps "
+                "the description honest.\n",
+                findings.size());
+    return 0;
+}
+
+int
+cmdSchedule(const std::vector<std::string> &args)
+{
+    if (args.size() != 2)
+        return usage();
+    // The machine: a built-in name or a .hmdes file.
+    Mdes model = [&] {
+        const machines::MachineInfo *builtin = machines::byName(args[0]);
+        if (builtin)
+            return hmdes::compileOrThrow(builtin->source);
+        return compileFile(args[0]);
+    }();
+    runPipeline(model, PipelineConfig::all());
+    lmdes::LowerOptions lopts;
+    lopts.pack_bit_vector = true;
+    lmdes::LowMdes low = lmdes::LowMdes::lower(model, lopts);
+
+    std::string text = readFile(args[1]);
+    DiagnosticEngine diags;
+    sched::Program program = workload::parseSasm(text, low, diags);
+    for (const auto &d : diags.diagnostics())
+        std::fprintf(stderr, "%s: %s\n", args[1].c_str(),
+                     d.toString().c_str());
+    if (diags.hasErrors())
+        return 1;
+
+    sched::ListScheduler scheduler(low);
+    sched::SchedStats stats;
+    auto schedules = scheduler.scheduleProgram(program, stats);
+
+    for (size_t b = 0; b < program.blocks.size(); ++b) {
+        std::string problem = sched::verifySchedule(
+            program.blocks[b], schedules[b], low);
+        if (!problem.empty()) {
+            std::fprintf(stderr, "block %zu: %s\n", b, problem.c_str());
+            return 1;
+        }
+        std::printf("block %zu (%d cycles):\n", b,
+                    schedules[b].length);
+        for (int32_t cycle = 0; cycle < schedules[b].length; ++cycle) {
+            std::printf("  %3d |", cycle);
+            for (size_t i = 0; i < program.blocks[b].instrs.size();
+                 ++i) {
+                if (schedules[b].cycles[i] != cycle)
+                    continue;
+                std::printf(
+                    " %s%s",
+                    low.opClasses()[program.blocks[b].instrs[i].op_class]
+                        .name.c_str(),
+                    schedules[b].used_cascade[i] ? "(cascaded)" : "");
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("\n%llu operations, %llu scheduling attempts (%.2f per "
+                "op), %.2f checks per attempt.\n",
+                (unsigned long long)stats.ops_scheduled,
+                (unsigned long long)stats.checks.attempts,
+                stats.avgAttemptsPerOp(),
+                stats.checks.avgChecksPerAttempt());
+    return 0;
+}
+
+int
+cmdExport(const std::vector<std::string> &args)
+{
+    if (args.size() != 1)
+        return usage();
+    const machines::MachineInfo *info = machines::byName(args[0]);
+    if (!info) {
+        std::fprintf(stderr,
+                     "unknown machine '%s' (try PA7100, Pentium, "
+                     "SuperSPARC, K5)\n",
+                     args[0].c_str());
+        return 1;
+    }
+    std::fputs(info->source, stdout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::vector<std::string> args(argv + 2, argv + argc);
+    try {
+        std::string cmd = argv[1];
+        if (cmd == "compile")
+            return cmdCompile(args);
+        if (cmd == "info")
+            return cmdInfo(args);
+        if (cmd == "dump")
+            return cmdDump(args);
+        if (cmd == "stats")
+            return cmdStats(args);
+        if (cmd == "schedule")
+            return cmdSchedule(args);
+        if (cmd == "lint")
+            return cmdLint(args);
+        if (cmd == "export")
+            return cmdExport(args);
+        return usage();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "mdesc: %s\n", e.what());
+        return 1;
+    }
+}
