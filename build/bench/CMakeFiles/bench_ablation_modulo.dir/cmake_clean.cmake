@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_modulo.dir/bench_ablation_modulo.cpp.o"
+  "CMakeFiles/bench_ablation_modulo.dir/bench_ablation_modulo.cpp.o.d"
+  "bench_ablation_modulo"
+  "bench_ablation_modulo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_modulo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

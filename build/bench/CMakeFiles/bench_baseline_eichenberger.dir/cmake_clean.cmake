@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_eichenberger.dir/bench_baseline_eichenberger.cpp.o"
+  "CMakeFiles/bench_baseline_eichenberger.dir/bench_baseline_eichenberger.cpp.o.d"
+  "bench_baseline_eichenberger"
+  "bench_baseline_eichenberger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_eichenberger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_fsa.dir/bench_baseline_fsa.cpp.o"
+  "CMakeFiles/bench_baseline_fsa.dir/bench_baseline_fsa.cpp.o.d"
+  "bench_baseline_fsa"
+  "bench_baseline_fsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_fsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

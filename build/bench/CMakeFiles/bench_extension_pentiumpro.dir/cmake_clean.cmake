@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_pentiumpro.dir/bench_extension_pentiumpro.cpp.o"
+  "CMakeFiles/bench_extension_pentiumpro.dir/bench_extension_pentiumpro.cpp.o.d"
+  "bench_extension_pentiumpro"
+  "bench_extension_pentiumpro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_pentiumpro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

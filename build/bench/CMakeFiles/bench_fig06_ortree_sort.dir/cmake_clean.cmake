@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_ortree_sort.dir/bench_fig06_ortree_sort.cpp.o"
+  "CMakeFiles/bench_fig06_ortree_sort.dir/bench_fig06_ortree_sort.cpp.o.d"
+  "bench_fig06_ortree_sort"
+  "bench_fig06_ortree_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_ortree_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_compile.dir/bench_perf_compile.cpp.o"
+  "CMakeFiles/bench_perf_compile.dir/bench_perf_compile.cpp.o.d"
+  "bench_perf_compile"
+  "bench_perf_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table05_original_sched.dir/bench_table05_original_sched.cpp.o"
+  "CMakeFiles/bench_table05_original_sched.dir/bench_table05_original_sched.cpp.o.d"
+  "bench_table05_original_sched"
+  "bench_table05_original_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table05_original_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table08_pa7100_redundant_option.dir/bench_table08_pa7100_redundant_option.cpp.o"
+  "CMakeFiles/bench_table08_pa7100_redundant_option.dir/bench_table08_pa7100_redundant_option.cpp.o.d"
+  "bench_table08_pa7100_redundant_option"
+  "bench_table08_pa7100_redundant_option.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table08_pa7100_redundant_option.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

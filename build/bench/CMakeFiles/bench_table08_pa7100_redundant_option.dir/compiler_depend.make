@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table08_pa7100_redundant_option.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table08_pa7100_redundant_option.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table10_bitvector_checks.cpp" "bench/CMakeFiles/bench_table10_bitvector_checks.dir/bench_table10_bitvector_checks.cpp.o" "gcc" "bench/CMakeFiles/bench_table10_bitvector_checks.dir/bench_table10_bitvector_checks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mdes_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/mdes_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmdes/CMakeFiles/mdes_hmdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/machines/CMakeFiles/mdes_machines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mdes_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mdes_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/rumap/CMakeFiles/mdes_rumap.dir/DependInfo.cmake"
+  "/root/repo/build/src/lmdes/CMakeFiles/mdes_lmdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mdes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mdes_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

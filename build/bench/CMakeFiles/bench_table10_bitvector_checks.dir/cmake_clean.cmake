@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_bitvector_checks.dir/bench_table10_bitvector_checks.cpp.o"
+  "CMakeFiles/bench_table10_bitvector_checks.dir/bench_table10_bitvector_checks.cpp.o.d"
+  "bench_table10_bitvector_checks"
+  "bench_table10_bitvector_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_bitvector_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_timeshift_checks.dir/bench_table12_timeshift_checks.cpp.o"
+  "CMakeFiles/bench_table12_timeshift_checks.dir/bench_table12_timeshift_checks.cpp.o.d"
+  "bench_table12_timeshift_checks"
+  "bench_table12_timeshift_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_timeshift_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table13_andor_optimizations.dir/bench_table13_andor_optimizations.cpp.o"
+  "CMakeFiles/bench_table13_andor_optimizations.dir/bench_table13_andor_optimizations.cpp.o.d"
+  "bench_table13_andor_optimizations"
+  "bench_table13_andor_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_andor_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table15_aggregate_checks.dir/bench_table15_aggregate_checks.cpp.o"
+  "CMakeFiles/bench_table15_aggregate_checks.dir/bench_table15_aggregate_checks.cpp.o.d"
+  "bench_table15_aggregate_checks"
+  "bench_table15_aggregate_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table15_aggregate_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdes_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/mdes_bench_util.dir/bench_util.cpp.o.d"
+  "libmdes_bench_util.a"
+  "libmdes_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdes_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

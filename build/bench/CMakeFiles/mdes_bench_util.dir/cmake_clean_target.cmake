@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmdes_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hazard_analysis.dir/hazard_analysis.cpp.o"
+  "CMakeFiles/hazard_analysis.dir/hazard_analysis.cpp.o.d"
+  "hazard_analysis"
+  "hazard_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hazard_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/if_conversion.dir/if_conversion.cpp.o"
+  "CMakeFiles/if_conversion.dir/if_conversion.cpp.o.d"
+  "if_conversion"
+  "if_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/if_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

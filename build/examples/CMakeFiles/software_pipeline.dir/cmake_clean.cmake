@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_pipeline.dir/software_pipeline.cpp.o"
+  "CMakeFiles/software_pipeline.dir/software_pipeline.cpp.o.d"
+  "software_pipeline"
+  "software_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/collision.cpp" "src/core/CMakeFiles/mdes_core.dir/collision.cpp.o" "gcc" "src/core/CMakeFiles/mdes_core.dir/collision.cpp.o.d"
+  "/root/repo/src/core/expand.cpp" "src/core/CMakeFiles/mdes_core.dir/expand.cpp.o" "gcc" "src/core/CMakeFiles/mdes_core.dir/expand.cpp.o.d"
+  "/root/repo/src/core/lint.cpp" "src/core/CMakeFiles/mdes_core.dir/lint.cpp.o" "gcc" "src/core/CMakeFiles/mdes_core.dir/lint.cpp.o.d"
+  "/root/repo/src/core/mdes.cpp" "src/core/CMakeFiles/mdes_core.dir/mdes.cpp.o" "gcc" "src/core/CMakeFiles/mdes_core.dir/mdes.cpp.o.d"
+  "/root/repo/src/core/minimize.cpp" "src/core/CMakeFiles/mdes_core.dir/minimize.cpp.o" "gcc" "src/core/CMakeFiles/mdes_core.dir/minimize.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/mdes_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/mdes_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/print.cpp" "src/core/CMakeFiles/mdes_core.dir/print.cpp.o" "gcc" "src/core/CMakeFiles/mdes_core.dir/print.cpp.o.d"
+  "/root/repo/src/core/transform_andor.cpp" "src/core/CMakeFiles/mdes_core.dir/transform_andor.cpp.o" "gcc" "src/core/CMakeFiles/mdes_core.dir/transform_andor.cpp.o.d"
+  "/root/repo/src/core/transform_cse.cpp" "src/core/CMakeFiles/mdes_core.dir/transform_cse.cpp.o" "gcc" "src/core/CMakeFiles/mdes_core.dir/transform_cse.cpp.o.d"
+  "/root/repo/src/core/transform_redundant.cpp" "src/core/CMakeFiles/mdes_core.dir/transform_redundant.cpp.o" "gcc" "src/core/CMakeFiles/mdes_core.dir/transform_redundant.cpp.o.d"
+  "/root/repo/src/core/transform_times.cpp" "src/core/CMakeFiles/mdes_core.dir/transform_times.cpp.o" "gcc" "src/core/CMakeFiles/mdes_core.dir/transform_times.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mdes_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

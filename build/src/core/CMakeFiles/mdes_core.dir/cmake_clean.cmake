@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdes_core.dir/collision.cpp.o"
+  "CMakeFiles/mdes_core.dir/collision.cpp.o.d"
+  "CMakeFiles/mdes_core.dir/expand.cpp.o"
+  "CMakeFiles/mdes_core.dir/expand.cpp.o.d"
+  "CMakeFiles/mdes_core.dir/lint.cpp.o"
+  "CMakeFiles/mdes_core.dir/lint.cpp.o.d"
+  "CMakeFiles/mdes_core.dir/mdes.cpp.o"
+  "CMakeFiles/mdes_core.dir/mdes.cpp.o.d"
+  "CMakeFiles/mdes_core.dir/minimize.cpp.o"
+  "CMakeFiles/mdes_core.dir/minimize.cpp.o.d"
+  "CMakeFiles/mdes_core.dir/pipeline.cpp.o"
+  "CMakeFiles/mdes_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/mdes_core.dir/print.cpp.o"
+  "CMakeFiles/mdes_core.dir/print.cpp.o.d"
+  "CMakeFiles/mdes_core.dir/transform_andor.cpp.o"
+  "CMakeFiles/mdes_core.dir/transform_andor.cpp.o.d"
+  "CMakeFiles/mdes_core.dir/transform_cse.cpp.o"
+  "CMakeFiles/mdes_core.dir/transform_cse.cpp.o.d"
+  "CMakeFiles/mdes_core.dir/transform_redundant.cpp.o"
+  "CMakeFiles/mdes_core.dir/transform_redundant.cpp.o.d"
+  "CMakeFiles/mdes_core.dir/transform_times.cpp.o"
+  "CMakeFiles/mdes_core.dir/transform_times.cpp.o.d"
+  "libmdes_core.a"
+  "libmdes_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdes_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdes_exp.dir/runner.cpp.o"
+  "CMakeFiles/mdes_exp.dir/runner.cpp.o.d"
+  "libmdes_exp.a"
+  "libmdes_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdes_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

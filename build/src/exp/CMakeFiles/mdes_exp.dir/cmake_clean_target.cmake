@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmdes_exp.a"
+)

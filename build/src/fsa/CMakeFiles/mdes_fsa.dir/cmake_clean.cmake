@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdes_fsa.dir/automaton.cpp.o"
+  "CMakeFiles/mdes_fsa.dir/automaton.cpp.o.d"
+  "libmdes_fsa.a"
+  "libmdes_fsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdes_fsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

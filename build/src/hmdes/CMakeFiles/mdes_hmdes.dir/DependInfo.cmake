@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hmdes/builder.cpp" "src/hmdes/CMakeFiles/mdes_hmdes.dir/builder.cpp.o" "gcc" "src/hmdes/CMakeFiles/mdes_hmdes.dir/builder.cpp.o.d"
+  "/root/repo/src/hmdes/compile.cpp" "src/hmdes/CMakeFiles/mdes_hmdes.dir/compile.cpp.o" "gcc" "src/hmdes/CMakeFiles/mdes_hmdes.dir/compile.cpp.o.d"
+  "/root/repo/src/hmdes/lexer.cpp" "src/hmdes/CMakeFiles/mdes_hmdes.dir/lexer.cpp.o" "gcc" "src/hmdes/CMakeFiles/mdes_hmdes.dir/lexer.cpp.o.d"
+  "/root/repo/src/hmdes/parser.cpp" "src/hmdes/CMakeFiles/mdes_hmdes.dir/parser.cpp.o" "gcc" "src/hmdes/CMakeFiles/mdes_hmdes.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mdes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mdes_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

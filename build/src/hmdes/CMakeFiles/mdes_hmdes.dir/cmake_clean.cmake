@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdes_hmdes.dir/builder.cpp.o"
+  "CMakeFiles/mdes_hmdes.dir/builder.cpp.o.d"
+  "CMakeFiles/mdes_hmdes.dir/compile.cpp.o"
+  "CMakeFiles/mdes_hmdes.dir/compile.cpp.o.d"
+  "CMakeFiles/mdes_hmdes.dir/lexer.cpp.o"
+  "CMakeFiles/mdes_hmdes.dir/lexer.cpp.o.d"
+  "CMakeFiles/mdes_hmdes.dir/parser.cpp.o"
+  "CMakeFiles/mdes_hmdes.dir/parser.cpp.o.d"
+  "libmdes_hmdes.a"
+  "libmdes_hmdes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdes_hmdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdes_lmdes.dir/low_mdes.cpp.o"
+  "CMakeFiles/mdes_lmdes.dir/low_mdes.cpp.o.d"
+  "CMakeFiles/mdes_lmdes.dir/serialize.cpp.o"
+  "CMakeFiles/mdes_lmdes.dir/serialize.cpp.o.d"
+  "libmdes_lmdes.a"
+  "libmdes_lmdes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdes_lmdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

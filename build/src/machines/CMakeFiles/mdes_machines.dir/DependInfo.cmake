@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machines/k5.cpp" "src/machines/CMakeFiles/mdes_machines.dir/k5.cpp.o" "gcc" "src/machines/CMakeFiles/mdes_machines.dir/k5.cpp.o.d"
+  "/root/repo/src/machines/pa7100.cpp" "src/machines/CMakeFiles/mdes_machines.dir/pa7100.cpp.o" "gcc" "src/machines/CMakeFiles/mdes_machines.dir/pa7100.cpp.o.d"
+  "/root/repo/src/machines/pa8000.cpp" "src/machines/CMakeFiles/mdes_machines.dir/pa8000.cpp.o" "gcc" "src/machines/CMakeFiles/mdes_machines.dir/pa8000.cpp.o.d"
+  "/root/repo/src/machines/pentium.cpp" "src/machines/CMakeFiles/mdes_machines.dir/pentium.cpp.o" "gcc" "src/machines/CMakeFiles/mdes_machines.dir/pentium.cpp.o.d"
+  "/root/repo/src/machines/pentium_pro.cpp" "src/machines/CMakeFiles/mdes_machines.dir/pentium_pro.cpp.o" "gcc" "src/machines/CMakeFiles/mdes_machines.dir/pentium_pro.cpp.o.d"
+  "/root/repo/src/machines/registry.cpp" "src/machines/CMakeFiles/mdes_machines.dir/registry.cpp.o" "gcc" "src/machines/CMakeFiles/mdes_machines.dir/registry.cpp.o.d"
+  "/root/repo/src/machines/super_sparc.cpp" "src/machines/CMakeFiles/mdes_machines.dir/super_sparc.cpp.o" "gcc" "src/machines/CMakeFiles/mdes_machines.dir/super_sparc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/mdes_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mdes_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mdes_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/rumap/CMakeFiles/mdes_rumap.dir/DependInfo.cmake"
+  "/root/repo/build/src/lmdes/CMakeFiles/mdes_lmdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mdes_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdes_machines.dir/k5.cpp.o"
+  "CMakeFiles/mdes_machines.dir/k5.cpp.o.d"
+  "CMakeFiles/mdes_machines.dir/pa7100.cpp.o"
+  "CMakeFiles/mdes_machines.dir/pa7100.cpp.o.d"
+  "CMakeFiles/mdes_machines.dir/pa8000.cpp.o"
+  "CMakeFiles/mdes_machines.dir/pa8000.cpp.o.d"
+  "CMakeFiles/mdes_machines.dir/pentium.cpp.o"
+  "CMakeFiles/mdes_machines.dir/pentium.cpp.o.d"
+  "CMakeFiles/mdes_machines.dir/pentium_pro.cpp.o"
+  "CMakeFiles/mdes_machines.dir/pentium_pro.cpp.o.d"
+  "CMakeFiles/mdes_machines.dir/registry.cpp.o"
+  "CMakeFiles/mdes_machines.dir/registry.cpp.o.d"
+  "CMakeFiles/mdes_machines.dir/super_sparc.cpp.o"
+  "CMakeFiles/mdes_machines.dir/super_sparc.cpp.o.d"
+  "libmdes_machines.a"
+  "libmdes_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdes_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

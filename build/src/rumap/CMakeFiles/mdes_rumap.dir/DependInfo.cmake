@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rumap/checker.cpp" "src/rumap/CMakeFiles/mdes_rumap.dir/checker.cpp.o" "gcc" "src/rumap/CMakeFiles/mdes_rumap.dir/checker.cpp.o.d"
+  "/root/repo/src/rumap/ru_map.cpp" "src/rumap/CMakeFiles/mdes_rumap.dir/ru_map.cpp.o" "gcc" "src/rumap/CMakeFiles/mdes_rumap.dir/ru_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lmdes/CMakeFiles/mdes_lmdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mdes_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mdes_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdes_rumap.dir/checker.cpp.o"
+  "CMakeFiles/mdes_rumap.dir/checker.cpp.o.d"
+  "CMakeFiles/mdes_rumap.dir/ru_map.cpp.o"
+  "CMakeFiles/mdes_rumap.dir/ru_map.cpp.o.d"
+  "libmdes_rumap.a"
+  "libmdes_rumap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdes_rumap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

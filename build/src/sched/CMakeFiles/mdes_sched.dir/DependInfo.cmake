@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/backward_scheduler.cpp" "src/sched/CMakeFiles/mdes_sched.dir/backward_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/mdes_sched.dir/backward_scheduler.cpp.o.d"
+  "/root/repo/src/sched/dep_graph.cpp" "src/sched/CMakeFiles/mdes_sched.dir/dep_graph.cpp.o" "gcc" "src/sched/CMakeFiles/mdes_sched.dir/dep_graph.cpp.o.d"
+  "/root/repo/src/sched/list_scheduler.cpp" "src/sched/CMakeFiles/mdes_sched.dir/list_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/mdes_sched.dir/list_scheduler.cpp.o.d"
+  "/root/repo/src/sched/modulo_scheduler.cpp" "src/sched/CMakeFiles/mdes_sched.dir/modulo_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/mdes_sched.dir/modulo_scheduler.cpp.o.d"
+  "/root/repo/src/sched/pressure.cpp" "src/sched/CMakeFiles/mdes_sched.dir/pressure.cpp.o" "gcc" "src/sched/CMakeFiles/mdes_sched.dir/pressure.cpp.o.d"
+  "/root/repo/src/sched/verify.cpp" "src/sched/CMakeFiles/mdes_sched.dir/verify.cpp.o" "gcc" "src/sched/CMakeFiles/mdes_sched.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lmdes/CMakeFiles/mdes_lmdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/rumap/CMakeFiles/mdes_rumap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mdes_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mdes_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdes_sched.dir/backward_scheduler.cpp.o"
+  "CMakeFiles/mdes_sched.dir/backward_scheduler.cpp.o.d"
+  "CMakeFiles/mdes_sched.dir/dep_graph.cpp.o"
+  "CMakeFiles/mdes_sched.dir/dep_graph.cpp.o.d"
+  "CMakeFiles/mdes_sched.dir/list_scheduler.cpp.o"
+  "CMakeFiles/mdes_sched.dir/list_scheduler.cpp.o.d"
+  "CMakeFiles/mdes_sched.dir/modulo_scheduler.cpp.o"
+  "CMakeFiles/mdes_sched.dir/modulo_scheduler.cpp.o.d"
+  "CMakeFiles/mdes_sched.dir/pressure.cpp.o"
+  "CMakeFiles/mdes_sched.dir/pressure.cpp.o.d"
+  "CMakeFiles/mdes_sched.dir/verify.cpp.o"
+  "CMakeFiles/mdes_sched.dir/verify.cpp.o.d"
+  "libmdes_sched.a"
+  "libmdes_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdes_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

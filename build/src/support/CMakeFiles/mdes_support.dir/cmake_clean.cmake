@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdes_support.dir/bit_vector.cpp.o"
+  "CMakeFiles/mdes_support.dir/bit_vector.cpp.o.d"
+  "CMakeFiles/mdes_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/mdes_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/mdes_support.dir/histogram.cpp.o"
+  "CMakeFiles/mdes_support.dir/histogram.cpp.o.d"
+  "CMakeFiles/mdes_support.dir/text_table.cpp.o"
+  "CMakeFiles/mdes_support.dir/text_table.cpp.o.d"
+  "libmdes_support.a"
+  "libmdes_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdes_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

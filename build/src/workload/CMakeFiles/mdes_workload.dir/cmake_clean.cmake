@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdes_workload.dir/sasm.cpp.o"
+  "CMakeFiles/mdes_workload.dir/sasm.cpp.o.d"
+  "CMakeFiles/mdes_workload.dir/workload.cpp.o"
+  "CMakeFiles/mdes_workload.dir/workload.cpp.o.d"
+  "libmdes_workload.a"
+  "libmdes_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdes_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

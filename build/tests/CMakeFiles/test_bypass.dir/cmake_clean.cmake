@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bypass.dir/test_bypass.cpp.o"
+  "CMakeFiles/test_bypass.dir/test_bypass.cpp.o.d"
+  "test_bypass"
+  "test_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_docs.dir/test_docs.cpp.o"
+  "CMakeFiles/test_docs.dir/test_docs.cpp.o.d"
+  "test_docs"
+  "test_docs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_docs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsa.dir/test_fsa.cpp.o"
+  "CMakeFiles/test_fsa.dir/test_fsa.cpp.o.d"
+  "test_fsa"
+  "test_fsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

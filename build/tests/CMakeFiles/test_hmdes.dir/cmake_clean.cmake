@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hmdes.dir/test_hmdes.cpp.o"
+  "CMakeFiles/test_hmdes.dir/test_hmdes.cpp.o.d"
+  "test_hmdes"
+  "test_hmdes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hmdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lmdes.dir/test_lmdes.cpp.o"
+  "CMakeFiles/test_lmdes.dir/test_lmdes.cpp.o.d"
+  "test_lmdes"
+  "test_lmdes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lmdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modulo.dir/test_modulo.cpp.o"
+  "CMakeFiles/test_modulo.dir/test_modulo.cpp.o.d"
+  "test_modulo"
+  "test_modulo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modulo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

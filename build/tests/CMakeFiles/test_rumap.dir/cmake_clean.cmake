@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rumap.dir/test_rumap.cpp.o"
+  "CMakeFiles/test_rumap.dir/test_rumap.cpp.o.d"
+  "test_rumap"
+  "test_rumap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rumap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sasm.dir/test_sasm.cpp.o"
+  "CMakeFiles/test_sasm.dir/test_sasm.cpp.o.d"
+  "test_sasm"
+  "test_sasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

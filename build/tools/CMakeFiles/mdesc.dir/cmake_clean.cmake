@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdesc.dir/mdesc.cpp.o"
+  "CMakeFiles/mdesc.dir/mdesc.cpp.o.d"
+  "mdesc"
+  "mdesc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdesc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

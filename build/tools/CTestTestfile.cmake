@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_compile_vliw "/root/repo/build/tools/mdesc" "compile" "/root/repo/descriptions/blackbird_vliw.hmdes" "-o" "/root/repo/build/tools/blackbird.lmdes")
+set_tests_properties(tool_compile_vliw PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_info_lmdes "/root/repo/build/tools/mdesc" "info" "/root/repo/build/tools/blackbird.lmdes")
+set_tests_properties(tool_info_lmdes PROPERTIES  DEPENDS "tool_compile_vliw" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_info_hmdes "/root/repo/build/tools/mdesc" "info" "/root/repo/descriptions/blackbird_vliw.hmdes")
+set_tests_properties(tool_info_hmdes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_dump_operation "/root/repo/build/tools/mdesc" "dump" "/root/repo/descriptions/blackbird_vliw.hmdes" "MUL_A")
+set_tests_properties(tool_dump_operation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_export_k5 "/root/repo/build/tools/mdesc" "export" "K5")
+set_tests_properties(tool_export_k5 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_stats "/root/repo/build/tools/mdesc" "stats" "/root/repo/descriptions/blackbird_vliw.hmdes")
+set_tests_properties(tool_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_schedule "/root/repo/build/tools/mdesc" "schedule" "SuperSPARC" "/root/repo/descriptions/dotproduct.sasm")
+set_tests_properties(tool_schedule PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_lint "/root/repo/build/tools/mdesc" "lint" "/root/repo/descriptions/blackbird_vliw.hmdes" "--deep")
+set_tests_properties(tool_lint PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
