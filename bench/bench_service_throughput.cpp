@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Service throughput: requests/sec through MdesService at 1/2/4/8
+ * workers against the Pentium Pro description (the paper-conclusion
+ * extension machine).
+ *
+ * Each worker count answers the identical 32-request batch (distinct
+ * seeds, so every request schedules a different stream). The run
+ * asserts the serving invariants that make scaling sound:
+ *
+ *  - schedules are byte-identical (equal fingerprints) at every worker
+ *    count - concurrency never changes results;
+ *  - after the first compilation the cache serves every request (warm
+ *    re-run: zero additional compiles, 100% hit rate).
+ *
+ * Speedup is bounded by available cores; the printed table reports
+ * both wall time and the speedup over the single-worker baseline.
+ */
+
+#include <cstdlib>
+#include <thread>
+
+#include "bench_util.h"
+#include "service/service.h"
+
+int
+main()
+{
+    using namespace mdes;
+    using namespace mdes::bench;
+
+    printHeader("service throughput",
+                "concurrent compile-and-schedule service: requests/sec "
+                "vs worker count (PentiumPro)");
+
+    constexpr size_t kRequests = 32;
+    constexpr size_t kOpsPerRequest = 1500;
+
+    auto makeBatch = [] {
+        std::vector<service::ScheduleRequest> batch;
+        for (size_t i = 0; i < kRequests; ++i) {
+            service::ScheduleRequest req;
+            req.machine = "PentiumPro";
+            req.synth_ops = kOpsPerRequest;
+            req.seed = i + 1;
+            batch.push_back(std::move(req));
+        }
+        return batch;
+    };
+
+    std::vector<uint64_t> baseline_fingerprints;
+    double baseline_secs = 0.0;
+    bool deterministic = true;
+    uint64_t residual_compiles = 0;
+    double warm_hit_rate = 0.0;
+
+    TextTable table;
+    table.setHeader({"Workers", "Wall ms", "Requests/s", "Speedup",
+                     "Compiles", "Warm hit rate"});
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        service::MdesService svc(
+            {.num_workers = workers, .cache_capacity = 8});
+        // Warm the cache so the timed region measures serving, not the
+        // one-off compilation.
+        {
+            service::ScheduleRequest warmup;
+            warmup.machine = "PentiumPro";
+            warmup.synth_ops = 64;
+            svc.wait(svc.submit(warmup));
+        }
+        uint64_t compiles_before = svc.cache().stats().compiles;
+        uint64_t hits_before = svc.cache().stats().hits;
+
+        auto t0 = std::chrono::steady_clock::now();
+        auto responses = svc.runBatch(makeBatch());
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+        std::vector<uint64_t> fingerprints;
+        for (const auto &r : responses) {
+            if (!r.ok()) {
+                std::fprintf(stderr, "request failed: %s\n",
+                             r.error.message.c_str());
+                return 1;
+            }
+            fingerprints.push_back(service::scheduleFingerprint(r));
+        }
+        if (baseline_fingerprints.empty()) {
+            baseline_fingerprints = fingerprints;
+            baseline_secs = secs;
+        } else if (fingerprints != baseline_fingerprints) {
+            deterministic = false;
+        }
+
+        // The timed batch ran entirely against the warm cache: every
+        // request a hit, no new compilations.
+        service::DescriptionCache::Stats cs = svc.cache().stats();
+        residual_compiles += cs.compiles - compiles_before;
+        warm_hit_rate = double(cs.hits - hits_before) / double(kRequests);
+
+        table.addRow({std::to_string(workers),
+                      TextTable::num(secs * 1e3, 1),
+                      TextTable::num(double(kRequests) / secs, 1),
+                      TextTable::num(baseline_secs / secs, 2),
+                      std::to_string(svc.cache().stats().compiles),
+                      TextTable::percent(warm_hit_rate)});
+    }
+    std::printf("%s", table.toString().c_str());
+    std::printf("\n(%u hardware thread(s) available; speedup saturates "
+                "at the core count)\n",
+                std::thread::hardware_concurrency());
+
+    if (!deterministic) {
+        std::fprintf(stderr,
+                     "FAIL: schedules differ across worker counts\n");
+        return 1;
+    }
+    if (residual_compiles != 0 || warm_hit_rate != 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: warm-cache batch recompiled %llu times "
+                     "(hit rate %.0f%%)\n",
+                     (unsigned long long)residual_compiles,
+                     warm_hit_rate * 100.0);
+        return 1;
+    }
+    std::printf("\nschedules byte-identical across 1/2/4/8 workers; "
+                "warm-cache batches performed zero recompilations "
+                "(hit rate 100%%).\n");
+    printFootnote();
+    return 0;
+}

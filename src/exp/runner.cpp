@@ -28,6 +28,20 @@ buildModel(const RunConfig &config)
     return model;
 }
 
+lmdes::LowMdes
+compileSourceToLow(std::string_view source,
+                   const PipelineConfig &transforms, bool bit_vector,
+                   Rep rep)
+{
+    Mdes model = hmdes::compileOrThrow(source);
+    if (rep == Rep::OrTree)
+        model = expandToOrForm(model);
+    runPipeline(model, transforms);
+    lmdes::LowerOptions lopts;
+    lopts.pack_bit_vector = bit_vector;
+    return lmdes::LowMdes::lower(model, lopts);
+}
+
 RunResult
 run(const RunConfig &config)
 {

@@ -20,6 +20,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/mdes.h"
@@ -70,6 +71,16 @@ Mdes compileMachine(const machines::MachineInfo &machine);
  * compile, apply representation, run transformations.
  */
 Mdes buildModel(const RunConfig &config);
+
+/**
+ * Compile high-level MDES @p source, run @p transforms, and lower with
+ * @p bit_vector packing: the one-call compile pipeline behind both the
+ * mdesc tool and the service's compiled-description cache. Throws
+ * MdesError (with rendered diagnostics) on bad source.
+ */
+lmdes::LowMdes compileSourceToLow(std::string_view source,
+                                  const PipelineConfig &transforms,
+                                  bool bit_vector, Rep rep = Rep::AndOrTree);
 
 /** Run the full experiment. */
 RunResult run(const RunConfig &config);

@@ -1,0 +1,141 @@
+#include "service/cache.h"
+
+namespace mdes::service {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void
+fnvBytes(uint64_t &h, const void *data, size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+}
+
+void
+fnvByte(uint64_t &h, unsigned char b)
+{
+    fnvBytes(h, &b, 1);
+}
+
+} // namespace
+
+DescriptionCache::Key
+DescriptionCache::makeKey(std::string_view source,
+                          const PipelineConfig &transforms,
+                          bool bit_vector, exp::Rep rep)
+{
+    uint64_t h = kFnvOffset;
+    fnvBytes(h, source.data(), source.size());
+    // Every field that changes the compiled artifact must feed the key;
+    // keep in sync with PipelineConfig.
+    fnvByte(h, transforms.cse);
+    fnvByte(h, transforms.redundant_options);
+    fnvByte(h, transforms.minimize);
+    fnvByte(h, transforms.time_shift);
+    fnvByte(h, transforms.sort_usages);
+    fnvByte(h, transforms.hoist);
+    fnvByte(h, transforms.sort_or_trees);
+    fnvByte(h, static_cast<unsigned char>(transforms.direction));
+    fnvByte(h, bit_vector);
+    fnvByte(h, static_cast<unsigned char>(rep));
+    return h;
+}
+
+CompiledMdes
+DescriptionCache::getOrCompile(Key key,
+                               const std::function<CompiledMdes()> &compile,
+                               bool *hit)
+{
+    std::shared_future<CompiledMdes> fut;
+    std::promise<CompiledMdes> mine;
+    bool is_owner = false;
+    uint64_t my_generation = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            ++hits_;
+            if (hit)
+                *hit = true;
+            touch(it->second);
+            fut = it->second->artifact;
+        } else {
+            ++misses_;
+            if (hit)
+                *hit = false;
+            fut = mine.get_future().share();
+            my_generation = next_generation_++;
+            lru_.push_front(Entry{key, my_generation, fut});
+            index_[key] = lru_.begin();
+            is_owner = true;
+            while (capacity_ > 0 && lru_.size() > capacity_) {
+                index_.erase(lru_.back().key);
+                lru_.pop_back();
+                ++evictions_;
+            }
+        }
+    }
+
+    if (!is_owner)
+        return fut.get();
+
+    try {
+        CompiledMdes artifact = compile();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++compiles_;
+        }
+        mine.set_value(artifact);
+        return artifact;
+    } catch (...) {
+        // Fail every waiter of this round, then forget the entry so a
+        // later request retries instead of caching the failure.
+        mine.set_exception(std::current_exception());
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = index_.find(key);
+            if (it != index_.end() &&
+                it->second->generation == my_generation) {
+                lru_.erase(it->second);
+                index_.erase(it);
+            }
+        }
+        throw;
+    }
+}
+
+void
+DescriptionCache::touch(LruList::iterator it)
+{
+    lru_.splice(lru_.begin(), lru_, it);
+}
+
+DescriptionCache::Stats
+DescriptionCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.compiles = compiles_;
+    s.size = lru_.size();
+    s.capacity = capacity_;
+    return s;
+}
+
+void
+DescriptionCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    index_.clear();
+}
+
+} // namespace mdes::service

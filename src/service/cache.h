@@ -1,0 +1,133 @@
+#ifndef MDES_SERVICE_CACHE_H
+#define MDES_SERVICE_CACHE_H
+
+/**
+ * @file
+ * The compiled-description cache.
+ *
+ * Compiling a high-level MDES and running the full transformation
+ * pipeline costs milliseconds; a constraint query costs nanoseconds. A
+ * service answering many scheduling requests against few machines must
+ * therefore compile each description once and share the result. This
+ * cache maps a content hash of (hmdes source, PipelineConfig, bit-vector
+ * flag, representation) to an immutable `shared_ptr<const LowMdes>`:
+ *
+ *  - Bounded LRU: at most `capacity` compiled descriptions are retained;
+ *    the least-recently-used entry is evicted first. Evicted artifacts
+ *    stay alive for as long as in-flight requests hold the shared_ptr.
+ *  - Concurrent-miss collapsing: the table stores shared_futures, so N
+ *    threads missing on the same key trigger exactly one compilation and
+ *    N-1 waiters. A failed compilation is not cached (the exception
+ *    propagates to every waiter of that round, then the entry is
+ *    dropped so a later request may retry).
+ *
+ * Thread-safety contract (see DESIGN.md §7): LowMdes is immutable after
+ * lower()/load(), which is what makes sharing one artifact across
+ * worker threads sound. The cache enforces const-ness in the type it
+ * hands out.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/transforms.h"
+#include "exp/runner.h"
+#include "lmdes/low_mdes.h"
+
+namespace mdes::service {
+
+/** A shared, immutable compiled description. */
+using CompiledMdes = std::shared_ptr<const lmdes::LowMdes>;
+
+/** Bounded LRU cache of compiled descriptions keyed by content hash. */
+class DescriptionCache
+{
+  public:
+    /** Content-hash key; equal inputs produce equal keys. */
+    using Key = uint64_t;
+
+    explicit DescriptionCache(size_t capacity = 16) : capacity_(capacity)
+    {
+    }
+
+    /**
+     * Key for compiling @p source under @p transforms with @p bit_vector
+     * packing and representation @p rep (FNV-1a over source bytes and
+     * every pipeline flag).
+     */
+    static Key makeKey(std::string_view source,
+                       const PipelineConfig &transforms, bool bit_vector,
+                       exp::Rep rep = exp::Rep::AndOrTree);
+
+    /**
+     * Return the cached artifact for @p key, compiling it with
+     * @p compile on a miss. Concurrent misses on one key run @p compile
+     * once; everyone else blocks on the same future. @p hit, when
+     * non-null, reports whether an existing entry was used (an entry
+     * still being compiled by another thread counts as a hit: no new
+     * compilation was started). Exceptions from @p compile propagate.
+     */
+    CompiledMdes getOrCompile(Key key,
+                              const std::function<CompiledMdes()> &compile,
+                              bool *hit = nullptr);
+
+    /** Monotonic counters plus the current size. */
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t evictions = 0;
+        /** Compilations actually executed (misses minus collapsed
+         * concurrent misses minus failures). */
+        uint64_t compiles = 0;
+        size_t size = 0;
+        size_t capacity = 0;
+
+        double
+        hitRate() const
+        {
+            uint64_t lookups = hits + misses;
+            return lookups ? double(hits) / double(lookups) : 0.0;
+        }
+    };
+
+    Stats stats() const;
+
+    /** Drop every entry (counters are preserved). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Key key;
+        /** Distinguishes re-insertions of an evicted key so a failing
+         * compile only removes its own entry. */
+        uint64_t generation;
+        std::shared_future<CompiledMdes> artifact;
+    };
+
+    /** Front = most recently used. */
+    using LruList = std::list<Entry>;
+
+    void touch(LruList::iterator it);
+
+    mutable std::mutex mu_;
+    size_t capacity_;
+    LruList lru_;
+    std::unordered_map<Key, LruList::iterator> index_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+    uint64_t compiles_ = 0;
+    uint64_t next_generation_ = 0;
+};
+
+} // namespace mdes::service
+
+#endif // MDES_SERVICE_CACHE_H

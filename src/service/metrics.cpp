@@ -1,0 +1,202 @@
+#include "service/metrics.h"
+
+#include <bit>
+
+#include "support/json.h"
+#include "support/text_table.h"
+
+namespace mdes::service {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::Ok: return "ok";
+    case ErrorCode::UnknownMachine: return "unknown-machine";
+    case ErrorCode::CompileFailed: return "compile-failed";
+    case ErrorCode::BadWorkload: return "bad-workload";
+    case ErrorCode::BadRequest: return "bad-request";
+    case ErrorCode::DeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::Cancelled: return "cancelled";
+    case ErrorCode::ScheduleFailed: return "schedule-failed";
+    case ErrorCode::Internal: return "internal";
+    case ErrorCode::kNumCodes: break;
+    }
+    return "?";
+}
+
+void
+StageLatency::record(uint64_t us)
+{
+    log2_us.add(std::bit_width(us));
+    ++count;
+    total_us += us;
+    if (us > max_us)
+        max_us = us;
+}
+
+void
+StageLatency::merge(const StageLatency &other)
+{
+    log2_us.merge(other.log2_us);
+    count += other.count;
+    total_us += other.total_us;
+    if (other.max_us > max_us)
+        max_us = other.max_us;
+}
+
+void
+ServiceMetrics::recordOutcome(ErrorCode code)
+{
+    ++requests;
+    if (code == ErrorCode::Ok)
+        ++ok;
+    else
+        ++errors[size_t(code)];
+}
+
+void
+ServiceMetrics::merge(const ServiceMetrics &other)
+{
+    requests += other.requests;
+    ok += other.ok;
+    for (size_t i = 0; i < size_t(ErrorCode::kNumCodes); ++i)
+        errors[i] += other.errors[i];
+    compile.merge(other.compile);
+    workload.merge(other.workload);
+    schedule.merge(other.schedule);
+    total.merge(other.total);
+    ops_scheduled += other.ops_scheduled;
+    attempts += other.attempts;
+    resource_checks += other.resource_checks;
+}
+
+namespace {
+
+/** "[2^(b-1), 2^b) us" rendered compactly for the latency table. */
+std::string
+bucketLabel(uint64_t bucket)
+{
+    if (bucket == 0)
+        return "0us";
+    uint64_t lo = bucket == 1 ? 1 : (1ull << (bucket - 1));
+    uint64_t hi = (1ull << bucket) - 1;
+    return "<=" + std::to_string(hi) + "us (" + std::to_string(lo) + "-" +
+           std::to_string(hi) + ")";
+}
+
+void
+addLatencyRow(TextTable &table, const char *name, const StageLatency &s)
+{
+    table.addRow({name, std::to_string(s.count),
+                  TextTable::num(s.meanUs(), 1),
+                  std::to_string(s.max_us),
+                  s.count ? bucketLabel(s.log2_us.maxValue()) : "-"});
+}
+
+void
+jsonLatency(JsonWriter &w, const char *name, const StageLatency &s)
+{
+    w.key(name).beginObject();
+    w.key("count").value(s.count);
+    w.key("total_us").value(s.total_us);
+    w.key("mean_us").value(s.meanUs());
+    w.key("max_us").value(s.max_us);
+    w.key("log2_us_buckets").beginArray();
+    for (uint64_t b = 0; b <= s.log2_us.maxValue(); ++b)
+        w.value(s.log2_us.countAt(b));
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+ServiceMetrics::toTable() const
+{
+    std::string out;
+
+    TextTable reqs;
+    reqs.setHeader({"Requests", "OK", "Errors", "Cache Hits",
+                    "Cache Misses", "Hit Rate", "Compiles", "Evictions"});
+    uint64_t total_errors = 0;
+    for (size_t i = 1; i < size_t(ErrorCode::kNumCodes); ++i)
+        total_errors += errors[i];
+    reqs.addRow({std::to_string(requests), std::to_string(ok),
+                 std::to_string(total_errors),
+                 std::to_string(cache.hits), std::to_string(cache.misses),
+                 TextTable::percent(cache.hitRate()),
+                 std::to_string(cache.compiles),
+                 std::to_string(cache.evictions)});
+    out += reqs.toString();
+
+    if (total_errors) {
+        TextTable errs;
+        errs.setHeader({"Error", "Count"});
+        for (size_t i = 1; i < size_t(ErrorCode::kNumCodes); ++i) {
+            if (errors[i])
+                errs.addRow({errorCodeName(ErrorCode(i)),
+                             std::to_string(errors[i])});
+        }
+        out += errs.toString();
+    }
+
+    TextTable lat;
+    lat.setHeader({"Stage", "Count", "Mean us", "Max us", "Peak bucket"});
+    addLatencyRow(lat, "compile", compile);
+    addLatencyRow(lat, "workload", workload);
+    addLatencyRow(lat, "schedule", schedule);
+    addLatencyRow(lat, "total", total);
+    out += lat.toString();
+
+    TextTable sched;
+    sched.setHeader(
+        {"Ops Scheduled", "Attempts", "Resource Checks", "Checks/Attempt"});
+    sched.addRow({std::to_string(ops_scheduled), std::to_string(attempts),
+                  std::to_string(resource_checks),
+                  TextTable::num(attempts ? double(resource_checks) /
+                                                double(attempts)
+                                          : 0.0,
+                                 2)});
+    out += sched.toString();
+    return out;
+}
+
+std::string
+ServiceMetrics::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("requests").value(requests);
+    w.key("ok").value(ok);
+    w.key("errors").beginObject();
+    for (size_t i = 1; i < size_t(ErrorCode::kNumCodes); ++i) {
+        if (errors[i])
+            w.key(errorCodeName(ErrorCode(i))).value(errors[i]);
+    }
+    w.endObject();
+    w.key("cache").beginObject();
+    w.key("hits").value(cache.hits);
+    w.key("misses").value(cache.misses);
+    w.key("hit_rate").value(cache.hitRate());
+    w.key("compiles").value(cache.compiles);
+    w.key("evictions").value(cache.evictions);
+    w.key("size").value(uint64_t(cache.size));
+    w.key("capacity").value(uint64_t(cache.capacity));
+    w.endObject();
+    w.key("latency").beginObject();
+    jsonLatency(w, "compile", compile);
+    jsonLatency(w, "workload", workload);
+    jsonLatency(w, "schedule", schedule);
+    jsonLatency(w, "total", total);
+    w.endObject();
+    w.key("scheduling").beginObject();
+    w.key("ops_scheduled").value(ops_scheduled);
+    w.key("attempts").value(attempts);
+    w.key("resource_checks").value(resource_checks);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace mdes::service

@@ -1,0 +1,99 @@
+#ifndef MDES_SERVICE_METRICS_H
+#define MDES_SERVICE_METRICS_H
+
+/**
+ * @file
+ * Service observability: request counters, per-stage latency
+ * histograms, and scheduling aggregates.
+ *
+ * Each worker thread owns one ServiceMetrics and records into it without
+ * contention; a snapshot merges every worker's copy with
+ * Histogram::merge() (plus the cache's own counters) into one report,
+ * dumpable as a text table or as JSON.
+ *
+ * Latencies are recorded in microseconds but bucketed by power of two
+ * (value = bit_width(us)), so a histogram stays a few dozen slots even
+ * for second-long requests: bucket b covers [2^(b-1), 2^b) us.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "service/cache.h"
+#include "support/histogram.h"
+
+namespace mdes::service {
+
+/** Why a request failed (Ok = it did not). */
+enum class ErrorCode : int {
+    Ok = 0,
+    UnknownMachine,
+    CompileFailed,
+    BadWorkload,
+    BadRequest,
+    DeadlineExceeded,
+    Cancelled,
+    ScheduleFailed,
+    Internal,
+    kNumCodes
+};
+
+/** Printable name of @p code. */
+const char *errorCodeName(ErrorCode code);
+
+/** Latency series for one request stage. */
+struct StageLatency
+{
+    /** Power-of-two buckets: sample = bit_width(microseconds). */
+    Histogram log2_us;
+    uint64_t count = 0;
+    uint64_t total_us = 0;
+    uint64_t max_us = 0;
+
+    /** Record one duration of @p us microseconds. */
+    void record(uint64_t us);
+
+    /** Combine another series into this one (used lock-free at
+     * snapshot time: each input belongs to a quiesced worker). */
+    void merge(const StageLatency &other);
+
+    double
+    meanUs() const
+    {
+        return count ? double(total_us) / double(count) : 0.0;
+    }
+};
+
+/** Everything the service counts. */
+struct ServiceMetrics
+{
+    uint64_t requests = 0;
+    uint64_t ok = 0;
+    uint64_t errors[size_t(ErrorCode::kNumCodes)] = {};
+
+    /** Filled from DescriptionCache::stats() at snapshot time. */
+    DescriptionCache::Stats cache;
+
+    StageLatency compile;
+    StageLatency workload;
+    StageLatency schedule;
+    StageLatency total;
+
+    /** Scheduling aggregates summed across completed requests. */
+    uint64_t ops_scheduled = 0;
+    uint64_t attempts = 0;
+    uint64_t resource_checks = 0;
+
+    void recordOutcome(ErrorCode code);
+    void merge(const ServiceMetrics &other);
+
+    /** Human-readable dump (text table). */
+    std::string toTable() const;
+
+    /** Machine-readable dump (single JSON object). */
+    std::string toJson() const;
+};
+
+} // namespace mdes::service
+
+#endif // MDES_SERVICE_METRICS_H

@@ -1,0 +1,382 @@
+#include "service/service.h"
+
+#include <chrono>
+
+#include "machines/machines.h"
+#include "sched/backward_scheduler.h"
+#include "sched/dep_graph.h"
+#include "sched/verify.h"
+#include "workload/sasm.h"
+#include "workload/workload.h"
+
+namespace mdes::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t
+elapsedUs(Clock::time_point since)
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - since)
+                        .count());
+}
+
+void
+fnvMix(uint64_t &h, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= 1099511628211ull;
+    }
+}
+
+} // namespace
+
+const char *
+schedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+    case SchedulerKind::List: return "list";
+    case SchedulerKind::Backward: return "backward";
+    case SchedulerKind::Modulo: return "modulo";
+    }
+    return "?";
+}
+
+uint64_t
+scheduleFingerprint(const ScheduleResponse &response)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (const auto &s : response.schedules) {
+        fnvMix(h, uint64_t(s.length));
+        for (int32_t c : s.cycles)
+            fnvMix(h, uint64_t(uint32_t(c)));
+        for (uint8_t u : s.used_cascade)
+            fnvMix(h, u);
+    }
+    for (const auto &m : response.modulo) {
+        fnvMix(h, uint64_t(m.success));
+        fnvMix(h, uint64_t(uint32_t(m.ii)));
+        for (int32_t t : m.times)
+            fnvMix(h, uint64_t(uint32_t(t)));
+    }
+    return h;
+}
+
+MdesService::MdesService(ServiceConfig config)
+    : cache_(config.cache_capacity)
+{
+    unsigned n = config.num_workers;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    // Threads start only after the vector is fully built so workerLoop
+    // never observes a resizing container.
+    for (auto &w : workers_)
+        w->thread = std::thread([this, worker = w.get()] {
+            workerLoop(*worker);
+        });
+}
+
+MdesService::~MdesService()
+{
+    {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    for (auto &w : workers_) {
+        if (w->thread.joinable())
+            w->thread.join();
+    }
+}
+
+MdesService::RequestId
+MdesService::submit(ScheduleRequest request)
+{
+    auto job = std::make_shared<Job>();
+    job->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    job->deadline = request.deadline_ms > 0
+                        ? Clock::now() + std::chrono::milliseconds(
+                                             request.deadline_ms)
+                        : Clock::time_point::max();
+    job->request = std::move(request);
+    {
+        std::lock_guard<std::mutex> lock(jobs_mu_);
+        jobs_.emplace(job->id, job);
+    }
+    {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        queue_.push_back(job);
+    }
+    queue_cv_.notify_one();
+    return job->id;
+}
+
+ScheduleResponse
+MdesService::wait(RequestId id)
+{
+    std::shared_ptr<Job> job;
+    {
+        std::lock_guard<std::mutex> lock(jobs_mu_);
+        auto it = jobs_.find(id);
+        if (it == jobs_.end()) {
+            ScheduleResponse resp;
+            resp.error = {ErrorCode::BadRequest,
+                          "unknown or already-waited request id"};
+            return resp;
+        }
+        job = it->second;
+        jobs_.erase(it);
+    }
+    return job->promise.get_future().get();
+}
+
+bool
+MdesService::cancel(RequestId id)
+{
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return false;
+    it->second->cancelled.store(true, std::memory_order_relaxed);
+    return true;
+}
+
+std::vector<ScheduleResponse>
+MdesService::runBatch(std::vector<ScheduleRequest> requests)
+{
+    std::vector<RequestId> ids;
+    ids.reserve(requests.size());
+    for (auto &r : requests)
+        ids.push_back(submit(std::move(r)));
+    std::vector<ScheduleResponse> responses;
+    responses.reserve(ids.size());
+    for (RequestId id : ids)
+        responses.push_back(wait(id));
+    return responses;
+}
+
+ServiceMetrics
+MdesService::metricsSnapshot() const
+{
+    ServiceMetrics merged;
+    for (const auto &w : workers_) {
+        std::lock_guard<std::mutex> lock(w->metrics_mu);
+        merged.merge(w->metrics);
+    }
+    merged.cache = cache_.stats();
+    return merged;
+}
+
+void
+MdesService::workerLoop(Worker &worker)
+{
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(queue_mu_);
+            queue_cv_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job->promise.set_value(process(*job, worker.metrics,
+                                       worker.metrics_mu));
+    }
+}
+
+ScheduleResponse
+MdesService::process(Job &job, ServiceMetrics &metrics,
+                     std::mutex &metrics_mu)
+{
+    const ScheduleRequest &req = job.request;
+    ScheduleResponse resp;
+    resp.machine = req.machine;
+
+    uint64_t compile_us = 0, workload_us = 0, schedule_us = 0;
+    bool timed_compile = false, timed_workload = false,
+         timed_schedule = false;
+    Clock::time_point t_start = Clock::now();
+
+    // True (and resp.error set) when the job was cancelled or ran past
+    // its deadline; checked at every stage boundary.
+    auto interrupted = [&]() -> bool {
+        if (job.cancelled.load(std::memory_order_relaxed)) {
+            resp.error = {ErrorCode::Cancelled, "request cancelled"};
+            return true;
+        }
+        if (Clock::now() > job.deadline) {
+            resp.error = {ErrorCode::DeadlineExceeded,
+                          "deadline exceeded"};
+            return true;
+        }
+        return false;
+    };
+    // Record the outcome into the worker's metrics. The lock is per
+    // worker and taken once per job, never on the scheduling hot path.
+    auto finish = [&] {
+        uint64_t total_us = elapsedUs(t_start);
+        std::lock_guard<std::mutex> lock(metrics_mu);
+        metrics.recordOutcome(resp.error.code);
+        if (timed_compile)
+            metrics.compile.record(compile_us);
+        if (timed_workload)
+            metrics.workload.record(workload_us);
+        if (timed_schedule)
+            metrics.schedule.record(schedule_us);
+        metrics.total.record(total_us);
+        metrics.ops_scheduled += resp.stats.ops_scheduled;
+        metrics.attempts += resp.stats.checks.attempts;
+        metrics.resource_checks += resp.stats.checks.resource_checks;
+    };
+    auto fail = [&](ErrorCode code, std::string message) {
+        resp.error = {code, std::move(message)};
+    };
+
+    // Stage driver: runs the request to completion or first error, so
+    // the single finish()/return below records every path uniformly.
+    auto stages = [&] {
+        if (interrupted())
+            return;
+
+        // --- Resolve the description source ---------------------------
+        const machines::MachineInfo *builtin = nullptr;
+        std::string_view source;
+        if (!req.source.empty()) {
+            source = req.source;
+        } else {
+            builtin = machines::byName(req.machine);
+            if (!builtin)
+                return fail(ErrorCode::UnknownMachine,
+                            "unknown machine '" + req.machine + "'");
+            source = builtin->source;
+        }
+
+        // --- Compile (through the shared cache) -----------------------
+        Clock::time_point t = Clock::now();
+        try {
+            DescriptionCache::Key key = DescriptionCache::makeKey(
+                source, req.transforms, req.bit_vector);
+            resp.low = cache_.getOrCompile(
+                key,
+                [&]() -> CompiledMdes {
+                    return std::make_shared<const lmdes::LowMdes>(
+                        exp::compileSourceToLow(source, req.transforms,
+                                                req.bit_vector));
+                },
+                &resp.cache_hit);
+        } catch (const MdesError &e) {
+            return fail(ErrorCode::CompileFailed, e.what());
+        }
+        compile_us = elapsedUs(t);
+        timed_compile = true;
+        resp.machine = resp.low->machineName();
+        if (interrupted())
+            return;
+
+        // --- Build the workload ---------------------------------------
+        t = Clock::now();
+        sched::Program program;
+        if (!req.sasm.empty()) {
+            DiagnosticEngine diags;
+            program = workload::parseSasm(req.sasm, *resp.low, diags);
+            if (diags.hasErrors())
+                return fail(ErrorCode::BadWorkload, diags.toString());
+        } else if (builtin) {
+            workload::WorkloadSpec spec = builtin->workload;
+            if (req.synth_ops != 0)
+                spec.num_ops = req.synth_ops;
+            if (req.seed != 0)
+                spec.seed = req.seed;
+            try {
+                program = req.scheduler == SchedulerKind::Modulo
+                              ? workload::generateLoops(spec, *resp.low)
+                              : workload::generate(spec, *resp.low);
+            } catch (const MdesError &e) {
+                return fail(ErrorCode::BadWorkload, e.what());
+            }
+        } else {
+            return fail(ErrorCode::BadRequest,
+                        "inline-source requests need a .sasm workload "
+                        "(the synthetic generator requires a built-in "
+                        "machine's class mix)");
+        }
+        workload_us = elapsedUs(t);
+        timed_workload = true;
+        if (interrupted())
+            return;
+
+        // --- Schedule -------------------------------------------------
+        // All state below (schedulers, checkers, RU maps, stats) is
+        // created fresh per request: nothing mutable crosses jobs.
+        t = Clock::now();
+        switch (req.scheduler) {
+        case SchedulerKind::List: {
+            sched::ListScheduler scheduler(*resp.low);
+            resp.schedules =
+                scheduler.scheduleProgram(program, resp.stats);
+            break;
+        }
+        case SchedulerKind::Backward: {
+            sched::BackwardListScheduler scheduler(*resp.low);
+            resp.schedules =
+                scheduler.scheduleProgram(program, resp.stats);
+            break;
+        }
+        case SchedulerKind::Modulo: {
+            sched::ModuloScheduler scheduler(*resp.low);
+            for (const auto &block : program.blocks) {
+                resp.modulo.push_back(
+                    scheduler.schedule(block, resp.stats));
+                if (!resp.modulo.back().success)
+                    return fail(ErrorCode::ScheduleFailed,
+                                "modulo scheduling found no II");
+            }
+            break;
+        }
+        }
+        schedule_us = elapsedUs(t);
+        timed_schedule = true;
+
+        for (const auto &s : resp.schedules)
+            resp.total_cycles += uint64_t(s.length);
+        for (const auto &m : resp.modulo)
+            resp.total_cycles += uint64_t(m.ii);
+
+        // --- Optional re-verification ---------------------------------
+        if (req.verify && req.scheduler != SchedulerKind::Modulo) {
+            for (size_t b = 0; b < resp.schedules.size(); ++b) {
+                std::string problem = sched::verifySchedule(
+                    program.blocks[b], resp.schedules[b], *resp.low);
+                if (!problem.empty())
+                    return fail(ErrorCode::ScheduleFailed,
+                                "block " + std::to_string(b) + ": " +
+                                    problem);
+            }
+        }
+    };
+
+    try {
+        stages();
+    } catch (const std::exception &e) {
+        resp.error = {ErrorCode::Internal, e.what()};
+    } catch (...) {
+        resp.error = {ErrorCode::Internal, "unknown exception"};
+    }
+
+    finish();
+    return resp;
+}
+
+} // namespace mdes::service

@@ -1,0 +1,231 @@
+#ifndef MDES_SERVICE_SERVICE_H
+#define MDES_SERVICE_SERVICE_H
+
+/**
+ * @file
+ * The in-process MDES compile-and-schedule service.
+ *
+ * The paper's division of labor - compile the machine description once,
+ * query it cheaply forever - implies a serving architecture: one shared,
+ * immutable compiled description per machine and many concurrent
+ * scheduler clients. MdesService is that architecture in miniature:
+ *
+ *  - A bounded LRU DescriptionCache holds compiled descriptions as
+ *    `shared_ptr<const LowMdes>`; every request against the same
+ *    (source, transforms) pair shares one artifact.
+ *  - A fixed pool of worker threads drains a FIFO job queue. All mutable
+ *    scheduling state (RU map, Checker, CheckStats) is created fresh per
+ *    job, so workers never share anything writable; results are
+ *    deterministic and byte-identical for any worker count.
+ *  - Requests carry optional deadlines and can be cancelled; failures
+ *    surface as a typed ServiceError in the response, never as an
+ *    exception escaping a worker thread.
+ *  - Per-worker ServiceMetrics are merged on demand into one snapshot
+ *    (counters, cache hit rate, per-stage latency histograms).
+ *
+ * Thread-safety contract (DESIGN.md §7): LowMdes is immutable after
+ * lower()/load() - every accessor is const and workers only ever hold
+ * `const LowMdes &`. RuMap/Checker/CheckStats are mutable and strictly
+ * worker-local. The static_asserts below pin the parts of the contract
+ * the type system can see.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/transforms.h"
+#include "sched/list_scheduler.h"
+#include "sched/modulo_scheduler.h"
+#include "service/cache.h"
+#include "service/metrics.h"
+
+namespace mdes::service {
+
+// The compiled artifact crosses threads; it must be handed out
+// const-qualified, and the scheduling entry points must accept it as
+// const (immutable-after-build contract).
+static_assert(std::is_same_v<CompiledMdes::element_type,
+                             const lmdes::LowMdes>,
+              "compiled descriptions must be shared as const");
+static_assert(
+    std::is_constructible_v<sched::ListScheduler, const lmdes::LowMdes &>,
+    "schedulers must consume the description read-only");
+
+/** Which scheduler answers the request. */
+enum class SchedulerKind { List, Backward, Modulo };
+
+/** Printable scheduler name. */
+const char *schedulerKindName(SchedulerKind kind);
+
+/** Typed failure carried in a ScheduleResponse. */
+struct ServiceError
+{
+    ErrorCode code = ErrorCode::Ok;
+    std::string message;
+
+    explicit operator bool() const { return code != ErrorCode::Ok; }
+};
+
+/** One unit of service work. */
+struct ScheduleRequest
+{
+    /** Built-in machine name (PA7100, Pentium, SuperSPARC, K5,
+     * PentiumPro, PA8000); ignored when @c source is set. */
+    std::string machine;
+    /** Inline high-level MDES source (wins over @c machine). */
+    std::string source;
+
+    /** .sasm workload text; empty selects the synthetic generator
+     * (built-in machines only, since the generator needs the machine's
+     * class mix). */
+    std::string sasm;
+    /** Synthetic workload size override (0 = machine default). */
+    size_t synth_ops = 0;
+    /** Synthetic workload seed override (0 = machine default). */
+    uint64_t seed = 0;
+
+    SchedulerKind scheduler = SchedulerKind::List;
+    /** Transformation pipeline for the description (cache key input). */
+    PipelineConfig transforms = PipelineConfig::all();
+    bool bit_vector = true;
+
+    /** Re-verify the produced schedules (list/backward only). */
+    bool verify = false;
+
+    /** Soft deadline in milliseconds from submission (0 = none). */
+    int64_t deadline_ms = 0;
+};
+
+/** What a request produces. */
+struct ScheduleResponse
+{
+    ServiceError error;
+    std::string machine;
+    /** The shared compiled artifact (null on pre-compile failures). */
+    CompiledMdes low;
+    bool cache_hit = false;
+
+    /** Per-block schedules (list/backward schedulers). */
+    std::vector<sched::BlockSchedule> schedules;
+    /** Per-loop modulo schedules (modulo scheduler). */
+    std::vector<sched::ModuloSchedule> modulo;
+    sched::SchedStats stats;
+
+    /** Sum of block schedule lengths / achieved IIs. */
+    uint64_t total_cycles = 0;
+
+    bool ok() const { return !error; }
+};
+
+/**
+ * Order-insensitive content hash of a response's schedules; equal
+ * workloads scheduled by any worker count must produce equal
+ * fingerprints (the determinism tests and bench assert this).
+ */
+uint64_t scheduleFingerprint(const ScheduleResponse &response);
+
+/** Service construction parameters. */
+struct ServiceConfig
+{
+    /** Worker threads (0 = hardware_concurrency, at least 1). */
+    unsigned num_workers = 0;
+    /** Compiled-description cache capacity (entries). */
+    size_t cache_capacity = 16;
+};
+
+/**
+ * The concurrent compile-and-schedule service. Submit jobs from any
+ * thread; the destructor drains outstanding work before returning.
+ */
+class MdesService
+{
+  public:
+    using RequestId = uint64_t;
+
+    explicit MdesService(ServiceConfig config = {});
+    ~MdesService();
+
+    MdesService(const MdesService &) = delete;
+    MdesService &operator=(const MdesService &) = delete;
+
+    /** Enqueue @p request; the returned id is waitable/cancellable. */
+    RequestId submit(ScheduleRequest request);
+
+    /**
+     * Block until request @p id completes and return its response.
+     * Each id may be waited on once.
+     */
+    ScheduleResponse wait(RequestId id);
+
+    /**
+     * Best-effort cancel: a request not yet started completes with
+     * ErrorCode::Cancelled; a running request is cancelled at its next
+     * stage boundary. @return false when @p id is unknown (already
+     * waited, or never submitted).
+     */
+    bool cancel(RequestId id);
+
+    /** Submit every request and wait for all; responses are returned in
+     * request order regardless of completion order. */
+    std::vector<ScheduleResponse>
+    runBatch(std::vector<ScheduleRequest> requests);
+
+    /** Merged metrics across all workers plus current cache counters. */
+    ServiceMetrics metricsSnapshot() const;
+
+    unsigned numWorkers() const { return unsigned(workers_.size()); }
+
+    const DescriptionCache &cache() const { return cache_; }
+
+  private:
+    struct Job
+    {
+        RequestId id = 0;
+        ScheduleRequest request;
+        std::promise<ScheduleResponse> promise;
+        std::atomic<bool> cancelled{false};
+        /** steady_clock deadline (time_point::max() = none). */
+        std::chrono::steady_clock::time_point deadline;
+    };
+
+    struct Worker
+    {
+        std::thread thread;
+        /** Guards metrics only; taken once per completed job and during
+         * snapshots, never on the scheduling hot path. */
+        mutable std::mutex metrics_mu;
+        ServiceMetrics metrics;
+    };
+
+    void workerLoop(Worker &worker);
+    ScheduleResponse process(Job &job, ServiceMetrics &metrics,
+                             std::mutex &metrics_mu);
+
+    DescriptionCache cache_;
+
+    std::mutex queue_mu_;
+    std::condition_variable queue_cv_;
+    std::deque<std::shared_ptr<Job>> queue_;
+    bool stopping_ = false;
+
+    std::mutex jobs_mu_;
+    std::unordered_map<RequestId, std::shared_ptr<Job>> jobs_;
+    std::atomic<RequestId> next_id_{1};
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+} // namespace mdes::service
+
+#endif // MDES_SERVICE_SERVICE_H

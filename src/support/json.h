@@ -1,0 +1,62 @@
+#ifndef MDES_SUPPORT_JSON_H
+#define MDES_SUPPORT_JSON_H
+
+/**
+ * @file
+ * Minimal JSON emission for machine-readable metric dumps.
+ *
+ * The service layer reports its counters both as a human-oriented text
+ * table and as JSON for scrapers; this writer covers exactly the subset
+ * needed (objects, arrays, strings, integers, doubles, booleans) without
+ * pulling in a dependency. Output is deterministic: keys appear in the
+ * order they are written.
+ */
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mdes {
+
+/** Escape @p s for use inside a JSON string literal (no quotes added). */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * Streaming JSON builder. Commas are inserted automatically; the caller
+ * is responsible for balancing begin/end calls. Inside an object every
+ * value must be preceded by key(); inside an array values are written
+ * directly.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Write an object key; the next value belongs to it. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view s);
+    JsonWriter &value(const char *s) { return value(std::string_view(s)); }
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+
+    /** The document built so far. */
+    const std::string &str() const { return out_; }
+
+  private:
+    void comma();
+
+    std::string out_;
+    /** Whether the current nesting level already holds an element. */
+    std::string stack_;
+    bool after_key_ = false;
+};
+
+} // namespace mdes
+
+#endif // MDES_SUPPORT_JSON_H

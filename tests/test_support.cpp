@@ -11,6 +11,7 @@
 #include "support/bit_vector.h"
 #include "support/diagnostics.h"
 #include "support/histogram.h"
+#include "support/json.h"
 #include "support/rng.h"
 #include "support/text_table.h"
 
@@ -209,6 +210,43 @@ TEST(Histogram, MergeCombines)
     EXPECT_EQ(a.countAt(5), 1u);
 }
 
+TEST(Histogram, MergeMatchesDirectRecording)
+{
+    // Per-worker histograms merged at drain time must equal one
+    // histogram that saw every sample (the service-metrics use case).
+    Histogram direct, a, b, c;
+    for (uint64_t v : {0u, 1u, 1u, 3u, 8u, 8u, 8u, 2u})
+        direct.add(v);
+    for (uint64_t v : {0u, 1u, 8u})
+        a.add(v);
+    for (uint64_t v : {1u, 3u, 8u})
+        b.add(v);
+    for (uint64_t v : {8u, 2u})
+        c.add(v);
+    a.merge(b);
+    a.merge(c);
+    EXPECT_EQ(a.total(), direct.total());
+    EXPECT_EQ(a.maxValue(), direct.maxValue());
+    EXPECT_DOUBLE_EQ(a.mean(), direct.mean());
+    for (uint64_t v = 0; v <= direct.maxValue(); ++v)
+        EXPECT_EQ(a.countAt(v), direct.countAt(v)) << "value " << v;
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity)
+{
+    Histogram h, empty;
+    h.add(2);
+    h.add(5);
+    h.merge(empty);
+    EXPECT_EQ(h.total(), 2u);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.5);
+
+    empty.merge(h);
+    EXPECT_EQ(empty.total(), 2u);
+    EXPECT_EQ(empty.countAt(5), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 3.5);
+}
+
 TEST(Histogram, EmptyBehaves)
 {
     Histogram h;
@@ -230,6 +268,46 @@ TEST(Histogram, RenderShowsBars)
     EXPECT_NE(out.find("####################"), std::string::npos);
     // Zero-count rows (value 0 and 2) are skipped.
     EXPECT_EQ(out.find(" 0.00%"), std::string::npos);
+}
+
+// -------------------------------------------------------------------- JSON
+
+TEST(Json, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+    EXPECT_EQ(jsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, WritesNestedDocument)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("name").value("pentium");
+    w.key("requests").value(uint64_t(42));
+    w.key("hit_rate").value(0.5);
+    w.key("ok").value(true);
+    w.key("buckets").beginArray();
+    w.value(uint64_t(1)).value(uint64_t(2)).value(uint64_t(3));
+    w.endArray();
+    w.key("nested").beginObject();
+    w.key("empty").beginArray().endArray();
+    w.endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"name\":\"pentium\",\"requests\":42,\"hit_rate\":0.5,"
+              "\"ok\":true,\"buckets\":[1,2,3],"
+              "\"nested\":{\"empty\":[]}}");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(1.0 / 0.0).value(0.25);
+    w.endArray();
+    EXPECT_EQ(w.str(), "[null,0.25]");
 }
 
 // --------------------------------------------------------------- TextTable

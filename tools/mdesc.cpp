@@ -17,9 +17,13 @@
  * `dump` prints reservation tables; `stats` walks the description
  * through every optimization stage reporting options/checks/bytes;
  * `export` writes a built-in description's source to stdout so it can
- * be edited and recompiled.
+ * be edited and recompiled; `batch` reads N scheduling requests from a
+ * .req file and answers them with M service worker threads through the
+ * shared compiled-description cache (see src/service/), printing
+ * per-request results plus service metrics as a table or JSON.
  */
 
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -36,6 +40,7 @@
 #include "machines/machines.h"
 #include "sched/list_scheduler.h"
 #include "sched/verify.h"
+#include "service/service.h"
 #include "support/text_table.h"
 #include "workload/sasm.h"
 
@@ -56,6 +61,7 @@ usage()
         "  mdesc stats <file.hmdes>\n"
         "  mdesc lint <file.hmdes> [--deep]\n"
         "  mdesc schedule <machine-name | file.hmdes> <file.sasm>\n"
+        "  mdesc batch <file.req> [--workers N] [--json]\n"
         "  mdesc export <PA7100 | Pentium | SuperSPARC | K5>\n");
     return 2;
 }
@@ -373,6 +379,158 @@ cmdSchedule(const std::vector<std::string> &args)
     return 0;
 }
 
+/**
+ * Parse one request line of a .req file: whitespace-separated
+ * key=value tokens (machine=, source=, sasm=, sched=, ops=, seed=,
+ * deadline_ms=) plus the flags verify, no-optimize, no-bit-vector.
+ * source= and sasm= name files to read. Throws MdesError on a bad token.
+ */
+service::ScheduleRequest
+parseRequestLine(const std::string &line, int lineno)
+{
+    service::ScheduleRequest req;
+    std::istringstream in(line);
+    std::string token;
+    auto bad = [&](const std::string &what) {
+        throw MdesError("request line " + std::to_string(lineno) + ": " +
+                        what);
+    };
+    auto number = [&](const std::string &key, const std::string &value) {
+        uint64_t v = 0;
+        auto [end, ec] =
+            std::from_chars(value.data(), value.data() + value.size(), v);
+        if (ec != std::errc() || end != value.data() + value.size())
+            bad("bad number " + key + "='" + value + "'");
+        return v;
+    };
+    while (in >> token) {
+        std::string key = token, value;
+        if (size_t eq = token.find('='); eq != std::string::npos) {
+            key = token.substr(0, eq);
+            value = token.substr(eq + 1);
+        }
+        if (key == "machine") {
+            req.machine = value;
+        } else if (key == "source") {
+            req.source = readFile(value);
+        } else if (key == "sasm") {
+            req.sasm = readFile(value);
+        } else if (key == "sched") {
+            if (value == "list")
+                req.scheduler = service::SchedulerKind::List;
+            else if (value == "backward")
+                req.scheduler = service::SchedulerKind::Backward;
+            else if (value == "modulo")
+                req.scheduler = service::SchedulerKind::Modulo;
+            else
+                bad("unknown scheduler '" + value + "'");
+        } else if (key == "ops") {
+            req.synth_ops = number(key, value);
+        } else if (key == "seed") {
+            req.seed = number(key, value);
+        } else if (key == "deadline_ms") {
+            req.deadline_ms = int64_t(number(key, value));
+        } else if (key == "verify") {
+            req.verify = true;
+        } else if (key == "no-optimize") {
+            req.transforms = PipelineConfig::none();
+        } else if (key == "no-bit-vector") {
+            req.bit_vector = false;
+        } else {
+            bad("unknown key '" + key + "'");
+        }
+    }
+    if (req.machine.empty() && req.source.empty())
+        bad("needs machine= or source=");
+    return req;
+}
+
+int
+cmdBatch(const std::vector<std::string> &args)
+{
+    std::string input;
+    unsigned workers = 0;
+    bool json = false;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--workers" && i + 1 < args.size()) {
+            const std::string &w = args[++i];
+            auto [end, ec] =
+                std::from_chars(w.data(), w.data() + w.size(), workers);
+            if (ec != std::errc() || end != w.data() + w.size()) {
+                std::fprintf(stderr, "mdesc: bad --workers value '%s'\n",
+                             w.c_str());
+                return 1;
+            }
+        } else if (args[i] == "--json") {
+            json = true;
+        } else if (!args[i].empty() && args[i][0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         args[i].c_str());
+            return usage();
+        } else if (input.empty()) {
+            input = args[i];
+        } else {
+            return usage();
+        }
+    }
+    if (input.empty())
+        return usage();
+
+    // Read N requests...
+    std::istringstream lines(readFile(input));
+    std::vector<service::ScheduleRequest> requests;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(lines, line)) {
+        ++lineno;
+        if (size_t hash = line.find('#'); hash != std::string::npos)
+            line.erase(hash);
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        requests.push_back(parseRequestLine(line, lineno));
+    }
+    if (requests.empty()) {
+        std::fprintf(stderr, "%s: no requests\n", input.c_str());
+        return 1;
+    }
+
+    // ...answer with M threads.
+    service::ServiceConfig config;
+    config.num_workers = workers;
+    service::MdesService svc(config);
+    std::vector<service::ScheduleResponse> responses =
+        svc.runBatch(std::move(requests));
+
+    int failures = 0;
+    for (size_t i = 0; i < responses.size(); ++i) {
+        const auto &r = responses[i];
+        const char *name =
+            r.machine.empty() ? "<inline>" : r.machine.c_str();
+        if (r.ok()) {
+            std::printf("[%zu] %s: ok, %llu ops in %llu cycles "
+                        "(%zu blocks%s, cache %s)\n",
+                        i, name,
+                        (unsigned long long)r.stats.ops_scheduled,
+                        (unsigned long long)r.total_cycles,
+                        r.schedules.size() + r.modulo.size(),
+                        r.modulo.empty() ? "" : ", modulo",
+                        r.cache_hit ? "hit" : "miss");
+        } else {
+            ++failures;
+            std::printf("[%zu] %s: %s: %s\n", i, name,
+                        service::errorCodeName(r.error.code),
+                        r.error.message.c_str());
+        }
+    }
+
+    service::ServiceMetrics metrics = svc.metricsSnapshot();
+    if (json)
+        std::printf("%s\n", metrics.toJson().c_str());
+    else
+        std::printf("\n%s", metrics.toTable().c_str());
+    return failures == 0 ? 0 : 1;
+}
+
 int
 cmdExport(const std::vector<std::string> &args)
 {
@@ -410,6 +568,8 @@ main(int argc, char **argv)
             return cmdStats(args);
         if (cmd == "schedule")
             return cmdSchedule(args);
+        if (cmd == "batch")
+            return cmdBatch(args);
         if (cmd == "lint")
             return cmdLint(args);
         if (cmd == "export")
