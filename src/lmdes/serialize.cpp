@@ -1,6 +1,7 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "lmdes/low_mdes.h"
 #include "support/diagnostics.h"
@@ -12,9 +13,22 @@
  * reparsing or reoptimizing (the paper's "minimize the time required to
  * load the MDES into memory").
  *
- * Format: magic "LMDS", version u32, then length-prefixed sections. All
- * integers little-endian as written by the host (the format is meant for
+ * Format (version 4):
+ *
+ *   magic "LMDS" | version u32 | payload_size u64 | payload | checksum u64
+ *
+ * The payload holds the length-prefixed sections of version 3; the
+ * trailer is FNV-1a64 over the payload bytes, verified before any
+ * parsing so a flipped bit is reported as a checksum mismatch rather
+ * than surfacing as a mysterious structural error. All integers are
+ * little-endian as written by the host (the format is meant for
  * same-host caching, not interchange).
+ *
+ * Loading is paranoid: the payload size is bounded up front, every
+ * length prefix inside the payload is capped by the bytes actually
+ * remaining (a corrupt prefix can never trigger a multi-GB allocation),
+ * and every error message states what was found versus what was
+ * expected.
  */
 
 namespace mdes::lmdes {
@@ -22,10 +36,55 @@ namespace mdes::lmdes {
 namespace {
 
 constexpr char kMagic[4] = {'L', 'M', 'D', 'S'};
-constexpr uint32_t kVersion = 3;
+constexpr uint32_t kVersion = 4;
+/** Upper bound on a sane payload; real descriptions are kilobytes. */
+constexpr uint64_t kMaxPayloadBytes = uint64_t(1) << 30;
+
+uint64_t
+fnv1a(const char *data, size_t n)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= uint8_t(data[i]);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+hex(uint64_t v)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%016llx", (unsigned long long)v);
+    return buf;
+}
+
+/** Render possibly-binary magic bytes for an error message. */
+std::string
+printableMagic(const char m[4])
+{
+    std::string out;
+    for (int i = 0; i < 4; ++i) {
+        unsigned char c = (unsigned char)m[i];
+        if (c >= 0x20 && c < 0x7f) {
+            out += char(c);
+        } else {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+            out += buf;
+        }
+    }
+    return out;
+}
 
 void
 writeU32(std::ostream &os, uint32_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeU64(std::ostream &os, uint64_t v)
 {
     os.write(reinterpret_cast<const char *>(&v), sizeof(v));
 }
@@ -46,70 +105,108 @@ writePod(std::ostream &os, const std::vector<T> &v)
              std::streamsize(v.size() * sizeof(T)));
 }
 
-uint32_t
-readU32(std::istream &is)
+/**
+ * Bounds-checked cursor over the checksum-verified payload. Every read
+ * is capped by the bytes remaining, so a corrupt length prefix is
+ * reported (with the offending value and the remaining budget) instead
+ * of driving an allocation.
+ */
+class ByteReader
 {
-    uint32_t v = 0;
-    is.read(reinterpret_cast<char *>(&v), sizeof(v));
-    if (!is)
-        throw MdesError("truncated LMDES stream");
-    return v;
-}
+  public:
+    ByteReader(const char *data, size_t size) : data_(data), size_(size) {}
 
-std::string
-readStr(std::istream &is)
-{
-    uint32_t n = readU32(is);
-    if (n > (1u << 20))
-        throw MdesError("implausible string length in LMDES stream");
-    std::string s(n, '\0');
-    is.read(s.data(), std::streamsize(n));
-    if (!is)
-        throw MdesError("truncated LMDES stream");
-    return s;
-}
+    size_t remaining() const { return size_ - off_; }
 
-template <typename T>
-std::vector<T>
-readPod(std::istream &is)
-{
-    uint32_t n = readU32(is);
-    if (n > (1u << 26))
-        throw MdesError("implausible section length in LMDES stream");
-    std::vector<T> v(n);
-    is.read(reinterpret_cast<char *>(v.data()),
-            std::streamsize(size_t(n) * sizeof(T)));
-    if (!is)
-        throw MdesError("truncated LMDES stream");
-    return v;
-}
+    uint32_t
+    readU32()
+    {
+        if (remaining() < sizeof(uint32_t))
+            throw MdesError("truncated LMDES payload: need 4 bytes at "
+                            "offset " +
+                            std::to_string(off_) + ", have " +
+                            std::to_string(remaining()));
+        uint32_t v = 0;
+        std::memcpy(&v, data_ + off_, sizeof(v));
+        off_ += sizeof(v);
+        return v;
+    }
+
+    std::string
+    readStr()
+    {
+        uint32_t n = readU32();
+        if (n > remaining())
+            throw MdesError("corrupt LMDES string length " +
+                            std::to_string(n) + " at offset " +
+                            std::to_string(off_) + ": only " +
+                            std::to_string(remaining()) +
+                            " payload bytes remain");
+        std::string s(data_ + off_, n);
+        off_ += n;
+        return s;
+    }
+
+    template <typename T>
+    std::vector<T>
+    readPod()
+    {
+        uint32_t n = readU32();
+        // Cap by the remaining stream size before sizing the vector: a
+        // corrupt count must fail here, not in the allocator.
+        if (uint64_t(n) * sizeof(T) > remaining())
+            throw MdesError("corrupt LMDES section length " +
+                            std::to_string(n) + " (" +
+                            std::to_string(uint64_t(n) * sizeof(T)) +
+                            " bytes) at offset " + std::to_string(off_) +
+                            ": only " + std::to_string(remaining()) +
+                            " payload bytes remain");
+        std::vector<T> v(n);
+        std::memcpy(v.data(), data_ + off_, size_t(n) * sizeof(T));
+        off_ += size_t(n) * sizeof(T);
+        return v;
+    }
+
+  private:
+    const char *data_;
+    size_t size_;
+    size_t off_ = 0;
+};
 
 } // namespace
 
 void
 LowMdes::save(std::ostream &os) const
 {
+    // Build the payload first so the header can carry its size and the
+    // trailer its checksum.
+    std::ostringstream body;
+    writeStr(body, machine_name_);
+    writeU32(body, num_resources_);
+    writeU32(body, slot_words_);
+    writeU32(body, packed_ ? 1 : 0);
+    writePod(body, checks_);
+    writePod(body, options_);
+    writePod(body, option_refs_);
+    writePod(body, or_trees_);
+    writePod(body, or_refs_);
+    writePod(body, trees_);
+    writeU32(body, uint32_t(op_classes_.size()));
+    for (const auto &oc : op_classes_) {
+        writeStr(body, oc.name);
+        writeU32(body, oc.tree);
+        writeU32(body, oc.cascade_tree);
+        writeU32(body, uint32_t(oc.latency));
+        writeStr(body, oc.comment);
+    }
+    writePod(body, bypasses_);
+
+    std::string payload = body.str();
     os.write(kMagic, 4);
     writeU32(os, kVersion);
-    writeStr(os, machine_name_);
-    writeU32(os, num_resources_);
-    writeU32(os, slot_words_);
-    writeU32(os, packed_ ? 1 : 0);
-    writePod(os, checks_);
-    writePod(os, options_);
-    writePod(os, option_refs_);
-    writePod(os, or_trees_);
-    writePod(os, or_refs_);
-    writePod(os, trees_);
-    writeU32(os, uint32_t(op_classes_.size()));
-    for (const auto &oc : op_classes_) {
-        writeStr(os, oc.name);
-        writeU32(os, oc.tree);
-        writeU32(os, oc.cascade_tree);
-        writeU32(os, uint32_t(oc.latency));
-        writeStr(os, oc.comment);
-    }
-    writePod(os, bypasses_);
+    writeU64(os, payload.size());
+    os.write(payload.data(), std::streamsize(payload.size()));
+    writeU64(os, fnv1a(payload.data(), payload.size()));
 }
 
 LowMdes
@@ -117,39 +214,86 @@ LowMdes::load(std::istream &is)
 {
     char magic[4] = {};
     is.read(magic, 4);
-    if (!is || std::memcmp(magic, kMagic, 4) != 0)
-        throw MdesError("not an LMDES stream (bad magic)");
-    uint32_t version = readU32(is);
+    if (!is)
+        throw MdesError("not an LMDES stream: ends before the 4-byte "
+                        "magic (expected 'LMDS')");
+    if (std::memcmp(magic, kMagic, 4) != 0)
+        throw MdesError("not an LMDES stream: magic is '" +
+                        printableMagic(magic) + "', expected 'LMDS'");
+
+    uint32_t version = 0;
+    is.read(reinterpret_cast<char *>(&version), sizeof(version));
+    if (!is)
+        throw MdesError("truncated LMDES stream: ends inside the "
+                        "version field (expected version " +
+                        std::to_string(kVersion) + ")");
     if (version != kVersion)
         throw MdesError("unsupported LMDES version " +
-                        std::to_string(version));
+                        std::to_string(version) + ", expected " +
+                        std::to_string(kVersion));
 
+    uint64_t payload_size = 0;
+    is.read(reinterpret_cast<char *>(&payload_size), sizeof(payload_size));
+    if (!is)
+        throw MdesError("truncated LMDES stream: ends inside the "
+                        "payload-size field");
+    if (payload_size > kMaxPayloadBytes)
+        throw MdesError("implausible LMDES payload size " +
+                        std::to_string(payload_size) + " bytes (limit " +
+                        std::to_string(kMaxPayloadBytes) + ")");
+
+    std::string payload(size_t(payload_size), '\0');
+    is.read(payload.data(), std::streamsize(payload_size));
+    if (size_t(is.gcount()) != payload_size)
+        throw MdesError("truncated LMDES stream: payload claims " +
+                        std::to_string(payload_size) +
+                        " bytes, stream holds " +
+                        std::to_string(is.gcount()));
+
+    uint64_t stored_checksum = 0;
+    is.read(reinterpret_cast<char *>(&stored_checksum),
+            sizeof(stored_checksum));
+    if (!is)
+        throw MdesError("truncated LMDES stream: missing the 8-byte "
+                        "checksum trailer");
+    uint64_t computed = fnv1a(payload.data(), payload.size());
+    if (stored_checksum != computed)
+        throw MdesError("LMDES checksum mismatch: stored " +
+                        hex(stored_checksum) + ", computed " +
+                        hex(computed));
+
+    ByteReader in(payload.data(), payload.size());
     LowMdes low;
-    low.machine_name_ = readStr(is);
-    low.num_resources_ = readU32(is);
-    low.slot_words_ = readU32(is);
+    low.machine_name_ = in.readStr();
+    low.num_resources_ = in.readU32();
+    low.slot_words_ = in.readU32();
     if (low.slot_words_ == 0 || low.slot_words_ > 64)
-        throw MdesError("implausible slot_words in LMDES stream");
-    low.packed_ = readU32(is) != 0;
-    low.checks_ = readPod<Check>(is);
-    low.options_ = readPod<LowOption>(is);
-    low.option_refs_ = readPod<uint32_t>(is);
-    low.or_trees_ = readPod<LowOrTree>(is);
-    low.or_refs_ = readPod<uint32_t>(is);
-    low.trees_ = readPod<LowTree>(is);
-    uint32_t num_classes = readU32(is);
-    if (num_classes > (1u << 20))
-        throw MdesError("implausible operation-class count");
+        throw MdesError("implausible slot_words " +
+                        std::to_string(low.slot_words_) +
+                        " in LMDES stream (expected 1..64)");
+    low.packed_ = in.readU32() != 0;
+    low.checks_ = in.readPod<Check>();
+    low.options_ = in.readPod<LowOption>();
+    low.option_refs_ = in.readPod<uint32_t>();
+    low.or_trees_ = in.readPod<LowOrTree>();
+    low.or_refs_ = in.readPod<uint32_t>();
+    low.trees_ = in.readPod<LowTree>();
+    uint32_t num_classes = in.readU32();
+    if (uint64_t(num_classes) * 20 > in.remaining())
+        throw MdesError("corrupt operation-class count " +
+                        std::to_string(num_classes) + ": only " +
+                        std::to_string(in.remaining()) +
+                        " payload bytes remain");
     for (uint32_t i = 0; i < num_classes; ++i) {
         LowOpClass oc;
-        oc.name = readStr(is);
-        oc.tree = readU32(is);
-        oc.cascade_tree = readU32(is);
-        oc.latency = int32_t(readU32(is));
-        oc.comment = readStr(is);
+        oc.name = in.readStr();
+        oc.tree = in.readU32();
+        oc.cascade_tree = in.readU32();
+        oc.latency = int32_t(in.readU32());
+        oc.comment = in.readStr();
         low.op_classes_.push_back(std::move(oc));
     }
-    low.bypasses_ = readPod<LowBypass>(is);
+    low.bypasses_ = in.readPod<LowBypass>();
 
     // Validate every reference so a corrupt stream cannot cause
     // out-of-range indexing later.

@@ -2,58 +2,40 @@
 
 namespace mdes::service {
 
-namespace {
-
-constexpr uint64_t kFnvOffset = 1469598103934665603ull;
-constexpr uint64_t kFnvPrime = 1099511628211ull;
-
-void
-fnvBytes(uint64_t &h, const void *data, size_t n)
-{
-    const auto *p = static_cast<const unsigned char *>(data);
-    for (size_t i = 0; i < n; ++i) {
-        h ^= p[i];
-        h *= kFnvPrime;
-    }
-}
-
-void
-fnvByte(uint64_t &h, unsigned char b)
-{
-    fnvBytes(h, &b, 1);
-}
-
-} // namespace
-
 DescriptionCache::Key
 DescriptionCache::makeKey(std::string_view source,
                           const PipelineConfig &transforms,
                           bool bit_vector, exp::Rep rep)
 {
-    uint64_t h = kFnvOffset;
-    fnvBytes(h, source.data(), source.size());
-    // Every field that changes the compiled artifact must feed the key;
-    // keep in sync with PipelineConfig.
-    fnvByte(h, transforms.cse);
-    fnvByte(h, transforms.redundant_options);
-    fnvByte(h, transforms.minimize);
-    fnvByte(h, transforms.time_shift);
-    fnvByte(h, transforms.sort_usages);
-    fnvByte(h, transforms.hoist);
-    fnvByte(h, transforms.sort_or_trees);
-    fnvByte(h, static_cast<unsigned char>(transforms.direction));
-    fnvByte(h, bit_vector);
-    fnvByte(h, static_cast<unsigned char>(rep));
-    return h;
+    return store::artifactKey(source, transforms, bit_vector, rep);
+}
+
+void
+DescriptionCache::attachStore(
+    std::shared_ptr<store::ArtifactStore> disk_store)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    store_ = std::move(disk_store);
+}
+
+std::shared_ptr<store::ArtifactStore>
+DescriptionCache::diskStore() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return store_;
 }
 
 CompiledMdes
 DescriptionCache::getOrCompile(Key key,
                                const std::function<CompiledMdes()> &compile,
-                               bool *hit)
+                               bool *hit, bool *disk,
+                               uint64_t config_fingerprint)
 {
+    if (disk)
+        *disk = false;
     std::shared_future<CompiledMdes> fut;
     std::promise<CompiledMdes> mine;
+    std::shared_ptr<store::ArtifactStore> disk_store;
     bool is_owner = false;
     uint64_t my_generation = 0;
     {
@@ -74,6 +56,7 @@ DescriptionCache::getOrCompile(Key key,
             lru_.push_front(Entry{key, my_generation, fut});
             index_[key] = lru_.begin();
             is_owner = true;
+            disk_store = store_;
             while (capacity_ > 0 && lru_.size() > capacity_) {
                 index_.erase(lru_.back().key);
                 lru_.pop_back();
@@ -85,12 +68,36 @@ DescriptionCache::getOrCompile(Key key,
     if (!is_owner)
         return fut.get();
 
+    // Single-flight owner: probe the disk tier, then compile. Both run
+    // outside the lock; concurrent lookups of this key block on the
+    // shared future, so one key costs at most one disk read or one
+    // compilation.
     try {
-        CompiledMdes artifact = compile();
-        {
+        CompiledMdes artifact;
+        bool from_disk = false;
+        if (disk_store) {
+            artifact = disk_store->load(key);
+            from_disk = artifact != nullptr;
             std::lock_guard<std::mutex> lock(mu_);
-            ++compiles_;
+            if (from_disk)
+                ++disk_hits_;
+            else
+                ++disk_misses_;
         }
+        if (!artifact) {
+            artifact = compile();
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++compiles_;
+            }
+            if (disk_store && artifact &&
+                disk_store->store(key, *artifact, config_fingerprint)) {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++disk_stores_;
+            }
+        }
+        if (disk)
+            *disk = from_disk;
         mine.set_value(artifact);
         return artifact;
     } catch (...) {
@@ -119,14 +126,27 @@ DescriptionCache::touch(LruList::iterator it)
 DescriptionCache::Stats
 DescriptionCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<store::ArtifactStore> disk_store;
     Stats s;
-    s.hits = hits_;
-    s.misses = misses_;
-    s.evictions = evictions_;
-    s.compiles = compiles_;
-    s.size = lru_.size();
-    s.capacity = capacity_;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        s.hits = hits_;
+        s.misses = misses_;
+        s.evictions = evictions_;
+        s.compiles = compiles_;
+        s.size = lru_.size();
+        s.capacity = capacity_;
+        s.disk_enabled = store_ != nullptr;
+        s.disk_hits = disk_hits_;
+        s.disk_misses = disk_misses_;
+        s.disk_stores = disk_stores_;
+        disk_store = store_;
+    }
+    if (disk_store) {
+        store::StoreStats ss = disk_store->stats();
+        s.disk_corrupt = ss.corrupt;
+        s.disk_evictions = ss.evictions;
+    }
     return s;
 }
 

@@ -20,6 +20,13 @@
  *    N-1 waiters. A failed compilation is not cached (the exception
  *    propagates to every waiter of that round, then the entry is
  *    dropped so a later request may retry).
+ *  - Optional disk tier: with an attached store::ArtifactStore the
+ *    lookup path becomes memory → disk → compile. The single-flight
+ *    owner of a memory miss probes the disk store before compiling and
+ *    publishes what it compiled, so one key costs at most one disk read
+ *    or one compilation per process lifetime — and at most one
+ *    compilation across process restarts. A corrupt or stale on-disk
+ *    artifact is a disk miss (the store quarantines it), never an error.
  *
  * Thread-safety contract (see DESIGN.md §7): LowMdes is immutable after
  * lower()/load(), which is what makes sharing one artifact across
@@ -39,6 +46,7 @@
 #include "core/transforms.h"
 #include "exp/runner.h"
 #include "lmdes/low_mdes.h"
+#include "store/store.h"
 
 namespace mdes::service {
 
@@ -58,12 +66,23 @@ class DescriptionCache
 
     /**
      * Key for compiling @p source under @p transforms with @p bit_vector
-     * packing and representation @p rep (FNV-1a over source bytes and
-     * every pipeline flag).
+     * packing and representation @p rep. Delegates to
+     * store::artifactKey so the memory and disk tiers agree on
+     * identity.
      */
     static Key makeKey(std::string_view source,
                        const PipelineConfig &transforms, bool bit_vector,
                        exp::Rep rep = exp::Rep::AndOrTree);
+
+    /**
+     * Attach a persistent disk tier; lookups become
+     * memory → disk → compile and successful compilations are
+     * published back to the store. Call before the first lookup.
+     */
+    void attachStore(std::shared_ptr<store::ArtifactStore> disk_store);
+
+    /** The attached disk tier (null when memory-only). */
+    std::shared_ptr<store::ArtifactStore> diskStore() const;
 
     /**
      * Return the cached artifact for @p key, compiling it with
@@ -71,11 +90,16 @@ class DescriptionCache
      * once; everyone else blocks on the same future. @p hit, when
      * non-null, reports whether an existing entry was used (an entry
      * still being compiled by another thread counts as a hit: no new
-     * compilation was started). Exceptions from @p compile propagate.
+     * compilation was started). @p disk, when non-null, reports that
+     * this call's artifact was loaded from the disk tier.
+     * @p config_fingerprint is recorded in the published artifact's
+     * header (see store::configFingerprint). Exceptions from @p compile
+     * propagate.
      */
     CompiledMdes getOrCompile(Key key,
                               const std::function<CompiledMdes()> &compile,
-                              bool *hit = nullptr);
+                              bool *hit = nullptr, bool *disk = nullptr,
+                              uint64_t config_fingerprint = 0);
 
     /** Monotonic counters plus the current size. */
     struct Stats
@@ -84,10 +108,26 @@ class DescriptionCache
         uint64_t misses = 0;
         uint64_t evictions = 0;
         /** Compilations actually executed (misses minus collapsed
-         * concurrent misses minus failures). */
+         * concurrent misses minus disk-tier hits minus failures). */
         uint64_t compiles = 0;
         size_t size = 0;
         size_t capacity = 0;
+
+        /** True when a disk tier is attached; the disk_* counters
+         * below are meaningful only then. */
+        bool disk_enabled = false;
+        /** Memory misses served by the disk tier. */
+        uint64_t disk_hits = 0;
+        /** Memory misses the disk tier could not serve (including
+         * corrupt artifacts, counted again in disk_corrupt). */
+        uint64_t disk_misses = 0;
+        /** Compiled artifacts successfully published to the store. */
+        uint64_t disk_stores = 0;
+        /** On-disk artifacts quarantined as corrupt/stale (from the
+         * store's own counters). */
+        uint64_t disk_corrupt = 0;
+        /** Artifacts evicted by the store's size-budget sweep. */
+        uint64_t disk_evictions = 0;
 
         double
         hitRate() const
@@ -95,11 +135,19 @@ class DescriptionCache
             uint64_t lookups = hits + misses;
             return lookups ? double(hits) / double(lookups) : 0.0;
         }
+
+        double
+        diskHitRate() const
+        {
+            uint64_t lookups = disk_hits + disk_misses;
+            return lookups ? double(disk_hits) / double(lookups) : 0.0;
+        }
     };
 
     Stats stats() const;
 
-    /** Drop every entry (counters are preserved). */
+    /** Drop every in-memory entry (counters and the disk tier are
+     * preserved). */
     void clear();
 
   private:
@@ -121,10 +169,14 @@ class DescriptionCache
     size_t capacity_;
     LruList lru_;
     std::unordered_map<Key, LruList::iterator> index_;
+    std::shared_ptr<store::ArtifactStore> store_;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
     uint64_t evictions_ = 0;
     uint64_t compiles_ = 0;
+    uint64_t disk_hits_ = 0;
+    uint64_t disk_misses_ = 0;
+    uint64_t disk_stores_ = 0;
     uint64_t next_generation_ = 0;
 };
 

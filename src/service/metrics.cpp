@@ -130,6 +130,19 @@ ServiceMetrics::toTable() const
                  std::to_string(cache.evictions)});
     out += reqs.toString();
 
+    if (cache.disk_enabled) {
+        TextTable disk;
+        disk.setHeader({"Store Hits", "Store Misses", "Store Hit Rate",
+                        "Publishes", "Corrupt", "Store Evictions"});
+        disk.addRow({std::to_string(cache.disk_hits),
+                     std::to_string(cache.disk_misses),
+                     TextTable::percent(cache.diskHitRate()),
+                     std::to_string(cache.disk_stores),
+                     std::to_string(cache.disk_corrupt),
+                     std::to_string(cache.disk_evictions)});
+        out += disk.toString();
+    }
+
     if (total_errors) {
         TextTable errs;
         errs.setHeader({"Error", "Count"});
@@ -183,6 +196,16 @@ ServiceMetrics::toJson() const
     w.key("evictions").value(cache.evictions);
     w.key("size").value(uint64_t(cache.size));
     w.key("capacity").value(uint64_t(cache.capacity));
+    if (cache.disk_enabled) {
+        w.key("disk").beginObject();
+        w.key("hits").value(cache.disk_hits);
+        w.key("misses").value(cache.disk_misses);
+        w.key("hit_rate").value(cache.diskHitRate());
+        w.key("stores").value(cache.disk_stores);
+        w.key("corrupt").value(cache.disk_corrupt);
+        w.key("evictions").value(cache.disk_evictions);
+        w.endObject();
+    }
     w.endObject();
     w.key("latency").beginObject();
     jsonLatency(w, "compile", compile);

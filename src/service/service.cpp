@@ -68,6 +68,13 @@ scheduleFingerprint(const ScheduleResponse &response)
 MdesService::MdesService(ServiceConfig config)
     : cache_(config.cache_capacity)
 {
+    if (!config.store_dir.empty()) {
+        store::StoreConfig sc;
+        sc.dir = config.store_dir;
+        sc.max_bytes = config.store_max_bytes;
+        sc.creator = "mdes-service";
+        cache_.attachStore(std::make_shared<store::ArtifactStore>(sc));
+    }
     unsigned n = config.num_workers;
     if (n == 0) {
         n = std::thread::hardware_concurrency();
@@ -275,7 +282,9 @@ MdesService::process(Job &job, ServiceMetrics &metrics,
                         exp::compileSourceToLow(source, req.transforms,
                                                 req.bit_vector));
                 },
-                &resp.cache_hit);
+                &resp.cache_hit, &resp.disk_hit,
+                store::configFingerprint(req.transforms,
+                                         req.bit_vector));
         } catch (const MdesError &e) {
             return fail(ErrorCode::CompileFailed, e.what());
         }

@@ -114,7 +114,10 @@ struct ScheduleResponse
     std::string machine;
     /** The shared compiled artifact (null on pre-compile failures). */
     CompiledMdes low;
+    /** Served from an existing in-memory entry (no new compilation). */
     bool cache_hit = false;
+    /** Served by loading the persistent store's artifact from disk. */
+    bool disk_hit = false;
 
     /** Per-block schedules (list/backward schedulers). */
     std::vector<sched::BlockSchedule> schedules;
@@ -142,6 +145,16 @@ struct ServiceConfig
     unsigned num_workers = 0;
     /** Compiled-description cache capacity (entries). */
     size_t cache_capacity = 16;
+    /**
+     * Persistent compiled-description store directory; when non-empty
+     * the cache gains a disk tier (memory → disk → compile) shared
+     * across service instances and process restarts. Created if
+     * absent; the constructor throws MdesError when it cannot be.
+     */
+    std::string store_dir;
+    /** Disk-store size budget in bytes (0 = unbounded); publishes over
+     * budget trigger an LRU eviction sweep. */
+    uint64_t store_max_bytes = 0;
 };
 
 /**

@@ -1,0 +1,470 @@
+#include "store/store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include <unistd.h>
+
+#include "support/diagnostics.h"
+#include "support/json.h"
+
+namespace mdes::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kStoreMagic[4] = {'M', 'D', 'S', 'T'};
+constexpr uint32_t kStoreVersion = 1;
+/** Header strings (creator, machine) are short labels, not payloads. */
+constexpr uint32_t kMaxHeaderString = 4096;
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void
+fnvBytes(uint64_t &h, const void *data, size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+}
+
+void
+fnvByte(uint64_t &h, unsigned char b)
+{
+    fnvBytes(h, &b, 1);
+}
+
+std::string
+hexKey(uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx", (unsigned long long)key);
+    return buf;
+}
+
+uint64_t
+nowUnix()
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::seconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count());
+}
+
+/** file_time_type -> unix seconds (portable pre-clock_cast dance). */
+int64_t
+fileTimeToUnix(fs::file_time_type t)
+{
+    using namespace std::chrono;
+    auto sys = time_point_cast<system_clock::duration>(
+        t - fs::file_time_type::clock::now() + system_clock::now());
+    return duration_cast<seconds>(sys.time_since_epoch()).count();
+}
+
+void
+writeU32(std::ostream &os, uint32_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeU64(std::ostream &os, uint64_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeStr(std::ostream &os, const std::string &s)
+{
+    writeU32(os, uint32_t(s.size()));
+    os.write(s.data(), std::streamsize(s.size()));
+}
+
+uint32_t
+readU32(std::istream &is, const char *what)
+{
+    uint32_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!is)
+        throw MdesError(std::string("truncated store header reading ") +
+                        what);
+    return v;
+}
+
+uint64_t
+readU64(std::istream &is, const char *what)
+{
+    uint64_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!is)
+        throw MdesError(std::string("truncated store header reading ") +
+                        what);
+    return v;
+}
+
+std::string
+readStr(std::istream &is, const char *what)
+{
+    uint32_t n = readU32(is, what);
+    if (n > kMaxHeaderString)
+        throw MdesError(std::string("implausible store header string (") +
+                        what + "): " + std::to_string(n) + " bytes");
+    std::string s(n, '\0');
+    is.read(s.data(), std::streamsize(n));
+    if (!is)
+        throw MdesError(std::string("truncated store header reading ") +
+                        what);
+    return s;
+}
+
+} // namespace
+
+uint64_t
+configFingerprint(const PipelineConfig &transforms, bool bit_vector,
+                  exp::Rep rep)
+{
+    // Every field that changes the compiled artifact must feed the
+    // fingerprint; keep in sync with PipelineConfig.
+    uint64_t h = kFnvOffset;
+    fnvByte(h, transforms.cse);
+    fnvByte(h, transforms.redundant_options);
+    fnvByte(h, transforms.minimize);
+    fnvByte(h, transforms.time_shift);
+    fnvByte(h, transforms.sort_usages);
+    fnvByte(h, transforms.hoist);
+    fnvByte(h, transforms.sort_or_trees);
+    fnvByte(h, static_cast<unsigned char>(transforms.direction));
+    fnvByte(h, bit_vector);
+    fnvByte(h, static_cast<unsigned char>(rep));
+    return h;
+}
+
+uint64_t
+artifactKey(std::string_view source, const PipelineConfig &transforms,
+            bool bit_vector, exp::Rep rep)
+{
+    uint64_t h = kFnvOffset;
+    fnvBytes(h, source.data(), source.size());
+    uint64_t fp = configFingerprint(transforms, bit_vector, rep);
+    fnvBytes(h, &fp, sizeof(fp));
+    return h;
+}
+
+std::string
+artifactFileName(uint64_t key)
+{
+    return hexKey(key) + ".lmdes";
+}
+
+std::string
+metaFileName(uint64_t key)
+{
+    return hexKey(key) + ".meta";
+}
+
+std::string
+quarantineFileName(uint64_t key)
+{
+    return hexKey(key) + ".bad";
+}
+
+/** The self-describing artifact header preceding the LMDES stream. */
+struct ArtifactStore::Header
+{
+    uint64_t key = 0;
+    uint64_t config_fingerprint = 0;
+    uint64_t created_unix = 0;
+    std::string creator;
+    std::string machine;
+
+    void
+    write(std::ostream &os) const
+    {
+        os.write(kStoreMagic, 4);
+        writeU32(os, kStoreVersion);
+        writeU64(os, key);
+        writeU64(os, config_fingerprint);
+        writeU64(os, created_unix);
+        writeStr(os, creator);
+        writeStr(os, machine);
+    }
+
+    /** Throws MdesError when the header is not a valid current-version
+     * store header for @p expected_key. */
+    static Header
+    read(std::istream &is, uint64_t expected_key)
+    {
+        char magic[4] = {};
+        is.read(magic, 4);
+        if (!is || std::memcmp(magic, kStoreMagic, 4) != 0)
+            throw MdesError("not a store artifact (bad MDST magic)");
+        uint32_t version = readU32(is, "version");
+        if (version != kStoreVersion)
+            throw MdesError("store artifact version " +
+                            std::to_string(version) + ", expected " +
+                            std::to_string(kStoreVersion));
+        Header h;
+        h.key = readU64(is, "key");
+        if (h.key != expected_key)
+            throw MdesError("store artifact labeled with key " +
+                            hexKey(h.key) + ", expected " +
+                            hexKey(expected_key));
+        h.config_fingerprint = readU64(is, "config fingerprint");
+        h.created_unix = readU64(is, "creation time");
+        h.creator = readStr(is, "creator");
+        h.machine = readStr(is, "machine");
+        return h;
+    }
+};
+
+ArtifactStore::ArtifactStore(StoreConfig config)
+    : config_(std::move(config))
+{
+    std::error_code ec;
+    fs::create_directories(config_.dir, ec);
+    if (ec || !fs::is_directory(config_.dir))
+        throw MdesError("cannot create store directory '" + config_.dir +
+                        "': " + ec.message());
+}
+
+std::string
+ArtifactStore::pathFor(const std::string &name) const
+{
+    return (fs::path(config_.dir) / name).string();
+}
+
+std::shared_ptr<const lmdes::LowMdes>
+ArtifactStore::load(uint64_t key)
+{
+    std::string path = pathFor(artifactFileName(key));
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.misses;
+        return nullptr;
+    }
+    try {
+        Header header = Header::read(in, key);
+        auto low = std::make_shared<const lmdes::LowMdes>(
+            lmdes::LowMdes::load(in));
+
+        // Touch the access-time sidecar (recreating it if lost) so the
+        // eviction sweep sees this entry as recently used.
+        std::error_code ec;
+        std::string meta = pathFor(metaFileName(key));
+        fs::last_write_time(meta, fs::file_time_type::clock::now(), ec);
+        if (ec)
+            writeMeta(key, header);
+
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.hits;
+        return low;
+    } catch (const std::exception &) {
+        // Corrupt, truncated, version-mismatched, or mislabeled: a
+        // miss, never an error. Quarantine so the next publish starts
+        // clean and the bad bytes stay inspectable.
+        quarantine(key);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.corrupt;
+        ++stats_.misses;
+        return nullptr;
+    }
+}
+
+bool
+ArtifactStore::store(uint64_t key, const lmdes::LowMdes &low,
+                     uint64_t config_fingerprint)
+{
+    static std::atomic<uint64_t> tmp_counter{0};
+    std::string tmp =
+        pathFor(".tmp-" + hexKey(key) + "-" +
+                std::to_string(uint64_t(::getpid())) + "-" +
+                std::to_string(tmp_counter.fetch_add(1)));
+    Header header;
+    header.key = key;
+    header.config_fingerprint = config_fingerprint;
+    header.created_unix = nowUnix();
+    header.creator = config_.creator;
+    header.machine = low.machineName();
+    try {
+        {
+            std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+            if (!out)
+                throw MdesError("cannot open temp file");
+            header.write(out);
+            low.save(out);
+            out.flush();
+            if (!out)
+                throw MdesError("short write");
+        }
+        // The publish: readers see nothing or everything.
+        fs::rename(tmp, pathFor(artifactFileName(key)));
+        // A fresh publish supersedes any quarantined predecessor.
+        std::error_code ec;
+        fs::remove(pathFor(quarantineFileName(key)), ec);
+        writeMeta(key, header);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.stores;
+        }
+        if (config_.max_bytes > 0)
+            prune(config_.max_bytes);
+        return true;
+    } catch (const std::exception &) {
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.store_failures;
+        return false;
+    }
+}
+
+void
+ArtifactStore::writeMeta(uint64_t key, const Header &header)
+{
+    // Best-effort: the sidecar only exists to carry an access time and
+    // a human-readable summary; a lost sidecar just ages the entry.
+    JsonWriter w;
+    w.beginObject();
+    w.key("key").value("0x" + hexKey(key));
+    w.key("machine").value(header.machine);
+    w.key("config_fingerprint").value("0x" + hexKey(header.config_fingerprint));
+    w.key("created_unix").value(header.created_unix);
+    w.key("creator").value(header.creator);
+    w.endObject();
+    std::ofstream out(pathFor(metaFileName(key)),
+                      std::ios::binary | std::ios::trunc);
+    out << w.str() << "\n";
+}
+
+void
+ArtifactStore::quarantine(uint64_t key)
+{
+    std::error_code ec;
+    fs::remove(pathFor(quarantineFileName(key)), ec);
+    fs::rename(pathFor(artifactFileName(key)),
+               pathFor(quarantineFileName(key)), ec);
+    if (ec)
+        fs::remove(pathFor(artifactFileName(key)), ec);
+    fs::remove(pathFor(metaFileName(key)), ec);
+}
+
+PruneResult
+ArtifactStore::prune(uint64_t max_bytes)
+{
+    struct Entry
+    {
+        uint64_t key;
+        uint64_t bytes;
+        /** Missing sidecar sorts first (0 = never accessed). */
+        int64_t last_access;
+    };
+    PruneResult result;
+    std::vector<Entry> entries;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(config_.dir, ec)) {
+        if (!de.is_regular_file(ec))
+            continue;
+        fs::path p = de.path();
+        uint64_t key = 0;
+        if (std::sscanf(p.filename().string().c_str(), "%16llx",
+                        (unsigned long long *)&key) != 1)
+            continue;
+        if (p.extension() == ".bad") {
+            // Quarantined artifacts never survive a sweep.
+            fs::remove(p, ec);
+            continue;
+        }
+        if (p.extension() != ".lmdes")
+            continue;
+        Entry e;
+        e.key = key;
+        e.bytes = uint64_t(de.file_size(ec));
+        e.last_access = 0;
+        auto mtime =
+            fs::last_write_time(pathFor(metaFileName(key)), ec);
+        if (!ec)
+            e.last_access = fileTimeToUnix(mtime);
+        entries.push_back(e);
+        result.bytes_before += e.bytes;
+    }
+    result.scanned = entries.size();
+    result.bytes_after = result.bytes_before;
+
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.last_access != b.last_access
+                             ? a.last_access < b.last_access
+                             : a.key < b.key;
+              });
+    for (const Entry &e : entries) {
+        if (result.bytes_after <= max_bytes)
+            break;
+        fs::remove(pathFor(artifactFileName(e.key)), ec);
+        fs::remove(pathFor(metaFileName(e.key)), ec);
+        result.bytes_after -= e.bytes;
+        ++result.removed;
+    }
+    if (result.removed) {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.evictions += result.removed;
+    }
+    return result;
+}
+
+std::vector<ArtifactInfo>
+ArtifactStore::list() const
+{
+    std::vector<ArtifactInfo> infos;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(config_.dir, ec)) {
+        if (!de.is_regular_file(ec))
+            continue;
+        fs::path p = de.path();
+        bool bad = p.extension() == ".bad";
+        if (!bad && p.extension() != ".lmdes")
+            continue;
+        ArtifactInfo info;
+        if (std::sscanf(p.filename().string().c_str(), "%16llx",
+                        (unsigned long long *)&info.key) != 1)
+            continue;
+        info.bytes = uint64_t(de.file_size(ec));
+        info.quarantined = bad;
+        std::ifstream in(p, std::ios::binary);
+        if (in) {
+            try {
+                Header h = Header::read(in, info.key);
+                info.config_fingerprint = h.config_fingerprint;
+                info.created_unix = h.created_unix;
+                info.creator = h.creator;
+                info.machine = h.machine;
+            } catch (const std::exception &) {
+                // Unreadable header: report the file with bare sizes.
+            }
+        }
+        auto mtime = fs::last_write_time(
+            (fs::path(config_.dir) / metaFileName(info.key)), ec);
+        if (!ec)
+            info.last_access_unix = fileTimeToUnix(mtime);
+        infos.push_back(std::move(info));
+    }
+    return infos;
+}
+
+StoreStats
+ArtifactStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace mdes::store

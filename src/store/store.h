@@ -1,0 +1,203 @@
+#ifndef MDES_STORE_STORE_H
+#define MDES_STORE_STORE_H
+
+/**
+ * @file
+ * The persistent compiled-description store.
+ *
+ * The paper pays the MDES translation/optimization cost once so that
+ * every later use is cheap — including "minimize the time required to
+ * load the MDES into memory". The in-memory DescriptionCache realizes
+ * that within one process; this store extends it across process
+ * restarts: a content-addressed directory of serialized `LowMdes`
+ * artifacts, layered under the memory cache to form a two-tier lookup
+ * (memory → disk → compile).
+ *
+ * Layout (one directory, flat):
+ *
+ *   <key>.lmdes   the artifact: a self-describing store header (magic
+ *                 "MDST", store format version, key, transform-config
+ *                 fingerprint, creation metadata) followed by the
+ *                 checksummed LMDES stream of serialize.cpp
+ *   <key>.meta    small JSON sidecar; its mtime is the entry's
+ *                 last-access time (touched on every hit), which drives
+ *                 LRU eviction
+ *   <key>.bad     a quarantined artifact that failed to load (corrupt,
+ *                 truncated, or version-mismatched); kept for post-mortem,
+ *                 replaced on the next publish
+ *
+ * where <key> is the 16-hex-digit content hash of (hmdes source,
+ * transform config, bit-vector flag, representation) — the same key the
+ * service's memory tier uses, so the tiers always agree on identity.
+ *
+ * Crash-safety protocol: publishes write to a `.tmp-` file in the store
+ * directory and atomically rename(2) it over the final name, so readers
+ * (including other processes) observe either nothing or a complete
+ * artifact, never a torn write. A reader that still finds garbage — a
+ * partial artifact from a crashed writer's tmp file is impossible, but
+ * bit rot and truncation are not — treats it as a miss: the file is
+ * quarantined, the description recompiled, and the slot republished.
+ * Loading NEVER throws for bad on-disk state; only misconfiguration
+ * (an uncreatable store directory) is an error.
+ *
+ * Concurrency: within a process the service's single-flight collapses
+ * all lookups of one key into one disk probe/compile; across processes
+ * the atomic rename makes concurrent publishes of the same key converge
+ * on one winner (equal content either way). Counters are mutex-guarded;
+ * filesystem operations run unlocked.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/transforms.h"
+#include "exp/runner.h"
+#include "lmdes/low_mdes.h"
+
+namespace mdes::store {
+
+/**
+ * Fingerprint of everything besides the source that changes the
+ * compiled artifact: every pipeline flag, the bit-vector choice, and
+ * the representation. Stored in the artifact header so a cached file
+ * can be audited against the config that produced it.
+ */
+uint64_t configFingerprint(const PipelineConfig &transforms,
+                           bool bit_vector,
+                           exp::Rep rep = exp::Rep::AndOrTree);
+
+/**
+ * Content-addressed artifact key: FNV-1a over the hmdes source bytes
+ * folded with configFingerprint(). Equal inputs produce equal keys in
+ * every process, which is what makes the disk tier shareable.
+ */
+uint64_t artifactKey(std::string_view source,
+                     const PipelineConfig &transforms, bool bit_vector,
+                     exp::Rep rep = exp::Rep::AndOrTree);
+
+/** "<16 hex digits>.lmdes" — the artifact file name for @p key. */
+std::string artifactFileName(uint64_t key);
+
+/** "<16 hex digits>.meta" — the access-time sidecar for @p key. */
+std::string metaFileName(uint64_t key);
+
+/** "<16 hex digits>.bad" — the quarantine name for @p key. */
+std::string quarantineFileName(uint64_t key);
+
+/** Monotonic store counters. */
+struct StoreStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    /** Loads that found a file but quarantined it (corrupt, truncated,
+     * version-mismatched, or mislabeled). Such loads also count as
+     * misses, so hits + misses is always the total lookup count. */
+    uint64_t corrupt = 0;
+    uint64_t stores = 0;
+    uint64_t store_failures = 0;
+    uint64_t evictions = 0;
+};
+
+/** One store entry as reported by list() / `mdesc store stat`. */
+struct ArtifactInfo
+{
+    uint64_t key = 0;
+    uint64_t bytes = 0;
+    uint64_t config_fingerprint = 0;
+    uint64_t created_unix = 0;
+    std::string creator;
+    std::string machine;
+    /** Last access (meta-sidecar mtime) as a unix timestamp; 0 when the
+     * sidecar is missing. */
+    int64_t last_access_unix = 0;
+    /** True for quarantined (.bad) entries. */
+    bool quarantined = false;
+};
+
+/** What an eviction sweep did. */
+struct PruneResult
+{
+    uint64_t scanned = 0;
+    uint64_t removed = 0;
+    uint64_t bytes_before = 0;
+    uint64_t bytes_after = 0;
+};
+
+/** Store construction parameters. */
+struct StoreConfig
+{
+    /** Store directory (created on construction if absent). */
+    std::string dir;
+    /**
+     * Size budget in bytes; every publish that pushes the store over
+     * the budget triggers an LRU eviction sweep. 0 = unbounded (sweep
+     * only via prune()).
+     */
+    uint64_t max_bytes = 0;
+    /** Recorded in each artifact's creation metadata. */
+    std::string creator = "mdes";
+};
+
+/** The persistent content-addressed artifact store. */
+class ArtifactStore
+{
+  public:
+    /** Open (creating if needed) the store directory; throws MdesError
+     * when the directory cannot be created. */
+    explicit ArtifactStore(StoreConfig config);
+
+    const std::string &dir() const { return config_.dir; }
+
+    /**
+     * Tolerant lookup: the artifact for @p key, or nullptr on a miss.
+     * A file that exists but cannot be loaded — corrupt, truncated,
+     * wrong version, or labeled with a different key — counts as a
+     * miss: it is quarantined (renamed to .bad) so the caller
+     * recompiles and republishes. Never throws for bad on-disk state.
+     * A hit touches the entry's access-time sidecar.
+     */
+    std::shared_ptr<const lmdes::LowMdes> load(uint64_t key);
+
+    /**
+     * Atomically publish @p low under @p key (temp file + rename).
+     * Best-effort: returns false (and counts a store_failure) when the
+     * filesystem refuses; the caller keeps its in-memory artifact
+     * either way. Triggers an eviction sweep when a max_bytes budget is
+     * configured.
+     */
+    bool store(uint64_t key, const lmdes::LowMdes &low,
+               uint64_t config_fingerprint);
+
+    /**
+     * Evict least-recently-accessed artifacts (by meta-sidecar mtime;
+     * entries without a sidecar evict first) until the store holds at
+     * most @p max_bytes of artifacts. Quarantined files are always
+     * removed.
+     */
+    PruneResult prune(uint64_t max_bytes);
+
+    /** Every artifact currently in the store (including quarantined
+     * ones), unordered. */
+    std::vector<ArtifactInfo> list() const;
+
+    StoreStats stats() const;
+
+  private:
+    struct Header;
+
+    std::string pathFor(const std::string &name) const;
+    void quarantine(uint64_t key);
+    void writeMeta(uint64_t key, const Header &header);
+
+    StoreConfig config_;
+    mutable std::mutex mu_;
+    StoreStats stats_;
+};
+
+} // namespace mdes::store
+
+#endif // MDES_STORE_STORE_H

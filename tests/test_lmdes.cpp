@@ -7,11 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "hmdes/compile.h"
 #include "lmdes/low_mdes.h"
 #include "machines/machines.h"
+#include "random_mdes.h"
+#include "support/rng.h"
 
 namespace mdes {
 namespace {
@@ -214,6 +217,104 @@ TEST(Serialize, RejectsCorruptReferences)
                 ASSERT_LT(oc.tree, loaded.trees().size());
         } catch (const MdesError &) {
             // Rejection is the expected outcome.
+        }
+    }
+}
+
+TEST(Serialize, BadMagicReportsFoundAndExpected)
+{
+    std::stringstream buf;
+    buf << "NOPE additional data";
+    try {
+        LowMdes::load(buf);
+        FAIL() << "bad magic accepted";
+    } catch (const MdesError &e) {
+        EXPECT_NE(std::string(e.what()).find("NOPE"), std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("LMDS"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Serialize, VersionMismatchReportsFoundAndExpected)
+{
+    Mdes m = twoCycleMachine();
+    std::stringstream buf;
+    LowMdes::lower(m, {}).save(buf);
+    std::string data = buf.str();
+    uint32_t bogus = 99;
+    std::memcpy(&data[4], &bogus, sizeof(bogus));
+    std::stringstream patched(data);
+    try {
+        LowMdes::load(patched);
+        FAIL() << "version 99 accepted";
+    } catch (const MdesError &e) {
+        EXPECT_NE(std::string(e.what()).find("99"), std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("4"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Serialize, ChecksumMismatchReportsStoredAndComputed)
+{
+    Mdes m = twoCycleMachine();
+    std::stringstream buf;
+    LowMdes::lower(m, {}).save(buf);
+    std::string data = buf.str();
+    // Flip one payload byte (past the 16-byte header, before the
+    // 8-byte checksum trailer): the checksum check must fire before
+    // any structural parsing can get confused.
+    data[20] = char(data[20] ^ 0xFF);
+    std::stringstream patched(data);
+    try {
+        LowMdes::load(patched);
+        FAIL() << "corrupt payload accepted";
+    } catch (const MdesError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("checksum"), std::string::npos) << what;
+        EXPECT_NE(what.find("stored"), std::string::npos) << what;
+        EXPECT_NE(what.find("computed"), std::string::npos) << what;
+    }
+}
+
+TEST(Serialize, FuzzRoundTripNeverCrashes)
+{
+    // Random machines, random corruption: every truncation and every
+    // bit flip must either throw MdesError or load to a structurally
+    // valid description - never crash, never allocate absurdly.
+    Rng rng(0xF00DF00Dull);
+    for (int iter = 0; iter < 20; ++iter) {
+        Mdes m = testing::randomMdes(rng);
+        LowerOptions opts;
+        opts.pack_bit_vector = rng.chance(0.5);
+        LowMdes low = LowMdes::lower(m, opts);
+        std::stringstream buf;
+        low.save(buf);
+        std::string data = buf.str();
+
+        {
+            std::stringstream clean(data);
+            EXPECT_EQ(LowMdes::load(clean), low);
+        }
+
+        for (int mut = 0; mut < 24; ++mut) {
+            std::string mutated = data;
+            if (rng.chance(0.5)) {
+                mutated.resize(rng.below(data.size()));
+            } else {
+                size_t at = rng.below(mutated.size());
+                mutated[at] = char(uint8_t(mutated[at]) ^
+                                   uint8_t(1u << rng.below(8)));
+            }
+            std::stringstream mbuf(mutated);
+            try {
+                LowMdes loaded = LowMdes::load(mbuf);
+                for (const auto &oc : loaded.opClasses())
+                    ASSERT_LT(oc.tree, loaded.trees().size());
+            } catch (const MdesError &) {
+                // Rejection is the expected outcome.
+            }
         }
     }
 }

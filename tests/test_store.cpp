@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Persistent store tests: content addressing, atomic publish, tolerant
+ * loading (corruption / truncation / mislabeling quarantines instead of
+ * throwing), LRU eviction order, single-flight racing through the
+ * two-tier cache, and the end-to-end guarantee that a corrupted on-disk
+ * artifact costs a recompilation, never a failed request.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "random_mdes.h"
+#include "service/cache.h"
+#include "service/service.h"
+#include "store/store.h"
+#include "support/rng.h"
+
+namespace mdes {
+namespace {
+
+namespace fs = std::filesystem;
+
+using lmdes::LowMdes;
+using store::ArtifactStore;
+using store::StoreConfig;
+
+/** A fresh per-test store directory under the system temp dir. */
+fs::path
+freshDir(const std::string &name)
+{
+    fs::path dir = fs::temp_directory_path() /
+                   ("mdes-test-store-" + std::to_string(::getpid()) + "-" +
+                    name);
+    fs::remove_all(dir);
+    return dir;
+}
+
+/** A tiny distinct machine per @p salt so tests can mint distinct keys. */
+Mdes
+tinyMachine(int salt = 0)
+{
+    Mdes m("tiny" + std::to_string(salt));
+    ResourceId r = m.addResourceClass("R", 2 + salt);
+    OptionId o = m.addOption({{{0, r}, {1, r + 1}}});
+    OrTreeId t = m.addOrTree({"T", {o}});
+    TreeId tree = m.addTree({"Tbl", {t}});
+    m.addOpClass({"OP", tree, 2, kInvalidId, "test"});
+    return m;
+}
+
+/** Flip one byte of @p path at @p offset (from the end if negative). */
+void
+flipByte(const fs::path &path, int64_t offset)
+{
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open()) << path;
+    f.seekg(0, std::ios::end);
+    int64_t size = f.tellg();
+    int64_t at = offset >= 0 ? offset : size + offset;
+    ASSERT_GE(at, 0);
+    ASSERT_LT(at, size);
+    f.seekg(at);
+    char c = 0;
+    f.read(&c, 1);
+    c = char(uint8_t(c) ^ 0xA5);
+    f.seekp(at);
+    f.write(&c, 1);
+}
+
+TEST(StoreKey, StableAndInputSensitive)
+{
+    const std::string source = "fake hmdes source";
+    uint64_t base =
+        store::artifactKey(source, PipelineConfig::all(), true);
+    EXPECT_EQ(base,
+              store::artifactKey(source, PipelineConfig::all(), true));
+    EXPECT_NE(base, store::artifactKey(source + " ",
+                                       PipelineConfig::all(), true));
+    EXPECT_NE(base,
+              store::artifactKey(source, PipelineConfig::none(), true));
+    EXPECT_NE(base,
+              store::artifactKey(source, PipelineConfig::all(), false));
+    EXPECT_NE(base, store::artifactKey(source, PipelineConfig::all(), true,
+                                       exp::Rep::OrTree));
+
+    PipelineConfig backward = PipelineConfig::all();
+    backward.direction = SchedDirection::Backward;
+    EXPECT_NE(base, store::artifactKey(source, backward, true));
+}
+
+TEST(Store, PublishIsAtomicAndRoundTrips)
+{
+    fs::path dir = freshDir("roundtrip");
+    ArtifactStore s(StoreConfig{.dir = dir.string()});
+    LowMdes low = LowMdes::lower(tinyMachine(), {});
+    uint64_t key = 0x1234ABCDull;
+
+    ASSERT_TRUE(s.store(key, low, 42));
+    EXPECT_TRUE(fs::exists(dir / store::artifactFileName(key)));
+    EXPECT_TRUE(fs::exists(dir / store::metaFileName(key)));
+    // Nothing half-written may remain after a successful publish.
+    for (const auto &entry : fs::directory_iterator(dir))
+        EXPECT_EQ(entry.path().filename().string().find(".tmp-"),
+                  std::string::npos)
+            << entry.path();
+
+    auto loaded = s.load(key);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(*loaded, low);
+
+    auto infos = s.list();
+    ASSERT_EQ(infos.size(), 1u);
+    EXPECT_EQ(infos[0].key, key);
+    EXPECT_EQ(infos[0].config_fingerprint, 42u);
+    EXPECT_FALSE(infos[0].quarantined);
+
+    store::StoreStats st = s.stats();
+    EXPECT_EQ(st.stores, 1u);
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_EQ(st.corrupt, 0u);
+    fs::remove_all(dir);
+}
+
+TEST(Store, MissOnAbsentKey)
+{
+    fs::path dir = freshDir("miss");
+    ArtifactStore s(StoreConfig{.dir = dir.string()});
+    EXPECT_EQ(s.load(0xDEAD), nullptr);
+    EXPECT_EQ(s.stats().misses, 1u);
+    fs::remove_all(dir);
+}
+
+TEST(Store, CorruptArtifactIsQuarantinedThenReplaced)
+{
+    fs::path dir = freshDir("corrupt");
+    ArtifactStore s(StoreConfig{.dir = dir.string()});
+    LowMdes low = LowMdes::lower(tinyMachine(), {});
+    uint64_t key = 7;
+    ASSERT_TRUE(s.store(key, low, 0));
+
+    flipByte(dir / store::artifactFileName(key), -10);
+    EXPECT_EQ(s.load(key), nullptr);
+    EXPECT_FALSE(fs::exists(dir / store::artifactFileName(key)));
+    EXPECT_FALSE(fs::exists(dir / store::metaFileName(key)));
+    EXPECT_TRUE(fs::exists(dir / store::quarantineFileName(key)));
+    store::StoreStats st = s.stats();
+    EXPECT_EQ(st.corrupt, 1u);
+    EXPECT_EQ(st.misses, 1u);
+
+    auto infos = s.list();
+    ASSERT_EQ(infos.size(), 1u);
+    EXPECT_TRUE(infos[0].quarantined);
+
+    // Republishing heals the slot and clears the quarantine file.
+    ASSERT_TRUE(s.store(key, low, 0));
+    EXPECT_FALSE(fs::exists(dir / store::quarantineFileName(key)));
+    auto loaded = s.load(key);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(*loaded, low);
+    fs::remove_all(dir);
+}
+
+TEST(Store, TruncatedArtifactIsQuarantined)
+{
+    fs::path dir = freshDir("truncated");
+    ArtifactStore s(StoreConfig{.dir = dir.string()});
+    LowMdes low = LowMdes::lower(tinyMachine(), {});
+    uint64_t key = 9;
+    ASSERT_TRUE(s.store(key, low, 0));
+
+    fs::path file = dir / store::artifactFileName(key);
+    fs::resize_file(file, fs::file_size(file) / 2);
+    EXPECT_EQ(s.load(key), nullptr);
+    EXPECT_TRUE(fs::exists(dir / store::quarantineFileName(key)));
+    EXPECT_EQ(s.stats().corrupt, 1u);
+    fs::remove_all(dir);
+}
+
+TEST(Store, MislabeledArtifactIsQuarantined)
+{
+    // A file whose header names a different key (e.g. a bad copy) must
+    // not be served under the name it sits at.
+    fs::path dir = freshDir("mislabel");
+    ArtifactStore s(StoreConfig{.dir = dir.string()});
+    LowMdes low = LowMdes::lower(tinyMachine(), {});
+    ASSERT_TRUE(s.store(11, low, 0));
+    fs::copy_file(dir / store::artifactFileName(11),
+                  dir / store::artifactFileName(12));
+    EXPECT_EQ(s.load(12), nullptr);
+    EXPECT_TRUE(fs::exists(dir / store::quarantineFileName(12)));
+    // The honest slot still serves.
+    EXPECT_NE(s.load(11), nullptr);
+    fs::remove_all(dir);
+}
+
+TEST(Store, PruneEvictsLeastRecentlyAccessedFirst)
+{
+    fs::path dir = freshDir("prune");
+    ArtifactStore s(StoreConfig{.dir = dir.string()});
+    uint64_t total = 0;
+    for (int i = 0; i < 3; ++i) {
+        LowMdes low = LowMdes::lower(tinyMachine(i), {});
+        ASSERT_TRUE(s.store(uint64_t(i + 1), low, 0));
+        total += fs::file_size(dir / store::artifactFileName(i + 1));
+    }
+    // Pin the access order deterministically: key 2 oldest, then 3,
+    // key 1 most recent.
+    auto now = fs::file_time_type::clock::now();
+    using std::chrono::hours;
+    fs::last_write_time(dir / store::metaFileName(2), now - hours(48));
+    fs::last_write_time(dir / store::metaFileName(3), now - hours(24));
+    fs::last_write_time(dir / store::metaFileName(1), now);
+
+    // Budget for two artifacts: exactly the oldest (key 2) must go.
+    uint64_t one = fs::file_size(dir / store::artifactFileName(1));
+    store::PruneResult pr = s.prune(total - one + 1);
+    EXPECT_EQ(pr.removed, 1u);
+    EXPECT_FALSE(fs::exists(dir / store::artifactFileName(2)));
+    EXPECT_TRUE(fs::exists(dir / store::artifactFileName(3)));
+    EXPECT_TRUE(fs::exists(dir / store::artifactFileName(1)));
+    EXPECT_LE(pr.bytes_after, pr.bytes_before);
+    EXPECT_EQ(s.stats().evictions, 1u);
+
+    // A zero budget clears the store.
+    pr = s.prune(0);
+    EXPECT_EQ(pr.removed, 2u);
+    EXPECT_EQ(pr.bytes_after, 0u);
+    fs::remove_all(dir);
+}
+
+TEST(Store, PruneRemovesQuarantinedFiles)
+{
+    fs::path dir = freshDir("prune_bad");
+    ArtifactStore s(StoreConfig{.dir = dir.string()});
+    LowMdes low = LowMdes::lower(tinyMachine(), {});
+    ASSERT_TRUE(s.store(1, low, 0));
+    flipByte(dir / store::artifactFileName(1), -10);
+    EXPECT_EQ(s.load(1), nullptr);
+    ASSERT_TRUE(fs::exists(dir / store::quarantineFileName(1)));
+
+    // Even an unbounded sweep drops quarantined files.
+    s.prune(uint64_t(-1));
+    EXPECT_FALSE(fs::exists(dir / store::quarantineFileName(1)));
+    fs::remove_all(dir);
+}
+
+TEST(Store, SizeBudgetTriggersEvictionOnPublish)
+{
+    fs::path dir = freshDir("budget");
+    LowMdes low = LowMdes::lower(tinyMachine(), {});
+    std::stringstream sized;
+    low.save(sized);
+    // Budget below two artifacts: after every publish at most one file
+    // survives.
+    ArtifactStore s(StoreConfig{
+        .dir = dir.string(),
+        .max_bytes = uint64_t(sized.str().size() + 64)});
+    for (uint64_t key = 1; key <= 4; ++key)
+        ASSERT_TRUE(s.store(key, low, 0));
+    uint64_t artifacts = 0;
+    for (const auto &entry : fs::directory_iterator(dir))
+        if (entry.path().extension() == ".lmdes")
+            ++artifacts;
+    EXPECT_EQ(artifacts, 1u);
+    EXPECT_GT(s.stats().evictions, 0u);
+    fs::remove_all(dir);
+}
+
+TEST(Store, RandomMachinesRoundTripThroughDisk)
+{
+    fs::path dir = freshDir("random");
+    ArtifactStore s(StoreConfig{.dir = dir.string()});
+    Rng rng(0xBEEFull);
+    for (uint64_t key = 1; key <= 8; ++key) {
+        Mdes m = testing::randomMdes(rng);
+        lmdes::LowerOptions opts;
+        opts.pack_bit_vector = rng.chance(0.5);
+        LowMdes low = LowMdes::lower(m, opts);
+        ASSERT_TRUE(s.store(key, low, key));
+        auto loaded = s.load(key);
+        ASSERT_NE(loaded, nullptr);
+        EXPECT_EQ(*loaded, low);
+    }
+    fs::remove_all(dir);
+}
+
+TEST(TwoTierCache, RacingThreadsCompileOnceAndPublishOnce)
+{
+    fs::path dir = freshDir("race");
+    auto disk = std::make_shared<ArtifactStore>(
+        StoreConfig{.dir = dir.string()});
+    service::DescriptionCache cache(8);
+    cache.attachStore(disk);
+
+    const uint64_t key = 77;
+    std::atomic<int> compiled{0};
+    auto compile = [&]() -> service::CompiledMdes {
+        ++compiled;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return std::make_shared<const LowMdes>(
+            LowMdes::lower(tinyMachine(), {}));
+    };
+
+    std::vector<std::thread> threads;
+    std::vector<service::CompiledMdes> results(8);
+    for (size_t i = 0; i < results.size(); ++i)
+        threads.emplace_back(
+            [&, i] { results[i] = cache.getOrCompile(key, compile); });
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(compiled.load(), 1);
+    for (const auto &r : results) {
+        ASSERT_NE(r, nullptr);
+        EXPECT_EQ(r, results[0]); // one shared artifact, not copies
+    }
+    EXPECT_EQ(disk->stats().stores, 1u);
+    EXPECT_TRUE(fs::exists(dir / store::artifactFileName(key)));
+
+    // A later process (fresh memory tier, same store) never compiles.
+    service::DescriptionCache restarted(8);
+    restarted.attachStore(disk);
+    bool hit = true, from_disk = false;
+    auto again = restarted.getOrCompile(key, compile, &hit, &from_disk);
+    ASSERT_NE(again, nullptr);
+    EXPECT_EQ(compiled.load(), 1);
+    EXPECT_FALSE(hit);
+    EXPECT_TRUE(from_disk);
+    EXPECT_EQ(*again, *results[0]);
+    fs::remove_all(dir);
+}
+
+TEST(TwoTierCache, CorruptStoredArtifactMeansRecompileNotFailure)
+{
+    // The acceptance guarantee: corrupting a stored artifact yields a
+    // recompilation, never a caller-visible error.
+    fs::path dir = freshDir("service_corrupt");
+    service::ScheduleRequest req;
+    req.machine = "K5";
+    req.synth_ops = 200;
+
+    {
+        service::MdesService svc({.num_workers = 2,
+                                  .store_dir = dir.string()});
+        auto responses = svc.runBatch({req});
+        ASSERT_TRUE(responses[0].ok()) << responses[0].error.message;
+    }
+    // Exactly one artifact was published; rot it.
+    uint64_t artifacts = 0;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (entry.path().extension() != ".lmdes")
+            continue;
+        ++artifacts;
+        flipByte(entry.path(), -10);
+    }
+    ASSERT_EQ(artifacts, 1u);
+
+    service::MdesService svc({.num_workers = 2,
+                              .store_dir = dir.string()});
+    auto responses = svc.runBatch({req});
+    ASSERT_TRUE(responses[0].ok()) << responses[0].error.message;
+    EXPECT_FALSE(responses[0].disk_hit);
+
+    service::DescriptionCache::Stats cs = svc.cache().stats();
+    EXPECT_EQ(cs.compiles, 1u);
+    EXPECT_EQ(cs.disk_hits, 0u);
+    EXPECT_EQ(cs.disk_corrupt, 1u);
+    // The recompiled artifact was republished and now serves restarts.
+    service::MdesService healed({.num_workers = 2,
+                                 .store_dir = dir.string()});
+    auto after = healed.runBatch({req});
+    ASSERT_TRUE(after[0].ok());
+    EXPECT_TRUE(after[0].disk_hit);
+    EXPECT_EQ(healed.cache().stats().compiles, 0u);
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace mdes

@@ -9,6 +9,7 @@
  * Usage:
  *   mdesc compile <file.hmdes> [-o <file.lmdes>] [--or-form]
  *                 [--no-optimize] [--no-bit-vector] [--backward]
+ *                 [--store <dir>]
  *   mdesc info <file.hmdes | file.lmdes>
  *   mdesc dump <file.hmdes> [operation]
  *   mdesc export <machine-name>         (PA7100 | Pentium | SuperSPARC | K5)
@@ -21,11 +22,18 @@
  * .req file and answers them with M service worker threads through the
  * shared compiled-description cache (see src/service/), printing
  * per-request results plus service metrics as a table or JSON.
+ *
+ * The persistent store (src/store/) shows up twice: `--store <dir>`
+ * turns `compile` and `batch` into users of the content-addressed disk
+ * cache (a second run against the same directory compiles nothing),
+ * and `mdesc store stat|prune|warm <dir>` administers one.
  */
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -38,9 +46,11 @@
 #include "hmdes/compile.h"
 #include "lmdes/low_mdes.h"
 #include "machines/machines.h"
+#include "exp/runner.h"
 #include "sched/list_scheduler.h"
 #include "sched/verify.h"
 #include "service/service.h"
+#include "store/store.h"
 #include "support/text_table.h"
 #include "workload/sasm.h"
 
@@ -56,12 +66,17 @@ usage()
         "usage:\n"
         "  mdesc compile <file.hmdes> [-o <file.lmdes>] [--or-form]\n"
         "                [--no-optimize] [--no-bit-vector] [--backward]\n"
+        "                [--store <dir>]\n"
         "  mdesc info <file.hmdes | file.lmdes>\n"
         "  mdesc dump <file.hmdes> [operation]\n"
         "  mdesc stats <file.hmdes>\n"
         "  mdesc lint <file.hmdes> [--deep]\n"
         "  mdesc schedule <machine-name | file.hmdes> <file.sasm>\n"
         "  mdesc batch <file.req> [--workers N] [--json]\n"
+        "              [--store <dir>] [--store-max-bytes N]\n"
+        "  mdesc store stat <dir>\n"
+        "  mdesc store prune <dir> --max-bytes <N>\n"
+        "  mdesc store warm <dir> [machine...]\n"
         "  mdesc export <PA7100 | Pentium | SuperSPARC | K5>\n");
     return 2;
 }
@@ -101,12 +116,14 @@ compileFile(const std::string &path)
 int
 cmdCompile(const std::vector<std::string> &args)
 {
-    std::string input, output;
+    std::string input, output, store_dir;
     bool or_form = false, optimize = true, bit_vector = true;
     SchedDirection direction = SchedDirection::Forward;
     for (size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "-o" && i + 1 < args.size()) {
             output = args[++i];
+        } else if (args[i] == "--store" && i + 1 < args.size()) {
+            store_dir = args[++i];
         } else if (args[i] == "--or-form") {
             or_form = true;
         } else if (args[i] == "--no-optimize") {
@@ -128,6 +145,48 @@ cmdCompile(const std::vector<std::string> &args)
     if (input.empty())
         return usage();
 
+    PipelineConfig config =
+        optimize ? PipelineConfig::all() : PipelineConfig::none();
+    config.direction = direction;
+    exp::Rep rep = or_form ? exp::Rep::OrTree : exp::Rep::AndOrTree;
+
+    auto writeOutput = [&](const lmdes::LowMdes &low) {
+        if (output.empty())
+            return;
+        std::ofstream out(output, std::ios::binary);
+        if (!out)
+            throw MdesError("cannot write '" + output + "'");
+        low.save(out);
+        std::printf("wrote %s\n", output.c_str());
+    };
+
+    // With a store attached the translation is content-addressed: a
+    // prior run (any process) with the same source and config already
+    // paid the compile.
+    std::unique_ptr<mdes::store::ArtifactStore> artifact_store;
+    uint64_t key = 0;
+    if (!store_dir.empty()) {
+        std::string text = readFile(input);
+        key = mdes::store::artifactKey(text, config, bit_vector, rep);
+        mdes::store::StoreConfig sc;
+        sc.dir = store_dir;
+        sc.creator = "mdesc";
+        artifact_store =
+            std::make_unique<mdes::store::ArtifactStore>(sc);
+        if (auto low = artifact_store->load(key)) {
+            std::printf("%s: store hit %s/%s (no compilation)\n",
+                        low->machineName().c_str(), store_dir.c_str(),
+                        mdes::store::artifactFileName(key).c_str());
+            std::printf("resource-constraint size: %zu bytes (%s "
+                        "representation%s)\n",
+                        low->memory().total(),
+                        or_form ? "OR-tree" : "AND/OR-tree",
+                        optimize ? ", fully optimized" : "");
+            writeOutput(*low);
+            return 0;
+        }
+    }
+
     Mdes m = compileFile(input);
     if (or_form)
         m = expandToOrForm(m);
@@ -136,11 +195,8 @@ cmdCompile(const std::vector<std::string> &args)
     lopts.pack_bit_vector = false;
     size_t before = lmdes::LowMdes::lower(m, lopts).memory().total();
 
-    if (optimize) {
-        PipelineConfig config = PipelineConfig::all();
-        config.direction = direction;
+    if (optimize)
         runPipeline(m, config);
-    }
     lopts.pack_bit_vector = bit_vector;
     lmdes::LowMdes low = lmdes::LowMdes::lower(m, lopts);
 
@@ -153,13 +209,17 @@ cmdCompile(const std::vector<std::string> &args)
                 or_form ? "OR-tree" : "AND/OR-tree",
                 optimize ? ", fully optimized" : "");
 
-    if (!output.empty()) {
-        std::ofstream out(output, std::ios::binary);
-        if (!out)
-            throw MdesError("cannot write '" + output + "'");
-        low.save(out);
-        std::printf("wrote %s\n", output.c_str());
+    if (artifact_store) {
+        if (artifact_store->store(
+                key, low,
+                mdes::store::configFingerprint(config, bit_vector, rep)))
+            std::printf("published %s/%s\n", store_dir.c_str(),
+                        mdes::store::artifactFileName(key).c_str());
+        else
+            std::fprintf(stderr, "warning: could not publish to '%s'\n",
+                         store_dir.c_str());
     }
+    writeOutput(low);
     return 0;
 }
 
@@ -448,8 +508,9 @@ parseRequestLine(const std::string &line, int lineno)
 int
 cmdBatch(const std::vector<std::string> &args)
 {
-    std::string input;
+    std::string input, store_dir;
     unsigned workers = 0;
+    uint64_t store_max_bytes = 0;
     bool json = false;
     for (size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--workers" && i + 1 < args.size()) {
@@ -458,6 +519,18 @@ cmdBatch(const std::vector<std::string> &args)
                 std::from_chars(w.data(), w.data() + w.size(), workers);
             if (ec != std::errc() || end != w.data() + w.size()) {
                 std::fprintf(stderr, "mdesc: bad --workers value '%s'\n",
+                             w.c_str());
+                return 1;
+            }
+        } else if (args[i] == "--store" && i + 1 < args.size()) {
+            store_dir = args[++i];
+        } else if (args[i] == "--store-max-bytes" && i + 1 < args.size()) {
+            const std::string &w = args[++i];
+            auto [end, ec] = std::from_chars(
+                w.data(), w.data() + w.size(), store_max_bytes);
+            if (ec != std::errc() || end != w.data() + w.size()) {
+                std::fprintf(stderr,
+                             "mdesc: bad --store-max-bytes value '%s'\n",
                              w.c_str());
                 return 1;
             }
@@ -497,6 +570,8 @@ cmdBatch(const std::vector<std::string> &args)
     // ...answer with M threads.
     service::ServiceConfig config;
     config.num_workers = workers;
+    config.store_dir = store_dir;
+    config.store_max_bytes = store_max_bytes;
     service::MdesService svc(config);
     std::vector<service::ScheduleResponse> responses =
         svc.runBatch(std::move(requests));
@@ -514,7 +589,9 @@ cmdBatch(const std::vector<std::string> &args)
                         (unsigned long long)r.total_cycles,
                         r.schedules.size() + r.modulo.size(),
                         r.modulo.empty() ? "" : ", modulo",
-                        r.cache_hit ? "hit" : "miss");
+                        r.cache_hit    ? "hit"
+                        : r.disk_hit   ? "store hit"
+                                       : "miss");
         } else {
             ++failures;
             std::printf("[%zu] %s: %s: %s\n", i, name,
@@ -529,6 +606,165 @@ cmdBatch(const std::vector<std::string> &args)
     else
         std::printf("\n%s", metrics.toTable().c_str());
     return failures == 0 ? 0 : 1;
+}
+
+std::string
+formatUnixTime(int64_t t)
+{
+    if (t == 0)
+        return "-";
+    std::time_t tt = std::time_t(t);
+    std::tm tm_buf;
+    if (!gmtime_r(&tt, &tm_buf))
+        return std::to_string(t);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S", &tm_buf);
+    return buf;
+}
+
+int
+cmdStoreStat(const std::string &dir)
+{
+    mdes::store::ArtifactStore st({.dir = dir});
+    auto infos = st.list();
+    std::sort(infos.begin(), infos.end(),
+              [](const auto &a, const auto &b) { return a.key < b.key; });
+
+    TextTable table;
+    table.setHeader({"Key", "Machine", "Bytes", "Created", "Last access",
+                     "Creator", "State"});
+    uint64_t total_bytes = 0, quarantined = 0;
+    for (const auto &info : infos) {
+        total_bytes += info.bytes;
+        quarantined += info.quarantined;
+        table.addRow({mdes::store::artifactFileName(info.key)
+                          .substr(0, 16),
+                      info.machine.empty() ? "?" : info.machine,
+                      std::to_string(info.bytes),
+                      formatUnixTime(int64_t(info.created_unix)),
+                      formatUnixTime(info.last_access_unix),
+                      info.creator.empty() ? "?" : info.creator,
+                      info.quarantined ? "QUARANTINED" : "ok"});
+    }
+    std::printf("%s", table.toString().c_str());
+    std::printf("%zu artifact(s), %llu bytes", infos.size(),
+                (unsigned long long)total_bytes);
+    if (quarantined)
+        std::printf(" (%llu quarantined)",
+                    (unsigned long long)quarantined);
+    std::printf("\n");
+    return 0;
+}
+
+int
+cmdStorePrune(const std::string &dir,
+              const std::vector<std::string> &args)
+{
+    uint64_t max_bytes = 0;
+    bool have_budget = false;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--max-bytes" && i + 1 < args.size()) {
+            const std::string &w = args[++i];
+            auto [end, ec] =
+                std::from_chars(w.data(), w.data() + w.size(), max_bytes);
+            if (ec != std::errc() || end != w.data() + w.size()) {
+                std::fprintf(stderr,
+                             "mdesc: bad --max-bytes value '%s'\n",
+                             w.c_str());
+                return 1;
+            }
+            have_budget = true;
+        } else {
+            return usage();
+        }
+    }
+    if (!have_budget)
+        return usage();
+
+    mdes::store::ArtifactStore st({.dir = dir});
+    auto result = st.prune(max_bytes);
+    std::printf("scanned %llu artifact(s), removed %llu: %llu -> %llu "
+                "bytes (budget %llu)\n",
+                (unsigned long long)result.scanned,
+                (unsigned long long)result.removed,
+                (unsigned long long)result.bytes_before,
+                (unsigned long long)result.bytes_after,
+                (unsigned long long)max_bytes);
+    return 0;
+}
+
+int
+cmdStoreWarm(const std::string &dir,
+             const std::vector<std::string> &args)
+{
+    std::vector<const machines::MachineInfo *> targets;
+    if (args.empty()) {
+        targets = machines::all();
+        for (const auto *m : machines::extensions())
+            targets.push_back(m);
+    } else {
+        for (const auto &name : args) {
+            const machines::MachineInfo *m = machines::byName(name);
+            if (!m) {
+                std::fprintf(stderr, "unknown machine '%s'\n",
+                             name.c_str());
+                return 1;
+            }
+            targets.push_back(m);
+        }
+    }
+
+    mdes::store::StoreConfig sc;
+    sc.dir = dir;
+    sc.creator = "mdesc-warm";
+    mdes::store::ArtifactStore st(sc);
+    PipelineConfig config = PipelineConfig::all();
+    const bool bit_vector = true;
+
+    TextTable table;
+    table.setHeader({"Machine", "Key", "Result"});
+    int failures = 0;
+    for (const auto *m : targets) {
+        uint64_t key =
+            mdes::store::artifactKey(m->source, config, bit_vector);
+        const char *result;
+        if (st.load(key)) {
+            result = "already warm";
+        } else {
+            lmdes::LowMdes low = exp::compileSourceToLow(
+                m->source, config, bit_vector);
+            if (st.store(key, low,
+                         mdes::store::configFingerprint(config,
+                                                        bit_vector))) {
+                result = "compiled + published";
+            } else {
+                result = "PUBLISH FAILED";
+                ++failures;
+            }
+        }
+        table.addRow({m->name,
+                      mdes::store::artifactFileName(key).substr(0, 16),
+                      result});
+    }
+    std::printf("%s", table.toString().c_str());
+    return failures == 0 ? 0 : 1;
+}
+
+int
+cmdStore(const std::vector<std::string> &args)
+{
+    if (args.size() < 2)
+        return usage();
+    const std::string &verb = args[0];
+    const std::string &dir = args[1];
+    std::vector<std::string> rest(args.begin() + 2, args.end());
+    if (verb == "stat" && rest.empty())
+        return cmdStoreStat(dir);
+    if (verb == "prune")
+        return cmdStorePrune(dir, rest);
+    if (verb == "warm")
+        return cmdStoreWarm(dir, rest);
+    return usage();
 }
 
 int
@@ -570,6 +806,8 @@ main(int argc, char **argv)
             return cmdSchedule(args);
         if (cmd == "batch")
             return cmdBatch(args);
+        if (cmd == "store")
+            return cmdStore(args);
         if (cmd == "lint")
             return cmdLint(args);
         if (cmd == "export")
