@@ -1,5 +1,6 @@
 #include "core/minimize.h"
 #include "core/transforms.h"
+#include "support/trace.h"
 
 /**
  * @file
@@ -8,6 +9,10 @@
  * OR-subtree sorting (8), with usage-check sorting applied once options
  * have reached their final shape. A second CSE pass re-merges entities
  * cloned by hoisting.
+ *
+ * Each pass runs under a trace span carrying its effect counters, so a
+ * Chrome trace of a compile shows where pipeline time goes and what each
+ * pass changed.
  */
 
 namespace mdes {
@@ -29,16 +34,37 @@ PipelineStats
 runPipeline(Mdes &m, const PipelineConfig &config)
 {
     PipelineStats stats;
-    if (config.cse)
+    if (config.cse) {
+        TRACE_SPAN_F(span, "pass/cse");
         stats.cse = eliminateRedundantInfo(m);
-    if (config.redundant_options)
+        span.counter("merged_options", stats.cse.merged_options);
+        span.counter("merged_or_trees", stats.cse.merged_or_trees);
+        span.counter("merged_trees", stats.cse.merged_trees);
+        span.counter("removed_dead", stats.cse.removed_dead);
+    }
+    if (config.redundant_options) {
+        TRACE_SPAN_F(span, "pass/redundant-options");
         stats.redundant_options_removed = removeRedundantOptions(m);
-    if (config.minimize)
+        span.counter("options_removed", stats.redundant_options_removed);
+    }
+    if (config.minimize) {
+        TRACE_SPAN_F(span, "pass/minimize");
         minimizeUsages(m);
-    if (config.time_shift)
-        shiftUsageTimes(m, config.direction);
+    }
+    if (config.time_shift) {
+        TRACE_SPAN_F(span, "pass/time-shift");
+        const std::vector<int32_t> shifts =
+            shiftUsageTimes(m, config.direction);
+        for (int32_t s : shifts) {
+            if (s != 0)
+                ++stats.resources_shifted;
+        }
+        span.counter("resources_shifted", stats.resources_shifted);
+    }
     if (config.hoist) {
+        TRACE_SPAN_F(span, "pass/hoist");
         stats.usages_hoisted = hoistCommonUsages(m);
+        span.counter("usages_hoisted", stats.usages_hoisted);
         if (stats.usages_hoisted > 0) {
             // Re-merge clones created by hoisting and drop the originals
             // they replaced.
@@ -49,10 +75,15 @@ runPipeline(Mdes &m, const PipelineConfig &config)
             stats.cse.removed_dead += cse.removed_dead;
         }
     }
-    if (config.sort_usages)
+    if (config.sort_usages) {
+        TRACE_SPAN_F(span, "pass/sort-usages");
         sortUsageChecks(m, config.direction);
-    if (config.sort_or_trees)
+    }
+    if (config.sort_or_trees) {
+        TRACE_SPAN_F(span, "pass/sort-or-trees");
         stats.trees_reordered = sortOrSubtrees(m);
+        span.counter("trees_reordered", stats.trees_reordered);
+    }
     return stats;
 }
 

@@ -135,6 +135,9 @@ struct PipelineStats
     size_t redundant_options_removed = 0;
     size_t trees_reordered = 0;
     size_t usages_hoisted = 0;
+    /** Resource instances the time-shift pass actually moved (nonzero
+     * shift constants returned by shiftUsageTimes()). */
+    size_t resources_shifted = 0;
 };
 
 /** Run the selected transformations on @p m in the canonical order. */

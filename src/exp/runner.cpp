@@ -2,6 +2,7 @@
 
 #include "core/expand.h"
 #include "hmdes/compile.h"
+#include "support/trace.h"
 #include "workload/workload.h"
 
 namespace mdes::exp {
@@ -31,15 +32,25 @@ buildModel(const RunConfig &config)
 lmdes::LowMdes
 compileSourceToLow(std::string_view source,
                    const PipelineConfig &transforms, bool bit_vector,
-                   Rep rep)
+                   Rep rep, PipelineStats *pipeline_stats)
 {
-    Mdes model = hmdes::compileOrThrow(source);
+    Mdes model;
+    {
+        TRACE_SPAN_F(span, "compile/hmdes");
+        model = hmdes::compileOrThrow(source);
+        span.label("machine", model.name());
+    }
     if (rep == Rep::OrTree)
         model = expandToOrForm(model);
-    runPipeline(model, transforms);
+    PipelineStats stats = runPipeline(model, transforms);
+    if (pipeline_stats)
+        *pipeline_stats = stats;
+    TRACE_SPAN_F(span, "compile/lower");
     lmdes::LowerOptions lopts;
     lopts.pack_bit_vector = bit_vector;
-    return lmdes::LowMdes::lower(model, lopts);
+    lmdes::LowMdes low = lmdes::LowMdes::lower(model, lopts);
+    span.counter("checks", low.checks().size());
+    return low;
 }
 
 RunResult

@@ -77,10 +77,14 @@ Mdes buildModel(const RunConfig &config);
  * @p bit_vector packing: the one-call compile pipeline behind both the
  * mdesc tool and the service's compiled-description cache. Throws
  * MdesError (with rendered diagnostics) on bad source.
+ *
+ * @param pipeline_stats when non-null, receives the transform pipeline's
+ *        effect counters (the service accumulates them into its metrics).
  */
 lmdes::LowMdes compileSourceToLow(std::string_view source,
                                   const PipelineConfig &transforms,
-                                  bool bit_vector, Rep rep = Rep::AndOrTree);
+                                  bool bit_vector, Rep rep = Rep::AndOrTree,
+                                  PipelineStats *pipeline_stats = nullptr);
 
 /** Run the full experiment. */
 RunResult run(const RunConfig &config);

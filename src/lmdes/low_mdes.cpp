@@ -15,6 +15,9 @@ LowMdes::lower(const Mdes &m, const LowerOptions &opts)
     low.num_resources_ = m.numResources();
     low.slot_words_ = std::max(1u, (m.numResources() + 63) / 64);
     low.packed_ = opts.pack_bit_vector;
+    low.resource_names_.reserve(m.numResources());
+    for (uint32_t r = 0; r < m.numResources(); ++r)
+        low.resource_names_.push_back(m.resourceName(r));
     const int32_t words = int32_t(low.slot_words_);
 
     // Options: one low record per core option (id-level sharing kept).
@@ -91,6 +94,14 @@ LowMdes::lower(const Mdes &m, const LowerOptions &opts)
     for (const auto &bp : m.bypasses())
         low.bypasses_.push_back({bp.from, bp.to, bp.latency});
     return low;
+}
+
+std::string
+LowMdes::resourceName(uint32_t r) const
+{
+    if (r < resource_names_.size())
+        return resource_names_[r];
+    return "r" + std::to_string(r);
 }
 
 int32_t

@@ -141,6 +141,17 @@ class LowMdes
     uint32_t slotWords() const { return slot_words_; }
     bool packed() const { return packed_; }
 
+    /** Per-instance resource names ("Name" or "Name[i]" in declaration
+     * order), kept for conflict-profiling reports. Empty for artifacts
+     * serialized before format v5. */
+    const std::vector<std::string> &resourceNames() const
+    {
+        return resource_names_;
+    }
+
+    /** Name of resource instance @p r; "r<id>" when names are absent. */
+    std::string resourceName(uint32_t r) const;
+
     const std::vector<Check> &checks() const { return checks_; }
     const std::vector<LowOption> &options() const { return options_; }
     const std::vector<uint32_t> &optionRefs() const { return option_refs_; }
@@ -183,6 +194,7 @@ class LowMdes
     uint32_t num_resources_ = 0;
     uint32_t slot_words_ = 1;
     bool packed_ = false;
+    std::vector<std::string> resource_names_;
     std::vector<Check> checks_;
     std::vector<LowOption> options_;
     std::vector<uint32_t> option_refs_;

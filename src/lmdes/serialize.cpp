@@ -13,11 +13,12 @@
  * reparsing or reoptimizing (the paper's "minimize the time required to
  * load the MDES into memory").
  *
- * Format (version 4):
+ * Format (version 5):
  *
  *   magic "LMDS" | version u32 | payload_size u64 | payload | checksum u64
  *
- * The payload holds the length-prefixed sections of version 3; the
+ * The payload holds the length-prefixed sections of version 3, plus (v5)
+ * the per-instance resource names used by conflict profiling; the
  * trailer is FNV-1a64 over the payload bytes, verified before any
  * parsing so a flipped bit is reported as a checksum mismatch rather
  * than surfacing as a mysterious structural error. All integers are
@@ -36,7 +37,7 @@ namespace mdes::lmdes {
 namespace {
 
 constexpr char kMagic[4] = {'L', 'M', 'D', 'S'};
-constexpr uint32_t kVersion = 4;
+constexpr uint32_t kVersion = 5;
 /** Upper bound on a sane payload; real descriptions are kilobytes. */
 constexpr uint64_t kMaxPayloadBytes = uint64_t(1) << 30;
 
@@ -200,6 +201,9 @@ LowMdes::save(std::ostream &os) const
         writeStr(body, oc.comment);
     }
     writePod(body, bypasses_);
+    writeU32(body, uint32_t(resource_names_.size()));
+    for (const auto &name : resource_names_)
+        writeStr(body, name);
 
     std::string payload = body.str();
     os.write(kMagic, 4);
@@ -294,6 +298,21 @@ LowMdes::load(std::istream &is)
         low.op_classes_.push_back(std::move(oc));
     }
     low.bypasses_ = in.readPod<LowBypass>();
+    uint32_t num_names = in.readU32();
+    if (num_names != low.num_resources_)
+        throw MdesError("LMDES resource-name count " +
+                        std::to_string(num_names) +
+                        " does not match resource count " +
+                        std::to_string(low.num_resources_));
+    // Each name needs at least its 4-byte length prefix.
+    if (uint64_t(num_names) * 4 > in.remaining())
+        throw MdesError("corrupt resource-name count " +
+                        std::to_string(num_names) + ": only " +
+                        std::to_string(in.remaining()) +
+                        " payload bytes remain");
+    low.resource_names_.reserve(num_names);
+    for (uint32_t i = 0; i < num_names; ++i)
+        low.resource_names_.push_back(in.readStr());
 
     // Validate every reference so a corrupt stream cannot cause
     // out-of-range indexing later.

@@ -1,5 +1,9 @@
 #include "rumap/checker.h"
 
+#include <bit>
+
+#include "support/trace.h"
+
 namespace mdes::rumap {
 
 void
@@ -15,6 +19,43 @@ CheckStats::merge(const CheckStats &other)
         attempts_per_tree.resize(other.attempts_per_tree.size(), 0);
     for (size_t i = 0; i < other.attempts_per_tree.size(); ++i)
         attempts_per_tree[i] += other.attempts_per_tree[i];
+    if (other.conflicts_per_resource.size() >
+        conflicts_per_resource.size())
+        conflicts_per_resource.resize(other.conflicts_per_resource.size(),
+                                      0);
+    for (size_t i = 0; i < other.conflicts_per_resource.size(); ++i)
+        conflicts_per_resource[i] += other.conflicts_per_resource[i];
+}
+
+void
+Checker::recordConflict(CheckStats &stats, int32_t at, uint64_t mask,
+                        const RuMap &ru) const
+{
+    // Which of the probe's resources were actually busy: the RU-map word
+    // plus any reservations pending from subtrees already satisfied in
+    // this attempt.
+    uint64_t busy = ru.word(at) & mask;
+    for (const auto &p : pending_) {
+        if (p.cycle == at)
+            busy |= p.mask & mask;
+    }
+    if (busy == 0)
+        return;
+    // Slots interleave the machine's RU-map words per cycle, so the word
+    // index is the slot modulo slotWords() (Euclidean: pre-shift usage
+    // times can be negative).
+    int32_t words = int32_t(low_.slotWords());
+    int32_t word = at % words;
+    if (word < 0)
+        word += words;
+    size_t base = size_t(word) * 64;
+    if (stats.conflicts_per_resource.size() < base + 64)
+        stats.conflicts_per_resource.resize(base + 64, 0);
+    while (busy != 0) {
+        unsigned bit = unsigned(std::countr_zero(busy));
+        busy &= busy - 1;
+        ++stats.conflicts_per_resource[base + bit];
+    }
 }
 
 bool
@@ -66,6 +107,8 @@ Checker::tryReserve(uint32_t tree, int32_t cycle, RuMap &ru,
                 if (!ru.available(at, check.mask) ||
                     pendingConflict(at, check.mask)) {
                     fits = false;
+                    if (trace::enabled()) [[unlikely]]
+                        recordConflict(stats, at, check.mask, ru);
                     break;
                 }
             }

@@ -49,6 +49,15 @@ struct CheckStats
     /** Scheduling attempts per AND/OR-tree (for the option-count
      * breakdowns of Tables 1-4); sized on first use. */
     std::vector<uint64_t> attempts_per_tree;
+    /**
+     * Conflict heat table: failed RU-map probes per resource instance
+     * (indexed by ResourceId), identifying the contended resources.
+     * Recorded only while trace::enabled() - the conflict path then pays
+     * one mask decomposition per failed check; otherwise the probe loop
+     * is untouched. Sized to the machine's resource count on first
+     * conflict.
+     */
+    std::vector<uint64_t> conflicts_per_resource;
 
     double
     avgOptionsPerAttempt() const
@@ -111,6 +120,11 @@ class Checker
     };
 
     bool pendingConflict(int32_t cycle, uint64_t mask) const;
+
+    /** Attribute a failed probe at slot @p at to the busy resource
+     * instances of @p mask (trace-enabled conflict profiling). */
+    void recordConflict(CheckStats &stats, int32_t at, uint64_t mask,
+                        const RuMap &ru) const;
 
     const lmdes::LowMdes &low_;
     /** Probes of options already chosen in the current attempt. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/diagnostics.h"
+#include "support/trace.h"
 
 namespace mdes::sched {
 
@@ -15,6 +16,12 @@ BackwardListScheduler::scheduleBlock(const Block &block, SchedStats &stats)
     sched.used_cascade.assign(n, 0);
     if (n == 0)
         return sched;
+
+    TRACE_SPAN_F(span, "sched/block");
+    std::vector<uint32_t> op_attempts;
+    if (span.active())
+        op_attempts.assign(n, 0);
+    const uint64_t attempts_before = stats.checks.attempts;
 
     DepGraph graph = DepGraph::build(block, low_);
     rumap::RuMap ru;
@@ -68,6 +75,8 @@ BackwardListScheduler::scheduleBlock(const Block &block, SchedStats &stats)
             if (cycle > latest)
                 continue;
 
+            if (span.active())
+                ++op_attempts[u];
             if (checker_.tryReserve(cls.tree, cycle, ru, stats.checks)) {
                 sched.cycles[u] = cycle;
                 sched.issue_order.push_back(u);
@@ -93,6 +102,13 @@ BackwardListScheduler::scheduleBlock(const Block &block, SchedStats &stats)
 
     stats.ops_scheduled += n;
     stats.total_schedule_length += uint64_t(sched.length);
+    if (span.active()) {
+        for (uint32_t a : op_attempts)
+            stats.attempts_per_op.add(a);
+        span.counter("ops", n);
+        span.counter("length", uint64_t(sched.length));
+        span.counter("attempts", stats.checks.attempts - attempts_before);
+    }
     return sched;
 }
 

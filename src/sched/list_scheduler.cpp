@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "support/diagnostics.h"
+#include "support/trace.h"
 
 namespace mdes::sched {
 
@@ -16,6 +17,14 @@ ListScheduler::scheduleBlock(const Block &block, SchedStats &stats)
     sched.used_cascade.assign(n, 0);
     if (n == 0)
         return sched;
+
+    // Probe hook: per-op attempt counts, collected only under a live
+    // span so the untraced loop pays a flag test and nothing more.
+    TRACE_SPAN_F(span, "sched/block");
+    std::vector<uint32_t> op_attempts;
+    if (span.active())
+        op_attempts.assign(n, 0);
+    const uint64_t attempts_before = stats.checks.attempts;
 
     DepGraph graph = DepGraph::build(block, low_);
     rumap::RuMap ru;
@@ -75,6 +84,8 @@ ListScheduler::scheduleBlock(const Block &block, SchedStats &stats)
             bool use_cascade = can_cascade && cycle < normal_ready;
             uint32_t tree = use_cascade ? cls.cascade_tree : cls.tree;
 
+            if (span.active())
+                ++op_attempts[u];
             if (checker_.tryReserve(tree, cycle, ru, stats.checks)) {
                 sched.cycles[u] = cycle;
                 sched.used_cascade[u] = use_cascade ? 1 : 0;
@@ -89,6 +100,13 @@ ListScheduler::scheduleBlock(const Block &block, SchedStats &stats)
 
     stats.ops_scheduled += n;
     stats.total_schedule_length += uint64_t(sched.length);
+    if (span.active()) {
+        for (uint32_t a : op_attempts)
+            stats.attempts_per_op.add(a);
+        span.counter("ops", n);
+        span.counter("length", uint64_t(sched.length));
+        span.counter("attempts", stats.checks.attempts - attempts_before);
+    }
     return sched;
 }
 

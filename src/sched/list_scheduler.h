@@ -20,6 +20,7 @@
 #include "rumap/checker.h"
 #include "sched/dep_graph.h"
 #include "sched/ir.h"
+#include "support/histogram.h"
 
 namespace mdes::sched {
 
@@ -49,6 +50,10 @@ struct SchedStats
     uint64_t ops_scheduled = 0;
     uint64_t total_schedule_length = 0;
     rumap::CheckStats checks;
+    /** Scheduling attempts each operation needed before it was placed.
+     * Filled by the schedulers' probe hooks only while a trace span is
+     * active (tracing enabled), so the hot loop pays nothing when off. */
+    Histogram attempts_per_op;
 
     double
     avgAttemptsPerOp() const

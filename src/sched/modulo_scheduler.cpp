@@ -6,6 +6,7 @@
 #include <map>
 
 #include "support/diagnostics.h"
+#include "support/trace.h"
 
 namespace mdes::sched {
 
@@ -142,6 +143,13 @@ ModuloScheduler::schedule(const Block &body, SchedStats &stats,
         return result;
     }
 
+    // Probe hook: per-op attempt counts across every II tried, live only
+    // under an active span (see SchedStats::attempts_per_op).
+    TRACE_SPAN_F(span, "sched/modulo");
+    std::vector<uint32_t> op_attempts;
+    if (span.active())
+        op_attempts.assign(n, 0);
+
     std::vector<std::vector<uint32_t>> pred_edges(n), succ_edges(n);
     for (uint32_t e = 0; e < graph.edges().size(); ++e) {
         pred_edges[graph.edges()[e].succ].push_back(e);
@@ -217,6 +225,8 @@ ModuloScheduler::schedule(const Block &body, SchedStats &stats,
 
             bool placed = false;
             for (int32_t t = estart; t < estart + ii && !placed; ++t) {
+                if (span.active())
+                    ++op_attempts[u];
                 if (checker_.tryReserve(cls.tree, t, ru, stats.checks,
                                         nullptr, &reservations[u])) {
                     times[u] = t;
@@ -312,6 +322,15 @@ ModuloScheduler::schedule(const Block &body, SchedStats &stats,
                 t -= min_t;
             stats.ops_scheduled += n;
             stats.total_schedule_length += uint64_t(ii);
+            if (span.active()) {
+                for (uint32_t a : op_attempts)
+                    stats.attempts_per_op.add(a);
+                span.counter("ops", n);
+                span.counter("ii", uint64_t(ii));
+                span.counter("res_mii", uint64_t(result.res_mii));
+                span.counter("rec_mii", uint64_t(result.rec_mii));
+                span.counter("evictions", result.evictions);
+            }
             return result;
         }
     }

@@ -1,5 +1,7 @@
 #include "service/cache.h"
 
+#include "support/trace.h"
+
 namespace mdes::service {
 
 DescriptionCache::Key
@@ -39,6 +41,7 @@ DescriptionCache::getOrCompile(Key key,
     bool is_owner = false;
     uint64_t my_generation = 0;
     {
+        TRACE_SPAN("cache/lookup");
         std::lock_guard<std::mutex> lock(mu_);
         auto it = index_.find(key);
         if (it != index_.end()) {
@@ -65,8 +68,12 @@ DescriptionCache::getOrCompile(Key key,
         }
     }
 
-    if (!is_owner)
+    if (!is_owner) {
+        // Another request owns this key's compile; its spans carry the
+        // owner's trace id, so the waiter records only the wait itself.
+        TRACE_SPAN("cache/wait");
         return fut.get();
+    }
 
     // Single-flight owner: probe the disk tier, then compile. Both run
     // outside the lock; concurrent lookups of this key block on the

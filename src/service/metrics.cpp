@@ -1,5 +1,6 @@
 #include "service/metrics.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "support/json.h"
@@ -46,6 +47,32 @@ StageLatency::merge(const StageLatency &other)
 }
 
 void
+TransformEffects::add(const PipelineStats &stats)
+{
+    merged_options += stats.cse.merged_options;
+    merged_or_trees += stats.cse.merged_or_trees;
+    merged_trees += stats.cse.merged_trees;
+    removed_dead += stats.cse.removed_dead;
+    redundant_options_removed += stats.redundant_options_removed;
+    trees_reordered += stats.trees_reordered;
+    usages_hoisted += stats.usages_hoisted;
+    resources_shifted += stats.resources_shifted;
+}
+
+void
+TransformEffects::merge(const TransformEffects &other)
+{
+    merged_options += other.merged_options;
+    merged_or_trees += other.merged_or_trees;
+    merged_trees += other.merged_trees;
+    removed_dead += other.removed_dead;
+    redundant_options_removed += other.redundant_options_removed;
+    trees_reordered += other.trees_reordered;
+    usages_hoisted += other.usages_hoisted;
+    resources_shifted += other.resources_shifted;
+}
+
+void
 ServiceMetrics::recordOutcome(ErrorCode code)
 {
     ++requests;
@@ -69,6 +96,23 @@ ServiceMetrics::merge(const ServiceMetrics &other)
     ops_scheduled += other.ops_scheduled;
     attempts += other.attempts;
     resource_checks += other.resource_checks;
+    transform_effects.merge(other.transform_effects);
+    attempts_per_op.merge(other.attempts_per_op);
+    for (const auto &[name, n] : other.resource_conflicts)
+        resource_conflicts[name] += n;
+}
+
+void
+ServiceMetrics::recordConflicts(const lmdes::LowMdes &low,
+                                const std::vector<uint64_t> &per_resource)
+{
+    for (size_t r = 0; r < per_resource.size(); ++r) {
+        if (per_resource[r] == 0)
+            continue;
+        resource_conflicts[low.machineName() + "." +
+                           low.resourceName(uint32_t(r))] +=
+            per_resource[r];
+    }
 }
 
 namespace {
@@ -92,6 +136,19 @@ addLatencyRow(TextTable &table, const char *name, const StageLatency &s)
                   TextTable::num(s.meanUs(), 1),
                   std::to_string(s.max_us),
                   s.count ? bucketLabel(s.log2_us.maxValue()) : "-"});
+}
+
+/** Conflict entries sorted most-contended first (the heat ranking). */
+std::vector<std::pair<std::string, uint64_t>>
+rankedConflicts(const std::map<std::string, uint64_t> &conflicts)
+{
+    std::vector<std::pair<std::string, uint64_t>> ranked(conflicts.begin(),
+                                                         conflicts.end());
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second > b.second;
+                     });
+    return ranked;
 }
 
 void
@@ -172,6 +229,45 @@ ServiceMetrics::toTable() const
                                           : 0.0,
                                  2)});
     out += sched.toString();
+
+    // --- Trace section ------------------------------------------------
+    if (transform_effects.total() != 0) {
+        TextTable fx;
+        fx.setHeader({"Transform Effect", "Total"});
+        auto row = [&](const char *name, uint64_t v) {
+            if (v)
+                fx.addRow({name, std::to_string(v)});
+        };
+        row("options merged", transform_effects.merged_options);
+        row("OR-trees merged", transform_effects.merged_or_trees);
+        row("AND/OR-trees merged", transform_effects.merged_trees);
+        row("dead entities removed", transform_effects.removed_dead);
+        row("redundant options removed",
+            transform_effects.redundant_options_removed);
+        row("trees reordered", transform_effects.trees_reordered);
+        row("usages hoisted", transform_effects.usages_hoisted);
+        row("resources shifted", transform_effects.resources_shifted);
+        out += fx.toString();
+    }
+    if (!resource_conflicts.empty()) {
+        TextTable heat;
+        heat.setHeader({"Contended Resource", "Conflicts"});
+        auto ranked = rankedConflicts(resource_conflicts);
+        constexpr size_t kTopN = 8;
+        for (size_t i = 0; i < ranked.size() && i < kTopN; ++i)
+            heat.addRow({ranked[i].first,
+                         std::to_string(ranked[i].second)});
+        out += heat.toString();
+    }
+    if (attempts_per_op.total() != 0) {
+        TextTable apo;
+        apo.setHeader({"Traced Ops", "Mean Attempts/Op",
+                       "Max Attempts/Op"});
+        apo.addRow({std::to_string(attempts_per_op.total()),
+                    TextTable::num(attempts_per_op.mean(), 2),
+                    std::to_string(attempts_per_op.maxValue())});
+        out += apo.toString();
+    }
     return out;
 }
 
@@ -217,6 +313,32 @@ ServiceMetrics::toJson() const
     w.key("ops_scheduled").value(ops_scheduled);
     w.key("attempts").value(attempts);
     w.key("resource_checks").value(resource_checks);
+    w.endObject();
+    w.key("trace").beginObject();
+    w.key("transform_effects").beginObject();
+    w.key("merged_options").value(transform_effects.merged_options);
+    w.key("merged_or_trees").value(transform_effects.merged_or_trees);
+    w.key("merged_trees").value(transform_effects.merged_trees);
+    w.key("removed_dead").value(transform_effects.removed_dead);
+    w.key("redundant_options_removed")
+        .value(transform_effects.redundant_options_removed);
+    w.key("trees_reordered").value(transform_effects.trees_reordered);
+    w.key("usages_hoisted").value(transform_effects.usages_hoisted);
+    w.key("resources_shifted").value(transform_effects.resources_shifted);
+    w.endObject();
+    w.key("attempts_per_op").beginObject();
+    w.key("count").value(attempts_per_op.total());
+    w.key("mean").value(attempts_per_op.mean());
+    w.key("max").value(attempts_per_op.maxValue());
+    w.key("buckets").beginArray();
+    for (uint64_t b = 0; b <= attempts_per_op.maxValue(); ++b)
+        w.value(attempts_per_op.countAt(b));
+    w.endArray();
+    w.endObject();
+    w.key("resource_conflicts").beginObject();
+    for (const auto &[name, n] : rankedConflicts(resource_conflicts))
+        w.key(name).value(n);
+    w.endObject();
     w.endObject();
     w.endObject();
     return w.str();

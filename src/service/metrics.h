@@ -17,8 +17,11 @@
  */
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <vector>
 
+#include "core/transforms.h"
 #include "service/cache.h"
 #include "support/histogram.h"
 
@@ -64,6 +67,33 @@ struct StageLatency
     }
 };
 
+/** Cumulative transform-pipeline effect totals, summed across the
+ * cache-miss compiles a service performed (the trace section's per-pass
+ * view of what optimization actually bought). */
+struct TransformEffects
+{
+    uint64_t merged_options = 0;
+    uint64_t merged_or_trees = 0;
+    uint64_t merged_trees = 0;
+    uint64_t removed_dead = 0;
+    uint64_t redundant_options_removed = 0;
+    uint64_t trees_reordered = 0;
+    uint64_t usages_hoisted = 0;
+    uint64_t resources_shifted = 0;
+
+    /** Accumulate one pipeline run's counters. */
+    void add(const PipelineStats &stats);
+    void merge(const TransformEffects &other);
+
+    uint64_t
+    total() const
+    {
+        return merged_options + merged_or_trees + merged_trees +
+               removed_dead + redundant_options_removed + trees_reordered +
+               usages_hoisted + resources_shifted;
+    }
+};
+
 /** Everything the service counts. */
 struct ServiceMetrics
 {
@@ -84,8 +114,24 @@ struct ServiceMetrics
     uint64_t attempts = 0;
     uint64_t resource_checks = 0;
 
+    // --- Trace section (mdes::trace telemetry) ------------------------
+
+    /** What each transform pass removed/moved, across compiles. */
+    TransformEffects transform_effects;
+    /** Scheduling attempts per operation (probe hooks; populated only
+     * for requests processed while tracing was enabled). */
+    Histogram attempts_per_op;
+    /** Conflict heat: failed RU-map probes per resource instance, keyed
+     * "Machine.Resource" so different machines never alias (populated
+     * only while tracing is enabled). */
+    std::map<std::string, uint64_t> resource_conflicts;
+
     void recordOutcome(ErrorCode code);
     void merge(const ServiceMetrics &other);
+
+    /** Fold one request's conflict table in under @p low's names. */
+    void recordConflicts(const lmdes::LowMdes &low,
+                         const std::vector<uint64_t> &per_resource);
 
     /** Human-readable dump (text table). */
     std::string toTable() const;

@@ -6,6 +6,7 @@
 #include "sched/backward_scheduler.h"
 #include "sched/dep_graph.h"
 #include "sched/verify.h"
+#include "support/trace.h"
 #include "workload/sasm.h"
 #include "workload/workload.h"
 
@@ -211,9 +212,23 @@ MdesService::process(Job &job, ServiceMetrics &metrics,
     ScheduleResponse resp;
     resp.machine = req.machine;
 
+    // Every span recorded while this job runs - including compile passes
+    // other requests wait on through the cache's single-flight - carries
+    // the request id, so one slow request is traceable end to end.
+    trace::IdScope trace_scope(job.id);
+    TRACE_SPAN_F(req_span, "request");
+    if (req_span.active()) {
+        req_span.label("machine", req.machine);
+        req_span.label("scheduler", schedulerKindName(req.scheduler));
+    }
+
     uint64_t compile_us = 0, workload_us = 0, schedule_us = 0;
     bool timed_compile = false, timed_workload = false,
          timed_schedule = false;
+    // Transform effects from this request's own compile (cache misses
+    // only; hits reuse an already-optimized artifact).
+    PipelineStats pipeline_stats;
+    bool compiled = false;
     Clock::time_point t_start = Clock::now();
 
     // True (and resp.error set) when the job was cancelled or ran past
@@ -246,6 +261,14 @@ MdesService::process(Job &job, ServiceMetrics &metrics,
         metrics.ops_scheduled += resp.stats.ops_scheduled;
         metrics.attempts += resp.stats.checks.attempts;
         metrics.resource_checks += resp.stats.checks.resource_checks;
+        if (compiled)
+            metrics.transform_effects.add(pipeline_stats);
+        metrics.attempts_per_op.merge(resp.stats.attempts_per_op);
+        if (resp.low &&
+            !resp.stats.checks.conflicts_per_resource.empty()) {
+            metrics.recordConflicts(
+                *resp.low, resp.stats.checks.conflicts_per_resource);
+        }
     };
     auto fail = [&](ErrorCode code, std::string message) {
         resp.error = {code, std::move(message)};
@@ -278,9 +301,12 @@ MdesService::process(Job &job, ServiceMetrics &metrics,
             resp.low = cache_.getOrCompile(
                 key,
                 [&]() -> CompiledMdes {
+                    compiled = true;
                     return std::make_shared<const lmdes::LowMdes>(
                         exp::compileSourceToLow(source, req.transforms,
-                                                req.bit_vector));
+                                                req.bit_vector,
+                                                exp::Rep::AndOrTree,
+                                                &pipeline_stats));
                 },
                 &resp.cache_hit, &resp.disk_hit,
                 store::configFingerprint(req.transforms,
@@ -297,29 +323,33 @@ MdesService::process(Job &job, ServiceMetrics &metrics,
         // --- Build the workload ---------------------------------------
         t = Clock::now();
         sched::Program program;
-        if (!req.sasm.empty()) {
-            DiagnosticEngine diags;
-            program = workload::parseSasm(req.sasm, *resp.low, diags);
-            if (diags.hasErrors())
-                return fail(ErrorCode::BadWorkload, diags.toString());
-        } else if (builtin) {
-            workload::WorkloadSpec spec = builtin->workload;
-            if (req.synth_ops != 0)
-                spec.num_ops = req.synth_ops;
-            if (req.seed != 0)
-                spec.seed = req.seed;
-            try {
-                program = req.scheduler == SchedulerKind::Modulo
-                              ? workload::generateLoops(spec, *resp.low)
-                              : workload::generate(spec, *resp.low);
-            } catch (const MdesError &e) {
-                return fail(ErrorCode::BadWorkload, e.what());
+        {
+            TRACE_SPAN("workload/build");
+            if (!req.sasm.empty()) {
+                DiagnosticEngine diags;
+                program = workload::parseSasm(req.sasm, *resp.low, diags);
+                if (diags.hasErrors())
+                    return fail(ErrorCode::BadWorkload, diags.toString());
+            } else if (builtin) {
+                workload::WorkloadSpec spec = builtin->workload;
+                if (req.synth_ops != 0)
+                    spec.num_ops = req.synth_ops;
+                if (req.seed != 0)
+                    spec.seed = req.seed;
+                try {
+                    program =
+                        req.scheduler == SchedulerKind::Modulo
+                            ? workload::generateLoops(spec, *resp.low)
+                            : workload::generate(spec, *resp.low);
+                } catch (const MdesError &e) {
+                    return fail(ErrorCode::BadWorkload, e.what());
+                }
+            } else {
+                return fail(ErrorCode::BadRequest,
+                            "inline-source requests need a .sasm "
+                            "workload (the synthetic generator requires "
+                            "a built-in machine's class mix)");
             }
-        } else {
-            return fail(ErrorCode::BadRequest,
-                        "inline-source requests need a .sasm workload "
-                        "(the synthetic generator requires a built-in "
-                        "machine's class mix)");
         }
         workload_us = elapsedUs(t);
         timed_workload = true;

@@ -13,6 +13,7 @@
 
 #include "support/diagnostics.h"
 #include "support/json.h"
+#include "support/trace.h"
 
 namespace mdes::store {
 
@@ -245,6 +246,7 @@ ArtifactStore::pathFor(const std::string &name) const
 std::shared_ptr<const lmdes::LowMdes>
 ArtifactStore::load(uint64_t key)
 {
+    TRACE_SPAN("store/load");
     std::string path = pathFor(artifactFileName(key));
     std::ifstream in(path, std::ios::binary);
     if (!in) {
@@ -284,6 +286,7 @@ bool
 ArtifactStore::store(uint64_t key, const lmdes::LowMdes &low,
                      uint64_t config_fingerprint)
 {
+    TRACE_SPAN("store/publish");
     static std::atomic<uint64_t> tmp_counter{0};
     std::string tmp =
         pathFor(".tmp-" + hexKey(key) + "-" +

@@ -3,18 +3,26 @@
 
 /**
  * @file
- * Minimal JSON emission for machine-readable metric dumps.
+ * Minimal JSON emission and parsing for machine-readable metric dumps.
  *
  * The service layer reports its counters both as a human-oriented text
  * table and as JSON for scrapers; this writer covers exactly the subset
  * needed (objects, arrays, strings, integers, doubles, booleans) without
  * pulling in a dependency. Output is deterministic: keys appear in the
  * order they are written.
+ *
+ * The parser is the writer's counterpart: tests and tools use it to
+ * validate that emitted documents (metrics dumps, Chrome trace exports)
+ * are well-formed and to round-trip them losslessly. Numbers keep their
+ * source token, so writeJson(parseJson(s)) == s for any document this
+ * writer produced.
  */
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace mdes {
 
@@ -45,6 +53,10 @@ class JsonWriter
     JsonWriter &value(double v);
     JsonWriter &value(bool v);
 
+    /** Write @p token verbatim as a value (a pre-rendered JSON number
+     * or literal; the caller guarantees validity). */
+    JsonWriter &rawValue(std::string_view token);
+
     /** The document built so far. */
     const std::string &str() const { return out_; }
 
@@ -56,6 +68,38 @@ class JsonWriter
     std::string stack_;
     bool after_key_ = false;
 };
+
+/** A parsed JSON document node (tagged union, insertion-ordered). */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    /** Numeric value; large 64-bit integers may round (see number_text). */
+    double number = 0;
+    /** The untouched number token, kept for lossless re-emission. */
+    std::string number_text;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Members in document order (duplicate keys are preserved). */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /** First member named @p key, or nullptr (Object kind only). */
+    const JsonValue *find(std::string_view key) const;
+
+    bool isNull() const { return kind == Kind::Null; }
+};
+
+/**
+ * Parse one JSON document (trailing whitespace allowed, nothing else).
+ * Throws MdesError naming the byte offset and what was expected on
+ * malformed input. Nesting deeper than 128 levels is rejected.
+ */
+JsonValue parseJson(std::string_view text);
+
+/** Re-emit @p v through JsonWriter (the round-trip counterpart). */
+std::string writeJson(const JsonValue &v);
 
 } // namespace mdes
 

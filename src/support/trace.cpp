@@ -1,0 +1,220 @@
+#include "support/trace.h"
+
+#include <chrono>
+
+#include "support/json.h"
+
+namespace mdes::trace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Process-wide monotonic origin, pinned on first use. */
+Clock::time_point
+origin()
+{
+    static const Clock::time_point t0 = Clock::now();
+    return t0;
+}
+
+std::atomic<uint32_t> g_next_thread_id{1};
+
+thread_local uint64_t t_trace_id = 0;
+
+} // namespace
+
+void
+setEnabled(bool on)
+{
+    // Pin the clock origin before the first span so timestamps are
+    // small positive offsets.
+    origin();
+    g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+uint64_t
+nowUs()
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - origin())
+                        .count());
+}
+
+uint32_t
+threadId()
+{
+    thread_local uint32_t id =
+        g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+uint64_t
+currentTraceId()
+{
+    return t_trace_id;
+}
+
+IdScope::IdScope(uint64_t id) : prev_(t_trace_id)
+{
+    t_trace_id = id;
+}
+
+IdScope::~IdScope()
+{
+    t_trace_id = prev_;
+}
+
+Collector &
+Collector::instance()
+{
+    static Collector collector;
+    return collector;
+}
+
+Collector::ThreadBuffer &
+Collector::localBuffer()
+{
+    // One buffer per (thread, process lifetime): registered under the
+    // collector lock once, then reached lock-free through the cached
+    // pointer. Buffers are never removed, so a snapshot from another
+    // thread can never race a thread exiting.
+    thread_local ThreadBuffer *buffer = [this] {
+        auto owned = std::make_unique<ThreadBuffer>();
+        ThreadBuffer *raw = owned.get();
+        std::lock_guard<std::mutex> lock(mu_);
+        buffers_.push_back(std::move(owned));
+        return raw;
+    }();
+    return *buffer;
+}
+
+void
+Collector::record(Span &&span)
+{
+    ThreadBuffer &buffer = localBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mu);
+    if (buffer.spans.size() >=
+        thread_capacity_.load(std::memory_order_relaxed)) {
+        ++buffer.dropped;
+        return;
+    }
+    buffer.spans.push_back(std::move(span));
+}
+
+std::vector<Span>
+Collector::snapshot() const
+{
+    std::vector<Span> all;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+        all.insert(all.end(), buffer->spans.begin(),
+                   buffer->spans.end());
+    }
+    return all;
+}
+
+size_t
+Collector::spanCount() const
+{
+    size_t n = 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+        n += buffer->spans.size();
+    }
+    return n;
+}
+
+uint64_t
+Collector::droppedCount() const
+{
+    uint64_t n = 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+        n += buffer->dropped;
+    }
+    return n;
+}
+
+void
+Collector::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+        buffer->spans.clear();
+        buffer->dropped = 0;
+    }
+}
+
+void
+Collector::setThreadCapacity(size_t spans)
+{
+    thread_capacity_.store(spans, std::memory_order_relaxed);
+}
+
+std::string
+Collector::toChromeJson() const
+{
+    std::vector<Span> spans = snapshot();
+    JsonWriter w;
+    w.beginObject();
+    w.key("displayTimeUnit").value("ms");
+    w.key("otherData").beginObject();
+    w.key("tool").value("mdes::trace");
+    w.key("spans").value(uint64_t(spans.size()));
+    w.key("dropped").value(droppedCount());
+    w.endObject();
+    w.key("traceEvents").beginArray();
+    for (const Span &s : spans) {
+        w.beginObject();
+        w.key("name").value(s.name);
+        w.key("cat").value("mdes");
+        w.key("ph").value("X");
+        w.key("pid").value(uint64_t(1));
+        w.key("tid").value(uint64_t(s.tid));
+        w.key("ts").value(s.ts_us);
+        w.key("dur").value(s.dur_us);
+        w.key("args").beginObject();
+        if (s.trace_id != 0)
+            w.key("trace_id").value(s.trace_id);
+        for (const auto &[key, value] : s.counters)
+            w.key(key).value(value);
+        for (const auto &[key, value] : s.labels)
+            w.key(key).value(value);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+ScopedSpan::ScopedSpan(const char *name)
+    : name_(name), active_(enabled())
+{
+    if (active_)
+        start_us_ = nowUs();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!active_)
+        return;
+    Span span;
+    span.name = name_;
+    span.trace_id = t_trace_id;
+    span.ts_us = start_us_;
+    span.dur_us = nowUs() - start_us_;
+    span.tid = threadId();
+    span.counters = std::move(counters_);
+    span.labels = std::move(labels_);
+    Collector::instance().record(std::move(span));
+}
+
+} // namespace mdes::trace

@@ -1,0 +1,219 @@
+#ifndef MDES_SUPPORT_TRACE_H
+#define MDES_SUPPORT_TRACE_H
+
+/**
+ * @file
+ * mdes::trace - low-overhead, end-to-end tracing for the compile/store/
+ * schedule stack.
+ *
+ * The paper's argument is quantitative: every transformation is justified
+ * by how many options, usages, and checks it eliminates. This layer makes
+ * those quantities observable *per request* instead of per offline
+ * benchmark run:
+ *
+ *  - Spans: RAII-timed regions (TRACE_SPAN) with monotonic microsecond
+ *    timestamps and attached counters, recorded into per-thread buffers
+ *    (each buffer has its own mutex, taken only by its owning thread
+ *    while recording and by the exporter during a snapshot - never
+ *    contended on the hot path).
+ *  - Trace ids: a thread-local current id (IdScope) stamps every span
+ *    recorded while a request is being processed, so one slow request is
+ *    attributable across cache, store, compile, and scheduler tiers.
+ *  - Export: the Chrome trace-event JSON format ("ph":"X" complete
+ *    events), loadable in chrome://tracing or Perfetto.
+ *
+ * Overhead budget (asserted by bench_trace_overhead): with tracing
+ * compiled in but disabled, a span costs one relaxed atomic load and a
+ * branch; the schedulers' probe hooks test a plain flag or null pointer.
+ * The scheduler hot loop must stay within 1% of its untraced cost.
+ * Compiling with -DMDES_TRACE_ENABLED=0 removes the macros entirely.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mdes::trace {
+
+#ifndef MDES_TRACE_ENABLED
+#define MDES_TRACE_ENABLED 1
+#endif
+
+/** Global runtime switch. Off by default; flipped by setEnabled(). */
+extern std::atomic<bool> g_trace_enabled;
+
+/** True when span collection is active (relaxed load; hot-path safe). */
+inline bool
+enabled()
+{
+    return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/** Turn span collection on or off process-wide. */
+void setEnabled(bool on);
+
+/** Monotonic microseconds since the process's first trace query. */
+uint64_t nowUs();
+
+/** Small dense id of the calling thread (stable for its lifetime). */
+uint32_t threadId();
+
+/** The thread-local trace id stamped on recorded spans (0 = none). */
+uint64_t currentTraceId();
+
+/** RAII scope setting the calling thread's trace id (restores on exit).
+ * Spans a request's worker thread records - including compile passes run
+ * on behalf of other requests collapsed into this single-flight - carry
+ * this id. */
+class IdScope
+{
+  public:
+    explicit IdScope(uint64_t id);
+    ~IdScope();
+
+    IdScope(const IdScope &) = delete;
+    IdScope &operator=(const IdScope &) = delete;
+
+  private:
+    uint64_t prev_;
+};
+
+/** One completed timed region. */
+struct Span
+{
+    /** Static string (all call sites pass literals). */
+    const char *name = "";
+    uint64_t trace_id = 0;
+    uint64_t ts_us = 0;
+    uint64_t dur_us = 0;
+    uint32_t tid = 0;
+    /** Numeric args ("effect deltas": options removed, conflicts, ...). */
+    std::vector<std::pair<const char *, uint64_t>> counters;
+    /** String args (machine name, scheduler kind, ...). */
+    std::vector<std::pair<const char *, std::string>> labels;
+};
+
+/**
+ * The process-wide span sink. Threads register a buffer on first record;
+ * buffers outlive their threads so a snapshot never races a detach.
+ */
+class Collector
+{
+  public:
+    static Collector &instance();
+
+    /** Append one finished span to the calling thread's buffer. */
+    void record(Span &&span);
+
+    /** Copy of every buffered span, in per-thread recording order. */
+    std::vector<Span> snapshot() const;
+
+    /** Spans currently buffered across all threads. */
+    size_t spanCount() const;
+
+    /** Spans discarded because a thread buffer hit its cap. */
+    uint64_t droppedCount() const;
+
+    /** Drop all buffered spans (counters and registrations survive). */
+    void clear();
+
+    /**
+     * Render every buffered span as a Chrome trace-event JSON document
+     * ({"traceEvents":[...]}, "ph":"X" complete events, ts/dur in
+     * microseconds). Load the result in chrome://tracing or Perfetto.
+     */
+    std::string toChromeJson() const;
+
+    /** Per-thread span cap (drop-newest beyond it; default 1<<20). */
+    void setThreadCapacity(size_t spans);
+
+  private:
+    Collector() = default;
+
+    struct ThreadBuffer
+    {
+        mutable std::mutex mu;
+        std::vector<Span> spans;
+        uint64_t dropped = 0;
+    };
+
+    ThreadBuffer &localBuffer();
+
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+    std::atomic<size_t> thread_capacity_{size_t(1) << 20};
+};
+
+/**
+ * RAII span: times its scope and records into the Collector on
+ * destruction. Inert (a single relaxed load in the constructor) while
+ * tracing is disabled.
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char *name);
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    /** True when this span is live (tracing was enabled at entry). */
+    bool active() const { return active_; }
+
+    /** Attach a numeric arg (shown under "args" in the trace viewer). */
+    void
+    counter(const char *key, uint64_t value)
+    {
+        if (active_)
+            counters_.emplace_back(key, value);
+    }
+
+    /** Attach a string arg. */
+    void
+    label(const char *key, std::string value)
+    {
+        if (active_)
+            labels_.emplace_back(key, std::move(value));
+    }
+
+  private:
+    const char *name_;
+    uint64_t start_us_ = 0;
+    bool active_;
+    std::vector<std::pair<const char *, uint64_t>> counters_;
+    std::vector<std::pair<const char *, std::string>> labels_;
+};
+
+/** Drop-in stand-in when tracing is compiled out. */
+struct NullSpan
+{
+    explicit NullSpan(const char *) {}
+    static constexpr bool active() { return false; }
+    void counter(const char *, uint64_t) {}
+    void label(const char *, std::string) {}
+};
+
+#define MDES_TRACE_CAT2(a, b) a##b
+#define MDES_TRACE_CAT(a, b) MDES_TRACE_CAT2(a, b)
+
+#if MDES_TRACE_ENABLED
+/** Time the enclosing scope as an anonymous span. */
+#define TRACE_SPAN(name_literal)                                          \
+    ::mdes::trace::ScopedSpan MDES_TRACE_CAT(mdes_trace_span_,            \
+                                             __LINE__)(name_literal)
+/** Time the enclosing scope as span @p var (counters can be attached). */
+#define TRACE_SPAN_F(var, name_literal)                                   \
+    ::mdes::trace::ScopedSpan var(name_literal)
+#else
+#define TRACE_SPAN(name_literal) ((void)0)
+#define TRACE_SPAN_F(var, name_literal) ::mdes::trace::NullSpan var(name_literal)
+#endif
+
+} // namespace mdes::trace
+
+#endif // MDES_SUPPORT_TRACE_H

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * ServiceMetrics unit tests: every ErrorCode has a printable name, the
+ * JSON dump is well-formed and round-trips losslessly through the
+ * support/json parser, StageLatency's power-of-two bucketing handles
+ * both extremes of the input range, and the trace-section aggregates
+ * (transform effects, conflict heat) merge and key correctly.
+ */
+
+#include <bit>
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "exp/runner.h"
+#include "machines/machines.h"
+#include "service/metrics.h"
+#include "support/json.h"
+
+namespace mdes {
+namespace {
+
+TEST(ErrorCode, EveryCodeHasADistinctName)
+{
+    std::set<std::string> names;
+    for (size_t i = 0; i < size_t(service::ErrorCode::kNumCodes); ++i) {
+        const char *name =
+            service::errorCodeName(service::ErrorCode(i));
+        ASSERT_NE(name, nullptr) << "code " << i;
+        EXPECT_STRNE(name, "") << "code " << i;
+        EXPECT_STRNE(name, "?") << "code " << i;
+        EXPECT_TRUE(names.insert(name).second)
+            << "duplicate name '" << name << "' for code " << i;
+    }
+}
+
+TEST(StageLatency, BucketEdgesCoverTheFullRange)
+{
+    service::StageLatency zero;
+    zero.record(0);
+    EXPECT_EQ(zero.count, 1u);
+    EXPECT_EQ(zero.total_us, 0u);
+    EXPECT_EQ(zero.max_us, 0u);
+    // bit_width(0) == 0: the zero-microsecond bucket.
+    EXPECT_EQ(zero.log2_us.countAt(0), 1u);
+    EXPECT_EQ(zero.log2_us.maxValue(), 0u);
+    EXPECT_EQ(zero.log2_us.total(), zero.count);
+
+    service::StageLatency huge;
+    huge.record(UINT64_MAX);
+    EXPECT_EQ(huge.count, 1u);
+    EXPECT_EQ(huge.total_us, UINT64_MAX);
+    EXPECT_EQ(huge.max_us, UINT64_MAX);
+    // bit_width(UINT64_MAX) == 64: the top bucket, no overflow.
+    ASSERT_EQ(std::bit_width(UINT64_MAX), 64);
+    EXPECT_EQ(huge.log2_us.countAt(64), 1u);
+    EXPECT_EQ(huge.log2_us.maxValue(), 64u);
+    EXPECT_EQ(huge.log2_us.total(), huge.count);
+}
+
+TEST(StageLatency, MergeOfTheExtremesIsLossless)
+{
+    service::StageLatency a;
+    a.record(0);
+    service::StageLatency b;
+    b.record(UINT64_MAX);
+
+    a.merge(b);
+    EXPECT_EQ(a.count, 2u);
+    EXPECT_EQ(a.total_us, UINT64_MAX);
+    EXPECT_EQ(a.max_us, UINT64_MAX);
+    EXPECT_EQ(a.log2_us.total(), 2u);
+    EXPECT_EQ(a.log2_us.countAt(0), 1u);
+    EXPECT_EQ(a.log2_us.countAt(64), 1u);
+    for (uint64_t bucket = 1; bucket < 64; ++bucket)
+        EXPECT_EQ(a.log2_us.countAt(bucket), 0u) << "bucket " << bucket;
+
+    // Merging an empty series changes nothing.
+    a.merge(service::StageLatency{});
+    EXPECT_EQ(a.count, 2u);
+    EXPECT_EQ(a.total_us, UINT64_MAX);
+}
+
+/** A metrics object with every section populated, including the ones
+ * gated on disk/trace state, so toJson() exercises all branches. */
+service::ServiceMetrics
+populatedMetrics()
+{
+    service::ServiceMetrics m;
+    m.recordOutcome(service::ErrorCode::Ok);
+    m.recordOutcome(service::ErrorCode::Ok);
+    m.recordOutcome(service::ErrorCode::CompileFailed);
+    m.compile.record(1500);
+    m.workload.record(40);
+    m.schedule.record(900);
+    m.total.record(2500);
+    m.ops_scheduled = 600;
+    m.attempts = 750;
+    m.resource_checks = 9000;
+    m.cache.hits = 2;
+    m.cache.misses = 1;
+    m.cache.compiles = 1;
+    m.cache.size = 1;
+    m.cache.capacity = 8;
+    m.cache.disk_enabled = true;
+    m.cache.disk_hits = 1;
+    m.cache.disk_misses = 1;
+    m.cache.disk_stores = 1;
+    m.transform_effects.merged_options = 12;
+    m.transform_effects.usages_hoisted = 3;
+    m.attempts_per_op.add(1);
+    m.attempts_per_op.add(1);
+    m.attempts_per_op.add(4);
+    m.resource_conflicts["M.alu[0]"] = 5;
+    m.resource_conflicts["M.bus"] = 11;
+    return m;
+}
+
+TEST(ServiceMetrics, JsonParsesAndRoundTripsLosslessly)
+{
+    const std::string doc = populatedMetrics().toJson();
+    JsonValue v = parseJson(doc);
+    ASSERT_EQ(v.kind, JsonValue::Kind::Object);
+    EXPECT_EQ(writeJson(v), doc);
+
+    EXPECT_EQ(v.find("requests")->number, 3.0);
+    EXPECT_EQ(v.find("ok")->number, 2.0);
+    EXPECT_EQ(v.find("errors")->find("compile-failed")->number, 1.0);
+    EXPECT_EQ(v.find("cache")->find("disk")->find("hits")->number, 1.0);
+    EXPECT_EQ(v.find("latency")->find("compile")->find("max_us")->number,
+              1500.0);
+
+    const JsonValue *tr = v.find("trace");
+    ASSERT_NE(tr, nullptr);
+    EXPECT_EQ(
+        tr->find("transform_effects")->find("merged_options")->number,
+        12.0);
+    EXPECT_EQ(tr->find("attempts_per_op")->find("count")->number, 3.0);
+    EXPECT_EQ(tr->find("attempts_per_op")->find("max")->number, 4.0);
+    // Conflicts are ranked most-contended first.
+    const JsonValue *conflicts = tr->find("resource_conflicts");
+    ASSERT_NE(conflicts, nullptr);
+    ASSERT_EQ(conflicts->object.size(), 2u);
+    EXPECT_EQ(conflicts->object[0].first, "M.bus");
+    EXPECT_EQ(conflicts->object[0].second.number, 11.0);
+    EXPECT_EQ(conflicts->object[1].first, "M.alu[0]");
+}
+
+TEST(ServiceMetrics, MergeSumsEverySection)
+{
+    service::ServiceMetrics a = populatedMetrics();
+    service::ServiceMetrics b = populatedMetrics();
+    b.resource_conflicts["M.decode"] = 1;
+    a.merge(b);
+
+    EXPECT_EQ(a.requests, 6u);
+    EXPECT_EQ(a.ok, 4u);
+    EXPECT_EQ(a.errors[size_t(service::ErrorCode::CompileFailed)], 2u);
+    EXPECT_EQ(a.compile.count, 2u);
+    EXPECT_EQ(a.transform_effects.merged_options, 24u);
+    EXPECT_EQ(a.attempts_per_op.total(), 6u);
+    EXPECT_EQ(a.resource_conflicts["M.bus"], 22u);
+    EXPECT_EQ(a.resource_conflicts["M.decode"], 1u);
+}
+
+TEST(ServiceMetrics, RecordConflictsKeysByMachineAndResource)
+{
+    const machines::MachineInfo *machine = machines::all().front();
+    exp::RunConfig config =
+        exp::optimizedConfig(*machine, exp::Rep::AndOrTree);
+    config.schedule = false;
+    exp::RunResult result = exp::run(config);
+    const lmdes::LowMdes &low = result.low;
+    ASSERT_GE(low.numResources(), 2u);
+
+    std::vector<uint64_t> per_resource(low.numResources(), 0);
+    per_resource[0] = 4;
+    per_resource[1] = 9;
+
+    service::ServiceMetrics m;
+    m.recordConflicts(low, per_resource);
+    ASSERT_EQ(m.resource_conflicts.size(), 2u);
+    EXPECT_EQ(m.resource_conflicts[low.machineName() + "." +
+                                   low.resourceName(0)],
+              4u);
+    EXPECT_EQ(m.resource_conflicts[low.machineName() + "." +
+                                   low.resourceName(1)],
+              9u);
+    // Zero entries contribute no keys; a second fold accumulates.
+    m.recordConflicts(low, per_resource);
+    EXPECT_EQ(m.resource_conflicts.size(), 2u);
+    EXPECT_EQ(m.resource_conflicts[low.machineName() + "." +
+                                   low.resourceName(1)],
+              18u);
+}
+
+} // namespace
+} // namespace mdes

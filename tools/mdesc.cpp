@@ -27,6 +27,11 @@
  * turns `compile` and `batch` into users of the content-addressed disk
  * cache (a second run against the same directory compiles nothing),
  * and `mdesc store stat|prune|warm <dir>` administers one.
+ *
+ * `--trace <file.json>` on `compile` and `batch` records every
+ * mdes::trace span the command produced (compile passes, cache/store
+ * tiers, per-block scheduling) as a Chrome trace-event file - open it
+ * in chrome://tracing or Perfetto.
  */
 
 #include <algorithm>
@@ -51,7 +56,9 @@
 #include "sched/verify.h"
 #include "service/service.h"
 #include "store/store.h"
+#include "support/json.h"
 #include "support/text_table.h"
+#include "support/trace.h"
 #include "workload/sasm.h"
 
 using namespace mdes;
@@ -66,7 +73,7 @@ usage()
         "usage:\n"
         "  mdesc compile <file.hmdes> [-o <file.lmdes>] [--or-form]\n"
         "                [--no-optimize] [--no-bit-vector] [--backward]\n"
-        "                [--store <dir>]\n"
+        "                [--store <dir>] [--trace <file.json>]\n"
         "  mdesc info <file.hmdes | file.lmdes>\n"
         "  mdesc dump <file.hmdes> [operation]\n"
         "  mdesc stats <file.hmdes>\n"
@@ -74,7 +81,8 @@ usage()
         "  mdesc schedule <machine-name | file.hmdes> <file.sasm>\n"
         "  mdesc batch <file.req> [--workers N] [--json]\n"
         "              [--store <dir>] [--store-max-bytes N]\n"
-        "  mdesc store stat <dir>\n"
+        "              [--trace <file.json>]\n"
+        "  mdesc store stat <dir> [--json]\n"
         "  mdesc store prune <dir> --max-bytes <N>\n"
         "  mdesc store warm <dir> [machine...]\n"
         "  mdesc export <PA7100 | Pentium | SuperSPARC | K5>\n");
@@ -98,6 +106,44 @@ looksLikeLmdes(const std::string &data)
     return data.size() >= 4 && data.compare(0, 4, "LMDS") == 0;
 }
 
+/**
+ * --trace support: enables span collection for the command's lifetime
+ * and writes the Chrome trace-event JSON on scope exit, so every return
+ * path (including the store-hit early exit) produces a trace file.
+ */
+class TraceFile
+{
+  public:
+    explicit TraceFile(std::string path) : path_(std::move(path))
+    {
+        if (!path_.empty())
+            trace::setEnabled(true);
+    }
+
+    ~TraceFile()
+    {
+        if (path_.empty())
+            return;
+        trace::setEnabled(false);
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "mdesc: cannot write trace file '%s'\n",
+                         path_.c_str());
+            return;
+        }
+        out << trace::Collector::instance().toChromeJson() << "\n";
+        std::fprintf(stderr, "wrote trace %s (%zu spans)\n",
+                     path_.c_str(),
+                     trace::Collector::instance().spanCount());
+    }
+
+    TraceFile(const TraceFile &) = delete;
+    TraceFile &operator=(const TraceFile &) = delete;
+
+  private:
+    std::string path_;
+};
+
 Mdes
 compileFile(const std::string &path)
 {
@@ -116,7 +162,7 @@ compileFile(const std::string &path)
 int
 cmdCompile(const std::vector<std::string> &args)
 {
-    std::string input, output, store_dir;
+    std::string input, output, store_dir, trace_path;
     bool or_form = false, optimize = true, bit_vector = true;
     SchedDirection direction = SchedDirection::Forward;
     for (size_t i = 0; i < args.size(); ++i) {
@@ -124,6 +170,8 @@ cmdCompile(const std::vector<std::string> &args)
             output = args[++i];
         } else if (args[i] == "--store" && i + 1 < args.size()) {
             store_dir = args[++i];
+        } else if (args[i] == "--trace" && i + 1 < args.size()) {
+            trace_path = args[++i];
         } else if (args[i] == "--or-form") {
             or_form = true;
         } else if (args[i] == "--no-optimize") {
@@ -144,6 +192,7 @@ cmdCompile(const std::vector<std::string> &args)
     }
     if (input.empty())
         return usage();
+    TraceFile trace_file(trace_path);
 
     PipelineConfig config =
         optimize ? PipelineConfig::all() : PipelineConfig::none();
@@ -508,12 +557,14 @@ parseRequestLine(const std::string &line, int lineno)
 int
 cmdBatch(const std::vector<std::string> &args)
 {
-    std::string input, store_dir;
+    std::string input, store_dir, trace_path;
     unsigned workers = 0;
     uint64_t store_max_bytes = 0;
     bool json = false;
     for (size_t i = 0; i < args.size(); ++i) {
-        if (args[i] == "--workers" && i + 1 < args.size()) {
+        if (args[i] == "--trace" && i + 1 < args.size()) {
+            trace_path = args[++i];
+        } else if (args[i] == "--workers" && i + 1 < args.size()) {
             const std::string &w = args[++i];
             auto [end, ec] =
                 std::from_chars(w.data(), w.data() + w.size(), workers);
@@ -548,6 +599,7 @@ cmdBatch(const std::vector<std::string> &args)
     }
     if (input.empty())
         return usage();
+    TraceFile trace_file(trace_path);
 
     // Read N requests...
     std::istringstream lines(readFile(input));
@@ -623,12 +675,41 @@ formatUnixTime(int64_t t)
 }
 
 int
-cmdStoreStat(const std::string &dir)
+cmdStoreStat(const std::string &dir, bool json)
 {
     mdes::store::ArtifactStore st({.dir = dir});
     auto infos = st.list();
     std::sort(infos.begin(), infos.end(),
               [](const auto &a, const auto &b) { return a.key < b.key; });
+
+    if (json) {
+        uint64_t total_bytes = 0, quarantined = 0;
+        JsonWriter w;
+        w.beginObject();
+        w.key("dir").value(dir);
+        w.key("artifacts").beginArray();
+        for (const auto &info : infos) {
+            total_bytes += info.bytes;
+            quarantined += info.quarantined;
+            w.beginObject();
+            w.key("key").value(
+                mdes::store::artifactFileName(info.key).substr(0, 16));
+            w.key("machine").value(info.machine);
+            w.key("bytes").value(info.bytes);
+            w.key("created_unix").value(info.created_unix);
+            w.key("last_access_unix").value(info.last_access_unix);
+            w.key("creator").value(info.creator);
+            w.key("quarantined").value(bool(info.quarantined));
+            w.endObject();
+        }
+        w.endArray();
+        w.key("count").value(uint64_t(infos.size()));
+        w.key("total_bytes").value(total_bytes);
+        w.key("quarantined").value(quarantined);
+        w.endObject();
+        std::printf("%s\n", w.str().c_str());
+        return 0;
+    }
 
     TextTable table;
     table.setHeader({"Key", "Machine", "Bytes", "Created", "Last access",
@@ -758,8 +839,16 @@ cmdStore(const std::vector<std::string> &args)
     const std::string &verb = args[0];
     const std::string &dir = args[1];
     std::vector<std::string> rest(args.begin() + 2, args.end());
-    if (verb == "stat" && rest.empty())
-        return cmdStoreStat(dir);
+    if (verb == "stat") {
+        bool json = false;
+        for (const auto &arg : rest) {
+            if (arg == "--json")
+                json = true;
+            else
+                return usage();
+        }
+        return cmdStoreStat(dir, json);
+    }
     if (verb == "prune")
         return cmdStorePrune(dir, rest);
     if (verb == "warm")
