@@ -1,5 +1,7 @@
 #include "core/minimize.h"
 #include "core/transforms.h"
+#include "support/diagnostics.h"
+#include "support/faultsim.h"
 #include "support/trace.h"
 
 /**
@@ -31,10 +33,22 @@ PipelineConfig::all()
 }
 
 PipelineStats
-runPipeline(Mdes &m, const PipelineConfig &config)
+runPipeline(Mdes &m, const PipelineConfig &config,
+            const std::function<bool()> &cancel)
 {
+    // A pass leaves the description valid, so between passes is the safe
+    // place both to abandon an expired request and to let faultsim model
+    // a pass blowing up (the degradation path in compileSourceToLow).
+    auto checkpoint = [&] {
+        if (cancel && cancel())
+            throw CancelledError("pipeline cancelled between passes");
+        faultsim::maybeThrow(faultsim::Site::CompilePassThrow,
+                             "transform pass failed");
+    };
+
     PipelineStats stats;
     if (config.cse) {
+        checkpoint();
         TRACE_SPAN_F(span, "pass/cse");
         stats.cse = eliminateRedundantInfo(m);
         span.counter("merged_options", stats.cse.merged_options);
@@ -43,15 +57,18 @@ runPipeline(Mdes &m, const PipelineConfig &config)
         span.counter("removed_dead", stats.cse.removed_dead);
     }
     if (config.redundant_options) {
+        checkpoint();
         TRACE_SPAN_F(span, "pass/redundant-options");
         stats.redundant_options_removed = removeRedundantOptions(m);
         span.counter("options_removed", stats.redundant_options_removed);
     }
     if (config.minimize) {
+        checkpoint();
         TRACE_SPAN_F(span, "pass/minimize");
         minimizeUsages(m);
     }
     if (config.time_shift) {
+        checkpoint();
         TRACE_SPAN_F(span, "pass/time-shift");
         const std::vector<int32_t> shifts =
             shiftUsageTimes(m, config.direction);
@@ -62,6 +79,7 @@ runPipeline(Mdes &m, const PipelineConfig &config)
         span.counter("resources_shifted", stats.resources_shifted);
     }
     if (config.hoist) {
+        checkpoint();
         TRACE_SPAN_F(span, "pass/hoist");
         stats.usages_hoisted = hoistCommonUsages(m);
         span.counter("usages_hoisted", stats.usages_hoisted);
@@ -76,10 +94,12 @@ runPipeline(Mdes &m, const PipelineConfig &config)
         }
     }
     if (config.sort_usages) {
+        checkpoint();
         TRACE_SPAN_F(span, "pass/sort-usages");
         sortUsageChecks(m, config.direction);
     }
     if (config.sort_or_trees) {
+        checkpoint();
         TRACE_SPAN_F(span, "pass/sort-or-trees");
         stats.trees_reordered = sortOrSubtrees(m);
         span.counter("trees_reordered", stats.trees_reordered);

@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/mdes.h"
@@ -140,8 +141,16 @@ struct PipelineStats
     size_t resources_shifted = 0;
 };
 
-/** Run the selected transformations on @p m in the canonical order. */
-PipelineStats runPipeline(Mdes &m, const PipelineConfig &config);
+/**
+ * Run the selected transformations on @p m in the canonical order.
+ *
+ * @p cancel, when provided, is polled between passes; if it returns true
+ * the pipeline throws CancelledError so a caller whose deadline expired
+ * releases its worker without finishing the compile. Faultsim's
+ * compile/pass-throw site is probed at the same checkpoints.
+ */
+PipelineStats runPipeline(Mdes &m, const PipelineConfig &config,
+                          const std::function<bool()> &cancel = {});
 
 } // namespace mdes
 

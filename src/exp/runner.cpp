@@ -1,7 +1,11 @@
 #include "exp/runner.h"
 
+#include <new>
+
 #include "core/expand.h"
 #include "hmdes/compile.h"
+#include "support/diagnostics.h"
+#include "support/faultsim.h"
 #include "support/trace.h"
 #include "workload/workload.h"
 
@@ -32,7 +36,8 @@ buildModel(const RunConfig &config)
 lmdes::LowMdes
 compileSourceToLow(std::string_view source,
                    const PipelineConfig &transforms, bool bit_vector,
-                   Rep rep, PipelineStats *pipeline_stats)
+                   Rep rep, PipelineStats *pipeline_stats,
+                   bool *degraded, const std::function<bool()> &cancel)
 {
     Mdes model;
     {
@@ -42,10 +47,32 @@ compileSourceToLow(std::string_view source,
     }
     if (rep == Rep::OrTree)
         model = expandToOrForm(model);
-    PipelineStats stats = runPipeline(model, transforms);
+    PipelineStats stats;
+    try {
+        stats = runPipeline(model, transforms, cancel);
+    } catch (const CancelledError &) {
+        throw;
+    } catch (const std::exception &e) {
+        if (!degraded)
+            throw;
+        // Graceful degradation: a transform pass is an optimization, not
+        // a requirement - every transform preserves scheduling semantics
+        // (the Section 4 invariant), so the untransformed description is
+        // a correct, merely slower, substitute. A pass may have left the
+        // model half-rewritten, so recompile the source from scratch.
+        TRACE_SPAN_F(span, "compile/degraded");
+        span.label("cause", e.what());
+        model = hmdes::compileOrThrow(source);
+        if (rep == Rep::OrTree)
+            model = expandToOrForm(model);
+        stats = PipelineStats{};
+        *degraded = true;
+    }
     if (pipeline_stats)
         *pipeline_stats = stats;
     TRACE_SPAN_F(span, "compile/lower");
+    if (faultsim::probe(faultsim::Site::CompileAllocFail).fired)
+        throw std::bad_alloc();
     lmdes::LowerOptions lopts;
     lopts.pack_bit_vector = bit_vector;
     lmdes::LowMdes low = lmdes::LowMdes::lower(model, lopts);

@@ -18,6 +18,7 @@
  * configurations are purely representation efficiency.
  */
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -80,11 +81,20 @@ Mdes buildModel(const RunConfig &config);
  *
  * @param pipeline_stats when non-null, receives the transform pipeline's
  *        effect counters (the service accumulates them into its metrics).
+ * @param degraded when non-null, enables graceful degradation: if a
+ *        transform pass throws, the source is recompiled without any
+ *        transforms and the unoptimized lowering is returned with
+ *        *degraded set. (When null a pass failure propagates - the
+ *        original strict behavior.) CancelledError always propagates.
+ * @param cancel polled between transform passes; returning true aborts
+ *        the compile with CancelledError.
  */
 lmdes::LowMdes compileSourceToLow(std::string_view source,
                                   const PipelineConfig &transforms,
                                   bool bit_vector, Rep rep = Rep::AndOrTree,
-                                  PipelineStats *pipeline_stats = nullptr);
+                                  PipelineStats *pipeline_stats = nullptr,
+                                  bool *degraded = nullptr,
+                                  const std::function<bool()> &cancel = {});
 
 /** Run the full experiment. */
 RunResult run(const RunConfig &config);

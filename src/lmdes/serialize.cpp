@@ -163,7 +163,8 @@ class ByteReader
                             ": only " + std::to_string(remaining()) +
                             " payload bytes remain");
         std::vector<T> v(n);
-        std::memcpy(v.data(), data_ + off_, size_t(n) * sizeof(T));
+        if (n)
+            std::memcpy(v.data(), data_ + off_, size_t(n) * sizeof(T));
         off_ += size_t(n) * sizeof(T);
         return v;
     }

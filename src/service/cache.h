@@ -19,7 +19,9 @@
  *    threads missing on the same key trigger exactly one compilation and
  *    N-1 waiters. A failed compilation is not cached (the exception
  *    propagates to every waiter of that round, then the entry is
- *    dropped so a later request may retry).
+ *    dropped so a later request may retry). A *cancelled* compilation
+ *    (the owner's deadline expired) fails only the owner: waiters
+ *    re-run the lookup and one of them becomes the new owner.
  *  - Optional disk tier: with an attached store::ArtifactStore the
  *    lookup path becomes memory → disk → compile. The single-flight
  *    owner of a memory miss probes the disk store before compiling and
@@ -27,6 +29,15 @@
  *    or one compilation per process lifetime — and at most one
  *    compilation across process restarts. A corrupt or stale on-disk
  *    artifact is a disk miss (the store quarantines it), never an error.
+ *  - Per-key circuit breaker: a key whose compile fails
+ *    `BreakerPolicy::threshold` times in a row is quarantined — further
+ *    misses fail fast with CircuitOpenError instead of burning a worker
+ *    on a poisoned description — until a cooldown expires and one
+ *    half-open trial is let through. Success closes the breaker.
+ *  - Degraded artifacts (the compile fell back to the unoptimized
+ *    lowering after a transform-pass fault) are served to the current
+ *    round's waiters but never retained in memory or published to disk,
+ *    so the next request retries the full pipeline.
  *
  * Thread-safety contract (see DESIGN.md §7): LowMdes is immutable after
  * lower()/load(), which is what makes sharing one artifact across
@@ -47,11 +58,39 @@
 #include "exp/runner.h"
 #include "lmdes/low_mdes.h"
 #include "store/store.h"
+#include "support/diagnostics.h"
 
 namespace mdes::service {
 
 /** A shared, immutable compiled description. */
 using CompiledMdes = std::shared_ptr<const lmdes::LowMdes>;
+
+/** What a compile callback produces: the artifact plus whether the
+ * graceful-degradation path was taken (unoptimized fallback). */
+struct CompileResult
+{
+    CompiledMdes artifact;
+    bool degraded = false;
+};
+
+/** Thrown by getOrCompile when a key's circuit breaker is open: the
+ * description failed persistently and is quarantined until cooldown. */
+class CircuitOpenError : public MdesError
+{
+  public:
+    explicit CircuitOpenError(const std::string &what) : MdesError(what) {}
+};
+
+/** Per-key circuit-breaker tuning. */
+struct BreakerPolicy
+{
+    /** Consecutive compile failures that open the breaker; 0 disables
+     * breaking entirely. */
+    uint32_t threshold = 0;
+    /** How long an open breaker fails fast before admitting one
+     * half-open trial compile. */
+    uint32_t cooldown_ms = 10000;
+};
 
 /** Bounded LRU cache of compiled descriptions keyed by content hash. */
 class DescriptionCache
@@ -84,22 +123,41 @@ class DescriptionCache
     /** The attached disk tier (null when memory-only). */
     std::shared_ptr<store::ArtifactStore> diskStore() const;
 
+    /** Set the per-key circuit-breaker policy (threshold 0 = off, the
+     * default). Call before the first lookup. */
+    void setBreakerPolicy(BreakerPolicy policy);
+
+    /** Close every breaker and forget failure history (for tests and
+     * operator intervention). */
+    void resetBreakers();
+
+    /** How one getOrCompile call was served. */
+    struct Lookup
+    {
+        /** An existing entry was used (an entry still being compiled by
+         * another thread counts: no new compilation was started). */
+        bool hit = false;
+        /** The artifact came from the disk tier. */
+        bool disk = false;
+        /** The artifact is the unoptimized degraded fallback. */
+        bool degraded = false;
+    };
+
     /**
      * Return the cached artifact for @p key, compiling it with
      * @p compile on a miss. Concurrent misses on one key run @p compile
-     * once; everyone else blocks on the same future. @p hit, when
-     * non-null, reports whether an existing entry was used (an entry
-     * still being compiled by another thread counts as a hit: no new
-     * compilation was started). @p disk, when non-null, reports that
-     * this call's artifact was loaded from the disk tier.
+     * once; everyone else blocks on the same future.
      * @p config_fingerprint is recorded in the published artifact's
-     * header (see store::configFingerprint). Exceptions from @p compile
-     * propagate.
+     * header (see store::configFingerprint). @p cancel, when provided,
+     * is consulted at blocking points (disk retry backoff; deciding
+     * whether an owner's CancelledError is also ours). Exceptions from
+     * @p compile propagate; CircuitOpenError is thrown on a miss whose
+     * breaker is open.
      */
-    CompiledMdes getOrCompile(Key key,
-                              const std::function<CompiledMdes()> &compile,
-                              bool *hit = nullptr, bool *disk = nullptr,
-                              uint64_t config_fingerprint = 0);
+    CompiledMdes
+    getOrCompile(Key key, const std::function<CompileResult()> &compile,
+                 Lookup *lookup = nullptr, uint64_t config_fingerprint = 0,
+                 const std::function<bool()> &cancel = {});
 
     /** Monotonic counters plus the current size. */
     struct Stats
@@ -128,6 +186,15 @@ class DescriptionCache
         uint64_t disk_corrupt = 0;
         /** Artifacts evicted by the store's size-budget sweep. */
         uint64_t disk_evictions = 0;
+        /** Transient-I/O backoff retries taken by the store. */
+        uint64_t disk_retries = 0;
+
+        /** Breakers opened (threshold reached). */
+        uint64_t breaker_trips = 0;
+        /** Lookups failed fast because a breaker was open. */
+        uint64_t breaker_fast_fails = 0;
+        /** Compiles that returned the degraded fallback. */
+        uint64_t degraded_compiles = 0;
 
         double
         hitRate() const
@@ -146,8 +213,8 @@ class DescriptionCache
 
     Stats stats() const;
 
-    /** Drop every in-memory entry (counters and the disk tier are
-     * preserved). */
+    /** Drop every in-memory entry (counters, breakers, and the disk
+     * tier are preserved). */
     void clear();
 
   private:
@@ -157,18 +224,33 @@ class DescriptionCache
         /** Distinguishes re-insertions of an evicted key so a failing
          * compile only removes its own entry. */
         uint64_t generation;
-        std::shared_future<CompiledMdes> artifact;
+        std::shared_future<CompileResult> artifact;
+    };
+
+    /** Consecutive-failure tracking for one key. */
+    struct BreakerState
+    {
+        uint32_t consecutive_failures = 0;
+        bool open = false;
+        /** steady_clock time (us since epoch) when an open breaker
+         * admits its half-open trial. */
+        int64_t open_until_us = 0;
     };
 
     /** Front = most recently used. */
     using LruList = std::list<Entry>;
 
     void touch(LruList::iterator it);
+    /** Erase the (key, generation) entry if it is still current. */
+    void eraseGeneration(Key key, uint64_t generation);
+    void recordBreakerOutcome(Key key, bool success);
 
     mutable std::mutex mu_;
     size_t capacity_;
     LruList lru_;
     std::unordered_map<Key, LruList::iterator> index_;
+    std::unordered_map<Key, BreakerState> breakers_;
+    BreakerPolicy breaker_policy_;
     std::shared_ptr<store::ArtifactStore> store_;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
@@ -177,6 +259,9 @@ class DescriptionCache
     uint64_t disk_hits_ = 0;
     uint64_t disk_misses_ = 0;
     uint64_t disk_stores_ = 0;
+    uint64_t breaker_trips_ = 0;
+    uint64_t breaker_fast_fails_ = 0;
+    uint64_t degraded_compiles_ = 0;
     uint64_t next_generation_ = 0;
 };
 

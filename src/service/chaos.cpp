@@ -1,0 +1,303 @@
+#include "service/chaos.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "service/service.h"
+#include "support/faultsim.h"
+#include "support/json.h"
+
+namespace mdes::service::chaos {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/**
+ * The request mix: one request per transform-bit pattern. Distinct
+ * patterns mean distinct artifact keys (no cross-request single-flight
+ * coupling, so per-request fault tokens fully determine each request's
+ * fate), while the Section 4 invariant demands identical schedules
+ * from every pattern.
+ */
+std::vector<ScheduleRequest>
+requestMix(const ChaosConfig &config)
+{
+    std::vector<ScheduleRequest> mix;
+    mix.reserve(config.requests);
+    for (unsigned i = 0; i < config.requests; ++i) {
+        ScheduleRequest req;
+        req.machine = config.machine;
+        req.synth_ops = config.synth_ops;
+        PipelineConfig t;
+        t.cse = i & 1;
+        t.redundant_options = i & 2;
+        t.time_shift = i & 4;
+        t.sort_usages = i & 8;
+        t.hoist = i & 16;
+        t.sort_or_trees = i & 32;
+        req.transforms = t;
+        req.bit_vector = true;
+        mix.push_back(std::move(req));
+    }
+    return mix;
+}
+
+struct RunResult
+{
+    std::vector<Outcome> outcomes;
+    uint64_t compiles = 0;
+    uint64_t degraded = 0;
+    uint64_t failed = 0;
+};
+
+/** Run the mix once against a fresh service backed by @p store_dir. */
+RunResult
+runOnce(const ChaosConfig &config, const std::string &store_dir)
+{
+    ServiceConfig sc;
+    sc.num_workers = config.workers;
+    sc.cache_capacity = config.requests + 4;
+    sc.store_dir = store_dir;
+    RunResult result;
+    {
+        MdesService service(sc);
+        auto responses = service.runBatch(requestMix(config));
+        for (const auto &resp : responses) {
+            Outcome o;
+            o.error_code = int(resp.error.code);
+            o.degraded = resp.degraded;
+            o.fingerprint = resp.ok() ? scheduleFingerprint(resp) : 0;
+            result.outcomes.push_back(o);
+            if (!resp.ok())
+                ++result.failed;
+            if (resp.degraded)
+                ++result.degraded;
+        }
+        result.compiles = service.cache().stats().compiles;
+    }
+    return result;
+}
+
+std::string
+describeOutcome(const Outcome &o)
+{
+    std::ostringstream out;
+    out << "code=" << o.error_code << " degraded=" << o.degraded
+        << " fingerprint=" << o.fingerprint;
+    return out.str();
+}
+
+} // namespace
+
+bool
+SweepReport::ok() const
+{
+    if (!recovery_violations.empty())
+        return false;
+    for (const auto &s : seeds)
+        if (!s.ok())
+            return false;
+    return true;
+}
+
+SweepReport
+runSweep(const ChaosConfig &config)
+{
+    SweepReport report;
+    report.config = config;
+    fs::create_directories(config.store_base_dir);
+
+    // Fault-free baseline: the one fingerprint every Ok response of
+    // every seed must reproduce.
+    faultsim::uninstall();
+    {
+        RunResult baseline = runOnce(
+            config, (fs::path(config.store_base_dir) / "baseline").string());
+        report.baseline_fingerprint =
+            baseline.outcomes.empty() ? 0
+                                      : baseline.outcomes[0].fingerprint;
+        for (size_t i = 0; i < baseline.outcomes.size(); ++i) {
+            if (baseline.outcomes[i].error_code != 0 ||
+                baseline.outcomes[i].fingerprint !=
+                    report.baseline_fingerprint) {
+                report.recovery_violations.push_back(
+                    "baseline request " + std::to_string(i) +
+                    " unexpected: " + describeOutcome(baseline.outcomes[i]));
+            }
+        }
+    }
+
+    std::string last_store;
+    for (unsigned s = 0; s < config.num_seeds; ++s) {
+        uint64_t seed = config.first_seed + s;
+        SeedResult sr;
+        sr.seed = seed;
+        faultsim::Plan plan = faultsim::Plan::fuzz(seed);
+        sr.plan = plan.toString();
+
+        std::string dir_a =
+            (fs::path(config.store_base_dir) /
+             ("seed" + std::to_string(seed) + "-a"))
+                .string();
+        std::string dir_b =
+            (fs::path(config.store_base_dir) /
+             ("seed" + std::to_string(seed) + "-b"))
+                .string();
+
+        faultsim::install(plan);
+        RunResult a = runOnce(config, dir_a);
+        auto counters = faultsim::counters();
+        for (const auto &c : counters)
+            sr.faults_fired += c.fires;
+        faultsim::install(plan); // reset per-token hit state for replay
+        RunResult b = runOnce(config, dir_b);
+        faultsim::uninstall();
+
+        sr.outcomes = a.outcomes;
+        sr.degraded_responses = a.degraded;
+        sr.failed_requests = a.failed;
+
+        // Invariant 2 + 3: Ok responses carry the baseline fingerprint;
+        // failures are only the injectable kinds.
+        for (size_t i = 0; i < a.outcomes.size(); ++i) {
+            const Outcome &o = a.outcomes[i];
+            if (o.error_code == int(ErrorCode::Ok)) {
+                if (o.fingerprint != report.baseline_fingerprint)
+                    sr.violations.push_back(
+                        "request " + std::to_string(i) +
+                        " served a wrong schedule: " + describeOutcome(o));
+            } else if (o.error_code != int(ErrorCode::CompileFailed)) {
+                sr.violations.push_back(
+                    "request " + std::to_string(i) +
+                    " failed with an unexplainable code: " +
+                    describeOutcome(o));
+            }
+        }
+        // Invariant 4: bit-identical replay.
+        if (a.outcomes.size() != b.outcomes.size()) {
+            sr.violations.push_back("replay returned a different "
+                                    "response count");
+        } else {
+            for (size_t i = 0; i < a.outcomes.size(); ++i) {
+                if (!(a.outcomes[i] == b.outcomes[i]))
+                    sr.violations.push_back(
+                        "request " + std::to_string(i) +
+                        " replayed differently: run A " +
+                        describeOutcome(a.outcomes[i]) + " vs run B " +
+                        describeOutcome(b.outcomes[i]));
+            }
+        }
+
+        last_store = dir_a;
+        report.seeds.push_back(std::move(sr));
+        std::error_code ec;
+        fs::remove_all(dir_b, ec);
+        if (s + 1 < config.num_seeds)
+            fs::remove_all(dir_a, ec);
+    }
+
+    // Invariant 5: recovery. Faults are off; the store that lived
+    // through the last seed's faults must serve an all-Ok mix, heal
+    // completely (second pass compiles nothing), and hold no
+    // quarantined artifacts.
+    if (!last_store.empty()) {
+        RunResult heal = runOnce(config, last_store);
+        for (size_t i = 0; i < heal.outcomes.size(); ++i) {
+            const Outcome &o = heal.outcomes[i];
+            if (o.error_code != 0 ||
+                o.fingerprint != report.baseline_fingerprint)
+                report.recovery_violations.push_back(
+                    "recovery request " + std::to_string(i) +
+                    " unexpected: " + describeOutcome(o));
+            if (o.degraded)
+                report.recovery_violations.push_back(
+                    "recovery request " + std::to_string(i) +
+                    " still degraded after faults stopped");
+        }
+        RunResult warm = runOnce(config, last_store);
+        if (warm.compiles != 0)
+            report.recovery_violations.push_back(
+                "store did not heal: warm recovery run compiled " +
+                std::to_string(warm.compiles) + " descriptions");
+        store::StoreConfig sc;
+        sc.dir = last_store;
+        store::ArtifactStore store(sc);
+        for (const auto &info : store.list()) {
+            if (info.quarantined)
+                report.recovery_violations.push_back(
+                    "quarantined artifact survived recovery: " +
+                    store::quarantineFileName(info.key));
+        }
+        std::error_code ec;
+        fs::remove_all(last_store, ec);
+    }
+    {
+        std::error_code ec;
+        fs::remove_all(
+            (fs::path(config.store_base_dir) / "baseline").string(), ec);
+    }
+    return report;
+}
+
+std::string
+SweepReport::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("ok").value(ok());
+    w.key("config").beginObject();
+    w.key("workers").value(uint64_t(config.workers));
+    w.key("requests").value(uint64_t(config.requests));
+    w.key("first_seed").value(config.first_seed);
+    w.key("num_seeds").value(uint64_t(config.num_seeds));
+    w.key("machine").value(config.machine);
+    w.key("synth_ops").value(uint64_t(config.synth_ops));
+    w.endObject();
+    w.key("baseline_fingerprint").value(baseline_fingerprint);
+    w.key("seeds").beginArray();
+    for (const auto &s : seeds) {
+        w.beginObject();
+        w.key("seed").value(s.seed);
+        w.key("plan").value(s.plan);
+        w.key("ok").value(s.ok());
+        w.key("faults_fired").value(s.faults_fired);
+        w.key("degraded_responses").value(s.degraded_responses);
+        w.key("failed_requests").value(s.failed_requests);
+        w.key("violations").beginArray();
+        for (const auto &v : s.violations)
+            w.value(v);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.key("recovery_violations").beginArray();
+    for (const auto &v : recovery_violations)
+        w.value(v);
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+SweepReport::toText() const
+{
+    std::ostringstream out;
+    for (const auto &s : seeds) {
+        out << "seed " << s.seed << ": "
+            << (s.ok() ? "ok" : "FAILED") << "  (fired "
+            << s.faults_fired << ", degraded " << s.degraded_responses
+            << ", failed " << s.failed_requests << ")\n";
+        for (const auto &v : s.violations)
+            out << "    " << v << "\n";
+        if (!s.ok())
+            out << "    plan: " << s.plan << "\n";
+    }
+    for (const auto &v : recovery_violations)
+        out << "recovery: " << v << "\n";
+    out << (ok() ? "chaos sweep passed" : "chaos sweep FAILED") << " ("
+        << seeds.size() << " seeds)\n";
+    return out.str();
+}
+
+} // namespace mdes::service::chaos

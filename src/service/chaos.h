@@ -1,0 +1,112 @@
+#ifndef MDES_SERVICE_CHAOS_H
+#define MDES_SERVICE_CHAOS_H
+
+/**
+ * @file
+ * The chaos harness: seeded fault schedules replayed against a live
+ * multi-worker service, with every robustness invariant checked.
+ *
+ * Each seed expands (via faultsim::Plan::fuzz) into a fault schedule
+ * that is installed process-wide while a fresh service runs a fixed
+ * request mix. The mix varies the transform-pipeline bits per request,
+ * so every request mints a distinct artifact key (no single-flight
+ * coupling between requests) while — by the paper's Section 4
+ * invariant — every successful response must still produce the
+ * identical schedule fingerprint. That turns "no corrupt artifact is
+ * ever served" into one equality check.
+ *
+ * Invariants asserted per seed (any violation fails the sweep):
+ *  1. No crash, no hang: every request completes with a typed outcome.
+ *  2. No corrupt artifact served: every Ok response's schedule
+ *     fingerprint equals the fault-free baseline.
+ *  3. Only explainable errors: under this fault set a request may fail
+ *     only with CompileFailed (injected allocation failure); anything
+ *     else is a bug.
+ *  4. Deterministic replay: running the same seed twice (fresh service
+ *     and store each time) yields identical per-request outcomes
+ *     (error code, degraded flag, fingerprint).
+ *  5. Clean recovery: with faults uninstalled, the same mix against the
+ *     surviving store completes all-Ok, a second pass compiles nothing
+ *     (the store healed), and no quarantined artifact remains.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdes::service::chaos {
+
+/** Sweep parameters. */
+struct ChaosConfig
+{
+    /** Service worker threads per run. */
+    unsigned workers = 4;
+    /** Requests per run (each gets a distinct transform-bit pattern). */
+    unsigned requests = 12;
+    /** First fault seed; the sweep covers [first_seed,
+     * first_seed + num_seeds). */
+    uint64_t first_seed = 1;
+    unsigned num_seeds = 25;
+    /** Parent directory for the per-run store directories (a fresh
+     * subdirectory per run keeps replays bit-identical). */
+    std::string store_base_dir;
+    /** Built-in machine driving the mix. */
+    std::string machine = "K5";
+    /** Synthetic workload size (small keeps a 25-seed sweep fast). */
+    size_t synth_ops = 300;
+};
+
+/** One request's observable outcome (the replay-equality unit). */
+struct Outcome
+{
+    int error_code = 0;
+    bool degraded = false;
+    uint64_t fingerprint = 0;
+
+    bool operator==(const Outcome &) const = default;
+};
+
+/** What one seed's run produced. */
+struct SeedResult
+{
+    uint64_t seed = 0;
+    /** The installed plan, in faultsim::Plan::parse syntax - paste into
+     * `mdesc chaos --seed`/`--faults` to reproduce. */
+    std::string plan;
+    std::vector<Outcome> outcomes;
+    /** Human-readable invariant violations (empty = seed passed). */
+    std::vector<std::string> violations;
+    uint64_t faults_fired = 0;
+    uint64_t degraded_responses = 0;
+    uint64_t failed_requests = 0;
+
+    bool ok() const { return violations.empty(); }
+};
+
+/** The whole sweep's verdict. */
+struct SweepReport
+{
+    ChaosConfig config;
+    uint64_t baseline_fingerprint = 0;
+    std::vector<SeedResult> seeds;
+    /** Violations from the post-sweep recovery phase. */
+    std::vector<std::string> recovery_violations;
+
+    bool ok() const;
+    /** Machine-readable report (CI uploads this on failure). */
+    std::string toJson() const;
+    /** One-line-per-seed human summary. */
+    std::string toText() const;
+};
+
+/**
+ * Run the full sweep: baseline, then per-seed fault runs with replay
+ * verification, then the recovery phase. Leaves faultsim uninstalled.
+ * Creates (and cleans up) per-run store directories under
+ * config.store_base_dir.
+ */
+SweepReport runSweep(const ChaosConfig &config);
+
+} // namespace mdes::service::chaos
+
+#endif // MDES_SERVICE_CHAOS_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 #include "support/json.h"
 #include "support/text_table.h"
@@ -21,6 +22,9 @@ errorCodeName(ErrorCode code)
     case ErrorCode::Cancelled: return "cancelled";
     case ErrorCode::ScheduleFailed: return "schedule-failed";
     case ErrorCode::Internal: return "internal";
+    case ErrorCode::Overloaded: return "overloaded";
+    case ErrorCode::CircuitOpen: return "circuit-open";
+    case ErrorCode::Degraded: return "degraded";
     case ErrorCode::kNumCodes: break;
     }
     return "?";
@@ -44,6 +48,37 @@ StageLatency::merge(const StageLatency &other)
     total_us += other.total_us;
     if (other.max_us > max_us)
         max_us = other.max_us;
+}
+
+uint64_t
+StageLatency::approxPercentileUs(double q) const
+{
+    if (count == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Nearest-rank of the q-th sample, 1-based; walk buckets until
+    // reached. Ceiling keeps the estimate conservative: p99 of 10
+    // samples is the 10th, not the 9th.
+    uint64_t rank = uint64_t(std::ceil(q * double(count)));
+    if (rank < 1)
+        rank = 1;
+    uint64_t seen = 0;
+    for (uint64_t b = 0; b <= log2_us.maxValue(); ++b) {
+        seen += log2_us.countAt(b);
+        if (seen >= rank) {
+            // Upper edge of bucket b = 2^b - 1 us (bucket 0 is 0 us),
+            // clamped to the observed maximum so the tail bucket does
+            // not overstate by the full power of two.
+            uint64_t edge =
+                b == 0 ? 0
+                       : (b >= 64 ? UINT64_MAX : (1ull << b) - 1);
+            return edge < max_us ? edge : max_us;
+        }
+    }
+    return max_us;
 }
 
 void
@@ -93,9 +128,17 @@ ServiceMetrics::merge(const ServiceMetrics &other)
     workload.merge(other.workload);
     schedule.merge(other.schedule);
     total.merge(other.total);
+    queue_wait.merge(other.queue_wait);
     ops_scheduled += other.ops_scheduled;
     attempts += other.attempts;
     resource_checks += other.resource_checks;
+    requests_shed += other.requests_shed;
+    degraded_responses += other.degraded_responses;
+    for (const auto &[name, counts] : other.fault_sites) {
+        auto &mine = fault_sites[name];
+        mine.first += counts.first;
+        mine.second += counts.second;
+    }
     transform_effects.merge(other.transform_effects);
     attempts_per_op.merge(other.attempts_per_op);
     for (const auto &[name, n] : other.resource_conflicts)
@@ -211,8 +254,34 @@ ServiceMetrics::toTable() const
         out += errs.toString();
     }
 
+    // Robustness counters surface only once something interesting
+    // happened, so healthy runs keep the short report they had.
+    uint64_t retries = cache.disk_retries;
+    if (requests_shed || degraded_responses || retries ||
+        cache.breaker_trips || cache.breaker_fast_fails ||
+        cache.degraded_compiles) {
+        TextTable robust;
+        robust.setHeader({"Shed", "Degraded", "Store Retries",
+                          "Breaker Trips", "Breaker Fast-Fails"});
+        robust.addRow({std::to_string(requests_shed),
+                       std::to_string(degraded_responses),
+                       std::to_string(retries),
+                       std::to_string(cache.breaker_trips),
+                       std::to_string(cache.breaker_fast_fails)});
+        out += robust.toString();
+    }
+    if (!fault_sites.empty()) {
+        TextTable faults;
+        faults.setHeader({"Fault Site", "Evaluations", "Fires"});
+        for (const auto &[name, counts] : fault_sites)
+            faults.addRow({name, std::to_string(counts.first),
+                           std::to_string(counts.second)});
+        out += faults.toString();
+    }
+
     TextTable lat;
     lat.setHeader({"Stage", "Count", "Mean us", "Max us", "Peak bucket"});
+    addLatencyRow(lat, "queue", queue_wait);
     addLatencyRow(lat, "compile", compile);
     addLatencyRow(lat, "workload", workload);
     addLatencyRow(lat, "schedule", schedule);
@@ -300,10 +369,30 @@ ServiceMetrics::toJson() const
         w.key("stores").value(cache.disk_stores);
         w.key("corrupt").value(cache.disk_corrupt);
         w.key("evictions").value(cache.disk_evictions);
+        w.key("retries").value(cache.disk_retries);
+        w.endObject();
+    }
+    w.endObject();
+    w.key("robustness").beginObject();
+    w.key("requests_shed").value(requests_shed);
+    w.key("degraded_responses").value(degraded_responses);
+    w.key("retries").value(cache.disk_retries);
+    w.key("breaker_trips").value(cache.breaker_trips);
+    w.key("breaker_fast_fails").value(cache.breaker_fast_fails);
+    w.key("degraded_compiles").value(cache.degraded_compiles);
+    if (!fault_sites.empty()) {
+        w.key("fault_sites").beginObject();
+        for (const auto &[name, counts] : fault_sites) {
+            w.key(name).beginObject();
+            w.key("evaluations").value(counts.first);
+            w.key("fires").value(counts.second);
+            w.endObject();
+        }
         w.endObject();
     }
     w.endObject();
     w.key("latency").beginObject();
+    jsonLatency(w, "queue", queue_wait);
     jsonLatency(w, "compile", compile);
     jsonLatency(w, "workload", workload);
     jsonLatency(w, "schedule", schedule);

@@ -38,6 +38,14 @@ enum class ErrorCode : int {
     Cancelled,
     ScheduleFailed,
     Internal,
+    /** Shed at admission: the bounded queue was full. */
+    Overloaded,
+    /** Failed fast: the description's circuit breaker is open. */
+    CircuitOpen,
+    /** Reserved for clients that treat a degraded response as an error;
+     * the service itself reports degradation via
+     * ScheduleResponse::degraded with code Ok. */
+    Degraded,
     kNumCodes
 };
 
@@ -65,6 +73,15 @@ struct StageLatency
     {
         return count ? double(total_us) / double(count) : 0.0;
     }
+
+    /**
+     * Approximate @p q-quantile (q in [0,1]) in microseconds from the
+     * power-of-two buckets: the upper edge of the bucket holding the
+     * q-th sample. Conservative (never under-reports) and within 2x of
+     * the true value - exactly what a "p99 stays bounded" assertion
+     * needs. Returns 0 for an empty series.
+     */
+    uint64_t approxPercentileUs(double q) const;
 };
 
 /** Cumulative transform-pipeline effect totals, summed across the
@@ -108,11 +125,25 @@ struct ServiceMetrics
     StageLatency workload;
     StageLatency schedule;
     StageLatency total;
+    /** Time jobs spent in the admission queue before a worker picked
+     * them up (the bounded-queue/shedding tradeoff made visible). */
+    StageLatency queue_wait;
 
     /** Scheduling aggregates summed across completed requests. */
     uint64_t ops_scheduled = 0;
     uint64_t attempts = 0;
     uint64_t resource_checks = 0;
+
+    // --- Robustness section -------------------------------------------
+
+    /** Submissions rejected at admission (also counted under
+     * errors[Overloaded]; filled at snapshot time). */
+    uint64_t requests_shed = 0;
+    /** Requests served from the degraded (unoptimized) fallback. */
+    uint64_t degraded_responses = 0;
+    /** Per-injection-site (evaluations, fires) while faultsim was
+     * armed; empty in normal operation. Filled at snapshot time. */
+    std::map<std::string, std::pair<uint64_t, uint64_t>> fault_sites;
 
     // --- Trace section (mdes::trace telemetry) ------------------------
 

@@ -2,10 +2,13 @@
 
 #include <chrono>
 
+#include <new>
+
 #include "machines/machines.h"
 #include "sched/backward_scheduler.h"
 #include "sched/dep_graph.h"
 #include "sched/verify.h"
+#include "support/faultsim.h"
 #include "support/trace.h"
 #include "workload/sasm.h"
 #include "workload/workload.h"
@@ -67,8 +70,10 @@ scheduleFingerprint(const ScheduleResponse &response)
 }
 
 MdesService::MdesService(ServiceConfig config)
-    : cache_(config.cache_capacity)
+    : cache_(config.cache_capacity), max_queue_(config.max_queue)
 {
+    cache_.setBreakerPolicy(
+        {config.breaker_threshold, config.breaker_cooldown_ms});
     if (!config.store_dir.empty()) {
         store::StoreConfig sc;
         sc.dir = config.store_dir;
@@ -116,13 +121,32 @@ MdesService::submit(ScheduleRequest request)
                                              request.deadline_ms)
                         : Clock::time_point::max();
     job->request = std::move(request);
+    job->enqueued = Clock::now();
     {
         std::lock_guard<std::mutex> lock(jobs_mu_);
         jobs_.emplace(job->id, job);
     }
+    bool shed = false;
     {
         std::lock_guard<std::mutex> lock(queue_mu_);
-        queue_.push_back(job);
+        // Load shedding: beyond the admission bound, rejecting now (a
+        // cheap, typed error the client can retry elsewhere) beats
+        // queueing work whose deadline will be dead by the time a
+        // worker reaches it.
+        if (max_queue_ > 0 && queue_.size() >= max_queue_)
+            shed = true;
+        else
+            queue_.push_back(job);
+    }
+    if (shed) {
+        requests_shed_.fetch_add(1, std::memory_order_relaxed);
+        ScheduleResponse resp;
+        resp.machine = job->request.machine;
+        resp.error = {ErrorCode::Overloaded,
+                      "admission queue full (" +
+                          std::to_string(max_queue_) + " waiting)"};
+        job->promise.set_value(std::move(resp));
+        return job->id;
     }
     queue_cv_.notify_one();
     return job->id;
@@ -181,6 +205,21 @@ MdesService::metricsSnapshot() const
         merged.merge(w->metrics);
     }
     merged.cache = cache_.stats();
+    // Shed submissions never reach a worker, so fold them in here:
+    // they are requests, and they failed with Overloaded.
+    uint64_t shed = requests_shed_.load(std::memory_order_relaxed);
+    merged.requests_shed = shed;
+    merged.requests += shed;
+    merged.errors[size_t(ErrorCode::Overloaded)] += shed;
+    // Injection-site telemetry (all zero when faultsim is disarmed and
+    // nothing fired since the last install).
+    auto site_counters = faultsim::counters();
+    for (size_t i = 0; i < faultsim::kNumSites; ++i) {
+        if (site_counters[i].evaluations == 0)
+            continue;
+        merged.fault_sites[faultsim::siteName(faultsim::Site(i))] = {
+            site_counters[i].evaluations, site_counters[i].fires};
+    }
     return merged;
 }
 
@@ -214,14 +253,18 @@ MdesService::process(Job &job, ServiceMetrics &metrics,
 
     // Every span recorded while this job runs - including compile passes
     // other requests wait on through the cache's single-flight - carries
-    // the request id, so one slow request is traceable end to end.
+    // the request id, so one slow request is traceable end to end. The
+    // fault token makes injected faults a function of the request, not
+    // of which worker thread happens to run it.
     trace::IdScope trace_scope(job.id);
+    faultsim::TokenScope fault_scope(job.id);
     TRACE_SPAN_F(req_span, "request");
     if (req_span.active()) {
         req_span.label("machine", req.machine);
         req_span.label("scheduler", schedulerKindName(req.scheduler));
     }
 
+    uint64_t queue_wait_us = elapsedUs(job.enqueued);
     uint64_t compile_us = 0, workload_us = 0, schedule_us = 0;
     bool timed_compile = false, timed_workload = false,
          timed_schedule = false;
@@ -251,6 +294,9 @@ MdesService::process(Job &job, ServiceMetrics &metrics,
         uint64_t total_us = elapsedUs(t_start);
         std::lock_guard<std::mutex> lock(metrics_mu);
         metrics.recordOutcome(resp.error.code);
+        metrics.queue_wait.record(queue_wait_us);
+        if (resp.degraded)
+            ++metrics.degraded_responses;
         if (timed_compile)
             metrics.compile.record(compile_us);
         if (timed_workload)
@@ -294,25 +340,52 @@ MdesService::process(Job &job, ServiceMetrics &metrics,
         }
 
         // --- Compile (through the shared cache) -----------------------
+        // The cancel predicate lets a compile whose requester's
+        // deadline has expired release its worker between transform
+        // passes and inside store retry backoffs, instead of finishing
+        // work nobody will collect.
+        auto cancel = [&]() -> bool {
+            return job.cancelled.load(std::memory_order_relaxed) ||
+                   Clock::now() > job.deadline;
+        };
         Clock::time_point t = Clock::now();
         try {
             DescriptionCache::Key key = DescriptionCache::makeKey(
                 source, req.transforms, req.bit_vector);
+            DescriptionCache::Lookup lookup;
             resp.low = cache_.getOrCompile(
                 key,
-                [&]() -> CompiledMdes {
+                [&]() -> CompileResult {
                     compiled = true;
-                    return std::make_shared<const lmdes::LowMdes>(
-                        exp::compileSourceToLow(source, req.transforms,
-                                                req.bit_vector,
-                                                exp::Rep::AndOrTree,
-                                                &pipeline_stats));
+                    CompileResult result;
+                    bool degraded = false;
+                    result.artifact =
+                        std::make_shared<const lmdes::LowMdes>(
+                            exp::compileSourceToLow(
+                                source, req.transforms, req.bit_vector,
+                                exp::Rep::AndOrTree, &pipeline_stats,
+                                &degraded, cancel));
+                    result.degraded = degraded;
+                    return result;
                 },
-                &resp.cache_hit, &resp.disk_hit,
+                &lookup,
                 store::configFingerprint(req.transforms,
-                                         req.bit_vector));
+                                         req.bit_vector),
+                cancel);
+            resp.cache_hit = lookup.hit;
+            resp.disk_hit = lookup.disk;
+            resp.degraded = lookup.degraded;
+        } catch (const CircuitOpenError &e) {
+            return fail(ErrorCode::CircuitOpen, e.what());
+        } catch (const CancelledError &e) {
+            if (!interrupted())
+                resp.error = {ErrorCode::Cancelled, e.what()};
+            return;
         } catch (const MdesError &e) {
             return fail(ErrorCode::CompileFailed, e.what());
+        } catch (const std::bad_alloc &) {
+            return fail(ErrorCode::CompileFailed,
+                        "allocation failure during compile");
         }
         compile_us = elapsedUs(t);
         timed_compile = true;

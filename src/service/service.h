@@ -118,6 +118,10 @@ struct ScheduleResponse
     bool cache_hit = false;
     /** Served by loading the persistent store's artifact from disk. */
     bool disk_hit = false;
+    /** The optimizer pipeline faulted and this response was served from
+     * the unoptimized lowered description instead (same schedules - the
+     * Section 4 invariant - but slower constraint checks). */
+    bool degraded = false;
 
     /** Per-block schedules (list/backward schedulers). */
     std::vector<sched::BlockSchedule> schedules;
@@ -155,6 +159,18 @@ struct ServiceConfig
     /** Disk-store size budget in bytes (0 = unbounded); publishes over
      * budget trigger an LRU eviction sweep. */
     uint64_t store_max_bytes = 0;
+    /**
+     * Admission-queue bound (jobs waiting, not running); a submit that
+     * would exceed it is shed immediately with ErrorCode::Overloaded
+     * instead of growing the queue without limit. 0 = unbounded.
+     */
+    size_t max_queue = 0;
+    /** Consecutive compile failures of one description that open its
+     * circuit breaker (fail fast instead of recompiling a poisoned
+     * input on every request). 0 disables the breaker. */
+    uint32_t breaker_threshold = 4;
+    /** Open-breaker cooldown before one half-open trial compile. */
+    uint32_t breaker_cooldown_ms = 10000;
 };
 
 /**
@@ -197,6 +213,10 @@ class MdesService
     /** Merged metrics across all workers plus current cache counters. */
     ServiceMetrics metricsSnapshot() const;
 
+    /** Close every description's circuit breaker (operator override
+     * after fixing a bad description, and test support). */
+    void resetBreakers() { cache_.resetBreakers(); }
+
     unsigned numWorkers() const { return unsigned(workers_.size()); }
 
     const DescriptionCache &cache() const { return cache_; }
@@ -210,6 +230,8 @@ class MdesService
         std::atomic<bool> cancelled{false};
         /** steady_clock deadline (time_point::max() = none). */
         std::chrono::steady_clock::time_point deadline;
+        /** When the job entered the admission queue (queue-wait metric). */
+        std::chrono::steady_clock::time_point enqueued;
     };
 
     struct Worker
@@ -235,6 +257,9 @@ class MdesService
     std::mutex jobs_mu_;
     std::unordered_map<RequestId, std::shared_ptr<Job>> jobs_;
     std::atomic<RequestId> next_id_{1};
+    /** Submissions rejected by the admission-queue bound. */
+    std::atomic<uint64_t> requests_shed_{0};
+    size_t max_queue_ = 0;
 
     std::vector<std::unique_ptr<Worker>> workers_;
 };

@@ -11,8 +11,13 @@
 
 #include <unistd.h>
 
+#include <sstream>
+#include <thread>
+
 #include "support/diagnostics.h"
+#include "support/faultsim.h"
 #include "support/json.h"
+#include "support/rng.h"
 #include "support/trace.h"
 
 namespace mdes::store {
@@ -22,7 +27,13 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr char kStoreMagic[4] = {'M', 'D', 'S', 'T'};
-constexpr uint32_t kStoreVersion = 1;
+// Version 2 appended the whole-file integrity trailer.
+constexpr uint32_t kStoreVersion = 2;
+/** Bytes of the FNV-1a trailer covering header + payload. Without it a
+ * bit flip inside the header's unvalidated fields (timestamps, label
+ * strings) would be served silently; with it any flipped or missing
+ * byte anywhere in the artifact reads as Corrupt. */
+constexpr size_t kTrailerBytes = 8;
 /** Header strings (creator, machine) are short labels, not payloads. */
 constexpr uint32_t kMaxHeaderString = 4096;
 
@@ -243,21 +254,78 @@ ArtifactStore::pathFor(const std::string &name) const
     return (fs::path(config_.dir) / name).string();
 }
 
-std::shared_ptr<const lmdes::LowMdes>
-ArtifactStore::load(uint64_t key)
+void
+ArtifactStore::backoff(uint64_t key, uint32_t attempt,
+                       const std::function<bool()> &cancel)
 {
-    TRACE_SPAN("store/load");
+    if (cancel && cancel())
+        throw CancelledError("store retry abandoned");
+    uint64_t delay = uint64_t(config_.retry.base_delay_us) << attempt;
+    if (delay > config_.retry.max_delay_us)
+        delay = config_.retry.max_delay_us;
+    // Deterministic jitter: concurrent retriers of different keys
+    // de-correlate, while replays of one key reproduce exactly.
+    Rng rng(key ^ (uint64_t(attempt) << 48));
+    delay = delay / 2 + rng.below(delay / 2 + 1);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.retries;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
+}
+
+ArtifactStore::LoadOutcome
+ArtifactStore::loadOnce(uint64_t key,
+                        std::shared_ptr<const lmdes::LowMdes> *out)
+{
     std::string path = pathFor(artifactFileName(key));
+    if (faultsim::probe(faultsim::Site::StoreOpenRead).fired)
+        return LoadOutcome::TransientIo;
     std::ifstream in(path, std::ios::binary);
     if (!in) {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.misses;
-        return nullptr;
+        // Distinguish "not there" (a plain miss) from "there but
+        // unreadable" (worth a retry: NFS hiccup, EMFILE, ...).
+        std::error_code ec;
+        return fs::exists(path, ec) && !ec ? LoadOutcome::TransientIo
+                                           : LoadOutcome::Miss;
     }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    if (in.bad())
+        return LoadOutcome::TransientIo;
+    // Simulated bit rot / truncation: mangle the in-memory copy only,
+    // so the parser (and its checksum) sees what a damaged disk would
+    // feed it without physically rewriting the artifact.
+    if (!bytes.empty()) {
+        faultsim::FireInfo fi =
+            faultsim::probe(faultsim::Site::StoreShortRead);
+        if (fi.fired)
+            bytes.resize(fi.value % bytes.size());
+    }
+    if (!bytes.empty()) {
+        faultsim::FireInfo fi =
+            faultsim::probe(faultsim::Site::StoreCorruptByte);
+        if (fi.fired)
+            bytes[fi.value % bytes.size()] ^=
+                char(1u << ((fi.value >> 32) % 8));
+    }
+    // Verify the integrity trailer before touching the contents: the
+    // last 8 bytes checksum everything before them.
+    if (bytes.size() < kTrailerBytes)
+        return LoadOutcome::Corrupt;
+    uint64_t stored_sum = 0;
+    std::memcpy(&stored_sum, bytes.data() + bytes.size() - kTrailerBytes,
+                kTrailerBytes);
+    uint64_t sum = kFnvOffset;
+    fnvBytes(sum, bytes.data(), bytes.size() - kTrailerBytes);
+    if (sum != stored_sum)
+        return LoadOutcome::Corrupt;
+    bytes.resize(bytes.size() - kTrailerBytes);
     try {
-        Header header = Header::read(in, key);
+        std::istringstream stream(bytes);
+        Header header = Header::read(stream, key);
         auto low = std::make_shared<const lmdes::LowMdes>(
-            lmdes::LowMdes::load(in));
+            lmdes::LowMdes::load(stream));
 
         // Touch the access-time sidecar (recreating it if lost) so the
         // eviction sweep sees this entry as recently used.
@@ -267,26 +335,60 @@ ArtifactStore::load(uint64_t key)
         if (ec)
             writeMeta(key, header);
 
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.hits;
-        return low;
+        *out = std::move(low);
+        return LoadOutcome::Hit;
     } catch (const std::exception &) {
-        // Corrupt, truncated, version-mismatched, or mislabeled: a
-        // miss, never an error. Quarantine so the next publish starts
-        // clean and the bad bytes stay inspectable.
-        quarantine(key);
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.corrupt;
-        ++stats_.misses;
-        return nullptr;
+        return LoadOutcome::Corrupt;
+    }
+}
+
+std::shared_ptr<const lmdes::LowMdes>
+ArtifactStore::load(uint64_t key, const std::function<bool()> &cancel)
+{
+    TRACE_SPAN("store/load");
+    for (uint32_t attempt = 0;; ++attempt) {
+        std::shared_ptr<const lmdes::LowMdes> low;
+        switch (loadOnce(key, &low)) {
+        case LoadOutcome::Hit: {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.hits;
+            return low;
+        }
+        case LoadOutcome::Miss: {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.misses;
+            return nullptr;
+        }
+        case LoadOutcome::Corrupt:
+            // Corrupt, truncated, version-mismatched, or mislabeled: a
+            // miss, never an error, and never retried - damage does not
+            // heal. Quarantine so the next publish starts clean and the
+            // bad bytes stay inspectable.
+            quarantine(key);
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++stats_.corrupt;
+                ++stats_.misses;
+            }
+            return nullptr;
+        case LoadOutcome::TransientIo:
+            if (attempt + 1 >= config_.retry.max_attempts) {
+                // Out of patience: a miss - the caller recompiles, the
+                // next publish refreshes the entry.
+                std::lock_guard<std::mutex> lock(mu_);
+                ++stats_.misses;
+                return nullptr;
+            }
+            backoff(key, attempt, cancel);
+            break;
+        }
     }
 }
 
 bool
-ArtifactStore::store(uint64_t key, const lmdes::LowMdes &low,
-                     uint64_t config_fingerprint)
+ArtifactStore::storeOnce(uint64_t key, const lmdes::LowMdes &low,
+                         uint64_t config_fingerprint)
 {
-    TRACE_SPAN("store/publish");
     static std::atomic<uint64_t> tmp_counter{0};
     std::string tmp =
         pathFor(".tmp-" + hexKey(key) + "-" +
@@ -300,16 +402,33 @@ ArtifactStore::store(uint64_t key, const lmdes::LowMdes &low,
     header.machine = low.machineName();
     try {
         {
+            faultsim::maybeThrow(faultsim::Site::StoreOpenWrite,
+                                 "cannot open temp file");
             std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
             if (!out)
                 throw MdesError("cannot open temp file");
-            header.write(out);
-            low.save(out);
+            // Serialize to memory first so the integrity trailer can
+            // cover header and payload alike.
+            std::ostringstream body;
+            header.write(body);
+            low.save(body);
+            const std::string payload = body.str();
+            uint64_t sum = kFnvOffset;
+            fnvBytes(sum, payload.data(), payload.size());
+            out.write(payload.data(),
+                      std::streamsize(payload.size()));
+            writeU64(out, sum);
+            faultsim::maybeThrow(faultsim::Site::StoreWrite,
+                                 "short write");
             out.flush();
             if (!out)
                 throw MdesError("short write");
+            faultsim::maybeThrow(faultsim::Site::StoreFsync,
+                                 "fsync failed");
         }
         // The publish: readers see nothing or everything.
+        faultsim::maybeThrow(faultsim::Site::StoreRename,
+                             "rename failed");
         fs::rename(tmp, pathFor(artifactFileName(key)));
         // A fresh publish supersedes any quarantined predecessor.
         std::error_code ec;
@@ -325,10 +444,32 @@ ArtifactStore::store(uint64_t key, const lmdes::LowMdes &low,
     } catch (const std::exception &) {
         std::error_code ec;
         fs::remove(tmp, ec);
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.store_failures;
         return false;
     }
+}
+
+bool
+ArtifactStore::store(uint64_t key, const lmdes::LowMdes &low,
+                     uint64_t config_fingerprint,
+                     const std::function<bool()> &cancel)
+{
+    TRACE_SPAN("store/publish");
+    for (uint32_t attempt = 0;; ++attempt) {
+        if (storeOnce(key, low, config_fingerprint))
+            return true;
+        if (attempt + 1 >= config_.retry.max_attempts)
+            break;
+        try {
+            backoff(key, attempt, cancel);
+        } catch (const CancelledError &) {
+            // Publishing is best-effort; an abandoned publish is a
+            // failure, not an error the caller must handle.
+            break;
+        }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.store_failures;
+    return false;
 }
 
 void
@@ -385,6 +526,15 @@ ArtifactStore::prune(uint64_t max_bytes)
         if (p.extension() == ".bad") {
             // Quarantined artifacts never survive a sweep.
             fs::remove(p, ec);
+            continue;
+        }
+        if (p.extension() == ".meta") {
+            // An orphaned sidecar — its artifact pruned or quarantined
+            // between the artifact's removal and this scan — is garbage.
+            // Removing it can at worst race a concurrent republish and
+            // forget that artifact's last-access time.
+            if (!fs::exists(pathFor(artifactFileName(key)), ec))
+                fs::remove(p, ec);
             continue;
         }
         if (p.extension() != ".lmdes")

@@ -48,6 +48,7 @@
  */
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -100,6 +101,9 @@ struct StoreStats
     uint64_t stores = 0;
     uint64_t store_failures = 0;
     uint64_t evictions = 0;
+    /** Backoff retries taken after transient I/O failures (loads and
+     * publishes combined). */
+    uint64_t retries = 0;
 };
 
 /** One store entry as reported by list() / `mdesc store stat`. */
@@ -127,6 +131,19 @@ struct PruneResult
     uint64_t bytes_after = 0;
 };
 
+/**
+ * How transient I/O failures are retried: exponential backoff from
+ * base_delay_us, capped at max_delay_us, with deterministic jitter
+ * (derived from the artifact key) to de-correlate concurrent retriers.
+ */
+struct RetryPolicy
+{
+    /** Total tries per operation, first included. 1 = no retries. */
+    uint32_t max_attempts = 3;
+    uint32_t base_delay_us = 200;
+    uint32_t max_delay_us = 20000;
+};
+
 /** Store construction parameters. */
 struct StoreConfig
 {
@@ -140,6 +157,8 @@ struct StoreConfig
     uint64_t max_bytes = 0;
     /** Recorded in each artifact's creation metadata. */
     std::string creator = "mdes";
+    /** Backoff schedule for transient I/O failures. */
+    RetryPolicy retry;
 };
 
 /** The persistent content-addressed artifact store. */
@@ -157,20 +176,26 @@ class ArtifactStore
      * A file that exists but cannot be loaded — corrupt, truncated,
      * wrong version, or labeled with a different key — counts as a
      * miss: it is quarantined (renamed to .bad) so the caller
-     * recompiles and republishes. Never throws for bad on-disk state.
-     * A hit touches the entry's access-time sidecar.
+     * recompiles and republishes. A transiently-unreadable file (I/O
+     * error on open/read) is retried per the RetryPolicy, then treated
+     * as a miss. Never throws for bad on-disk state; only
+     * CancelledError escapes, when @p cancel reports the caller gave
+     * up mid-retry. A hit touches the entry's access-time sidecar.
      */
-    std::shared_ptr<const lmdes::LowMdes> load(uint64_t key);
+    std::shared_ptr<const lmdes::LowMdes>
+    load(uint64_t key, const std::function<bool()> &cancel = {});
 
     /**
      * Atomically publish @p low under @p key (temp file + rename).
-     * Best-effort: returns false (and counts a store_failure) when the
-     * filesystem refuses; the caller keeps its in-memory artifact
-     * either way. Triggers an eviction sweep when a max_bytes budget is
-     * configured.
+     * Best-effort: transient failures are retried per the RetryPolicy;
+     * returns false (and counts a store_failure) when every attempt
+     * fails or @p cancel reports the caller gave up — the caller keeps
+     * its in-memory artifact either way. Triggers an eviction sweep
+     * when a max_bytes budget is configured.
      */
     bool store(uint64_t key, const lmdes::LowMdes &low,
-               uint64_t config_fingerprint);
+               uint64_t config_fingerprint,
+               const std::function<bool()> &cancel = {});
 
     /**
      * Evict least-recently-accessed artifacts (by meta-sidecar mtime;
@@ -189,7 +214,18 @@ class ArtifactStore
   private:
     struct Header;
 
+    /** What one load attempt observed (drives the retry decision). */
+    enum class LoadOutcome { Hit, Miss, Corrupt, TransientIo };
+
     std::string pathFor(const std::string &name) const;
+    LoadOutcome loadOnce(uint64_t key,
+                         std::shared_ptr<const lmdes::LowMdes> *out);
+    bool storeOnce(uint64_t key, const lmdes::LowMdes &low,
+                   uint64_t config_fingerprint);
+    /** Sleep the jittered exponential backoff before retry @p attempt;
+     * throws CancelledError first when @p cancel says to give up. */
+    void backoff(uint64_t key, uint32_t attempt,
+                 const std::function<bool()> &cancel);
     void quarantine(uint64_t key);
     void writeMeta(uint64_t key, const Header &header);
 

@@ -77,6 +77,19 @@ class MdesError : public std::runtime_error
     explicit MdesError(const std::string &what) : std::runtime_error(what) {}
 };
 
+/**
+ * Thrown at cooperative-cancellation checkpoints (between transform
+ * passes, inside store retry loops) when a request's deadline expires or
+ * it is cancelled. Distinct from MdesError so callers can tell "the work
+ * was abandoned" apart from "the work failed" — a cancelled compile must
+ * not poison a circuit breaker or count as a compile failure.
+ */
+class CancelledError : public MdesError
+{
+  public:
+    explicit CancelledError(const std::string &what) : MdesError(what) {}
+};
+
 } // namespace mdes
 
 #endif // MDES_SUPPORT_DIAGNOSTICS_H

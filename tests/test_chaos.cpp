@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Robustness tests: the faultsim determinism contract, and each service
+ * hardening mechanism driven by injected faults - load shedding on a
+ * bounded queue, the per-description circuit breaker, graceful
+ * degradation when the optimizer pipeline faults, spurious-wake
+ * soundness in the cache's single-flight wait, and the full seeded
+ * chaos sweep (service::chaos::runSweep) that ties the invariants
+ * together.
+ *
+ * Every test installs its fault plan explicitly and uninstalls before
+ * returning; a FaultGuard backstop keeps one test's plan from leaking
+ * into the next on assertion failure.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "service/chaos.h"
+#include "service/service.h"
+#include "support/faultsim.h"
+#include "support/json.h"
+
+namespace mdes {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A fresh per-test directory under the system temp dir. */
+fs::path
+freshDir(const std::string &name)
+{
+    fs::path dir = fs::temp_directory_path() /
+                   ("mdes-test-chaos-" + std::to_string(::getpid()) + "-" +
+                    name);
+    fs::remove_all(dir);
+    return dir;
+}
+
+/** Uninstalls any fault plan on scope exit, so a failing assertion in
+ * one test cannot poison the rest of the suite. */
+struct FaultGuard
+{
+    ~FaultGuard() { faultsim::uninstall(); }
+};
+
+service::ScheduleRequest
+k5Request(size_t synth_ops = 200)
+{
+    service::ScheduleRequest req;
+    req.machine = "K5";
+    req.synth_ops = synth_ops;
+    return req;
+}
+
+TEST(Faultsim, DisarmedProbesNeverFire)
+{
+    faultsim::uninstall();
+    EXPECT_FALSE(faultsim::armed());
+    for (size_t i = 0; i < faultsim::kNumSites; ++i) {
+        faultsim::FireInfo fi = faultsim::probe(faultsim::Site(i));
+        EXPECT_FALSE(fi.fired);
+    }
+}
+
+TEST(Faultsim, ParseRoundTripsThroughToString)
+{
+    faultsim::Plan plan = faultsim::Plan::parse(
+        "seed=7, store/open-read=0.5:0:2 cache/slow-compile=1:2000");
+    EXPECT_EQ(plan.seed, 7u);
+    const auto &rd =
+        plan.sites[size_t(faultsim::Site::StoreOpenRead)];
+    EXPECT_DOUBLE_EQ(rd.probability, 0.5);
+    EXPECT_EQ(rd.max_fires, 2u);
+    const auto &slow =
+        plan.sites[size_t(faultsim::Site::CacheSlowCompile)];
+    EXPECT_DOUBLE_EQ(slow.probability, 1.0);
+    EXPECT_EQ(slow.delay_us, 2000u);
+
+    faultsim::Plan again = faultsim::Plan::parse(plan.toString());
+    EXPECT_EQ(again.seed, plan.seed);
+    for (size_t i = 0; i < faultsim::kNumSites; ++i) {
+        EXPECT_DOUBLE_EQ(again.sites[i].probability,
+                         plan.sites[i].probability)
+            << faultsim::siteName(faultsim::Site(i));
+        EXPECT_EQ(again.sites[i].max_fires, plan.sites[i].max_fires);
+        EXPECT_EQ(again.sites[i].delay_us, plan.sites[i].delay_us);
+    }
+
+    EXPECT_THROW(faultsim::Plan::parse("no-such-site=1"), MdesError);
+    EXPECT_THROW(faultsim::Plan::parse("store/rename=1.5"), MdesError);
+    EXPECT_THROW(faultsim::Plan::parse("seed=x"), MdesError);
+}
+
+TEST(Faultsim, ReplayIsBitIdenticalPerToken)
+{
+    FaultGuard guard;
+    faultsim::Plan plan = faultsim::Plan::parse("seed=99,store/write=0.4");
+
+    auto draw = [] {
+        std::vector<std::pair<bool, uint64_t>> seq;
+        for (uint64_t token : {1ull, 2ull, 3ull}) {
+            faultsim::TokenScope scope(token);
+            for (int i = 0; i < 64; ++i) {
+                faultsim::FireInfo fi =
+                    faultsim::probe(faultsim::Site::StoreWrite);
+                seq.emplace_back(fi.fired, fi.value);
+            }
+        }
+        return seq;
+    };
+
+    faultsim::install(plan);
+    auto first = draw();
+    faultsim::install(plan); // resets per-token hit state
+    auto second = draw();
+    faultsim::uninstall();
+
+    ASSERT_EQ(first.size(), second.size());
+    EXPECT_EQ(first, second);
+
+    // A 0.4-probability site over 192 draws fires some but not all.
+    size_t fires = 0;
+    for (const auto &[fired, value] : first)
+        fires += fired;
+    EXPECT_GT(fires, 0u);
+    EXPECT_LT(fires, first.size());
+}
+
+TEST(Faultsim, MaxFiresCapsPerToken)
+{
+    FaultGuard guard;
+    faultsim::install(
+        faultsim::Plan::parse("seed=1,store/fsync=1:0:2"));
+    for (uint64_t token : {10ull, 11ull}) {
+        faultsim::TokenScope scope(token);
+        size_t fires = 0;
+        for (int i = 0; i < 20; ++i)
+            fires += faultsim::probe(faultsim::Site::StoreFsync).fired;
+        // Certain-probability site: exactly the cap, per token.
+        EXPECT_EQ(fires, 2u) << "token " << token;
+    }
+    faultsim::uninstall();
+}
+
+TEST(ServiceRobustness, BoundedQueueShedsOverload)
+{
+    FaultGuard guard;
+    // One worker, room for one waiting job, and every compile stalled
+    // 50ms: a burst of 8 distinct-key requests must shed most of itself.
+    faultsim::install(
+        faultsim::Plan::parse("seed=3,cache/slow-compile=1:50000"));
+
+    service::ServiceConfig config;
+    config.num_workers = 1;
+    config.max_queue = 1;
+    service::MdesService svc(config);
+
+    std::vector<service::MdesService::RequestId> ids;
+    for (unsigned i = 0; i < 8; ++i) {
+        service::ScheduleRequest req = k5Request(100);
+        // Distinct transform bits -> distinct artifact keys, so every
+        // request is an independent slow compile.
+        req.transforms.cse = i & 1;
+        req.transforms.hoist = i & 2;
+        req.transforms.time_shift = i & 4;
+        ids.push_back(svc.submit(req));
+    }
+
+    unsigned ok = 0, shed = 0;
+    for (auto id : ids) {
+        service::ScheduleResponse resp = svc.wait(id);
+        if (resp.ok()) {
+            ++ok;
+        } else {
+            ASSERT_EQ(resp.error.code, service::ErrorCode::Overloaded)
+                << resp.error.message;
+            ++shed;
+        }
+    }
+    faultsim::uninstall();
+
+    // The worker and the one queue slot bound acceptance; everything
+    // else must have been rejected at admission.
+    EXPECT_GT(ok, 0u);
+    EXPECT_GT(shed, 0u);
+    EXPECT_EQ(ok + shed, 8u);
+
+    service::ServiceMetrics m = svc.metricsSnapshot();
+    EXPECT_EQ(m.requests_shed, shed);
+    EXPECT_EQ(m.errors[size_t(service::ErrorCode::Overloaded)], shed);
+    EXPECT_EQ(m.requests, 8u);
+    // Accepted jobs recorded their queue wait.
+    EXPECT_EQ(m.queue_wait.count, ok);
+}
+
+TEST(ServiceRobustness, BreakerOpensAfterRepeatedFailureAndCloses)
+{
+    FaultGuard guard;
+    faultsim::install(
+        faultsim::Plan::parse("seed=5,compile/alloc-fail=1"));
+
+    service::ServiceConfig config;
+    config.num_workers = 1;
+    config.breaker_threshold = 2;
+    config.breaker_cooldown_ms = 100;
+    service::MdesService svc(config);
+
+    auto roundTrip = [&] { return svc.wait(svc.submit(k5Request())); };
+
+    // Two hard compile failures open the breaker...
+    for (int i = 0; i < 2; ++i) {
+        service::ScheduleResponse resp = roundTrip();
+        ASSERT_EQ(resp.error.code, service::ErrorCode::CompileFailed)
+            << resp.error.message;
+    }
+    // ...so the third request fails fast without compiling.
+    service::ScheduleResponse fast = roundTrip();
+    EXPECT_EQ(fast.error.code, service::ErrorCode::CircuitOpen)
+        << fast.error.message;
+
+    // After the cooldown, the half-open trial compile runs for real;
+    // with the fault gone it succeeds and the breaker closes.
+    faultsim::uninstall();
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    service::ScheduleResponse healed = roundTrip();
+    EXPECT_TRUE(healed.ok()) << healed.error.message;
+    service::ScheduleResponse warm = roundTrip();
+    EXPECT_TRUE(warm.ok()) << warm.error.message;
+    EXPECT_TRUE(warm.cache_hit);
+
+    service::ServiceMetrics m = svc.metricsSnapshot();
+    EXPECT_GE(m.cache.breaker_trips, 1u);
+    EXPECT_GE(m.cache.breaker_fast_fails, 1u);
+}
+
+TEST(ServiceRobustness, ResetBreakersForcesImmediateRetry)
+{
+    FaultGuard guard;
+    faultsim::install(
+        faultsim::Plan::parse("seed=6,compile/alloc-fail=1"));
+
+    service::ServiceConfig config;
+    config.num_workers = 1;
+    config.breaker_threshold = 1;
+    config.breaker_cooldown_ms = 60000; // would outlive the test
+    service::MdesService svc(config);
+
+    auto roundTrip = [&] { return svc.wait(svc.submit(k5Request())); };
+    ASSERT_EQ(roundTrip().error.code, service::ErrorCode::CompileFailed);
+    ASSERT_EQ(roundTrip().error.code, service::ErrorCode::CircuitOpen);
+
+    // The operator override closes the breaker without waiting out the
+    // cooldown.
+    faultsim::uninstall();
+    svc.resetBreakers();
+    EXPECT_TRUE(roundTrip().ok());
+}
+
+TEST(ServiceRobustness, PipelineFaultDegradesGracefullyAndHeals)
+{
+    FaultGuard guard;
+    faultsim::install(
+        faultsim::Plan::parse("seed=8,compile/pass-throw=1"));
+
+    service::ServiceConfig config;
+    config.num_workers = 1;
+    service::MdesService svc(config);
+
+    // The optimizer faults; the service falls back to the unoptimized
+    // lowering and still answers - flagged, and by the Section 4
+    // invariant with the very same schedules.
+    service::ScheduleResponse degraded = svc.wait(svc.submit(k5Request()));
+    ASSERT_TRUE(degraded.ok()) << degraded.error.message;
+    EXPECT_TRUE(degraded.degraded);
+
+    // Degraded artifacts are served, never cached: with the fault gone
+    // the next identical request recompiles at full quality.
+    faultsim::uninstall();
+    service::ScheduleResponse healed = svc.wait(svc.submit(k5Request()));
+    ASSERT_TRUE(healed.ok()) << healed.error.message;
+    EXPECT_FALSE(healed.degraded);
+    EXPECT_FALSE(healed.cache_hit);
+    EXPECT_EQ(scheduleFingerprint(degraded), scheduleFingerprint(healed));
+
+    service::ServiceMetrics m = svc.metricsSnapshot();
+    EXPECT_EQ(m.degraded_responses, 1u);
+    EXPECT_EQ(m.cache.degraded_compiles, 1u);
+    EXPECT_EQ(m.cache.compiles, 2u);
+}
+
+TEST(ServiceRobustness, SpuriousWakesNeverCorruptSingleFlight)
+{
+    FaultGuard guard;
+    faultsim::install(faultsim::Plan::parse(
+        "seed=9,cache/spurious-wake=1,cache/slow-compile=1:20000"));
+
+    service::ServiceConfig config;
+    config.num_workers = 4;
+    service::MdesService svc(config);
+
+    // Identical requests pile every worker onto one in-flight compile;
+    // each waiter's wait is peppered with spurious wakes.
+    std::vector<service::ScheduleRequest> burst(8, k5Request());
+    std::vector<service::ScheduleResponse> responses =
+        svc.runBatch(burst);
+    faultsim::uninstall();
+
+    ASSERT_EQ(responses.size(), 8u);
+    uint64_t fingerprint = scheduleFingerprint(responses[0]);
+    for (const auto &resp : responses) {
+        ASSERT_TRUE(resp.ok()) << resp.error.message;
+        EXPECT_EQ(scheduleFingerprint(resp), fingerprint);
+    }
+    // Single-flight held: one compile, everyone else shared it.
+    EXPECT_EQ(svc.cache().stats().compiles, 1u);
+}
+
+TEST(ServiceRobustness, TransientStoreFaultsAreRetriedThrough)
+{
+    FaultGuard guard;
+    fs::path dir = freshDir("retry");
+
+    // Populate the store fault-free.
+    {
+        service::ServiceConfig config;
+        config.num_workers = 1;
+        config.store_dir = dir.string();
+        service::MdesService svc(config);
+        ASSERT_TRUE(svc.wait(svc.submit(k5Request())).ok());
+    }
+
+    // One transient open failure per request: the retry loop must
+    // recover and still serve from disk (no recompilation).
+    faultsim::install(
+        faultsim::Plan::parse("seed=11,store/open-read=1:0:1"));
+    {
+        service::ServiceConfig config;
+        config.num_workers = 1;
+        config.store_dir = dir.string();
+        service::MdesService svc(config);
+        service::ScheduleResponse resp = svc.wait(svc.submit(k5Request()));
+        ASSERT_TRUE(resp.ok()) << resp.error.message;
+        EXPECT_TRUE(resp.disk_hit);
+        service::ServiceMetrics m = svc.metricsSnapshot();
+        EXPECT_GE(m.cache.disk_retries, 1u);
+        EXPECT_EQ(m.cache.compiles, 0u);
+    }
+    faultsim::uninstall();
+    fs::remove_all(dir);
+}
+
+TEST(ChaosSweep, FullSweepUpholdsEveryInvariant)
+{
+    FaultGuard guard;
+    // The acceptance gate: >= 25 seeded fault schedules, each replayed
+    // for determinism, with zero invariant violations. Small synthetic
+    // workloads keep the sweep in CI-friendly time.
+    service::chaos::ChaosConfig config;
+    config.workers = 4;
+    config.requests = 8;
+    config.first_seed = 1;
+    config.num_seeds = 25;
+    config.synth_ops = 200;
+    config.store_base_dir = freshDir("sweep").string();
+
+    service::chaos::SweepReport report = service::chaos::runSweep(config);
+    EXPECT_TRUE(report.ok()) << report.toText();
+    EXPECT_EQ(report.seeds.size(), 25u);
+    EXPECT_NE(report.baseline_fingerprint, 0u);
+
+    // The sweep exercised faults (fuzz plans arm aggressively).
+    uint64_t fired = 0;
+    for (const auto &s : report.seeds)
+        fired += s.faults_fired;
+    EXPECT_GT(fired, 0u);
+
+    // The machine-readable report parses and carries the verdict.
+    JsonValue v = parseJson(report.toJson());
+    ASSERT_EQ(v.kind, JsonValue::Kind::Object);
+    EXPECT_EQ(v.find("ok")->boolean, report.ok());
+    EXPECT_EQ(v.find("seeds")->array.size(), 25u);
+
+    fs::remove_all(config.store_base_dir);
+}
+
+} // namespace
+} // namespace mdes

@@ -36,6 +36,41 @@ TEST(ErrorCode, EveryCodeHasADistinctName)
     }
 }
 
+TEST(ErrorCode, RobustnessCodesHaveStableNames)
+{
+    // These names appear in batch summaries, JSON reports, and CI
+    // regexes; renaming them is a compatibility break.
+    EXPECT_STREQ(service::errorCodeName(service::ErrorCode::Overloaded),
+                 "overloaded");
+    EXPECT_STREQ(service::errorCodeName(service::ErrorCode::CircuitOpen),
+                 "circuit-open");
+    EXPECT_STREQ(service::errorCodeName(service::ErrorCode::Degraded),
+                 "degraded");
+}
+
+TEST(StageLatency, ApproxPercentileTracksTheBuckets)
+{
+    service::StageLatency empty;
+    EXPECT_EQ(empty.approxPercentileUs(0.99), 0u);
+
+    service::StageLatency s;
+    for (int i = 0; i < 9; ++i)
+        s.record(100); // bucket 7: [64, 128)
+    s.record(5000);    // bucket 13: [4096, 8192)
+
+    // The median sits in the 100us bucket; its conservative estimate is
+    // the bucket's upper edge.
+    EXPECT_EQ(s.approxPercentileUs(0.5), 127u);
+    EXPECT_GE(s.approxPercentileUs(0.5), 100u); // never under-reports
+    // The tail estimate is clamped to the observed maximum.
+    EXPECT_EQ(s.approxPercentileUs(0.99), 5000u);
+    EXPECT_EQ(s.approxPercentileUs(1.0), 5000u);
+    EXPECT_EQ(s.approxPercentileUs(0.0), 127u);
+    // Out-of-range quantiles clamp instead of misbehaving.
+    EXPECT_EQ(s.approxPercentileUs(-1.0), s.approxPercentileUs(0.0));
+    EXPECT_EQ(s.approxPercentileUs(2.0), s.approxPercentileUs(1.0));
+}
+
 TEST(StageLatency, BucketEdgesCoverTheFullRange)
 {
     service::StageLatency zero;

@@ -20,6 +20,7 @@
 #include "service/cache.h"
 #include "service/service.h"
 #include "store/store.h"
+#include "support/faultsim.h"
 #include "support/rng.h"
 
 namespace mdes {
@@ -251,6 +252,70 @@ TEST(Store, PruneRemovesQuarantinedFiles)
     fs::remove_all(dir);
 }
 
+TEST(Store, QuarantineRacingPruneIsSafe)
+{
+    // Quarantine (corrupt loads renaming artifacts to .bad), republish,
+    // and prune all race on one store. Nothing may crash, and once the
+    // dust settles a pruned slot stays pruned - quarantine must never
+    // resurrect an artifact.
+    fs::path dir = freshDir("quarantine_race");
+    ArtifactStore s(StoreConfig{.dir = dir.string()});
+    constexpr uint64_t kKeys = 4;
+    LowMdes low = LowMdes::lower(tinyMachine(), {});
+
+    // Seed every slot and verify the quarantine accounting that `store
+    // stat` reports: corrupt loads flag each artifact in list().
+    faultsim::install(faultsim::Plan::parse("seed=21,store/corrupt-byte=1"));
+    for (uint64_t key = 1; key <= kKeys; ++key)
+        ASSERT_TRUE(s.store(key, low, 0));
+    for (uint64_t key = 1; key <= kKeys; ++key)
+        EXPECT_EQ(s.load(key), nullptr);
+    uint64_t quarantined = 0;
+    for (const auto &info : s.list())
+        quarantined += info.quarantined;
+    EXPECT_EQ(quarantined, kKeys);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> threads;
+    // Publishers keep healing slots, loaders keep quarantining them
+    // (every read corrupts under the plan), the pruner keeps emptying
+    // the directory out from under both.
+    for (int t = 0; t < 2; ++t)
+        threads.emplace_back([&] {
+            while (!stop)
+                for (uint64_t key = 1; key <= kKeys; ++key)
+                    s.store(key, low, 0);
+        });
+    for (int t = 0; t < 2; ++t)
+        threads.emplace_back([&] {
+            while (!stop)
+                for (uint64_t key = 1; key <= kKeys; ++key)
+                    s.load(key);
+        });
+    threads.emplace_back([&] {
+        while (!stop)
+            s.prune(0);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    stop = true;
+    for (auto &t : threads)
+        t.join();
+    faultsim::uninstall();
+
+    // Final sweep: a pruned store stays empty (no resurrection), and
+    // every slot reads as a clean miss.
+    s.prune(0);
+    EXPECT_TRUE(fs::is_empty(dir));
+    for (uint64_t key = 1; key <= kKeys; ++key)
+        EXPECT_EQ(s.load(key), nullptr);
+    // The store still works after the storm.
+    ASSERT_TRUE(s.store(1, low, 0));
+    auto healed = s.load(1);
+    ASSERT_NE(healed, nullptr);
+    EXPECT_EQ(*healed, low);
+    fs::remove_all(dir);
+}
+
 TEST(Store, SizeBudgetTriggersEvictionOnPublish)
 {
     fs::path dir = freshDir("budget");
@@ -301,11 +366,12 @@ TEST(TwoTierCache, RacingThreadsCompileOnceAndPublishOnce)
 
     const uint64_t key = 77;
     std::atomic<int> compiled{0};
-    auto compile = [&]() -> service::CompiledMdes {
+    auto compile = [&]() -> service::CompileResult {
         ++compiled;
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
-        return std::make_shared<const LowMdes>(
-            LowMdes::lower(tinyMachine(), {}));
+        return {std::make_shared<const LowMdes>(
+                    LowMdes::lower(tinyMachine(), {})),
+                false};
     };
 
     std::vector<std::thread> threads;
@@ -327,12 +393,12 @@ TEST(TwoTierCache, RacingThreadsCompileOnceAndPublishOnce)
     // A later process (fresh memory tier, same store) never compiles.
     service::DescriptionCache restarted(8);
     restarted.attachStore(disk);
-    bool hit = true, from_disk = false;
-    auto again = restarted.getOrCompile(key, compile, &hit, &from_disk);
+    service::DescriptionCache::Lookup lookup;
+    auto again = restarted.getOrCompile(key, compile, &lookup);
     ASSERT_NE(again, nullptr);
     EXPECT_EQ(compiled.load(), 1);
-    EXPECT_FALSE(hit);
-    EXPECT_TRUE(from_disk);
+    EXPECT_FALSE(lookup.hit);
+    EXPECT_TRUE(lookup.disk);
     EXPECT_EQ(*again, *results[0]);
     fs::remove_all(dir);
 }

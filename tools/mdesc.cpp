@@ -32,6 +32,12 @@
  * mdes::trace span the command produced (compile passes, cache/store
  * tiers, per-block scheduling) as a Chrome trace-event file - open it
  * in chrome://tracing or Perfetto.
+ *
+ * `--faults <spec>` on `compile` and `batch` arms the deterministic
+ * fault-injection layer (src/support/faultsim.h) for the command's
+ * lifetime, and `mdesc chaos` sweeps seeded fault schedules against a
+ * live service asserting the robustness invariants in
+ * src/service/chaos.h - the same gate CI runs.
  */
 
 #include <algorithm>
@@ -39,7 +45,9 @@
 #include <cstdio>
 #include <cstring>
 #include <ctime>
+#include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -54,8 +62,10 @@
 #include "exp/runner.h"
 #include "sched/list_scheduler.h"
 #include "sched/verify.h"
+#include "service/chaos.h"
 #include "service/service.h"
 #include "store/store.h"
+#include "support/faultsim.h"
 #include "support/json.h"
 #include "support/text_table.h"
 #include "support/trace.h"
@@ -74,6 +84,7 @@ usage()
         "  mdesc compile <file.hmdes> [-o <file.lmdes>] [--or-form]\n"
         "                [--no-optimize] [--no-bit-vector] [--backward]\n"
         "                [--store <dir>] [--trace <file.json>]\n"
+        "                [--faults <spec>]\n"
         "  mdesc info <file.hmdes | file.lmdes>\n"
         "  mdesc dump <file.hmdes> [operation]\n"
         "  mdesc stats <file.hmdes>\n"
@@ -81,11 +92,19 @@ usage()
         "  mdesc schedule <machine-name | file.hmdes> <file.sasm>\n"
         "  mdesc batch <file.req> [--workers N] [--json]\n"
         "              [--store <dir>] [--store-max-bytes N]\n"
-        "              [--trace <file.json>]\n"
+        "              [--trace <file.json>] [--faults <spec>]\n"
+        "              [--max-queue N]\n"
+        "  mdesc chaos [--seeds N] [--first-seed N] [--workers N]\n"
+        "              [--requests N] [--store-dir <dir>]\n"
+        "              [--report <file.json>]\n"
         "  mdesc store stat <dir> [--json]\n"
         "  mdesc store prune <dir> --max-bytes <N>\n"
         "  mdesc store warm <dir> [machine...]\n"
-        "  mdesc export <PA7100 | Pentium | SuperSPARC | K5>\n");
+        "  mdesc export <PA7100 | Pentium | SuperSPARC | K5>\n"
+        "\n"
+        "--faults spec: seed=N,<site>=<prob>[:<delay_us>[:<max_fires>]]\n"
+        "(site names in src/support/faultsim.h; e.g.\n"
+        " 'seed=7,store/open-read=0.5:0:2,compile/pass-throw=0.1')\n");
     return 2;
 }
 
@@ -144,6 +163,45 @@ class TraceFile
     std::string path_;
 };
 
+/**
+ * --faults support: installs a deterministic fault plan for the
+ * command's lifetime and reports what fired on exit, so a run can be
+ * reproduced exactly from its seed and spec.
+ */
+class FaultScope
+{
+  public:
+    explicit FaultScope(const std::string &spec)
+    {
+        if (spec.empty())
+            return;
+        armed_ = true;
+        faultsim::install(faultsim::Plan::parse(spec));
+    }
+
+    ~FaultScope()
+    {
+        if (!armed_)
+            return;
+        uint64_t evaluations = 0, fires = 0;
+        for (const auto &c : faultsim::counters()) {
+            evaluations += c.evaluations;
+            fires += c.fires;
+        }
+        faultsim::uninstall();
+        std::fprintf(stderr,
+                     "faultsim: %llu of %llu probes fired\n",
+                     (unsigned long long)fires,
+                     (unsigned long long)evaluations);
+    }
+
+    FaultScope(const FaultScope &) = delete;
+    FaultScope &operator=(const FaultScope &) = delete;
+
+  private:
+    bool armed_ = false;
+};
+
 Mdes
 compileFile(const std::string &path)
 {
@@ -162,7 +220,7 @@ compileFile(const std::string &path)
 int
 cmdCompile(const std::vector<std::string> &args)
 {
-    std::string input, output, store_dir, trace_path;
+    std::string input, output, store_dir, trace_path, faults_spec;
     bool or_form = false, optimize = true, bit_vector = true;
     SchedDirection direction = SchedDirection::Forward;
     for (size_t i = 0; i < args.size(); ++i) {
@@ -172,6 +230,8 @@ cmdCompile(const std::vector<std::string> &args)
             store_dir = args[++i];
         } else if (args[i] == "--trace" && i + 1 < args.size()) {
             trace_path = args[++i];
+        } else if (args[i] == "--faults" && i + 1 < args.size()) {
+            faults_spec = args[++i];
         } else if (args[i] == "--or-form") {
             or_form = true;
         } else if (args[i] == "--no-optimize") {
@@ -193,6 +253,7 @@ cmdCompile(const std::vector<std::string> &args)
     if (input.empty())
         return usage();
     TraceFile trace_file(trace_path);
+    FaultScope fault_scope(faults_spec);
 
     PipelineConfig config =
         optimize ? PipelineConfig::all() : PipelineConfig::none();
@@ -557,19 +618,32 @@ parseRequestLine(const std::string &line, int lineno)
 int
 cmdBatch(const std::vector<std::string> &args)
 {
-    std::string input, store_dir, trace_path;
+    std::string input, store_dir, trace_path, faults_spec;
     unsigned workers = 0;
     uint64_t store_max_bytes = 0;
+    size_t max_queue = 0;
     bool json = false;
     for (size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--trace" && i + 1 < args.size()) {
             trace_path = args[++i];
+        } else if (args[i] == "--faults" && i + 1 < args.size()) {
+            faults_spec = args[++i];
         } else if (args[i] == "--workers" && i + 1 < args.size()) {
             const std::string &w = args[++i];
             auto [end, ec] =
                 std::from_chars(w.data(), w.data() + w.size(), workers);
             if (ec != std::errc() || end != w.data() + w.size()) {
                 std::fprintf(stderr, "mdesc: bad --workers value '%s'\n",
+                             w.c_str());
+                return 1;
+            }
+        } else if (args[i] == "--max-queue" && i + 1 < args.size()) {
+            const std::string &w = args[++i];
+            auto [end, ec] =
+                std::from_chars(w.data(), w.data() + w.size(), max_queue);
+            if (ec != std::errc() || end != w.data() + w.size()) {
+                std::fprintf(stderr,
+                             "mdesc: bad --max-queue value '%s'\n",
                              w.c_str());
                 return 1;
             }
@@ -600,6 +674,7 @@ cmdBatch(const std::vector<std::string> &args)
     if (input.empty())
         return usage();
     TraceFile trace_file(trace_path);
+    FaultScope fault_scope(faults_spec);
 
     // Read N requests...
     std::istringstream lines(readFile(input));
@@ -624,19 +699,21 @@ cmdBatch(const std::vector<std::string> &args)
     config.num_workers = workers;
     config.store_dir = store_dir;
     config.store_max_bytes = store_max_bytes;
+    config.max_queue = max_queue;
     service::MdesService svc(config);
     std::vector<service::ScheduleResponse> responses =
         svc.runBatch(std::move(requests));
 
     int failures = 0;
+    std::map<service::ErrorCode, int> by_code;
     for (size_t i = 0; i < responses.size(); ++i) {
         const auto &r = responses[i];
         const char *name =
             r.machine.empty() ? "<inline>" : r.machine.c_str();
         if (r.ok()) {
-            std::printf("[%zu] %s: ok, %llu ops in %llu cycles "
+            std::printf("[%zu] %s: ok%s, %llu ops in %llu cycles "
                         "(%zu blocks%s, cache %s)\n",
-                        i, name,
+                        i, name, r.degraded ? " (degraded)" : "",
                         (unsigned long long)r.stats.ops_scheduled,
                         (unsigned long long)r.total_cycles,
                         r.schedules.size() + r.modulo.size(),
@@ -646,10 +723,18 @@ cmdBatch(const std::vector<std::string> &args)
                                        : "miss");
         } else {
             ++failures;
+            ++by_code[r.error.code];
             std::printf("[%zu] %s: %s: %s\n", i, name,
                         service::errorCodeName(r.error.code),
                         r.error.message.c_str());
         }
+    }
+    if (failures) {
+        std::printf("%d of %zu request(s) failed:", failures,
+                    responses.size());
+        for (const auto &[code, count] : by_code)
+            std::printf(" %s=%d", service::errorCodeName(code), count);
+        std::printf("\n");
     }
 
     service::ServiceMetrics metrics = svc.metricsSnapshot();
@@ -658,6 +743,80 @@ cmdBatch(const std::vector<std::string> &args)
     else
         std::printf("\n%s", metrics.toTable().c_str());
     return failures == 0 ? 0 : 1;
+}
+
+/**
+ * `mdesc chaos`: the robustness gate. Sweeps seeded fault schedules
+ * against a live service (see src/service/chaos.h for the invariants)
+ * and exits non-zero on any violation; --report dumps the JSON verdict
+ * CI uploads when a seed fails.
+ */
+int
+cmdChaos(const std::vector<std::string> &args)
+{
+    service::chaos::ChaosConfig config;
+    std::string report_path;
+    auto number = [](const std::string &flag, const std::string &w,
+                     auto &out) {
+        auto [end, ec] =
+            std::from_chars(w.data(), w.data() + w.size(), out);
+        if (ec != std::errc() || end != w.data() + w.size()) {
+            std::fprintf(stderr, "mdesc: bad %s value '%s'\n",
+                         flag.c_str(), w.c_str());
+            return false;
+        }
+        return true;
+    };
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--seeds" && i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1], config.num_seeds))
+                return 1;
+            ++i;
+        } else if (args[i] == "--first-seed" && i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1], config.first_seed))
+                return 1;
+            ++i;
+        } else if (args[i] == "--workers" && i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1], config.workers))
+                return 1;
+            ++i;
+        } else if (args[i] == "--requests" && i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1], config.requests))
+                return 1;
+            ++i;
+        } else if (args[i] == "--store-dir" && i + 1 < args.size()) {
+            config.store_base_dir = args[++i];
+        } else if (args[i] == "--report" && i + 1 < args.size()) {
+            report_path = args[++i];
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         args[i].c_str());
+            return usage();
+        }
+    }
+    if (config.store_base_dir.empty()) {
+        config.store_base_dir =
+            (std::filesystem::temp_directory_path() /
+             "mdesc-chaos-stores")
+                .string();
+    }
+
+    service::chaos::SweepReport report =
+        service::chaos::runSweep(config);
+    std::printf("%s", report.toText().c_str());
+    if (!report_path.empty()) {
+        std::ofstream out(report_path,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr,
+                         "mdesc: cannot write report '%s'\n",
+                         report_path.c_str());
+            return 1;
+        }
+        out << report.toJson() << "\n";
+        std::printf("wrote %s\n", report_path.c_str());
+    }
+    return report.ok() ? 0 : 1;
 }
 
 std::string
@@ -677,7 +836,7 @@ formatUnixTime(int64_t t)
 int
 cmdStoreStat(const std::string &dir, bool json)
 {
-    mdes::store::ArtifactStore st({.dir = dir});
+    mdes::store::ArtifactStore st(mdes::store::StoreConfig{.dir = dir, .creator = {}, .retry = {}});
     auto infos = st.list();
     std::sort(infos.begin(), infos.end(),
               [](const auto &a, const auto &b) { return a.key < b.key; });
@@ -762,7 +921,7 @@ cmdStorePrune(const std::string &dir,
     if (!have_budget)
         return usage();
 
-    mdes::store::ArtifactStore st({.dir = dir});
+    mdes::store::ArtifactStore st(mdes::store::StoreConfig{.dir = dir, .creator = {}, .retry = {}});
     auto result = st.prune(max_bytes);
     std::printf("scanned %llu artifact(s), removed %llu: %llu -> %llu "
                 "bytes (budget %llu)\n",
@@ -895,6 +1054,8 @@ main(int argc, char **argv)
             return cmdSchedule(args);
         if (cmd == "batch")
             return cmdBatch(args);
+        if (cmd == "chaos")
+            return cmdChaos(args);
         if (cmd == "store")
             return cmdStore(args);
         if (cmd == "lint")
