@@ -38,6 +38,7 @@ main()
             exp::Rep rep = rep_idx == 0 ? exp::Rep::OrTree
                                         : exp::Rep::AndOrTree;
             exp::RunConfig config = stageConfig(*m, rep, Stage::Full);
+            config.prefilter = false; // paper accounting (see runStage)
             config.schedule = false;
             exp::RunResult built = exp::run(config);
 

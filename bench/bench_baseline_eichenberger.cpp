@@ -56,6 +56,7 @@ main()
             exp::RunConfig config;
             config.machine = m;
             config.rep = setting.rep;
+            config.prefilter = false; // paper accounting (see runStage)
             config.num_ops_override = 40000;
             config.transforms.cse = true; // shared cleanup everywhere
             config.transforms.redundant_options = true;

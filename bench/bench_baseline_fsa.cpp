@@ -37,6 +37,7 @@ main()
     for (const auto *info : machines::all()) {
         exp::RunConfig config =
             exp::optimizedConfig(*info, exp::Rep::AndOrTree);
+        config.prefilter = false; // paper accounting (see runStage)
         config.schedule = false;
         exp::RunResult built = exp::run(config);
 

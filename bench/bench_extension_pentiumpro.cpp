@@ -46,11 +46,13 @@ main()
                 .memory.total();
         exp::RunConfig or_cfg = stageConfig(*m, exp::Rep::OrTree,
                                             Stage::Original);
+        or_cfg.prefilter = false; // paper accounting (see runStage)
         or_cfg.num_ops_override = 60000;
         double or_checks =
             exp::run(or_cfg).stats.checks.avgChecksPerAttempt();
         exp::RunConfig ao_cfg =
             stageConfig(*m, exp::Rep::AndOrTree, Stage::Full);
+        ao_cfg.prefilter = false; // paper accounting (see runStage)
         ao_cfg.num_ops_override = 60000;
         double andor_checks =
             exp::run(ao_cfg).stats.checks.avgChecksPerAttempt();

@@ -5,11 +5,16 @@
  * optimization stages. Demonstrates the paper's bottom line - the
  * fully optimized AND/OR representation makes exact constraint modeling
  * cheap enough for production compile times.
+ *
+ * `--json <path>` additionally writes machine-readable results
+ * (wall time, ops/sec, checks/op, and the schedule fingerprint) for CI
+ * regression gating; see perf_json.h.
  */
 
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "perf_json.h"
 #include "sched/list_scheduler.h"
 #include "workload/workload.h"
 
@@ -19,7 +24,7 @@ using namespace mdes;
 using namespace mdes::bench;
 
 void
-schedulerThroughput(benchmark::State &state,
+schedulerThroughput(benchmark::State &state, const std::string &name,
                     const machines::MachineInfo &m, exp::Rep rep,
                     Stage stage)
 {
@@ -32,13 +37,30 @@ schedulerThroughput(benchmark::State &state,
     sched::Program program = workload::generate(spec, built.low);
 
     uint64_t ops = 0;
+    uint64_t fingerprint = 0;
+    double checks_per_op = 0;
+    perfjson::Stopwatch watch;
     for (auto _ : state) {
+        watch.start();
         sched::ListScheduler scheduler(built.low);
         sched::SchedStats stats;
-        scheduler.scheduleProgram(program, stats);
+        auto schedules = scheduler.scheduleProgram(program, stats);
+        watch.stop();
         ops += stats.ops_scheduled;
+        // Deterministic: identical every iteration.
+        fingerprint = scheduleFingerprint(schedules);
+        checks_per_op = stats.ops_scheduled
+                            ? double(stats.checks.resource_checks) /
+                                  double(stats.ops_scheduled)
+                            : 0;
     }
     state.SetItemsProcessed(int64_t(ops));
+    state.counters["checks/op"] = checks_per_op;
+
+    perfjson::record(
+        {name, watch.avgMs(),
+         watch.totalSec() > 0 ? double(ops) / watch.totalSec() : 0,
+         checks_per_op, fingerprint});
 }
 
 void
@@ -55,8 +77,8 @@ registerAll()
                                                              : "full");
                 benchmark::RegisterBenchmark(
                     name.c_str(),
-                    [m, rep, stage](benchmark::State &state) {
-                        schedulerThroughput(state, *m, rep, stage);
+                    [name, m, rep, stage](benchmark::State &state) {
+                        schedulerThroughput(state, name, *m, rep, stage);
                     });
             }
         }
@@ -68,9 +90,15 @@ registerAll()
 int
 main(int argc, char **argv)
 {
+    std::string json_path = perfjson::stripJsonFlag(argc, argv);
     registerAll();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    if (!json_path.empty() &&
+        !perfjson::write(json_path, "perf_scheduler", "checks_per_op")) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
     benchmark::Shutdown();
     return 0;
 }

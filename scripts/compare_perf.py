@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Gate perf-bench results against the committed baseline.
+
+Usage: compare_perf.py BASELINE.json CURRENT.json [CURRENT2.json ...]
+
+Each file is a BENCH_perf.json written by `bench_perf_checker --json`
+or `bench_perf_scheduler --json` (see bench/perf_json.h). The gate:
+
+  - every benchmark in the baseline must be present in some current
+    file;
+  - fingerprints must match bit-for-bit (the engines made identical
+    scheduling decisions - wall-time wins must not change behavior);
+  - the checks-per-work metric (checks_per_attempt / checks_per_op)
+    must not regress by more than TOLERANCE (5%).
+
+Wall time and throughput are reported but not gated: CI machines are
+too noisy for a hard wall-clock threshold, while check counts and
+fingerprints are deterministic.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.05
+
+METRICS = ("checks_per_attempt", "checks_per_op")
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for entry in doc["results"]:
+        out[entry["name"]] = entry
+    return out
+
+
+def metric(entry):
+    for name in METRICS:
+        if name in entry:
+            return name, float(entry[name])
+    raise KeyError(f"no checks metric in {entry['name']}: {entry}")
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline = load(argv[1])
+    current = {}
+    for path in argv[2:]:
+        current.update(load(path))
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current results")
+            continue
+        if str(base["fingerprint"]) != str(cur["fingerprint"]):
+            failures.append(
+                f"{name}: fingerprint changed "
+                f"{base['fingerprint']} -> {cur['fingerprint']} "
+                "(scheduling decisions are no longer bit-identical)")
+        mname, bval = metric(base)
+        _, cval = metric(cur)
+        limit = bval * (1 + TOLERANCE)
+        status = "FAIL" if cval > limit else "ok"
+        print(f"{status:4} {name:40} {mname} {bval:.4f} -> {cval:.4f} "
+              f"(limit {limit:.4f})  wall {base['wall_ms']:.3f}ms -> "
+              f"{cur['wall_ms']:.3f}ms")
+        if cval > limit:
+            failures.append(
+                f"{name}: {mname} regressed {bval:.4f} -> {cval:.4f} "
+                f"(> {TOLERANCE:.0%} over baseline)")
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed: {len(baseline)} benchmarks within "
+          f"{TOLERANCE:.0%} of baseline, fingerprints identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -91,6 +91,7 @@ run(const RunConfig &config)
 
     lmdes::LowerOptions lopts;
     lopts.pack_bit_vector = config.bit_vector;
+    lopts.prefilter = config.prefilter;
     result.low = lmdes::LowMdes::lower(result.mid, lopts);
     result.memory = result.low.memory();
 

@@ -45,6 +45,13 @@ struct RunConfig
     Rep rep = Rep::AndOrTree;
     PipelineConfig transforms;
     bool bit_vector = false;
+    /**
+     * Lower with collision-vector prefilters (LowerOptions::prefilter).
+     * The paper-reproduction benches turn this off so checks/options
+     * per attempt are counted by the engine the paper measured;
+     * decisions and schedules are identical either way.
+     */
+    bool prefilter = true;
     /** Override the machine's workload size (0 = use the default). */
     size_t num_ops_override = 0;
     /** Skip workload scheduling (size-only experiments). */

@@ -1,5 +1,6 @@
 #include "lmdes/low_mdes.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
@@ -93,7 +94,115 @@ LowMdes::lower(const Mdes &m, const LowerOptions &opts)
     }
     for (const auto &bp : m.bypasses())
         low.bypasses_.push_back({bp.from, bp.to, bp.latency});
+    low.computeTreeSummaries(opts.prefilter);
     return low;
+}
+
+namespace {
+
+/** Union @p mask into the entry for @p slot of a small (slot, mask)
+ * accumulation list, appending when the slot is new. */
+void
+foldBySlot(std::vector<Check> &list, int32_t slot, uint64_t mask)
+{
+    for (auto &e : list) {
+        if (e.slot == slot) {
+            e.mask |= mask;
+            return;
+        }
+    }
+    list.push_back({slot, mask});
+}
+
+} // namespace
+
+void
+LowMdes::computeTreeSummaries(bool prefilter)
+{
+    tree_summaries_.clear();
+    tree_summaries_.reserve(trees_.size());
+    prefilter_.clear();
+
+    std::vector<Check> inter;      // per-subtree mandatory accumulation
+    std::vector<Check> opt_slots;  // one option's per-slot mask union
+    std::vector<Check> tree_pf;    // this tree's merged prefilter
+
+    for (const LowTree &t : trees_) {
+        TreeSummary sum;
+        sum.first_prefilter = uint32_t(prefilter_.size());
+        tree_pf.clear();
+        int32_t mn = INT32_MAX, mx = INT32_MIN;
+
+        for (uint32_t s = 0; s < t.num_or_trees; ++s) {
+            const LowOrTree &ot = or_trees_[or_refs_[t.first_or_ref + s]];
+            if (ot.num_options == 0)
+                continue; // unsatisfiable subtree; the walk rejects it
+            if (!prefilter) {
+                // Slot window only (needed for addressing); no
+                // mandatory-bit intersection.
+                for (uint32_t oi = 0; oi < ot.num_options; ++oi) {
+                    const LowOption &opt =
+                        options_[option_refs_[ot.first_option_ref + oi]];
+                    for (uint32_t c = 0; c < opt.num_checks; ++c) {
+                        const Check &check = checks_[opt.first_check + c];
+                        mn = std::min(mn, check.slot);
+                        mx = std::max(mx, check.slot);
+                    }
+                }
+                continue;
+            }
+            // Intersect the options' per-slot resource sets: bits every
+            // option of this subtree must reserve are mandatory for the
+            // whole tree.
+            inter.clear();
+            bool alive = true;
+            for (uint32_t oi = 0; oi < ot.num_options; ++oi) {
+                const LowOption &opt =
+                    options_[option_refs_[ot.first_option_ref + oi]];
+                opt_slots.clear();
+                for (uint32_t c = 0; c < opt.num_checks; ++c) {
+                    const Check &check = checks_[opt.first_check + c];
+                    mn = std::min(mn, check.slot);
+                    mx = std::max(mx, check.slot);
+                    foldBySlot(opt_slots, check.slot, check.mask);
+                }
+                if (!alive)
+                    continue; // keep scanning for the min/max window
+                if (oi == 0) {
+                    inter = opt_slots;
+                } else {
+                    for (auto &e : inter) {
+                        uint64_t other = 0;
+                        for (const auto &o : opt_slots) {
+                            if (o.slot == e.slot) {
+                                other = o.mask;
+                                break;
+                            }
+                        }
+                        e.mask &= other;
+                    }
+                    std::erase_if(inter, [](const Check &e) {
+                        return e.mask == 0;
+                    });
+                }
+                alive = !inter.empty();
+            }
+            for (const auto &e : inter)
+                foldBySlot(tree_pf, e.slot, e.mask);
+        }
+
+        std::sort(tree_pf.begin(), tree_pf.end(),
+                  [](const Check &a, const Check &b) {
+                      return a.slot < b.slot;
+                  });
+        prefilter_.insert(prefilter_.end(), tree_pf.begin(),
+                          tree_pf.end());
+        sum.num_prefilter = uint32_t(prefilter_.size()) -
+                            sum.first_prefilter;
+        sum.min_slot = mn == INT32_MAX ? 0 : mn;
+        sum.max_slot = mx == INT32_MIN ? 0 : mx;
+        tree_summaries_.push_back(sum);
+    }
 }
 
 std::string

@@ -50,6 +50,34 @@ struct Check
     bool operator==(const Check &) const = default;
 };
 
+/**
+ * Per-tree probe summary, computed at lowering time and serialized with
+ * the description (format v6).
+ *
+ * `min_slot`/`max_slot` bound every check slot reachable from the tree,
+ * letting the constraint checker address the RU map with one
+ * normalization per scheduling attempt (and take an unchecked
+ * direct-index fast path when the whole window is in range).
+ *
+ * The slice [first_prefilter, first_prefilter + num_prefilter) of
+ * prefilter() is the tree's *collision-vector prefilter*: (slot, mask)
+ * pairs where the mask bits are reserved by EVERY option of some OR
+ * subtree - the forbidden-latency idea of Davidson-style collision
+ * vectors applied to AND/OR trees. If any such bit is busy at probe
+ * time, no option combination can fit, so the checker rejects the
+ * attempt before touching a single option. Entries at the same slot are
+ * merged and sorted by slot.
+ */
+struct TreeSummary
+{
+    int32_t min_slot = 0;
+    int32_t max_slot = 0;
+    uint32_t first_prefilter = 0;
+    uint32_t num_prefilter = 0;
+
+    bool operator==(const TreeSummary &) const = default;
+};
+
 /** A lowered reservation-table option: a slice of the check pool. */
 struct LowOption
 {
@@ -122,6 +150,15 @@ struct LowerOptions
 {
     /** Pack one cycle's usages per option into a single check word. */
     bool pack_bit_vector = false;
+    /**
+     * Compute per-tree collision-vector prefilters (TreeSummary). On by
+     * default - the checker rejects most doomed attempts without walking
+     * any option. The paper-reproduction benches lower with this off so
+     * their options/checks-per-attempt accounting matches the engine
+     * the paper measured (the prefilter changes counts, never
+     * decisions).
+     */
+    bool prefilter = true;
 };
 
 /**
@@ -158,6 +195,13 @@ class LowMdes
     const std::vector<LowOrTree> &orTrees() const { return or_trees_; }
     const std::vector<uint32_t> &orRefs() const { return or_refs_; }
     const std::vector<LowTree> &trees() const { return trees_; }
+    /** Per-tree probe summaries, parallel to trees(). */
+    const std::vector<TreeSummary> &treeSummaries() const
+    {
+        return tree_summaries_;
+    }
+    /** Collision-vector prefilter pool (see TreeSummary). */
+    const std::vector<Check> &prefilter() const { return prefilter_; }
     const std::vector<LowOpClass> &opClasses() const { return op_classes_; }
     const std::vector<LowBypass> &bypasses() const { return bypasses_; }
 
@@ -190,6 +234,12 @@ class LowMdes
     bool operator==(const LowMdes &) const = default;
 
   private:
+    /** Derive tree_summaries_/prefilter_ from the lowered pools (called
+     * at the end of lower(); load() reads the serialized copies). With
+     * @p prefilter false, slot windows are still computed but every
+     * prefilter slice stays empty (see LowerOptions::prefilter). */
+    void computeTreeSummaries(bool prefilter);
+
     std::string machine_name_;
     uint32_t num_resources_ = 0;
     uint32_t slot_words_ = 1;
@@ -201,6 +251,8 @@ class LowMdes
     std::vector<LowOrTree> or_trees_;
     std::vector<uint32_t> or_refs_;
     std::vector<LowTree> trees_;
+    std::vector<TreeSummary> tree_summaries_;
+    std::vector<Check> prefilter_;
     std::vector<LowOpClass> op_classes_;
     std::vector<LowBypass> bypasses_;
 };

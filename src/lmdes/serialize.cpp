@@ -13,12 +13,16 @@
  * reparsing or reoptimizing (the paper's "minimize the time required to
  * load the MDES into memory").
  *
- * Format (version 5):
+ * Format (version 6):
  *
  *   magic "LMDS" | version u32 | payload_size u64 | payload | checksum u64
  *
  * The payload holds the length-prefixed sections of version 3, plus (v5)
- * the per-instance resource names used by conflict profiling; the
+ * the per-instance resource names used by conflict profiling, plus (v6)
+ * the per-tree probe summaries and the collision-vector prefilter pool
+ * the flat query engine uses (see TreeSummary) - precomputed at lowering
+ * time so a loaded description probes exactly as fast as a freshly
+ * lowered one; the
  * trailer is FNV-1a64 over the payload bytes, verified before any
  * parsing so a flipped bit is reported as a checksum mismatch rather
  * than surfacing as a mysterious structural error. All integers are
@@ -37,7 +41,7 @@ namespace mdes::lmdes {
 namespace {
 
 constexpr char kMagic[4] = {'L', 'M', 'D', 'S'};
-constexpr uint32_t kVersion = 5;
+constexpr uint32_t kVersion = 6;
 /** Upper bound on a sane payload; real descriptions are kilobytes. */
 constexpr uint64_t kMaxPayloadBytes = uint64_t(1) << 30;
 
@@ -205,6 +209,8 @@ LowMdes::save(std::ostream &os) const
     writeU32(body, uint32_t(resource_names_.size()));
     for (const auto &name : resource_names_)
         writeStr(body, name);
+    writePod(body, tree_summaries_);
+    writePod(body, prefilter_);
 
     std::string payload = body.str();
     os.write(kMagic, 4);
@@ -314,6 +320,8 @@ LowMdes::load(std::istream &is)
     low.resource_names_.reserve(num_names);
     for (uint32_t i = 0; i < num_names; ++i)
         low.resource_names_.push_back(in.readStr());
+    low.tree_summaries_ = in.readPod<TreeSummary>();
+    low.prefilter_ = in.readPod<Check>();
 
     // Validate every reference so a corrupt stream cannot cause
     // out-of-range indexing later.
@@ -349,6 +357,20 @@ LowMdes::load(std::istream &is)
         if (bp.from >= low.op_classes_.size() ||
             bp.to >= low.op_classes_.size())
             throw MdesError("LMDES bypass references bad operation");
+    }
+    if (low.tree_summaries_.size() != low.trees_.size())
+        throw MdesError("LMDES tree-summary count " +
+                        std::to_string(low.tree_summaries_.size()) +
+                        " does not match tree count " +
+                        std::to_string(low.trees_.size()));
+    for (const auto &sum : low.tree_summaries_) {
+        if (sum.min_slot > sum.max_slot)
+            throw MdesError("LMDES tree summary has inverted slot "
+                            "window");
+        if (size_t(sum.first_prefilter) + sum.num_prefilter >
+            low.prefilter_.size())
+            throw MdesError("LMDES tree summary references bad "
+                            "prefilter range");
     }
     return low;
 }

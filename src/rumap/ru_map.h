@@ -19,6 +19,7 @@
  * the paper contrasts against finite-state-automata approaches.
  */
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -61,46 +62,96 @@ class RuMap
         return m < 0 ? m + ii_ : m;
     }
 
+    // ---- Slot-addressed raw accessors -------------------------------
+    //
+    // `slot` must already be map-normalized (slot == normalize(slot)).
+    // The constraint checker normalizes an attempt's issue cycle exactly
+    // once and then addresses the map through these, so a probe never
+    // pays the Euclidean modulo twice (the pre-rebuild checker
+    // normalized in tryReserve *and* again inside available/reserve).
+
+    /** True if none of the resources in @p mask are reserved at
+     * normalized @p slot. Slots outside a linear map's window are
+     * free. */
+    bool
+    availableSlot(int32_t slot, uint64_t mask) const
+    {
+        assert(slot == normalize(slot));
+        size_t idx = size_t(slot - base_);
+        if (slot < base_ || idx >= words_.size())
+            return true;
+        return (words_[idx] & mask) == 0;
+    }
+
+    /** Reserve the resources in @p mask at normalized @p slot. */
+    void
+    reserveSlot(int32_t slot, uint64_t mask)
+    {
+        assert(slot == normalize(slot));
+        ensure(slot);
+        words_[size_t(slot - base_)] |= mask;
+    }
+
+    /** Release previously reserved resources at normalized @p slot. */
+    void
+    releaseSlot(int32_t slot, uint64_t mask)
+    {
+        assert(slot == normalize(slot));
+        size_t idx = size_t(slot - base_);
+        if (slot >= base_ && idx < words_.size())
+            words_[idx] &= ~mask;
+    }
+
+    /** The reserved-resource word at normalized @p slot (0 outside the
+     * window). */
+    uint64_t
+    wordSlot(int32_t slot) const
+    {
+        assert(slot == normalize(slot));
+        size_t idx = size_t(slot - base_);
+        if (slot < base_ || idx >= words_.size())
+            return 0;
+        return words_[idx];
+    }
+
+    // ---- Window introspection (checker fast path) -------------------
+
+    /** First allocated slot. */
+    int32_t windowBase() const { return base_; }
+    /** Allocated slots starting at windowBase(). */
+    size_t windowSize() const { return words_.size(); }
+    /** The allocated words (windowSize() entries). */
+    const uint64_t *windowData() const { return words_.data(); }
+
+    // ---- Cycle-addressed convenience API ----------------------------
+
     /** True if none of the resources in @p mask are reserved at
      * @p cycle. Cycles outside a linear map's window are free. */
     bool
     available(int32_t cycle, uint64_t mask) const
     {
-        cycle = normalize(cycle);
-        size_t idx = size_t(cycle - base_);
-        if (cycle < base_ || idx >= words_.size())
-            return true;
-        return (words_[idx] & mask) == 0;
+        return availableSlot(normalize(cycle), mask);
     }
 
     /** Reserve the resources in @p mask at @p cycle. */
     void
     reserve(int32_t cycle, uint64_t mask)
     {
-        cycle = normalize(cycle);
-        ensure(cycle);
-        words_[size_t(cycle - base_)] |= mask;
+        reserveSlot(normalize(cycle), mask);
     }
 
     /** Release previously reserved resources (modulo unscheduling). */
     void
     release(int32_t cycle, uint64_t mask)
     {
-        cycle = normalize(cycle);
-        size_t idx = size_t(cycle - base_);
-        if (cycle >= base_ && idx < words_.size())
-            words_[idx] &= ~mask;
+        releaseSlot(normalize(cycle), mask);
     }
 
     /** The reserved-resource word at @p cycle (0 outside the window). */
     uint64_t
     word(int32_t cycle) const
     {
-        cycle = normalize(cycle);
-        size_t idx = size_t(cycle - base_);
-        if (cycle < base_ || idx >= words_.size())
-            return 0;
-        return words_[idx];
+        return wordSlot(normalize(cycle));
     }
 
     /** Forget all reservations (start a new scheduling region). */

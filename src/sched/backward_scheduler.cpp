@@ -18,35 +18,36 @@ BackwardListScheduler::scheduleBlock(const Block &block, SchedStats &stats)
         return sched;
 
     TRACE_SPAN_F(span, "sched/block");
-    std::vector<uint32_t> op_attempts;
     if (span.active())
-        op_attempts.assign(n, 0);
+        op_attempts_.assign(n, 0);
     const uint64_t attempts_before = stats.checks.attempts;
+    const uint64_t prefilter_before = stats.checks.prefilter_hits;
 
-    DepGraph graph = DepGraph::build(block, low_);
-    rumap::RuMap ru;
+    stats.checks.sizeFor(low_);
+    graph_.rebuild(block, low_);
+    ru_.clear();
 
     // Depth = latency-weighted longest path from the block entry; ops
     // deepest in the block schedule first when walking backward.
-    std::vector<int32_t> depth(n, 0);
+    depth_.assign(n, 0);
     for (uint32_t u = 0; u < n; ++u) {
-        for (uint32_t e : graph.predEdges()[u]) {
-            const DepEdge &edge = graph.edges()[e];
-            depth[u] = std::max(depth[u],
-                                depth[edge.pred] + edge.min_dist);
+        for (uint32_t e : graph_.predEdges()[u]) {
+            const DepEdge &edge = graph_.edges()[e];
+            depth_[u] = std::max(depth_[u],
+                                 depth_[edge.pred] + edge.min_dist);
         }
     }
-    std::vector<uint32_t> order(n);
+    ready_.resize(n);
     for (uint32_t i = 0; i < n; ++i)
-        order[i] = i;
-    std::stable_sort(order.begin(), order.end(),
+        ready_[i] = i;
+    std::stable_sort(ready_.begin(), ready_.end(),
                      [&](uint32_t a, uint32_t b) {
-                         return depth[a] > depth[b];
+                         return depth_[a] > depth_[b];
                      });
 
-    std::vector<uint32_t> unscheduled_succs(n, 0);
-    for (const auto &e : graph.edges())
-        ++unscheduled_succs[e.pred];
+    unscheduled_succs_.assign(n, 0);
+    for (const auto &e : graph_.edges())
+        ++unscheduled_succs_[e.pred];
 
     size_t remaining = n;
     int64_t cycle_bound = 64;
@@ -59,16 +60,21 @@ BackwardListScheduler::scheduleBlock(const Block &block, SchedStats &stats)
                 "backward list scheduler exceeded cycle bound; the "
                 "machine description cannot issue some operation");
         }
-        for (uint32_t u : order) {
-            if (sched.cycles[u] <= 0 || unscheduled_succs[u] > 0)
+        // One compacting pass over the ready list (order-preserving, as
+        // in the forward scheduler).
+        size_t w = 0;
+        for (size_t i = 0; i < ready_.size(); ++i) {
+            uint32_t u = ready_[i];
+            ready_[w++] = u;
+            if (unscheduled_succs_[u] > 0)
                 continue;
             const Instr &in = block.instrs[u];
             const lmdes::LowOpClass &cls = low_.opClasses()[in.op_class];
 
             // The latest cycle all outgoing dependences allow.
             int32_t latest = 0;
-            for (uint32_t e : graph.succEdges()[u]) {
-                const DepEdge &edge = graph.edges()[e];
+            for (uint32_t e : graph_.succEdges()[u]) {
+                const DepEdge &edge = graph_.edges()[e];
                 latest = std::min(latest, sched.cycles[edge.succ] -
                                               edge.min_dist);
             }
@@ -76,15 +82,18 @@ BackwardListScheduler::scheduleBlock(const Block &block, SchedStats &stats)
                 continue;
 
             if (span.active())
-                ++op_attempts[u];
-            if (checker_.tryReserve(cls.tree, cycle, ru, stats.checks)) {
+                ++op_attempts_[u];
+            if (checker_.tryReserve(cls.tree, cycle, ru_,
+                                    stats.checks)) {
                 sched.cycles[u] = cycle;
                 sched.issue_order.push_back(u);
                 --remaining;
-                for (uint32_t e : graph.predEdges()[u])
-                    --unscheduled_succs[graph.edges()[e].pred];
+                for (uint32_t e : graph_.predEdges()[u])
+                    --unscheduled_succs_[graph_.edges()[e].pred];
+                --w; // drop u from the ready list
             }
         }
+        ready_.resize(w);
     }
 
     // Normalize so the earliest issue cycle becomes 0.
@@ -103,11 +112,13 @@ BackwardListScheduler::scheduleBlock(const Block &block, SchedStats &stats)
     stats.ops_scheduled += n;
     stats.total_schedule_length += uint64_t(sched.length);
     if (span.active()) {
-        for (uint32_t a : op_attempts)
+        for (uint32_t a : op_attempts_)
             stats.attempts_per_op.add(a);
         span.counter("ops", n);
         span.counter("length", uint64_t(sched.length));
         span.counter("attempts", stats.checks.attempts - attempts_before);
+        span.counter("prefilter_hits",
+                     stats.checks.prefilter_hits - prefilter_before);
     }
     return sched;
 }

@@ -52,6 +52,15 @@ class BackwardListScheduler
   private:
     const lmdes::LowMdes &low_;
     rumap::Checker checker_;
+
+    // Per-block scratch, reused across scheduleBlock() calls (see
+    // ListScheduler).
+    DepGraph graph_;
+    rumap::RuMap ru_;
+    std::vector<int32_t> depth_;
+    std::vector<uint32_t> ready_;
+    std::vector<uint32_t> unscheduled_succs_;
+    std::vector<uint32_t> op_attempts_;
 };
 
 } // namespace mdes::sched

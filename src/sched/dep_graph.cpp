@@ -1,7 +1,6 @@
 #include "sched/dep_graph.h"
 
 #include <algorithm>
-#include <map>
 
 namespace mdes::sched {
 
@@ -9,9 +8,40 @@ DepGraph
 DepGraph::build(const Block &block, const lmdes::LowMdes &low)
 {
     DepGraph g;
+    g.rebuild(block, low);
+    return g;
+}
+
+DepGraph::RegState &
+DepGraph::regState(int32_t r)
+{
+    for (size_t i = 0; i < reg_live_; ++i) {
+        if (reg_scratch_[i].reg == r)
+            return reg_scratch_[i];
+    }
+    if (reg_live_ == reg_scratch_.size())
+        reg_scratch_.emplace_back();
+    RegState &st = reg_scratch_[reg_live_++];
+    st.reg = r;
+    st.has_writer = false;
+    st.readers.clear();
+    return st;
+}
+
+void
+DepGraph::rebuild(const Block &block, const lmdes::LowMdes &low)
+{
     const size_t n = block.instrs.size();
-    g.pred_edges_.resize(n);
-    g.succ_edges_.resize(n);
+    edges_.clear();
+    if (pred_edges_.size() < n) {
+        pred_edges_.resize(n);
+        succ_edges_.resize(n);
+    }
+    for (size_t i = 0; i < n; ++i) {
+        pred_edges_[i].clear();
+        succ_edges_[i].clear();
+    }
+    reg_live_ = 0;
 
     auto addEdge = [&](uint32_t pred, uint32_t succ, int32_t dist,
                        bool relax) {
@@ -21,8 +51,8 @@ DepGraph::build(const Block &block, const lmdes::LowMdes &low)
             return;
         // Keep only the strongest edge per (pred, succ) pair; a
         // non-relaxable edge dominates a relaxable one of equal length.
-        for (uint32_t e : g.succ_edges_[pred]) {
-            DepEdge &edge = g.edges_[e];
+        for (uint32_t e : succ_edges_[pred]) {
+            DepEdge &edge = edges_[e];
             if (edge.succ == succ) {
                 if (dist > edge.min_dist) {
                     edge.min_dist = dist;
@@ -33,39 +63,36 @@ DepGraph::build(const Block &block, const lmdes::LowMdes &low)
                 return;
             }
         }
-        g.edges_.push_back({pred, succ, dist, relax});
-        uint32_t idx = uint32_t(g.edges_.size() - 1);
-        g.succ_edges_[pred].push_back(idx);
-        g.pred_edges_[succ].push_back(idx);
+        edges_.push_back({pred, succ, dist, relax});
+        uint32_t idx = uint32_t(edges_.size() - 1);
+        succ_edges_[pred].push_back(idx);
+        pred_edges_[succ].push_back(idx);
     };
-
-    // Last writer and readers-since-last-write per register.
-    std::map<int32_t, uint32_t> last_writer;
-    std::map<int32_t, std::vector<uint32_t>> readers;
 
     for (uint32_t i = 0; i < n; ++i) {
         const Instr &in = block.instrs[i];
         for (int32_t r : in.srcs) {
-            auto w = last_writer.find(r);
-            if (w != last_writer.end()) {
-                const Instr &producer = block.instrs[w->second];
+            RegState &st = regState(r);
+            if (st.has_writer) {
+                const Instr &producer = block.instrs[st.last_writer];
                 int32_t lat =
                     low.flowLatency(producer.op_class, in.op_class);
                 bool relax = in.cascadable && lat == 1;
-                addEdge(w->second, i, lat, relax);
+                addEdge(st.last_writer, i, lat, relax);
             }
-            readers[r].push_back(i);
+            st.readers.push_back(i);
         }
         for (int32_t r : in.dsts) {
-            auto w = last_writer.find(r);
-            if (w != last_writer.end())
-                addEdge(w->second, i, 1, false); // WAW
-            for (uint32_t reader : readers[r]) {
+            RegState &st = regState(r);
+            if (st.has_writer)
+                addEdge(st.last_writer, i, 1, false); // WAW
+            for (uint32_t reader : st.readers) {
                 if (reader != i)
                     addEdge(reader, i, 0, false); // WAR
             }
-            readers[r].clear();
-            last_writer[r] = i;
+            st.readers.clear();
+            st.last_writer = i;
+            st.has_writer = true;
         }
     }
 
@@ -77,17 +104,16 @@ DepGraph::build(const Block &block, const lmdes::LowMdes &low)
 
     // Critical-path priorities, computed backwards (the IR is a DAG in
     // program order, so a reverse scan sees all successors first).
-    g.priorities_.assign(n, 0);
+    priorities_.assign(n, 0);
     for (size_t i = n; i > 0; --i) {
         uint32_t u = uint32_t(i - 1);
         int32_t h = low.opClasses()[block.instrs[u].op_class].latency;
-        for (uint32_t e : g.succ_edges_[u]) {
-            const DepEdge &edge = g.edges_[e];
-            h = std::max(h, edge.min_dist + g.priorities_[edge.succ]);
+        for (uint32_t e : succ_edges_[u]) {
+            const DepEdge &edge = edges_[e];
+            h = std::max(h, edge.min_dist + priorities_[edge.succ]);
         }
-        g.priorities_[u] = h;
+        priorities_[u] = h;
     }
-    return g;
 }
 
 } // namespace mdes::sched

@@ -44,9 +44,18 @@ class DepGraph
     /** Build the graph for @p block using latencies from @p low. */
     static DepGraph build(const Block &block, const lmdes::LowMdes &low);
 
+    /**
+     * Rebuild this graph for @p block in place, reusing edge, adjacency
+     * and register-tracking storage from earlier builds. Schedulers keep
+     * one DepGraph per scheduler and rebuild it per block (blocks are
+     * small, so the allocations dominate a from-scratch build).
+     */
+    void rebuild(const Block &block, const lmdes::LowMdes &low);
+
     const std::vector<DepEdge> &edges() const { return edges_; }
 
-    /** Edge indices entering each instruction. */
+    /** Edge indices entering each instruction. Sized to at least the
+     * block's instruction count (rebuild() keeps larger storage). */
     const std::vector<std::vector<uint32_t>> &predEdges() const
     {
         return pred_edges_;
@@ -66,10 +75,26 @@ class DepGraph
     const std::vector<int32_t> &priorities() const { return priorities_; }
 
   private:
+    /** Last writer and readers-since-last-write of one register. Blocks
+     * touch a handful of registers, so a linearly scanned flat list
+     * beats a node-allocating map; entries (and their readers vectors)
+     * are recycled across rebuilds. */
+    struct RegState
+    {
+        int32_t reg = 0;
+        uint32_t last_writer = 0;
+        bool has_writer = false;
+        std::vector<uint32_t> readers;
+    };
+
+    RegState &regState(int32_t r);
+
     std::vector<DepEdge> edges_;
     std::vector<std::vector<uint32_t>> pred_edges_;
     std::vector<std::vector<uint32_t>> succ_edges_;
     std::vector<int32_t> priorities_;
+    std::vector<RegState> reg_scratch_;
+    size_t reg_live_ = 0;
 };
 
 } // namespace mdes::sched

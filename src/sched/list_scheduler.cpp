@@ -21,28 +21,29 @@ ListScheduler::scheduleBlock(const Block &block, SchedStats &stats)
     // Probe hook: per-op attempt counts, collected only under a live
     // span so the untraced loop pays a flag test and nothing more.
     TRACE_SPAN_F(span, "sched/block");
-    std::vector<uint32_t> op_attempts;
     if (span.active())
-        op_attempts.assign(n, 0);
+        op_attempts_.assign(n, 0);
     const uint64_t attempts_before = stats.checks.attempts;
+    const uint64_t prefilter_before = stats.checks.prefilter_hits;
 
-    DepGraph graph = DepGraph::build(block, low_);
-    rumap::RuMap ru;
+    stats.checks.sizeFor(low_);
+    graph_.rebuild(block, low_);
+    ru_.clear();
 
     // Instruction order for the ready list: critical path first, then
     // source order (deterministic across representations/transforms).
-    std::vector<uint32_t> order(n);
+    ready_.resize(n);
     for (uint32_t i = 0; i < n; ++i)
-        order[i] = i;
-    std::stable_sort(order.begin(), order.end(),
+        ready_[i] = i;
+    std::stable_sort(ready_.begin(), ready_.end(),
                      [&](uint32_t a, uint32_t b) {
-                         return graph.priorities()[a] >
-                                graph.priorities()[b];
+                         return graph_.priorities()[a] >
+                                graph_.priorities()[b];
                      });
 
-    std::vector<uint32_t> unscheduled_preds(n, 0);
-    for (const auto &e : graph.edges())
-        ++unscheduled_preds[e.succ];
+    unscheduled_preds_.assign(n, 0);
+    for (const auto &e : graph_.edges())
+        ++unscheduled_preds_[e.succ];
 
     size_t remaining = n;
     // Generous safety bound: every op needs at least one cycle, plus
@@ -57,8 +58,14 @@ ListScheduler::scheduleBlock(const Block &block, SchedStats &stats)
                 "list scheduler exceeded cycle bound; the machine "
                 "description cannot issue some operation");
         }
-        for (uint32_t u : order) {
-            if (sched.cycles[u] >= 0 || unscheduled_preds[u] > 0)
+        // One pass over the ready list, compacting out the operations
+        // placed this cycle (order-preserving, so priority ties keep
+        // resolving by source order).
+        size_t w = 0;
+        for (size_t i = 0; i < ready_.size(); ++i) {
+            uint32_t u = ready_[i];
+            ready_[w++] = u;
+            if (unscheduled_preds_[u] > 0)
                 continue;
             const Instr &in = block.instrs[u];
             const lmdes::LowOpClass &cls = low_.opClasses()[in.op_class];
@@ -67,8 +74,8 @@ ListScheduler::scheduleBlock(const Block &block, SchedStats &stats)
             // earlier cycle reachable by cascading relaxable RAW edges.
             int32_t normal_ready = 0;
             int32_t cascade_ready = 0;
-            for (uint32_t e : graph.predEdges()[u]) {
-                const DepEdge &edge = graph.edges()[e];
+            for (uint32_t e : graph_.predEdges()[u]) {
+                const DepEdge &edge = graph_.edges()[e];
                 int32_t at = sched.cycles[edge.pred] + edge.min_dist;
                 normal_ready = std::max(normal_ready, at);
                 int32_t relaxed = edge.cascade_relax
@@ -85,27 +92,31 @@ ListScheduler::scheduleBlock(const Block &block, SchedStats &stats)
             uint32_t tree = use_cascade ? cls.cascade_tree : cls.tree;
 
             if (span.active())
-                ++op_attempts[u];
-            if (checker_.tryReserve(tree, cycle, ru, stats.checks)) {
+                ++op_attempts_[u];
+            if (checker_.tryReserve(tree, cycle, ru_, stats.checks)) {
                 sched.cycles[u] = cycle;
                 sched.used_cascade[u] = use_cascade ? 1 : 0;
                 sched.length = std::max(sched.length, cycle + 1);
                 sched.issue_order.push_back(u);
                 --remaining;
-                for (uint32_t e : graph.succEdges()[u])
-                    --unscheduled_preds[graph.edges()[e].succ];
+                for (uint32_t e : graph_.succEdges()[u])
+                    --unscheduled_preds_[graph_.edges()[e].succ];
+                --w; // drop u from the ready list
             }
         }
+        ready_.resize(w);
     }
 
     stats.ops_scheduled += n;
     stats.total_schedule_length += uint64_t(sched.length);
     if (span.active()) {
-        for (uint32_t a : op_attempts)
+        for (uint32_t a : op_attempts_)
             stats.attempts_per_op.add(a);
         span.counter("ops", n);
         span.counter("length", uint64_t(sched.length));
         span.counter("attempts", stats.checks.attempts - attempts_before);
+        span.counter("prefilter_hits",
+                     stats.checks.prefilter_hits - prefilter_before);
     }
     return sched;
 }

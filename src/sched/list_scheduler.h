@@ -86,6 +86,15 @@ class ListScheduler
   private:
     const lmdes::LowMdes &low_;
     rumap::Checker checker_;
+
+    // Per-block scratch, reused across scheduleBlock() calls: blocks are
+    // a handful of operations, so allocation (dep graph adjacency, ready
+    // list, RU map window) costs more than the scheduling itself.
+    DepGraph graph_;
+    rumap::RuMap ru_;
+    std::vector<uint32_t> ready_;
+    std::vector<uint32_t> unscheduled_preds_;
+    std::vector<uint32_t> op_attempts_;
 };
 
 } // namespace mdes::sched

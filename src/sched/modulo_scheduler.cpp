@@ -149,6 +149,7 @@ ModuloScheduler::schedule(const Block &body, SchedStats &stats,
     std::vector<uint32_t> op_attempts;
     if (span.active())
         op_attempts.assign(n, 0);
+    stats.checks.sizeFor(low_);
 
     std::vector<std::vector<uint32_t>> pred_edges(n), succ_edges(n);
     for (uint32_t e = 0; e < graph.edges().size(); ++e) {
@@ -194,8 +195,9 @@ ModuloScheduler::schedule(const Block &body, SchedStats &stats,
         };
 
         auto unschedule = [&](uint32_t u) {
+            // Reservation cycles are already map-normalized slots.
             for (const auto &r : reservations[u])
-                ru.release(r.cycle, r.mask);
+                ru.releaseSlot(r.cycle, r.mask);
             reservations[u].clear();
             times[u] = kUnscheduled;
             ++result.evictions;
@@ -290,7 +292,7 @@ ModuloScheduler::schedule(const Block &body, SchedStats &stats,
                         unschedule(v);
                 }
                 for (const auto &rn : needed)
-                    ru.reserve(rn.cycle, rn.mask);
+                    ru.reserveSlot(rn.cycle, rn.mask);
                 reservations[u] = needed;
                 times[u] = t_force;
             }

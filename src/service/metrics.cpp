@@ -132,6 +132,8 @@ ServiceMetrics::merge(const ServiceMetrics &other)
     ops_scheduled += other.ops_scheduled;
     attempts += other.attempts;
     resource_checks += other.resource_checks;
+    prefilter_hits += other.prefilter_hits;
+    probe_fastpath += other.probe_fastpath;
     requests_shed += other.requests_shed;
     degraded_responses += other.degraded_responses;
     for (const auto &[name, counts] : other.fault_sites) {
@@ -289,14 +291,16 @@ ServiceMetrics::toTable() const
     out += lat.toString();
 
     TextTable sched;
-    sched.setHeader(
-        {"Ops Scheduled", "Attempts", "Resource Checks", "Checks/Attempt"});
+    sched.setHeader({"Ops Scheduled", "Attempts", "Resource Checks",
+                     "Checks/Attempt", "Prefilter Hits", "Fast Path"});
     sched.addRow({std::to_string(ops_scheduled), std::to_string(attempts),
                   std::to_string(resource_checks),
                   TextTable::num(attempts ? double(resource_checks) /
                                                 double(attempts)
                                           : 0.0,
-                                 2)});
+                                 2),
+                  std::to_string(prefilter_hits),
+                  std::to_string(probe_fastpath)});
     out += sched.toString();
 
     // --- Trace section ------------------------------------------------
@@ -402,6 +406,8 @@ ServiceMetrics::toJson() const
     w.key("ops_scheduled").value(ops_scheduled);
     w.key("attempts").value(attempts);
     w.key("resource_checks").value(resource_checks);
+    w.key("prefilter_hits").value(prefilter_hits);
+    w.key("probe_fastpath").value(probe_fastpath);
     w.endObject();
     w.key("trace").beginObject();
     w.key("transform_effects").beginObject();

@@ -133,6 +133,10 @@ struct ServiceMetrics
     uint64_t ops_scheduled = 0;
     uint64_t attempts = 0;
     uint64_t resource_checks = 0;
+    /** Attempts rejected outright by the collision-vector prefilter. */
+    uint64_t prefilter_hits = 0;
+    /** Attempts that took the checker's slot-addressed fast path. */
+    uint64_t probe_fastpath = 0;
 
     // --- Robustness section -------------------------------------------
 

@@ -307,6 +307,8 @@ MdesService::process(Job &job, ServiceMetrics &metrics,
         metrics.ops_scheduled += resp.stats.ops_scheduled;
         metrics.attempts += resp.stats.checks.attempts;
         metrics.resource_checks += resp.stats.checks.resource_checks;
+        metrics.prefilter_hits += resp.stats.checks.prefilter_hits;
+        metrics.probe_fastpath += resp.stats.checks.probe_fastpath;
         if (compiled)
             metrics.transform_effects.add(pipeline_stats);
         metrics.attempts_per_op.merge(resp.stats.attempts_per_op);

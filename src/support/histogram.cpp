@@ -7,16 +7,6 @@
 namespace mdes {
 
 void
-Histogram::add(uint64_t value)
-{
-    if (value >= counts_.size())
-        counts_.resize(value + 1, 0);
-    ++counts_[value];
-    ++total_;
-    weighted_sum_ += value;
-}
-
-void
 Histogram::merge(const Histogram &other)
 {
     if (other.counts_.size() > counts_.size())
@@ -24,7 +14,6 @@ Histogram::merge(const Histogram &other)
     for (size_t i = 0; i < other.counts_.size(); ++i)
         counts_[i] += other.counts_[i];
     total_ += other.total_;
-    weighted_sum_ += other.weighted_sum_;
 }
 
 uint64_t
@@ -63,7 +52,12 @@ Histogram::maxValue() const
 double
 Histogram::mean() const
 {
-    return total_ == 0 ? 0.0 : double(weighted_sum_) / double(total_);
+    if (total_ == 0)
+        return 0.0;
+    uint64_t weighted_sum = 0;
+    for (size_t v = 0; v < counts_.size(); ++v)
+        weighted_sum += counts_[v] * v;
+    return double(weighted_sum) / double(total_);
 }
 
 std::string

@@ -20,8 +20,18 @@ namespace mdes {
 class Histogram
 {
   public:
-    /** Record one sample of @p value. */
-    void add(uint64_t value);
+    /** Record one sample of @p value. Inline and minimal: the
+     * constraint checker records one sample per scheduling attempt, so
+     * this is two increments on the hot path (the mean is derived from
+     * the counts on demand instead of being maintained here). */
+    void
+    add(uint64_t value)
+    {
+        if (value >= counts_.size()) [[unlikely]]
+            counts_.resize(value + 1, 0);
+        ++counts_[value];
+        ++total_;
+    }
 
     /** Merge another histogram into this one. */
     void merge(const Histogram &other);
@@ -55,7 +65,6 @@ class Histogram
   private:
     std::vector<uint64_t> counts_;
     uint64_t total_ = 0;
-    uint64_t weighted_sum_ = 0;
 };
 
 } // namespace mdes

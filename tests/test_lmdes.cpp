@@ -251,7 +251,7 @@ TEST(Serialize, VersionMismatchReportsFoundAndExpected)
     } catch (const MdesError &e) {
         EXPECT_NE(std::string(e.what()).find("99"), std::string::npos)
             << e.what();
-        EXPECT_NE(std::string(e.what()).find("5"), std::string::npos)
+        EXPECT_NE(std::string(e.what()).find("6"), std::string::npos)
             << e.what();
     }
 }

@@ -116,7 +116,10 @@ TEST(Checker, ReservesChosenOptionsOnly)
     EXPECT_EQ(stats.attempts, 1u);
     EXPECT_EQ(stats.successes, 1u);
     EXPECT_EQ(stats.options_checked, 3u);
-    EXPECT_EQ(stats.resource_checks, 3u);
+    // 1 prefilter probe (U is mandatory: the unit subtree has a single
+    // option) + 3 option checks.
+    EXPECT_EQ(stats.resource_checks, 4u);
+    EXPECT_EQ(stats.prefilter_hits, 0u);
 }
 
 TEST(Checker, PriorityFallbackAndShortCircuit)
@@ -129,11 +132,12 @@ TEST(Checker, PriorityFallbackAndShortCircuit)
 
     // Three loads in a row at cycle 0: decoders run out on the fourth.
     EXPECT_TRUE(checker.tryReserve(0, 0, ru, stats));  // U busy now
-    // Second load at cycle 0 fails on the memory unit immediately.
+    // Second load at cycle 0 fails on the memory unit immediately: U is
+    // mandatory (single-option subtree), so the collision-vector
+    // prefilter rejects the attempt before any option is walked.
     EXPECT_FALSE(checker.tryReserve(0, 0, ru, stats));
-    // The failing attempt checked only the one U option (short-circuit
-    // at the AND level).
-    EXPECT_EQ(stats.options_per_attempt.countAt(1), 1u);
+    EXPECT_EQ(stats.options_per_attempt.countAt(0), 1u);
+    EXPECT_EQ(stats.prefilter_hits, 1u);
     EXPECT_EQ(stats.attempts, 2u);
     EXPECT_EQ(stats.successes, 1u);
 }
@@ -150,9 +154,11 @@ TEST(Checker, FailureChecksAllOptionsOfTheFailingSubtree)
                        (uint64_t(1) << 5));
     CheckStats stats;
     EXPECT_FALSE(checker.tryReserve(0, 0, ru, stats));
-    // 1 (U) + 1 (W[0]) + 3 (all decoders) options checked.
+    // 1 (U) + 1 (W[0]) + 3 (all decoders) options checked; the
+    // prefilter probe (U free) adds one resource check.
     EXPECT_EQ(stats.options_checked, 5u);
-    EXPECT_EQ(stats.resource_checks, 5u);
+    EXPECT_EQ(stats.resource_checks, 6u);
+    EXPECT_EQ(stats.prefilter_hits, 0u);
     // Nothing was reserved by the failed attempt.
     EXPECT_TRUE(ru.available(0, uint64_t(1) << 0));
     EXPECT_TRUE(ru.available(1, uint64_t(1) << 1));
@@ -220,8 +226,11 @@ TEST(Checker, BitVectorEncodingCountsMergedChecks)
     CheckStats s1, s2;
     EXPECT_TRUE(cs.tryReserve(0, 0, ru1, s1));
     EXPECT_TRUE(cp.tryReserve(0, 0, ru2, s2));
-    EXPECT_EQ(s1.resource_checks, 3u);
-    EXPECT_EQ(s2.resource_checks, 1u);
+    // Single-option tree: the prefilter covers the whole option (one
+    // merged probe in both encodings), then the option itself is
+    // checked - 3 scalar checks vs 1 packed check.
+    EXPECT_EQ(s1.resource_checks, 4u);
+    EXPECT_EQ(s2.resource_checks, 2u);
     EXPECT_EQ(ru1.word(0), ru2.word(0));
 }
 
