@@ -11,7 +11,11 @@ or `bench_perf_scheduler --json` (see bench/perf_json.h). The gate:
   - fingerprints must match bit-for-bit (the engines made identical
     scheduling decisions - wall-time wins must not change behavior);
   - the checks-per-work metric (checks_per_attempt / checks_per_op)
-    must not regress by more than TOLERANCE (5%).
+    must not regress by more than TOLERANCE (5%);
+  - a baseline entry carrying "band": [lo, hi] gates its metric inside
+    that inclusive range instead - bench_net_throughput's shed_rate
+    uses this, since a rate is sane within a band rather than
+    monotonically better when smaller.
 
 Wall time and throughput are reported but not gated: CI machines are
 too noisy for a hard wall-clock threshold, while check counts and
@@ -23,7 +27,7 @@ import sys
 
 TOLERANCE = 0.05
 
-METRICS = ("checks_per_attempt", "checks_per_op")
+METRICS = ("checks_per_attempt", "checks_per_op", "shed_rate")
 
 
 def load(path):
@@ -64,6 +68,18 @@ def main(argv):
                 "(scheduling decisions are no longer bit-identical)")
         mname, bval = metric(base)
         _, cval = metric(cur)
+        if "band" in base:
+            lo, hi = (float(v) for v in base["band"])
+            bad = not (lo <= cval <= hi)
+            status = "FAIL" if bad else "ok"
+            print(f"{status:4} {name:40} {mname} {cval:.4f} "
+                  f"(band [{lo:.4f}, {hi:.4f}])  wall "
+                  f"{base['wall_ms']:.3f}ms -> {cur['wall_ms']:.3f}ms")
+            if bad:
+                failures.append(
+                    f"{name}: {mname} {cval:.4f} outside sanity band "
+                    f"[{lo:.4f}, {hi:.4f}]")
+            continue
         limit = bval * (1 + TOLERANCE)
         status = "FAIL" if cval > limit else "ok"
         print(f"{status:4} {name:40} {mname} {bval:.4f} -> {cval:.4f} "

@@ -1,0 +1,40 @@
+#ifndef MDES_NET_CHAOS_SOCKET_H
+#define MDES_NET_CHAOS_SOCKET_H
+
+/**
+ * @file
+ * The chaos harness's socket driver: runs each seed's request mix
+ * through a loopback mdes::net server instead of in-process runBatch,
+ * so the five robustness invariants are asserted across the wire and
+ * under the net fault sites (accept failure, short read/write, peer
+ * reset, stalled write) with connection churn.
+ *
+ * Churn model: one fresh connection per request, sequential. A
+ * transport failure (reset, EOF, refused) retries on a new connection
+ * up to kMaxTransportRetries times; Plan::fuzz keeps the severing
+ * sites sub-certain, so bounded retries always progress. A request
+ * that exhausts retries reports ErrorCode::Internal, which the
+ * invariant checks correctly flag as a violation - the server is never
+ * allowed to make a request disappear without a typed outcome.
+ *
+ * Determinism (invariant 4) holds because everything the fault
+ * decisions key on is reproduced per run: a fresh server numbers its
+ * connections from the same first id, the sequential client produces
+ * the same connection/request order, and the observable net sites are
+ * evaluated at protocol events (per accept, per decoded request), not
+ * per syscall.
+ */
+
+#include "service/chaos.h"
+
+namespace mdes::net {
+
+/** Bounded retries per request on transport failure. */
+inline constexpr unsigned kMaxTransportRetries = 8;
+
+/** The socket RunDriver (install into ChaosConfig::driver). */
+service::chaos::RunDriver chaosSocketDriver();
+
+} // namespace mdes::net
+
+#endif // MDES_NET_CHAOS_SOCKET_H

@@ -1,0 +1,103 @@
+#ifndef MDES_NET_CLIENT_H
+#define MDES_NET_CLIENT_H
+
+/**
+ * @file
+ * Blocking client for the mdes::net protocol - the counterpart the
+ * tools (mdesc netbatch), the chaos harness, and the network bench
+ * drive the server with. One connection, one outstanding request at a
+ * time; pipelined load is produced by running several clients.
+ *
+ * Transport failures (connect refused, reset, EOF mid-response) are
+ * not exceptions: they come back as NetResponse::transport_ok == false
+ * so retry loops - the chaos harness's bounded-retry client - can tell
+ * "the connection died" (retryable) from a typed service error
+ * (definitive).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "service/service.h"
+
+namespace mdes::net {
+
+/** One request's outcome as observed through the socket. */
+struct NetResponse
+{
+    /** False when the transport failed before a response arrived
+     * (connect/reset/EOF); every other field is meaningless then. */
+    bool transport_ok = false;
+
+    uint64_t id = 0;
+    service::ErrorCode code = service::ErrorCode::Internal;
+    /** Printable code name as sent by the server ("ok", "overloaded"). */
+    std::string error;
+    std::string message;
+    std::string machine;
+    /** scheduleFingerprint() of the response, for cross-path equality
+     * against an in-process run. */
+    uint64_t fingerprint = 0;
+    bool cache_hit = false;
+    bool disk_hit = false;
+    bool degraded = false;
+    uint64_t total_cycles = 0;
+    uint64_t blocks = 0;
+
+    bool
+    ok() const
+    {
+        return transport_ok && code == service::ErrorCode::Ok;
+    }
+};
+
+/** Parse the server's response JSON body into a NetResponse (with
+ * transport_ok set); throws MdesError on malformed JSON. */
+NetResponse parseResponseJson(const std::string &body);
+
+/**
+ * Shard-routing hint for @p req: the artifactKey of its compiled
+ * description when the client can compute it (built-in machine), else
+ * 0 ("any shard"). Requests for the same description always land on
+ * the same shard, so each shard's memory cache stays hot.
+ */
+uint64_t routeKey(const service::ScheduleRequest &req);
+
+/** Blocking protocol client (binary frames or JSON-lines mode). */
+class BlockingClient
+{
+  public:
+    /** Connect to @p host:@p port; check connected() - a refused
+     * connection is a state, not an exception. */
+    BlockingClient(const std::string &host, uint16_t port,
+                   bool json_mode = false);
+    ~BlockingClient();
+
+    BlockingClient(const BlockingClient &) = delete;
+    BlockingClient &operator=(const BlockingClient &) = delete;
+
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Send one request line (request_parse.h grammar) and block for
+     * its response. @p deadline_ms rides in the frame header (JSON
+     * mode: the "deadline_ms" field); @p route is the shard hint.
+     */
+    NetResponse request(const std::string &line, uint32_t deadline_ms = 0,
+                        uint64_t route = 0);
+
+    /** Binary-mode liveness probe (Ping/Pong round trip). */
+    bool ping();
+
+  private:
+    NetResponse readResponse(uint64_t want_id);
+
+    int fd_ = -1;
+    bool json_mode_ = false;
+    uint64_t next_id_ = 1;
+    std::string inbuf_;
+};
+
+} // namespace mdes::net
+
+#endif // MDES_NET_CLIENT_H

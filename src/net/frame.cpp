@@ -1,0 +1,163 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "support/diagnostics.h"
+
+namespace mdes::net {
+
+namespace {
+
+/** Little-endian stores/loads; explicit so the wire format does not
+ * depend on host byte order. */
+void
+put16(std::string &out, uint16_t v)
+{
+    out.push_back(char(v & 0xff));
+    out.push_back(char((v >> 8) & 0xff));
+}
+
+void
+put32(std::string &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(char((v >> (8 * i)) & 0xff));
+}
+
+void
+put64(std::string &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(char((v >> (8 * i)) & 0xff));
+}
+
+uint16_t
+get16(const char *p)
+{
+    return uint16_t(uint8_t(p[0])) | uint16_t(uint8_t(p[1])) << 8;
+}
+
+uint32_t
+get32(const char *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= uint32_t(uint8_t(p[i])) << (8 * i);
+    return v;
+}
+
+uint64_t
+get64(const char *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= uint64_t(uint8_t(p[i])) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+bool
+frameTypeValid(uint8_t t)
+{
+    return t >= uint8_t(FrameType::Request) && t <= uint8_t(FrameType::Pong);
+}
+
+const char *
+protoErrorName(ProtoError e)
+{
+    switch (e) {
+    case ProtoError::None: return "none";
+    case ProtoError::BadMagic: return "bad-magic";
+    case ProtoError::BadVersion: return "bad-version";
+    case ProtoError::BadType: return "bad-type";
+    case ProtoError::BadFlags: return "bad-flags";
+    case ProtoError::OversizedPayload: return "oversized-payload";
+    }
+    return "?";
+}
+
+std::string
+encodeFrame(const Frame &frame)
+{
+    if (frame.payload.size() > kMaxPayload)
+        throw MdesError("net: frame payload " +
+                        std::to_string(frame.payload.size()) +
+                        " bytes exceeds cap " + std::to_string(kMaxPayload));
+    std::string out;
+    out.reserve(kHeaderSize + frame.payload.size());
+    out.append(kMagic, sizeof(kMagic));
+    out.push_back(char(kVersion));
+    out.push_back(char(uint8_t(frame.type)));
+    put16(out, 0); // flags
+    put32(out, uint32_t(frame.payload.size()));
+    put32(out, frame.deadline_ms);
+    put64(out, frame.id);
+    put64(out, frame.route);
+    out += frame.payload;
+    return out;
+}
+
+void
+FrameDecoder::feed(const char *data, size_t len)
+{
+    if (error_ != ProtoError::None)
+        return;
+    // Compact before growing once the consumed prefix dominates, so a
+    // long-lived connection's buffer stays proportional to in-flight
+    // bytes rather than total traffic.
+    if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    buf_.append(data, len);
+}
+
+FrameDecoder::Status
+FrameDecoder::next(Frame *out)
+{
+    if (error_ != ProtoError::None)
+        return Status::Error;
+    if (buf_.size() - pos_ < kHeaderSize)
+        return Status::NeedMore;
+    const char *h = buf_.data() + pos_;
+
+    // Validate the fixed header before trusting any length it carries.
+    if (std::memcmp(h, kMagic, sizeof(kMagic)) != 0) {
+        error_ = ProtoError::BadMagic;
+        return Status::Error;
+    }
+    if (uint8_t(h[4]) != kVersion) {
+        error_ = ProtoError::BadVersion;
+        return Status::Error;
+    }
+    if (!frameTypeValid(uint8_t(h[5]))) {
+        error_ = ProtoError::BadType;
+        return Status::Error;
+    }
+    if (get16(h + 6) != 0) {
+        error_ = ProtoError::BadFlags;
+        return Status::Error;
+    }
+    uint32_t payload_len = get32(h + 8);
+    if (payload_len > kMaxPayload) {
+        error_ = ProtoError::OversizedPayload;
+        return Status::Error;
+    }
+    if (buf_.size() - pos_ < kHeaderSize + size_t(payload_len))
+        return Status::NeedMore;
+
+    out->type = FrameType(uint8_t(h[5]));
+    out->deadline_ms = get32(h + 12);
+    out->id = get64(h + 16);
+    out->route = get64(h + 24);
+    out->payload.assign(buf_, pos_ + kHeaderSize, payload_len);
+    pos_ += kHeaderSize + payload_len;
+    if (pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+    }
+    return Status::Ready;
+}
+
+} // namespace mdes::net

@@ -1,0 +1,1221 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/signalfd.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.h"
+#include "service/request_parse.h"
+#include "support/diagnostics.h"
+#include "support/faultsim.h"
+#include "support/json.h"
+
+namespace mdes::net {
+
+using service::ErrorCode;
+using service::MdesService;
+using service::ScheduleRequest;
+using service::ScheduleResponse;
+
+namespace {
+
+void
+setNonBlocking(int fd)
+{
+    int flags = fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/** Bind+listen a nonblocking TCP socket on @p host:@p port (numeric
+ * address or "localhost"); fills @p bound_port with the resolved
+ * ephemeral port. Throws MdesError on failure. */
+int
+makeListenSocket(const std::string &host, uint16_t port,
+                 uint16_t *bound_port)
+{
+    int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        throw MdesError(std::string("net: socket: ") + strerror(errno));
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+    if (inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+        close(fd);
+        throw MdesError("net: bad listen address '" + host +
+                        "' (numeric IPv4 or 'localhost')");
+    }
+    if (bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) != 0) {
+        int e = errno;
+        close(fd);
+        throw MdesError("net: bind " + host + ":" + std::to_string(port) +
+                        ": " + strerror(e));
+    }
+    if (listen(fd, 128) != 0) {
+        int e = errno;
+        close(fd);
+        throw MdesError(std::string("net: listen: ") + strerror(e));
+    }
+    socklen_t len = sizeof(addr);
+    if (getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) == 0)
+        *bound_port = ntohs(addr.sin_port);
+    return fd;
+}
+
+/** Pass @p fd over the SOCK_SEQPACKET channel @p chan via SCM_RIGHTS. */
+bool
+sendFd(int chan, int fd)
+{
+    char byte = 'c';
+    iovec iov{&byte, 1};
+    alignas(cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))] = {};
+    msghdr msg{};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    msg.msg_control = cbuf;
+    msg.msg_controllen = sizeof(cbuf);
+    cmsghdr *cm = CMSG_FIRSTHDR(&msg);
+    cm->cmsg_level = SOL_SOCKET;
+    cm->cmsg_type = SCM_RIGHTS;
+    cm->cmsg_len = CMSG_LEN(sizeof(int));
+    std::memcpy(CMSG_DATA(cm), &fd, sizeof(int));
+    for (;;) {
+        if (sendmsg(chan, &msg, 0) >= 0)
+            return true;
+        if (errno != EINTR)
+            return false;
+    }
+}
+
+/** Receive one fd from @p chan. Returns the fd, -1 on EAGAIN, -2 on
+ * EOF/error (channel closed - graceful-shutdown cue). */
+int
+recvFd(int chan)
+{
+    char byte = 0;
+    iovec iov{&byte, 1};
+    alignas(cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))] = {};
+    msghdr msg{};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    msg.msg_control = cbuf;
+    msg.msg_controllen = sizeof(cbuf);
+    for (;;) {
+        ssize_t n = recvmsg(chan, &msg, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return errno == EAGAIN || errno == EWOULDBLOCK ? -1 : -2;
+        }
+        if (n == 0)
+            return -2;
+        for (cmsghdr *cm = CMSG_FIRSTHDR(&msg); cm;
+             cm = CMSG_NXTHDR(&msg, cm)) {
+            if (cm->cmsg_level == SOL_SOCKET &&
+                cm->cmsg_type == SCM_RIGHTS) {
+                int fd = -1;
+                std::memcpy(&fd, CMSG_DATA(cm), sizeof(int));
+                return fd;
+            }
+        }
+        // A data byte without an fd: ignore and keep reading.
+    }
+}
+
+/** Thread-safe monotonic net counters; the loop thread writes, metrics
+ * snapshots read (relaxed - these are statistics, not synchronization). */
+struct NetCounters
+{
+    std::atomic<uint64_t> accepted{0}, closed{0}, active{0}, resets{0};
+    std::atomic<uint64_t> frames_in{0}, frames_out{0};
+    std::atomic<uint64_t> bytes_in{0}, bytes_out{0};
+    std::atomic<uint64_t> protocol_errors{0}, bad_requests{0};
+    std::atomic<uint64_t> shed{0}, deadline_expired{0};
+    std::atomic<uint64_t> backpressure_stalls{0}, cancelled_on_close{0};
+
+    void
+    fill(service::NetStats &out) const
+    {
+        out.enabled = true;
+        out.accepted = accepted.load(std::memory_order_relaxed);
+        out.closed = closed.load(std::memory_order_relaxed);
+        out.active = active.load(std::memory_order_relaxed);
+        out.resets = resets.load(std::memory_order_relaxed);
+        out.frames_in = frames_in.load(std::memory_order_relaxed);
+        out.frames_out = frames_out.load(std::memory_order_relaxed);
+        out.bytes_in = bytes_in.load(std::memory_order_relaxed);
+        out.bytes_out = bytes_out.load(std::memory_order_relaxed);
+        out.protocol_errors =
+            protocol_errors.load(std::memory_order_relaxed);
+        out.bad_requests = bad_requests.load(std::memory_order_relaxed);
+        out.shed = shed.load(std::memory_order_relaxed);
+        out.deadline_expired =
+            deadline_expired.load(std::memory_order_relaxed);
+        out.backpressure_stalls =
+            backpressure_stalls.load(std::memory_order_relaxed);
+        out.cancelled_on_close =
+            cancelled_on_close.load(std::memory_order_relaxed);
+    }
+};
+
+/** One client connection's loop-local state. */
+struct Conn
+{
+    int fd = -1;
+    uint64_t id = 0;
+    enum class Mode { Unknown, Binary, Json } mode = Mode::Unknown;
+
+    FrameDecoder decoder;
+    /** JSON mode: bytes up to the next newline. */
+    std::string jsonbuf;
+
+    /** Outbound bytes not yet written ([out_pos, size)). */
+    std::string out;
+    size_t out_pos = 0;
+
+    /** Requests submitted to the service, not yet responded. */
+    uint32_t inflight = 0;
+    /** Their service ids, for cancel-on-close (best effort: an id may
+     * be missing if its completion fired before submit() returned). */
+    std::vector<uint64_t> pending;
+
+    bool paused = false;    // EPOLLIN dropped (backpressure)
+    bool closing = false;   // flush out, then close
+    uint32_t epoll_events = 0;
+
+    size_t
+    outstandingOut() const
+    {
+        return out.size() - out_pos;
+    }
+};
+
+/** epoll user-data ids for the non-connection fds. */
+constexpr uint64_t kIdListen = 1, kIdFeed = 2, kIdEvent = 3;
+constexpr uint64_t kFirstConnId = 16;
+
+/** One finished request on its way back to the loop. */
+struct Completion
+{
+    uint64_t conn_id = 0;
+    /** Service request id (0 when unknown; see Conn::pending). */
+    uint64_t request_id = 0;
+    ErrorCode code = ErrorCode::Ok;
+    /** Fully serialized wire bytes (frame or JSON line). */
+    std::string bytes;
+};
+
+} // namespace
+
+struct Server::Impl
+{
+    ServerConfig config;
+    std::unique_ptr<MdesService> svc;
+
+    int epoll_fd = -1;
+    int event_fd = -1;
+    int listen_fd = -1;
+    int feed_fd = -1;
+    uint16_t bound_port = 0;
+
+    std::thread loop;
+    std::atomic<bool> stop_requested{false};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    bool loop_done = false;
+    bool started = false;
+    bool stopped = false;
+
+    std::mutex comp_mu;
+    std::vector<Completion> completions;
+
+    NetCounters counters;
+    /** Metrics captured at stop() so metrics() works after shutdown. */
+    service::ServiceMetrics final_metrics;
+
+    std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns;
+    uint64_t next_conn_id = kFirstConnId;
+
+    // --- epoll plumbing ----------------------------------------------
+
+    void
+    epollAdd(int fd, uint64_t id, uint32_t events)
+    {
+        epoll_event ev{};
+        ev.events = events;
+        ev.data.u64 = id;
+        if (epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0)
+            throw MdesError(std::string("net: epoll_ctl add: ") +
+                            strerror(errno));
+    }
+
+    void
+    updateInterest(Conn &conn)
+    {
+        uint32_t events = 0;
+        if (!conn.paused && !conn.closing)
+            events |= EPOLLIN;
+        if (conn.outstandingOut() > 0)
+            events |= EPOLLOUT;
+        if (events == conn.epoll_events)
+            return;
+        epoll_event ev{};
+        ev.events = events;
+        ev.data.u64 = conn.id;
+        epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
+        conn.epoll_events = events;
+    }
+
+    void
+    wake()
+    {
+        uint64_t one = 1;
+        [[maybe_unused]] ssize_t n = ::write(event_fd, &one, sizeof(one));
+    }
+
+    // --- connection lifecycle ----------------------------------------
+
+    /** Adopt @p fd as a new connection (from accept or the shard feed).
+     * Applies the net/accept-fail fault site. */
+    void
+    adoptConnection(int fd)
+    {
+        setNonBlocking(fd);
+        uint64_t id = next_conn_id++;
+        faultsim::TokenScope scope(id);
+        if (faultsim::probe(faultsim::Site::NetAcceptFail).fired) {
+            ::close(fd);
+            counters.resets.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        int one = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        conn->id = id;
+        conn->epoll_events = EPOLLIN;
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = id;
+        if (epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+            // Must not throw out of the loop thread; drop the conn.
+            ::close(fd);
+            return;
+        }
+        conns.emplace(id, std::move(conn));
+        counters.accepted.fetch_add(1, std::memory_order_relaxed);
+        counters.active.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Close @p conn, cancelling whatever is still in flight. @p abrupt
+     * marks server-initiated teardown (counted as a reset). */
+    void
+    closeConn(Conn &conn, bool abrupt)
+    {
+        if (conn.inflight) {
+            counters.cancelled_on_close.fetch_add(
+                conn.inflight, std::memory_order_relaxed);
+            for (uint64_t rid : conn.pending)
+                svc->cancel(rid);
+        }
+        if (abrupt)
+            counters.resets.fetch_add(1, std::memory_order_relaxed);
+        ::close(conn.fd);
+        counters.closed.fetch_add(1, std::memory_order_relaxed);
+        counters.active.fetch_sub(1, std::memory_order_relaxed);
+        conns.erase(conn.id); // invalidates conn
+    }
+
+    // --- outbound path ------------------------------------------------
+
+    void
+    enqueueOut(Conn &conn, std::string bytes)
+    {
+        counters.frames_out.fetch_add(1, std::memory_order_relaxed);
+        if (conn.outstandingOut() == 0) {
+            conn.out = std::move(bytes);
+            conn.out_pos = 0;
+        } else {
+            conn.out += bytes;
+        }
+    }
+
+    /** Write until EAGAIN or drained; returns false when the
+     * connection died (already closed). */
+    bool
+    flushWrites(Conn &conn)
+    {
+        faultsim::TokenScope scope(conn.id);
+        while (conn.outstandingOut() > 0) {
+            auto stall = faultsim::probe(faultsim::Site::NetStalledWrite);
+            if (stall.fired && stall.delay_us)
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(stall.delay_us));
+            size_t n = conn.outstandingOut();
+            if (faultsim::probe(faultsim::Site::NetShortWrite).fired)
+                n = 1;
+            ssize_t w =
+                ::write(conn.fd, conn.out.data() + conn.out_pos, n);
+            if (w > 0) {
+                conn.out_pos += size_t(w);
+                counters.bytes_out.fetch_add(uint64_t(w),
+                                             std::memory_order_relaxed);
+                continue;
+            }
+            if (w < 0 && errno == EINTR)
+                continue;
+            if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                return true;
+            closeConn(conn, /*abrupt=*/true);
+            return false;
+        }
+        conn.out.clear();
+        conn.out_pos = 0;
+        if (conn.closing) {
+            closeConn(conn, /*abrupt=*/false);
+            return false;
+        }
+        return true;
+    }
+
+    // --- backpressure -------------------------------------------------
+
+    void
+    maybePause(Conn &conn)
+    {
+        if (conn.paused)
+            return;
+        if (conn.inflight >= config.max_inflight_per_conn ||
+            conn.outstandingOut() > config.write_high_water) {
+            conn.paused = true;
+            counters.backpressure_stalls.fetch_add(
+                1, std::memory_order_relaxed);
+        }
+    }
+
+    void
+    maybeResume(Conn &conn)
+    {
+        if (conn.paused && conn.inflight < config.max_inflight_per_conn &&
+            conn.outstandingOut() <= config.write_high_water)
+            conn.paused = false;
+    }
+
+    // --- inbound path -------------------------------------------------
+
+    /** Respond to a malformed-but-framed request: typed BadRequest, the
+     * connection survives. */
+    void
+    sendBadRequest(Conn &conn, uint64_t wire_id, const std::string &msg)
+    {
+        counters.bad_requests.fetch_add(1, std::memory_order_relaxed);
+        ScheduleResponse resp;
+        resp.error = {ErrorCode::BadRequest, msg};
+        std::string body = serializeResponse(wire_id, resp);
+        if (conn.mode == Conn::Mode::Json) {
+            enqueueOut(conn, body + "\n");
+        } else {
+            Frame f;
+            f.type = FrameType::Error;
+            f.id = wire_id;
+            f.payload = std::move(body);
+            enqueueOut(conn, encodeFrame(f));
+        }
+    }
+
+    /** A framing violation: emit one typed Error frame naming the
+     * ProtoError, then flush and close (the stream has no trustworthy
+     * resync point). */
+    void
+    sendProtocolError(Conn &conn, ProtoError err)
+    {
+        counters.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        ScheduleResponse resp;
+        resp.error = {ErrorCode::BadRequest,
+                      std::string("protocol error: ") +
+                          protoErrorName(err)};
+        std::string body = serializeResponse(0, resp);
+        if (conn.mode == Conn::Mode::Json) {
+            enqueueOut(conn, body + "\n");
+        } else {
+            Frame f;
+            f.type = FrameType::Error;
+            f.payload = std::move(body);
+            enqueueOut(conn, encodeFrame(f));
+        }
+        conn.closing = true;
+    }
+
+    void
+    submitRequest(Conn &conn, uint64_t wire_id, ScheduleRequest req)
+    {
+        ++conn.inflight;
+        bool json = conn.mode == Conn::Mode::Json;
+        uint64_t conn_id = conn.id;
+        Impl *self = this;
+        // The completion may run before submit() returns (shed path) -
+        // it reads the id holder, which is still zero then; see
+        // Conn::pending for why that is tolerable.
+        auto rid_holder = std::make_shared<std::atomic<uint64_t>>(0);
+        uint64_t rid = svc->submit(
+            std::move(req),
+            [self, conn_id, wire_id, json, rid_holder](
+                ScheduleResponse resp) {
+                Completion c;
+                c.conn_id = conn_id;
+                c.request_id =
+                    rid_holder->load(std::memory_order_acquire);
+                c.code = resp.error.code;
+                std::string body = serializeResponse(wire_id, resp);
+                if (json) {
+                    c.bytes = body + "\n";
+                } else {
+                    Frame f;
+                    f.type = FrameType::Response;
+                    f.id = wire_id;
+                    f.payload = std::move(body);
+                    c.bytes = encodeFrame(f);
+                }
+                {
+                    std::lock_guard<std::mutex> lock(self->comp_mu);
+                    self->completions.push_back(std::move(c));
+                }
+                self->wake();
+            });
+        rid_holder->store(rid, std::memory_order_release);
+        conn.pending.push_back(rid);
+        maybePause(conn);
+    }
+
+    /** Handle one decoded binary frame. Returns false when the
+     * connection was torn down. */
+    bool
+    handleFrame(Conn &conn, Frame &frame)
+    {
+        counters.frames_in.fetch_add(1, std::memory_order_relaxed);
+        faultsim::TokenScope scope(conn.id);
+        switch (frame.type) {
+        case FrameType::Ping: {
+            Frame pong;
+            pong.type = FrameType::Pong;
+            pong.id = frame.id;
+            enqueueOut(conn, encodeFrame(pong));
+            return true;
+        }
+        case FrameType::Pong:
+            return true;
+        case FrameType::Response:
+        case FrameType::Error:
+            sendBadRequest(conn, frame.id,
+                           "unexpected frame type from client");
+            return true;
+        case FrameType::Request:
+            break;
+        }
+        // Injected peer reset: evaluated exactly once per decoded
+        // request frame (a protocol event, not a syscall), so replays
+        // of the same connection stream make the same decision.
+        if (faultsim::probe(faultsim::Site::NetPeerReset).fired) {
+            closeConn(conn, /*abrupt=*/true);
+            return false;
+        }
+        ScheduleRequest req;
+        try {
+            service::RequestParseOptions opts;
+            opts.allow_files = false;
+            req = service::parseRequestLine(frame.payload, 0, opts);
+        } catch (const MdesError &e) {
+            sendBadRequest(conn, frame.id, e.what());
+            return true;
+        }
+        if (frame.deadline_ms)
+            req.deadline_ms = int64_t(frame.deadline_ms);
+        submitRequest(conn, frame.id, std::move(req));
+        return true;
+    }
+
+    /** Handle one newline-delimited JSON request. Returns false when
+     * the connection was torn down. */
+    bool
+    handleJsonLine(Conn &conn, const std::string &line)
+    {
+        if (line.empty())
+            return true;
+        counters.frames_in.fetch_add(1, std::memory_order_relaxed);
+        faultsim::TokenScope scope(conn.id);
+        uint64_t wire_id = 0;
+        std::string reqline;
+        uint32_t deadline_ms = 0;
+        try {
+            JsonValue doc = parseJson(line);
+            if (doc.kind != JsonValue::Kind::Object)
+                throw MdesError("request must be a JSON object");
+            if (const JsonValue *id = doc.find("id"))
+                wire_id = uint64_t(id->number);
+            const JsonValue *req = doc.find("req");
+            if (!req || req->kind != JsonValue::Kind::String)
+                throw MdesError("missing string field 'req'");
+            reqline = req->string;
+            if (const JsonValue *dl = doc.find("deadline_ms"))
+                deadline_ms = uint32_t(dl->number);
+            // "route" is the shard acceptor's concern; ignored here.
+        } catch (const MdesError &e) {
+            sendBadRequest(conn, wire_id, e.what());
+            return true;
+        }
+        if (faultsim::probe(faultsim::Site::NetPeerReset).fired) {
+            closeConn(conn, /*abrupt=*/true);
+            return false;
+        }
+        ScheduleRequest req;
+        try {
+            service::RequestParseOptions opts;
+            opts.allow_files = false;
+            req = service::parseRequestLine(reqline, 0, opts);
+        } catch (const MdesError &e) {
+            sendBadRequest(conn, wire_id, e.what());
+            return true;
+        }
+        if (deadline_ms)
+            req.deadline_ms = int64_t(deadline_ms);
+        submitRequest(conn, wire_id, std::move(req));
+        return true;
+    }
+
+    /** Feed freshly read bytes through the mode-appropriate parser.
+     * Returns false when the connection was torn down. */
+    bool
+    consume(Conn &conn, const char *data, size_t len)
+    {
+        if (conn.mode == Conn::Mode::Unknown && len > 0)
+            conn.mode = data[0] == '{' ? Conn::Mode::Json
+                                       : Conn::Mode::Binary;
+        if (conn.mode == Conn::Mode::Json) {
+            conn.jsonbuf.append(data, len);
+            size_t start = 0;
+            for (;;) {
+                size_t nl = conn.jsonbuf.find('\n', start);
+                if (nl == std::string::npos)
+                    break;
+                std::string line =
+                    conn.jsonbuf.substr(start, nl - start);
+                if (!line.empty() && line.back() == '\r')
+                    line.pop_back();
+                start = nl + 1;
+                if (!handleJsonLine(conn, line))
+                    return false;
+            }
+            conn.jsonbuf.erase(0, start);
+            if (conn.jsonbuf.size() > kMaxPayload) {
+                sendProtocolError(conn, ProtoError::OversizedPayload);
+            }
+            return true;
+        }
+        conn.decoder.feed(data, len);
+        for (;;) {
+            Frame frame;
+            FrameDecoder::Status st = conn.decoder.next(&frame);
+            if (st == FrameDecoder::Status::NeedMore)
+                return true;
+            if (st == FrameDecoder::Status::Error) {
+                sendProtocolError(conn, conn.decoder.error());
+                return true;
+            }
+            if (!handleFrame(conn, frame))
+                return false;
+            // Keep decoding even when paused: backpressure stops
+            // *reading the socket*, not already-buffered frames -
+            // otherwise a paused connection whose peer is done sending
+            // would never see its remaining requests submitted.
+            if (conn.closing)
+                return true;
+        }
+    }
+
+    void
+    handleReadable(Conn &conn)
+    {
+        faultsim::TokenScope scope(conn.id);
+        char buf[16384];
+        for (;;) {
+            size_t want = sizeof(buf);
+            if (faultsim::probe(faultsim::Site::NetShortRead).fired)
+                want = 1;
+            ssize_t n = ::read(conn.fd, buf, want);
+            if (n > 0) {
+                counters.bytes_in.fetch_add(uint64_t(n),
+                                            std::memory_order_relaxed);
+                if (!consume(conn, buf, size_t(n)))
+                    return; // conn gone
+                if (conn.paused || conn.closing)
+                    break;
+                continue;
+            }
+            if (n == 0) {
+                closeConn(conn, /*abrupt=*/false);
+                return;
+            }
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break;
+            closeConn(conn, /*abrupt=*/true);
+            return;
+        }
+        if (!flushWrites(conn))
+            return;
+        updateInterest(conn);
+    }
+
+    void
+    handleAccept()
+    {
+        for (;;) {
+            int fd = accept4(listen_fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+            if (fd < 0) {
+                if (errno == EINTR)
+                    continue;
+                return; // EAGAIN or transient accept error
+            }
+            adoptConnection(fd);
+        }
+    }
+
+    /** Shard child: drain connection fds off the feed channel. Returns
+     * false on channel EOF (graceful-shutdown cue). */
+    bool
+    handleFeed()
+    {
+        for (;;) {
+            int fd = recvFd(feed_fd);
+            if (fd == -1)
+                return true; // EAGAIN
+            if (fd == -2)
+                return false; // EOF: parent is shutting down
+            adoptConnection(fd);
+        }
+    }
+
+    void
+    drainCompletions()
+    {
+        std::vector<Completion> batch;
+        {
+            std::lock_guard<std::mutex> lock(comp_mu);
+            batch.swap(completions);
+        }
+        for (Completion &c : batch) {
+            if (c.code == ErrorCode::Overloaded)
+                counters.shed.fetch_add(1, std::memory_order_relaxed);
+            else if (c.code == ErrorCode::DeadlineExceeded)
+                counters.deadline_expired.fetch_add(
+                    1, std::memory_order_relaxed);
+            auto it = conns.find(c.conn_id);
+            if (it == conns.end())
+                continue; // connection closed first; already counted
+            Conn &conn = *it->second;
+            if (conn.inflight)
+                --conn.inflight;
+            if (c.request_id) {
+                auto &p = conn.pending;
+                for (size_t i = 0; i < p.size(); ++i) {
+                    if (p[i] == c.request_id) {
+                        p[i] = p.back();
+                        p.pop_back();
+                        break;
+                    }
+                }
+            }
+            enqueueOut(conn, std::move(c.bytes));
+            maybeResume(conn);
+            if (flushWrites(conn))
+                updateInterest(conn);
+        }
+    }
+
+    void
+    run()
+    {
+        epoll_event evs[64];
+        bool done = false;
+        while (!done) {
+            int n = epoll_wait(epoll_fd, evs, 64, -1);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                break;
+            }
+            for (int i = 0; i < n && !done; ++i) {
+                uint64_t id = evs[i].data.u64;
+                if (id == kIdEvent) {
+                    uint64_t junk;
+                    [[maybe_unused]] ssize_t r =
+                        ::read(event_fd, &junk, sizeof(junk));
+                    drainCompletions();
+                    if (stop_requested.load(std::memory_order_acquire))
+                        done = true;
+                } else if (id == kIdListen) {
+                    handleAccept();
+                } else if (id == kIdFeed) {
+                    if (!handleFeed()) {
+                        stop_requested.store(
+                            true, std::memory_order_release);
+                        done = true;
+                    }
+                } else {
+                    auto it = conns.find(id);
+                    if (it == conns.end())
+                        continue; // closed earlier in this batch
+                    Conn &conn = *it->second;
+                    uint32_t events = evs[i].events;
+                    if (events & (EPOLLHUP | EPOLLERR)) {
+                        closeConn(conn, /*abrupt=*/true);
+                        continue;
+                    }
+                    if (events & EPOLLOUT) {
+                        if (!flushWrites(conn))
+                            continue;
+                        maybeResume(conn);
+                        updateInterest(conn);
+                        // re-find: flush may have closed on `closing`
+                        if (conns.find(id) == conns.end())
+                            continue;
+                    }
+                    if (events & EPOLLIN)
+                        handleReadable(conn);
+                }
+            }
+        }
+        // Final drain so late completions are counted, then teardown.
+        drainCompletions();
+        std::vector<uint64_t> ids;
+        ids.reserve(conns.size());
+        for (auto &[id, conn] : conns)
+            ids.push_back(id);
+        for (uint64_t id : ids) {
+            auto it = conns.find(id);
+            if (it != conns.end())
+                closeConn(*it->second, /*abrupt=*/false);
+        }
+        {
+            std::lock_guard<std::mutex> lock(done_mu);
+            loop_done = true;
+        }
+        done_cv.notify_all();
+    }
+};
+
+Server::Server(ServerConfig config) : impl_(std::make_unique<Impl>())
+{
+    impl_->config = std::move(config);
+}
+
+Server::~Server()
+{
+    try {
+        stop();
+    } catch (...) {
+        // Destructors must not throw; stop() failures are already
+        // reflected in closed fds.
+    }
+}
+
+void
+Server::start()
+{
+    Impl &im = *impl_;
+    if (im.started)
+        return;
+    im.epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    if (im.epoll_fd < 0)
+        throw MdesError(std::string("net: epoll_create1: ") +
+                        strerror(errno));
+    im.event_fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (im.event_fd < 0)
+        throw MdesError(std::string("net: eventfd: ") + strerror(errno));
+    im.epollAdd(im.event_fd, kIdEvent, EPOLLIN);
+
+    if (im.config.conn_feed_fd >= 0) {
+        im.feed_fd = im.config.conn_feed_fd;
+        setNonBlocking(im.feed_fd);
+        im.epollAdd(im.feed_fd, kIdFeed, EPOLLIN);
+    } else if (im.config.inherit_listen_fd >= 0) {
+        im.listen_fd = im.config.inherit_listen_fd;
+        setNonBlocking(im.listen_fd);
+        im.epollAdd(im.listen_fd, kIdListen, EPOLLIN);
+    } else {
+        im.listen_fd = makeListenSocket(im.config.host, im.config.port,
+                                        &im.bound_port);
+        im.epollAdd(im.listen_fd, kIdListen, EPOLLIN);
+    }
+
+    im.svc = std::make_unique<MdesService>(im.config.service);
+    im.loop = std::thread([&im] { im.run(); });
+    im.started = true;
+}
+
+void
+Server::stop()
+{
+    Impl &im = *impl_;
+    if (!im.started || im.stopped)
+        return;
+    im.stop_requested.store(true, std::memory_order_release);
+    im.wake();
+    im.loop.join();
+    // Capture the final snapshot before the service goes away, so
+    // metrics() keeps answering after shutdown.
+    im.final_metrics = im.svc->metricsSnapshot();
+    im.counters.fill(im.final_metrics.net);
+    // Service teardown drains outstanding jobs; their completions still
+    // push to the (now undrained) queue and poke the eventfd - both
+    // stay valid until below.
+    im.svc.reset();
+    if (im.listen_fd >= 0)
+        ::close(im.listen_fd);
+    if (im.feed_fd >= 0)
+        ::close(im.feed_fd);
+    ::close(im.event_fd);
+    ::close(im.epoll_fd);
+    im.listen_fd = im.feed_fd = im.event_fd = im.epoll_fd = -1;
+    im.stopped = true;
+}
+
+uint16_t
+Server::port() const
+{
+    return impl_->bound_port;
+}
+
+service::ServiceMetrics
+Server::metrics() const
+{
+    Impl &im = *impl_;
+    if (!im.svc)
+        return im.final_metrics;
+    service::ServiceMetrics m = im.svc->metricsSnapshot();
+    im.counters.fill(m.net);
+    return m;
+}
+
+service::MdesService &
+Server::service()
+{
+    return *impl_->svc;
+}
+
+bool
+Server::stopping() const
+{
+    return impl_->stop_requested.load(std::memory_order_acquire);
+}
+
+void
+Server::waitUntilStopped()
+{
+    Impl &im = *impl_;
+    std::unique_lock<std::mutex> lock(im.done_mu);
+    im.done_cv.wait(lock, [&im] { return im.loop_done; });
+}
+
+std::string
+serializeResponse(uint64_t id, const ScheduleResponse &resp)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("id").value(id);
+    w.key("code").value(uint64_t(resp.error.code));
+    w.key("error").value(service::errorCodeName(resp.error.code));
+    if (resp.error)
+        w.key("message").value(resp.error.message);
+    if (!resp.machine.empty())
+        w.key("machine").value(resp.machine);
+    // Decimal string: a u64 does not survive a JSON double. Errors get
+    // a literal 0 so no client mistakes the empty-schedule hash (the
+    // FNV basis) for a real fingerprint.
+    w.key("fingerprint")
+        .value(std::to_string(
+            resp.ok() ? service::scheduleFingerprint(resp) : 0));
+    w.key("cache_hit").value(resp.cache_hit);
+    w.key("disk_hit").value(resp.disk_hit);
+    w.key("degraded").value(resp.degraded);
+    w.key("total_cycles").value(resp.total_cycles);
+    w.key("blocks").value(
+        uint64_t(resp.schedules.size() + resp.modulo.size()));
+    w.endObject();
+    return w.str();
+}
+
+// ---------------------------------------------------------------------
+// mdesc serve: signal-driven single-process and fork-per-shard modes.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Block SIGINT/SIGTERM in the calling thread (inherited by threads
+ * spawned after); returns the set for sigwait/signalfd. */
+sigset_t
+blockTermSignals()
+{
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+    return set;
+}
+
+void
+dumpMetrics(const service::ServiceMetrics &m, bool json)
+{
+    if (json)
+        std::cout << m.toJson() << "\n";
+    else
+        std::cout << m.toTable();
+}
+
+int
+runSingleServe(const ServeOptions &opts)
+{
+    sigset_t set = blockTermSignals();
+    Server server(opts.server);
+    server.start();
+    std::cout << "mdesc serve: listening on " << opts.server.host << ":"
+              << server.port() << " (pid " << getpid() << ", "
+              << server.service().numWorkers() << " workers)\n"
+              << std::flush;
+    int sig = 0;
+    sigwait(&set, &sig);
+    std::cout << "mdesc serve: " << strsignal(sig)
+              << ", shutting down\n";
+    server.stop();
+    dumpMetrics(server.metrics(), opts.json_metrics);
+    return 0;
+}
+
+/** Shard child body: serve connections off @p feed_fd until EOF. Never
+ * returns to the caller's stack - exits the process. */
+[[noreturn]] void
+runShardChild(const ServeOptions &opts, unsigned shard, int feed_fd)
+{
+    int code = 0;
+    try {
+        ServerConfig cfg = opts.server;
+        cfg.conn_feed_fd = feed_fd;
+        cfg.inherit_listen_fd = -1;
+        Server server(cfg);
+        server.start();
+        server.waitUntilStopped();
+        server.stop();
+        service::ServiceMetrics m = server.metrics();
+        std::cerr << "mdesc serve: shard " << shard << " exiting ("
+                  << m.requests << " requests, "
+                  << m.net.frames_in << " frames in)\n";
+    } catch (const std::exception &e) {
+        std::cerr << "mdesc serve: shard " << shard << ": " << e.what()
+                  << "\n";
+        code = 1;
+    }
+    _exit(code);
+}
+
+/** A connection the shard parent is still routing: waiting to peek
+ * enough bytes to read the binary header's route field. */
+struct RoutingConn
+{
+    int fd = -1;
+};
+
+int
+runShardedServe(const ServeOptions &opts)
+{
+    sigset_t set = blockTermSignals();
+    unsigned nshards = opts.shards;
+
+    uint16_t bound_port = 0;
+    int listen_fd =
+        makeListenSocket(opts.server.host, opts.server.port, &bound_port);
+
+    // Fork first: children must exist before any threads do.
+    std::vector<int> chans;     // parent ends of the feed pairs
+    std::vector<pid_t> pids;
+    for (unsigned i = 0; i < nshards; ++i) {
+        int pair[2];
+        if (socketpair(AF_UNIX, SOCK_SEQPACKET | SOCK_CLOEXEC, 0, pair) !=
+            0)
+            throw MdesError(std::string("net: socketpair: ") +
+                            strerror(errno));
+        pid_t pid = fork();
+        if (pid < 0)
+            throw MdesError(std::string("net: fork: ") + strerror(errno));
+        if (pid == 0) {
+            // Child: keep only its feed end. Signals stay blocked; the
+            // shutdown cue is feed EOF, not SIGTERM.
+            ::close(pair[0]);
+            ::close(listen_fd);
+            for (int fd : chans)
+                ::close(fd);
+            runShardChild(opts, i, pair[1]);
+        }
+        ::close(pair[1]);
+        chans.push_back(pair[0]);
+        pids.push_back(pid);
+    }
+
+    std::cout << "mdesc serve: listening on " << opts.server.host << ":"
+              << bound_port << " (pid " << getpid() << ", " << nshards
+              << " shards)\n"
+              << std::flush;
+
+    // The routing loop: accept, peek the route, hand the socket over.
+    int ep = epoll_create1(EPOLL_CLOEXEC);
+    int sfd = signalfd(-1, &set, SFD_CLOEXEC | SFD_NONBLOCK);
+    constexpr uint64_t kListen = 1, kSignal = 2, kFirstRoute = 16;
+    auto add = [&](int fd, uint64_t id, uint32_t events) {
+        epoll_event ev{};
+        ev.events = events;
+        ev.data.u64 = id;
+        epoll_ctl(ep, EPOLL_CTL_ADD, fd, &ev);
+    };
+    add(listen_fd, kListen, EPOLLIN);
+    add(sfd, kSignal, EPOLLIN);
+
+    std::unordered_map<uint64_t, RoutingConn> routing;
+    uint64_t next_id = kFirstRoute;
+    uint64_t round_robin = 0;
+
+    auto handTo = [&](uint64_t shard, int fd) {
+        // On a dead shard the send fails and closing the fd resets the
+        // client, which retries (chaos treats that as transport loss).
+        sendFd(chans[size_t(shard % nshards)], fd);
+        ::close(fd);
+    };
+    // Decide a shard from peeked bytes. Returns false when more bytes
+    // are needed (binary header incomplete).
+    auto route = [&](RoutingConn &rc) {
+        char hdr[kHeaderSize];
+        ssize_t n = recv(rc.fd, hdr, sizeof(hdr), MSG_PEEK);
+        if (n < 0)
+            return errno == EAGAIN || errno == EWOULDBLOCK ||
+                   errno == EINTR;
+        if (n == 0) {
+            ::close(rc.fd);
+            rc.fd = -1;
+            return false;
+        }
+        if (hdr[0] == kMagic[0]) {
+            if (size_t(n) < kHeaderSize)
+                return true; // wait for the full header
+            uint64_t key = 0;
+            for (int i = 0; i < 8; ++i)
+                key |= uint64_t(uint8_t(hdr[24 + i])) << (8 * i);
+            handTo(key ? key : round_robin++, rc.fd);
+        } else {
+            // JSON (or garbage the shard will reject): round-robin.
+            handTo(round_robin++, rc.fd);
+        }
+        rc.fd = -1;
+        return false;
+    };
+
+    bool done = false;
+    epoll_event evs[64];
+    while (!done) {
+        int n = epoll_wait(ep, evs, 64, -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        for (int i = 0; i < n; ++i) {
+            uint64_t id = evs[i].data.u64;
+            if (id == kSignal) {
+                done = true;
+                break;
+            }
+            if (id == kListen) {
+                for (;;) {
+                    int fd = accept4(listen_fd, nullptr, nullptr,
+                                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+                    if (fd < 0)
+                        break;
+                    uint64_t cid = next_id++;
+                    RoutingConn rc{fd};
+                    // Edge-triggered: MSG_PEEK leaves bytes readable,
+                    // so level-triggered polling would spin while the
+                    // header is still partial.
+                    if (route(rc)) {
+                        routing.emplace(cid, rc);
+                        epoll_event ev{};
+                        ev.events = EPOLLIN | EPOLLET;
+                        ev.data.u64 = cid;
+                        epoll_ctl(ep, EPOLL_CTL_ADD, rc.fd, &ev);
+                    }
+                }
+                continue;
+            }
+            auto it = routing.find(id);
+            if (it == routing.end())
+                continue;
+            if (!route(it->second))
+                routing.erase(it);
+        }
+    }
+
+    std::cout << "mdesc serve: shutting down " << nshards << " shards\n"
+              << std::flush;
+    ::close(listen_fd);
+    ::close(sfd);
+    ::close(ep);
+    for (auto &[id, rc] : routing)
+        if (rc.fd >= 0)
+            ::close(rc.fd);
+    for (int fd : chans)
+        ::close(fd); // children see feed EOF and drain
+    int exit_code = 0;
+    for (pid_t pid : pids) {
+        int status = 0;
+        if (waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+            WEXITSTATUS(status) != 0)
+            exit_code = 1;
+    }
+    std::cout << "mdesc serve: shards exited "
+              << (exit_code == 0 ? "cleanly" : "with errors") << "\n";
+    return exit_code;
+}
+
+} // namespace
+
+int
+runServe(const ServeOptions &opts)
+{
+    if (opts.shards > 1)
+        return runShardedServe(opts);
+    return runSingleServe(opts);
+}
+
+} // namespace mdes::net

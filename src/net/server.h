@@ -1,0 +1,147 @@
+#ifndef MDES_NET_SERVER_H
+#define MDES_NET_SERVER_H
+
+/**
+ * @file
+ * mdes::net - the socket serving tier in front of MdesService.
+ *
+ * One epoll event loop owns every connection (no thread per
+ * connection); scheduling work never runs on the loop. A decoded
+ * request is handed to MdesService::submit() with a completion
+ * callback, the worker thread serializes the response and pushes it to
+ * a completion queue, and an eventfd wakes the loop to write it out.
+ * The loop therefore only ever parses frames, moves bytes, and flips
+ * epoll interest bits - it stays responsive under any scheduling load.
+ *
+ * Two wire modes share one connection handler, distinguished by the
+ * first byte a client sends: 'M' (the frame magic) selects the binary
+ * length-prefixed protocol (frame.h), '{' selects newline-delimited
+ * JSON for humans and scripts. Responses use one serializer for both -
+ * the JSON object is the binary frame's payload.
+ *
+ * Backpressure composes with the service's admission control rather
+ * than duplicating it: a connection that exceeds its in-flight cap or
+ * whose outbound buffer crosses the high-water mark stops being read
+ * (EPOLLIN dropped) until it drains - per-connection flow control -
+ * while the bounded admission queue sheds excess aggregate load with
+ * typed Overloaded responses the client sees immediately. Nothing
+ * stalls silently and nothing is dropped without an error frame.
+ *
+ * Shard mode (DESIGN.md §12): `mdesc serve --shards N` forks N workers
+ * sharing one on-disk artifact store. The parent owns only the listen
+ * socket and a tiny routing loop: it peeks (MSG_PEEK) at a new
+ * connection's first bytes, extracts the binary header's route field
+ * (the client's artifactKey hint), and passes the socket fd to shard
+ * `route % N` over a SOCK_SEQPACKET pair via SCM_RIGHTS - the bytes
+ * were never consumed, so the child reads the stream from the start.
+ * JSON connections and route=0 round-robin. SIGTERM to the parent
+ * closes the pairs; children treat feed EOF as graceful shutdown.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/service.h"
+
+namespace mdes::net {
+
+/** Server construction parameters. */
+struct ServerConfig
+{
+    /** Listen address (single-process and shard-parent modes). */
+    std::string host = "127.0.0.1";
+    /** Listen port; 0 picks an ephemeral port (see Server::port()). */
+    uint16_t port = 0;
+
+    /** The backing service (workers, cache, store, admission bound). */
+    service::ServiceConfig service;
+
+    /** Per-connection in-flight request cap; reads pause above it. */
+    uint32_t max_inflight_per_conn = 32;
+    /** Outbound buffer bytes above which reads pause until drained. */
+    size_t write_high_water = 256 * 1024;
+
+    /** Pre-bound listening socket to adopt instead of binding
+     * host:port (-1 = bind). The server takes ownership. */
+    int inherit_listen_fd = -1;
+    /** Shard-child mode: SOCK_SEQPACKET fd receiving connection fds
+     * via SCM_RIGHTS instead of accepting (-1 = accept normally).
+     * EOF on this fd triggers graceful shutdown. */
+    int conn_feed_fd = -1;
+};
+
+/**
+ * The epoll socket server. start() binds (or adopts the configured
+ * fds), constructs the MdesService, and spawns the event-loop thread;
+ * stop() shuts the loop down, drains the service, and joins. Safe to
+ * construct before fork() - no threads exist until start().
+ */
+class Server
+{
+  public:
+    explicit Server(ServerConfig config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind/adopt sockets, build the service, start the loop thread.
+     * Throws MdesError when the socket setup fails. */
+    void start();
+
+    /** Graceful shutdown: close connections, drain the service, join
+     * the loop. Idempotent. */
+    void stop();
+
+    /** The bound listen port (after start(); resolves port 0). */
+    uint16_t port() const;
+
+    /** Service metrics snapshot with the net section filled in. */
+    service::ServiceMetrics metrics() const;
+
+    /** The backing service (valid between start() and stop()). */
+    service::MdesService &service();
+
+    /** True once the feed fd hit EOF / stop was requested - the serve
+     * loop's cue that a graceful shutdown is underway. */
+    bool stopping() const;
+
+    /** Block until the event loop exits (feed-fd EOF or stop()); the
+     * caller still calls stop() to join and drain. */
+    void waitUntilStopped();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Serialize one response as the single-line JSON object both wire
+ * modes carry: {"id":..,"code":..,"error":..,"fingerprint":..,...}.
+ * The numeric "code" is the authoritative machine-readable field;
+ * "error" is its printable name. No trailing newline.
+ */
+std::string serializeResponse(uint64_t id,
+                              const service::ScheduleResponse &resp);
+
+/** `mdesc serve` options on top of the server itself. */
+struct ServeOptions
+{
+    ServerConfig server;
+    /** Fork this many shard workers (0/1 = single process). */
+    unsigned shards = 0;
+    /** Dump metrics as JSON instead of tables on shutdown. */
+    bool json_metrics = false;
+};
+
+/**
+ * Run a server until SIGINT/SIGTERM, then shut down cleanly and dump
+ * metrics; dispatches to the fork-per-shard acceptor when
+ * opts.shards > 1. Returns a process exit code.
+ */
+int runServe(const ServeOptions &opts);
+
+} // namespace mdes::net
+
+#endif // MDES_NET_SERVER_H

@@ -43,23 +43,16 @@ requestMix(const ChaosConfig &config)
     return mix;
 }
 
-struct RunResult
-{
-    std::vector<Outcome> outcomes;
-    uint64_t compiles = 0;
-    uint64_t degraded = 0;
-    uint64_t failed = 0;
-};
-
-/** Run the mix once against a fresh service backed by @p store_dir. */
-RunResult
+/** Run the mix once in-process against a fresh service backed by
+ * @p store_dir (the ground-truth driver; see RunDriver). */
+RunStats
 runOnce(const ChaosConfig &config, const std::string &store_dir)
 {
     ServiceConfig sc;
     sc.num_workers = config.workers;
     sc.cache_capacity = config.requests + 4;
     sc.store_dir = store_dir;
-    RunResult result;
+    RunStats result;
     {
         MdesService service(sc);
         auto responses = service.runBatch(requestMix(config));
@@ -77,6 +70,16 @@ runOnce(const ChaosConfig &config, const std::string &store_dir)
         result.compiles = service.cache().stats().compiles;
     }
     return result;
+}
+
+/** Per-seed fault runs go through the configured driver; everything
+ * else (baseline, recovery) stays in-process. */
+RunStats
+runSeed(const ChaosConfig &config, const std::string &store_dir)
+{
+    if (config.driver)
+        return config.driver(config, store_dir, requestMix(config));
+    return runOnce(config, store_dir);
 }
 
 std::string
@@ -112,7 +115,7 @@ runSweep(const ChaosConfig &config)
     // every seed must reproduce.
     faultsim::uninstall();
     {
-        RunResult baseline = runOnce(
+        RunStats baseline = runOnce(
             config, (fs::path(config.store_base_dir) / "baseline").string());
         report.baseline_fingerprint =
             baseline.outcomes.empty() ? 0
@@ -146,12 +149,12 @@ runSweep(const ChaosConfig &config)
                 .string();
 
         faultsim::install(plan);
-        RunResult a = runOnce(config, dir_a);
+        RunStats a = runSeed(config, dir_a);
         auto counters = faultsim::counters();
         for (const auto &c : counters)
             sr.faults_fired += c.fires;
         faultsim::install(plan); // reset per-token hit state for replay
-        RunResult b = runOnce(config, dir_b);
+        RunStats b = runSeed(config, dir_b);
         faultsim::uninstall();
 
         sr.outcomes = a.outcomes;
@@ -202,7 +205,7 @@ runSweep(const ChaosConfig &config)
     // completely (second pass compiles nothing), and hold no
     // quarantined artifacts.
     if (!last_store.empty()) {
-        RunResult heal = runOnce(config, last_store);
+        RunStats heal = runOnce(config, last_store);
         for (size_t i = 0; i < heal.outcomes.size(); ++i) {
             const Outcome &o = heal.outcomes[i];
             if (o.error_code != 0 ||
@@ -215,7 +218,7 @@ runSweep(const ChaosConfig &config)
                     "recovery request " + std::to_string(i) +
                     " still degraded after faults stopped");
         }
-        RunResult warm = runOnce(config, last_store);
+        RunStats warm = runOnce(config, last_store);
         if (warm.compiles != 0)
             report.recovery_violations.push_back(
                 "store did not heal: warm recovery run compiled " +
@@ -253,6 +256,7 @@ SweepReport::toJson() const
     w.key("num_seeds").value(uint64_t(config.num_seeds));
     w.key("machine").value(config.machine);
     w.key("synth_ops").value(uint64_t(config.synth_ops));
+    w.key("driver").value(config.driver_name);
     w.endObject();
     w.key("baseline_fingerprint").value(baseline_fingerprint);
     w.key("seeds").beginArray();
@@ -296,7 +300,8 @@ SweepReport::toText() const
     for (const auto &v : recovery_violations)
         out << "recovery: " << v << "\n";
     out << (ok() ? "chaos sweep passed" : "chaos sweep FAILED") << " ("
-        << seeds.size() << " seeds)\n";
+        << seeds.size() << " seeds, " << config.driver_name
+        << " driver)\n";
     return out.str();
 }
 

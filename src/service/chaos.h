@@ -31,10 +31,48 @@
  */
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "service/service.h"
+
 namespace mdes::service::chaos {
+
+/** One request's observable outcome (the replay-equality unit). */
+struct Outcome
+{
+    int error_code = 0;
+    bool degraded = false;
+    uint64_t fingerprint = 0;
+
+    bool operator==(const Outcome &) const = default;
+};
+
+/** What one run of the mix produced (per-request outcomes plus the
+ * aggregates the invariants consume). */
+struct RunStats
+{
+    std::vector<Outcome> outcomes;
+    uint64_t compiles = 0;
+    uint64_t degraded = 0;
+    uint64_t failed = 0;
+};
+
+struct ChaosConfig;
+
+/**
+ * Pluggable per-seed run driver: execute @p mix against a fresh
+ * service backed by @p store_dir and report what each request
+ * observably did. The default (null) driver submits in-process via
+ * runBatch; mdes::net installs a socket driver that pushes the same
+ * mix through a loopback server with one connection per request -
+ * connection churn - and bounded transport retries. Baseline and
+ * recovery phases always run in-process (they define ground truth).
+ */
+using RunDriver = std::function<RunStats(
+    const ChaosConfig &config, const std::string &store_dir,
+    const std::vector<ScheduleRequest> &mix)>;
 
 /** Sweep parameters. */
 struct ChaosConfig
@@ -54,16 +92,10 @@ struct ChaosConfig
     std::string machine = "K5";
     /** Synthetic workload size (small keeps a 25-seed sweep fast). */
     size_t synth_ops = 300;
-};
-
-/** One request's observable outcome (the replay-equality unit). */
-struct Outcome
-{
-    int error_code = 0;
-    bool degraded = false;
-    uint64_t fingerprint = 0;
-
-    bool operator==(const Outcome &) const = default;
+    /** Per-seed run driver override (see RunDriver); null = in-process. */
+    RunDriver driver;
+    /** Label for reports ("in-process", "socket"). */
+    std::string driver_name = "in-process";
 };
 
 /** What one seed's run produced. */

@@ -108,6 +108,26 @@ TransformEffects::merge(const TransformEffects &other)
 }
 
 void
+NetStats::merge(const NetStats &other)
+{
+    enabled = enabled || other.enabled;
+    accepted += other.accepted;
+    closed += other.closed;
+    active += other.active;
+    resets += other.resets;
+    frames_in += other.frames_in;
+    frames_out += other.frames_out;
+    bytes_in += other.bytes_in;
+    bytes_out += other.bytes_out;
+    protocol_errors += other.protocol_errors;
+    bad_requests += other.bad_requests;
+    shed += other.shed;
+    deadline_expired += other.deadline_expired;
+    backpressure_stalls += other.backpressure_stalls;
+    cancelled_on_close += other.cancelled_on_close;
+}
+
+void
 ServiceMetrics::recordOutcome(ErrorCode code)
 {
     ++requests;
@@ -115,6 +135,16 @@ ServiceMetrics::recordOutcome(ErrorCode code)
         ++ok;
     else
         ++errors[size_t(code)];
+}
+
+void
+ServiceMetrics::recordShed(uint64_t n)
+{
+    // The one place the two shed views move, so they cannot drift:
+    // a shed submission is a request that failed with Overloaded.
+    requests += n;
+    errors[size_t(ErrorCode::Overloaded)] += n;
+    requests_shed += n;
 }
 
 void
@@ -145,6 +175,7 @@ ServiceMetrics::merge(const ServiceMetrics &other)
     attempts_per_op.merge(other.attempts_per_op);
     for (const auto &[name, n] : other.resource_conflicts)
         resource_conflicts[name] += n;
+    net.merge(other.net);
 }
 
 void
@@ -341,6 +372,40 @@ ServiceMetrics::toTable() const
                     std::to_string(attempts_per_op.maxValue())});
         out += apo.toString();
     }
+
+    // --- Net section (only when a socket server contributed) ----------
+    if (net.enabled) {
+        TextTable conns;
+        conns.setHeader({"Conns Accepted", "Closed", "Active", "Resets",
+                         "Backpressure Stalls"});
+        conns.addRow({std::to_string(net.accepted),
+                      std::to_string(net.closed),
+                      std::to_string(net.active),
+                      std::to_string(net.resets),
+                      std::to_string(net.backpressure_stalls)});
+        out += conns.toString();
+
+        TextTable frames;
+        frames.setHeader({"Frames In", "Frames Out", "Bytes In",
+                          "Bytes Out", "Proto Errors", "Bad Requests"});
+        frames.addRow({std::to_string(net.frames_in),
+                       std::to_string(net.frames_out),
+                       std::to_string(net.bytes_in),
+                       std::to_string(net.bytes_out),
+                       std::to_string(net.protocol_errors),
+                       std::to_string(net.bad_requests)});
+        out += frames.toString();
+
+        if (net.shed || net.deadline_expired || net.cancelled_on_close) {
+            TextTable pressure;
+            pressure.setHeader({"Net Shed", "Deadline Expired",
+                                "Cancelled On Close"});
+            pressure.addRow({std::to_string(net.shed),
+                             std::to_string(net.deadline_expired),
+                             std::to_string(net.cancelled_on_close)});
+            out += pressure.toString();
+        }
+    }
     return out;
 }
 
@@ -435,6 +500,24 @@ ServiceMetrics::toJson() const
         w.key(name).value(n);
     w.endObject();
     w.endObject();
+    if (net.enabled) {
+        w.key("net").beginObject();
+        w.key("accepted").value(net.accepted);
+        w.key("closed").value(net.closed);
+        w.key("active").value(net.active);
+        w.key("resets").value(net.resets);
+        w.key("frames_in").value(net.frames_in);
+        w.key("frames_out").value(net.frames_out);
+        w.key("bytes_in").value(net.bytes_in);
+        w.key("bytes_out").value(net.bytes_out);
+        w.key("protocol_errors").value(net.protocol_errors);
+        w.key("bad_requests").value(net.bad_requests);
+        w.key("shed").value(net.shed);
+        w.key("deadline_expired").value(net.deadline_expired);
+        w.key("backpressure_stalls").value(net.backpressure_stalls);
+        w.key("cancelled_on_close").value(net.cancelled_on_close);
+        w.endObject();
+    }
     w.endObject();
     return w.str();
 }

@@ -111,6 +111,50 @@ struct TransformEffects
     }
 };
 
+/**
+ * Socket-tier counters (mdes::net). Filled at snapshot time by the
+ * network server, the same way cache stats are; all zero (and the
+ * table/JSON sections absent) for an in-process service.
+ */
+struct NetStats
+{
+    /** True once a network server contributed to this snapshot. */
+    bool enabled = false;
+
+    uint64_t accepted = 0;
+    uint64_t closed = 0;
+    /** Connections open right now (point-in-time, not monotonic). */
+    uint64_t active = 0;
+    /** Connections the server closed abruptly (protocol violation or
+     * injected peer reset), plus injected accept failures. */
+    uint64_t resets = 0;
+
+    uint64_t frames_in = 0;
+    uint64_t frames_out = 0;
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+    /** Connection-fatal framing violations (bad magic/version/length). */
+    uint64_t protocol_errors = 0;
+    /** Well-framed requests whose payload failed to parse (typed
+     * BadRequest response; the connection survives). */
+    uint64_t bad_requests = 0;
+
+    /** Responses carrying ErrorCode::Overloaded (admission-queue
+     * shedding observed at the socket tier). */
+    uint64_t shed = 0;
+    /** Responses carrying ErrorCode::DeadlineExceeded (the wire
+     * deadline propagated into a cancellation). */
+    uint64_t deadline_expired = 0;
+    /** Times a connection's reads were paused because its in-flight
+     * count or outbound buffer crossed the backpressure high-water
+     * mark. */
+    uint64_t backpressure_stalls = 0;
+    /** In-flight requests cancelled because their connection closed. */
+    uint64_t cancelled_on_close = 0;
+
+    void merge(const NetStats &other);
+};
+
 /** Everything the service counts. */
 struct ServiceMetrics
 {
@@ -140,8 +184,17 @@ struct ServiceMetrics
 
     // --- Robustness section -------------------------------------------
 
-    /** Submissions rejected at admission (also counted under
-     * errors[Overloaded]; filled at snapshot time). */
+    /**
+     * Submissions rejected at admission. Shed requests are requests
+     * and they failed with Overloaded, so recordShed() — the single
+     * authority for this relationship — bumps `requests`,
+     * `errors[Overloaded]`, and this counter together; the invariant
+     * `requests_shed == errors[Overloaded]` holds for every snapshot
+     * and survives merge() (asserted by shedConsistent() and
+     * test_metrics). The JSON dump's `errors.overloaded` is the
+     * authoritative error count; `robustness.requests_shed` mirrors it
+     * for dashboards that read only the robustness section.
+     */
     uint64_t requests_shed = 0;
     /** Requests served from the degraded (unoptimized) fallback. */
     uint64_t degraded_responses = 0;
@@ -161,7 +214,23 @@ struct ServiceMetrics
      * only while tracing is enabled). */
     std::map<std::string, uint64_t> resource_conflicts;
 
+    // --- Net section (socket front end) -------------------------------
+
+    /** Socket-tier counters; zero/absent without a network server. */
+    NetStats net;
+
     void recordOutcome(ErrorCode code);
+
+    /** Record @p n admission-shed submissions (see requests_shed). */
+    void recordShed(uint64_t n);
+
+    /** The shed/Overloaded relationship recordShed() maintains. */
+    bool
+    shedConsistent() const
+    {
+        return requests_shed == errors[size_t(ErrorCode::Overloaded)];
+    }
+
     void merge(const ServiceMetrics &other);
 
     /** Fold one request's conflict table in under @p low's names. */

@@ -1,0 +1,80 @@
+#ifndef MDES_SERVICE_REQUEST_PARSE_H
+#define MDES_SERVICE_REQUEST_PARSE_H
+
+/**
+ * @file
+ * The one request grammar every serving surface shares.
+ *
+ * A request line is whitespace-separated key=value tokens plus bare
+ * flags:
+ *
+ *   machine=<name> source=<file> sasm=<file>
+ *   sched=list|backward|modulo ops=<n> seed=<n> deadline_ms=<n>
+ *   transforms=all|none|<pass>[,<pass>...]
+ *   verify no-optimize no-bit-vector
+ *
+ * `mdesc batch` (files and stdin), the network server's binary frame
+ * payloads, and its newline-delimited JSON debug mode (`"req":"..."`)
+ * all parse requests through this module, so the wire protocol and the
+ * batch tool can never drift apart. renderRequestLine() is the inverse:
+ * it emits a line parseRequestLine() reads back into an equal request,
+ * which is how in-process harnesses (chaos --socket, bench_net_*) drive
+ * their request mixes over a real socket.
+ *
+ * File-referencing keys (source=, sasm=) read from disk only when the
+ * caller allows it; network payloads parse with `allow_files = false`
+ * and get a typed error instead of giving remote peers a file oracle.
+ */
+
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+
+namespace mdes::service {
+
+/** How a request line may be interpreted. */
+struct RequestParseOptions
+{
+    /** Permit source=/sasm= to name local files (the batch tool);
+     * disallowed for network payloads. */
+    bool allow_files = true;
+};
+
+/**
+ * Parse one request line (@p lineno appears in error messages).
+ * Throws MdesError on an unknown key, malformed number, disallowed
+ * file reference, or a line naming neither machine= nor source=.
+ */
+ScheduleRequest parseRequestLine(const std::string &line, int lineno,
+                                 const RequestParseOptions &opts = {});
+
+/** A parsed request file: requests plus the raw line each came from
+ * (network clients forward the text verbatim). */
+struct ParsedRequests
+{
+    std::vector<ScheduleRequest> requests;
+    /** The stripped request line for requests[i]. */
+    std::vector<std::string> lines;
+    /** 1-based source line number for requests[i]. */
+    std::vector<int> linenos;
+};
+
+/**
+ * Parse a whole request text: one request per line, `#` starts a
+ * comment, blank lines are skipped. Throws MdesError (with line
+ * number) on the first bad line.
+ */
+ParsedRequests parseRequestText(const std::string &text,
+                                const RequestParseOptions &opts = {});
+
+/**
+ * Render @p req as a request line parseRequestLine() accepts. Inline
+ * source/sasm text cannot be rendered (the grammar's source=/sasm=
+ * name files); rendering such a request throws MdesError.
+ */
+std::string renderRequestLine(const ScheduleRequest &req);
+
+} // namespace mdes::service
+
+#endif // MDES_SERVICE_REQUEST_PARSE_H

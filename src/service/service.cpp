@@ -112,7 +112,7 @@ MdesService::~MdesService()
 }
 
 MdesService::RequestId
-MdesService::submit(ScheduleRequest request)
+MdesService::submit(ScheduleRequest request, Completion on_complete)
 {
     auto job = std::make_shared<Job>();
     job->id = next_id_.fetch_add(1, std::memory_order_relaxed);
@@ -121,6 +121,7 @@ MdesService::submit(ScheduleRequest request)
                                              request.deadline_ms)
                         : Clock::time_point::max();
     job->request = std::move(request);
+    job->completion = std::move(on_complete);
     job->enqueued = Clock::now();
     {
         std::lock_guard<std::mutex> lock(jobs_mu_);
@@ -145,11 +146,27 @@ MdesService::submit(ScheduleRequest request)
         resp.error = {ErrorCode::Overloaded,
                       "admission queue full (" +
                           std::to_string(max_queue_) + " waiting)"};
-        job->promise.set_value(std::move(resp));
+        deliver(*job, std::move(resp));
         return job->id;
     }
     queue_cv_.notify_one();
     return job->id;
+}
+
+void
+MdesService::deliver(Job &job, ScheduleResponse resp)
+{
+    if (job.completion) {
+        // Callback-style jobs are never waited on; retire the id before
+        // the callback so a cancel() racing the delivery misses cleanly.
+        {
+            std::lock_guard<std::mutex> lock(jobs_mu_);
+            jobs_.erase(job.id);
+        }
+        job.completion(std::move(resp));
+        return;
+    }
+    job.promise.set_value(std::move(resp));
 }
 
 ScheduleResponse
@@ -205,12 +222,9 @@ MdesService::metricsSnapshot() const
         merged.merge(w->metrics);
     }
     merged.cache = cache_.stats();
-    // Shed submissions never reach a worker, so fold them in here:
-    // they are requests, and they failed with Overloaded.
-    uint64_t shed = requests_shed_.load(std::memory_order_relaxed);
-    merged.requests_shed = shed;
-    merged.requests += shed;
-    merged.errors[size_t(ErrorCode::Overloaded)] += shed;
+    // Shed submissions never reach a worker, so fold them in here
+    // through the single authority for the shed/Overloaded pairing.
+    merged.recordShed(requests_shed_.load(std::memory_order_relaxed));
     // Injection-site telemetry (all zero when faultsim is disarmed and
     // nothing fired since the last install).
     auto site_counters = faultsim::counters();
@@ -238,8 +252,7 @@ MdesService::workerLoop(Worker &worker)
             job = std::move(queue_.front());
             queue_.pop_front();
         }
-        job->promise.set_value(process(*job, worker.metrics,
-                                       worker.metrics_mu));
+        deliver(*job, process(*job, worker.metrics, worker.metrics_mu));
     }
 }
 

@@ -182,14 +182,29 @@ class MdesService
   public:
     using RequestId = uint64_t;
 
+    /**
+     * Completion callback for submit(): invoked exactly once with the
+     * finished response, from the worker thread that processed the
+     * request (or from inside submit() itself when the request is shed
+     * at admission). Callbacks must be fast and must not call back into
+     * the service except for submit()/cancel() — the network front end
+     * uses one to hand responses to its event loop.
+     */
+    using Completion = std::function<void(ScheduleResponse)>;
+
     explicit MdesService(ServiceConfig config = {});
     ~MdesService();
 
     MdesService(const MdesService &) = delete;
     MdesService &operator=(const MdesService &) = delete;
 
-    /** Enqueue @p request; the returned id is waitable/cancellable. */
-    RequestId submit(ScheduleRequest request);
+    /**
+     * Enqueue @p request; the returned id is waitable/cancellable.
+     * With @p on_complete set the response is delivered through the
+     * callback instead and the id must NOT be waited on (it remains
+     * valid for cancel() until the callback fires).
+     */
+    RequestId submit(ScheduleRequest request, Completion on_complete = {});
 
     /**
      * Block until request @p id completes and return its response.
@@ -227,6 +242,8 @@ class MdesService
         RequestId id = 0;
         ScheduleRequest request;
         std::promise<ScheduleResponse> promise;
+        /** Non-null for callback-style submissions (see submit()). */
+        Completion completion;
         std::atomic<bool> cancelled{false};
         /** steady_clock deadline (time_point::max() = none). */
         std::chrono::steady_clock::time_point deadline;
@@ -246,6 +263,8 @@ class MdesService
     void workerLoop(Worker &worker);
     ScheduleResponse process(Job &job, ServiceMetrics &metrics,
                              std::mutex &metrics_mu);
+    /** Hand @p resp to the job's waiter (promise) or callback. */
+    void deliver(Job &job, ScheduleResponse resp);
 
     DescriptionCache cache_;
 

@@ -20,8 +20,18 @@ const char *const kSiteNames[kNumSites] = {
     "store/open-write",   "store/write",      "store/fsync",
     "store/rename",       "cache/spurious-wake",
     "cache/slow-compile", "compile/pass-throw",
-    "compile/alloc-fail",
+    "compile/alloc-fail", "net/accept-fail",
+    "net/short-read",     "net/short-write",
+    "net/peer-reset",     "net/stalled-write",
 };
+
+/** Sites that sever connections (vs shape latency): Plan::fuzz keeps
+ * these sub-certain so a bounded-retry client always progresses. */
+bool
+isNetSeverSite(Site site)
+{
+    return site == Site::NetAcceptFail || site == Site::NetPeerReset;
+}
 
 /** splitmix64 finalizer: a full-avalanche 64-bit mix. */
 uint64_t
@@ -161,6 +171,13 @@ Plan::fuzz(uint64_t seed)
         s.max_fires = uint32_t(1 + rng.below(3));
         if (Site(i) == Site::CacheSlowCompile)
             s.delay_us = uint32_t(500 + rng.below(20000));
+        if (Site(i) == Site::NetStalledWrite)
+            s.delay_us = uint32_t(200 + rng.below(5000));
+        // Connection-severing sites must stay sub-certain (the draws
+        // above are still consumed, so old seeds replay unchanged): at
+        // p=1.0 every retry of every request would be reset forever.
+        if (isNetSeverSite(Site(i)) && s.probability > 0.35)
+            s.probability = 0.35;
     }
     // A plan that arms nothing tests nothing: force one gentle site.
     if (!plan.anyArmed()) {

@@ -68,6 +68,31 @@ enum class Site : uint32_t {
     /** compileSourceToLow - lowering hits allocation failure
      * (std::bad_alloc; a hard compile failure feeding the breaker). */
     CompileAllocFail,
+
+    // Socket-I/O sites (mdes::net). Appended after the original sites so
+    // existing seeds' Plan::fuzz draw sequences are unchanged. The
+    // observable sites (accept-fail, peer-reset) are evaluated at
+    // protocol events - once per accept, once per decoded request frame,
+    // token = connection id - never per syscall, so replays with the same
+    // connection stream see the same evaluation sequence. The
+    // latency-shaping sites (short-read/short-write/stalled-write) may
+    // evaluate per syscall; they alter timing, never outcomes.
+
+    /** net::Server accept path - the freshly accepted connection is
+     * closed immediately (counts as a reset; client retries). */
+    NetAcceptFail,
+    /** net::Connection read path - a read is truncated to one byte
+     * (exercises incremental frame reassembly; no data loss). */
+    NetShortRead,
+    /** net::Connection write path - a write is truncated to one byte
+     * (exercises partial-write resumption; no data loss). */
+    NetShortWrite,
+    /** net::Connection - the server resets the connection after decoding
+     * a request frame (client sees EOF/ECONNRESET and retries). */
+    NetPeerReset,
+    /** net::Connection write path - the write stalls delay_us before
+     * proceeding (exercises EPOLLOUT backpressure paths). */
+    NetStalledWrite,
     kNumSites
 };
 

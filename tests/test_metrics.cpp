@@ -200,6 +200,89 @@ TEST(ServiceMetrics, MergeSumsEverySection)
     EXPECT_EQ(a.resource_conflicts["M.decode"], 1u);
 }
 
+TEST(ServiceMetrics, RecordShedIsTheSingleAuthority)
+{
+    // A shed submission must move all three views of "shed" together:
+    // the request count, the Overloaded error bucket, and the
+    // robustness counter. recordShed() is the only place that does so.
+    service::ServiceMetrics m;
+    m.recordShed(3);
+    EXPECT_EQ(m.requests, 3u);
+    EXPECT_EQ(m.errors[size_t(service::ErrorCode::Overloaded)], 3u);
+    EXPECT_EQ(m.requests_shed, 3u);
+    EXPECT_TRUE(m.shedConsistent());
+
+    // Interleaving normal outcomes never breaks the invariant.
+    m.recordOutcome(service::ErrorCode::Ok);
+    m.recordOutcome(service::ErrorCode::CompileFailed);
+    m.recordShed(2);
+    EXPECT_EQ(m.requests, 7u);
+    EXPECT_EQ(m.requests_shed, 5u);
+    EXPECT_TRUE(m.shedConsistent());
+
+    // The JSON dump's errors.overloaded (the authoritative counter)
+    // agrees with robustness.requests_shed (the mirror).
+    JsonValue v = parseJson(m.toJson());
+    EXPECT_EQ(v.find("errors")->find("overloaded")->number, 5.0);
+    EXPECT_EQ(v.find("robustness")->find("requests_shed")->number, 5.0);
+}
+
+TEST(ServiceMetrics, ShedConsistencySurvivesMerge)
+{
+    service::ServiceMetrics a, b;
+    a.recordShed(2);
+    b.recordShed(4);
+    b.recordOutcome(service::ErrorCode::Ok);
+    a.merge(b);
+    EXPECT_EQ(a.requests_shed, 6u);
+    EXPECT_EQ(a.errors[size_t(service::ErrorCode::Overloaded)], 6u);
+    EXPECT_EQ(a.requests, 7u);
+    EXPECT_TRUE(a.shedConsistent());
+}
+
+TEST(NetStats, MergeSumsEveryCounterAndJsonExposesThem)
+{
+    service::ServiceMetrics m = populatedMetrics();
+    m.net.enabled = true;
+    m.net.accepted = 4;
+    m.net.closed = 3;
+    m.net.active = 1;
+    m.net.resets = 2;
+    m.net.frames_in = 40;
+    m.net.frames_out = 38;
+    m.net.bytes_in = 4000;
+    m.net.bytes_out = 9000;
+    m.net.protocol_errors = 1;
+    m.net.bad_requests = 2;
+    m.net.shed = 5;
+    m.net.deadline_expired = 1;
+    m.net.backpressure_stalls = 7;
+    m.net.cancelled_on_close = 1;
+
+    service::ServiceMetrics other;
+    other.net.enabled = true;
+    other.net.accepted = 1;
+    other.net.frames_in = 2;
+    m.merge(other);
+    EXPECT_EQ(m.net.accepted, 5u);
+    EXPECT_EQ(m.net.frames_in, 42u);
+    EXPECT_EQ(m.net.shed, 5u);
+
+    const std::string doc = m.toJson();
+    JsonValue v = parseJson(doc);
+    EXPECT_EQ(writeJson(v), doc); // still round-trips with the section
+    const JsonValue *net = v.find("net");
+    ASSERT_NE(net, nullptr);
+    EXPECT_EQ(net->find("accepted")->number, 5.0);
+    EXPECT_EQ(net->find("frames_in")->number, 42.0);
+    EXPECT_EQ(net->find("backpressure_stalls")->number, 7.0);
+    EXPECT_EQ(net->find("cancelled_on_close")->number, 1.0);
+
+    // Disabled (no server ran): the section is absent entirely.
+    service::ServiceMetrics plain = populatedMetrics();
+    EXPECT_EQ(parseJson(plain.toJson()).find("net"), nullptr);
+}
+
 TEST(ServiceMetrics, RecordConflictsKeysByMachineAndResource)
 {
     const machines::MachineInfo *machine = machines::all().front();

@@ -1,0 +1,507 @@
+/**
+ * @file
+ * mdes::net tests.
+ *
+ * Framing: the fuzz/property suite the decoder's contract demands -
+ * round-trip random frames through arbitrary fragmentation, truncate
+ * the stream at every byte offset, flip length prefixes - asserting
+ * the decoder never reads past its buffer, never crashes, and yields
+ * a typed ProtoError for every malformed input.
+ *
+ * Grammar: renderRequestLine() round-trips through parseRequestLine()
+ * field-for-field, and network-mode parsing rejects file references.
+ *
+ * Server: end-to-end over loopback in both wire modes, asserting
+ * bit-identical schedule fingerprints against in-process runs, typed
+ * Overloaded shedding under a tiny admission queue, deadline expiry
+ * from the frame header, protocol-error close, and the net metrics
+ * section. Everything binds port 0 (ephemeral) so tests never collide.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "service/request_parse.h"
+#include "service/service.h"
+#include "support/diagnostics.h"
+#include "support/rng.h"
+
+namespace mdes {
+namespace {
+
+using net::Frame;
+using net::FrameDecoder;
+using net::FrameType;
+using net::ProtoError;
+
+Frame
+randomFrame(Rng &rng)
+{
+    Frame f;
+    constexpr FrameType kTypes[] = {FrameType::Request,
+                                    FrameType::Response, FrameType::Error,
+                                    FrameType::Ping, FrameType::Pong};
+    f.type = kTypes[rng.below(5)];
+    f.deadline_ms = uint32_t(rng.below(100000));
+    f.id = rng.next();
+    f.route = rng.next();
+    size_t len = size_t(rng.below(300));
+    f.payload.resize(len);
+    for (char &c : f.payload)
+        c = char(rng.below(256));
+    return f;
+}
+
+void
+expectFrameEq(const Frame &a, const Frame &b)
+{
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.deadline_ms, b.deadline_ms);
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.route, b.route);
+    EXPECT_EQ(a.payload, b.payload);
+}
+
+TEST(Frame, RoundTripsThroughArbitraryFragmentation)
+{
+    Rng rng(42);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::vector<Frame> frames;
+        std::string wire;
+        size_t n = 1 + rng.below(5);
+        for (size_t i = 0; i < n; ++i) {
+            frames.push_back(randomFrame(rng));
+            wire += net::encodeFrame(frames.back());
+        }
+
+        // Feed the stream in random fragments (including empty ones).
+        FrameDecoder dec;
+        std::vector<Frame> out;
+        size_t off = 0;
+        while (off < wire.size()) {
+            size_t chunk =
+                std::min(wire.size() - off, rng.below(40 + 1));
+            dec.feed(wire.data() + off, chunk);
+            off += chunk;
+            Frame f;
+            FrameDecoder::Status st;
+            while ((st = dec.next(&f)) == FrameDecoder::Status::Ready)
+                out.push_back(f);
+            ASSERT_EQ(st, FrameDecoder::Status::NeedMore);
+        }
+        ASSERT_EQ(out.size(), frames.size());
+        for (size_t i = 0; i < frames.size(); ++i)
+            expectFrameEq(out[i], frames[i]);
+        EXPECT_EQ(dec.buffered(), 0u);
+        EXPECT_EQ(dec.error(), ProtoError::None);
+    }
+}
+
+TEST(Frame, TruncationAtEveryOffsetNeverCompletesOrCrashes)
+{
+    Rng rng(7);
+    Frame f = randomFrame(rng);
+    f.payload = "machine=K5 sched=list ops=10";
+    const std::string wire = net::encodeFrame(f);
+
+    for (size_t cut = 0; cut < wire.size(); ++cut) {
+        FrameDecoder dec;
+        dec.feed(wire.data(), cut);
+        Frame out;
+        // A strict prefix of a valid frame decodes to nothing - only
+        // NeedMore, never Ready, never Error, never an over-read.
+        EXPECT_EQ(dec.next(&out), FrameDecoder::Status::NeedMore)
+            << "cut at " << cut;
+        EXPECT_EQ(dec.error(), ProtoError::None);
+        EXPECT_EQ(dec.buffered(), cut);
+        // Completing the stream still yields the frame intact.
+        dec.feed(wire.data() + cut, wire.size() - cut);
+        ASSERT_EQ(dec.next(&out), FrameDecoder::Status::Ready);
+        expectFrameEq(out, f);
+    }
+}
+
+TEST(Frame, FlippedLengthPrefixesErrorOrDemandExactlyThatMuch)
+{
+    Rng rng(13);
+    Frame f = randomFrame(rng);
+    f.type = FrameType::Request;
+    f.payload = "machine=Pentium";
+    const std::string wire = net::encodeFrame(f);
+
+    // Flip every bit of the payload_len field (header offset 8..11).
+    for (int bit = 0; bit < 32; ++bit) {
+        std::string mutated = wire;
+        mutated[8 + bit / 8] ^= char(1u << (bit % 8));
+        uint32_t len = 0;
+        std::memcpy(&len, mutated.data() + 8, 4); // LE host assumed in CI
+        FrameDecoder dec;
+        dec.feed(mutated.data(), mutated.size());
+        Frame out;
+        FrameDecoder::Status st = dec.next(&out);
+        if (len > net::kMaxPayload) {
+            EXPECT_EQ(st, FrameDecoder::Status::Error) << "bit " << bit;
+            EXPECT_EQ(dec.error(), ProtoError::OversizedPayload);
+            // Poisoned: more bytes never resurrect the stream.
+            dec.feed(wire.data(), wire.size());
+            EXPECT_EQ(dec.next(&out), FrameDecoder::Status::Error);
+        } else if (len > f.payload.size()) {
+            // Claims more payload than present: must wait, not over-read.
+            EXPECT_EQ(st, FrameDecoder::Status::NeedMore) << "bit " << bit;
+        } else {
+            // Claims less: decodes a short frame, surplus stays buffered.
+            ASSERT_EQ(st, FrameDecoder::Status::Ready) << "bit " << bit;
+            EXPECT_EQ(out.payload.size(), len);
+            EXPECT_EQ(dec.buffered(), f.payload.size() - len);
+        }
+    }
+}
+
+TEST(Frame, EveryHeaderViolationYieldsItsTypedError)
+{
+    const std::string good = net::encodeFrame(Frame{});
+    struct Case
+    {
+        size_t offset;
+        char value;
+        ProtoError want;
+    };
+    const Case cases[] = {
+        {0, 'X', ProtoError::BadMagic},    // magic
+        {4, 2, ProtoError::BadVersion},    // version
+        {5, 0, ProtoError::BadType},       // type 0 is invalid
+        {5, 9, ProtoError::BadType},       // type out of range
+        {6, 1, ProtoError::BadFlags},      // reserved flags nonzero
+    };
+    for (const Case &c : cases) {
+        std::string mutated = good;
+        mutated[c.offset] = c.value;
+        FrameDecoder dec;
+        dec.feed(mutated.data(), mutated.size());
+        Frame out;
+        EXPECT_EQ(dec.next(&out), FrameDecoder::Status::Error)
+            << "offset " << c.offset;
+        EXPECT_EQ(dec.error(), c.want) << "offset " << c.offset;
+        EXPECT_STRNE(net::protoErrorName(dec.error()), "?");
+    }
+}
+
+TEST(Frame, EncodeRejectsOversizedPayloadAsCallerBug)
+{
+    Frame f;
+    f.payload.assign(net::kMaxPayload + 1, 'x');
+    EXPECT_THROW(net::encodeFrame(f), MdesError);
+}
+
+TEST(Frame, GarbageBytesNeverCrashTheDecoder)
+{
+    Rng rng(99);
+    for (int iter = 0; iter < 500; ++iter) {
+        std::string junk(1 + rng.below(200), '\0');
+        for (char &c : junk)
+            c = char(rng.below(256));
+        FrameDecoder dec;
+        dec.feed(junk.data(), junk.size());
+        Frame out;
+        // Drain until the decoder rests; any outcome is fine except a
+        // crash or an over-read (ASan holds the latter).
+        while (dec.next(&out) == FrameDecoder::Status::Ready) {
+        }
+    }
+}
+
+TEST(RequestGrammar, RenderedLinesParseBackToEqualRequests)
+{
+    using service::ScheduleRequest;
+    std::vector<ScheduleRequest> reqs;
+    {
+        ScheduleRequest r;
+        r.machine = "K5";
+        r.scheduler = service::SchedulerKind::Modulo;
+        r.synth_ops = 123;
+        r.seed = 7;
+        r.deadline_ms = 250;
+        reqs.push_back(r);
+    }
+    {
+        ScheduleRequest r;
+        r.machine = "Pentium";
+        r.transforms = PipelineConfig::none();
+        r.bit_vector = false;
+        r.verify = true;
+        reqs.push_back(r);
+    }
+    {
+        ScheduleRequest r;
+        r.machine = "PA8000";
+        r.transforms = PipelineConfig::none();
+        r.transforms.cse = true;
+        r.transforms.hoist = true;
+        reqs.push_back(r);
+    }
+    for (const ScheduleRequest &r : reqs) {
+        std::string line = service::renderRequestLine(r);
+        service::ScheduleRequest back =
+            service::parseRequestLine(line, 1);
+        EXPECT_EQ(back.machine, r.machine) << line;
+        EXPECT_EQ(back.scheduler, r.scheduler) << line;
+        EXPECT_EQ(back.synth_ops, r.synth_ops) << line;
+        EXPECT_EQ(back.seed, r.seed) << line;
+        EXPECT_EQ(back.deadline_ms, r.deadline_ms) << line;
+        EXPECT_EQ(back.bit_vector, r.bit_vector) << line;
+        EXPECT_EQ(back.verify, r.verify) << line;
+        EXPECT_EQ(back.transforms.cse, r.transforms.cse) << line;
+        EXPECT_EQ(back.transforms.minimize, r.transforms.minimize)
+            << line;
+        EXPECT_EQ(back.transforms.hoist, r.transforms.hoist) << line;
+        EXPECT_EQ(back.transforms.sort_or_trees,
+                  r.transforms.sort_or_trees)
+            << line;
+    }
+}
+
+TEST(RequestGrammar, NetworkModeRejectsFileReferences)
+{
+    service::RequestParseOptions opts;
+    opts.allow_files = false;
+    EXPECT_THROW(
+        service::parseRequestLine("source=/etc/passwd", 1, opts),
+        MdesError);
+    EXPECT_THROW(service::parseRequestLine(
+                     "machine=K5 sasm=secret.sasm", 1, opts),
+                 MdesError);
+    // The same lines are fine when files are allowed (they fail later
+    // on open, which is not the parser's concern here).
+    EXPECT_NO_THROW(service::parseRequestLine("machine=K5", 1, opts));
+}
+
+/** Requests whose responses the socket tests compare in-process. */
+std::vector<service::ScheduleRequest>
+testMix()
+{
+    std::vector<service::ScheduleRequest> mix;
+    const char *names[] = {"K5", "Pentium", "PA7100"};
+    for (const char *name : names) {
+        service::ScheduleRequest r;
+        r.machine = name;
+        r.synth_ops = 60;
+        r.seed = 11;
+        mix.push_back(r);
+    }
+    return mix;
+}
+
+TEST(NetServer, BinaryModeMatchesInProcessFingerprints)
+{
+    std::vector<service::ScheduleRequest> mix = testMix();
+
+    service::ServiceConfig cfg;
+    cfg.num_workers = 2;
+    service::MdesService local(cfg);
+    std::vector<service::ScheduleResponse> want = local.runBatch(mix);
+
+    net::ServerConfig sc;
+    sc.service.num_workers = 2;
+    net::Server server(sc);
+    server.start();
+
+    net::BlockingClient client("127.0.0.1", server.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.ping());
+    for (size_t i = 0; i < mix.size(); ++i) {
+        net::NetResponse r = client.request(
+            service::renderRequestLine(mix[i]), 0, net::routeKey(mix[i]));
+        ASSERT_TRUE(r.ok()) << r.error << ": " << r.message;
+        ASSERT_TRUE(want[i].ok());
+        EXPECT_EQ(r.fingerprint, service::scheduleFingerprint(want[i]))
+            << mix[i].machine;
+        EXPECT_EQ(r.machine, want[i].machine);
+    }
+    server.stop();
+
+    service::ServiceMetrics m = server.metrics();
+    EXPECT_TRUE(m.net.enabled);
+    EXPECT_EQ(m.net.accepted, 1u);
+    EXPECT_EQ(m.net.closed, 1u);
+    EXPECT_EQ(m.net.active, 0u);
+    // Ping + 3 requests in; pong + 3 responses out.
+    EXPECT_EQ(m.net.frames_in, 4u);
+    EXPECT_EQ(m.net.frames_out, 4u);
+    EXPECT_GT(m.net.bytes_in, 0u);
+    EXPECT_GT(m.net.bytes_out, 0u);
+    EXPECT_EQ(m.net.protocol_errors, 0u);
+    EXPECT_TRUE(m.shedConsistent());
+}
+
+TEST(NetServer, JsonModeMatchesBinaryFingerprints)
+{
+    std::vector<service::ScheduleRequest> mix = testMix();
+
+    net::ServerConfig sc;
+    sc.service.num_workers = 2;
+    net::Server server(sc);
+    server.start();
+
+    net::BlockingClient bin("127.0.0.1", server.port(), false);
+    net::BlockingClient json("127.0.0.1", server.port(), true);
+    ASSERT_TRUE(bin.connected());
+    ASSERT_TRUE(json.connected());
+    for (const service::ScheduleRequest &req : mix) {
+        std::string line = service::renderRequestLine(req);
+        net::NetResponse a = bin.request(line);
+        net::NetResponse b = json.request(line);
+        ASSERT_TRUE(a.ok()) << a.error;
+        ASSERT_TRUE(b.ok()) << b.error;
+        EXPECT_EQ(a.fingerprint, b.fingerprint) << line;
+    }
+    server.stop();
+}
+
+TEST(NetServer, OverloadShedsWithTypedErrorNeverSilently)
+{
+    net::ServerConfig sc;
+    sc.service.num_workers = 1;
+    sc.service.max_queue = 1; // shed almost everything concurrent
+    net::Server server(sc);
+    server.start();
+
+    // Hammer from several connections at once so submissions overlap.
+    constexpr int kClients = 4, kPerClient = 8;
+    std::atomic<uint64_t> ok{0}, shed{0}, other{0};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            net::BlockingClient client("127.0.0.1", server.port());
+            ASSERT_TRUE(client.connected());
+            for (int i = 0; i < kPerClient; ++i) {
+                service::ScheduleRequest r;
+                r.machine = "K5";
+                r.synth_ops = 150;
+                r.seed = uint64_t(c * kPerClient + i + 1);
+                net::NetResponse resp =
+                    client.request(service::renderRequestLine(r));
+                ASSERT_TRUE(resp.transport_ok);
+                if (resp.code == service::ErrorCode::Ok)
+                    ++ok;
+                else if (resp.code == service::ErrorCode::Overloaded)
+                    ++shed;
+                else
+                    ++other;
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    server.stop();
+
+    // Every request got a typed outcome; only Ok or Overloaded occur.
+    EXPECT_EQ(ok + shed + other, uint64_t(kClients * kPerClient));
+    EXPECT_EQ(other, 0u);
+    EXPECT_GT(ok, 0u);
+
+    service::ServiceMetrics m = server.metrics();
+    EXPECT_TRUE(m.shedConsistent());
+    EXPECT_EQ(m.requests_shed, shed.load());
+    EXPECT_EQ(m.net.shed, shed.load());
+}
+
+TEST(NetServer, FrameDeadlineExpiresAsTypedError)
+{
+    net::ServerConfig sc;
+    sc.service.num_workers = 1;
+    net::Server server(sc);
+    server.start();
+
+    net::BlockingClient client("127.0.0.1", server.port());
+    ASSERT_TRUE(client.connected());
+
+    // A deadline that has effectively already passed: the service's
+    // deadline check fires before (or during) scheduling.
+    service::ScheduleRequest r;
+    r.machine = "SuperSPARC";
+    r.synth_ops = 400;
+    net::NetResponse first =
+        client.request(service::renderRequestLine(r), 1);
+    ASSERT_TRUE(first.transport_ok);
+    // Either the request beat the 1ms deadline (tiny machine, warm CPU)
+    // or it expired with the typed code - never a hang, never a reset.
+    EXPECT_TRUE(first.code == service::ErrorCode::Ok ||
+                first.code == service::ErrorCode::DeadlineExceeded)
+        << first.error;
+
+    // No deadline: the identical request must succeed.
+    net::NetResponse second =
+        client.request(service::renderRequestLine(r), 0);
+    ASSERT_TRUE(second.transport_ok);
+    EXPECT_EQ(second.code, service::ErrorCode::Ok) << second.error;
+    server.stop();
+
+    service::ServiceMetrics m = server.metrics();
+    if (first.code == service::ErrorCode::DeadlineExceeded)
+        EXPECT_GE(m.net.deadline_expired, 1u);
+}
+
+TEST(NetServer, ProtocolViolationGetsErrorFrameThenClose)
+{
+    net::ServerConfig sc;
+    sc.service.num_workers = 1;
+    net::Server server(sc);
+    server.start();
+
+    net::BlockingClient probe("127.0.0.1", server.port());
+    ASSERT_TRUE(probe.connected());
+    ASSERT_TRUE(probe.ping());
+
+    // Hand-roll a corrupted frame: good magic, bad version.
+    std::string wire = net::encodeFrame(Frame{});
+    wire[4] = 3;
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)),
+              0);
+    ASSERT_EQ(send(fd, wire.data(), wire.size(), 0), ssize_t(wire.size()));
+    // The server answers with an Error frame naming the violation and
+    // closes; read until EOF and decode what came back.
+    std::string got;
+    char buf[4096];
+    ssize_t n;
+    while ((n = recv(fd, buf, sizeof(buf), 0)) > 0)
+        got.append(buf, size_t(n));
+    close(fd);
+
+    FrameDecoder dec;
+    dec.feed(got.data(), got.size());
+    Frame resp;
+    ASSERT_EQ(dec.next(&resp), FrameDecoder::Status::Ready);
+    EXPECT_EQ(resp.type, FrameType::Error);
+    EXPECT_NE(resp.payload.find("bad-version"), std::string::npos)
+        << resp.payload;
+
+    // The violation never took the server down.
+    EXPECT_TRUE(probe.ping());
+    server.stop();
+    EXPECT_GE(server.metrics().net.protocol_errors, 1u);
+}
+
+} // namespace
+} // namespace mdes

@@ -47,6 +47,7 @@
 #include <ctime>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -60,9 +61,13 @@
 #include "lmdes/low_mdes.h"
 #include "machines/machines.h"
 #include "exp/runner.h"
+#include "net/chaos_socket.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "sched/list_scheduler.h"
 #include "sched/verify.h"
 #include "service/chaos.h"
+#include "service/request_parse.h"
 #include "service/service.h"
 #include "store/store.h"
 #include "support/faultsim.h"
@@ -90,13 +95,19 @@ usage()
         "  mdesc stats <file.hmdes>\n"
         "  mdesc lint <file.hmdes> [--deep]\n"
         "  mdesc schedule <machine-name | file.hmdes> <file.sasm>\n"
-        "  mdesc batch <file.req> [--workers N] [--json]\n"
+        "  mdesc batch <file.req | --stdin> [--workers N] [--json]\n"
         "              [--store <dir>] [--store-max-bytes N]\n"
         "              [--trace <file.json>] [--faults <spec>]\n"
         "              [--max-queue N]\n"
         "  mdesc chaos [--seeds N] [--first-seed N] [--workers N]\n"
         "              [--requests N] [--store-dir <dir>]\n"
-        "              [--report <file.json>]\n"
+        "              [--report <file.json>] [--socket]\n"
+        "  mdesc serve [--listen <host:port>] [--workers N]\n"
+        "              [--max-queue N] [--store <dir>] [--shards N]\n"
+        "              [--json]\n"
+        "  mdesc netbatch <host:port> <file.req | --stdin>\n"
+        "              [--json-mode] [--deadline-ms N]\n"
+        "              [--check-inprocess]\n"
         "  mdesc store stat <dir> [--json]\n"
         "  mdesc store prune <dir> --max-bytes <N>\n"
         "  mdesc store warm <dir> [machine...]\n"
@@ -549,72 +560,6 @@ cmdSchedule(const std::vector<std::string> &args)
     return 0;
 }
 
-/**
- * Parse one request line of a .req file: whitespace-separated
- * key=value tokens (machine=, source=, sasm=, sched=, ops=, seed=,
- * deadline_ms=) plus the flags verify, no-optimize, no-bit-vector.
- * source= and sasm= name files to read. Throws MdesError on a bad token.
- */
-service::ScheduleRequest
-parseRequestLine(const std::string &line, int lineno)
-{
-    service::ScheduleRequest req;
-    std::istringstream in(line);
-    std::string token;
-    auto bad = [&](const std::string &what) {
-        throw MdesError("request line " + std::to_string(lineno) + ": " +
-                        what);
-    };
-    auto number = [&](const std::string &key, const std::string &value) {
-        uint64_t v = 0;
-        auto [end, ec] =
-            std::from_chars(value.data(), value.data() + value.size(), v);
-        if (ec != std::errc() || end != value.data() + value.size())
-            bad("bad number " + key + "='" + value + "'");
-        return v;
-    };
-    while (in >> token) {
-        std::string key = token, value;
-        if (size_t eq = token.find('='); eq != std::string::npos) {
-            key = token.substr(0, eq);
-            value = token.substr(eq + 1);
-        }
-        if (key == "machine") {
-            req.machine = value;
-        } else if (key == "source") {
-            req.source = readFile(value);
-        } else if (key == "sasm") {
-            req.sasm = readFile(value);
-        } else if (key == "sched") {
-            if (value == "list")
-                req.scheduler = service::SchedulerKind::List;
-            else if (value == "backward")
-                req.scheduler = service::SchedulerKind::Backward;
-            else if (value == "modulo")
-                req.scheduler = service::SchedulerKind::Modulo;
-            else
-                bad("unknown scheduler '" + value + "'");
-        } else if (key == "ops") {
-            req.synth_ops = number(key, value);
-        } else if (key == "seed") {
-            req.seed = number(key, value);
-        } else if (key == "deadline_ms") {
-            req.deadline_ms = int64_t(number(key, value));
-        } else if (key == "verify") {
-            req.verify = true;
-        } else if (key == "no-optimize") {
-            req.transforms = PipelineConfig::none();
-        } else if (key == "no-bit-vector") {
-            req.bit_vector = false;
-        } else {
-            bad("unknown key '" + key + "'");
-        }
-    }
-    if (req.machine.empty() && req.source.empty())
-        bad("needs machine= or source=");
-    return req;
-}
-
 int
 cmdBatch(const std::vector<std::string> &args)
 {
@@ -661,6 +606,8 @@ cmdBatch(const std::vector<std::string> &args)
             }
         } else if (args[i] == "--json") {
             json = true;
+        } else if (args[i] == "--stdin" || args[i] == "-") {
+            input = "-";
         } else if (!args[i].empty() && args[i][0] == '-') {
             std::fprintf(stderr, "unknown option '%s'\n",
                          args[i].c_str());
@@ -676,21 +623,20 @@ cmdBatch(const std::vector<std::string> &args)
     TraceFile trace_file(trace_path);
     FaultScope fault_scope(faults_spec);
 
-    // Read N requests...
-    std::istringstream lines(readFile(input));
-    std::vector<service::ScheduleRequest> requests;
-    std::string line;
-    int lineno = 0;
-    while (std::getline(lines, line)) {
-        ++lineno;
-        if (size_t hash = line.find('#'); hash != std::string::npos)
-            line.erase(hash);
-        if (line.find_first_not_of(" \t\r") == std::string::npos)
-            continue;
-        requests.push_back(parseRequestLine(line, lineno));
+    // Read N requests (from stdin with --stdin/-, same grammar).
+    std::string text;
+    if (input == "-") {
+        std::ostringstream buf;
+        buf << std::cin.rdbuf();
+        text = buf.str();
+    } else {
+        text = readFile(input);
     }
+    std::vector<service::ScheduleRequest> requests =
+        service::parseRequestText(text).requests;
     if (requests.empty()) {
-        std::fprintf(stderr, "%s: no requests\n", input.c_str());
+        std::fprintf(stderr, "%s: no requests\n",
+                     input == "-" ? "<stdin>" : input.c_str());
         return 1;
     }
 
@@ -788,6 +734,9 @@ cmdChaos(const std::vector<std::string> &args)
             config.store_base_dir = args[++i];
         } else if (args[i] == "--report" && i + 1 < args.size()) {
             report_path = args[++i];
+        } else if (args[i] == "--socket") {
+            config.driver = net::chaosSocketDriver();
+            config.driver_name = "socket";
         } else {
             std::fprintf(stderr, "unknown option '%s'\n",
                          args[i].c_str());
@@ -817,6 +766,233 @@ cmdChaos(const std::vector<std::string> &args)
         std::printf("wrote %s\n", report_path.c_str());
     }
     return report.ok() ? 0 : 1;
+}
+
+
+/**
+ * `mdesc serve`: the socket serving tier. Listens until SIGINT/SIGTERM
+ * and answers requests over the mdes::net protocol (binary frames or
+ * JSON lines, auto-detected per connection); --shards forks N workers
+ * sharing one on-disk store behind a routing acceptor.
+ */
+int
+cmdServe(const std::vector<std::string> &args)
+{
+    net::ServeOptions opts;
+    opts.server.port = 7433; // default mdesc port
+    auto number = [](const std::string &flag, const std::string &w,
+                     auto &out) {
+        auto [end, ec] =
+            std::from_chars(w.data(), w.data() + w.size(), out);
+        if (ec != std::errc() || end != w.data() + w.size()) {
+            std::fprintf(stderr, "mdesc: bad %s value '%s'\n",
+                         flag.c_str(), w.c_str());
+            return false;
+        }
+        return true;
+    };
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--listen" && i + 1 < args.size()) {
+            std::string ep = args[++i];
+            size_t colon = ep.rfind(':');
+            if (colon == std::string::npos) {
+                std::fprintf(stderr,
+                             "mdesc: --listen wants host:port, got "
+                             "'%s'\n",
+                             ep.c_str());
+                return 1;
+            }
+            opts.server.host = ep.substr(0, colon);
+            if (!number("--listen", ep.substr(colon + 1),
+                        opts.server.port))
+                return 1;
+        } else if (args[i] == "--workers" && i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1],
+                        opts.server.service.num_workers))
+                return 1;
+            ++i;
+        } else if (args[i] == "--max-queue" && i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1],
+                        opts.server.service.max_queue))
+                return 1;
+            ++i;
+        } else if (args[i] == "--store" && i + 1 < args.size()) {
+            opts.server.service.store_dir = args[++i];
+        } else if (args[i] == "--store-max-bytes" &&
+                   i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1],
+                        opts.server.service.store_max_bytes))
+                return 1;
+            ++i;
+        } else if (args[i] == "--shards" && i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1], opts.shards))
+                return 1;
+            ++i;
+        } else if (args[i] == "--max-inflight" && i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1],
+                        opts.server.max_inflight_per_conn))
+                return 1;
+            ++i;
+        } else if (args[i] == "--json") {
+            opts.json_metrics = true;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         args[i].c_str());
+            return usage();
+        }
+    }
+    return net::runServe(opts);
+}
+
+/**
+ * `mdesc netbatch`: the client side of `serve` - push a .req file
+ * through a running server and (with --check-inprocess) assert each
+ * response's schedule fingerprint is bit-identical to an in-process
+ * run of the same requests, the CI smoke gate for the socket path.
+ */
+int
+cmdNetbatch(const std::vector<std::string> &args)
+{
+    std::string endpoint, input;
+    bool json_mode = false, check_inprocess = false;
+    uint32_t deadline_ms = 0;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--json-mode") {
+            json_mode = true;
+        } else if (args[i] == "--check-inprocess") {
+            check_inprocess = true;
+        } else if (args[i] == "--deadline-ms" && i + 1 < args.size()) {
+            const std::string &w = args[++i];
+            auto [end, ec] = std::from_chars(
+                w.data(), w.data() + w.size(), deadline_ms);
+            if (ec != std::errc() || end != w.data() + w.size()) {
+                std::fprintf(stderr,
+                             "mdesc: bad --deadline-ms value '%s'\n",
+                             w.c_str());
+                return 1;
+            }
+        } else if (args[i] == "--stdin" || args[i] == "-") {
+            input = "-";
+        } else if (!args[i].empty() && args[i][0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         args[i].c_str());
+            return usage();
+        } else if (endpoint.empty()) {
+            endpoint = args[i];
+        } else if (input.empty()) {
+            input = args[i];
+        } else {
+            return usage();
+        }
+    }
+    if (endpoint.empty() || input.empty())
+        return usage();
+    size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos) {
+        std::fprintf(stderr, "mdesc: endpoint wants host:port, got '%s'\n",
+                     endpoint.c_str());
+        return 1;
+    }
+    std::string host = endpoint.substr(0, colon);
+    uint16_t port = 0;
+    {
+        std::string w = endpoint.substr(colon + 1);
+        auto [end, ec] =
+            std::from_chars(w.data(), w.data() + w.size(), port);
+        if (ec != std::errc() || end != w.data() + w.size()) {
+            std::fprintf(stderr, "mdesc: bad port '%s'\n", w.c_str());
+            return 1;
+        }
+    }
+
+    std::string text;
+    if (input == "-") {
+        std::ostringstream buf;
+        buf << std::cin.rdbuf();
+        text = buf.str();
+    } else {
+        text = readFile(input);
+    }
+    // Network payloads are inline-only: reject file-reading keys here,
+    // with the same typed error the server would produce.
+    service::RequestParseOptions popts;
+    popts.allow_files = false;
+    service::ParsedRequests parsed =
+        service::parseRequestText(text, popts);
+    if (parsed.requests.empty()) {
+        std::fprintf(stderr, "%s: no requests\n",
+                     input == "-" ? "<stdin>" : input.c_str());
+        return 1;
+    }
+
+    net::BlockingClient client(host, port, json_mode);
+    if (!client.connected()) {
+        std::fprintf(stderr, "mdesc: cannot connect to %s\n",
+                     endpoint.c_str());
+        return 1;
+    }
+    int failures = 0;
+    std::vector<net::NetResponse> responses;
+    for (size_t i = 0; i < parsed.requests.size(); ++i) {
+        uint64_t route = net::routeKey(parsed.requests[i]);
+        net::NetResponse r =
+            client.request(parsed.lines[i], deadline_ms, route);
+        responses.push_back(r);
+        if (!r.transport_ok) {
+            ++failures;
+            std::printf("[%zu] transport failure\n", i);
+            continue;
+        }
+        if (r.code == service::ErrorCode::Ok) {
+            std::printf("[%zu] %s: ok%s, %llu cycles (%llu blocks, "
+                        "fingerprint %llu, cache %s)\n",
+                        i, r.machine.c_str(),
+                        r.degraded ? " (degraded)" : "",
+                        (unsigned long long)r.total_cycles,
+                        (unsigned long long)r.blocks,
+                        (unsigned long long)r.fingerprint,
+                        r.cache_hit    ? "hit"
+                        : r.disk_hit   ? "store hit"
+                                       : "miss");
+        } else {
+            ++failures;
+            std::printf("[%zu] %s: %s\n", i, r.error.c_str(),
+                        r.message.c_str());
+        }
+    }
+
+    if (check_inprocess) {
+        service::ServiceConfig cfg;
+        service::MdesService svc(cfg);
+        std::vector<service::ScheduleResponse> local =
+            svc.runBatch(parsed.requests);
+        int mismatches = 0;
+        for (size_t i = 0; i < local.size(); ++i) {
+            uint64_t want = local[i].ok()
+                                ? service::scheduleFingerprint(local[i])
+                                : 0;
+            uint64_t got = responses[i].transport_ok &&
+                                   responses[i].code ==
+                                       service::ErrorCode::Ok
+                               ? responses[i].fingerprint
+                               : 0;
+            if (want != got) {
+                ++mismatches;
+                std::printf("[%zu] FINGERPRINT MISMATCH: socket %llu "
+                            "vs in-process %llu\n",
+                            i, (unsigned long long)got,
+                            (unsigned long long)want);
+            }
+        }
+        if (mismatches) {
+            std::printf("%d fingerprint mismatch(es)\n", mismatches);
+            return 1;
+        }
+        std::printf("fingerprints bit-identical to in-process run "
+                    "(%zu requests)\n",
+                    local.size());
+    }
+    return failures == 0 ? 0 : 1;
 }
 
 std::string
@@ -1056,6 +1232,10 @@ main(int argc, char **argv)
             return cmdBatch(args);
         if (cmd == "chaos")
             return cmdChaos(args);
+        if (cmd == "serve")
+            return cmdServe(args);
+        if (cmd == "netbatch")
+            return cmdNetbatch(args);
         if (cmd == "store")
             return cmdStore(args);
         if (cmd == "lint")
