@@ -27,8 +27,10 @@ parseResponseJson(const std::string &body)
         throw MdesError("net: response is not a JSON object");
     NetResponse r;
     r.transport_ok = true;
+    // jsonU64 (not .number): ids and cycle counts are full u64s and
+    // must not round through the parser's double above 2^53.
     if (const JsonValue *v = doc.find("id"))
-        r.id = uint64_t(v->number);
+        r.id = jsonU64(*v);
     if (const JsonValue *v = doc.find("code"))
         r.code = ErrorCode(int(v->number));
     if (const JsonValue *v = doc.find("error"))
@@ -51,9 +53,9 @@ parseResponseJson(const std::string &body)
     if (const JsonValue *v = doc.find("degraded"))
         r.degraded = v->boolean;
     if (const JsonValue *v = doc.find("total_cycles"))
-        r.total_cycles = uint64_t(v->number);
+        r.total_cycles = jsonU64(*v);
     if (const JsonValue *v = doc.find("blocks"))
-        r.blocks = uint64_t(v->number);
+        r.blocks = jsonU64(*v);
     return r;
 }
 

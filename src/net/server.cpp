@@ -217,6 +217,25 @@ struct Conn
 constexpr uint64_t kIdListen = 1, kIdFeed = 2, kIdEvent = 3;
 constexpr uint64_t kFirstConnId = 16;
 
+/** Ceiling on error text echoed back to a peer. Parse errors quote the
+ * offending token, which a hostile request can grow to nearly
+ * kMaxPayload - and jsonEscape can expand it up to 6x beyond that -
+ * so untruncated echoes would make the response frame unencodable.
+ * 512 bytes keeps every response comfortably inside kMaxPayload. */
+constexpr size_t kMaxErrorMessage = 512;
+
+std::string
+truncateErrorMessage(const std::string &msg)
+{
+    if (msg.size() <= kMaxErrorMessage)
+        return msg;
+    return msg.substr(0, kMaxErrorMessage) + "... [truncated]";
+}
+
+/** Sentinel a completion leaves in its request-id holder to record
+ * that it already fired (service ids start at 1 and never reach it). */
+constexpr uint64_t kRidFired = ~uint64_t(0);
+
 /** One finished request on its way back to the loop. */
 struct Completion
 {
@@ -361,6 +380,11 @@ struct Server::Impl
         } else {
             conn.out += bytes;
         }
+        // Every enqueue can cross the high-water mark, not just request
+        // submission: a peer that floods pings or malformed frames
+        // while never reading must also stop being read, or its
+        // outbound buffer grows without bound.
+        maybePause(conn);
     }
 
     /** Write until EAGAIN or drained; returns false when the
@@ -476,9 +500,11 @@ struct Server::Impl
         bool json = conn.mode == Conn::Mode::Json;
         uint64_t conn_id = conn.id;
         Impl *self = this;
-        // The completion may run before submit() returns (shed path) -
-        // it reads the id holder, which is still zero then; see
-        // Conn::pending for why that is tolerable.
+        // The completion may run before submit() returns (shed path).
+        // The holder arbitrates: whichever side runs second sees what
+        // the first left behind - the completion either reads the real
+        // id or marks kRidFired so the submit side skips the pending
+        // bookkeeping for an id that can never be removed.
         auto rid_holder = std::make_shared<std::atomic<uint64_t>>(0);
         uint64_t rid = svc->submit(
             std::move(req),
@@ -486,18 +512,38 @@ struct Server::Impl
                 ScheduleResponse resp) {
                 Completion c;
                 c.conn_id = conn_id;
-                c.request_id =
-                    rid_holder->load(std::memory_order_acquire);
+                c.request_id = rid_holder->exchange(
+                    kRidFired, std::memory_order_acq_rel);
                 c.code = resp.error.code;
-                std::string body = serializeResponse(wire_id, resp);
-                if (json) {
-                    c.bytes = body + "\n";
-                } else {
-                    Frame f;
-                    f.type = FrameType::Response;
-                    f.id = wire_id;
-                    f.payload = std::move(body);
-                    c.bytes = encodeFrame(f);
+                // A worker (or the loop, on the shed path) must never
+                // unwind: fall back to a minimal typed error if the
+                // response cannot be framed.
+                try {
+                    std::string body = serializeResponse(wire_id, resp);
+                    if (json) {
+                        c.bytes = body + "\n";
+                    } else {
+                        Frame f;
+                        f.type = FrameType::Response;
+                        f.id = wire_id;
+                        f.payload = std::move(body);
+                        c.bytes = encodeFrame(f);
+                    }
+                } catch (const std::exception &) {
+                    ScheduleResponse min;
+                    min.error = {ErrorCode::Internal,
+                                 "response serialization failed"};
+                    c.code = min.error.code;
+                    std::string body = serializeResponse(wire_id, min);
+                    if (json) {
+                        c.bytes = body + "\n";
+                    } else {
+                        Frame f;
+                        f.type = FrameType::Error;
+                        f.id = wire_id;
+                        f.payload = std::move(body);
+                        c.bytes = encodeFrame(f);
+                    }
                 }
                 {
                     std::lock_guard<std::mutex> lock(self->comp_mu);
@@ -505,8 +551,9 @@ struct Server::Impl
                 }
                 self->wake();
             });
-        rid_holder->store(rid, std::memory_order_release);
-        conn.pending.push_back(rid);
+        if (rid_holder->exchange(rid, std::memory_order_acq_rel) !=
+            kRidFired)
+            conn.pending.push_back(rid);
         maybePause(conn);
     }
 
@@ -573,14 +620,16 @@ struct Server::Impl
             JsonValue doc = parseJson(line);
             if (doc.kind != JsonValue::Kind::Object)
                 throw MdesError("request must be a JSON object");
+            // jsonU64: the wire id is a full u64 and must not round
+            // through the parser's double above 2^53.
             if (const JsonValue *id = doc.find("id"))
-                wire_id = uint64_t(id->number);
+                wire_id = jsonU64(*id);
             const JsonValue *req = doc.find("req");
             if (!req || req->kind != JsonValue::Kind::String)
                 throw MdesError("missing string field 'req'");
             reqline = req->string;
             if (const JsonValue *dl = doc.find("deadline_ms"))
-                deadline_ms = uint32_t(dl->number);
+                deadline_ms = uint32_t(jsonU64(*dl));
             // "route" is the shard acceptor's concern; ignored here.
         } catch (const MdesError &e) {
             sendBadRequest(conn, wire_id, e.what());
@@ -687,6 +736,11 @@ struct Server::Impl
         }
         if (!flushWrites(conn))
             return;
+        // The flush may have drained a pause caused purely by output
+        // (ping/bad-frame floods produce no completion to resume via
+        // drainCompletions); re-evaluate here or the connection wedges
+        // with no interest bits armed.
+        maybeResume(conn);
         updateInterest(conn);
     }
 
@@ -751,9 +805,14 @@ struct Server::Impl
                 }
             }
             enqueueOut(conn, std::move(c.bytes));
-            maybeResume(conn);
-            if (flushWrites(conn))
+            // Resume only after the flush: the just-enqueued response
+            // counts against the high-water mark until written, and a
+            // pre-flush resume decision could strand a paused
+            // connection whose buffer then drains completely.
+            if (flushWrites(conn)) {
+                maybeResume(conn);
                 updateInterest(conn);
+            }
         }
     }
 
@@ -790,23 +849,33 @@ struct Server::Impl
                     auto it = conns.find(id);
                     if (it == conns.end())
                         continue; // closed earlier in this batch
-                    Conn &conn = *it->second;
                     uint32_t events = evs[i].events;
-                    if (events & (EPOLLHUP | EPOLLERR)) {
-                        closeConn(conn, /*abrupt=*/true);
-                        continue;
-                    }
-                    if (events & EPOLLOUT) {
-                        if (!flushWrites(conn))
+                    // Nothing may unwind the loop thread (that would
+                    // std::terminate the process): an unexpected
+                    // exception costs the offending connection only.
+                    try {
+                        Conn &conn = *it->second;
+                        if (events & (EPOLLHUP | EPOLLERR)) {
+                            closeConn(conn, /*abrupt=*/true);
                             continue;
-                        maybeResume(conn);
-                        updateInterest(conn);
-                        // re-find: flush may have closed on `closing`
-                        if (conns.find(id) == conns.end())
-                            continue;
+                        }
+                        if (events & EPOLLOUT) {
+                            if (!flushWrites(conn))
+                                continue;
+                            maybeResume(conn);
+                            updateInterest(conn);
+                            // re-find: flush may have closed on
+                            // `closing`
+                            if (conns.find(id) == conns.end())
+                                continue;
+                        }
+                        if (events & EPOLLIN)
+                            handleReadable(conn);
+                    } catch (const std::exception &) {
+                        auto again = conns.find(id);
+                        if (again != conns.end())
+                            closeConn(*again->second, /*abrupt=*/true);
                     }
-                    if (events & EPOLLIN)
-                        handleReadable(conn);
                 }
             }
         }
@@ -951,7 +1020,7 @@ serializeResponse(uint64_t id, const ScheduleResponse &resp)
     w.key("code").value(uint64_t(resp.error.code));
     w.key("error").value(service::errorCodeName(resp.error.code));
     if (resp.error)
-        w.key("message").value(resp.error.message);
+        w.key("message").value(truncateErrorMessage(resp.error.message));
     if (!resp.machine.empty())
         w.key("machine").value(resp.machine);
     // Decimal string: a u64 does not survive a JSON double. Errors get
@@ -1048,7 +1117,13 @@ runShardChild(const ServeOptions &opts, unsigned shard, int feed_fd)
 struct RoutingConn
 {
     int fd = -1;
+    /** When routing began; a peer that never completes the header is
+     * closed after kRouteTimeout (slow-loris defense: otherwise one
+     * stalled byte holds an acceptor fd until process shutdown). */
+    std::chrono::steady_clock::time_point since;
 };
+
+constexpr std::chrono::seconds kRouteTimeout(5);
 
 int
 runShardedServe(const ServeOptions &opts)
@@ -1145,11 +1220,22 @@ runShardedServe(const ServeOptions &opts)
     bool done = false;
     epoll_event evs[64];
     while (!done) {
-        int n = epoll_wait(ep, evs, 64, -1);
+        // Finite timeout while connections are mid-routing so the
+        // stale sweep below runs even when no fd becomes ready.
+        int n = epoll_wait(ep, evs, 64, routing.empty() ? -1 : 1000);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
             break;
+        }
+        auto now = std::chrono::steady_clock::now();
+        for (auto it = routing.begin(); it != routing.end();) {
+            if (now - it->second.since > kRouteTimeout) {
+                ::close(it->second.fd);
+                it = routing.erase(it);
+            } else {
+                ++it;
+            }
         }
         for (int i = 0; i < n; ++i) {
             uint64_t id = evs[i].data.u64;
@@ -1164,7 +1250,8 @@ runShardedServe(const ServeOptions &opts)
                     if (fd < 0)
                         break;
                     uint64_t cid = next_id++;
-                    RoutingConn rc{fd};
+                    RoutingConn rc{fd,
+                                   std::chrono::steady_clock::now()};
                     // Edge-triggered: MSG_PEEK leaves bytes readable,
                     // so level-triggered polling would spin while the
                     // header is still partial.

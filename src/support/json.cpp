@@ -1,5 +1,6 @@
 #include "support/json.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -449,6 +450,23 @@ JsonValue
 parseJson(std::string_view text)
 {
     return JsonParser(text).parse();
+}
+
+uint64_t
+jsonU64(const JsonValue &v)
+{
+    const std::string &tok = v.kind == JsonValue::Kind::String
+                                 ? v.string
+                                 : v.number_text;
+    if (!tok.empty() &&
+        tok.find_first_not_of("0123456789") == std::string::npos) {
+        errno = 0;
+        char *end = nullptr;
+        unsigned long long val = std::strtoull(tok.c_str(), &end, 10);
+        if (end && *end == '\0' && errno != ERANGE)
+            return uint64_t(val);
+    }
+    return v.kind == JsonValue::Kind::Number ? uint64_t(v.number) : 0;
 }
 
 std::string

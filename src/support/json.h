@@ -101,6 +101,15 @@ JsonValue parseJson(std::string_view text);
 /** Re-emit @p v through JsonWriter (the round-trip counterpart). */
 std::string writeJson(const JsonValue &v);
 
+/**
+ * Read @p v as an unsigned 64-bit integer without the double round
+ * trip: a Number's untouched token (or a String of digits) parses
+ * losslessly, so wire ids and cycle counts above 2^53 survive.
+ * Non-integer tokens fall back to the double; non-numeric nodes
+ * yield 0.
+ */
+uint64_t jsonU64(const JsonValue &v);
+
 } // namespace mdes
 
 #endif // MDES_SUPPORT_JSON_H

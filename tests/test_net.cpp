@@ -456,6 +456,147 @@ TEST(NetServer, FrameDeadlineExpiresAsTypedError)
         EXPECT_GE(m.net.deadline_expired, 1u);
 }
 
+/** Plain blocking loopback connection to @p port (-1 on failure). */
+int
+rawConnect(uint16_t port)
+{
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) !=
+        0) {
+        close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+TEST(NetServer, HugeBadRequestEchoIsTruncatedNotFatal)
+{
+    net::ServerConfig sc;
+    sc.service.num_workers = 1;
+    net::Server server(sc);
+    server.start();
+
+    net::BlockingClient client("127.0.0.1", server.port());
+    ASSERT_TRUE(client.connected());
+
+    // A near-kMaxPayload unknown token of quote characters: the parse
+    // error echoes the token and JSON escaping doubles every quote, so
+    // an untruncated message could never fit back into a response
+    // frame - encoding it would throw on the event-loop thread and
+    // std::terminate the server. It must instead answer a bounded,
+    // typed BadRequest.
+    std::string huge(net::kMaxPayload - 64, '"');
+    net::NetResponse bad = client.request(huge);
+    ASSERT_TRUE(bad.transport_ok);
+    EXPECT_EQ(bad.code, service::ErrorCode::BadRequest);
+    EXPECT_LE(bad.message.size(), 600u) << "error echo not truncated";
+
+    // Same connection and server both survived and still serve.
+    service::ScheduleRequest r;
+    r.machine = "K5";
+    r.synth_ops = 40;
+    r.seed = 5;
+    net::NetResponse good =
+        client.request(service::renderRequestLine(r));
+    ASSERT_TRUE(good.transport_ok);
+    EXPECT_EQ(good.code, service::ErrorCode::Ok) << good.error;
+    server.stop();
+}
+
+TEST(NetServer, PongFloodPausesReadsInsteadOfBufferingUnbounded)
+{
+    net::ServerConfig sc;
+    sc.service.num_workers = 1;
+    sc.write_high_water = 1024; // tiny: a ping burst must trip it
+    net::Server server(sc);
+    server.start();
+
+    int fd = rawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    constexpr int kPings = 1000;
+    std::string burst;
+    for (int i = 0; i < kPings; ++i) {
+        Frame f;
+        f.type = FrameType::Ping;
+        f.id = uint64_t(i + 1);
+        burst += net::encodeFrame(f);
+    }
+    // Write the whole burst before reading anything: pongs pile up in
+    // the server's outbound buffer, which must cross the high-water
+    // mark and pause reads (pings produce no service completion, so
+    // only the enqueue/flush paths can pause and resume).
+    size_t off = 0;
+    while (off < burst.size()) {
+        ssize_t n = send(fd, burst.data() + off, burst.size() - off, 0);
+        ASSERT_GT(n, 0);
+        off += size_t(n);
+    }
+    // Drain: every ping still gets its pong; a connection wedged in
+    // the paused state would starve this loop at EOF/timeout.
+    FrameDecoder dec;
+    char buf[4096];
+    int pongs = 0;
+    while (pongs < kPings) {
+        Frame fr;
+        FrameDecoder::Status st;
+        while ((st = dec.next(&fr)) == FrameDecoder::Status::Ready) {
+            EXPECT_EQ(fr.type, FrameType::Pong);
+            ++pongs;
+        }
+        ASSERT_EQ(st, FrameDecoder::Status::NeedMore);
+        if (pongs >= kPings)
+            break;
+        ssize_t n = recv(fd, buf, sizeof(buf), 0);
+        ASSERT_GT(n, 0) << "connection wedged after backpressure pause";
+        dec.feed(buf, size_t(n));
+    }
+    EXPECT_EQ(pongs, kPings);
+    close(fd);
+    server.stop();
+
+    service::ServiceMetrics m = server.metrics();
+    EXPECT_EQ(m.net.frames_in, uint64_t(kPings));
+    EXPECT_EQ(m.net.frames_out, uint64_t(kPings));
+    EXPECT_GE(m.net.backpressure_stalls, 1u);
+}
+
+TEST(NetServer, JsonWireIdsSurviveAbove53Bits)
+{
+    net::ServerConfig sc;
+    sc.service.num_workers = 1;
+    net::Server server(sc);
+    server.start();
+
+    int fd = rawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    // 2^64-1 is not representable in a double; the id must still echo
+    // bit-exactly (both ends parse the literal token, not the double).
+    const std::string line =
+        "{\"id\":18446744073709551615,"
+        "\"req\":\"machine=K5 ops=30\"}\n";
+    ASSERT_EQ(send(fd, line.data(), line.size(), 0),
+              ssize_t(line.size()));
+    std::string got;
+    char buf[4096];
+    while (got.find('\n') == std::string::npos) {
+        ssize_t n = recv(fd, buf, sizeof(buf), 0);
+        ASSERT_GT(n, 0);
+        got.append(buf, size_t(n));
+    }
+    close(fd);
+    net::NetResponse r =
+        net::parseResponseJson(got.substr(0, got.find('\n')));
+    EXPECT_EQ(r.code, service::ErrorCode::Ok) << r.message;
+    EXPECT_EQ(r.id, uint64_t(18446744073709551615ull));
+    server.stop();
+}
+
 TEST(NetServer, ProtocolViolationGetsErrorFrameThenClose)
 {
     net::ServerConfig sc;
