@@ -27,7 +27,8 @@ import sys
 
 TOLERANCE = 0.05
 
-METRICS = ("checks_per_attempt", "checks_per_op", "shed_rate")
+METRICS = ("checks_per_attempt", "checks_per_op", "shed_rate",
+           "exact_rate")
 
 
 def load(path):

@@ -8,19 +8,56 @@
 
 namespace mdes::sched {
 
-std::string
-verifySchedule(const Block &block, const BlockSchedule &sched,
-               const lmdes::LowMdes &low)
+const char *
+verifyFaultName(VerifyFault fault)
+{
+    switch (fault) {
+    case VerifyFault::None:
+        return "none";
+    case VerifyFault::SizeMismatch:
+        return "size_mismatch";
+    case VerifyFault::Unscheduled:
+        return "unscheduled";
+    case VerifyFault::DependenceViolated:
+        return "dependence_violated";
+    case VerifyFault::BadIssueOrder:
+        return "bad_issue_order";
+    case VerifyFault::MissingCascadeTree:
+        return "missing_cascade_tree";
+    case VerifyFault::ResourceConflict:
+        return "resource_conflict";
+    }
+    return "unknown";
+}
+
+namespace {
+
+VerifyResult
+fail(VerifyFault fault, uint32_t instr, std::string message)
+{
+    VerifyResult r;
+    r.fault = fault;
+    r.instr = instr;
+    r.message = std::move(message);
+    return r;
+}
+
+} // namespace
+
+VerifyResult
+verifyScheduleEx(const Block &block, const BlockSchedule &sched,
+                 const lmdes::LowMdes &low)
 {
     const size_t n = block.instrs.size();
     std::ostringstream os;
     if (sched.cycles.size() != n || sched.used_cascade.size() != n)
-        return "schedule size does not match block size";
+        return fail(VerifyFault::SizeMismatch, kInvalidId,
+                    "schedule size does not match block size");
 
     for (size_t i = 0; i < n; ++i) {
         if (sched.cycles[i] < 0) {
             os << "instruction " << i << " was never scheduled";
-            return os.str();
+            return fail(VerifyFault::Unscheduled, uint32_t(i), os.str());
         }
     }
 
@@ -35,7 +72,8 @@ verifySchedule(const Block &block, const BlockSchedule &sched,
                << " at cycle " << sched.cycles[edge.succ]
                << " is closer than " << dist << " to instruction "
                << edge.pred << " at cycle " << sched.cycles[edge.pred];
-            return os.str();
+            return fail(VerifyFault::DependenceViolated, edge.succ,
+                        os.str());
         }
     }
 
@@ -50,7 +88,9 @@ verifySchedule(const Block &block, const BlockSchedule &sched,
         std::vector<bool> seen(n, false);
         for (uint32_t u : order) {
             if (u >= n || seen[u])
-                return "issue order is not a permutation of the block";
+                return fail(VerifyFault::BadIssueOrder, u,
+                            "issue order is not a permutation of the "
+                            "block");
             seen[u] = true;
         }
     } else {
@@ -76,15 +116,22 @@ verifySchedule(const Block &block, const BlockSchedule &sched,
         if (tree == kInvalidId) {
             os << "instruction " << u
                << " claims cascade but has no cascade tree";
-            return os.str();
+            return fail(VerifyFault::MissingCascadeTree, u, os.str());
         }
         if (!checker.tryReserve(tree, sched.cycles[u], ru, scratch)) {
             os << "resource conflict replaying instruction " << u
                << " at cycle " << sched.cycles[u];
-            return os.str();
+            return fail(VerifyFault::ResourceConflict, u, os.str());
         }
     }
-    return "";
+    return {};
+}
+
+std::string
+verifySchedule(const Block &block, const BlockSchedule &sched,
+               const lmdes::LowMdes &low)
+{
+    return verifyScheduleEx(block, sched, low).message;
 }
 
 } // namespace mdes::sched

@@ -160,10 +160,24 @@ ServiceMetrics::merge(const ServiceMetrics &other)
     total.merge(other.total);
     queue_wait.merge(other.queue_wait);
     ops_scheduled += other.ops_scheduled;
+    blocks_scheduled += other.blocks_scheduled;
+    total_schedule_length += other.total_schedule_length;
     attempts += other.attempts;
     resource_checks += other.resource_checks;
     prefilter_hits += other.prefilter_hits;
     probe_fastpath += other.probe_fastpath;
+    exact_blocks += other.exact_blocks;
+    exact_proven_optimal += other.exact_proven_optimal;
+    exact_budget_exhausted += other.exact_budget_exhausted;
+    exact_nodes += other.exact_nodes;
+    exact_bound_prunes += other.exact_bound_prunes;
+    exact_dominance_prunes += other.exact_dominance_prunes;
+    exact_probes += other.exact_probes;
+    exact_gap_cycles += other.exact_gap_cycles;
+    portfolio_wins_list += other.portfolio_wins_list;
+    portfolio_wins_backward += other.portfolio_wins_backward;
+    portfolio_wins_modulo += other.portfolio_wins_modulo;
+    portfolio_wins_exact += other.portfolio_wins_exact;
     requests_shed += other.requests_shed;
     degraded_responses += other.degraded_responses;
     for (const auto &[name, counts] : other.fault_sites) {
@@ -322,9 +336,13 @@ ServiceMetrics::toTable() const
     out += lat.toString();
 
     TextTable sched;
-    sched.setHeader({"Ops Scheduled", "Attempts", "Resource Checks",
-                     "Checks/Attempt", "Prefilter Hits", "Fast Path"});
-    sched.addRow({std::to_string(ops_scheduled), std::to_string(attempts),
+    sched.setHeader({"Ops Scheduled", "Blocks", "Total Length",
+                     "Attempts", "Resource Checks", "Checks/Attempt",
+                     "Prefilter Hits", "Fast Path"});
+    sched.addRow({std::to_string(ops_scheduled),
+                  std::to_string(blocks_scheduled),
+                  std::to_string(total_schedule_length),
+                  std::to_string(attempts),
                   std::to_string(resource_checks),
                   TextTable::num(attempts ? double(resource_checks) /
                                                 double(attempts)
@@ -333,6 +351,38 @@ ServiceMetrics::toTable() const
                   std::to_string(prefilter_hits),
                   std::to_string(probe_fastpath)});
     out += sched.toString();
+
+    // --- Exact/portfolio search section (exact requests only) ---------
+    if (exact_blocks != 0) {
+        TextTable ex;
+        ex.setHeader({"Exact Blocks", "Proven Optimal", "Budget Out",
+                      "Gap Cycles", "Nodes", "Bound Prunes",
+                      "Dominance Prunes", "Probes"});
+        ex.addRow({std::to_string(exact_blocks),
+                   std::to_string(exact_proven_optimal),
+                   std::to_string(exact_budget_exhausted),
+                   std::to_string(exact_gap_cycles),
+                   std::to_string(exact_nodes),
+                   std::to_string(exact_bound_prunes),
+                   std::to_string(exact_dominance_prunes),
+                   std::to_string(exact_probes)});
+        out += ex.toString();
+        uint64_t wins = portfolio_wins_list + portfolio_wins_backward +
+                        portfolio_wins_modulo + portfolio_wins_exact;
+        if (wins != 0) {
+            TextTable pw;
+            pw.setHeader({"Portfolio Winner", "Blocks"});
+            auto row = [&](const char *name, uint64_t v) {
+                if (v)
+                    pw.addRow({name, std::to_string(v)});
+            };
+            row("list", portfolio_wins_list);
+            row("backward", portfolio_wins_backward);
+            row("modulo", portfolio_wins_modulo);
+            row("exact", portfolio_wins_exact);
+            out += pw.toString();
+        }
+    }
 
     // --- Trace section ------------------------------------------------
     if (transform_effects.total() != 0) {
@@ -469,11 +519,31 @@ ServiceMetrics::toJson() const
     w.endObject();
     w.key("scheduling").beginObject();
     w.key("ops_scheduled").value(ops_scheduled);
+    w.key("blocks_scheduled").value(blocks_scheduled);
+    w.key("total_schedule_length").value(total_schedule_length);
     w.key("attempts").value(attempts);
     w.key("resource_checks").value(resource_checks);
     w.key("prefilter_hits").value(prefilter_hits);
     w.key("probe_fastpath").value(probe_fastpath);
     w.endObject();
+    if (exact_blocks != 0) {
+        w.key("exact").beginObject();
+        w.key("blocks").value(exact_blocks);
+        w.key("proven_optimal").value(exact_proven_optimal);
+        w.key("budget_exhausted").value(exact_budget_exhausted);
+        w.key("gap_cycles").value(exact_gap_cycles);
+        w.key("nodes").value(exact_nodes);
+        w.key("bound_prunes").value(exact_bound_prunes);
+        w.key("dominance_prunes").value(exact_dominance_prunes);
+        w.key("probes").value(exact_probes);
+        w.key("wins").beginObject();
+        w.key("list").value(portfolio_wins_list);
+        w.key("backward").value(portfolio_wins_backward);
+        w.key("modulo").value(portfolio_wins_modulo);
+        w.key("exact").value(portfolio_wins_exact);
+        w.endObject();
+        w.endObject();
+    }
     w.key("trace").beginObject();
     w.key("transform_effects").beginObject();
     w.key("merged_options").value(transform_effects.merged_options);

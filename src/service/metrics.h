@@ -175,12 +175,37 @@ struct ServiceMetrics
 
     /** Scheduling aggregates summed across completed requests. */
     uint64_t ops_scheduled = 0;
+    /** Blocks (or loops, for modulo requests) scheduled. */
+    uint64_t blocks_scheduled = 0;
+    /** Sum of delivered schedule lengths (SchedStats accumulation). */
+    uint64_t total_schedule_length = 0;
     uint64_t attempts = 0;
     uint64_t resource_checks = 0;
     /** Attempts rejected outright by the collision-vector prefilter. */
     uint64_t prefilter_hits = 0;
     /** Attempts that took the checker's slot-addressed fast path. */
     uint64_t probe_fastpath = 0;
+
+    // --- Exact/portfolio search section -------------------------------
+    // Populated only by exact/portfolio requests; the table and JSON
+    // sections stay silent while exact_blocks is zero.
+    uint64_t exact_blocks = 0;
+    /** Blocks whose delivered length matched the proven lower bound. */
+    uint64_t exact_proven_optimal = 0;
+    /** Blocks whose search hit its node/time budget. */
+    uint64_t exact_budget_exhausted = 0;
+    uint64_t exact_nodes = 0;
+    uint64_t exact_bound_prunes = 0;
+    uint64_t exact_dominance_prunes = 0;
+    /** Pure wouldFit() propagation probes spent in searches. */
+    uint64_t exact_probes = 0;
+    /** Sum over blocks of (delivered length - proven lower bound). */
+    uint64_t exact_gap_cycles = 0;
+    /** Portfolio win counts by backend. */
+    uint64_t portfolio_wins_list = 0;
+    uint64_t portfolio_wins_backward = 0;
+    uint64_t portfolio_wins_modulo = 0;
+    uint64_t portfolio_wins_exact = 0;
 
     // --- Robustness section -------------------------------------------
 

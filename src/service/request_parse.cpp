@@ -111,6 +111,10 @@ parseRequestLine(const std::string &line, int lineno,
                 req.scheduler = SchedulerKind::Backward;
             else if (value == "modulo")
                 req.scheduler = SchedulerKind::Modulo;
+            else if (value == "exact")
+                req.scheduler = SchedulerKind::Exact;
+            else if (value == "portfolio")
+                req.scheduler = SchedulerKind::Portfolio;
             else
                 bad("unknown scheduler '" + value + "'");
         } else if (key == "ops") {
@@ -119,6 +123,10 @@ parseRequestLine(const std::string &line, int lineno,
             req.seed = number(key, value);
         } else if (key == "deadline_ms") {
             req.deadline_ms = int64_t(number(key, value));
+        } else if (key == "exact_ms") {
+            req.exact_ms = int64_t(number(key, value));
+        } else if (key == "exact_nodes") {
+            req.exact_nodes = number(key, value);
         } else if (key == "transforms") {
             req.transforms = parseTransforms(value, lineno);
         } else if (key == "verify") {
@@ -192,6 +200,10 @@ renderRequestLine(const ScheduleRequest &req)
         out << " seed=" << req.seed;
     if (req.deadline_ms)
         out << " deadline_ms=" << req.deadline_ms;
+    if (req.exact_ms != ScheduleRequest{}.exact_ms)
+        out << " exact_ms=" << req.exact_ms;
+    if (req.exact_nodes)
+        out << " exact_nodes=" << req.exact_nodes;
     if (!sameTransforms(req.transforms, PipelineConfig::all())) {
         out << " transforms=";
         bool any = false;

@@ -9,9 +9,15 @@
  * flags:
  *
  *   machine=<name> source=<file> sasm=<file>
- *   sched=list|backward|modulo ops=<n> seed=<n> deadline_ms=<n>
+ *   sched=list|backward|modulo|exact|portfolio
+ *   ops=<n> seed=<n> deadline_ms=<n>
+ *   exact_ms=<n> exact_nodes=<n>
  *   transforms=all|none|<pass>[,<pass>...]
  *   verify no-optimize no-bit-vector
+ *
+ * exact_ms/exact_nodes bound the exact/portfolio per-block search
+ * (exact_ms=0 removes the time cap, which keeps searches
+ * deterministic; exact_nodes=0 uses the scheduler default).
  *
  * `mdesc batch` (files and stdin), the network server's binary frame
  * payloads, and its newline-delimited JSON debug mode (`"req":"..."`)

@@ -1,9 +1,11 @@
 #include "service/service.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include <new>
 
+#include "exact/exact_scheduler.h"
 #include "machines/machines.h"
 #include "sched/backward_scheduler.h"
 #include "sched/dep_graph.h"
@@ -45,6 +47,8 @@ schedulerKindName(SchedulerKind kind)
     case SchedulerKind::List: return "list";
     case SchedulerKind::Backward: return "backward";
     case SchedulerKind::Modulo: return "modulo";
+    case SchedulerKind::Exact: return "exact";
+    case SchedulerKind::Portfolio: return "portfolio";
     }
     return "?";
 }
@@ -318,10 +322,30 @@ MdesService::process(Job &job, ServiceMetrics &metrics,
             metrics.schedule.record(schedule_us);
         metrics.total.record(total_us);
         metrics.ops_scheduled += resp.stats.ops_scheduled;
+        metrics.blocks_scheduled +=
+            resp.schedules.size() + resp.modulo.size();
+        metrics.total_schedule_length +=
+            resp.stats.total_schedule_length;
         metrics.attempts += resp.stats.checks.attempts;
         metrics.resource_checks += resp.stats.checks.resource_checks;
         metrics.prefilter_hits += resp.stats.checks.prefilter_hits;
         metrics.probe_fastpath += resp.stats.checks.probe_fastpath;
+        if (resp.exact.blocks) {
+            metrics.exact_blocks += resp.exact.blocks;
+            metrics.exact_proven_optimal += resp.exact.proven_optimal;
+            metrics.exact_budget_exhausted +=
+                resp.exact.budget_exhausted;
+            metrics.exact_nodes += resp.exact.nodes;
+            metrics.exact_bound_prunes += resp.exact.bound_prunes;
+            metrics.exact_dominance_prunes +=
+                resp.exact.dominance_prunes;
+            metrics.exact_probes += resp.exact.probes;
+            metrics.exact_gap_cycles += resp.exact.gap_cycles;
+            metrics.portfolio_wins_list += resp.exact.wins_list;
+            metrics.portfolio_wins_backward += resp.exact.wins_backward;
+            metrics.portfolio_wins_modulo += resp.exact.wins_modulo;
+            metrics.portfolio_wins_exact += resp.exact.wins_exact;
+        }
         if (compiled)
             metrics.transform_effects.add(pipeline_stats);
         metrics.attempts_per_op.merge(resp.stats.attempts_per_op);
@@ -472,6 +496,154 @@ MdesService::process(Job &job, ServiceMetrics &metrics,
             }
             break;
         }
+        case SchedulerKind::Exact:
+        case SchedulerKind::Portfolio: {
+            // Exact mode: list incumbent + branch-and-bound per block.
+            // Portfolio mode: additionally race backward (and, on
+            // branch-free blocks, a verified flat modulo schedule) and
+            // keep the shortest result, so the response is never longer
+            // than plain list scheduling. The request deadline only
+            // truncates the searches - the response still carries the
+            // best schedules found.
+            const bool portfolio =
+                req.scheduler == SchedulerKind::Portfolio;
+            sched::ListScheduler list(*resp.low);
+            sched::BackwardListScheduler backward(*resp.low);
+            exact::ExactScheduler search(*resp.low);
+            exact::CancelToken token([&]() {
+                return job.cancelled.load(std::memory_order_relaxed) ||
+                       Clock::now() > job.deadline;
+            });
+            for (const auto &block : program.blocks) {
+                TRACE_SPAN_F(block_span, "exact/block");
+                // Every backend runs with local stats: the response's
+                // ops_scheduled/total_schedule_length describe the kept
+                // schedules, checks describe all work spent.
+                sched::SchedStats local;
+                sched::BlockSchedule incumbent =
+                    list.scheduleBlock(block, local);
+
+                SchedulerKind winner = SchedulerKind::List;
+                sched::BlockSchedule best = incumbent;
+
+                if (portfolio) {
+                    sched::BlockSchedule b =
+                        backward.scheduleBlock(block, local);
+                    if (b.length < best.length) {
+                        best = std::move(b);
+                        winner = SchedulerKind::Backward;
+                    }
+                    bool branch_free = !block.instrs.empty();
+                    for (const auto &in : block.instrs)
+                        if (in.is_branch)
+                            branch_free = false;
+                    if (branch_free) {
+                        // A modulo schedule's flat issue times are a
+                        // candidate linear schedule; admit it only when
+                        // replay proves it legal.
+                        sched::ModuloScheduler mod(*resp.low);
+                        sched::ModuloSchedule ms =
+                            mod.schedule(block, local);
+                        if (ms.success && !ms.times.empty()) {
+                            sched::BlockSchedule flat;
+                            flat.cycles = ms.times;
+                            int32_t lo = *std::min_element(
+                                flat.cycles.begin(), flat.cycles.end());
+                            int32_t hi = *std::max_element(
+                                flat.cycles.begin(), flat.cycles.end());
+                            for (int32_t &c : flat.cycles)
+                                c -= lo;
+                            flat.used_cascade.assign(
+                                block.instrs.size(), 0);
+                            flat.length = hi - lo + 1;
+                            if (flat.length < best.length &&
+                                sched::verifyScheduleEx(block, flat,
+                                                        *resp.low)
+                                    .ok()) {
+                                best = std::move(flat);
+                                winner = SchedulerKind::Modulo;
+                            }
+                        }
+                    }
+                }
+
+                exact::ExactOptions eopts;
+                if (req.exact_nodes)
+                    eopts.max_nodes = req.exact_nodes;
+                eopts.time_budget_us =
+                    req.exact_ms > 0 ? req.exact_ms * 1000 : 0;
+                if (job.deadline != Clock::time_point::max()) {
+                    int64_t remain =
+                        std::chrono::duration_cast<
+                            std::chrono::microseconds>(job.deadline -
+                                                       Clock::now())
+                            .count();
+                    if (remain < 1)
+                        remain = 1;
+                    eopts.time_budget_us =
+                        eopts.time_budget_us > 0
+                            ? std::min(eopts.time_budget_us, remain)
+                            : remain;
+                }
+                eopts.cancel = token;
+                eopts.incumbent = &incumbent;
+                exact::ExactResult er =
+                    search.scheduleBlock(block, local, eopts);
+                if (er.schedule.length < best.length) {
+                    best = er.schedule;
+                    winner = SchedulerKind::Exact;
+                }
+                resp.stats.checks.merge(local.checks);
+                resp.stats.attempts_per_op.merge(local.attempts_per_op);
+                if (job.cancelled.load(std::memory_order_relaxed))
+                    return fail(ErrorCode::Cancelled,
+                                "request cancelled");
+
+                BlockOutcome out;
+                out.winner = winner;
+                out.length = best.length;
+                out.lower_bound = std::min(er.lower_bound, best.length);
+                out.proven_optimal = best.length <= er.lower_bound;
+                out.budget_exhausted = er.budget_exhausted;
+                out.nodes = er.nodes;
+
+                auto &tot = resp.exact;
+                ++tot.blocks;
+                tot.proven_optimal += out.proven_optimal ? 1 : 0;
+                tot.budget_exhausted += out.budget_exhausted ? 1 : 0;
+                tot.nodes += er.nodes;
+                tot.bound_prunes += er.bound_prunes;
+                tot.dominance_prunes += er.dominance_prunes;
+                tot.probes += er.probes;
+                tot.gap_cycles +=
+                    uint64_t(out.length - out.lower_bound);
+                if (portfolio) {
+                    switch (winner) {
+                    case SchedulerKind::Backward: ++tot.wins_backward; break;
+                    case SchedulerKind::Modulo: ++tot.wins_modulo; break;
+                    case SchedulerKind::Exact: ++tot.wins_exact; break;
+                    default: ++tot.wins_list; break;
+                    }
+                }
+
+                if (block_span.active()) {
+                    block_span.label("winner",
+                                     schedulerKindName(winner));
+                    block_span.counter("length", uint64_t(out.length));
+                    block_span.counter("lower_bound",
+                                       uint64_t(out.lower_bound));
+                    block_span.counter(
+                        "gap", uint64_t(out.length - out.lower_bound));
+                    block_span.counter("nodes", er.nodes);
+                }
+
+                resp.stats.ops_scheduled += block.instrs.size();
+                resp.stats.total_schedule_length += uint64_t(best.length);
+                resp.outcomes.push_back(out);
+                resp.schedules.push_back(std::move(best));
+            }
+            break;
+        }
         }
         schedule_us = elapsedUs(t);
         timed_schedule = true;
@@ -484,12 +656,12 @@ MdesService::process(Job &job, ServiceMetrics &metrics,
         // --- Optional re-verification ---------------------------------
         if (req.verify && req.scheduler != SchedulerKind::Modulo) {
             for (size_t b = 0; b < resp.schedules.size(); ++b) {
-                std::string problem = sched::verifySchedule(
+                sched::VerifyResult v = sched::verifyScheduleEx(
                     program.blocks[b], resp.schedules[b], *resp.low);
-                if (!problem.empty())
+                if (!v.ok())
                     return fail(ErrorCode::ScheduleFailed,
                                 "block " + std::to_string(b) + ": " +
-                                    problem);
+                                    v.message);
             }
         }
     };

@@ -62,8 +62,11 @@ static_assert(
     std::is_constructible_v<sched::ListScheduler, const lmdes::LowMdes &>,
     "schedulers must consume the description read-only");
 
-/** Which scheduler answers the request. */
-enum class SchedulerKind { List, Backward, Modulo };
+/** Which scheduler answers the request. Exact runs the branch-and-bound
+ * search (list incumbent, proven lower bounds); Portfolio races
+ * list/backward/modulo/exact per block under the request deadline and
+ * keeps the shortest schedule. */
+enum class SchedulerKind { List, Backward, Modulo, Exact, Portfolio };
 
 /** Printable scheduler name. */
 const char *schedulerKindName(SchedulerKind kind);
@@ -100,11 +103,59 @@ struct ScheduleRequest
     PipelineConfig transforms = PipelineConfig::all();
     bool bit_vector = true;
 
-    /** Re-verify the produced schedules (list/backward only). */
+    /** Re-verify the produced schedules (all but modulo). */
     bool verify = false;
 
-    /** Soft deadline in milliseconds from submission (0 = none). */
+    /** Soft deadline in milliseconds from submission (0 = none). For
+     * exact/portfolio the deadline also truncates the per-block search:
+     * the response carries the best schedules found so far instead of
+     * failing. */
     int64_t deadline_ms = 0;
+
+    /** Exact/portfolio: per-block search wall-time budget in
+     * milliseconds (0 = no time cap - deterministic searches for tests;
+     * the request default is 50 ms as in the acceptance workloads). */
+    int64_t exact_ms = 50;
+    /** Exact/portfolio: per-block search node budget (0 = the
+     * scheduler's built-in default). */
+    uint64_t exact_nodes = 0;
+};
+
+/** Per-block outcome of an exact or portfolio request. */
+struct BlockOutcome
+{
+    /** Backend whose schedule was kept (Exact also stands for "the
+     * search's incumbent", i.e. list, when nothing improved it). */
+    SchedulerKind winner = SchedulerKind::List;
+    /** Kept schedule length. */
+    int32_t length = 0;
+    /** Proven lower bound on the block's schedule length. */
+    int32_t lower_bound = 0;
+    /** length == proven optimum. */
+    bool proven_optimal = false;
+    /** Search stopped on its node/time budget. */
+    bool budget_exhausted = false;
+    /** Search nodes expanded for this block. */
+    uint64_t nodes = 0;
+};
+
+/** Search totals across an exact/portfolio request's blocks. */
+struct ExactSearchTotals
+{
+    uint64_t blocks = 0;
+    uint64_t proven_optimal = 0;
+    uint64_t budget_exhausted = 0;
+    uint64_t nodes = 0;
+    uint64_t bound_prunes = 0;
+    uint64_t dominance_prunes = 0;
+    uint64_t probes = 0;
+    /** Sum over blocks of (length - lower_bound). */
+    uint64_t gap_cycles = 0;
+    /** Portfolio win counts by backend. */
+    uint64_t wins_list = 0;
+    uint64_t wins_backward = 0;
+    uint64_t wins_modulo = 0;
+    uint64_t wins_exact = 0;
 };
 
 /** What a request produces. */
@@ -123,10 +174,14 @@ struct ScheduleResponse
      * Section 4 invariant - but slower constraint checks). */
     bool degraded = false;
 
-    /** Per-block schedules (list/backward schedulers). */
+    /** Per-block schedules (all but the modulo scheduler). */
     std::vector<sched::BlockSchedule> schedules;
     /** Per-loop modulo schedules (modulo scheduler). */
     std::vector<sched::ModuloSchedule> modulo;
+    /** Per-block search outcomes (exact/portfolio schedulers). */
+    std::vector<BlockOutcome> outcomes;
+    /** Aggregated search counters (exact/portfolio schedulers). */
+    ExactSearchTotals exact;
     sched::SchedStats stats;
 
     /** Sum of block schedule lengths / achieved IIs. */

@@ -1,0 +1,569 @@
+/**
+ * @file
+ * Branch-and-bound exact scheduler tests: lockstep against an
+ * independent exhaustive enumerator on tiny blocks (handcrafted and
+ * random), wouldFit() purity under millions of probes, budget
+ * exhaustion falling back to the list incumbent, cooperative
+ * cancellation, and the service-level portfolio guarantee that it never
+ * returns a schedule longer than plain list scheduling.
+ */
+
+#include <climits>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exact/exact_scheduler.h"
+#include "hmdes/compile.h"
+#include "lmdes/low_mdes.h"
+#include "machines/machines.h"
+#include "rumap/checker.h"
+#include "rumap/ru_map.h"
+#include "sched/dep_graph.h"
+#include "sched/list_scheduler.h"
+#include "sched/verify.h"
+#include "service/service.h"
+#include "workload/workload.h"
+
+namespace mdes {
+namespace {
+
+using lmdes::LowMdes;
+using sched::Block;
+using sched::BlockSchedule;
+using sched::ListScheduler;
+using sched::SchedStats;
+
+/** A 2-wide machine: 2 slots, ops take one slot; ADD cascades on S[1]. */
+LowMdes
+twoWide()
+{
+    static const char *src = R"(
+machine "two-wide" {
+    resource S[2];
+    ortree AnyS { for i in 0 .. 1 { option { use S[i] at 0; } } }
+    ortree S1 { option { use S[1] at 0; } }
+    table Any = AnyS;
+    table Casc = S1;
+    operation ADD { table Any; latency 1; cascade Casc; }
+    operation LOAD { table Any; latency 3; }
+    operation BR { table Any; latency 1; }
+}
+)";
+    Mdes m = hmdes::compileOrThrow(src);
+    return LowMdes::lower(m, {});
+}
+
+sched::Instr
+instr(uint32_t cls, std::vector<int32_t> srcs, std::vector<int32_t> dsts,
+      bool cascadable = false, bool is_branch = false)
+{
+    sched::Instr in;
+    in.op_class = cls;
+    in.srcs = std::move(srcs);
+    in.dsts = std::move(dsts);
+    in.cascadable = cascadable;
+    in.is_branch = is_branch;
+    return in;
+}
+
+LowMdes
+machineByName(const char *name)
+{
+    const machines::MachineInfo *info = machines::byName(name);
+    EXPECT_NE(info, nullptr) << name;
+    Mdes m = hmdes::compileOrThrow(info->source);
+    lmdes::LowerOptions lopts;
+    lopts.pack_bit_vector = true;
+    return LowMdes::lower(m, lopts);
+}
+
+/**
+ * Independent exhaustive reference: plain recursive enumeration of
+ * every canonical (cycle-ascending, index-ascending) placement
+ * sequence, with a greedy tryReserve() replay for feasibility and no
+ * bounding at all beyond the incumbent horizon. Shares only the
+ * checker and the dependence graph with the scheduler under test.
+ */
+class BruteForce
+{
+  public:
+    explicit BruteForce(const LowMdes &low) : low_(low), checker_(low) {}
+
+    /** Shortest canonical schedule length; placements are restricted
+     * to cycles < @p horizon (any optimum fits below the incumbent's
+     * length, so pass the list schedule's length). */
+    int32_t
+    shortest(const Block &block, int32_t horizon)
+    {
+        n_ = uint32_t(block.instrs.size());
+        horizon_ = horizon;
+        graph_ = sched::DepGraph::build(block, low_);
+        classes_.resize(n_);
+        can_casc_.assign(n_, 0);
+        for (uint32_t u = 0; u < n_; ++u) {
+            classes_[u] = block.instrs[u].op_class;
+            const auto &cls = low_.opClasses()[classes_[u]];
+            can_casc_[u] = block.instrs[u].cascadable
+                                   && cls.cascade_tree != kInvalidId
+                               ? 1
+                               : 0;
+        }
+        cycles_.assign(n_, -1);
+        pending_.assign(n_, 0);
+        for (uint32_t u = 0; u < n_; ++u)
+            pending_[u] = uint32_t(graph_.predEdges()[u].size());
+        ru_ = rumap::RuMap();
+        placed_ = 0;
+        len_ = 0;
+        best_ = INT32_MAX;
+        enumerate(0, 0);
+        return best_;
+    }
+
+  private:
+    int32_t
+    ready(uint32_t u, int32_t &normal) const
+    {
+        normal = 0;
+        int32_t relaxed = 0;
+        const auto &edges = graph_.edges();
+        for (uint32_t ei : graph_.predEdges()[u]) {
+            const auto &e = edges[ei];
+            int32_t at = cycles_[e.pred];
+            normal = std::max(normal, at + e.min_dist);
+            relaxed =
+                std::max(relaxed, e.cascade_relax ? at : at + e.min_dist);
+        }
+        return can_casc_[u] ? relaxed : normal;
+    }
+
+    void
+    enumerate(int32_t cycle, uint32_t floor)
+    {
+        if (placed_ == n_) {
+            best_ = std::min(best_, len_);
+            return;
+        }
+        int32_t next = INT32_MAX;
+        for (uint32_t u = 0; u < n_; ++u) {
+            if (cycles_[u] >= 0 || pending_[u] > 0)
+                continue;
+            int32_t normal = 0;
+            int32_t at = ready(u, normal);
+            next = std::min(next, std::max(at, cycle + 1));
+            if (at > cycle || u < floor || cycle >= horizon_)
+                continue;
+            bool cascade = can_casc_[u] && cycle < normal;
+            const auto &cls = low_.opClasses()[classes_[u]];
+            uint32_t tree = cascade ? cls.cascade_tree : cls.tree;
+            rumap::CheckStats ignore;
+            std::vector<rumap::Reservation> reserved;
+            if (!checker_.tryReserve(tree, cycle, ru_, ignore, nullptr,
+                                     &reserved))
+                continue;
+            int32_t prev_len = len_;
+            cycles_[u] = cycle;
+            ++placed_;
+            len_ = std::max(len_, cycle + 1);
+            const auto &edges = graph_.edges();
+            for (uint32_t ei : graph_.succEdges()[u])
+                --pending_[edges[ei].succ];
+            enumerate(cycle, u + 1);
+            for (uint32_t ei : graph_.succEdges()[u])
+                ++pending_[edges[ei].succ];
+            len_ = prev_len;
+            --placed_;
+            cycles_[u] = -1;
+            for (const auto &r : reserved)
+                ru_.releaseSlot(r.cycle, r.mask);
+        }
+        if (placed_ == 0 || next == INT32_MAX || next >= horizon_)
+            return;
+        enumerate(next, 0);
+    }
+
+    const LowMdes &low_;
+    rumap::Checker checker_;
+    rumap::RuMap ru_;
+    sched::DepGraph graph_;
+    std::vector<uint32_t> classes_;
+    std::vector<uint8_t> can_casc_;
+    std::vector<int32_t> cycles_;
+    std::vector<uint32_t> pending_;
+    uint32_t n_ = 0;
+    uint32_t placed_ = 0;
+    int32_t len_ = 0;
+    int32_t best_ = 0;
+    int32_t horizon_ = 0;
+};
+
+/** Exact search with no time cap (deterministic) and a generous node
+ * budget; uses @p list as the incumbent. */
+exact::ExactResult
+exactOn(exact::ExactScheduler &search, const Block &block,
+        const BlockSchedule &list)
+{
+    SchedStats stats;
+    exact::ExactOptions opts;
+    opts.time_budget_us = 0;
+    opts.max_nodes = 1u << 22;
+    opts.incumbent = &list;
+    return search.scheduleBlock(block, stats, opts);
+}
+
+void
+expectMatchesBruteForce(const LowMdes &low, const Block &block,
+                        const char *what)
+{
+    ListScheduler list(low);
+    exact::ExactScheduler search(low);
+    SchedStats stats;
+    BlockSchedule seed = list.scheduleBlock(block, stats);
+    exact::ExactResult er = exactOn(search, block, seed);
+
+    int32_t truth = BruteForce(low).shortest(block, seed.length);
+    truth = std::min(truth, seed.length);
+
+    EXPECT_TRUE(er.proven_optimal) << what;
+    EXPECT_EQ(er.schedule.length, truth) << what;
+    EXPECT_LE(er.schedule.length, seed.length) << what;
+    EXPECT_GE(er.schedule.length, er.lower_bound) << what;
+    sched::VerifyResult v =
+        sched::verifyScheduleEx(block, er.schedule, low);
+    EXPECT_TRUE(v.ok()) << what << ": "
+                        << sched::verifyFaultName(v.fault) << ": "
+                        << v.message;
+}
+
+// ------------------------------------------------- brute-force lockstep
+
+TEST(ExactScheduler, MatchesBruteForceHandcrafted)
+{
+    LowMdes low = twoWide();
+    uint32_t ADD = low.findOpClass("ADD");
+    uint32_t LOAD = low.findOpClass("LOAD");
+    uint32_t BR = low.findOpClass("BR");
+
+    {
+        // Six independent ADDs on a 2-wide machine: optimum 3.
+        Block b;
+        for (int i = 0; i < 6; ++i)
+            b.instrs.push_back(instr(ADD, {1}, {10 + i}));
+        expectMatchesBruteForce(low, b, "six independent adds");
+    }
+    {
+        // A cascade chain: r2=r1+1; r3=r2+1 with the consumer
+        // cascadable - both can issue in cycle 0.
+        Block b;
+        b.instrs = {
+            instr(ADD, {1}, {2}),
+            instr(ADD, {2}, {3}, /*cascadable=*/true),
+            instr(ADD, {3}, {4}, /*cascadable=*/true),
+        };
+        expectMatchesBruteForce(low, b, "cascade chain");
+    }
+    {
+        // Loads feeding adds plus independent filler, branch last.
+        Block b;
+        b.instrs = {
+            instr(LOAD, {1}, {2}),
+            instr(LOAD, {1}, {3}),
+            instr(ADD, {2}, {4}),
+            instr(ADD, {3}, {5}),
+            instr(ADD, {9}, {6}),
+            instr(ADD, {9}, {7}),
+            instr(BR, {4}, {}, false, /*is_branch=*/true),
+        };
+        expectMatchesBruteForce(low, b, "loads, adds, branch");
+    }
+    {
+        // WAW/WAR pressure: repeated writes to one register.
+        Block b;
+        b.instrs = {
+            instr(ADD, {1}, {2}),
+            instr(ADD, {2}, {3}),
+            instr(ADD, {9}, {2}),
+            instr(ADD, {2}, {5}),
+            instr(LOAD, {5}, {2}),
+        };
+        expectMatchesBruteForce(low, b, "waw/war pressure");
+    }
+}
+
+TEST(ExactScheduler, MatchesBruteForceRandomTinyBlocks)
+{
+    LowMdes low = machineByName("SuperSPARC");
+    workload::WorkloadSpec spec = machines::superSparc().workload;
+    spec.num_ops = 64;
+    spec.min_block_size = 3;
+    spec.max_block_size = 6;
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        spec.seed = seed;
+        sched::Program program = workload::generate(spec, low);
+        ASSERT_FALSE(program.blocks.empty());
+        for (size_t b = 0; b < program.blocks.size(); ++b) {
+            std::string what = "seed " + std::to_string(seed)
+                               + " block " + std::to_string(b);
+            expectMatchesBruteForce(low, program.blocks[b],
+                                    what.c_str());
+        }
+    }
+}
+
+// --------------------------------------------------- wouldFit() purity
+
+TEST(ExactScheduler, WouldFitLeavesNoTrace)
+{
+    LowMdes low = machineByName("K5");
+    rumap::Checker probed(low);
+    rumap::Checker control(low);
+    rumap::RuMap map_a;
+    rumap::RuMap map_b;
+
+    std::vector<uint32_t> trees;
+    for (const auto &cls : low.opClasses()) {
+        trees.push_back(cls.tree);
+        if (cls.cascade_tree != kInvalidId)
+            trees.push_back(cls.cascade_tree);
+    }
+    ASSERT_FALSE(trees.empty());
+
+    // Interleave millions of wouldFit() probes on map A with identical
+    // tryReserve() sequences on both maps; the two must stay
+    // bit-identical and behave identically throughout.
+    uint64_t probes = 0;
+    uint64_t rng = 0x9e3779b97f4a7c15ull;
+    auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    for (int round = 0; round < 40; ++round) {
+        for (int32_t cycle = 0; cycle < 64; ++cycle) {
+            for (uint32_t t : trees) {
+                for (int rep = 0; rep < 45; ++rep) {
+                    probed.wouldFit(t, cycle, map_a);
+                    ++probes;
+                }
+            }
+        }
+        // A burst of identical reservations against both maps.
+        for (int i = 0; i < 32; ++i) {
+            uint32_t t = trees[next() % trees.size()];
+            int32_t cycle = int32_t(next() % 64);
+            bool fit_a = probed.wouldFit(t, cycle, map_a);
+            bool fit_b = control.wouldFit(t, cycle, map_b);
+            ASSERT_EQ(fit_a, fit_b);
+            rumap::CheckStats sa, sb;
+            std::vector<rumap::Reservation> ra, rb;
+            bool got_a = probed.tryReserve(t, cycle, map_a, sa, nullptr,
+                                           &ra);
+            bool got_b = control.tryReserve(t, cycle, map_b, sb,
+                                            nullptr, &rb);
+            ASSERT_EQ(got_a, got_b);
+            ASSERT_EQ(ra.size(), rb.size());
+            for (size_t k = 0; k < ra.size(); ++k) {
+                ASSERT_EQ(ra[k].cycle, rb[k].cycle);
+                ASSERT_EQ(ra[k].mask, rb[k].mask);
+            }
+        }
+        ASSERT_EQ(map_a.windowBase(), map_b.windowBase());
+        ASSERT_EQ(map_a.windowSize(), map_b.windowSize());
+        for (size_t w = 0; w < map_a.windowSize(); ++w)
+            ASSERT_EQ(map_a.windowData()[w], map_b.windowData()[w]);
+    }
+    EXPECT_GT(probes, 2'000'000u);
+}
+
+// ------------------------------------- budget exhaustion, cancellation
+
+/** The block in a generated workload whose exact search visits the
+ * most nodes (with the incumbent list schedule attached), or nullptr
+ * when every block is proven at the root. */
+struct HardBlock
+{
+    const Block *block = nullptr;
+    BlockSchedule list;
+    uint64_t nodes = 0;
+};
+
+HardBlock
+findHardBlock(const LowMdes &low, sched::Program &program)
+{
+    ListScheduler list(low);
+    exact::ExactScheduler search(low);
+    HardBlock hard;
+    for (const auto &block : program.blocks) {
+        SchedStats stats;
+        BlockSchedule seed = list.scheduleBlock(block, stats);
+        exact::ExactOptions opts;
+        opts.time_budget_us = 0;
+        opts.max_nodes = 1u << 18;
+        opts.incumbent = &seed;
+        exact::ExactResult er = search.scheduleBlock(block, stats, opts);
+        if (er.nodes > hard.nodes) {
+            hard.nodes = er.nodes;
+            hard.block = &block;
+            hard.list = seed;
+        }
+    }
+    return hard;
+}
+
+TEST(ExactScheduler, BudgetExhaustionReturnsListIncumbent)
+{
+    LowMdes low = machineByName("SuperSPARC");
+    workload::WorkloadSpec spec = machines::superSparc().workload;
+    spec.num_ops = 3000;
+    spec.seed = 11;
+    sched::Program program = workload::generate(spec, low);
+    HardBlock hard = findHardBlock(low, program);
+    ASSERT_NE(hard.block, nullptr);
+    ASSERT_GT(hard.nodes, 2048u)
+        << "workload has no block with a non-trivial search";
+
+    exact::ExactScheduler search(low);
+    SchedStats stats;
+    exact::ExactOptions opts;
+    opts.time_budget_us = 0;
+    opts.max_nodes = 1;
+    opts.incumbent = &hard.list;
+    exact::ExactResult er =
+        search.scheduleBlock(*hard.block, stats, opts);
+
+    EXPECT_TRUE(er.budget_exhausted);
+    EXPECT_FALSE(er.proven_optimal);
+    EXPECT_FALSE(er.improved);
+    EXPECT_EQ(er.schedule.length, hard.list.length);
+    EXPECT_EQ(er.schedule.cycles, hard.list.cycles);
+    EXPECT_LT(er.lower_bound, er.schedule.length);
+    EXPECT_GT(er.gap(), 0);
+}
+
+TEST(ExactScheduler, CancellationStopsSearchCleanly)
+{
+    LowMdes low = machineByName("SuperSPARC");
+    workload::WorkloadSpec spec = machines::superSparc().workload;
+    spec.num_ops = 3000;
+    spec.seed = 11;
+    sched::Program program = workload::generate(spec, low);
+    HardBlock hard = findHardBlock(low, program);
+    ASSERT_NE(hard.block, nullptr);
+    // Cancellation is polled every 1024 nodes; make sure the search is
+    // long enough that the second poll happens mid-search.
+    ASSERT_GT(hard.nodes, 4096u);
+
+    exact::ExactScheduler search(low);
+    SchedStats stats;
+    int polls = 0;
+    exact::ExactOptions opts;
+    opts.time_budget_us = 0;
+    opts.max_nodes = 1u << 22;
+    opts.cancel = exact::CancelToken([&polls] { return ++polls >= 2; });
+    opts.incumbent = &hard.list;
+    exact::ExactResult er =
+        search.scheduleBlock(*hard.block, stats, opts);
+
+    EXPECT_TRUE(er.cancelled);
+    EXPECT_FALSE(er.proven_optimal);
+    EXPECT_GE(polls, 2);
+    EXPECT_LT(er.nodes, hard.nodes);
+    EXPECT_LE(er.schedule.length, hard.list.length);
+    sched::VerifyResult v =
+        sched::verifyScheduleEx(*hard.block, er.schedule, low);
+    EXPECT_TRUE(v.ok()) << sched::verifyFaultName(v.fault) << ": "
+                        << v.message;
+}
+
+// --------------------------------------------------- service portfolio
+
+service::ScheduleRequest
+syntheticRequest(const std::string &machine, size_t ops, uint64_t seed,
+                 service::SchedulerKind kind)
+{
+    service::ScheduleRequest req;
+    req.machine = machine;
+    req.synth_ops = ops;
+    req.seed = seed;
+    req.scheduler = kind;
+    req.exact_ms = 0; // node budget only: deterministic
+    req.exact_nodes = 1u << 16;
+    return req;
+}
+
+TEST(ExactService, PortfolioNeverLongerThanList)
+{
+    std::vector<service::ScheduleRequest> batch;
+    batch.push_back(syntheticRequest("K5", 600, 3,
+                                     service::SchedulerKind::List));
+    batch.push_back(syntheticRequest("K5", 600, 3,
+                                     service::SchedulerKind::Portfolio));
+    batch.push_back(syntheticRequest("PA7100", 600, 5,
+                                     service::SchedulerKind::List));
+    batch.push_back(syntheticRequest("PA7100", 600, 5,
+                                     service::SchedulerKind::Portfolio));
+    service::MdesService svc({.num_workers = 2});
+    auto resp = svc.runBatch(std::move(batch));
+    ASSERT_EQ(resp.size(), 4u);
+    for (const auto &r : resp)
+        ASSERT_TRUE(r.ok()) << r.error.message;
+    for (size_t pair = 0; pair < 2; ++pair) {
+        const auto &lst = resp[pair * 2];
+        const auto &pf = resp[pair * 2 + 1];
+        ASSERT_EQ(lst.schedules.size(), pf.schedules.size());
+        ASSERT_EQ(pf.outcomes.size(), pf.schedules.size());
+        EXPECT_EQ(pf.exact.blocks, pf.schedules.size());
+        uint64_t wins = pf.exact.wins_list + pf.exact.wins_backward
+                        + pf.exact.wins_modulo + pf.exact.wins_exact;
+        EXPECT_EQ(wins, pf.schedules.size());
+        for (size_t b = 0; b < pf.schedules.size(); ++b) {
+            EXPECT_LE(pf.schedules[b].length, lst.schedules[b].length)
+                << "pair " << pair << " block " << b;
+            const auto &o = pf.outcomes[b];
+            EXPECT_EQ(o.length, pf.schedules[b].length);
+            EXPECT_LE(o.lower_bound, o.length);
+            if (o.proven_optimal) {
+                EXPECT_EQ(o.lower_bound, o.length);
+            }
+        }
+        EXPECT_GE(pf.exact.proven_optimal, pf.exact.blocks / 2)
+            << "suspiciously low proven-optimal rate";
+    }
+}
+
+TEST(ExactService, PortfolioDeterministicAcrossWorkerCounts)
+{
+    auto run = [](unsigned workers) {
+        std::vector<service::ScheduleRequest> batch;
+        batch.push_back(syntheticRequest(
+            "SuperSPARC", 800, 9, service::SchedulerKind::Portfolio));
+        batch.push_back(syntheticRequest(
+            "K5", 500, 2, service::SchedulerKind::Exact));
+        service::MdesService svc({.num_workers = workers});
+        return svc.runBatch(std::move(batch));
+    };
+    auto one = run(1);
+    auto four = run(4);
+    ASSERT_EQ(one.size(), four.size());
+    for (size_t i = 0; i < one.size(); ++i) {
+        ASSERT_TRUE(one[i].ok());
+        ASSERT_TRUE(four[i].ok());
+        ASSERT_EQ(one[i].schedules.size(), four[i].schedules.size());
+        for (size_t b = 0; b < one[i].schedules.size(); ++b) {
+            EXPECT_EQ(one[i].schedules[b].cycles,
+                      four[i].schedules[b].cycles);
+            EXPECT_EQ(one[i].schedules[b].length,
+                      four[i].schedules[b].length);
+        }
+        EXPECT_EQ(one[i].exact.proven_optimal,
+                  four[i].exact.proven_optimal);
+        EXPECT_EQ(one[i].exact.nodes, four[i].exact.nodes);
+    }
+}
+
+} // namespace
+} // namespace mdes

@@ -64,6 +64,8 @@
 #include "net/chaos_socket.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "exact/exact_scheduler.h"
+#include "sched/backward_scheduler.h"
 #include "sched/list_scheduler.h"
 #include "sched/verify.h"
 #include "service/chaos.h"
@@ -95,7 +97,10 @@ usage()
         "  mdesc stats <file.hmdes>\n"
         "  mdesc lint <file.hmdes> [--deep]\n"
         "  mdesc schedule <machine-name | file.hmdes> <file.sasm>\n"
+        "                [--mode list|backward|exact|portfolio]\n"
+        "                [--exact-ms N]\n"
         "  mdesc batch <file.req | --stdin> [--workers N] [--json]\n"
+        "              [--mode list|backward|modulo|exact|portfolio]\n"
         "              [--store <dir>] [--store-max-bytes N]\n"
         "              [--trace <file.json>] [--faults <spec>]\n"
         "              [--max-queue N]\n"
@@ -500,38 +505,116 @@ cmdLint(const std::vector<std::string> &args)
 int
 cmdSchedule(const std::vector<std::string> &args)
 {
-    if (args.size() != 2)
+    std::vector<std::string> pos;
+    std::string mode = "list";
+    int64_t exact_ms = 50;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--mode" && i + 1 < args.size()) {
+            mode = args[++i];
+        } else if (args[i] == "--exact-ms" && i + 1 < args.size()) {
+            const std::string &w = args[++i];
+            auto [end, ec] =
+                std::from_chars(w.data(), w.data() + w.size(), exact_ms);
+            if (ec != std::errc() || end != w.data() + w.size()) {
+                std::fprintf(stderr, "mdesc: bad --exact-ms value '%s'\n",
+                             w.c_str());
+                return 1;
+            }
+        } else if (!args[i].empty() && args[i][0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         args[i].c_str());
+            return usage();
+        } else {
+            pos.push_back(args[i]);
+        }
+    }
+    if (pos.size() != 2)
         return usage();
+    if (mode != "list" && mode != "backward" && mode != "exact" &&
+        mode != "portfolio") {
+        std::fprintf(stderr, "mdesc: unknown schedule mode '%s'\n",
+                     mode.c_str());
+        return usage();
+    }
     // The machine: a built-in name or a .hmdes file.
     Mdes model = [&] {
-        const machines::MachineInfo *builtin = machines::byName(args[0]);
+        const machines::MachineInfo *builtin = machines::byName(pos[0]);
         if (builtin)
             return hmdes::compileOrThrow(builtin->source);
-        return compileFile(args[0]);
+        return compileFile(pos[0]);
     }();
     runPipeline(model, PipelineConfig::all());
     lmdes::LowerOptions lopts;
     lopts.pack_bit_vector = true;
     lmdes::LowMdes low = lmdes::LowMdes::lower(model, lopts);
 
-    std::string text = readFile(args[1]);
+    std::string text = readFile(pos[1]);
     DiagnosticEngine diags;
     sched::Program program = workload::parseSasm(text, low, diags);
     for (const auto &d : diags.diagnostics())
-        std::fprintf(stderr, "%s: %s\n", args[1].c_str(),
+        std::fprintf(stderr, "%s: %s\n", pos[1].c_str(),
                      d.toString().c_str());
     if (diags.hasErrors())
         return 1;
 
-    sched::ListScheduler scheduler(low);
     sched::SchedStats stats;
-    auto schedules = scheduler.scheduleProgram(program, stats);
+    std::vector<sched::BlockSchedule> schedules;
+    // Per-block annotation for the exact/portfolio modes.
+    std::vector<std::string> notes(program.blocks.size());
+    if (mode == "backward") {
+        sched::BackwardListScheduler scheduler(low);
+        schedules = scheduler.scheduleProgram(program, stats);
+    } else {
+        sched::ListScheduler scheduler(low);
+        schedules = scheduler.scheduleProgram(program, stats);
+    }
+    if (mode == "exact" || mode == "portfolio") {
+        exact::ExactScheduler search(low);
+        sched::BackwardListScheduler backward(low);
+        for (size_t b = 0; b < program.blocks.size(); ++b) {
+            const auto &block = program.blocks[b];
+            const char *winner = "list";
+            sched::BlockSchedule best = schedules[b];
+            if (mode == "portfolio") {
+                sched::BlockSchedule back =
+                    backward.scheduleBlock(block, stats);
+                if (back.length < best.length) {
+                    best = std::move(back);
+                    winner = "backward";
+                }
+            }
+            exact::ExactOptions eopts;
+            eopts.time_budget_us = exact_ms > 0 ? exact_ms * 1000 : 0;
+            eopts.incumbent = &schedules[b];
+            exact::ExactResult er =
+                search.scheduleBlock(block, stats, eopts);
+            if (er.schedule.length < best.length) {
+                best = er.schedule;
+                winner = "exact";
+            }
+            char note[160];
+            int32_t lb = std::min(er.lower_bound, best.length);
+            std::snprintf(note, sizeof note,
+                          "  winner=%s lower_bound=%d gap=%d %s"
+                          " (nodes %llu)",
+                          winner, lb, best.length - lb,
+                          best.length <= er.lower_bound
+                              ? "proven-optimal"
+                              : er.budget_exhausted ? "budget-exhausted"
+                                                    : "unproven",
+                          (unsigned long long)er.nodes);
+            notes[b] = note;
+            schedules[b] = std::move(best);
+        }
+    }
 
     for (size_t b = 0; b < program.blocks.size(); ++b) {
-        std::string problem = sched::verifySchedule(
+        sched::VerifyResult v = sched::verifyScheduleEx(
             program.blocks[b], schedules[b], low);
-        if (!problem.empty()) {
-            std::fprintf(stderr, "block %zu: %s\n", b, problem.c_str());
+        if (!v.ok()) {
+            std::fprintf(stderr, "block %zu: %s: %s\n", b,
+                         sched::verifyFaultName(v.fault),
+                         v.message.c_str());
             return 1;
         }
         std::printf("block %zu (%d cycles):\n", b,
@@ -550,6 +633,8 @@ cmdSchedule(const std::vector<std::string> &args)
             }
             std::printf("\n");
         }
+        if (!notes[b].empty())
+            std::printf("%s\n", notes[b].c_str());
     }
     std::printf("\n%llu operations, %llu scheduling attempts (%.2f per "
                 "op), %.2f checks per attempt.\n",
@@ -563,7 +648,7 @@ cmdSchedule(const std::vector<std::string> &args)
 int
 cmdBatch(const std::vector<std::string> &args)
 {
-    std::string input, store_dir, trace_path, faults_spec;
+    std::string input, store_dir, trace_path, faults_spec, mode;
     unsigned workers = 0;
     uint64_t store_max_bytes = 0;
     size_t max_queue = 0;
@@ -571,6 +656,8 @@ cmdBatch(const std::vector<std::string> &args)
     for (size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--trace" && i + 1 < args.size()) {
             trace_path = args[++i];
+        } else if (args[i] == "--mode" && i + 1 < args.size()) {
+            mode = args[++i];
         } else if (args[i] == "--faults" && i + 1 < args.size()) {
             faults_spec = args[++i];
         } else if (args[i] == "--workers" && i + 1 < args.size()) {
@@ -638,6 +725,27 @@ cmdBatch(const std::vector<std::string> &args)
         std::fprintf(stderr, "%s: no requests\n",
                      input == "-" ? "<stdin>" : input.c_str());
         return 1;
+    }
+    if (!mode.empty()) {
+        // Override every request's scheduler from the command line.
+        service::SchedulerKind kind;
+        if (mode == "list")
+            kind = service::SchedulerKind::List;
+        else if (mode == "backward")
+            kind = service::SchedulerKind::Backward;
+        else if (mode == "modulo")
+            kind = service::SchedulerKind::Modulo;
+        else if (mode == "exact")
+            kind = service::SchedulerKind::Exact;
+        else if (mode == "portfolio")
+            kind = service::SchedulerKind::Portfolio;
+        else {
+            std::fprintf(stderr, "mdesc: unknown batch mode '%s'\n",
+                         mode.c_str());
+            return usage();
+        }
+        for (auto &req : requests)
+            req.scheduler = kind;
     }
 
     // ...answer with M threads.
