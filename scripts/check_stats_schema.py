@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validate a `mdesc stat --json` document against the stable stats
+schema (DESIGN.md section 14 / src/service/stats.h).
+
+Usage: check_stats_schema.py <stats.json> [--min-requests N] [--shards N]
+
+With --shards N the document must be a fleet view: "shards" plus
+"stale_shards" must account for N processes and a "per_shard" array
+with one row per shard must be present. Exits non-zero with a message
+naming the first violated expectation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"stats schema violation: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(obj, key, kinds, where):
+    if key not in obj:
+        fail(f"missing '{where}.{key}'")
+    if not isinstance(obj[key], kinds):
+        fail(f"'{where}.{key}' is {type(obj[key]).__name__}, "
+             f"wanted {kinds}")
+    return obj[key]
+
+
+def check_series(obj, where):
+    for key in ("count", "total_us", "max_us"):
+        require(obj, key, int, where)
+    buckets = require(obj, "buckets", list, where)
+    if sum(buckets) != obj["count"]:
+        fail(f"'{where}': bucket sum {sum(buckets)} != count "
+             f"{obj['count']}")
+
+
+def check_view(obj, where):
+    for key in ("horizon_s", "requests", "ok", "errors", "shed",
+                "p50_us", "p95_us", "p99_us", "max_us"):
+        require(obj, key, int, where)
+    for key in ("rate_per_s", "mean_us"):
+        require(obj, key, (int, float), where)
+    if obj["requests"] != obj["ok"] + obj["errors"]:
+        fail(f"'{where}': requests != ok + errors")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("path")
+    ap.add_argument("--min-requests", type=int, default=0)
+    ap.add_argument("--shards", type=int, default=0)
+    args = ap.parse_args()
+
+    with open(args.path) as f:
+        doc = json.load(f)
+
+    require(doc, "now_s", int, "")
+    shards = require(doc, "shards", int, "")
+    stale = require(doc, "stale_shards", int, "")
+
+    lifetime = require(doc, "lifetime", dict, "")
+    for key in ("requests", "ok", "errors", "shed",
+                "p50_us", "p95_us", "p99_us"):
+        require(lifetime, key, int, "lifetime")
+    check_series(lifetime, "lifetime")
+    if lifetime["requests"] < args.min_requests:
+        fail(f"lifetime.requests {lifetime['requests']} < "
+             f"{args.min_requests}")
+
+    windows = require(doc, "windows", dict, "")
+    slots = require(windows, "slots", list, "windows")
+    for i, slot in enumerate(slots):
+        for key in ("epoch", "requests", "ok", "errors", "shed"):
+            require(slot, key, int, f"windows.slots[{i}]")
+        check_series(slot, f"windows.slots[{i}]")
+    check_view(require(windows, "w10", dict, "windows"), "windows.w10")
+    check_view(require(windows, "w60", dict, "windows"), "windows.w60")
+    if windows["w10"]["horizon_s"] != 10 or \
+            windows["w60"]["horizon_s"] != 60:
+        fail("window horizons are not 10/60")
+
+    net = require(doc, "net", dict, "")
+    for key in ("active", "accepted", "frames_in", "frames_out",
+                "stats_requests", "stats_coalesced"):
+        require(net, key, int, "net")
+
+    if args.shards:
+        if shards + stale != args.shards:
+            fail(f"shards {shards} + stale {stale} != {args.shards}")
+        per_shard = require(doc, "per_shard", list, "")
+        if len(per_shard) != args.shards:
+            fail(f"per_shard has {len(per_shard)} rows, wanted "
+                 f"{args.shards}")
+        for i, row in enumerate(per_shard):
+            for key in ("shard", "requests", "w60_requests",
+                        "w60_p99_us"):
+                require(row, key, int, f"per_shard[{i}]")
+            require(row, "stale", bool, f"per_shard[{i}]")
+            require(row, "w60_rate_per_s", (int, float),
+                    f"per_shard[{i}]")
+
+    print(f"stats schema ok: {lifetime['requests']} requests, "
+          f"{shards} shard(s), {stale} stale, "
+          f"w60 p99 {windows['w60']['p99_us']}us")
+
+
+if __name__ == "__main__":
+    main()

@@ -225,6 +225,75 @@ BlockingClient::readResponse(uint64_t want_id)
     }
 }
 
+std::string
+BlockingClient::stats()
+{
+    if (fd_ < 0)
+        return "";
+    uint64_t id = next_id_++;
+    std::string wire;
+    if (json_mode_) {
+        wire = "{\"id\":" + std::to_string(id) + ",\"op\":\"stats\"}\n";
+    } else {
+        Frame f;
+        f.type = FrameType::Stat;
+        f.id = id;
+        wire = encodeFrame(f);
+    }
+    if (!writeAll(fd_, wire)) {
+        ::close(fd_);
+        fd_ = -1;
+        return "";
+    }
+    char buf[16384];
+    if (json_mode_) {
+        std::string jsonbuf = std::move(inbuf_);
+        inbuf_.clear();
+        for (;;) {
+            size_t nl = jsonbuf.find('\n');
+            if (nl != std::string::npos) {
+                inbuf_ = jsonbuf.substr(nl + 1);
+                return jsonbuf.substr(0, nl);
+            }
+            ssize_t n = ::read(fd_, buf, sizeof(buf));
+            if (n > 0) {
+                jsonbuf.append(buf, size_t(n));
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            ::close(fd_);
+            fd_ = -1;
+            return "";
+        }
+    }
+    FrameDecoder decoder;
+    decoder.feed(inbuf_.data(), inbuf_.size());
+    inbuf_.clear();
+    for (;;) {
+        Frame frame;
+        FrameDecoder::Status st = decoder.next(&frame);
+        if (st == FrameDecoder::Status::Error)
+            break;
+        if (st == FrameDecoder::Status::Ready) {
+            if (frame.type != FrameType::Response || frame.id != id)
+                continue; // a pong or an earlier response; keep reading
+            return frame.payload;
+        }
+        ssize_t n = ::read(fd_, buf, sizeof(buf));
+        if (n > 0) {
+            decoder.feed(buf, size_t(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        break;
+    }
+    ::close(fd_);
+    fd_ = -1;
+    return "";
+}
+
 bool
 BlockingClient::ping()
 {

@@ -89,6 +89,16 @@ class BlockingClient
     /** Binary-mode liveness probe (Ping/Pong round trip). */
     bool ping();
 
+    /**
+     * Fetch the live stats document (service/stats.h schema). Binary
+     * mode sends a Stat frame; JSON mode sends {"op":"stats"}. Against
+     * a sharded server the binary form returns the parent's merged
+     * fleet view - and the parent closes the connection after
+     * answering, so poll with a fresh client per refresh. Returns ""
+     * on transport failure.
+     */
+    std::string stats();
+
   private:
     NetResponse readResponse(uint64_t want_id);
 

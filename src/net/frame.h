@@ -55,6 +55,10 @@ enum class FrameType : uint8_t {
     Error = 3,
     Ping = 4,
     Pong = 5,
+    /** Live stats poll (stats.h); answered with a Response frame whose
+     * payload is the stats JSON document. In --shards mode the parent
+     * answers these itself with the merged fleet view. */
+    Stat = 6,
 };
 
 /** True when @p t is a value FrameType names. */

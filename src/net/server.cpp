@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <signal.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
@@ -25,8 +26,10 @@
 
 #include "net/frame.h"
 #include "service/request_parse.h"
+#include "service/stats.h"
 #include "support/diagnostics.h"
 #include "support/faultsim.h"
+#include "support/flightrec.h"
 #include "support/json.h"
 
 namespace mdes::net {
@@ -110,13 +113,15 @@ sendFd(int chan, int fd)
     }
 }
 
-/** Receive one fd from @p chan. Returns the fd, -1 on EAGAIN, -2 on
- * EOF/error (channel closed - graceful-shutdown cue). */
+/** Receive one message from @p chan. An fd-bearing message returns the
+ * fd; a plain data message (the parent's stat poll) fills @p data and
+ * returns -3. Returns -1 on EAGAIN, -2 on EOF/error (channel closed -
+ * graceful-shutdown cue). */
 int
-recvFd(int chan)
+recvFd(int chan, std::string *data = nullptr)
 {
-    char byte = 0;
-    iovec iov{&byte, 1};
+    char buf[64] = {};
+    iovec iov{buf, sizeof(buf)};
     alignas(cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))] = {};
     msghdr msg{};
     msg.msg_iov = &iov;
@@ -141,7 +146,11 @@ recvFd(int chan)
                 return fd;
             }
         }
-        // A data byte without an fd: ignore and keep reading.
+        if (data) {
+            data->assign(buf, size_t(n));
+            return -3;
+        }
+        // A data message nobody asked about: ignore and keep reading.
     }
 }
 
@@ -155,6 +164,7 @@ struct NetCounters
     std::atomic<uint64_t> protocol_errors{0}, bad_requests{0};
     std::atomic<uint64_t> shed{0}, deadline_expired{0};
     std::atomic<uint64_t> backpressure_stalls{0}, cancelled_on_close{0};
+    std::atomic<uint64_t> stats_requests{0}, stats_coalesced{0};
 
     void
     fill(service::NetStats &out) const
@@ -178,6 +188,10 @@ struct NetCounters
             backpressure_stalls.load(std::memory_order_relaxed);
         out.cancelled_on_close =
             cancelled_on_close.load(std::memory_order_relaxed);
+        out.stats_requests =
+            stats_requests.load(std::memory_order_relaxed);
+        out.stats_coalesced =
+            stats_coalesced.load(std::memory_order_relaxed);
     }
 };
 
@@ -205,6 +219,15 @@ struct Conn
     bool paused = false;    // EPOLLIN dropped (backpressure)
     bool closing = false;   // flush out, then close
     uint32_t epoll_events = 0;
+
+    /** STAT coalescing: at most one stats response may occupy `out` at
+     * a time; further STATs arriving while it drains collapse into one
+     * answer carrying the latest id, sent when the buffer empties. A
+     * stat flood therefore contributes at most one response to `out`
+     * no matter how fast it polls. */
+    bool stat_inflight = false;
+    bool stat_waiting = false;
+    uint64_t stat_waiting_id = 0;
 
     size_t
     outstandingOut() const
@@ -393,31 +416,49 @@ struct Server::Impl
     flushWrites(Conn &conn)
     {
         faultsim::TokenScope scope(conn.id);
-        while (conn.outstandingOut() > 0) {
-            auto stall = faultsim::probe(faultsim::Site::NetStalledWrite);
-            if (stall.fired && stall.delay_us)
-                std::this_thread::sleep_for(
-                    std::chrono::microseconds(stall.delay_us));
-            size_t n = conn.outstandingOut();
-            if (faultsim::probe(faultsim::Site::NetShortWrite).fired)
-                n = 1;
-            ssize_t w =
-                ::write(conn.fd, conn.out.data() + conn.out_pos, n);
-            if (w > 0) {
-                conn.out_pos += size_t(w);
-                counters.bytes_out.fetch_add(uint64_t(w),
-                                             std::memory_order_relaxed);
-                continue;
+        for (;;) {
+            while (conn.outstandingOut() > 0) {
+                auto stall =
+                    faultsim::probe(faultsim::Site::NetStalledWrite);
+                if (stall.fired && stall.delay_us)
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(stall.delay_us));
+                size_t n = conn.outstandingOut();
+                if (faultsim::probe(faultsim::Site::NetShortWrite).fired)
+                    n = 1;
+                ssize_t w =
+                    ::write(conn.fd, conn.out.data() + conn.out_pos, n);
+                if (w > 0) {
+                    conn.out_pos += size_t(w);
+                    counters.bytes_out.fetch_add(
+                        uint64_t(w), std::memory_order_relaxed);
+                    continue;
+                }
+                if (w < 0 && errno == EINTR)
+                    continue;
+                if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                    return true;
+                closeConn(conn, /*abrupt=*/true);
+                return false;
             }
-            if (w < 0 && errno == EINTR)
-                continue;
-            if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
-                return true;
-            closeConn(conn, /*abrupt=*/true);
-            return false;
+            conn.out.clear();
+            conn.out_pos = 0;
+            // Fully drained: the in-flight stat response (if any) is on
+            // the wire, so a coalesced poll can now be answered - with
+            // a *fresh* snapshot, which is what the poller wants.
+            if (conn.stat_inflight) {
+                conn.stat_inflight = false;
+                if (conn.stat_waiting) {
+                    conn.stat_waiting = false;
+                    conn.stat_inflight = true;
+                    enqueueOut(conn,
+                               statResponseBytes(conn,
+                                                 conn.stat_waiting_id));
+                    continue; // try to write it out right now
+                }
+            }
+            break;
         }
-        conn.out.clear();
-        conn.out_pos = 0;
         if (conn.closing) {
             closeConn(conn, /*abrupt=*/false);
             return false;
@@ -557,6 +598,48 @@ struct Server::Impl
         maybePause(conn);
     }
 
+    /** Serialize one live stats answer for @p conn's wire mode. Binary
+     * mode: a Response frame whose payload is the stats document; JSON
+     * mode: the document itself with an "id" field prepended. */
+    std::string
+    statResponseBytes(const Conn &conn, uint64_t wire_id)
+    {
+        service::ServiceMetrics m = svc->metricsSnapshot();
+        counters.fill(m.net);
+        std::string doc =
+            service::statsToJson(m, service::windowNowS());
+        if (conn.mode == Conn::Mode::Json) {
+            // Splice the id into the document so JSON-lines pollers get
+            // the same schema as the frame payload, plus correlation.
+            return "{\"id\":" + std::to_string(wire_id) + "," +
+                   doc.substr(1) + "\n";
+        }
+        Frame f;
+        f.type = FrameType::Response;
+        f.id = wire_id;
+        f.payload = std::move(doc);
+        return encodeFrame(f);
+    }
+
+    /** One STAT poll (either wire mode). Serialized per connection:
+     * while a stats response is still draining, further polls coalesce
+     * into one pending answer with the latest id. */
+    void
+    handleStat(Conn &conn, uint64_t wire_id)
+    {
+        counters.stats_requests.fetch_add(1, std::memory_order_relaxed);
+        if (conn.stat_inflight) {
+            if (conn.stat_waiting)
+                counters.stats_coalesced.fetch_add(
+                    1, std::memory_order_relaxed);
+            conn.stat_waiting = true;
+            conn.stat_waiting_id = wire_id;
+            return;
+        }
+        conn.stat_inflight = true;
+        enqueueOut(conn, statResponseBytes(conn, wire_id));
+    }
+
     /** Handle one decoded binary frame. Returns false when the
      * connection was torn down. */
     bool
@@ -573,6 +656,9 @@ struct Server::Impl
             return true;
         }
         case FrameType::Pong:
+            return true;
+        case FrameType::Stat:
+            handleStat(conn, frame.id);
             return true;
         case FrameType::Response:
         case FrameType::Error:
@@ -616,6 +702,7 @@ struct Server::Impl
         uint64_t wire_id = 0;
         std::string reqline;
         uint32_t deadline_ms = 0;
+        bool is_stats = false;
         try {
             JsonValue doc = parseJson(line);
             if (doc.kind != JsonValue::Kind::Object)
@@ -624,15 +711,27 @@ struct Server::Impl
             // through the parser's double above 2^53.
             if (const JsonValue *id = doc.find("id"))
                 wire_id = jsonU64(*id);
-            const JsonValue *req = doc.find("req");
-            if (!req || req->kind != JsonValue::Kind::String)
-                throw MdesError("missing string field 'req'");
-            reqline = req->string;
-            if (const JsonValue *dl = doc.find("deadline_ms"))
-                deadline_ms = uint32_t(jsonU64(*dl));
-            // "route" is the shard acceptor's concern; ignored here.
+            if (const JsonValue *op = doc.find("op")) {
+                if (op->kind != JsonValue::Kind::String ||
+                    op->string != "stats")
+                    throw MdesError("unknown op (only \"stats\")");
+                is_stats = true;
+            } else {
+                const JsonValue *req = doc.find("req");
+                if (!req || req->kind != JsonValue::Kind::String)
+                    throw MdesError("missing string field 'req'");
+                reqline = req->string;
+                if (const JsonValue *dl = doc.find("deadline_ms"))
+                    deadline_ms = uint32_t(jsonU64(*dl));
+                // "route" is the shard acceptor's concern; ignored
+                // here.
+            }
         } catch (const MdesError &e) {
             sendBadRequest(conn, wire_id, e.what());
+            return true;
+        }
+        if (is_stats) {
+            handleStat(conn, wire_id);
             return true;
         }
         if (faultsim::probe(faultsim::Site::NetPeerReset).fired) {
@@ -759,17 +858,39 @@ struct Server::Impl
         }
     }
 
-    /** Shard child: drain connection fds off the feed channel. Returns
-     * false on channel EOF (graceful-shutdown cue). */
+    /** Shard child: answer the parent's stat poll ('s' + 8-byte seq)
+     * with one datagram of seq + this shard's stats document. Sent
+     * best-effort on the nonblocking channel: a full buffer just means
+     * the parent reports this shard stale for that poll. */
+    void
+    answerStatPoll(const std::string &poll)
+    {
+        if (poll.size() < 9 || poll[0] != 's')
+            return;
+        service::ServiceMetrics m = svc->metricsSnapshot();
+        counters.fill(m.net);
+        std::string reply = poll.substr(1, 8);
+        reply += service::statsToJson(m, service::windowNowS());
+        [[maybe_unused]] ssize_t n = ::send(feed_fd, reply.data(),
+                                            reply.size(), MSG_NOSIGNAL);
+    }
+
+    /** Shard child: drain connection fds (and stat polls) off the feed
+     * channel. Returns false on channel EOF (graceful-shutdown cue). */
     bool
     handleFeed()
     {
         for (;;) {
-            int fd = recvFd(feed_fd);
+            std::string data;
+            int fd = recvFd(feed_fd, &data);
             if (fd == -1)
                 return true; // EAGAIN
             if (fd == -2)
                 return false; // EOF: parent is shutting down
+            if (fd == -3) {
+                answerStatPoll(data);
+                continue;
+            }
             adoptConnection(fd);
         }
     }
@@ -1067,10 +1188,27 @@ dumpMetrics(const service::ServiceMetrics &m, bool json)
         std::cout << m.toTable();
 }
 
+/** Arm the flight-recorder spool for this serving process (@p shard
+ * >= 0 selects a per-shard subdirectory). No-op when disabled. */
+void
+armFlightRecorder(const ServeOptions &opts, int shard)
+{
+    if (opts.flightrec_dir.empty())
+        return;
+    flightrec::SpoolConfig cfg;
+    cfg.dir = opts.flightrec_dir;
+    if (shard >= 0)
+        cfg.dir += "/shard-" + std::to_string(shard);
+    cfg.max_bytes = opts.flightrec_max_bytes;
+    cfg.slow_us = opts.flightrec_slow_ms * 1000;
+    flightrec::armSpool(cfg);
+}
+
 int
 runSingleServe(const ServeOptions &opts)
 {
     sigset_t set = blockTermSignals();
+    armFlightRecorder(opts, /*shard=*/-1);
     Server server(opts.server);
     server.start();
     std::cout << "mdesc serve: listening on " << opts.server.host << ":"
@@ -1093,6 +1231,7 @@ runShardChild(const ServeOptions &opts, unsigned shard, int feed_fd)
 {
     int code = 0;
     try {
+        armFlightRecorder(opts, int(shard));
         ServerConfig cfg = opts.server;
         cfg.conn_feed_fd = feed_fd;
         cfg.inherit_listen_fd = -1;
@@ -1189,6 +1328,126 @@ runShardedServe(const ServeOptions &opts)
         sendFd(chans[size_t(shard % nshards)], fd);
         ::close(fd);
     };
+
+    // Fleet stats (DESIGN.md §14): poll every shard over its feed
+    // channel ('s' + seq datagram), collect replies until @p timeout_ms,
+    // and merge what answered. A shard that misses the deadline is
+    // reported stale, never waited on - a partial fleet view beats a
+    // blocked router. Replies carry the seq so a late answer from an
+    // earlier poll is discarded instead of being mistaken for a fresh
+    // one.
+    uint64_t stat_seq = 0;
+    auto pollFleet = [&](int timeout_ms) {
+        uint64_t seq = ++stat_seq;
+        std::string pollmsg(1, 's');
+        for (int b = 0; b < 8; ++b)
+            pollmsg.push_back(char((seq >> (8 * b)) & 0xff));
+        std::vector<std::string> answers(chans.size());
+        std::vector<bool> done_shard(chans.size(), false);
+        size_t remaining = 0;
+        for (size_t i = 0; i < chans.size(); ++i) {
+            if (::send(chans[i], pollmsg.data(), pollmsg.size(),
+                       MSG_NOSIGNAL) == ssize_t(pollmsg.size()))
+                ++remaining;
+            else
+                done_shard[i] = true; // dead shard: stays stale
+        }
+        std::string buf(1 << 16, '\0');
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+        while (remaining > 0) {
+            auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+            if (left <= 0)
+                break;
+            std::vector<pollfd> pfds(chans.size());
+            for (size_t i = 0; i < chans.size(); ++i)
+                pfds[i] = {chans[i],
+                           short(done_shard[i] ? 0 : POLLIN), 0};
+            int pr = ::poll(pfds.data(), nfds_t(pfds.size()), int(left));
+            if (pr < 0 && errno == EINTR)
+                continue;
+            if (pr <= 0)
+                break;
+            for (size_t i = 0; i < chans.size(); ++i) {
+                if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                    continue;
+                ssize_t n = ::recv(chans[i], buf.data(), buf.size(), 0);
+                if (n <= 0) {
+                    if (n < 0 &&
+                        (errno == EAGAIN || errno == EWOULDBLOCK ||
+                         errno == EINTR))
+                        continue;
+                    done_shard[i] = true; // channel dead: stale
+                    --remaining;
+                    continue;
+                }
+                if (size_t(n) < 9)
+                    continue; // runt datagram: discard
+                uint64_t rseq = 0;
+                for (int b = 0; b < 8; ++b)
+                    rseq |= uint64_t(uint8_t(buf[b])) << (8 * b);
+                if (rseq != seq)
+                    continue; // late reply to an earlier poll
+                answers[i].assign(buf.data() + 8, size_t(n) - 8);
+                done_shard[i] = true;
+                --remaining;
+            }
+        }
+        return service::mergeShardStats(answers,
+                                        service::windowNowS());
+    };
+
+    // A binary STAT connection is the parent's to answer: consume the
+    // (empty-payload) frame we peeked, poll the fleet, write one
+    // Response frame with the merged view, close. One poll per
+    // connection keeps the router loop trivially non-reentrant; `mdesc
+    // top` reconnects per refresh.
+    auto answerStatConn = [&](int fd, const char *hdr) {
+        char sink[kHeaderSize];
+        if (recv(fd, sink, sizeof(sink), 0) != ssize_t(kHeaderSize)) {
+            ::close(fd);
+            return;
+        }
+        uint64_t wire_id = 0;
+        for (int b = 0; b < 8; ++b)
+            wire_id |= uint64_t(uint8_t(hdr[16 + b])) << (8 * b);
+        Frame f;
+        f.type = FrameType::Response;
+        f.id = wire_id;
+        f.payload = pollFleet(/*timeout_ms=*/300);
+        std::string wire = encodeFrame(f);
+        size_t off = 0;
+        auto wdeadline = std::chrono::steady_clock::now() +
+                         std::chrono::seconds(2);
+        while (off < wire.size()) {
+            ssize_t w = ::send(fd, wire.data() + off, wire.size() - off,
+                               MSG_NOSIGNAL);
+            if (w > 0) {
+                off += size_t(w);
+                continue;
+            }
+            if (w < 0 && errno == EINTR)
+                continue;
+            if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                auto left = std::chrono::duration_cast<
+                                std::chrono::milliseconds>(
+                                wdeadline -
+                                std::chrono::steady_clock::now())
+                                .count();
+                if (left <= 0)
+                    break; // peer not reading: drop it
+                pollfd p{fd, POLLOUT, 0};
+                ::poll(&p, 1, int(left));
+                continue;
+            }
+            break;
+        }
+        ::close(fd);
+    };
+
     // Decide a shard from peeked bytes. Returns false when more bytes
     // are needed (binary header incomplete).
     auto route = [&](RoutingConn &rc) {
@@ -1205,6 +1464,18 @@ runShardedServe(const ServeOptions &opts)
         if (hdr[0] == kMagic[0]) {
             if (size_t(n) < kHeaderSize)
                 return true; // wait for the full header
+            uint32_t payload_len = 0;
+            for (int i = 0; i < 4; ++i)
+                payload_len |= uint32_t(uint8_t(hdr[8 + i])) << (8 * i);
+            if (uint8_t(hdr[5]) == uint8_t(FrameType::Stat) &&
+                payload_len == 0) {
+                // Fleet stats: answered here, with all shards merged.
+                // (A Stat with a payload is left to a shard, which
+                // answers with its local view.)
+                answerStatConn(rc.fd, hdr);
+                rc.fd = -1;
+                return false;
+            }
             uint64_t key = 0;
             for (int i = 0; i < 8; ++i)
                 key |= uint64_t(uint8_t(hdr[24 + i])) << (8 * i);

@@ -133,6 +133,16 @@ struct ServeOptions
     unsigned shards = 0;
     /** Dump metrics as JSON instead of tables on shutdown. */
     bool json_metrics = false;
+
+    /** Flight-recorder spool directory ("" disables tail capture).
+     * Shard children append "/shard-N" so concurrent processes never
+     * fight over one directory's byte-cap accounting. */
+    std::string flightrec_dir = "flightrec";
+    /** Spool byte cap (oldest captures evicted first). */
+    size_t flightrec_max_bytes = 8 << 20;
+    /** Latency above which an otherwise-successful request's trace is
+     * spooled (0 = only errors trigger capture). */
+    uint64_t flightrec_slow_ms = 500;
 };
 
 /**

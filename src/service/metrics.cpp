@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
 
 #include "support/json.h"
@@ -67,18 +68,129 @@ StageLatency::approxPercentileUs(double q) const
         rank = 1;
     uint64_t seen = 0;
     for (uint64_t b = 0; b <= log2_us.maxValue(); ++b) {
-        seen += log2_us.countAt(b);
-        if (seen >= rank) {
-            // Upper edge of bucket b = 2^b - 1 us (bucket 0 is 0 us),
-            // clamped to the observed maximum so the tail bucket does
-            // not overstate by the full power of two.
-            uint64_t edge =
-                b == 0 ? 0
-                       : (b >= 64 ? UINT64_MAX : (1ull << b) - 1);
-            return edge < max_us ? edge : max_us;
-        }
+        const uint64_t here = log2_us.countAt(b);
+        seen += here;
+        if (seen < rank)
+            continue;
+        if (b == 0)
+            return 0; // the zero-microsecond bucket
+        const uint64_t lo = b == 1 ? 1 : (1ull << (b - 1));
+        const uint64_t hi = b >= 64 ? UINT64_MAX : (1ull << b) - 1;
+        // Interpolate within the bucket: its `here` samples are
+        // assumed evenly spread over [lo, hi], and the rank-th sits
+        // pos/here of the way up. The old upper-edge answer overstated
+        // by the full bucket width (2x at the coarse tail buckets).
+        const uint64_t pos = rank - (seen - here);
+        uint64_t est = lo;
+        if (hi > lo)
+            est += uint64_t(double(hi - lo) *
+                            (double(pos) / double(here)));
+        return est < max_us ? est : max_us;
     }
     return max_us;
+}
+
+uint64_t
+windowNowS()
+{
+    // steady_clock is CLOCK_MONOTONIC on Linux: one machine-wide
+    // origin, so epochs agree across forked shard processes.
+    return uint64_t(std::chrono::duration_cast<std::chrono::seconds>(
+                        std::chrono::steady_clock::now()
+                            .time_since_epoch())
+                        .count());
+}
+
+MetricsWindow &
+WindowRing::claim(uint64_t now_s)
+{
+    const uint64_t epoch = now_s / kWindowSeconds;
+    MetricsWindow &slot = slots_[epoch % kWindowSlots];
+    if (slot.epoch != epoch) {
+        // Rotation: evict the slot's previous (ring-length-old)
+        // tenant. Its deltas are already past every horizon.
+        slot = MetricsWindow{};
+        slot.epoch = epoch;
+    }
+    return slot;
+}
+
+void
+WindowRing::record(uint64_t now_s, ErrorCode code, uint64_t total_us)
+{
+    MetricsWindow &slot = claim(now_s);
+    ++slot.requests;
+    if (code == ErrorCode::Ok)
+        ++slot.ok;
+    else
+        ++slot.errors;
+    slot.total.record(total_us);
+}
+
+void
+WindowRing::recordShed(uint64_t now_s, uint64_t n)
+{
+    MetricsWindow &slot = claim(now_s);
+    slot.requests += n;
+    slot.errors += n;
+    slot.shed += n;
+}
+
+void
+WindowRing::merge(const WindowRing &other)
+{
+    for (size_t i = 0; i < kWindowSlots; ++i) {
+        const MetricsWindow &theirs = other.slots_[i];
+        if (theirs.epoch == 0)
+            continue;
+        MetricsWindow &mine = slots_[i];
+        if (mine.epoch == theirs.epoch) {
+            mine.requests += theirs.requests;
+            mine.ok += theirs.ok;
+            mine.errors += theirs.errors;
+            mine.shed += theirs.shed;
+            mine.total.merge(theirs.total);
+        } else if (theirs.epoch > mine.epoch) {
+            mine = theirs;
+        }
+        // theirs.epoch < mine.epoch: stale by a full ring; drop.
+    }
+}
+
+WindowView
+WindowRing::over(uint64_t now_s, uint64_t horizon_s) const
+{
+    WindowView view;
+    view.horizon_s = horizon_s;
+    const uint64_t cur = now_s / kWindowSeconds;
+    uint64_t span = horizon_s / kWindowSeconds;
+    if (span == 0)
+        span = 1;
+    // Leave one slot of slack so a claim racing this snapshot can
+    // only touch a slot already outside the horizon.
+    if (span > kWindowSlots - 1)
+        span = kWindowSlots - 1;
+    const uint64_t min_epoch = cur >= span - 1 ? cur - (span - 1) : 0;
+    for (const MetricsWindow &slot : slots_) {
+        if (slot.epoch == 0 || slot.epoch < min_epoch ||
+            slot.epoch > cur)
+            continue;
+        view.requests += slot.requests;
+        view.ok += slot.ok;
+        view.errors += slot.errors;
+        view.shed += slot.shed;
+        view.total.merge(slot.total);
+    }
+    return view;
+}
+
+bool
+WindowRing::empty() const
+{
+    for (const MetricsWindow &slot : slots_)
+        if (slot.epoch != 0 && slot.requests != 0)
+            return false;
+    return true;
 }
 
 void
@@ -125,6 +237,8 @@ NetStats::merge(const NetStats &other)
     deadline_expired += other.deadline_expired;
     backpressure_stalls += other.backpressure_stalls;
     cancelled_on_close += other.cancelled_on_close;
+    stats_requests += other.stats_requests;
+    stats_coalesced += other.stats_coalesced;
 }
 
 void
@@ -159,6 +273,7 @@ ServiceMetrics::merge(const ServiceMetrics &other)
     schedule.merge(other.schedule);
     total.merge(other.total);
     queue_wait.merge(other.queue_wait);
+    windows.merge(other.windows);
     ops_scheduled += other.ops_scheduled;
     blocks_scheduled += other.blocks_scheduled;
     total_schedule_length += other.total_schedule_length;
@@ -239,6 +354,35 @@ rankedConflicts(const std::map<std::string, uint64_t> &conflicts)
                          return a.second > b.second;
                      });
     return ranked;
+}
+
+void
+addWindowRow(TextTable &table, const char *name, const WindowView &v)
+{
+    table.addRow({name, std::to_string(v.requests),
+                  TextTable::num(v.ratePerS(), 1),
+                  std::to_string(v.errors), std::to_string(v.shed),
+                  std::to_string(v.total.approxPercentileUs(0.50)),
+                  std::to_string(v.total.approxPercentileUs(0.95)),
+                  std::to_string(v.total.approxPercentileUs(0.99))});
+}
+
+void
+jsonWindowView(JsonWriter &w, const char *name, const WindowView &v)
+{
+    w.key(name).beginObject();
+    w.key("horizon_s").value(v.horizon_s);
+    w.key("requests").value(v.requests);
+    w.key("ok").value(v.ok);
+    w.key("errors").value(v.errors);
+    w.key("shed").value(v.shed);
+    w.key("rate_per_s").value(v.ratePerS());
+    w.key("p50_us").value(v.total.approxPercentileUs(0.50));
+    w.key("p95_us").value(v.total.approxPercentileUs(0.95));
+    w.key("p99_us").value(v.total.approxPercentileUs(0.99));
+    w.key("mean_us").value(v.total.meanUs());
+    w.key("max_us").value(v.total.max_us);
+    w.endObject();
 }
 
 void
@@ -334,6 +478,16 @@ ServiceMetrics::toTable() const
     addLatencyRow(lat, "schedule", schedule);
     addLatencyRow(lat, "total", total);
     out += lat.toString();
+
+    if (!windows.empty()) {
+        const uint64_t now_s = windowNowS();
+        TextTable win;
+        win.setHeader({"Window", "Requests", "Rate/s", "Errors", "Shed",
+                       "p50 us", "p95 us", "p99 us"});
+        addWindowRow(win, "last 10s", windows.over(now_s, 10));
+        addWindowRow(win, "last 60s", windows.over(now_s, 60));
+        out += win.toString();
+    }
 
     TextTable sched;
     sched.setHeader({"Ops Scheduled", "Blocks", "Total Length",
@@ -446,13 +600,17 @@ ServiceMetrics::toTable() const
                        std::to_string(net.bad_requests)});
         out += frames.toString();
 
-        if (net.shed || net.deadline_expired || net.cancelled_on_close) {
+        if (net.shed || net.deadline_expired || net.cancelled_on_close ||
+            net.stats_requests) {
             TextTable pressure;
             pressure.setHeader({"Net Shed", "Deadline Expired",
-                                "Cancelled On Close"});
+                                "Cancelled On Close", "Stats Reqs",
+                                "Stats Coalesced"});
             pressure.addRow({std::to_string(net.shed),
                              std::to_string(net.deadline_expired),
-                             std::to_string(net.cancelled_on_close)});
+                             std::to_string(net.cancelled_on_close),
+                             std::to_string(net.stats_requests),
+                             std::to_string(net.stats_coalesced)});
             out += pressure.toString();
         }
     }
@@ -517,6 +675,14 @@ ServiceMetrics::toJson() const
     jsonLatency(w, "schedule", schedule);
     jsonLatency(w, "total", total);
     w.endObject();
+    {
+        const uint64_t now_s = windowNowS();
+        w.key("windows").beginObject();
+        w.key("now_s").value(now_s);
+        jsonWindowView(w, "w10", windows.over(now_s, 10));
+        jsonWindowView(w, "w60", windows.over(now_s, 60));
+        w.endObject();
+    }
     w.key("scheduling").beginObject();
     w.key("ops_scheduled").value(ops_scheduled);
     w.key("blocks_scheduled").value(blocks_scheduled);
@@ -586,6 +752,8 @@ ServiceMetrics::toJson() const
         w.key("deadline_expired").value(net.deadline_expired);
         w.key("backpressure_stalls").value(net.backpressure_stalls);
         w.key("cancelled_on_close").value(net.cancelled_on_close);
+        w.key("stats_requests").value(net.stats_requests);
+        w.key("stats_coalesced").value(net.stats_coalesced);
         w.endObject();
     }
     w.endObject();

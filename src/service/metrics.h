@@ -16,6 +16,7 @@
  * for second-long requests: bucket b covers [2^(b-1), 2^b) us.
  */
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -76,12 +77,112 @@ struct StageLatency
 
     /**
      * Approximate @p q-quantile (q in [0,1]) in microseconds from the
-     * power-of-two buckets: the upper edge of the bucket holding the
-     * q-th sample. Conservative (never under-reports) and within 2x of
-     * the true value - exactly what a "p99 stays bounded" assertion
-     * needs. Returns 0 for an empty series.
+     * power-of-two buckets. The q-th sample's bucket is located by
+     * nearest rank, then the estimate interpolates linearly *within*
+     * the bucket (samples assumed evenly spread across [2^(b-1),
+     * 2^b)), clamped to the observed maximum. Error is bounded by the
+     * sample spread inside one bucket instead of the full bucket
+     * width, which matters at the coarse tail buckets where the old
+     * upper-edge answer overstated p99 by up to 2x. Returns 0 for an
+     * empty series.
      */
     uint64_t approxPercentileUs(double q) const;
+};
+
+// --- Sliding-window telemetry ------------------------------------------
+//
+// Lifetime histograms answer "how has this process behaved since
+// start"; a dashboard needs "how is it behaving *now*". Each worker's
+// metrics carry a small ring of per-10s delta windows: a request lands
+// in the slot for epoch now_s/10, claiming (and resetting) the slot
+// when its previous tenant is older. A snapshot sums the slots inside
+// a horizon (last 10s / last 60s) into current rates and percentiles;
+// as epochs age out of the horizon the windowed view decays to zero
+// while the lifetime histograms stay monotone.
+//
+// Slots are keyed by absolute epoch (slot index = epoch % kWindowSlots)
+// so windows merge across workers - and across forked shard processes,
+// whose steady clocks share the same machine-wide origin - slot by
+// slot with Histogram::merge.
+
+/** Window width. Every window boundary is a multiple of this. */
+inline constexpr uint64_t kWindowSeconds = 10;
+/** Ring length: 60s horizon plus one slot of rotation slack. */
+inline constexpr size_t kWindowSlots = 7;
+
+/** Monotonic seconds for window epochs (machine-wide CLOCK_MONOTONIC
+ * base, so forked shards stamp the same epoch at the same instant). */
+uint64_t windowNowS();
+
+/** One 10-second delta window. epoch == 0 means "empty slot". */
+struct MetricsWindow
+{
+    uint64_t epoch = 0;
+    uint64_t requests = 0;
+    uint64_t ok = 0;
+    uint64_t errors = 0;
+    uint64_t shed = 0;
+    /** End-to-end request latency deltas for this window. */
+    StageLatency total;
+};
+
+/** Aggregate of the windows inside one horizon. */
+struct WindowView
+{
+    uint64_t horizon_s = 0;
+    uint64_t requests = 0;
+    uint64_t ok = 0;
+    uint64_t errors = 0;
+    uint64_t shed = 0;
+    StageLatency total;
+
+    double
+    ratePerS() const
+    {
+        return horizon_s ? double(requests) / double(horizon_s) : 0.0;
+    }
+};
+
+/** The rotating ring of per-10s windows. */
+class WindowRing
+{
+  public:
+    /** Record one completed request into the window for @p now_s. */
+    void record(uint64_t now_s, ErrorCode code, uint64_t total_us);
+
+    /** Record @p n admission-shed submissions into @p now_s's window
+     * (counted as requests and errors; no latency sample). */
+    void recordShed(uint64_t now_s, uint64_t n);
+
+    /** Slot-wise merge keyed by epoch: equal epochs sum (histograms
+     * via Histogram::merge), a newer epoch replaces, an older one is
+     * stale and ignored. */
+    void merge(const WindowRing &other);
+
+    /** Sum of the windows covering the last @p horizon_s seconds
+     * ending at @p now_s (epoch granularity; horizon capped at the
+     * ring length). */
+    WindowView over(uint64_t now_s, uint64_t horizon_s) const;
+
+    /** True when no window holds any data. */
+    bool empty() const;
+
+    /** Slot access for serialization (stats protocol) and tests. */
+    const MetricsWindow &
+    slot(size_t i) const
+    {
+        return slots_[i];
+    }
+    MetricsWindow &
+    slot(size_t i)
+    {
+        return slots_[i];
+    }
+
+  private:
+    MetricsWindow &claim(uint64_t now_s);
+
+    std::array<MetricsWindow, kWindowSlots> slots_{};
 };
 
 /** Cumulative transform-pipeline effect totals, summed across the
@@ -152,6 +253,13 @@ struct NetStats
     /** In-flight requests cancelled because their connection closed. */
     uint64_t cancelled_on_close = 0;
 
+    /** Stats (STAT frame / {"op":"stats"}) requests served. */
+    uint64_t stats_requests = 0;
+    /** Stats requests coalesced because an earlier stats response was
+     * still draining on the same connection (the reply they got
+     * carries the latest request's id and a fresh snapshot). */
+    uint64_t stats_coalesced = 0;
+
     void merge(const NetStats &other);
 };
 
@@ -164,6 +272,9 @@ struct ServiceMetrics
 
     /** Filled from DescriptionCache::stats() at snapshot time. */
     DescriptionCache::Stats cache;
+
+    /** Per-10s delta windows behind the live ("now") view. */
+    WindowRing windows;
 
     StageLatency compile;
     StageLatency workload;

@@ -11,6 +11,7 @@
 #include "sched/dep_graph.h"
 #include "sched/verify.h"
 #include "support/faultsim.h"
+#include "support/flightrec.h"
 #include "support/trace.h"
 #include "workload/sasm.h"
 #include "workload/workload.h"
@@ -145,6 +146,10 @@ MdesService::submit(ScheduleRequest request, Completion on_complete)
     }
     if (shed) {
         requests_shed_.fetch_add(1, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(shed_windows_mu_);
+            shed_windows_.recordShed(windowNowS(), 1);
+        }
         ScheduleResponse resp;
         resp.machine = job->request.machine;
         resp.error = {ErrorCode::Overloaded,
@@ -229,6 +234,10 @@ MdesService::metricsSnapshot() const
     // Shed submissions never reach a worker, so fold them in here
     // through the single authority for the shed/Overloaded pairing.
     merged.recordShed(requests_shed_.load(std::memory_order_relaxed));
+    {
+        std::lock_guard<std::mutex> lock(shed_windows_mu_);
+        merged.windows.merge(shed_windows_);
+    }
     // Injection-site telemetry (all zero when faultsim is disarmed and
     // nothing fired since the last install).
     auto site_counters = faultsim::counters();
@@ -256,8 +265,35 @@ MdesService::workerLoop(Worker &worker)
             job = std::move(queue_.front());
             queue_.pop_front();
         }
-        deliver(*job, process(*job, worker.metrics, worker.metrics_mu));
+        ScheduleResponse resp =
+            process(*job, worker.metrics, worker.metrics_mu);
+        const ErrorCode code = resp.error.code;
+        const uint64_t latency_us = elapsedUs(job->enqueued);
+        deliver(*job, std::move(resp));
+        // Tail capture after delivery so spool I/O never adds to the
+        // caller-observed latency. The request's spans (including the
+        // "request" span process() just closed) are still in this
+        // thread's flight-recorder ring.
+        maybeSpoolFlight(job->id, code, latency_us);
     }
+}
+
+void
+MdesService::maybeSpoolFlight(RequestId id, ErrorCode code,
+                              uint64_t latency_us)
+{
+    if (!flightrec::spoolArmed())
+        return;
+    const char *reason = nullptr;
+    if (code != ErrorCode::Ok) {
+        reason = errorCodeName(code);
+    } else {
+        const uint64_t slow_us = flightrec::slowThresholdUs();
+        if (slow_us != 0 && latency_us > slow_us)
+            reason = "slow";
+    }
+    if (reason != nullptr)
+        flightrec::spool(id, reason);
 }
 
 ScheduleResponse
@@ -321,6 +357,7 @@ MdesService::process(Job &job, ServiceMetrics &metrics,
         if (timed_schedule)
             metrics.schedule.record(schedule_us);
         metrics.total.record(total_us);
+        metrics.windows.record(windowNowS(), resp.error.code, total_us);
         metrics.ops_scheduled += resp.stats.ops_scheduled;
         metrics.blocks_scheduled +=
             resp.schedules.size() + resp.modulo.size();

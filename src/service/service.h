@@ -318,6 +318,10 @@ class MdesService
     void workerLoop(Worker &worker);
     ScheduleResponse process(Job &job, ServiceMetrics &metrics,
                              std::mutex &metrics_mu);
+    /** Flight-recorder tail capture: spool the request's ring events
+     * when it errored or exceeded the armed latency threshold. */
+    static void maybeSpoolFlight(RequestId id, ErrorCode code,
+                                 uint64_t latency_us);
     /** Hand @p resp to the job's waiter (promise) or callback. */
     void deliver(Job &job, ScheduleResponse resp);
 
@@ -333,6 +337,10 @@ class MdesService
     std::atomic<RequestId> next_id_{1};
     /** Submissions rejected by the admission-queue bound. */
     std::atomic<uint64_t> requests_shed_{0};
+    /** Windowed view of shed submissions (they never reach a worker,
+     * so the per-worker window rings cannot see them). */
+    mutable std::mutex shed_windows_mu_;
+    WindowRing shed_windows_;
     size_t max_queue_ = 0;
 
     std::vector<std::unique_ptr<Worker>> workers_;

@@ -1,0 +1,382 @@
+#include "service/stats.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+#include "support/json.h"
+#include "support/text_table.h"
+
+namespace mdes::service {
+
+namespace {
+
+/** Serialize one StageLatency as count/total_us/max_us/buckets keys
+ * into the currently open object. */
+void
+writeSeries(JsonWriter &w, const StageLatency &s)
+{
+    w.key("count").value(s.count);
+    w.key("total_us").value(s.total_us);
+    w.key("max_us").value(s.max_us);
+    w.key("buckets").beginArray();
+    for (uint64_t b = 0; b <= s.log2_us.maxValue(); ++b)
+        w.value(s.log2_us.countAt(b));
+    w.endArray();
+}
+
+void
+writeView(JsonWriter &w, const char *name, const WindowView &v)
+{
+    w.key(name).beginObject();
+    w.key("horizon_s").value(v.horizon_s);
+    w.key("requests").value(v.requests);
+    w.key("ok").value(v.ok);
+    w.key("errors").value(v.errors);
+    w.key("shed").value(v.shed);
+    w.key("rate_per_s").value(v.ratePerS());
+    w.key("p50_us").value(v.total.approxPercentileUs(0.50));
+    w.key("p95_us").value(v.total.approxPercentileUs(0.95));
+    w.key("p99_us").value(v.total.approxPercentileUs(0.99));
+    w.key("mean_us").value(v.total.meanUs());
+    w.key("max_us").value(v.total.max_us);
+    w.endObject();
+}
+
+uint64_t
+u64Field(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.find(key);
+    return v != nullptr && v->kind == JsonValue::Kind::Number
+               ? jsonU64(*v)
+               : 0;
+}
+
+/** Reconstruct a StageLatency from count/total_us/max_us/buckets. */
+StageLatency
+parseSeries(const JsonValue &obj)
+{
+    StageLatency s;
+    s.count = u64Field(obj, "count");
+    s.total_us = u64Field(obj, "total_us");
+    s.max_us = u64Field(obj, "max_us");
+    if (const JsonValue *buckets = obj.find("buckets");
+        buckets != nullptr && buckets->kind == JsonValue::Kind::Array) {
+        for (size_t b = 0; b < buckets->array.size(); ++b) {
+            if (buckets->array[b].kind == JsonValue::Kind::Number)
+                s.log2_us.addCount(b, jsonU64(buckets->array[b]));
+        }
+    }
+    return s;
+}
+
+const JsonValue &
+requireObject(const JsonValue *v, const char *what)
+{
+    if (v == nullptr || v->kind != JsonValue::Kind::Object)
+        throw MdesError(std::string("stats document: missing object ") +
+                        what);
+    return *v;
+}
+
+} // namespace
+
+StatSnapshot
+makeStatSnapshot(const ServiceMetrics &metrics, uint64_t now_s)
+{
+    StatSnapshot snap;
+    snap.now_s = now_s;
+    snap.shards = 1;
+    snap.requests = metrics.requests;
+    snap.ok = metrics.ok;
+    uint64_t errors = 0;
+    for (size_t i = 1; i < size_t(ErrorCode::kNumCodes); ++i)
+        errors += metrics.errors[i];
+    snap.errors = errors;
+    snap.shed = metrics.requests_shed;
+    snap.lifetime_total = metrics.total;
+    snap.windows = metrics.windows;
+    snap.net.enabled = metrics.net.enabled;
+    snap.net.active = metrics.net.active;
+    snap.net.accepted = metrics.net.accepted;
+    snap.net.frames_in = metrics.net.frames_in;
+    snap.net.frames_out = metrics.net.frames_out;
+    snap.net.stats_requests = metrics.net.stats_requests;
+    snap.net.stats_coalesced = metrics.net.stats_coalesced;
+    return snap;
+}
+
+std::string
+statsToJson(const StatSnapshot &snap)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("now_s").value(snap.now_s);
+    w.key("shards").value(snap.shards);
+    w.key("stale_shards").value(snap.stale_shards);
+
+    w.key("lifetime").beginObject();
+    w.key("requests").value(snap.requests);
+    w.key("ok").value(snap.ok);
+    w.key("errors").value(snap.errors);
+    w.key("shed").value(snap.shed);
+    writeSeries(w, snap.lifetime_total);
+    w.key("p50_us").value(snap.lifetime_total.approxPercentileUs(0.50));
+    w.key("p95_us").value(snap.lifetime_total.approxPercentileUs(0.95));
+    w.key("p99_us").value(snap.lifetime_total.approxPercentileUs(0.99));
+    w.endObject();
+
+    w.key("windows").beginObject();
+    w.key("slots").beginArray();
+    for (size_t i = 0; i < kWindowSlots; ++i) {
+        const MetricsWindow &slot = snap.windows.slot(i);
+        if (slot.epoch == 0)
+            continue;
+        w.beginObject();
+        w.key("epoch").value(slot.epoch);
+        w.key("requests").value(slot.requests);
+        w.key("ok").value(slot.ok);
+        w.key("errors").value(slot.errors);
+        w.key("shed").value(slot.shed);
+        writeSeries(w, slot.total);
+        w.endObject();
+    }
+    w.endArray();
+    writeView(w, "w10", snap.windows.over(snap.now_s, 10));
+    writeView(w, "w60", snap.windows.over(snap.now_s, 60));
+    w.endObject();
+
+    w.key("net").beginObject();
+    w.key("enabled").value(snap.net.enabled);
+    w.key("active").value(snap.net.active);
+    w.key("accepted").value(snap.net.accepted);
+    w.key("frames_in").value(snap.net.frames_in);
+    w.key("frames_out").value(snap.net.frames_out);
+    w.key("stats_requests").value(snap.net.stats_requests);
+    w.key("stats_coalesced").value(snap.net.stats_coalesced);
+    w.endObject();
+
+    if (!snap.per_shard.empty()) {
+        w.key("per_shard").beginArray();
+        for (const StatSnapshot::ShardRow &row : snap.per_shard) {
+            w.beginObject();
+            w.key("shard").value(row.shard);
+            w.key("stale").value(row.stale);
+            w.key("requests").value(row.requests);
+            w.key("w60_requests").value(row.w60_requests);
+            w.key("w60_rate_per_s").value(row.w60_rate_per_s);
+            w.key("w60_p99_us").value(row.w60_p99_us);
+            w.endObject();
+        }
+        w.endArray();
+    }
+    w.endObject();
+    return w.str();
+}
+
+std::string
+statsToJson(const ServiceMetrics &metrics, uint64_t now_s)
+{
+    return statsToJson(makeStatSnapshot(metrics, now_s));
+}
+
+StatSnapshot
+parseStats(const std::string &json)
+{
+    const JsonValue doc = parseJson(json);
+    if (doc.kind != JsonValue::Kind::Object)
+        throw MdesError("stats document: not a JSON object");
+
+    StatSnapshot snap;
+    snap.now_s = u64Field(doc, "now_s");
+    snap.shards = u64Field(doc, "shards");
+    if (snap.shards == 0)
+        snap.shards = 1;
+    snap.stale_shards = u64Field(doc, "stale_shards");
+
+    const JsonValue &lifetime =
+        requireObject(doc.find("lifetime"), "lifetime");
+    snap.requests = u64Field(lifetime, "requests");
+    snap.ok = u64Field(lifetime, "ok");
+    snap.errors = u64Field(lifetime, "errors");
+    snap.shed = u64Field(lifetime, "shed");
+    snap.lifetime_total = parseSeries(lifetime);
+
+    const JsonValue &windows =
+        requireObject(doc.find("windows"), "windows");
+    if (const JsonValue *slots = windows.find("slots");
+        slots != nullptr && slots->kind == JsonValue::Kind::Array) {
+        for (const JsonValue &sv : slots->array) {
+            if (sv.kind != JsonValue::Kind::Object)
+                continue;
+            const uint64_t epoch = u64Field(sv, "epoch");
+            if (epoch == 0)
+                continue;
+            MetricsWindow parsed;
+            parsed.epoch = epoch;
+            parsed.requests = u64Field(sv, "requests");
+            parsed.ok = u64Field(sv, "ok");
+            parsed.errors = u64Field(sv, "errors");
+            parsed.shed = u64Field(sv, "shed");
+            parsed.total = parseSeries(sv);
+            // Same placement rule as live recording: epoch % slots.
+            MetricsWindow &slot =
+                snap.windows.slot(size_t(epoch % kWindowSlots));
+            if (slot.epoch == epoch) {
+                slot.requests += parsed.requests;
+                slot.ok += parsed.ok;
+                slot.errors += parsed.errors;
+                slot.shed += parsed.shed;
+                slot.total.merge(parsed.total);
+            } else if (epoch > slot.epoch) {
+                slot = std::move(parsed);
+            }
+        }
+    }
+
+    if (const JsonValue *net = doc.find("net");
+        net != nullptr && net->kind == JsonValue::Kind::Object) {
+        const JsonValue *enabled = net->find("enabled");
+        snap.net.enabled = enabled != nullptr &&
+                           enabled->kind == JsonValue::Kind::Bool &&
+                           enabled->boolean;
+        snap.net.active = u64Field(*net, "active");
+        snap.net.accepted = u64Field(*net, "accepted");
+        snap.net.frames_in = u64Field(*net, "frames_in");
+        snap.net.frames_out = u64Field(*net, "frames_out");
+        snap.net.stats_requests = u64Field(*net, "stats_requests");
+        snap.net.stats_coalesced = u64Field(*net, "stats_coalesced");
+    }
+
+    if (const JsonValue *rows = doc.find("per_shard");
+        rows != nullptr && rows->kind == JsonValue::Kind::Array) {
+        for (const JsonValue &rv : rows->array) {
+            if (rv.kind != JsonValue::Kind::Object)
+                continue;
+            StatSnapshot::ShardRow row;
+            row.shard = u64Field(rv, "shard");
+            const JsonValue *stale = rv.find("stale");
+            row.stale = stale != nullptr &&
+                        stale->kind == JsonValue::Kind::Bool &&
+                        stale->boolean;
+            row.requests = u64Field(rv, "requests");
+            row.w60_requests = u64Field(rv, "w60_requests");
+            if (const JsonValue *rate = rv.find("w60_rate_per_s");
+                rate != nullptr &&
+                rate->kind == JsonValue::Kind::Number)
+                row.w60_rate_per_s = rate->number;
+            row.w60_p99_us = u64Field(rv, "w60_p99_us");
+            snap.per_shard.push_back(row);
+        }
+    }
+    return snap;
+}
+
+std::string
+mergeShardStats(const std::vector<std::string> &shard_jsons,
+                uint64_t now_s)
+{
+    StatSnapshot fleet;
+    fleet.now_s = now_s;
+    fleet.shards = 0;
+    for (size_t i = 0; i < shard_jsons.size(); ++i) {
+        StatSnapshot::ShardRow row;
+        row.shard = uint64_t(i);
+        if (shard_jsons[i].empty()) {
+            row.stale = true;
+            ++fleet.stale_shards;
+            fleet.per_shard.push_back(row);
+            continue;
+        }
+        StatSnapshot shard;
+        try {
+            shard = parseStats(shard_jsons[i]);
+        } catch (const std::exception &) {
+            row.stale = true;
+            ++fleet.stale_shards;
+            fleet.per_shard.push_back(row);
+            continue;
+        }
+        ++fleet.shards;
+        fleet.requests += shard.requests;
+        fleet.ok += shard.ok;
+        fleet.errors += shard.errors;
+        fleet.shed += shard.shed;
+        // The fleet distribution is the merge of the shard
+        // distributions (Histogram::merge underneath) - percentiles
+        // are computed over the merged buckets, never averaged.
+        fleet.lifetime_total.merge(shard.lifetime_total);
+        fleet.windows.merge(shard.windows);
+        fleet.net.enabled = fleet.net.enabled || shard.net.enabled;
+        fleet.net.active += shard.net.active;
+        fleet.net.accepted += shard.net.accepted;
+        fleet.net.frames_in += shard.net.frames_in;
+        fleet.net.frames_out += shard.net.frames_out;
+        fleet.net.stats_requests += shard.net.stats_requests;
+        fleet.net.stats_coalesced += shard.net.stats_coalesced;
+
+        const WindowView w60 = shard.windows.over(now_s, 60);
+        row.requests = shard.requests;
+        row.w60_requests = w60.requests;
+        row.w60_rate_per_s = w60.ratePerS();
+        row.w60_p99_us = w60.total.approxPercentileUs(0.99);
+        fleet.per_shard.push_back(row);
+    }
+    if (fleet.shards == 0)
+        fleet.shards = 1; // an all-stale fleet still reports itself
+    return statsToJson(fleet);
+}
+
+std::string
+renderStats(const StatSnapshot &snap)
+{
+    std::string out;
+
+    TextTable head;
+    head.setHeader({"Shards", "Stale", "Requests", "OK", "Errors",
+                    "Shed", "Conns", "Lifetime p50 us",
+                    "Lifetime p99 us"});
+    head.addRow({std::to_string(snap.shards),
+                 std::to_string(snap.stale_shards),
+                 std::to_string(snap.requests), std::to_string(snap.ok),
+                 std::to_string(snap.errors), std::to_string(snap.shed),
+                 snap.net.enabled ? std::to_string(snap.net.active) : "-",
+                 std::to_string(
+                     snap.lifetime_total.approxPercentileUs(0.50)),
+                 std::to_string(
+                     snap.lifetime_total.approxPercentileUs(0.99))});
+    out += head.toString();
+
+    TextTable win;
+    win.setHeader({"Window", "Requests", "Rate/s", "Errors", "Shed",
+                   "p50 us", "p95 us", "p99 us"});
+    auto addRow = [&](const char *name, const WindowView &v) {
+        win.addRow({name, std::to_string(v.requests),
+                    TextTable::num(v.ratePerS(), 1),
+                    std::to_string(v.errors), std::to_string(v.shed),
+                    std::to_string(v.total.approxPercentileUs(0.50)),
+                    std::to_string(v.total.approxPercentileUs(0.95)),
+                    std::to_string(v.total.approxPercentileUs(0.99))});
+    };
+    addRow("last 10s", snap.windows.over(snap.now_s, 10));
+    addRow("last 60s", snap.windows.over(snap.now_s, 60));
+    out += win.toString();
+
+    if (!snap.per_shard.empty()) {
+        TextTable shards;
+        shards.setHeader({"Shard", "State", "Requests", "60s Requests",
+                          "60s Rate/s", "60s p99 us"});
+        for (const StatSnapshot::ShardRow &row : snap.per_shard) {
+            shards.addRow(
+                {std::to_string(row.shard),
+                 row.stale ? "STALE" : "live",
+                 row.stale ? "-" : std::to_string(row.requests),
+                 row.stale ? "-" : std::to_string(row.w60_requests),
+                 row.stale ? "-" : TextTable::num(row.w60_rate_per_s, 1),
+                 row.stale ? "-" : std::to_string(row.w60_p99_us)});
+        }
+        out += shards.toString();
+    }
+    return out;
+}
+
+} // namespace mdes::service

@@ -1,0 +1,120 @@
+#ifndef MDES_SERVICE_STATS_H
+#define MDES_SERVICE_STATS_H
+
+/**
+ * @file
+ * The live stats protocol document: the compact JSON snapshot served
+ * over a STAT binary frame or a {"op":"stats"} JSON-lines request.
+ *
+ * Unlike ServiceMetrics::toJson() (a full diagnostic dump), this
+ * document is built for polling and for *reaggregation*: the window
+ * ring is serialized slot-by-slot with its raw log2 bucket arrays, so
+ * a shard parent can parse N children's documents, reconstruct their
+ * histograms, merge them with Histogram::merge, and serve one fleet
+ * view whose percentiles are computed over the merged distribution -
+ * not averaged from per-shard percentiles, which would be wrong.
+ *
+ * Schema (stable; validated by CI):
+ *
+ *   {"now_s":..., "shards":N, "stale_shards":N,
+ *    "lifetime":{"requests":..,"ok":..,"errors":..,"shed":..,
+ *                "count":..,"total_us":..,"max_us":..,"buckets":[..],
+ *                "p50_us":..,"p95_us":..,"p99_us":..},
+ *    "windows":{"slots":[{"epoch":..,"requests":..,"ok":..,
+ *                         "errors":..,"shed":..,"count":..,
+ *                         "total_us":..,"max_us":..,"buckets":[..]},...],
+ *               "w10":{...view...}, "w60":{...view...}},
+ *    "net":{"active":..,"accepted":..,"frames_in":..,"frames_out":..,
+ *           "stats_requests":..,"stats_coalesced":..},
+ *    "per_shard":[{"shard":0,"stale":false,"requests":..,
+ *                  "w60_requests":..,"w60_rate_per_s":..,
+ *                  "w60_p99_us":..},...]}
+ *
+ * "per_shard" appears only in fleet documents (sharded parent).
+ * A window view is {"horizon_s","requests","ok","errors","shed",
+ * "rate_per_s","p50_us","p95_us","p99_us","mean_us","max_us"}.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/metrics.h"
+
+namespace mdes::service {
+
+/** In-memory form of one stats document (shard-local or fleet). */
+struct StatSnapshot
+{
+    uint64_t now_s = 0;
+    /** Processes contributing to this document (1 = single server). */
+    uint64_t shards = 1;
+    /** Shards that failed to answer the fleet poll in time; their
+     * deltas are missing from this document. */
+    uint64_t stale_shards = 0;
+
+    // Lifetime totals.
+    uint64_t requests = 0;
+    uint64_t ok = 0;
+    uint64_t errors = 0;
+    uint64_t shed = 0;
+    /** Lifetime end-to-end latency distribution. */
+    StageLatency lifetime_total;
+
+    /** The per-10s delta ring (see metrics.h). */
+    WindowRing windows;
+
+    struct Net
+    {
+        bool enabled = false;
+        uint64_t active = 0;
+        uint64_t accepted = 0;
+        uint64_t frames_in = 0;
+        uint64_t frames_out = 0;
+        uint64_t stats_requests = 0;
+        uint64_t stats_coalesced = 0;
+    } net;
+
+    struct ShardRow
+    {
+        uint64_t shard = 0;
+        bool stale = false;
+        uint64_t requests = 0;
+        uint64_t w60_requests = 0;
+        double w60_rate_per_s = 0.0;
+        uint64_t w60_p99_us = 0;
+    };
+    /** Per-shard breakdown (fleet documents only). */
+    std::vector<ShardRow> per_shard;
+};
+
+/** Build one process's snapshot from its merged metrics. */
+StatSnapshot makeStatSnapshot(const ServiceMetrics &metrics,
+                              uint64_t now_s);
+
+/** Serialize a snapshot as the protocol JSON document. */
+std::string statsToJson(const StatSnapshot &snap);
+
+/** Convenience: makeStatSnapshot + statsToJson. */
+std::string statsToJson(const ServiceMetrics &metrics, uint64_t now_s);
+
+/** Parse a protocol document. Throws MdesError on malformed input. */
+StatSnapshot parseStats(const std::string &json);
+
+/**
+ * Merge shard-local documents into one fleet document evaluated at
+ * @p now_s. @p shard_jsons[i] is shard i's answer; an empty string
+ * means the shard did not answer in time and is reported stale (its
+ * numbers are simply missing - a partial fleet view beats a blocked
+ * one). Malformed answers also count as stale. Always returns a
+ * well-formed document.
+ */
+std::string mergeShardStats(const std::vector<std::string> &shard_jsons,
+                            uint64_t now_s);
+
+/** Render a snapshot as the `mdesc top` dashboard text. */
+std::string renderStats(const StatSnapshot &snap);
+
+} // namespace mdes::service
+
+#endif // MDES_SERVICE_STATS_H

@@ -1,0 +1,492 @@
+#include "support/flightrec.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <system_error>
+
+#include "support/json.h"
+#include "support/trace.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#else
+#include <chrono>
+#endif
+
+namespace mdes::flightrec {
+
+std::atomic<bool> g_flightrec_enabled{true};
+
+namespace {
+
+namespace fs = std::filesystem;
+
+static_assert((kRingSlots & (kRingSlots - 1)) == 0,
+              "ring size must be a power of two");
+
+/**
+ * Ticks -> microseconds calibration. The origin pair is pinned when
+ * the first ring registers (long before anything is gathered in
+ * practice); the rate is re-derived at each gather from the elapsed
+ * span since then, so it improves as the process ages. Conversion only
+ * has to be *monotone* for ordering to hold; absolute accuracy
+ * converges within milliseconds of process start.
+ */
+struct TickOrigin
+{
+    uint64_t ticks = 0;
+    uint64_t us = 0;
+};
+
+const TickOrigin &
+tickOrigin()
+{
+    static const TickOrigin origin = [] {
+        TickOrigin o;
+        o.us = trace::nowUs();
+        o.ticks = nowTicks();
+        return o;
+    }();
+    return origin;
+}
+
+/** Ticks per microsecond, measured from the origin to now. */
+double
+ticksPerUs()
+{
+    const TickOrigin &o = tickOrigin();
+    const uint64_t now_us = trace::nowUs();
+    const uint64_t now_ticks = nowTicks();
+    const uint64_t dus = now_us > o.us ? now_us - o.us : 1;
+    const uint64_t dticks =
+        now_ticks > o.ticks ? now_ticks - o.ticks : dus;
+    return double(dticks) / double(dus);
+}
+
+/** Convert an event timestamp; pre-origin stamps clamp to the origin. */
+uint64_t
+ticksToUs(uint64_t ticks, double rate)
+{
+    const TickOrigin &o = tickOrigin();
+    if (ticks <= o.ticks)
+        return o.us;
+    return o.us + uint64_t(double(ticks - o.ticks) / rate);
+}
+
+/** One ring slot. All fields are atomics so a concurrent reader is a
+ * well-defined (if possibly torn) read; torn slots are discarded by the
+ * head re-check in snapshotInto(). */
+struct Slot
+{
+    std::atomic<const char *> name{nullptr};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<uint64_t> ts_ticks{0};
+    std::atomic<uint64_t> dur_ticks{0};
+};
+
+struct Ring
+{
+    /** Events ever pushed; slot for event i is slots[i % kRingSlots].
+     * Written only by the owning thread. */
+    std::atomic<uint64_t> head{0};
+    uint32_t tid = 0;
+    std::array<Slot, kRingSlots> slots;
+
+    void
+    push(const char *name, uint64_t trace_id, uint64_t ts_ticks,
+         uint64_t dur_ticks)
+    {
+        const uint64_t h = head.load(std::memory_order_relaxed);
+        Slot &s = slots[h & (kRingSlots - 1)];
+        s.name.store(name, std::memory_order_relaxed);
+        s.trace_id.store(trace_id, std::memory_order_relaxed);
+        s.ts_ticks.store(ts_ticks, std::memory_order_relaxed);
+        s.dur_ticks.store(dur_ticks, std::memory_order_relaxed);
+        // Publish: a reader that observes head > h sees slot h's
+        // fields (or a later overwrite it will discard).
+        head.store(h + 1, std::memory_order_release);
+    }
+
+    /** Append this ring's non-lapped events for @p trace_id (or all
+     * when trace_id == 0) to @p out, converting ticks to microseconds
+     * at @p rate ticks/us. */
+    void
+    snapshotInto(uint64_t trace_id, double rate,
+                 std::vector<Event> &out) const
+    {
+        const uint64_t h1 = head.load(std::memory_order_acquire);
+        const uint64_t lo = h1 > kRingSlots ? h1 - kRingSlots : 0;
+        std::vector<Event> copied;
+        copied.reserve(size_t(h1 - lo));
+        for (uint64_t i = lo; i < h1; ++i) {
+            const Slot &s = slots[i & (kRingSlots - 1)];
+            Event e;
+            e.name = s.name.load(std::memory_order_relaxed);
+            e.trace_id = s.trace_id.load(std::memory_order_relaxed);
+            e.ts_us = ticksToUs(
+                s.ts_ticks.load(std::memory_order_relaxed), rate);
+            e.dur_us = uint64_t(
+                double(s.dur_ticks.load(std::memory_order_relaxed)) /
+                rate);
+            e.tid = tid;
+            copied.push_back(e);
+        }
+        // Anything the writer lapped while we copied may be torn:
+        // keep only indices still inside the window at h2.
+        const uint64_t h2 = head.load(std::memory_order_acquire);
+        const uint64_t lo2 = h2 > kRingSlots ? h2 - kRingSlots : 0;
+        for (uint64_t i = lo; i < h1; ++i) {
+            if (i < lo2)
+                continue;
+            const Event &e = copied[size_t(i - lo)];
+            if (e.name == nullptr)
+                continue;
+            if (trace_id == 0 || e.trace_id == trace_id)
+                out.push_back(e);
+        }
+    }
+};
+
+/** Ring registry: one ring per thread, registered once, never removed
+ * (same lifetime contract as trace::Collector's buffers). */
+class Registry
+{
+  public:
+    static Registry &
+    instance()
+    {
+        static Registry registry;
+        return registry;
+    }
+
+    Ring &
+    registerLocalRing()
+    {
+        // Pin the tick calibration origin at first registration, long
+        // before anything could be gathered.
+        (void)tickOrigin();
+        auto owned = std::make_unique<Ring>();
+        owned->tid = trace::threadId();
+        Ring *raw = owned.get();
+        std::lock_guard<std::mutex> lock(mu_);
+        rings_.push_back(std::move(owned));
+        return *raw;
+    }
+
+    std::vector<Event>
+    eventsForTrace(uint64_t trace_id) const
+    {
+        std::vector<Event> out;
+        const double rate = ticksPerUs();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            for (const auto &ring : rings_)
+                ring->snapshotInto(trace_id, rate, out);
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const Event &a, const Event &b) {
+                      return a.ts_us < b.ts_us;
+                  });
+        return out;
+    }
+
+    uint64_t
+    recordedCount() const
+    {
+        uint64_t n = 0;
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &ring : rings_)
+            n += ring->head.load(std::memory_order_relaxed);
+        return n;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/** Disk spool: serialized under one mutex (spooling is the rare tail
+ * path; contention here is a non-goal). */
+class Spool
+{
+  public:
+    static Spool &
+    instance()
+    {
+        static Spool spool;
+        return spool;
+    }
+
+    void
+    arm(const SpoolConfig &config)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        config_ = config;
+        armed_ = !config.dir.empty();
+        stats_ = SpoolStats{};
+        files_.clear();
+        bytes_ = 0;
+        if (!armed_)
+            return;
+        std::error_code ec;
+        fs::create_directories(config_.dir, ec);
+        // Adopt files from a previous run so the cap holds across
+        // restarts; names sort oldest-first by construction.
+        for (const auto &entry : fs::directory_iterator(config_.dir, ec)) {
+            if (!entry.is_regular_file(ec) ||
+                entry.path().extension() != ".json")
+                continue;
+            const uint64_t size = uint64_t(entry.file_size(ec));
+            files_.push_back({entry.path().string(), size});
+            bytes_ += size;
+        }
+        std::sort(files_.begin(), files_.end(),
+                  [](const File &a, const File &b) {
+                      return a.path < b.path;
+                  });
+        evictLocked();
+        stats_.bytes = bytes_;
+    }
+
+    void
+    disarm()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        armed_ = false;
+        config_ = SpoolConfig{};
+        files_.clear();
+        bytes_ = 0;
+    }
+
+    bool
+    armed() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return armed_;
+    }
+
+    uint64_t
+    slowUs() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return armed_ ? config_.slow_us : 0;
+    }
+
+    SpoolStats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return stats_;
+    }
+
+    std::string
+    write(uint64_t trace_id, const char *reason)
+    {
+        std::vector<Event> events =
+            Registry::instance().eventsForTrace(trace_id);
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!armed_)
+            return "";
+        if (events.empty()) {
+            ++stats_.empty_skipped;
+            return "";
+        }
+        const std::string doc = toChromeJson(events, trace_id, reason);
+        char seq[16];
+        std::snprintf(seq, sizeof seq, "%08llu",
+                      (unsigned long long)next_seq_++);
+        const std::string path = config_.dir + "/" + seq + "-" +
+                                 sanitize(reason) + "-" +
+                                 std::to_string(trace_id) + ".json";
+        {
+            std::ofstream out(path, std::ios::binary | std::ios::trunc);
+            if (!out) {
+                return "";
+            }
+            out.write(doc.data(), std::streamsize(doc.size()));
+            if (!out) {
+                std::error_code ec;
+                fs::remove(path, ec);
+                return "";
+            }
+        }
+        files_.push_back({path, doc.size()});
+        bytes_ += doc.size();
+        ++stats_.files_written;
+        evictLocked();
+        stats_.bytes = bytes_;
+        // The new file itself may have been evicted if it alone
+        // exceeds the cap; report "" so callers don't dangle a path.
+        return bytes_ == 0 ? "" : path;
+    }
+
+  private:
+    struct File
+    {
+        std::string path;
+        uint64_t bytes = 0;
+    };
+
+    static std::string
+    sanitize(const char *reason)
+    {
+        std::string s = reason != nullptr ? reason : "unknown";
+        for (char &c : s) {
+            const bool ok = (c >= 'a' && c <= 'z') ||
+                            (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '-';
+            if (!ok)
+                c = '-';
+        }
+        return s.empty() ? "unknown" : s;
+    }
+
+    void
+    evictLocked()
+    {
+        while (bytes_ > config_.max_bytes && !files_.empty()) {
+            const File oldest = files_.front();
+            files_.pop_front();
+            std::error_code ec;
+            fs::remove(oldest.path, ec);
+            bytes_ -= std::min(bytes_, oldest.bytes);
+            ++stats_.files_evicted;
+        }
+    }
+
+    mutable std::mutex mu_;
+    SpoolConfig config_;
+    bool armed_ = false;
+    std::deque<File> files_;
+    uint64_t bytes_ = 0;
+    uint64_t next_seq_ = 1;
+    SpoolStats stats_;
+};
+
+} // namespace
+
+namespace {
+
+/** The calling thread's ring, as a plain TLS pointer so the record
+ * hot path is one TLS load and a branch - no static-init guard. */
+thread_local Ring *t_ring = nullptr;
+
+} // namespace
+
+void
+setEnabled(bool on)
+{
+    g_flightrec_enabled.store(on, std::memory_order_relaxed);
+}
+
+uint64_t
+nowTicks()
+{
+#if defined(__x86_64__) || defined(_M_X64)
+    return __rdtsc();
+#else
+    return uint64_t(std::chrono::steady_clock::now()
+                        .time_since_epoch()
+                        .count());
+#endif
+}
+
+void
+record(const char *name, uint64_t trace_id, uint64_t ts_ticks,
+       uint64_t dur_ticks)
+{
+    Ring *ring = t_ring;
+    if (ring == nullptr)
+        t_ring = ring = &Registry::instance().registerLocalRing();
+    ring->push(name, trace_id, ts_ticks, dur_ticks);
+}
+
+std::vector<Event>
+eventsForTrace(uint64_t trace_id)
+{
+    return Registry::instance().eventsForTrace(trace_id);
+}
+
+uint64_t
+recordedCount()
+{
+    return Registry::instance().recordedCount();
+}
+
+std::string
+toChromeJson(const std::vector<Event> &events, uint64_t trace_id,
+             const char *reason)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("displayTimeUnit").value("ms");
+    w.key("otherData").beginObject();
+    w.key("tool").value("mdes::flightrec");
+    w.key("trace_id").value(trace_id);
+    w.key("reason").value(reason != nullptr ? reason : "unknown");
+    w.key("events").value(uint64_t(events.size()));
+    w.endObject();
+    w.key("traceEvents").beginArray();
+    for (const Event &e : events) {
+        w.beginObject();
+        w.key("name").value(e.name);
+        w.key("cat").value("flightrec");
+        w.key("ph").value("X");
+        w.key("pid").value(uint64_t(1));
+        w.key("tid").value(uint64_t(e.tid));
+        w.key("ts").value(e.ts_us);
+        w.key("dur").value(e.dur_us);
+        w.key("args").beginObject();
+        if (e.trace_id != 0)
+            w.key("trace_id").value(e.trace_id);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+void
+armSpool(const SpoolConfig &config)
+{
+    Spool::instance().arm(config);
+}
+
+void
+disarmSpool()
+{
+    Spool::instance().disarm();
+}
+
+bool
+spoolArmed()
+{
+    return Spool::instance().armed();
+}
+
+uint64_t
+slowThresholdUs()
+{
+    return Spool::instance().slowUs();
+}
+
+std::string
+spool(uint64_t trace_id, const char *reason)
+{
+    return Spool::instance().write(trace_id, reason);
+}
+
+SpoolStats
+spoolStats()
+{
+    return Spool::instance().stats();
+}
+
+} // namespace mdes::flightrec

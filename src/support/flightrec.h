@@ -1,0 +1,157 @@
+#ifndef MDES_SUPPORT_FLIGHTREC_H
+#define MDES_SUPPORT_FLIGHTREC_H
+
+/**
+ * @file
+ * mdes::flightrec - the always-on flight recorder behind mdes::trace.
+ *
+ * Full tracing (--trace) buffers every span until exported; that is the
+ * right tool for a planned investigation and the wrong one for a
+ * production tier, where the interesting request is the one nobody was
+ * watching. The flight recorder fills that gap: every thread keeps a
+ * small fixed-size ring of the most recent span events, recorded
+ * unconditionally (even with tracing off) at a cost of a few relaxed
+ * atomic stores per span. The ring remembers the last ~4096 spans per
+ * thread and silently overwrites older ones.
+ *
+ * Tail-based capture: when a request ends badly - typed error, breaker
+ * trip, deadline blown, or latency beyond a configurable threshold -
+ * the service asks the recorder to *spool* that trace id: every ring
+ * event carrying the id is gathered across threads and written to a
+ * bounded on-disk directory as a standalone Chrome trace-event JSON
+ * file. The directory is a size-capped FIFO - oldest spool files are
+ * deleted first and the total never exceeds the configured byte cap -
+ * so a misbehaving fleet cannot fill a disk.
+ *
+ * Concurrency: each ring is written only by its owning thread (relaxed
+ * stores into atomic slot fields, release store of the head counter);
+ * a reader snapshots the head, copies the window, then re-reads the
+ * head and discards any slot the writer may have lapped during the
+ * copy. Torn events are therefore discarded, never reported, and the
+ * scheme is clean under ThreadSanitizer without any lock on the record
+ * path.
+ *
+ * Compiling with -DMDES_FLIGHTREC_ENABLED=0 removes the record hook
+ * from ScopedSpan entirely; at runtime setEnabled(false) reduces it to
+ * one relaxed load.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdes::flightrec {
+
+#ifndef MDES_FLIGHTREC_ENABLED
+#define MDES_FLIGHTREC_ENABLED 1
+#endif
+
+/** Slots per thread ring (power of two; ~128KiB per thread). */
+inline constexpr size_t kRingSlots = 4096;
+
+/** Global runtime switch. On by default. */
+extern std::atomic<bool> g_flightrec_enabled;
+
+/** True when ring recording is active (relaxed load; hot-path safe). */
+inline bool
+enabled()
+{
+    return g_flightrec_enabled.load(std::memory_order_relaxed);
+}
+
+/** Turn ring recording on or off process-wide. */
+void setEnabled(bool on);
+
+/**
+ * Cheapest available monotone timestamp, in unspecified "ticks" (TSC
+ * cycles on x86-64, steady-clock nanoseconds elsewhere). Ring events
+ * are stamped in ticks on the hot path - a vdso clock_gettime pair per
+ * span would alone blow the recorder's <1% budget - and converted to
+ * microseconds only when a trace is gathered, using a rate calibrated
+ * against trace::nowUs() since process start.
+ */
+uint64_t nowTicks();
+
+/** Append one event to the calling thread's ring (wait-free).
+ * Timestamps are nowTicks() values; eventsForTrace() converts. */
+void record(const char *name, uint64_t trace_id, uint64_t ts_ticks,
+            uint64_t dur_ticks);
+
+/** One event copied out of a ring. */
+struct Event
+{
+    const char *name = "";
+    uint64_t trace_id = 0;
+    uint64_t ts_us = 0;
+    uint64_t dur_us = 0;
+    uint32_t tid = 0;
+};
+
+/** Every ring event stamped with @p trace_id, across all threads,
+ * ordered by timestamp and converted from ticks to microseconds on
+ * trace::nowUs()'s axis. Best-effort: events the writers lapped during
+ * the copy are omitted, and events stamped before the recorder's
+ * first use clamp to the calibration origin. */
+std::vector<Event> eventsForTrace(uint64_t trace_id);
+
+/** Total events ever pushed across all rings (monotone; for tests). */
+uint64_t recordedCount();
+
+/** Render events as a standalone Chrome trace-event JSON document. */
+std::string toChromeJson(const std::vector<Event> &events,
+                         uint64_t trace_id, const char *reason);
+
+/** Disk spool configuration. Unarmed by default: the library never
+ * writes to disk unless a tool arms a directory. */
+struct SpoolConfig
+{
+    /** Directory for spool files (created if missing). */
+    std::string dir;
+    /** Byte cap for the whole directory (FIFO eviction; never
+     * exceeded after a spool() returns). */
+    uint64_t max_bytes = 8ull << 20;
+    /** End-to-end request latency (µs) beyond which an otherwise
+     * successful request is spooled. 0 disables the latency trigger;
+     * errors always trigger. */
+    uint64_t slow_us = 0;
+};
+
+/** Arm disk spooling. Scans @p config.dir for existing spool files so
+ * the byte cap holds across restarts. Replaces any previous config. */
+void armSpool(const SpoolConfig &config);
+
+/** Disarm disk spooling (ring recording is unaffected). */
+void disarmSpool();
+
+/** True when a spool directory is armed. */
+bool spoolArmed();
+
+/** The armed latency trigger in µs (0 when unarmed or disabled). */
+uint64_t slowThresholdUs();
+
+/**
+ * Gather @p trace_id's ring events and write them to the spool
+ * directory as one Chrome-trace JSON file named
+ * "NNNNNNNN-<reason>-<trace_id>.json", then evict oldest files until
+ * the directory is back under its byte cap. Returns the path written,
+ * or "" when unarmed, the trace has no buffered events, or the write
+ * failed. Never throws.
+ */
+std::string spool(uint64_t trace_id, const char *reason);
+
+/** Spool-side counters (monotone since arm; for tests and tables). */
+struct SpoolStats
+{
+    uint64_t files_written = 0;
+    uint64_t files_evicted = 0;
+    uint64_t empty_skipped = 0;
+    /** Bytes currently on disk under the armed directory. */
+    uint64_t bytes = 0;
+};
+
+SpoolStats spoolStats();
+
+} // namespace mdes::flightrec
+
+#endif // MDES_SUPPORT_FLIGHTREC_H

@@ -33,6 +33,19 @@ class Histogram
         ++total_;
     }
 
+    /** Record @p n samples of @p value at once (deserialization of
+     * bucket arrays; equivalent to n add() calls). */
+    void
+    addCount(uint64_t value, uint64_t n)
+    {
+        if (n == 0)
+            return;
+        if (value >= counts_.size())
+            counts_.resize(value + 1, 0);
+        counts_[value] += n;
+        total_ += n;
+    }
+
     /** Merge another histogram into this one. */
     void merge(const Histogram &other);
 

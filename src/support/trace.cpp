@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "support/flightrec.h"
 #include "support/json.h"
 
 namespace mdes::trace {
@@ -196,21 +197,38 @@ Collector::toChromeJson() const
 }
 
 ScopedSpan::ScopedSpan(const char *name)
-    : name_(name), active_(enabled())
+    : name_(name), active_(enabled()),
+#if MDES_FLIGHTREC_ENABLED
+      recorded_(flightrec::enabled())
+#else
+      recorded_(false)
+#endif
 {
     if (active_)
         start_us_ = nowUs();
+#if MDES_FLIGHTREC_ENABLED
+    if (recorded_)
+        start_ticks_ = flightrec::nowTicks();
+#endif
 }
 
 ScopedSpan::~ScopedSpan()
 {
+    if (!active_ && !recorded_)
+        return;
+#if MDES_FLIGHTREC_ENABLED
+    if (recorded_)
+        flightrec::record(name_, t_trace_id, start_ticks_,
+                          flightrec::nowTicks() - start_ticks_);
+#endif
     if (!active_)
         return;
+    const uint64_t end_us = nowUs();
     Span span;
     span.name = name_;
     span.trace_id = t_trace_id;
     span.ts_us = start_us_;
-    span.dur_us = nowUs() - start_us_;
+    span.dur_us = end_us - start_us_;
     span.tid = threadId();
     span.counters = std::move(counters_);
     span.labels = std::move(labels_);

@@ -184,7 +184,14 @@ class ScopedSpan
   private:
     const char *name_;
     uint64_t start_us_ = 0;
+    /** flightrec::nowTicks() at entry (recorder path only; cheaper
+     * than a clock_gettime pair per span). */
+    uint64_t start_ticks_ = 0;
     bool active_;
+    /** True when the flight recorder ring wants this span too (set
+     * independently of active_, so tail capture works with --trace
+     * off). */
+    bool recorded_;
     std::vector<std::pair<const char *, uint64_t>> counters_;
     std::vector<std::pair<const char *, std::string>> labels_;
 };

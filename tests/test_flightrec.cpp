@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Flight recorder tests: the always-on ring captures spans with full
+ * tracing off, tail-based spooling writes a parseable Chrome trace for
+ * a request that ended badly, and the spool directory is a size-capped
+ * FIFO that never exceeds its byte budget.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/service.h"
+#include "support/flightrec.h"
+#include "support/json.h"
+#include "support/trace.h"
+
+namespace mdes {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Trace ids far away from the service's small sequential request ids,
+ * so unit tests never alias a ring event from another test's service. */
+constexpr uint64_t kIdBase = 0xF00D0000ull;
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = "flightrec_test_" + name;
+    fs::remove_all(dir);
+    return dir;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << "cannot open " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+uint64_t
+dirBytes(const std::string &dir)
+{
+    uint64_t total = 0;
+    for (const auto &entry : fs::directory_iterator(dir))
+        total += uint64_t(entry.file_size());
+    return total;
+}
+
+TEST(FlightRecorder, RingCapturesSpansWithTracingOff)
+{
+    ASSERT_FALSE(trace::enabled()) << "tests run with --trace off";
+    ASSERT_TRUE(flightrec::enabled()) << "recorder is on by default";
+
+    const uint64_t id = kIdBase + 1;
+    const uint64_t before = flightrec::recordedCount();
+    {
+        trace::IdScope scope(id);
+        trace::ScopedSpan span("flightrec-test-span");
+        // Full tracing is off: the span is not collected...
+        EXPECT_FALSE(span.active());
+    }
+    // ...but the flight recorder saw it anyway.
+    EXPECT_GT(flightrec::recordedCount(), before);
+    std::vector<flightrec::Event> events = flightrec::eventsForTrace(id);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_STREQ(events[0].name, "flightrec-test-span");
+    EXPECT_EQ(events[0].trace_id, id);
+
+    // Other trace ids are filtered out.
+    EXPECT_TRUE(flightrec::eventsForTrace(kIdBase + 2).empty());
+
+    // setEnabled(false) stops ring recording; nothing new appears.
+    flightrec::setEnabled(false);
+    {
+        trace::IdScope scope(id);
+        trace::ScopedSpan span("invisible");
+    }
+    flightrec::setEnabled(true);
+    EXPECT_EQ(flightrec::eventsForTrace(id).size(), 1u);
+}
+
+TEST(FlightRecorder, EventsComeBackInTimestampOrder)
+{
+    // Timestamps are nowTicks() values; spacing them ~milliseconds
+    // apart keeps them distinct after the ticks->us conversion.
+    const uint64_t id = kIdBase + 3;
+    const uint64_t base = flightrec::nowTicks();
+    const uint64_t step = 10'000'000;
+    flightrec::record("late", id, base + 3 * step, 10);
+    flightrec::record("early", id, base + 1 * step, 10);
+    flightrec::record("middle", id, base + 2 * step, 10);
+    std::vector<flightrec::Event> events = flightrec::eventsForTrace(id);
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_STREQ(events[0].name, "early");
+    EXPECT_STREQ(events[1].name, "middle");
+    EXPECT_STREQ(events[2].name, "late");
+}
+
+TEST(FlightRecorder, ChromeJsonIsParseableAndSelfDescribing)
+{
+    const uint64_t id = kIdBase + 4;
+    flightrec::record("request", id, 50, 500);
+    const std::string doc = flightrec::toChromeJson(
+        flightrec::eventsForTrace(id), id, "deadline-exceeded");
+    JsonValue v = parseJson(doc);
+    ASSERT_EQ(v.kind, JsonValue::Kind::Object);
+    const JsonValue *events = v.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->kind, JsonValue::Kind::Array);
+    ASSERT_FALSE(events->array.empty());
+    EXPECT_EQ(events->array[0].find("name")->string, "request");
+    const JsonValue *other = v.find("otherData");
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->find("reason")->string, "deadline-exceeded");
+    EXPECT_EQ(jsonU64(*other->find("trace_id")), id);
+}
+
+TEST(FlightRecorder, DeadlineExceededRequestSpoolsItsTrace)
+{
+    const std::string dir = freshDir("deadline");
+    flightrec::armSpool({.dir = dir, .max_bytes = 1 << 20});
+    {
+        // One worker, blocked by a large request: the queued request's
+        // deadline lapses before a worker picks it up, and the worker
+        // spools its trace after delivering the error.
+        service::MdesService svc({.num_workers = 1});
+        service::ScheduleRequest blocker;
+        blocker.machine = "SuperSPARC";
+        blocker.synth_ops = 20000;
+        auto blocker_id = svc.submit(blocker);
+        service::ScheduleRequest doomed;
+        doomed.machine = "K5";
+        doomed.synth_ops = 100;
+        doomed.deadline_ms = 1;
+        auto doomed_id = svc.submit(doomed);
+        EXPECT_EQ(svc.wait(doomed_id).error.code,
+                  service::ErrorCode::DeadlineExceeded);
+        EXPECT_TRUE(svc.wait(blocker_id).ok());
+        // Destruction joins the workers, so the spool write (which
+        // happens after delivery) has finished once we get here.
+    }
+    flightrec::disarmSpool();
+
+    std::string spooled;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.find("deadline") != std::string::npos)
+            spooled = entry.path().string();
+    }
+    ASSERT_FALSE(spooled.empty())
+        << "no deadline spool file written under " << dir;
+
+    // The spool file is a standalone, parseable Chrome trace holding
+    // the doomed request's spans - including the "request" span itself.
+    JsonValue v = parseJson(readFile(spooled));
+    const JsonValue *events = v.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    std::set<std::string> names;
+    for (const JsonValue &e : events->array)
+        names.insert(e.find("name")->string);
+    EXPECT_TRUE(names.count("request")) << "spool lacks the request span";
+    fs::remove_all(dir);
+}
+
+TEST(FlightRecorder, SpoolDirectoryIsAByteCappedFifo)
+{
+    const std::string dir = freshDir("cap");
+    const uint64_t cap = 2048;
+    flightrec::armSpool({.dir = dir, .max_bytes = cap});
+    const flightrec::SpoolStats before = flightrec::spoolStats();
+
+    // Spool enough distinct traces that the cap must evict.
+    uint64_t written = 0;
+    for (uint64_t i = 0; i < 32; ++i) {
+        const uint64_t id = kIdBase + 100 + i;
+        for (int s = 0; s < 8; ++s)
+            flightrec::record("padding-span", id, 100 * i + s, 5);
+        if (!flightrec::spool(id, "test").empty())
+            ++written;
+        EXPECT_LE(flightrec::spoolStats().bytes, cap)
+            << "byte cap exceeded after spool " << i;
+        EXPECT_LE(dirBytes(dir), cap);
+    }
+    const flightrec::SpoolStats after = flightrec::spoolStats();
+    EXPECT_EQ(after.files_written - before.files_written, 32u);
+    EXPECT_GT(after.files_evicted, before.files_evicted)
+        << "cap never evicted - raise the spool sizes";
+    EXPECT_GT(written, 0u);
+
+    // FIFO: the survivors are the newest files (highest sequence
+    // numbers), not an arbitrary subset.
+    std::vector<std::string> names;
+    for (const auto &entry : fs::directory_iterator(dir))
+        names.push_back(entry.path().filename().string());
+    std::sort(names.begin(), names.end());
+    ASSERT_FALSE(names.empty());
+    ASSERT_LT(names.size(), 32u);
+    // All surviving sequence numbers are newer than every evicted one,
+    // so the oldest survivor's sequence + survivor count reaches the
+    // last sequence written this test (they are contiguous).
+    const unsigned long first = std::stoul(names.front().substr(0, 8));
+    const unsigned long last = std::stoul(names.back().substr(0, 8));
+    EXPECT_EQ(last - first + 1, names.size());
+
+    flightrec::disarmSpool();
+    fs::remove_all(dir);
+}
+
+TEST(FlightRecorder, EmptyTracesAndUnarmedSpoolsWriteNothing)
+{
+    // Unarmed: spool is a no-op that reports "".
+    flightrec::disarmSpool();
+    EXPECT_FALSE(flightrec::spoolArmed());
+    EXPECT_EQ(flightrec::spool(kIdBase + 900, "test"), "");
+    EXPECT_EQ(flightrec::slowThresholdUs(), 0u);
+
+    // Armed but the trace id has no buffered events: skipped, counted.
+    const std::string dir = freshDir("empty");
+    flightrec::armSpool({.dir = dir, .max_bytes = 4096, .slow_us = 250});
+    EXPECT_EQ(flightrec::slowThresholdUs(), 250u);
+    const uint64_t skipped_before = flightrec::spoolStats().empty_skipped;
+    EXPECT_EQ(flightrec::spool(kIdBase + 901, "test"), "");
+    EXPECT_EQ(flightrec::spoolStats().empty_skipped, skipped_before + 1);
+    EXPECT_TRUE(fs::directory_iterator(dir) == fs::directory_iterator{})
+        << "empty spool still produced a file";
+    flightrec::disarmSpool();
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace mdes

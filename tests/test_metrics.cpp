@@ -7,16 +7,20 @@
  * (transform effects, conflict heat) merge and key correctly.
  */
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <set>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "exp/runner.h"
 #include "machines/machines.h"
 #include "service/metrics.h"
+#include "service/stats.h"
 #include "support/json.h"
 
 namespace mdes {
@@ -58,17 +62,50 @@ TEST(StageLatency, ApproxPercentileTracksTheBuckets)
         s.record(100); // bucket 7: [64, 128)
     s.record(5000);    // bucket 13: [4096, 8192)
 
-    // The median sits in the 100us bucket; its conservative estimate is
-    // the bucket's upper edge.
-    EXPECT_EQ(s.approxPercentileUs(0.5), 127u);
-    EXPECT_GE(s.approxPercentileUs(0.5), 100u); // never under-reports
+    // The median sits in the 100us bucket and is interpolated within
+    // it: rank 5 of the 9 samples there, 64 + 63*5/9 = 99.
+    EXPECT_EQ(s.approxPercentileUs(0.5), 99u);
     // The tail estimate is clamped to the observed maximum.
     EXPECT_EQ(s.approxPercentileUs(0.99), 5000u);
     EXPECT_EQ(s.approxPercentileUs(1.0), 5000u);
-    EXPECT_EQ(s.approxPercentileUs(0.0), 127u);
+    // Rank 1 of the 100us bucket: 64 + 63*1/9 = 71.
+    EXPECT_EQ(s.approxPercentileUs(0.0), 71u);
     // Out-of-range quantiles clamp instead of misbehaving.
     EXPECT_EQ(s.approxPercentileUs(-1.0), s.approxPercentileUs(0.0));
     EXPECT_EQ(s.approxPercentileUs(2.0), s.approxPercentileUs(1.0));
+}
+
+TEST(StageLatency, InterpolatedPercentilesTrackExactPercentiles)
+{
+    // Regression for the pre-interpolation estimator, which always
+    // reported a bucket's upper edge (up to 2x the true value). The
+    // interpolated estimate must land in the same log2 bucket as the
+    // exact percentile of the underlying samples - error bounded by
+    // the bucket width, never a whole bucket high.
+    std::vector<uint64_t> vals;
+    uint64_t x = 12345;
+    for (int i = 0; i < 1000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        vals.push_back(50 + (x >> 33) % 2000);
+    }
+    service::StageLatency s;
+    for (uint64_t v : vals)
+        s.record(v);
+    std::sort(vals.begin(), vals.end());
+
+    for (double q : {0.05, 0.25, 0.5, 0.9, 0.95, 0.99}) {
+        size_t rank = size_t(std::ceil(q * double(vals.size())));
+        ASSERT_GE(rank, 1u);
+        uint64_t exact = vals[rank - 1];
+        uint64_t approx = s.approxPercentileUs(q);
+        EXPECT_EQ(std::bit_width(approx), std::bit_width(exact))
+            << "q=" << q << " exact=" << exact << " approx=" << approx;
+        EXPECT_LE(approx, s.max_us) << "q=" << q;
+    }
+    // Monotone in q.
+    EXPECT_LE(s.approxPercentileUs(0.5), s.approxPercentileUs(0.9));
+    EXPECT_LE(s.approxPercentileUs(0.9), s.approxPercentileUs(0.99));
+    EXPECT_LE(s.approxPercentileUs(0.99), s.approxPercentileUs(1.0));
 }
 
 TEST(StageLatency, BucketEdgesCoverTheFullRange)
@@ -312,6 +349,231 @@ TEST(ServiceMetrics, RecordConflictsKeysByMachineAndResource)
     EXPECT_EQ(m.resource_conflicts[low.machineName() + "." +
                                    low.resourceName(1)],
               18u);
+}
+
+// --- Sliding windows ---------------------------------------------------
+
+TEST(WindowRing, ViewsDecayWhileLifetimeWouldNot)
+{
+    service::WindowRing ring;
+    const uint64_t now = 1000; // epoch 100
+    ring.record(now, service::ErrorCode::Ok, 100);
+    ring.record(now + 5, service::ErrorCode::Ok, 200); // same epoch
+
+    service::WindowView w10 = ring.over(now + 5, 10);
+    EXPECT_EQ(w10.requests, 2u);
+    EXPECT_EQ(w10.ok, 2u);
+    EXPECT_EQ(w10.total.count, 2u);
+    EXPECT_EQ(w10.total.max_us, 200u);
+    EXPECT_DOUBLE_EQ(w10.ratePerS(), 0.2);
+
+    // One epoch later the 10s view is empty but the 60s view still
+    // covers the old epoch.
+    EXPECT_EQ(ring.over(now + 15, 10).requests, 0u);
+    EXPECT_EQ(ring.over(now + 15, 60).requests, 2u);
+    // Past the 60s horizon everything has decayed.
+    EXPECT_EQ(ring.over(now + 100, 60).requests, 0u);
+}
+
+TEST(WindowRing, EmptyWindowPercentilesAreZeroNotGarbage)
+{
+    service::WindowRing ring;
+    EXPECT_TRUE(ring.empty());
+    service::WindowView v = ring.over(12345, 60);
+    EXPECT_EQ(v.requests, 0u);
+    EXPECT_EQ(v.total.approxPercentileUs(0.5), 0u);
+    EXPECT_EQ(v.total.approxPercentileUs(0.99), 0u);
+    EXPECT_DOUBLE_EQ(v.ratePerS(), 0.0);
+    EXPECT_DOUBLE_EQ(v.total.meanUs(), 0.0);
+
+    // A ring with data outside the horizon behaves the same.
+    ring.record(100, service::ErrorCode::Ok, 500);
+    service::WindowView later = ring.over(100 + 700, 60);
+    EXPECT_EQ(later.requests, 0u);
+    EXPECT_EQ(later.total.approxPercentileUs(0.99), 0u);
+}
+
+TEST(WindowRing, RotationReclaimsWrappedSlots)
+{
+    // One request per epoch across three full ring wraps: each slot is
+    // claimed and reset repeatedly, and only the freshest epochs
+    // remain visible.
+    service::WindowRing ring;
+    const uint64_t epochs = uint64_t(service::kWindowSlots) * 3;
+    for (uint64_t e = 1; e <= epochs; ++e)
+        ring.record(e * service::kWindowSeconds,
+                    service::ErrorCode::Ok, 100 * e);
+    const uint64_t last_s = epochs * service::kWindowSeconds;
+    EXPECT_EQ(ring.over(last_s, 10).requests, 1u);
+    // The 60s horizon spans 6 epochs (current plus five back).
+    EXPECT_EQ(ring.over(last_s, 60).requests, 6u);
+    // No slot survived from an earlier wrap.
+    for (size_t i = 0; i < service::kWindowSlots; ++i)
+        EXPECT_GT(ring.slot(i).epoch + service::kWindowSlots, epochs)
+            << "slot " << i;
+}
+
+TEST(WindowRing, ShedCountsAsRequestAndError)
+{
+    service::WindowRing ring;
+    ring.recordShed(200, 3);
+    ring.record(200, service::ErrorCode::Ok, 50);
+    service::WindowView v = ring.over(200, 10);
+    EXPECT_EQ(v.requests, 4u);
+    EXPECT_EQ(v.errors, 3u);
+    EXPECT_EQ(v.shed, 3u);
+    EXPECT_EQ(v.ok, 1u);
+    // Shed submissions carry no latency sample.
+    EXPECT_EQ(v.total.count, 1u);
+}
+
+TEST(WindowRing, MergeIsEpochKeyed)
+{
+    const uint64_t now = 500; // epoch 50
+    // Equal epochs sum.
+    service::WindowRing a, b;
+    a.record(now, service::ErrorCode::Ok, 100);
+    b.record(now, service::ErrorCode::Ok, 300);
+    a.merge(b);
+    service::WindowView v = a.over(now, 10);
+    EXPECT_EQ(v.requests, 2u);
+    EXPECT_EQ(v.total.max_us, 300u);
+
+    // A mid-rotation merge: the same slot holds a newer epoch in one
+    // ring and a stale previous-wrap epoch in the other. The newer
+    // delta replaces; the stale one is dropped, not double-counted.
+    service::WindowRing c, d;
+    const uint64_t wrapped =
+        now + uint64_t(service::kWindowSlots) * service::kWindowSeconds;
+    c.record(now, service::ErrorCode::Ok, 100);
+    d.record(wrapped, service::ErrorCode::Ok, 300);
+    c.merge(d);
+    EXPECT_EQ(c.over(wrapped, 10).requests, 1u);
+    EXPECT_EQ(c.over(wrapped, 10).total.max_us, 300u);
+    // Merging the stale direction changes nothing.
+    service::WindowRing e;
+    e.record(now, service::ErrorCode::Ok, 100);
+    d.merge(e);
+    EXPECT_EQ(d.over(wrapped, 10).requests, 1u);
+}
+
+// --- The live stats document -------------------------------------------
+
+TEST(StatsProtocol, SnapshotRoundTripsThroughJson)
+{
+    service::ServiceMetrics m = populatedMetrics();
+    const uint64_t now = 700; // epoch 70
+    m.windows.record(now, service::ErrorCode::Ok, 500);
+    m.windows.record(now, service::ErrorCode::CompileFailed, 900);
+    m.net.enabled = true;
+    m.net.active = 2;
+    m.net.stats_requests = 5;
+    m.net.stats_coalesced = 1;
+
+    const std::string doc = service::statsToJson(m, now);
+    // The document is valid JSON (CI validates the same schema).
+    EXPECT_EQ(parseJson(doc).kind, JsonValue::Kind::Object);
+
+    service::StatSnapshot snap = service::parseStats(doc);
+    EXPECT_EQ(snap.now_s, now);
+    EXPECT_EQ(snap.shards, 1u);
+    EXPECT_EQ(snap.requests, m.requests);
+    EXPECT_EQ(snap.ok, m.ok);
+    EXPECT_EQ(snap.lifetime_total.count, m.total.count);
+    EXPECT_EQ(snap.lifetime_total.max_us, m.total.max_us);
+    EXPECT_EQ(snap.lifetime_total.approxPercentileUs(0.99),
+              m.total.approxPercentileUs(0.99));
+    EXPECT_EQ(snap.net.stats_requests, 5u);
+    EXPECT_EQ(snap.net.stats_coalesced, 1u);
+
+    // The window ring survives the round trip slot-for-slot.
+    service::WindowView w10 = snap.windows.over(now, 10);
+    EXPECT_EQ(w10.requests, 2u);
+    EXPECT_EQ(w10.errors, 1u);
+    EXPECT_EQ(w10.total.max_us, 900u);
+}
+
+TEST(StatsProtocol, MergeShardStatsBuildsTheFleetView)
+{
+    const uint64_t now = 900; // epoch 90
+    service::ServiceMetrics m1;
+    m1.recordOutcome(service::ErrorCode::Ok);
+    m1.total.record(100);
+    m1.windows.record(now, service::ErrorCode::Ok, 100);
+    service::ServiceMetrics m2;
+    m2.recordOutcome(service::ErrorCode::Ok);
+    m2.total.record(5000);
+    m2.windows.record(now, service::ErrorCode::Ok, 5000);
+
+    const std::string fleet = service::mergeShardStats(
+        {service::statsToJson(m1, now), service::statsToJson(m2, now)},
+        now);
+    service::StatSnapshot snap = service::parseStats(fleet);
+    EXPECT_EQ(snap.shards, 2u);
+    EXPECT_EQ(snap.stale_shards, 0u);
+    EXPECT_EQ(snap.requests, 2u);
+    ASSERT_EQ(snap.per_shard.size(), 2u);
+    EXPECT_EQ(snap.per_shard[0].w60_p99_us, 100u);
+    EXPECT_EQ(snap.per_shard[1].w60_p99_us, 5000u);
+    // Fleet percentiles come from the merged distribution - the p99
+    // reflects the slow shard's sample, not an average of per-shard
+    // percentiles (which would report ~2550).
+    EXPECT_EQ(snap.lifetime_total.approxPercentileUs(0.99), 5000u);
+    EXPECT_EQ(snap.windows.over(now, 60).total.max_us, 5000u);
+}
+
+TEST(StatsProtocol, StalledShardYieldsAPartialFleetViewNotAnError)
+{
+    const uint64_t now = 900;
+    service::ServiceMetrics m1;
+    m1.recordOutcome(service::ErrorCode::Ok);
+    m1.total.record(100);
+    m1.windows.record(now, service::ErrorCode::Ok, 100);
+
+    // Shard 1 timed out (empty answer); shard 2 sent garbage.
+    const std::string fleet = service::mergeShardStats(
+        {service::statsToJson(m1, now), "", "{definitely not json"},
+        now);
+    service::StatSnapshot snap = service::parseStats(fleet);
+    EXPECT_EQ(snap.shards, 1u);
+    EXPECT_EQ(snap.stale_shards, 2u);
+    EXPECT_EQ(snap.requests, 1u); // the live shard's numbers survive
+    ASSERT_EQ(snap.per_shard.size(), 3u);
+    EXPECT_FALSE(snap.per_shard[0].stale);
+    EXPECT_TRUE(snap.per_shard[1].stale);
+    EXPECT_TRUE(snap.per_shard[2].stale);
+    // Rendering a partial view works (the dashboard shows STALE rows).
+    const std::string text = service::renderStats(snap);
+    EXPECT_NE(text.find("STALE"), std::string::npos);
+    EXPECT_NE(text.find("live"), std::string::npos);
+
+    // Every shard stale: still a well-formed document.
+    service::StatSnapshot all_stale =
+        service::parseStats(service::mergeShardStats({"", ""}, now));
+    EXPECT_EQ(all_stale.stale_shards, 2u);
+    EXPECT_EQ(all_stale.requests, 0u);
+}
+
+TEST(ServiceMetrics, WindowSectionAppearsInTableAndJson)
+{
+    service::ServiceMetrics m = populatedMetrics();
+    m.windows.record(service::windowNowS(), service::ErrorCode::Ok,
+                     250);
+    const std::string doc = m.toJson();
+    JsonValue v = parseJson(doc);
+    EXPECT_EQ(writeJson(v), doc);
+    const JsonValue *w = v.find("windows");
+    ASSERT_NE(w, nullptr);
+    ASSERT_NE(w->find("w10"), nullptr);
+    EXPECT_EQ(w->find("w10")->find("horizon_s")->number, 10.0);
+    ASSERT_NE(w->find("w60"), nullptr);
+    // The 60s view also covers the previous epoch, so this holds even
+    // if an epoch boundary falls between record() and toJson().
+    EXPECT_EQ(w->find("w60")->find("requests")->number, 1.0);
+
+    const std::string table = m.toTable();
+    EXPECT_NE(table.find("last 10s"), std::string::npos);
+    EXPECT_NE(table.find("last 60s"), std::string::npos);
 }
 
 } // namespace

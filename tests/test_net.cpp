@@ -38,6 +38,7 @@
 #include "net/server.h"
 #include "service/request_parse.h"
 #include "service/service.h"
+#include "service/stats.h"
 #include "support/diagnostics.h"
 #include "support/rng.h"
 
@@ -642,6 +643,104 @@ TEST(NetServer, ProtocolViolationGetsErrorFrameThenClose)
     EXPECT_TRUE(probe.ping());
     server.stop();
     EXPECT_GE(server.metrics().net.protocol_errors, 1u);
+}
+
+TEST(NetServer, StatFrameReturnsTheLiveStatsDocument)
+{
+    net::ServerConfig sc;
+    sc.service.num_workers = 2;
+    net::Server server(sc);
+    server.start();
+
+    net::BlockingClient client("127.0.0.1", server.port());
+    ASSERT_TRUE(client.connected());
+    for (const service::ScheduleRequest &req : testMix())
+        ASSERT_TRUE(client.request(service::renderRequestLine(req)).ok());
+
+    const std::string doc = client.stats();
+    ASSERT_FALSE(doc.empty());
+    service::StatSnapshot snap = service::parseStats(doc);
+    EXPECT_EQ(snap.shards, 1u);
+    EXPECT_EQ(snap.requests, 3u);
+    EXPECT_EQ(snap.ok, 3u);
+    EXPECT_EQ(snap.lifetime_total.count, 3u);
+    EXPECT_TRUE(snap.net.enabled);
+    EXPECT_GE(snap.net.stats_requests, 1u);
+    // The requests just made are inside the 60s window.
+    EXPECT_EQ(snap.windows.over(snap.now_s, 60).requests, 3u);
+
+    // The JSON-lines wire serves the identical schema via {"op":"stats"}.
+    net::BlockingClient json("127.0.0.1", server.port(), true);
+    ASSERT_TRUE(json.connected());
+    const std::string jdoc = json.stats();
+    ASSERT_FALSE(jdoc.empty());
+    service::StatSnapshot jsnap = service::parseStats(jdoc);
+    EXPECT_EQ(jsnap.requests, 3u);
+    EXPECT_GE(jsnap.net.stats_requests, 2u);
+    server.stop();
+}
+
+TEST(NetServer, StatFloodCoalescesInsteadOfBufferingUnbounded)
+{
+    net::ServerConfig sc;
+    sc.service.num_workers = 1;
+    net::Server server(sc);
+    server.start();
+
+    int fd = rawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    // Write a burst of Stat frames without reading anything. The
+    // server keeps at most one stats response buffered per connection
+    // and coalesces the rest, so its outbound buffer stays bounded no
+    // matter how fast a dashboard polls.
+    constexpr int kPolls = 400;
+    std::string burst;
+    for (int i = 0; i < kPolls; ++i) {
+        Frame f;
+        f.type = FrameType::Stat;
+        f.id = uint64_t(i + 1);
+        burst += net::encodeFrame(f);
+    }
+    size_t off = 0;
+    while (off < burst.size()) {
+        ssize_t n = send(fd, burst.data() + off, burst.size() - off, 0);
+        ASSERT_GT(n, 0);
+        off += size_t(n);
+    }
+    // Drain: the final answer carries the *latest* poll's id (the
+    // coalesced waiters were dropped, not queued). Every received
+    // payload is a well-formed stats document.
+    FrameDecoder dec;
+    char buf[8192];
+    int responses = 0;
+    for (;;) {
+        Frame fr;
+        FrameDecoder::Status st;
+        bool saw_last = false;
+        while ((st = dec.next(&fr)) == FrameDecoder::Status::Ready) {
+            ASSERT_EQ(fr.type, FrameType::Response);
+            ++responses;
+            EXPECT_NO_THROW(service::parseStats(fr.payload));
+            if (fr.id == uint64_t(kPolls))
+                saw_last = true;
+        }
+        ASSERT_EQ(st, FrameDecoder::Status::NeedMore);
+        if (saw_last)
+            break;
+        ssize_t n = recv(fd, buf, sizeof(buf), 0);
+        ASSERT_GT(n, 0) << "connection wedged during stat flood";
+        dec.feed(buf, size_t(n));
+    }
+    close(fd);
+    server.stop();
+
+    // Far fewer responses than polls: the flood was coalesced.
+    EXPECT_LT(responses, kPolls / 2) << "stat flood was not coalesced";
+    service::ServiceMetrics m = server.metrics();
+    EXPECT_EQ(m.net.stats_requests, uint64_t(kPolls));
+    EXPECT_GE(m.net.stats_coalesced, 1u);
+    EXPECT_EQ(m.net.stats_coalesced + uint64_t(responses),
+              uint64_t(kPolls));
 }
 
 } // namespace

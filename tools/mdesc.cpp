@@ -42,6 +42,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
@@ -51,6 +52,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/expand.h"
@@ -71,8 +73,10 @@
 #include "service/chaos.h"
 #include "service/request_parse.h"
 #include "service/service.h"
+#include "service/stats.h"
 #include "store/store.h"
 #include "support/faultsim.h"
+#include "support/flightrec.h"
 #include "support/json.h"
 #include "support/text_table.h"
 #include "support/trace.h"
@@ -107,9 +111,13 @@ usage()
         "  mdesc chaos [--seeds N] [--first-seed N] [--workers N]\n"
         "              [--requests N] [--store-dir <dir>]\n"
         "              [--report <file.json>] [--socket]\n"
+        "              [--flightrec <dir>] [--no-flightrec]\n"
         "  mdesc serve [--listen <host:port>] [--workers N]\n"
         "              [--max-queue N] [--store <dir>] [--shards N]\n"
-        "              [--json]\n"
+        "              [--json] [--flightrec <dir>] [--no-flightrec]\n"
+        "              [--flightrec-max-bytes N] [--flightrec-slow-ms N]\n"
+        "  mdesc stat --socket <host:port> [--json] [--json-mode]\n"
+        "  mdesc top <host:port> [--interval-ms N] [--count N]\n"
         "  mdesc netbatch <host:port> <file.req | --stdin>\n"
         "              [--json-mode] [--deadline-ms N]\n"
         "              [--check-inprocess]\n"
@@ -810,6 +818,7 @@ cmdChaos(const std::vector<std::string> &args)
 {
     service::chaos::ChaosConfig config;
     std::string report_path;
+    std::string flightrec_dir = "flightrec";
     auto number = [](const std::string &flag, const std::string &w,
                      auto &out) {
         auto [end, ec] =
@@ -845,11 +854,22 @@ cmdChaos(const std::vector<std::string> &args)
         } else if (args[i] == "--socket") {
             config.driver = net::chaosSocketDriver();
             config.driver_name = "socket";
+        } else if (args[i] == "--flightrec" && i + 1 < args.size()) {
+            flightrec_dir = args[++i];
+        } else if (args[i] == "--no-flightrec") {
+            flightrec_dir.clear();
         } else {
             std::fprintf(stderr, "unknown option '%s'\n",
                          args[i].c_str());
             return usage();
         }
+    }
+    // Tail capture for the sweep: a failing seed leaves its offending
+    // requests' traces in the spool, which CI uploads as an artifact.
+    if (!flightrec_dir.empty()) {
+        flightrec::SpoolConfig frcfg;
+        frcfg.dir = flightrec_dir;
+        flightrec::armSpool(frcfg);
     }
     if (config.store_base_dir.empty()) {
         config.store_base_dir =
@@ -943,6 +963,20 @@ cmdServe(const std::vector<std::string> &args)
             ++i;
         } else if (args[i] == "--json") {
             opts.json_metrics = true;
+        } else if (args[i] == "--flightrec" && i + 1 < args.size()) {
+            opts.flightrec_dir = args[++i];
+        } else if (args[i] == "--no-flightrec") {
+            opts.flightrec_dir.clear();
+        } else if (args[i] == "--flightrec-max-bytes" &&
+                   i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1], opts.flightrec_max_bytes))
+                return 1;
+            ++i;
+        } else if (args[i] == "--flightrec-slow-ms" &&
+                   i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1], opts.flightrec_slow_ms))
+                return 1;
+            ++i;
         } else {
             std::fprintf(stderr, "unknown option '%s'\n",
                          args[i].c_str());
@@ -1101,6 +1135,160 @@ cmdNetbatch(const std::vector<std::string> &args)
                     local.size());
     }
     return failures == 0 ? 0 : 1;
+}
+
+/** Split "host:port"; false (with a message) on malformed input. */
+bool
+parseEndpoint(const std::string &ep, std::string *host, uint16_t *port)
+{
+    size_t colon = ep.rfind(':');
+    if (colon == std::string::npos) {
+        std::fprintf(stderr, "mdesc: endpoint wants host:port, got '%s'\n",
+                     ep.c_str());
+        return false;
+    }
+    *host = ep.substr(0, colon);
+    std::string w = ep.substr(colon + 1);
+    auto [end, ec] = std::from_chars(w.data(), w.data() + w.size(), *port);
+    if (ec != std::errc() || end != w.data() + w.size()) {
+        std::fprintf(stderr, "mdesc: bad port '%s'\n", w.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** One stats poll over a fresh connection (the shard parent closes a
+ * STAT connection after answering, so per-poll connects work against
+ * every serve mode). Empty string on failure. */
+std::string
+fetchStats(const std::string &host, uint16_t port, bool json_mode)
+{
+    net::BlockingClient client(host, port, json_mode);
+    if (!client.connected())
+        return "";
+    return client.stats();
+}
+
+/**
+ * `mdesc stat`: one-shot live stats poll - the merged fleet view when
+ * the endpoint is a sharded server. --json prints the raw protocol
+ * document; the default renders the dashboard tables once.
+ */
+int
+cmdStatLive(const std::vector<std::string> &args)
+{
+    std::string endpoint;
+    bool json = false, json_mode = false;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--socket" && i + 1 < args.size()) {
+            endpoint = args[++i];
+        } else if (args[i] == "--json") {
+            json = true;
+        } else if (args[i] == "--json-mode") {
+            json_mode = true;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         args[i].c_str());
+            return usage();
+        }
+    }
+    if (endpoint.empty())
+        return usage();
+    std::string host;
+    uint16_t port = 0;
+    if (!parseEndpoint(endpoint, &host, &port))
+        return 1;
+    std::string doc = fetchStats(host, port, json_mode);
+    if (doc.empty()) {
+        std::fprintf(stderr, "mdesc: cannot fetch stats from %s\n",
+                     endpoint.c_str());
+        return 1;
+    }
+    if (json) {
+        std::printf("%s\n", doc.c_str());
+        return 0;
+    }
+    std::printf("%s", service::renderStats(service::parseStats(doc))
+                          .c_str());
+    return 0;
+}
+
+/**
+ * `mdesc top`: the refreshing dashboard - poll the stats document every
+ * --interval-ms and redraw. --count N stops after N refreshes (0 =
+ * until interrupted); handy for scripts and the CI smoke.
+ */
+int
+cmdTop(const std::vector<std::string> &args)
+{
+    std::string endpoint;
+    uint64_t interval_ms = 1000, count = 0;
+    auto number = [](const std::string &flag, const std::string &w,
+                     auto &out) {
+        auto [end, ec] =
+            std::from_chars(w.data(), w.data() + w.size(), out);
+        if (ec != std::errc() || end != w.data() + w.size()) {
+            std::fprintf(stderr, "mdesc: bad %s value '%s'\n",
+                         flag.c_str(), w.c_str());
+            return false;
+        }
+        return true;
+    };
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--interval-ms" && i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1], interval_ms))
+                return 1;
+            ++i;
+        } else if (args[i] == "--count" && i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1], count))
+                return 1;
+            ++i;
+        } else if (args[i] == "--socket" && i + 1 < args.size()) {
+            endpoint = args[++i];
+        } else if (!args[i].empty() && args[i][0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         args[i].c_str());
+            return usage();
+        } else if (endpoint.empty()) {
+            endpoint = args[i];
+        } else {
+            return usage();
+        }
+    }
+    if (endpoint.empty())
+        return usage();
+    std::string host;
+    uint16_t port = 0;
+    if (!parseEndpoint(endpoint, &host, &port))
+        return 1;
+    int misses = 0;
+    for (uint64_t iter = 0; count == 0 || iter < count; ++iter) {
+        std::string doc = fetchStats(host, port, /*json_mode=*/false);
+        if (doc.empty()) {
+            // Tolerate a couple of missed polls (server restarting);
+            // give up when it stays unreachable.
+            if (++misses >= 3) {
+                std::fprintf(stderr,
+                             "mdesc: cannot fetch stats from %s\n",
+                             endpoint.c_str());
+                return 1;
+            }
+        } else {
+            misses = 0;
+            // Home + clear-to-end redraw (no full-screen buffer dance,
+            // so the last frame stays in the scrollback on exit).
+            std::printf("\x1b[H\x1b[J%s",
+                        service::renderStats(service::parseStats(doc))
+                            .c_str());
+            std::fflush(stdout);
+        }
+        if (count != 0 && iter + 1 >= count)
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
+    }
+    std::printf("\n");
+    return 0;
 }
 
 std::string
@@ -1344,6 +1532,10 @@ main(int argc, char **argv)
             return cmdServe(args);
         if (cmd == "netbatch")
             return cmdNetbatch(args);
+        if (cmd == "stat")
+            return cmdStatLive(args);
+        if (cmd == "top")
+            return cmdTop(args);
         if (cmd == "store")
             return cmdStore(args);
         if (cmd == "lint")
