@@ -200,6 +200,9 @@ BlockingClient::readResponse(uint64_t want_id)
                 if (frame.type == FrameType::Pong ||
                     frame.id != want_id)
                     continue; // not ours; keep reading
+                // Bytes decoded past our frame (pipelined traffic)
+                // go back to inbuf_ for the next reader.
+                inbuf_ = decoder.takeResidue();
                 try {
                     return parseResponseJson(frame.payload);
                 } catch (const MdesError &) {
@@ -278,6 +281,9 @@ BlockingClient::stats()
         if (st == FrameDecoder::Status::Ready) {
             if (frame.type != FrameType::Response || frame.id != id)
                 continue; // a pong or an earlier response; keep reading
+            // Restore any decoded-but-unconsumed bytes so a response
+            // to a request still in flight is not dropped.
+            inbuf_ = decoder.takeResidue();
             return frame.payload;
         }
         ssize_t n = ::read(fd_, buf, sizeof(buf));
@@ -308,14 +314,18 @@ BlockingClient::ping()
         return false;
     }
     FrameDecoder decoder;
+    decoder.feed(inbuf_.data(), inbuf_.size());
+    inbuf_.clear();
     char buf[4096];
     for (;;) {
         Frame frame;
         FrameDecoder::Status st = decoder.next(&frame);
         if (st == FrameDecoder::Status::Error)
             break;
-        if (st == FrameDecoder::Status::Ready)
+        if (st == FrameDecoder::Status::Ready) {
+            inbuf_ = decoder.takeResidue();
             return frame.type == FrameType::Pong;
+        }
         ssize_t n = ::read(fd_, buf, sizeof(buf));
         if (n > 0) {
             decoder.feed(buf, size_t(n));

@@ -160,4 +160,13 @@ FrameDecoder::next(Frame *out)
     return Status::Ready;
 }
 
+std::string
+FrameDecoder::takeResidue()
+{
+    std::string out = buf_.substr(pos_);
+    buf_.clear();
+    pos_ = 0;
+    return out;
+}
+
 } // namespace mdes::net

@@ -122,6 +122,14 @@ class FrameDecoder
     /** Bytes buffered but not yet consumed by next(). */
     size_t buffered() const { return buf_.size() - pos_; }
 
+    /**
+     * Steal the buffered-but-unconsumed bytes and reset the decoder.
+     * A caller that read past the frame it wanted (pipelined traffic)
+     * restores these to the connection's input buffer instead of
+     * dropping them, so the next reader still sees its frame.
+     */
+    std::string takeResidue();
+
   private:
     std::string buf_;
     /** Consumed prefix of buf_ (compacted opportunistically). */

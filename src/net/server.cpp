@@ -18,6 +18,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <iostream>
 #include <mutex>
 #include <thread>
@@ -1202,6 +1203,10 @@ armFlightRecorder(const ServeOptions &opts, int shard)
     cfg.max_bytes = opts.flightrec_max_bytes;
     cfg.slow_us = opts.flightrec_slow_ms * 1000;
     flightrec::armSpool(cfg);
+    // Announce the disk side effect (opt-in, but say where it lands).
+    std::cout << "mdesc serve: flight recorder spooling to " << cfg.dir
+              << " (cap " << (cfg.max_bytes >> 20) << " MiB, slow >= "
+              << opts.flightrec_slow_ms << " ms)\n";
 }
 
 int
@@ -1400,53 +1405,114 @@ runShardedServe(const ServeOptions &opts)
                                         service::windowNowS());
     };
 
-    // A binary STAT connection is the parent's to answer: consume the
-    // (empty-payload) frame we peeked, poll the fleet, write one
-    // Response frame with the merged view, close. One poll per
-    // connection keeps the router loop trivially non-reentrant; `mdesc
-    // top` reconnects per refresh.
-    auto answerStatConn = [&](int fd, const char *hdr) {
-        char sink[kHeaderSize];
-        if (recv(fd, sink, sizeof(sink), 0) != ssize_t(kHeaderSize)) {
-            ::close(fd);
-            return;
-        }
-        uint64_t wire_id = 0;
-        for (int b = 0; b < 8; ++b)
-            wire_id |= uint64_t(uint8_t(hdr[16 + b])) << (8 * b);
-        Frame f;
-        f.type = FrameType::Response;
-        f.id = wire_id;
-        f.payload = pollFleet(/*timeout_ms=*/300);
-        std::string wire = encodeFrame(f);
-        size_t off = 0;
-        auto wdeadline = std::chrono::steady_clock::now() +
-                         std::chrono::seconds(2);
-        while (off < wire.size()) {
-            ssize_t w = ::send(fd, wire.data() + off, wire.size() - off,
-                               MSG_NOSIGNAL);
-            if (w > 0) {
-                off += size_t(w);
-                continue;
-            }
-            if (w < 0 && errno == EINTR)
-                continue;
-            if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-                auto left = std::chrono::duration_cast<
-                                std::chrono::milliseconds>(
-                                wdeadline -
-                                std::chrono::steady_clock::now())
-                                .count();
-                if (left <= 0)
-                    break; // peer not reading: drop it
-                pollfd p{fd, POLLOUT, 0};
-                ::poll(&p, 1, int(left));
-                continue;
-            }
-            break;
-        }
-        ::close(fd);
+    // Fleet STAT connections are never answered on the router thread:
+    // pollFleet blocks up to its deadline and the response write can
+    // stall on a peer that never reads, so answering inline would let
+    // an unauthenticated client serialize multi-second stalls (one
+    // bare STAT frame per connection is ~1 packet) and starve
+    // accept/routing. The router only consumes the header and
+    // enqueues the fd; a dedicated stats thread drains the queue in
+    // batches - one fleet poll answers every connection that arrived
+    // while the previous batch was in flight, so a flood coalesces
+    // into one poll per round instead of queueing polls. The queue is
+    // bounded; beyond the bound new STAT connections are shed
+    // (closed), which a poller sees as a reset and retries.
+    struct StatConn
+    {
+        int fd = -1;
+        uint64_t id = 0; // frame id, echoed in the response
     };
+    constexpr size_t kMaxQueuedStat = 64;
+    std::mutex stat_mu;
+    std::condition_variable stat_cv;
+    std::deque<StatConn> stat_queue;
+    bool stat_shutdown = false;
+
+    // Write one batch's responses concurrently under a single shared
+    // deadline, so N hostile peers that never read cost one deadline
+    // total, not N of them. Every fd is closed on exit.
+    auto answerStatBatch = [](std::vector<StatConn> &batch,
+                              const std::string &payload) {
+        struct Out
+        {
+            int fd;
+            std::string wire;
+            size_t off = 0;
+        };
+        std::vector<Out> outs;
+        outs.reserve(batch.size());
+        for (const StatConn &sc : batch) {
+            Frame f;
+            f.type = FrameType::Response;
+            f.id = sc.id;
+            f.payload = payload;
+            outs.push_back({sc.fd, encodeFrame(f)});
+        }
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(2);
+        for (;;) {
+            std::vector<pollfd> pending;
+            for (Out &o : outs) {
+                while (o.fd >= 0 && o.off < o.wire.size()) {
+                    ssize_t w = ::send(o.fd, o.wire.data() + o.off,
+                                       o.wire.size() - o.off,
+                                       MSG_NOSIGNAL);
+                    if (w > 0) {
+                        o.off += size_t(w);
+                        continue;
+                    }
+                    if (w < 0 && errno == EINTR)
+                        continue;
+                    if (w < 0 &&
+                        (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                        pending.push_back({o.fd, POLLOUT, 0});
+                        break;
+                    }
+                    ::close(o.fd); // peer reset: drop it
+                    o.fd = -1;
+                    break;
+                }
+                if (o.fd >= 0 && o.off == o.wire.size()) {
+                    ::close(o.fd);
+                    o.fd = -1;
+                }
+            }
+            if (pending.empty())
+                return;
+            auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+            if (left <= 0)
+                break;
+            ::poll(pending.data(), nfds_t(pending.size()), int(left));
+        }
+        for (Out &o : outs)
+            if (o.fd >= 0)
+                ::close(o.fd); // deadline passed: peer not reading
+    };
+
+    // The stats thread is the only reader on the feed channels (the
+    // router only ever sends), so its recv() in pollFleet never races
+    // the routing loop; SOCK_SEQPACKET sends from two threads stay
+    // atomic per datagram.
+    std::thread stat_thread([&] {
+        for (;;) {
+            std::vector<StatConn> batch;
+            {
+                std::unique_lock<std::mutex> lock(stat_mu);
+                stat_cv.wait(lock, [&] {
+                    return stat_shutdown || !stat_queue.empty();
+                });
+                if (stat_shutdown)
+                    return; // queued fds are closed by the owner
+                batch.assign(stat_queue.begin(), stat_queue.end());
+                stat_queue.clear();
+            }
+            const std::string payload = pollFleet(/*timeout_ms=*/300);
+            answerStatBatch(batch, payload);
+        }
+    });
 
     // Decide a shard from peeked bytes. Returns false when more bytes
     // are needed (binary header incomplete).
@@ -1469,10 +1535,33 @@ runShardedServe(const ServeOptions &opts)
                 payload_len |= uint32_t(uint8_t(hdr[8 + i])) << (8 * i);
             if (uint8_t(hdr[5]) == uint8_t(FrameType::Stat) &&
                 payload_len == 0) {
-                // Fleet stats: answered here, with all shards merged.
-                // (A Stat with a payload is left to a shard, which
-                // answers with its local view.)
-                answerStatConn(rc.fd, hdr);
+                // Fleet stats: consume the frame and hand the fd to
+                // the stats thread, which answers with all shards
+                // merged. (A Stat with a payload is left to a shard,
+                // which answers with its local view.)
+                char sink[kHeaderSize];
+                if (recv(rc.fd, sink, sizeof(sink), 0) !=
+                    ssize_t(kHeaderSize)) {
+                    ::close(rc.fd);
+                    rc.fd = -1;
+                    return false;
+                }
+                uint64_t wire_id = 0;
+                for (int b = 0; b < 8; ++b)
+                    wire_id |= uint64_t(uint8_t(hdr[16 + b]))
+                               << (8 * b);
+                bool queued = false;
+                {
+                    std::lock_guard<std::mutex> lock(stat_mu);
+                    if (stat_queue.size() < kMaxQueuedStat) {
+                        stat_queue.push_back({rc.fd, wire_id});
+                        queued = true;
+                    }
+                }
+                if (queued)
+                    stat_cv.notify_one();
+                else
+                    ::close(rc.fd); // STAT flood: shed this one
                 rc.fd = -1;
                 return false;
             }
@@ -1552,6 +1641,18 @@ runShardedServe(const ServeOptions &opts)
     for (auto &[id, rc] : routing)
         if (rc.fd >= 0)
             ::close(rc.fd);
+    // Stop the stats thread before closing the feed channels it polls
+    // over; a batch in flight finishes first (bounded by its poll and
+    // write deadlines).
+    {
+        std::lock_guard<std::mutex> lock(stat_mu);
+        stat_shutdown = true;
+        for (const StatConn &sc : stat_queue)
+            ::close(sc.fd);
+        stat_queue.clear();
+    }
+    stat_cv.notify_one();
+    stat_thread.join();
     for (int fd : chans)
         ::close(fd); // children see feed EOF and drain
     int exit_code = 0;

@@ -134,10 +134,13 @@ struct ServeOptions
     /** Dump metrics as JSON instead of tables on shutdown. */
     bool json_metrics = false;
 
-    /** Flight-recorder spool directory ("" disables tail capture).
-     * Shard children append "/shard-N" so concurrent processes never
-     * fight over one directory's byte-cap accounting. */
-    std::string flightrec_dir = "flightrec";
+    /** Flight-recorder spool directory ("" - the default - disables
+     * tail capture; opt in with `--flightrec <dir>`). Writing trace
+     * files is a disk side effect deployments must ask for, never get
+     * silently. Shard children append "/shard-N" so concurrent
+     * processes never fight over one directory's byte-cap
+     * accounting. */
+    std::string flightrec_dir;
     /** Spool byte cap (oldest captures evicted first). */
     size_t flightrec_max_bytes = 8 << 20;
     /** Latency above which an otherwise-successful request's trace is

@@ -138,9 +138,15 @@ struct Ring
             copied.push_back(e);
         }
         // Anything the writer lapped while we copied may be torn:
-        // keep only indices still inside the window at h2.
+        // keep only indices still inside the window at h2. push()
+        // stores slot fields *before* publishing head = h2 + 1, so
+        // while head still reads h2 the slot event h2 reuses (index
+        // h2 - kRingSlots from the previous lap) may already be
+        // mid-overwrite - discard that one too (the window is
+        // effectively kRingSlots - 1 events deep).
         const uint64_t h2 = head.load(std::memory_order_acquire);
-        const uint64_t lo2 = h2 > kRingSlots ? h2 - kRingSlots : 0;
+        const uint64_t lo2 =
+            h2 + 1 > kRingSlots ? h2 + 1 - kRingSlots : 0;
         for (uint64_t i = lo; i < h1; ++i) {
             if (i < lo2)
                 continue;
@@ -250,6 +256,23 @@ class Spool
                   [](const File &a, const File &b) {
                       return a.path < b.path;
                   });
+        // Resume numbering after the adopted run: names lead with an
+        // 8-digit sequence, and restarting at 1 would make new spools
+        // sort before (or collide with and silently overwrite) the
+        // adopted files, breaking oldest-first eviction and the cap
+        // accounting.
+        next_seq_ = 1;
+        for (const File &f : files_) {
+            const std::string base =
+                fs::path(f.path).filename().string();
+            uint64_t seq = 0;
+            size_t i = 0;
+            while (i < base.size() && i < 8 && base[i] >= '0' &&
+                   base[i] <= '9')
+                seq = seq * 10 + uint64_t(base[i++] - '0');
+            if (i == 8)
+                next_seq_ = std::max(next_seq_, seq + 1);
+        }
         evictLocked();
         stats_.bytes = bytes_;
     }

@@ -107,6 +107,53 @@ TEST(FlightRecorder, EventsComeBackInTimestampOrder)
     EXPECT_STREQ(events[2].name, "late");
 }
 
+TEST(FlightRecorder, RingWindowExcludesTheSlotUnderOverwrite)
+{
+    // push() stores slot fields before publishing the new head, so a
+    // reader observing head == h must assume the slot event h reuses
+    // (one full lap back) is mid-overwrite and discard it - even on a
+    // quiescent ring, where the writer could be paused between the
+    // field stores and the head bump. Observable contract: a full
+    // ring reports kRingSlots - 1 events, never a possibly-torn
+    // kRingSlots-th.
+    const uint64_t id = kIdBase + 4;
+    const uint64_t base = flightrec::nowTicks();
+    for (size_t i = 0; i < flightrec::kRingSlots; ++i)
+        flightrec::record("window-span", id, base + i, 1);
+    EXPECT_EQ(flightrec::eventsForTrace(id).size(),
+              flightrec::kRingSlots - 1);
+}
+
+TEST(FlightRecorder, ArmResumesSequenceNumbersPastAdoptedFiles)
+{
+    const std::string dir = freshDir("adopt");
+    fs::create_directories(dir);
+    // A spool file left over from a "previous run" with a sequence
+    // number well past 1.
+    const std::string adopted = dir + "/00000042-crash-123.json";
+    {
+        std::ofstream out(adopted, std::ios::binary);
+        out << "{\"traceEvents\":[]}";
+    }
+
+    flightrec::armSpool({.dir = dir, .max_bytes = 1 << 20});
+    const uint64_t id = kIdBase + 5;
+    flightrec::record("adopt-span", id, flightrec::nowTicks(), 5);
+    const std::string path = flightrec::spool(id, "test");
+    ASSERT_FALSE(path.empty());
+    const std::string name = fs::path(path).filename().string();
+    // The new name must sort after the adopted file (oldest-first
+    // eviction order) and must not collide with it: a restart that
+    // reused sequence 42 with the same reason and trace id would
+    // silently overwrite the adopted capture and double-count its
+    // bytes against the cap.
+    EXPECT_EQ(name.substr(0, 8), "00000043") << name;
+    EXPECT_TRUE(fs::exists(adopted));
+
+    flightrec::disarmSpool();
+    fs::remove_all(dir);
+}
+
 TEST(FlightRecorder, ChromeJsonIsParseableAndSelfDescribing)
 {
     const uint64_t id = kIdBase + 4;

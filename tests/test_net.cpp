@@ -113,6 +113,40 @@ TEST(Frame, RoundTripsThroughArbitraryFragmentation)
     }
 }
 
+TEST(Frame, TakeResidueRestoresPipelinedBytes)
+{
+    // A reader that decodes past the frame it wanted must be able to
+    // hand the surplus bytes back (BlockingClient restores them to its
+    // input buffer); a fresh decoder fed the residue yields exactly
+    // the remaining frames.
+    Rng rng(7);
+    Frame first = randomFrame(rng);
+    Frame second = randomFrame(rng);
+    std::string wire = net::encodeFrame(first) + net::encodeFrame(second);
+    // Plus a torn prefix of a third frame: residue is raw bytes, not
+    // whole frames, and the partial tail must survive the handoff.
+    std::string tail = net::encodeFrame(randomFrame(rng));
+    wire += tail.substr(0, net::kHeaderSize / 2);
+
+    FrameDecoder dec;
+    dec.feed(wire.data(), wire.size());
+    Frame out;
+    ASSERT_EQ(dec.next(&out), FrameDecoder::Status::Ready);
+    expectFrameEq(out, first);
+
+    std::string residue = dec.takeResidue();
+    EXPECT_EQ(dec.buffered(), 0u);
+    EXPECT_EQ(residue.size(),
+              net::kHeaderSize + second.payload.size() + net::kHeaderSize / 2);
+
+    FrameDecoder dec2;
+    dec2.feed(residue.data(), residue.size());
+    ASSERT_EQ(dec2.next(&out), FrameDecoder::Status::Ready);
+    expectFrameEq(out, second);
+    ASSERT_EQ(dec2.next(&out), FrameDecoder::Status::NeedMore);
+    EXPECT_EQ(dec2.buffered(), net::kHeaderSize / 2);
+}
+
 TEST(Frame, TruncationAtEveryOffsetNeverCompletesOrCrashes)
 {
     Rng rng(7);

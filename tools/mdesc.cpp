@@ -114,7 +114,7 @@ usage()
         "              [--flightrec <dir>] [--no-flightrec]\n"
         "  mdesc serve [--listen <host:port>] [--workers N]\n"
         "              [--max-queue N] [--store <dir>] [--shards N]\n"
-        "              [--json] [--flightrec <dir>] [--no-flightrec]\n"
+        "              [--json] [--flightrec <dir>] (spool off unless given)\n"
         "              [--flightrec-max-bytes N] [--flightrec-slow-ms N]\n"
         "  mdesc stat --socket <host:port> [--json] [--json-mode]\n"
         "  mdesc top <host:port> [--interval-ms N] [--count N]\n"
