@@ -103,6 +103,26 @@ def main():
             require(row, "w60_rate_per_s", (int, float),
                     f"per_shard[{i}]")
 
+        # A supervised fleet (forked shards) also reports the
+        # supervision block and per-shard process identity.
+        if "supervision" in doc:
+            sup = require(doc, "supervision", dict, "")
+            health = require(sup, "health", str, "supervision")
+            if health not in ("ready", "draining", "degraded"):
+                fail(f"supervision.health '{health}' is not one of "
+                     "ready/draining/degraded")
+            for key in ("restarts", "crashes", "wedged_shards",
+                        "quarantined"):
+                require(sup, key, int, "supervision")
+            for i, row in enumerate(per_shard):
+                require(row, "pid", int, f"per_shard[{i}]")
+                require(row, "restarts", int, f"per_shard[{i}]")
+                state = require(row, "state", str, f"per_shard[{i}]")
+                if state not in ("live", "backoff", "quarantined",
+                                 "stale"):
+                    fail(f"per_shard[{i}].state '{state}' is not one "
+                         "of live/backoff/quarantined/stale")
+
     print(f"stats schema ok: {lifetime['requests']} requests, "
           f"{shards} shard(s), {stale} stale, "
           f"w60 p99 {windows['w60']['p99_us']}us")

@@ -13,6 +13,7 @@
 #include "net/frame.h"
 #include "store/store.h"
 #include "support/diagnostics.h"
+#include "support/io_retry.h"
 #include "support/json.h"
 
 namespace mdes::net {
@@ -108,19 +109,21 @@ BlockingClient::~BlockingClient()
 
 namespace {
 
-/** write() all of @p data; false on connection loss. */
+/** Send all of @p data; false on connection loss. MSG_NOSIGNAL (via
+ * io::sendRetry) turns a peer that closed mid-write into EPIPE instead
+ * of a process-killing SIGPIPE - the chaos harness slams connections
+ * shut constantly and the client must shrug, not die. */
 bool
 writeAll(int fd, const std::string &data)
 {
     size_t off = 0;
     while (off < data.size()) {
-        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        ssize_t n =
+            io::sendRetry(fd, data.data() + off, data.size() - off);
         if (n > 0) {
             off += size_t(n);
             continue;
         }
-        if (n < 0 && errno == EINTR)
-            continue;
         return false;
     }
     return true;
@@ -283,6 +286,76 @@ BlockingClient::stats()
                 continue; // a pong or an earlier response; keep reading
             // Restore any decoded-but-unconsumed bytes so a response
             // to a request still in flight is not dropped.
+            inbuf_ = decoder.takeResidue();
+            return frame.payload;
+        }
+        ssize_t n = ::read(fd_, buf, sizeof(buf));
+        if (n > 0) {
+            decoder.feed(buf, size_t(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        break;
+    }
+    ::close(fd_);
+    fd_ = -1;
+    return "";
+}
+
+std::string
+BlockingClient::health()
+{
+    if (fd_ < 0)
+        return "";
+    uint64_t id = next_id_++;
+    std::string wire;
+    if (json_mode_) {
+        wire = "{\"id\":" + std::to_string(id) + ",\"op\":\"health\"}\n";
+    } else {
+        Frame f;
+        f.type = FrameType::Health;
+        f.id = id;
+        wire = encodeFrame(f);
+    }
+    if (!writeAll(fd_, wire)) {
+        ::close(fd_);
+        fd_ = -1;
+        return "";
+    }
+    char buf[16384];
+    if (json_mode_) {
+        std::string jsonbuf = std::move(inbuf_);
+        inbuf_.clear();
+        for (;;) {
+            size_t nl = jsonbuf.find('\n');
+            if (nl != std::string::npos) {
+                inbuf_ = jsonbuf.substr(nl + 1);
+                return jsonbuf.substr(0, nl);
+            }
+            ssize_t n = ::read(fd_, buf, sizeof(buf));
+            if (n > 0) {
+                jsonbuf.append(buf, size_t(n));
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            ::close(fd_);
+            fd_ = -1;
+            return "";
+        }
+    }
+    FrameDecoder decoder;
+    decoder.feed(inbuf_.data(), inbuf_.size());
+    inbuf_.clear();
+    for (;;) {
+        Frame frame;
+        FrameDecoder::Status st = decoder.next(&frame);
+        if (st == FrameDecoder::Status::Error)
+            break;
+        if (st == FrameDecoder::Status::Ready) {
+            if (frame.type != FrameType::Response || frame.id != id)
+                continue; // a pong or an earlier response; keep reading
             inbuf_ = decoder.takeResidue();
             return frame.payload;
         }

@@ -99,6 +99,20 @@ class BlockingClient
      */
     std::string stats();
 
+    /**
+     * Fetch the health document (DESIGN.md §15). Binary mode sends a
+     * Health frame; JSON mode sends {"op":"health"}. A single server
+     * (or a shard child via a routed JSON connection) answers
+     * {"health":"ready"|"draining"}; a sharded parent intercepts the
+     * binary form and answers its supervision view ("ready",
+     * "draining", or "degraded" plus fleet counters, closing the
+     * connection after answering like stats() does). Against a single
+     * server the connection stays usable, so a drain flip is
+     * observable by polling one long-lived connection. Returns "" on
+     * transport failure.
+     */
+    std::string health();
+
   private:
     NetResponse readResponse(uint64_t want_id);
 

@@ -1,0 +1,134 @@
+#ifndef MDES_NET_CRASH_CHAOS_H
+#define MDES_NET_CRASH_CHAOS_H
+
+/**
+ * @file
+ * The crash-chaos harness (DESIGN.md §15): seeded process-level fault
+ * injection against a live sharded fleet, asserting the supervision
+ * plane's recovery invariants from the outside.
+ *
+ * Where `mdesc chaos` injects faults *inside* one process (syscall and
+ * allocation sites via faultsim), this sweep kills whole shard
+ * processes under live socket load: each seed launches a real
+ * fork-per-shard fleet (`runServe` in a child process, port 0, the
+ * bound port reported over a pipe), then uses the fleet's own stats
+ * document to find shard pids and — driven by the seed's RNG — SIGKILLs
+ * them, SIGSEGVs them (exercising the crash-capture handler), and
+ * SIGSTOPs them (wedging, exercising the watchdog).
+ *
+ * Invariants asserted per seed (any violation fails the sweep):
+ *  1. The fleet keeps serving through every kill: each request in the
+ *     mix completes Ok within bounded transport retries, and its
+ *     schedule fingerprint equals the seed's own fault-free first pass.
+ *  2. Crashed shards come back, and never early: a restart is only
+ *     ever observed after at least the base crash-loop backoff has
+ *     elapsed since the kill, and the supervision counters account
+ *     every injected crash and wedge (restarts >= kills, crashes >=
+ *     kill+segv count, wedged_shards >= stops).
+ *  3. A SIGSTOPped shard is detected by the watchdog (wedged_shards
+ *     increments), SIGKILLed, and replaced.
+ *  4. SIGTERM drains gracefully: every request written before the
+ *     SIGTERM receives a typed response (Ok or Draining — never a
+ *     silent EOF), and the supervisor exits 0 within the deadline.
+ *  5. The store holds no residue after the drain: no quarantined
+ *     (".bad") artifact and no orphaned publish temp (".tmp-*") — a
+ *     restarted shard's open-time sweep must have cleaned up after
+ *     every kill -9.
+ *  6. Every seed that delivered a SIGSEGV leaves at least one ".mdcr"
+ *     crash capture that `flightrec::decodeCrashCapture` accepts.
+ *
+ * A final quarantine probe (one per sweep, fast supervision knobs)
+ * kills one slot's shard on every respawn until the supervisor
+ * quarantines it, then asserts fleet health reads "degraded" over the
+ * wire while the remaining shards still serve.
+ *
+ * The harness forks, so it must be called from a single-threaded
+ * process (the `mdesc chaos --crash` and test_chaos entry points are).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdes::net {
+
+/** Sweep parameters (defaults tuned so a 15-seed CI sweep stays in
+ * low single-digit minutes). */
+struct CrashChaosConfig
+{
+    /** Shards per fleet under test. */
+    unsigned shards = 3;
+    /** Service worker threads per shard. */
+    unsigned workers = 2;
+    /** Requests in the mix (distinct transform-bit patterns). */
+    unsigned requests = 6;
+    /** First seed; the sweep covers [first_seed, first_seed+num_seeds). */
+    uint64_t first_seed = 1;
+    unsigned num_seeds = 15;
+    /** Process-kill injections per seed (SIGKILL or SIGSEGV each). */
+    unsigned kill_rounds = 2;
+    /** Parent directory for per-seed store/flightrec directories. */
+    std::string store_base_dir;
+    /** Built-in machine driving the mix. */
+    std::string machine = "K5";
+    /** Synthetic workload size per request. */
+    size_t synth_ops = 300;
+
+    // Supervision knobs for the fleet under test (fast variants of the
+    // ServeOptions defaults, so recovery is observable in seconds).
+    // The backoff base is kept well above the harness's ~300 ms stats
+    // polling granularity so "respawned before the backoff" is a
+    // check with teeth, not one the measurement error swallows.
+    uint64_t backoff_base_ms = 1000;
+    uint64_t heartbeat_interval_ms = 100;
+    uint64_t heartbeat_timeout_ms = 800;
+    uint64_t drain_deadline_ms = 5000;
+
+    /** Run the post-sweep quarantine/degraded-health probe. */
+    bool quarantine_probe = true;
+};
+
+/** What one seed's run produced. */
+struct CrashSeedResult
+{
+    uint64_t seed = 0;
+    /** Human log of injected faults ("SIGKILL shard 2 pid 1234", ...). */
+    std::vector<std::string> injected;
+    uint64_t kills = 0;
+    uint64_t segvs = 0;
+    uint64_t stops = 0;
+    /** Final supervision counters read from the fleet before drain. */
+    uint64_t restarts_observed = 0;
+    uint64_t crashes_observed = 0;
+    uint64_t wedged_observed = 0;
+    /** Decodable ".mdcr" crash captures found after the drain. */
+    uint64_t crash_captures = 0;
+    /** Human-readable invariant violations (empty = seed passed). */
+    std::vector<std::string> violations;
+
+    bool ok() const { return violations.empty(); }
+};
+
+/** The whole sweep's verdict. */
+struct CrashSweepReport
+{
+    CrashChaosConfig config;
+    std::vector<CrashSeedResult> seeds;
+    /** Violations from the quarantine probe phase. */
+    std::vector<std::string> quarantine_violations;
+
+    bool ok() const;
+    /** Machine-readable report (CI uploads this on failure). */
+    std::string toJson() const;
+    /** One-line-per-seed human summary. */
+    std::string toText() const;
+};
+
+/** Run the full crash sweep. Creates per-seed directories under
+ * config.store_base_dir; a passing seed's directory is removed, a
+ * failing seed's is kept for post-mortem (CI uploads it). */
+CrashSweepReport runCrashSweep(const CrashChaosConfig &config);
+
+} // namespace mdes::net
+
+#endif // MDES_NET_CRASH_CHAOS_H

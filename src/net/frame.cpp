@@ -60,7 +60,8 @@ get64(const char *p)
 bool
 frameTypeValid(uint8_t t)
 {
-    return t >= uint8_t(FrameType::Request) && t <= uint8_t(FrameType::Stat);
+    return t >= uint8_t(FrameType::Request) &&
+           t <= uint8_t(FrameType::Health);
 }
 
 const char *

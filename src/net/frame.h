@@ -59,6 +59,11 @@ enum class FrameType : uint8_t {
      * payload is the stats JSON document. In --shards mode the parent
      * answers these itself with the merged fleet view. */
     Stat = 6,
+    /** Load-balancer health probe; answered with a Response frame
+     * whose payload is {"health":"ready"|"draining"|"degraded",...}.
+     * In --shards mode the parent answers from its supervision state
+     * (DESIGN.md §15). Equivalent to the JSON {"op":"health"} op. */
+    Health = 7,
 };
 
 /** True when @p t is a value FrameType names. */

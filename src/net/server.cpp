@@ -31,6 +31,7 @@
 #include "support/diagnostics.h"
 #include "support/faultsim.h"
 #include "support/flightrec.h"
+#include "support/io_retry.h"
 #include "support/json.h"
 
 namespace mdes::net {
@@ -107,7 +108,9 @@ sendFd(int chan, int fd)
     cm->cmsg_len = CMSG_LEN(sizeof(int));
     std::memcpy(CMSG_DATA(cm), &fd, sizeof(int));
     for (;;) {
-        if (sendmsg(chan, &msg, 0) >= 0)
+        // MSG_NOSIGNAL: the target shard may have just crashed; the
+        // hand-off must fail with EPIPE, not kill the router.
+        if (sendmsg(chan, &msg, MSG_NOSIGNAL) >= 0)
             return true;
         if (errno != EINTR)
             return false;
@@ -166,6 +169,7 @@ struct NetCounters
     std::atomic<uint64_t> shed{0}, deadline_expired{0};
     std::atomic<uint64_t> backpressure_stalls{0}, cancelled_on_close{0};
     std::atomic<uint64_t> stats_requests{0}, stats_coalesced{0};
+    std::atomic<uint64_t> draining_shed{0};
 
     void
     fill(service::NetStats &out) const
@@ -193,6 +197,8 @@ struct NetCounters
             stats_requests.load(std::memory_order_relaxed);
         out.stats_coalesced =
             stats_coalesced.load(std::memory_order_relaxed);
+        out.draining_shed =
+            draining_shed.load(std::memory_order_relaxed);
     }
 };
 
@@ -286,6 +292,12 @@ struct Server::Impl
 
     std::thread loop;
     std::atomic<bool> stop_requested{false};
+    /** Graceful drain (DESIGN.md §15): set by beginDrain() from any
+     * thread; the loop stops accepting, sheds new requests with typed
+     * Draining responses, and exits once no connection remains (or the
+     * deadline below passes, steady-clock microseconds). */
+    std::atomic<bool> drain_requested{false};
+    std::atomic<int64_t> drain_deadline_us{0};
     std::mutex done_mu;
     std::condition_variable done_cv;
     bool loop_done = false;
@@ -336,7 +348,20 @@ struct Server::Impl
     wake()
     {
         uint64_t one = 1;
-        [[maybe_unused]] ssize_t n = ::write(event_fd, &one, sizeof(one));
+        [[maybe_unused]] ssize_t n =
+            io::writeRetry(event_fd, &one, sizeof(one));
+    }
+
+    void
+    beginDrain(uint64_t deadline_ms)
+    {
+        auto now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count();
+        drain_deadline_us.store(now_us + int64_t(deadline_ms) * 1000,
+                                std::memory_order_release);
+        drain_requested.store(true, std::memory_order_release);
+        wake();
     }
 
     // --- connection lifecycle ----------------------------------------
@@ -427,16 +452,17 @@ struct Server::Impl
                 size_t n = conn.outstandingOut();
                 if (faultsim::probe(faultsim::Site::NetShortWrite).fired)
                     n = 1;
-                ssize_t w =
-                    ::write(conn.fd, conn.out.data() + conn.out_pos, n);
+                // sendRetry = EINTR-retried send with MSG_NOSIGNAL: a
+                // peer that closed mid-response costs EPIPE (the conn
+                // is torn down below), never a process-killing SIGPIPE.
+                ssize_t w = io::sendRetry(
+                    conn.fd, conn.out.data() + conn.out_pos, n);
                 if (w > 0) {
                     conn.out_pos += size_t(w);
                     counters.bytes_out.fetch_add(
                         uint64_t(w), std::memory_order_relaxed);
                     continue;
                 }
-                if (w < 0 && errno == EINTR)
-                    continue;
                 if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
                     return true;
                 closeConn(conn, /*abrupt=*/true);
@@ -510,6 +536,50 @@ struct Server::Impl
             f.payload = std::move(body);
             enqueueOut(conn, encodeFrame(f));
         }
+    }
+
+    /** Shed one request arriving after beginDrain(): a typed Draining
+     * response, so the client knows to retry against another instance
+     * instead of seeing a silent EOF. The connection survives - it may
+     * still be reading earlier in-flight responses. */
+    void
+    sendDraining(Conn &conn, uint64_t wire_id)
+    {
+        counters.draining_shed.fetch_add(1, std::memory_order_relaxed);
+        ScheduleResponse resp;
+        resp.error = {ErrorCode::Draining,
+                      "server draining; retry another instance"};
+        std::string body = serializeResponse(wire_id, resp);
+        if (conn.mode == Conn::Mode::Json) {
+            enqueueOut(conn, body + "\n");
+        } else {
+            Frame f;
+            f.type = FrameType::Response;
+            f.id = wire_id;
+            f.payload = std::move(body);
+            enqueueOut(conn, encodeFrame(f));
+        }
+    }
+
+    /** One health answer ({"op":"health"} or a Health frame): the
+     * process's own lifecycle state. The shard parent answers fleet
+     * Health frames itself with the supervision view; this one is what
+     * a single server or an individual shard reports. */
+    std::string
+    healthResponseBytes(const Conn &conn, uint64_t wire_id)
+    {
+        const char *state =
+            drain_requested.load(std::memory_order_acquire) ? "draining"
+                                                            : "ready";
+        std::string doc = std::string("{\"health\":\"") + state + "\"}";
+        if (conn.mode == Conn::Mode::Json)
+            return "{\"id\":" + std::to_string(wire_id) + "," +
+                   doc.substr(1) + "\n";
+        Frame f;
+        f.type = FrameType::Response;
+        f.id = wire_id;
+        f.payload = std::move(doc);
+        return encodeFrame(f);
     }
 
     /** A framing violation: emit one typed Error frame naming the
@@ -661,6 +731,9 @@ struct Server::Impl
         case FrameType::Stat:
             handleStat(conn, frame.id);
             return true;
+        case FrameType::Health:
+            enqueueOut(conn, healthResponseBytes(conn, frame.id));
+            return true;
         case FrameType::Response:
         case FrameType::Error:
             sendBadRequest(conn, frame.id,
@@ -668,6 +741,10 @@ struct Server::Impl
             return true;
         case FrameType::Request:
             break;
+        }
+        if (drain_requested.load(std::memory_order_acquire)) {
+            sendDraining(conn, frame.id);
+            return true;
         }
         // Injected peer reset: evaluated exactly once per decoded
         // request frame (a protocol event, not a syscall), so replays
@@ -704,6 +781,7 @@ struct Server::Impl
         std::string reqline;
         uint32_t deadline_ms = 0;
         bool is_stats = false;
+        bool is_health = false;
         try {
             JsonValue doc = parseJson(line);
             if (doc.kind != JsonValue::Kind::Object)
@@ -713,10 +791,16 @@ struct Server::Impl
             if (const JsonValue *id = doc.find("id"))
                 wire_id = jsonU64(*id);
             if (const JsonValue *op = doc.find("op")) {
-                if (op->kind != JsonValue::Kind::String ||
-                    op->string != "stats")
-                    throw MdesError("unknown op (only \"stats\")");
-                is_stats = true;
+                if (op->kind != JsonValue::Kind::String)
+                    throw MdesError(
+                        "unknown op (\"stats\" or \"health\")");
+                if (op->string == "stats")
+                    is_stats = true;
+                else if (op->string == "health")
+                    is_health = true;
+                else
+                    throw MdesError(
+                        "unknown op (\"stats\" or \"health\")");
             } else {
                 const JsonValue *req = doc.find("req");
                 if (!req || req->kind != JsonValue::Kind::String)
@@ -733,6 +817,14 @@ struct Server::Impl
         }
         if (is_stats) {
             handleStat(conn, wire_id);
+            return true;
+        }
+        if (is_health) {
+            enqueueOut(conn, healthResponseBytes(conn, wire_id));
+            return true;
+        }
+        if (drain_requested.load(std::memory_order_acquire)) {
+            sendDraining(conn, wire_id);
             return true;
         }
         if (faultsim::probe(faultsim::Site::NetPeerReset).fired) {
@@ -813,7 +905,7 @@ struct Server::Impl
             size_t want = sizeof(buf);
             if (faultsim::probe(faultsim::Site::NetShortRead).fired)
                 want = 1;
-            ssize_t n = ::read(conn.fd, buf, want);
+            ssize_t n = io::readRetry(conn.fd, buf, want);
             if (n > 0) {
                 counters.bytes_in.fetch_add(uint64_t(n),
                                             std::memory_order_relaxed);
@@ -827,8 +919,6 @@ struct Server::Impl
                 closeConn(conn, /*abrupt=*/false);
                 return;
             }
-            if (errno == EINTR)
-                continue;
             if (errno == EAGAIN || errno == EWOULDBLOCK)
                 break;
             closeConn(conn, /*abrupt=*/true);
@@ -848,13 +938,10 @@ struct Server::Impl
     handleAccept()
     {
         for (;;) {
-            int fd = accept4(listen_fd, nullptr, nullptr,
-                             SOCK_NONBLOCK | SOCK_CLOEXEC);
-            if (fd < 0) {
-                if (errno == EINTR)
-                    continue;
+            int fd = io::accept4Retry(listen_fd, nullptr, nullptr,
+                                      SOCK_NONBLOCK | SOCK_CLOEXEC);
+            if (fd < 0)
                 return; // EAGAIN or transient accept error
-            }
             adoptConnection(fd);
         }
     }
@@ -872,12 +959,51 @@ struct Server::Impl
         counters.fill(m.net);
         std::string reply = poll.substr(1, 8);
         reply += service::statsToJson(m, service::windowNowS());
-        [[maybe_unused]] ssize_t n = ::send(feed_fd, reply.data(),
-                                            reply.size(), MSG_NOSIGNAL);
+        [[maybe_unused]] ssize_t n =
+            io::sendRetry(feed_fd, reply.data(), reply.size());
     }
 
-    /** Shard child: drain connection fds (and stat polls) off the feed
-     * channel. Returns false on channel EOF (graceful-shutdown cue). */
+    /** Shard child: dispatch one parent control datagram. 's'+seq is a
+     * stat poll, 'h'+seq a watchdog heartbeat (echoed verbatim - the
+     * 9-byte length is what distinguishes an echo from a stat reply on
+     * the parent side), 'd'+u32le a drain command (DESIGN.md §15). */
+    void
+    handleFeedDatagram(const std::string &data)
+    {
+        if (data.empty())
+            return;
+        if (data[0] == 's') {
+            answerStatPoll(data);
+            return;
+        }
+        if (data[0] == 'h' && data.size() >= 9) {
+            uint64_t seq = 0;
+            for (int b = 0; b < 8; ++b)
+                seq |= uint64_t(uint8_t(data[size_t(1 + b)])) << (8 * b);
+            // The wedge fault: drop the echo so the parent's watchdog
+            // sees a silent shard and SIGKILLs us. Keyed by the probe
+            // seq so chaos replays make the same drop decisions.
+            faultsim::TokenScope scope(seq);
+            if (faultsim::probe(faultsim::Site::NetHeartbeatDrop).fired)
+                return;
+            [[maybe_unused]] ssize_t n =
+                io::sendRetry(feed_fd, data.data(), 9);
+            return;
+        }
+        if (data[0] == 'd' && data.size() >= 5) {
+            uint32_t ms = 0;
+            for (int b = 0; b < 4; ++b)
+                ms |= uint32_t(uint8_t(data[size_t(1 + b)])) << (8 * b);
+            beginDrain(ms);
+            return;
+        }
+        // Unknown control byte: a newer parent talking to an older
+        // shard; ignore rather than kill the feed.
+    }
+
+    /** Shard child: drain connection fds (and control datagrams) off
+     * the feed channel. Returns false on channel EOF
+     * (graceful-shutdown cue). */
     bool
     handleFeed()
     {
@@ -889,7 +1015,7 @@ struct Server::Impl
             if (fd == -2)
                 return false; // EOF: parent is shutting down
             if (fd == -3) {
-                answerStatPoll(data);
+                handleFeedDatagram(data);
                 continue;
             }
             adoptConnection(fd);
@@ -943,13 +1069,47 @@ struct Server::Impl
     {
         epoll_event evs[64];
         bool done = false;
+        bool drain_applied = false;
         while (!done) {
-            int n = epoll_wait(epoll_fd, evs, 64, -1);
-            if (n < 0) {
-                if (errno == EINTR)
-                    continue;
-                break;
+            int timeout = -1;
+            if (drain_requested.load(std::memory_order_acquire)) {
+                if (!drain_applied) {
+                    drain_applied = true;
+                    // Stop admitting: closing the listen socket means
+                    // new clients are refused outright instead of
+                    // queueing behind a dying process. (Shard children
+                    // have no listen fd; their feed simply stops
+                    // delivering connections.)
+                    if (listen_fd >= 0) {
+                        epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd,
+                                  nullptr);
+                        ::close(listen_fd);
+                        listen_fd = -1;
+                    }
+                }
+                // Drained = no connection remains: every in-flight
+                // request was answered and its bytes flushed (clients
+                // close after reading). Past the deadline we exit
+                // anyway - a stuck client that never reads its
+                // response must not hold the process hostage.
+                if (conns.empty())
+                    break;
+                auto now_us =
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now()
+                            .time_since_epoch())
+                        .count();
+                int64_t left_ms =
+                    (drain_deadline_us.load(std::memory_order_acquire) -
+                     now_us) /
+                    1000;
+                if (left_ms <= 0)
+                    break;
+                timeout = int(std::min<int64_t>(left_ms, 100));
             }
+            int n = io::epollWaitRetry(epoll_fd, evs, 64, timeout);
+            if (n < 0)
+                break;
             for (int i = 0; i < n && !done; ++i) {
                 uint64_t id = evs[i].data.u64;
                 if (id == kIdEvent) {
@@ -1126,6 +1286,18 @@ Server::stopping() const
 }
 
 void
+Server::beginDrain(uint64_t deadline_ms)
+{
+    impl_->beginDrain(deadline_ms);
+}
+
+bool
+Server::draining() const
+{
+    return impl_->drain_requested.load(std::memory_order_acquire);
+}
+
+void
 Server::waitUntilStopped()
 {
     Impl &im = *impl_;
@@ -1196,6 +1368,10 @@ armFlightRecorder(const ServeOptions &opts, int shard)
 {
     if (opts.flightrec_dir.empty())
         return;
+    // Crash capture (DESIGN.md §15): fatal signals dump the trace rings
+    // to one fleet-wide crash directory (files are named by pid, so
+    // shards never collide), decodable by `mdesc flight decode`.
+    flightrec::armCrashCapture(opts.flightrec_dir + "/crash");
     flightrec::SpoolConfig cfg;
     cfg.dir = opts.flightrec_dir;
     if (shard >= 0)
@@ -1209,6 +1385,18 @@ armFlightRecorder(const ServeOptions &opts, int shard)
               << opts.flightrec_slow_ms << " ms)\n";
 }
 
+/** Tell the launcher (the chaos harness) which port a port-0 server
+ * bound: one little-endian u16 on opts.port_notify_fd, then close. */
+void
+notifyPort(int fd, uint16_t port)
+{
+    if (fd < 0)
+        return;
+    unsigned char b[2] = {uint8_t(port & 0xff), uint8_t(port >> 8)};
+    [[maybe_unused]] ssize_t n = io::writeRetry(fd, b, sizeof(b));
+    ::close(fd);
+}
+
 int
 runSingleServe(const ServeOptions &opts)
 {
@@ -1216,14 +1404,28 @@ runSingleServe(const ServeOptions &opts)
     armFlightRecorder(opts, /*shard=*/-1);
     Server server(opts.server);
     server.start();
+    notifyPort(opts.port_notify_fd, server.port());
     std::cout << "mdesc serve: listening on " << opts.server.host << ":"
               << server.port() << " (pid " << getpid() << ", "
               << server.service().numWorkers() << " workers)\n"
               << std::flush;
     int sig = 0;
     sigwait(&set, &sig);
-    std::cout << "mdesc serve: " << strsignal(sig)
-              << ", shutting down\n";
+    if (sig == SIGTERM) {
+        // Graceful drain (DESIGN.md §15): stop accepting, let in-flight
+        // work finish under the deadline, shed new requests with typed
+        // Draining responses. SIGINT stays the fast path.
+        std::cout << "mdesc serve: " << strsignal(sig)
+                  << ", draining (deadline " << opts.drain_deadline_ms
+                  << " ms)\n"
+                  << std::flush;
+        server.beginDrain(opts.drain_deadline_ms);
+        server.waitUntilStopped();
+        std::cout << "mdesc serve: drained, shutting down\n";
+    } else {
+        std::cout << "mdesc serve: " << strsignal(sig)
+                  << ", shutting down\n";
+    }
     server.stop();
     dumpMetrics(server.metrics(), opts.json_metrics);
     return 0;
@@ -1269,42 +1471,126 @@ struct RoutingConn
 
 constexpr std::chrono::seconds kRouteTimeout(5);
 
+/** Close every fd except stdio and @p keep. A freshly forked shard
+ * must not inherit the listen socket, its siblings' feed channels, the
+ * routing epoll, or client sockets mid-routing: a restarted shard's
+ * leaked listen fd would otherwise hold the port open even after the
+ * parent dies, and leaked feed ends would mask sibling EOFs. */
+void
+closeAllFdsExcept(int keep)
+{
+    long max = sysconf(_SC_OPEN_MAX);
+    if (max <= 0 || max > 65536)
+        max = 65536;
+    for (int fd = 3; fd < int(max); ++fd)
+        if (fd != keep)
+            ::close(fd);
+}
+
+/**
+ * One shard slot's supervision state (DESIGN.md §15). The routing
+ * thread owns every transition (spawn, reap, watchdog kill,
+ * quarantine); the stats thread reads channels and refreshes
+ * last_beat; fleet_mu guards the lot. chan is closed only under
+ * fleet_mu and every use outside the lock goes through a dup() taken
+ * under it, so a closed fd number can never be recycled out from under
+ * a concurrent reader.
+ */
+struct ShardSlot
+{
+    pid_t pid = -1;
+    /** Parent end of the feed pair; -1 while the shard is down. */
+    int chan = -1;
+    uint64_t restarts = 0;
+    uint64_t crashes = 0;
+    uint64_t wedges = 0;
+    /** Consecutive crashes younger than rapid_crash_window_ms; drives
+     * the exponential backoff and the quarantine decision. */
+    uint32_t rapid = 0;
+    bool quarantined = false;
+    /** Watchdog SIGKILL sent; the next reap counts as a wedge, not a
+     * crash. */
+    bool kill_pending = false;
+    bool drain_sent = false;
+    std::chrono::steady_clock::time_point started{};
+    /** When down: earliest respawn time (crash-loop backoff). */
+    std::chrono::steady_clock::time_point restart_at{};
+    std::chrono::steady_clock::time_point last_beat{};
+};
+
 int
 runShardedServe(const ServeOptions &opts)
 {
-    sigset_t set = blockTermSignals();
-    unsigned nshards = opts.shards;
+    using Clock = std::chrono::steady_clock;
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    sigaddset(&set, SIGCHLD);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+    const unsigned nshards = opts.shards;
 
     uint16_t bound_port = 0;
     int listen_fd =
         makeListenSocket(opts.server.host, opts.server.port, &bound_port);
 
-    // Fork first: children must exist before any threads do.
-    std::vector<int> chans;     // parent ends of the feed pairs
-    std::vector<pid_t> pids;
-    for (unsigned i = 0; i < nshards; ++i) {
+    // The parent gets crash capture too: a routing-loop SIGSEGV is as
+    // much a fleet outage as a shard's.
+    if (!opts.flightrec_dir.empty())
+        flightrec::armCrashCapture(opts.flightrec_dir + "/crash");
+
+    std::vector<ShardSlot> slots(nshards);
+    std::mutex fleet_mu;
+    std::atomic<bool> fleet_draining{false};
+    bool unclean_exit = false; // routing thread only
+
+    // Spawn (or respawn) shard @p i. Forking with the stats thread
+    // live is safe here: glibc's atfork handlers keep malloc usable in
+    // the child, and the child touches no parent lock - it closes every
+    // inherited fd and builds a fresh Server from scratch.
+    auto spawnShard = [&](unsigned i, bool respawn) {
         int pair[2];
-        if (socketpair(AF_UNIX, SOCK_SEQPACKET | SOCK_CLOEXEC, 0, pair) !=
-            0)
-            throw MdesError(std::string("net: socketpair: ") +
-                            strerror(errno));
+        if (socketpair(AF_UNIX, SOCK_SEQPACKET | SOCK_CLOEXEC, 0,
+                       pair) != 0) {
+            if (!respawn)
+                throw MdesError(std::string("net: socketpair: ") +
+                                strerror(errno));
+            return false;
+        }
         pid_t pid = fork();
-        if (pid < 0)
-            throw MdesError(std::string("net: fork: ") + strerror(errno));
+        if (pid < 0) {
+            ::close(pair[0]);
+            ::close(pair[1]);
+            if (!respawn)
+                throw MdesError(std::string("net: fork: ") +
+                                strerror(errno));
+            return false;
+        }
         if (pid == 0) {
             // Child: keep only its feed end. Signals stay blocked; the
-            // shutdown cue is feed EOF, not SIGTERM.
-            ::close(pair[0]);
-            ::close(listen_fd);
-            for (int fd : chans)
-                ::close(fd);
+            // shutdown cues are feed EOF and the 'd' drain datagram.
+            closeAllFdsExcept(pair[1]);
             runShardChild(opts, i, pair[1]);
         }
         ::close(pair[1]);
-        chans.push_back(pair[0]);
-        pids.push_back(pid);
-    }
+        auto now = Clock::now();
+        std::lock_guard<std::mutex> lock(fleet_mu);
+        ShardSlot &s = slots[i];
+        s.chan = pair[0];
+        s.pid = pid;
+        if (respawn)
+            ++s.restarts;
+        s.kill_pending = false;
+        s.started = now;
+        s.last_beat = now;
+        return true;
+    };
 
+    // Fork the initial fleet before any threads exist.
+    for (unsigned i = 0; i < nshards; ++i)
+        spawnShard(i, /*respawn=*/false);
+
+    notifyPort(opts.port_notify_fd, bound_port);
     std::cout << "mdesc serve: listening on " << opts.server.host << ":"
               << bound_port << " (pid " << getpid() << ", " << nshards
               << " shards)\n"
@@ -1327,11 +1613,65 @@ runShardedServe(const ServeOptions &opts)
     uint64_t next_id = kFirstRoute;
     uint64_t round_robin = 0;
 
+    /** Dup shard @p i's feed channel under fleet_mu (-1 when down). */
+    auto dupChan = [&](unsigned i) {
+        std::lock_guard<std::mutex> lock(fleet_mu);
+        return slots[i].chan >= 0 ? ::dup(slots[i].chan) : -1;
+    };
+
     auto handTo = [&](uint64_t shard, int fd) {
-        // On a dead shard the send fails and closing the fd resets the
-        // client, which retries (chaos treats that as transport loss).
-        sendFd(chans[size_t(shard % nshards)], fd);
+        // Prefer the keyed shard but fail over to the next live one:
+        // route affinity is a cache hint while availability is an
+        // invariant (the shards share one artifact store, so any can
+        // serve any key). With no live shard at all the close resets
+        // the client, which retries (chaos treats that as transport
+        // loss, bounded by the restart backoff).
+        for (unsigned probe = 0; probe < nshards; ++probe) {
+            int chan = dupChan(unsigned((shard + probe) % nshards));
+            if (chan < 0)
+                continue;
+            bool ok = sendFd(chan, fd);
+            ::close(chan);
+            if (ok) {
+                ::close(fd);
+                return;
+            }
+        }
         ::close(fd);
+    };
+
+    /** Fleet + per-shard supervision view for stats and health. */
+    auto supervisionSnapshot = [&]() {
+        service::SupervisionInfo sup;
+        sup.enabled = true;
+        std::vector<service::ShardSupervision> rows(nshards);
+        std::lock_guard<std::mutex> lock(fleet_mu);
+        for (unsigned i = 0; i < nshards; ++i) {
+            const ShardSlot &s = slots[i];
+            rows[i].pid = s.pid;
+            rows[i].restarts = s.restarts;
+            rows[i].crashes = s.crashes;
+            rows[i].wedges = s.wedges;
+            rows[i].state = s.quarantined ? "quarantined"
+                            : s.pid > 0  ? "live"
+                                         : "backoff";
+            sup.restarts += s.restarts;
+            sup.crashes += s.crashes;
+            sup.wedged_shards += s.wedges;
+            if (s.quarantined)
+                ++sup.quarantined;
+        }
+        sup.health = fleet_draining.load(std::memory_order_acquire)
+                         ? "draining"
+                     : sup.quarantined ? "degraded"
+                                       : "ready";
+        return std::make_pair(sup, rows);
+    };
+
+    /** Any datagram from shard @p i is proof of life. */
+    auto noteBeat = [&](unsigned i) {
+        std::lock_guard<std::mutex> lock(fleet_mu);
+        slots[i].last_beat = Clock::now();
     };
 
     // Fleet stats (DESIGN.md §14): poll every shard over its feed
@@ -1341,45 +1681,49 @@ runShardedServe(const ServeOptions &opts)
     // blocked router. Replies carry the seq so a late answer from an
     // earlier poll is discarded instead of being mistaken for a fresh
     // one.
-    uint64_t stat_seq = 0;
+    uint64_t stat_seq = 0; // stats thread only
     auto pollFleet = [&](int timeout_ms) {
         uint64_t seq = ++stat_seq;
         std::string pollmsg(1, 's');
         for (int b = 0; b < 8; ++b)
             pollmsg.push_back(char((seq >> (8 * b)) & 0xff));
-        std::vector<std::string> answers(chans.size());
-        std::vector<bool> done_shard(chans.size(), false);
+        std::vector<int> fds(nshards, -1);
+        for (unsigned i = 0; i < nshards; ++i)
+            fds[i] = dupChan(i);
+        std::vector<std::string> answers(nshards);
+        std::vector<bool> done_shard(nshards, false);
         size_t remaining = 0;
-        for (size_t i = 0; i < chans.size(); ++i) {
-            if (::send(chans[i], pollmsg.data(), pollmsg.size(),
+        for (unsigned i = 0; i < nshards; ++i) {
+            if (fds[i] >= 0 &&
+                ::send(fds[i], pollmsg.data(), pollmsg.size(),
                        MSG_NOSIGNAL) == ssize_t(pollmsg.size()))
                 ++remaining;
             else
-                done_shard[i] = true; // dead shard: stays stale
+                done_shard[i] = true; // down shard: stays stale
         }
         std::string buf(1 << 16, '\0');
-        auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(timeout_ms);
+        auto deadline =
+            Clock::now() + std::chrono::milliseconds(timeout_ms);
         while (remaining > 0) {
             auto left =
                 std::chrono::duration_cast<std::chrono::milliseconds>(
-                    deadline - std::chrono::steady_clock::now())
+                    deadline - Clock::now())
                     .count();
             if (left <= 0)
                 break;
-            std::vector<pollfd> pfds(chans.size());
-            for (size_t i = 0; i < chans.size(); ++i)
-                pfds[i] = {chans[i],
+            std::vector<pollfd> pfds(nshards);
+            for (unsigned i = 0; i < nshards; ++i)
+                pfds[i] = {fds[i],
                            short(done_shard[i] ? 0 : POLLIN), 0};
             int pr = ::poll(pfds.data(), nfds_t(pfds.size()), int(left));
             if (pr < 0 && errno == EINTR)
                 continue;
             if (pr <= 0)
                 break;
-            for (size_t i = 0; i < chans.size(); ++i) {
+            for (unsigned i = 0; i < nshards; ++i) {
                 if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR)))
                     continue;
-                ssize_t n = ::recv(chans[i], buf.data(), buf.size(), 0);
+                ssize_t n = ::recv(fds[i], buf.data(), buf.size(), 0);
                 if (n <= 0) {
                     if (n < 0 &&
                         (errno == EAGAIN || errno == EWOULDBLOCK ||
@@ -1389,6 +1733,9 @@ runShardedServe(const ServeOptions &opts)
                     --remaining;
                     continue;
                 }
+                noteBeat(i); // any datagram is proof of life
+                if (size_t(n) == 9 && buf[0] == 'h')
+                    continue; // heartbeat echo, not a stat reply
                 if (size_t(n) < 9)
                     continue; // runt datagram: discard
                 uint64_t rseq = 0;
@@ -1401,8 +1748,219 @@ runShardedServe(const ServeOptions &opts)
                 --remaining;
             }
         }
-        return service::mergeShardStats(answers,
-                                        service::windowNowS());
+        for (int fd : fds)
+            if (fd >= 0)
+                ::close(fd);
+        auto [sup, rows] = supervisionSnapshot();
+        return service::mergeShardStats(answers, service::windowNowS(),
+                                        sup, rows);
+    };
+
+    // Watchdog heartbeats (DESIGN.md §15): probe every live shard over
+    // its feed channel and collect echoes briefly. A shard whose event
+    // loop is wedged (stuck handler, livelocked epoll) answers nothing;
+    // last_beat goes stale and the routing thread SIGKILLs it. Echoes
+    // ride the same channel as stat replies - a 9-byte 'h' datagram is
+    // unambiguous because stat replies are always seq + a JSON
+    // document, far longer than 9 bytes.
+    uint64_t hb_seq = 0; // stats thread only
+    auto heartbeatRound = [&]() {
+        ++hb_seq;
+        char msg[9];
+        msg[0] = 'h';
+        for (int b = 0; b < 8; ++b)
+            msg[1 + b] = char((hb_seq >> (8 * b)) & 0xff);
+        std::vector<int> fds(nshards, -1);
+        {
+            std::lock_guard<std::mutex> lock(fleet_mu);
+            for (unsigned i = 0; i < nshards; ++i) {
+                const ShardSlot &s = slots[i];
+                if (s.chan >= 0 && s.pid > 0 && !s.drain_sent)
+                    fds[i] = ::dup(s.chan);
+            }
+        }
+        for (unsigned i = 0; i < nshards; ++i) {
+            if (fds[i] < 0)
+                continue;
+            [[maybe_unused]] ssize_t w =
+                ::send(fds[i], msg, sizeof(msg), MSG_NOSIGNAL);
+        }
+        auto deadline = Clock::now() + std::chrono::milliseconds(60);
+        char buf[512];
+        for (;;) {
+            std::vector<pollfd> pfds;
+            std::vector<unsigned> owner;
+            for (unsigned i = 0; i < nshards; ++i) {
+                if (fds[i] >= 0) {
+                    pfds.push_back({fds[i], POLLIN, 0});
+                    owner.push_back(i);
+                }
+            }
+            if (pfds.empty())
+                break;
+            auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - Clock::now())
+                    .count();
+            if (left <= 0)
+                break;
+            int pr = ::poll(pfds.data(), nfds_t(pfds.size()), int(left));
+            if (pr < 0 && errno == EINTR)
+                continue;
+            if (pr <= 0)
+                break;
+            for (size_t k = 0; k < pfds.size(); ++k) {
+                if (!(pfds[k].revents & (POLLIN | POLLHUP | POLLERR)))
+                    continue;
+                unsigned i = owner[k];
+                // A truncating recv is fine: any datagram (echo or
+                // late stat reply) proves the shard alive, and a
+                // truncated stat reply was already written off as
+                // stale by its poll.
+                ssize_t n = ::recv(fds[i], buf, sizeof(buf), 0);
+                if (n <= 0) {
+                    if (n < 0 &&
+                        (errno == EAGAIN || errno == EWOULDBLOCK ||
+                         errno == EINTR))
+                        continue;
+                    ::close(fds[i]); // EOF: shard died; reap handles it
+                    fds[i] = -1;
+                    continue;
+                }
+                noteBeat(i);
+                ::close(fds[i]); // one proof of life per round is enough
+                fds[i] = -1;
+            }
+        }
+        for (int fd : fds)
+            if (fd >= 0)
+                ::close(fd);
+    };
+
+    // Watchdog + crash-loop restarts, run from the routing thread's
+    // periodic tick. Wedged shards (silent past heartbeat_timeout_ms)
+    // are SIGKILLed; the reap below classifies and schedules the
+    // restart. Slots whose backoff elapsed respawn here.
+    auto superviseTick = [&]() {
+        if (fleet_draining.load(std::memory_order_acquire))
+            return;
+        auto now = Clock::now();
+        struct Kill
+        {
+            unsigned shard;
+            pid_t pid;
+        };
+        std::vector<Kill> to_kill;
+        std::vector<unsigned> to_spawn;
+        {
+            std::lock_guard<std::mutex> lock(fleet_mu);
+            for (unsigned i = 0; i < nshards; ++i) {
+                ShardSlot &s = slots[i];
+                if (s.pid > 0 && !s.kill_pending &&
+                    now - s.last_beat >
+                        std::chrono::milliseconds(
+                            opts.heartbeat_timeout_ms)) {
+                    s.kill_pending = true;
+                    to_kill.push_back({i, s.pid});
+                } else if (s.pid < 0 && !s.quarantined &&
+                           s.restart_at != Clock::time_point{} &&
+                           now >= s.restart_at) {
+                    to_spawn.push_back(i);
+                }
+            }
+        }
+        for (const Kill &k : to_kill) {
+            std::cout << "mdesc serve: shard " << k.shard
+                      << " wedged (no heartbeat), SIGKILL pid " << k.pid
+                      << "\n"
+                      << std::flush;
+            ::kill(k.pid, SIGKILL);
+        }
+        for (unsigned i : to_spawn) {
+            if (spawnShard(i, /*respawn=*/true)) {
+                uint64_t nth;
+                {
+                    std::lock_guard<std::mutex> lock(fleet_mu);
+                    nth = slots[i].restarts;
+                }
+                std::cout << "mdesc serve: shard " << i
+                          << " restarted (restart #" << nth << ")\n"
+                          << std::flush;
+            }
+        }
+    };
+
+    // Reap dead children (SIGCHLD coalesces, so sweep until WNOHANG
+    // returns nothing). Classifies wedge vs crash, escalates the
+    // crash-loop backoff, and quarantines a slot that keeps dying.
+    auto reapChildren = [&]() {
+        for (;;) {
+            int status = 0;
+            pid_t pid = waitpid(-1, &status, WNOHANG);
+            if (pid <= 0)
+                break;
+            auto now = Clock::now();
+            std::string note;
+            {
+                std::lock_guard<std::mutex> lock(fleet_mu);
+                for (unsigned i = 0; i < nshards; ++i) {
+                    ShardSlot &s = slots[i];
+                    if (s.pid != pid)
+                        continue;
+                    ::close(s.chan); // safe: other users dup under lock
+                    s.chan = -1;
+                    s.pid = -1;
+                    bool clean =
+                        WIFEXITED(status) && WEXITSTATUS(status) == 0;
+                    if (fleet_draining.load(
+                            std::memory_order_acquire) ||
+                        s.drain_sent) {
+                        // Expected exit during drain; unclean ones
+                        // surface in the final exit code.
+                        if (!clean)
+                            unclean_exit = true;
+                        break;
+                    }
+                    bool rapid_crash =
+                        now - s.started <
+                        std::chrono::milliseconds(
+                            opts.rapid_crash_window_ms);
+                    if (s.kill_pending) {
+                        ++s.wedges;
+                        s.kill_pending = false;
+                    } else {
+                        ++s.crashes;
+                    }
+                    s.rapid = rapid_crash ? s.rapid + 1 : 0;
+                    note =
+                        "mdesc serve: shard " + std::to_string(i) +
+                        (WIFSIGNALED(status)
+                             ? " killed by signal " +
+                                   std::to_string(WTERMSIG(status))
+                             : " exited with status " +
+                                   std::to_string(WEXITSTATUS(status)));
+                    if (s.rapid >= opts.quarantine_after) {
+                        s.quarantined = true;
+                        note += "; quarantined after " +
+                                std::to_string(s.rapid) +
+                                " rapid crashes";
+                    } else {
+                        uint64_t shift =
+                            std::min<uint32_t>(s.rapid, 10);
+                        uint64_t backoff_ms = std::min(
+                            opts.restart_backoff_base_ms << shift,
+                            opts.restart_backoff_max_ms);
+                        s.restart_at =
+                            now + std::chrono::milliseconds(backoff_ms);
+                        note += "; restart in " +
+                                std::to_string(backoff_ms) + " ms";
+                    }
+                    break;
+                }
+            }
+            if (!note.empty())
+                std::cout << note << "\n" << std::flush;
+        }
     };
 
     // Fleet STAT connections are never answered on the router thread:
@@ -1421,6 +1979,9 @@ runShardedServe(const ServeOptions &opts)
     {
         int fd = -1;
         uint64_t id = 0; // frame id, echoed in the response
+        /** True for a Health frame: answered from supervision state
+         * (no fleet poll needed), not with the stats document. */
+        bool health = false;
     };
     constexpr size_t kMaxQueuedStat = 64;
     std::mutex stat_mu;
@@ -1432,7 +1993,8 @@ runShardedServe(const ServeOptions &opts)
     // deadline, so N hostile peers that never read cost one deadline
     // total, not N of them. Every fd is closed on exit.
     auto answerStatBatch = [](std::vector<StatConn> &batch,
-                              const std::string &payload) {
+                              const std::string &stats_payload,
+                              const std::string &health_payload) {
         struct Out
         {
             int fd;
@@ -1445,7 +2007,7 @@ runShardedServe(const ServeOptions &opts)
             Frame f;
             f.type = FrameType::Response;
             f.id = sc.id;
-            f.payload = payload;
+            f.payload = sc.health ? health_payload : stats_payload;
             outs.push_back({sc.fd, encodeFrame(f)});
         }
         const auto deadline = std::chrono::steady_clock::now() +
@@ -1492,16 +2054,36 @@ runShardedServe(const ServeOptions &opts)
                 ::close(o.fd); // deadline passed: peer not reading
     };
 
+    /** The parent's health document: supervision state, no shard
+     * round-trip (a wedged fleet must still answer health probes). */
+    auto healthJson = [&]() {
+        auto [sup, rows] = supervisionSnapshot();
+        (void)rows;
+        std::string doc = "{\"health\":\"" + sup.health + "\"";
+        doc += ",\"shards\":" + std::to_string(nshards);
+        doc += ",\"restarts\":" + std::to_string(sup.restarts);
+        doc += ",\"crashes\":" + std::to_string(sup.crashes);
+        doc +=
+            ",\"wedged_shards\":" + std::to_string(sup.wedged_shards);
+        doc += ",\"quarantined\":" + std::to_string(sup.quarantined);
+        doc += "}";
+        return doc;
+    };
+
     // The stats thread is the only reader on the feed channels (the
     // router only ever sends), so its recv() in pollFleet never races
     // the routing loop; SOCK_SEQPACKET sends from two threads stay
-    // atomic per datagram.
+    // atomic per datagram. It doubles as the heartbeat pacemaker:
+    // between stat batches it wakes on a timer and probes the fleet.
     std::thread stat_thread([&] {
+        auto next_beat =
+            Clock::now() +
+            std::chrono::milliseconds(opts.heartbeat_interval_ms);
         for (;;) {
             std::vector<StatConn> batch;
             {
                 std::unique_lock<std::mutex> lock(stat_mu);
-                stat_cv.wait(lock, [&] {
+                stat_cv.wait_until(lock, next_beat, [&] {
                     return stat_shutdown || !stat_queue.empty();
                 });
                 if (stat_shutdown)
@@ -1509,8 +2091,21 @@ runShardedServe(const ServeOptions &opts)
                 batch.assign(stat_queue.begin(), stat_queue.end());
                 stat_queue.clear();
             }
-            const std::string payload = pollFleet(/*timeout_ms=*/300);
-            answerStatBatch(batch, payload);
+            if (Clock::now() >= next_beat) {
+                heartbeatRound();
+                next_beat = Clock::now() +
+                            std::chrono::milliseconds(
+                                opts.heartbeat_interval_ms);
+            }
+            if (batch.empty())
+                continue;
+            bool want_stats = false;
+            for (const StatConn &sc : batch)
+                want_stats |= !sc.health;
+            const std::string stats_payload =
+                want_stats ? pollFleet(/*timeout_ms=*/300)
+                           : std::string();
+            answerStatBatch(batch, stats_payload, healthJson());
         }
     });
 
@@ -1533,12 +2128,19 @@ runShardedServe(const ServeOptions &opts)
             uint32_t payload_len = 0;
             for (int i = 0; i < 4; ++i)
                 payload_len |= uint32_t(uint8_t(hdr[8 + i])) << (8 * i);
-            if (uint8_t(hdr[5]) == uint8_t(FrameType::Stat) &&
-                payload_len == 0) {
-                // Fleet stats: consume the frame and hand the fd to
-                // the stats thread, which answers with all shards
-                // merged. (A Stat with a payload is left to a shard,
-                // which answers with its local view.)
+            uint8_t ftype = uint8_t(hdr[5]);
+            bool fleet_stat =
+                ftype == uint8_t(FrameType::Stat) && payload_len == 0;
+            bool fleet_health =
+                ftype == uint8_t(FrameType::Health) && payload_len == 0;
+            if (fleet_stat || fleet_health) {
+                // Fleet stats/health: consume the frame and hand the
+                // fd to the stats thread. Stats answer with all shards
+                // merged; health with the parent's supervision view -
+                // which is the point: a draining or degraded fleet is
+                // something only the supervisor knows. (A Stat with a
+                // payload is left to a shard, which answers with its
+                // local view.)
                 char sink[kHeaderSize];
                 if (recv(rc.fd, sink, sizeof(sink), 0) !=
                     ssize_t(kHeaderSize)) {
@@ -1554,7 +2156,8 @@ runShardedServe(const ServeOptions &opts)
                 {
                     std::lock_guard<std::mutex> lock(stat_mu);
                     if (stat_queue.size() < kMaxQueuedStat) {
-                        stat_queue.push_back({rc.fd, wire_id});
+                        stat_queue.push_back(
+                            {rc.fd, wire_id, fleet_health});
                         queued = true;
                     }
                 }
@@ -1577,18 +2180,41 @@ runShardedServe(const ServeOptions &opts)
         return false;
     };
 
+    // --- drain orchestration (DESIGN.md §15) ---------------------------
     bool done = false;
+    bool drain_cmds_sent = false;
+    Clock::time_point drain_deadline{};
+    Clock::time_point drain_route_deadline{};
+
+    auto beginFleetDrain = [&]() {
+        if (fleet_draining.exchange(true))
+            return;
+        auto now = Clock::now();
+        drain_deadline =
+            now + std::chrono::milliseconds(opts.drain_deadline_ms);
+        // Mid-routing connections were accepted; give them a moment to
+        // finish their headers before the shards stop taking work.
+        drain_route_deadline =
+            now + std::chrono::milliseconds(std::min<uint64_t>(
+                      500, opts.drain_deadline_ms / 2));
+        epoll_ctl(ep, EPOLL_CTL_DEL, listen_fd, nullptr);
+        ::close(listen_fd);
+        listen_fd = -1;
+        std::cout << "mdesc serve: SIGTERM, draining " << nshards
+                  << " shards (deadline " << opts.drain_deadline_ms
+                  << " ms)\n"
+                  << std::flush;
+    };
+
     epoll_event evs[64];
     while (!done) {
-        // Finite timeout while connections are mid-routing so the
-        // stale sweep below runs even when no fd becomes ready.
-        int n = epoll_wait(ep, evs, 64, routing.empty() ? -1 : 1000);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
+        // Finite timeout: the supervision tick (watchdog deadlines,
+        // restart backoffs, drain progress) must run even when no fd
+        // ever becomes ready.
+        int n = io::epollWaitRetry(ep, evs, 64, 200);
+        if (n < 0)
             break;
-        }
-        auto now = std::chrono::steady_clock::now();
+        auto now = Clock::now();
         for (auto it = routing.begin(); it != routing.end();) {
             if (now - it->second.since > kRouteTimeout) {
                 ::close(it->second.fd);
@@ -1600,18 +2226,29 @@ runShardedServe(const ServeOptions &opts)
         for (int i = 0; i < n; ++i) {
             uint64_t id = evs[i].data.u64;
             if (id == kSignal) {
-                done = true;
-                break;
+                signalfd_siginfo si;
+                while (read(sfd, &si, sizeof(si)) ==
+                       ssize_t(sizeof(si))) {
+                    if (si.ssi_signo == SIGCHLD)
+                        reapChildren();
+                    else if (si.ssi_signo == SIGTERM)
+                        beginFleetDrain();
+                    else
+                        done = true; // SIGINT: immediate shutdown
+                }
+                continue;
             }
             if (id == kListen) {
+                if (listen_fd < 0)
+                    continue; // closed by a drain in this same batch
                 for (;;) {
-                    int fd = accept4(listen_fd, nullptr, nullptr,
-                                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+                    int fd = io::accept4Retry(
+                        listen_fd, nullptr, nullptr,
+                        SOCK_NONBLOCK | SOCK_CLOEXEC);
                     if (fd < 0)
                         break;
                     uint64_t cid = next_id++;
-                    RoutingConn rc{fd,
-                                   std::chrono::steady_clock::now()};
+                    RoutingConn rc{fd, Clock::now()};
                     // Edge-triggered: MSG_PEEK leaves bytes readable,
                     // so level-triggered polling would spin while the
                     // header is still partial.
@@ -1631,19 +2268,75 @@ runShardedServe(const ServeOptions &opts)
             if (!route(it->second))
                 routing.erase(it);
         }
+        if (done)
+            break;
+        reapChildren(); // SIGCHLD coalesces; sweep every tick
+        if (!fleet_draining.load(std::memory_order_acquire)) {
+            superviseTick();
+            continue;
+        }
+        // Drain progress. Phase 1: wait (briefly) for mid-routing
+        // headers, then tell every live shard to drain. Phase 2: wait
+        // for the reaps; SIGKILL stragglers past deadline + grace.
+        now = Clock::now();
+        if (!drain_cmds_sent &&
+            (routing.empty() || now >= drain_route_deadline)) {
+            drain_cmds_sent = true;
+            for (auto &[rid, rc] : routing)
+                if (rc.fd >= 0)
+                    ::close(rc.fd); // header never completed in time
+            routing.clear();
+            char msg[5];
+            msg[0] = 'd';
+            uint32_t ms32 = uint32_t(std::min<uint64_t>(
+                opts.drain_deadline_ms, 0xffffffffull));
+            for (int b = 0; b < 4; ++b)
+                msg[1 + b] = char((ms32 >> (8 * b)) & 0xff);
+            std::lock_guard<std::mutex> lock(fleet_mu);
+            for (unsigned i = 0; i < nshards; ++i) {
+                ShardSlot &s = slots[i];
+                if (s.chan < 0)
+                    continue;
+                [[maybe_unused]] ssize_t w =
+                    ::send(s.chan, msg, sizeof(msg), MSG_NOSIGNAL);
+                s.drain_sent = true;
+            }
+        }
+        bool all_exited = true;
+        std::vector<pid_t> stragglers;
+        {
+            std::lock_guard<std::mutex> lock(fleet_mu);
+            for (const ShardSlot &s : slots) {
+                if (s.pid <= 0)
+                    continue;
+                all_exited = false;
+                if (now >=
+                    drain_deadline + std::chrono::milliseconds(1000))
+                    stragglers.push_back(s.pid);
+            }
+        }
+        if (all_exited) {
+            done = true;
+        } else if (!stragglers.empty()) {
+            for (pid_t pid : stragglers)
+                ::kill(pid, SIGKILL);
+            unclean_exit = true;
+        }
+        if (now >= drain_deadline + std::chrono::milliseconds(5000))
+            done = true; // absolute cap; teardown reaps what remains
     }
 
     std::cout << "mdesc serve: shutting down " << nshards << " shards\n"
               << std::flush;
-    ::close(listen_fd);
+    if (listen_fd >= 0)
+        ::close(listen_fd);
     ::close(sfd);
-    ::close(ep);
     for (auto &[id, rc] : routing)
         if (rc.fd >= 0)
             ::close(rc.fd);
-    // Stop the stats thread before closing the feed channels it polls
-    // over; a batch in flight finishes first (bounded by its poll and
-    // write deadlines).
+    // Stop the stats thread before closing the feed channels it dups;
+    // a round in flight finishes first (bounded by its poll and write
+    // deadlines).
     {
         std::lock_guard<std::mutex> lock(stat_mu);
         stat_shutdown = true;
@@ -1653,14 +2346,25 @@ runShardedServe(const ServeOptions &opts)
     }
     stat_cv.notify_one();
     stat_thread.join();
-    for (int fd : chans)
-        ::close(fd); // children see feed EOF and drain
-    int exit_code = 0;
-    for (pid_t pid : pids) {
+    ::close(ep);
+    int exit_code = unclean_exit ? 1 : 0;
+    {
+        std::lock_guard<std::mutex> lock(fleet_mu);
+        for (ShardSlot &s : slots) {
+            if (s.chan >= 0) {
+                ::close(s.chan); // feed EOF: children drain and exit
+                s.chan = -1;
+            }
+        }
+    }
+    for (ShardSlot &s : slots) {
+        if (s.pid <= 0)
+            continue;
         int status = 0;
-        if (waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        if (waitpid(s.pid, &status, 0) < 0 || !WIFEXITED(status) ||
             WEXITSTATUS(status) != 0)
             exit_code = 1;
+        s.pid = -1;
     }
     std::cout << "mdesc serve: shards exited "
               << (exit_code == 0 ? "cleanly" : "with errors") << "\n";

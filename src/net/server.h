@@ -36,6 +36,17 @@
  * were never consumed, so the child reads the stream from the start.
  * JSON connections and route=0 round-robin. SIGTERM to the parent
  * closes the pairs; children treat feed EOF as graceful shutdown.
+ *
+ * Supervision plane (DESIGN.md §15): the shard parent reaps children
+ * on SIGCHLD and restarts crashed shards with exponential crash-loop
+ * backoff, quarantining a slot that crashes rapidly. A watchdog
+ * heartbeats every shard over its feed channel and SIGKILLs one that
+ * goes silent past a deadline (accounted as "wedged", distinct from
+ * crashes). SIGTERM triggers a graceful drain instead of an abrupt
+ * close: the listen socket stops accepting, in-flight requests finish
+ * under a deadline, and new requests are shed with a typed Draining
+ * response. Fatal signals dump the flight-recorder rings to a crash
+ * capture decodable offline by `mdesc flight decode`.
  */
 
 #include <cstdint>
@@ -107,6 +118,20 @@ class Server
      * loop's cue that a graceful shutdown is underway. */
     bool stopping() const;
 
+    /**
+     * Flip into draining mode (DESIGN.md §15): stop accepting new
+     * connections, shed every subsequently-arriving request with a
+     * typed Draining response, let in-flight work finish, and exit the
+     * event loop once the last in-flight response has been written (or
+     * @p deadline_ms elapses, whichever is first — a stuck client must
+     * not hold the process hostage). Idempotent; callable from any
+     * thread (including a signal-watcher thread).
+     */
+    void beginDrain(uint64_t deadline_ms);
+
+    /** True once beginDrain() was called (health reports "draining"). */
+    bool draining() const;
+
     /** Block until the event loop exits (feed-fd EOF or stop()); the
      * caller still calls stop() to join and drain. */
     void waitUntilStopped();
@@ -146,6 +171,31 @@ struct ServeOptions
     /** Latency above which an otherwise-successful request's trace is
      * spooled (0 = only errors trigger capture). */
     uint64_t flightrec_slow_ms = 500;
+
+    // ---- Supervision plane knobs (DESIGN.md §15) -------------------
+
+    /** SIGTERM drain budget: in-flight requests get this long to
+     * finish before the process exits anyway. */
+    uint64_t drain_deadline_ms = 5000;
+    /** First restart delay after a shard crash; doubles per rapid
+     * crash (500ms, 1s, 2s, ...). */
+    uint64_t restart_backoff_base_ms = 500;
+    /** Backoff ceiling. */
+    uint64_t restart_backoff_max_ms = 10000;
+    /** A shard that dies younger than this is a "rapid" crash and
+     * escalates the backoff; surviving longer resets the streak. */
+    uint64_t rapid_crash_window_ms = 3000;
+    /** Rapid crashes in a row before the slot is quarantined (no
+     * further restarts; fleet health turns "degraded"). */
+    uint32_t quarantine_after = 5;
+    /** Watchdog heartbeat period (parent → shard 'h' probes). */
+    uint64_t heartbeat_interval_ms = 500;
+    /** A shard silent longer than this is SIGKILLed as wedged. */
+    uint64_t heartbeat_timeout_ms = 3000;
+    /** When >= 0, the bound listen port is written to this fd as
+     * little-endian u16 once serving begins (then the fd is closed) —
+     * the chaos harness's rendezvous with a port-0 server. */
+    int port_notify_fd = -1;
 };
 
 /**

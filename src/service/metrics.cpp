@@ -26,6 +26,7 @@ errorCodeName(ErrorCode code)
     case ErrorCode::Overloaded: return "overloaded";
     case ErrorCode::CircuitOpen: return "circuit-open";
     case ErrorCode::Degraded: return "degraded";
+    case ErrorCode::Draining: return "draining";
     case ErrorCode::kNumCodes: break;
     }
     return "?";
@@ -239,6 +240,7 @@ NetStats::merge(const NetStats &other)
     cancelled_on_close += other.cancelled_on_close;
     stats_requests += other.stats_requests;
     stats_coalesced += other.stats_coalesced;
+    draining_shed += other.draining_shed;
 }
 
 void
@@ -601,16 +603,17 @@ ServiceMetrics::toTable() const
         out += frames.toString();
 
         if (net.shed || net.deadline_expired || net.cancelled_on_close ||
-            net.stats_requests) {
+            net.stats_requests || net.draining_shed) {
             TextTable pressure;
             pressure.setHeader({"Net Shed", "Deadline Expired",
                                 "Cancelled On Close", "Stats Reqs",
-                                "Stats Coalesced"});
+                                "Stats Coalesced", "Draining Shed"});
             pressure.addRow({std::to_string(net.shed),
                              std::to_string(net.deadline_expired),
                              std::to_string(net.cancelled_on_close),
                              std::to_string(net.stats_requests),
-                             std::to_string(net.stats_coalesced)});
+                             std::to_string(net.stats_coalesced),
+                             std::to_string(net.draining_shed)});
             out += pressure.toString();
         }
     }
@@ -754,6 +757,7 @@ ServiceMetrics::toJson() const
         w.key("cancelled_on_close").value(net.cancelled_on_close);
         w.key("stats_requests").value(net.stats_requests);
         w.key("stats_coalesced").value(net.stats_coalesced);
+        w.key("draining_shed").value(net.draining_shed);
         w.endObject();
     }
     w.endObject();

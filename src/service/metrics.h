@@ -47,6 +47,10 @@ enum class ErrorCode : int {
      * the service itself reports degradation via
      * ScheduleResponse::degraded with code Ok. */
     Degraded,
+    /** Shed at the socket tier: the server is draining after SIGTERM
+     * and no longer admits new requests (DESIGN.md §15). In-flight
+     * work still completes; load balancers should retry elsewhere. */
+    Draining,
     kNumCodes
 };
 
@@ -259,6 +263,10 @@ struct NetStats
      * still draining on the same connection (the reply they got
      * carries the latest request's id and a fresh snapshot). */
     uint64_t stats_coalesced = 0;
+
+    /** Requests answered with ErrorCode::Draining because they arrived
+     * after SIGTERM flipped the server to draining (DESIGN.md §15). */
+    uint64_t draining_shed = 0;
 
     void merge(const NetStats &other);
 };

@@ -165,9 +165,27 @@ statsToJson(const StatSnapshot &snap)
             w.key("w60_requests").value(row.w60_requests);
             w.key("w60_rate_per_s").value(row.w60_rate_per_s);
             w.key("w60_p99_us").value(row.w60_p99_us);
+            if (snap.supervision.enabled) {
+                w.key("pid").value(int64_t(row.pid));
+                w.key("restarts").value(row.restarts);
+                w.key("state").value(
+                    !row.state.empty() ? row.state
+                    : row.stale        ? "stale"
+                                       : "live");
+            }
             w.endObject();
         }
         w.endArray();
+    }
+
+    if (snap.supervision.enabled) {
+        w.key("supervision").beginObject();
+        w.key("health").value(snap.supervision.health);
+        w.key("restarts").value(snap.supervision.restarts);
+        w.key("crashes").value(snap.supervision.crashes);
+        w.key("wedged_shards").value(snap.supervision.wedged_shards);
+        w.key("quarantined").value(snap.supervision.quarantined);
+        w.endObject();
     }
     w.endObject();
     return w.str();
@@ -265,15 +283,37 @@ parseStats(const std::string &json)
                 rate->kind == JsonValue::Kind::Number)
                 row.w60_rate_per_s = rate->number;
             row.w60_p99_us = u64Field(rv, "w60_p99_us");
+            if (const JsonValue *pid = rv.find("pid");
+                pid != nullptr && pid->kind == JsonValue::Kind::Number)
+                row.pid = int64_t(pid->number);
+            row.restarts = u64Field(rv, "restarts");
+            if (const JsonValue *state = rv.find("state");
+                state != nullptr &&
+                state->kind == JsonValue::Kind::String)
+                row.state = state->string;
             snap.per_shard.push_back(row);
         }
+    }
+
+    if (const JsonValue *sup = doc.find("supervision");
+        sup != nullptr && sup->kind == JsonValue::Kind::Object) {
+        snap.supervision.enabled = true;
+        if (const JsonValue *health = sup->find("health");
+            health != nullptr &&
+            health->kind == JsonValue::Kind::String)
+            snap.supervision.health = health->string;
+        snap.supervision.restarts = u64Field(*sup, "restarts");
+        snap.supervision.crashes = u64Field(*sup, "crashes");
+        snap.supervision.wedged_shards = u64Field(*sup, "wedged_shards");
+        snap.supervision.quarantined = u64Field(*sup, "quarantined");
     }
     return snap;
 }
 
-std::string
-mergeShardStats(const std::vector<std::string> &shard_jsons,
-                uint64_t now_s)
+namespace {
+
+StatSnapshot
+mergeFleet(const std::vector<std::string> &shard_jsons, uint64_t now_s)
 {
     StatSnapshot fleet;
     fleet.now_s = now_s;
@@ -323,6 +363,34 @@ mergeShardStats(const std::vector<std::string> &shard_jsons,
     }
     if (fleet.shards == 0)
         fleet.shards = 1; // an all-stale fleet still reports itself
+    return fleet;
+}
+
+} // namespace
+
+std::string
+mergeShardStats(const std::vector<std::string> &shard_jsons,
+                uint64_t now_s)
+{
+    return statsToJson(mergeFleet(shard_jsons, now_s));
+}
+
+std::string
+mergeShardStats(const std::vector<std::string> &shard_jsons,
+                uint64_t now_s, const SupervisionInfo &sup,
+                const std::vector<ShardSupervision> &shard_sup)
+{
+    StatSnapshot fleet = mergeFleet(shard_jsons, now_s);
+    fleet.supervision = sup;
+    fleet.supervision.enabled = true;
+    for (StatSnapshot::ShardRow &row : fleet.per_shard) {
+        if (row.shard >= shard_sup.size())
+            continue;
+        const ShardSupervision &s = shard_sup[size_t(row.shard)];
+        row.pid = s.pid;
+        row.restarts = s.restarts;
+        row.state = s.state;
+    }
     return statsToJson(fleet);
 }
 
@@ -346,6 +414,18 @@ renderStats(const StatSnapshot &snap)
                      snap.lifetime_total.approxPercentileUs(0.99))});
     out += head.toString();
 
+    if (snap.supervision.enabled) {
+        TextTable sup;
+        sup.setHeader({"Health", "Restarts", "Crashes", "Wedged",
+                       "Quarantined"});
+        sup.addRow({snap.supervision.health,
+                    std::to_string(snap.supervision.restarts),
+                    std::to_string(snap.supervision.crashes),
+                    std::to_string(snap.supervision.wedged_shards),
+                    std::to_string(snap.supervision.quarantined)});
+        out += sup.toString();
+    }
+
     TextTable win;
     win.setHeader({"Window", "Requests", "Rate/s", "Errors", "Shed",
                    "p50 us", "p95 us", "p99 us"});
@@ -363,16 +443,42 @@ renderStats(const StatSnapshot &snap)
 
     if (!snap.per_shard.empty()) {
         TextTable shards;
-        shards.setHeader({"Shard", "State", "Requests", "60s Requests",
-                          "60s Rate/s", "60s p99 us"});
+        const bool sup = snap.supervision.enabled;
+        if (sup)
+            shards.setHeader({"Shard", "State", "Pid", "Restarts",
+                              "Requests", "60s Requests", "60s Rate/s",
+                              "60s p99 us"});
+        else
+            shards.setHeader({"Shard", "State", "Requests",
+                              "60s Requests", "60s Rate/s",
+                              "60s p99 us"});
         for (const StatSnapshot::ShardRow &row : snap.per_shard) {
-            shards.addRow(
-                {std::to_string(row.shard),
-                 row.stale ? "STALE" : "live",
-                 row.stale ? "-" : std::to_string(row.requests),
-                 row.stale ? "-" : std::to_string(row.w60_requests),
-                 row.stale ? "-" : TextTable::num(row.w60_rate_per_s, 1),
-                 row.stale ? "-" : std::to_string(row.w60_p99_us)});
+            // A supervised-but-down shard shows its supervision state
+            // (backoff/quarantined) instead of a bare STALE.
+            std::string state = !row.state.empty()
+                                    ? row.state
+                                    : (row.stale ? "STALE" : "live");
+            if (row.stale && row.state == "live")
+                state = "STALE";
+            std::vector<std::string> cols;
+            cols.push_back(std::to_string(row.shard));
+            cols.push_back(state);
+            if (sup) {
+                cols.push_back(row.pid >= 0 ? std::to_string(row.pid)
+                                            : "-");
+                cols.push_back(std::to_string(row.restarts));
+            }
+            cols.push_back(row.stale ? "-"
+                                     : std::to_string(row.requests));
+            cols.push_back(row.stale
+                               ? "-"
+                               : std::to_string(row.w60_requests));
+            cols.push_back(row.stale
+                               ? "-"
+                               : TextTable::num(row.w60_rate_per_s, 1));
+            cols.push_back(row.stale ? "-"
+                                     : std::to_string(row.w60_p99_us));
+            shards.addRow(cols);
         }
         out += shards.toString();
     }

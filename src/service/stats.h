@@ -28,11 +28,16 @@
  *           "stats_requests":..,"stats_coalesced":..},
  *    "per_shard":[{"shard":0,"stale":false,"requests":..,
  *                  "w60_requests":..,"w60_rate_per_s":..,
- *                  "w60_p99_us":..},...]}
+ *                  "w60_p99_us":..,"pid":..,"restarts":..,
+ *                  "state":"live"},...],
+ *    "supervision":{"health":"ready","restarts":..,"crashes":..,
+ *                   "wedged_shards":..,"quarantined":..}}
  *
- * "per_shard" appears only in fleet documents (sharded parent).
- * A window view is {"horizon_s","requests","ok","errors","shed",
- * "rate_per_s","p50_us","p95_us","p99_us","mean_us","max_us"}.
+ * "per_shard" appears only in fleet documents (sharded parent), and
+ * "supervision" plus the per-shard pid/restarts/state columns only
+ * when a supervisor contributed (DESIGN.md §15). A window view is
+ * {"horizon_s","requests","ok","errors","shed","rate_per_s","p50_us",
+ * "p95_us","p99_us","mean_us","max_us"}.
  */
 
 #include <cstdint>
@@ -42,6 +47,40 @@
 #include "service/metrics.h"
 
 namespace mdes::service {
+
+/**
+ * Parent-side supervision state for one shard, injected into the fleet
+ * document by the shard parent (DESIGN.md §15). The shards themselves
+ * know nothing about restarts; only the supervisor can account them.
+ */
+struct ShardSupervision
+{
+    /** Kernel pid, -1 while the shard is down (backoff/quarantine). */
+    int64_t pid = -1;
+    /** Respawns performed for this slot. */
+    uint64_t restarts = 0;
+    /** Unexpected exits (crash or kill) observed for this slot. */
+    uint64_t crashes = 0;
+    /** Watchdog SIGKILLs (heartbeat deadline missed) for this slot. */
+    uint64_t wedges = 0;
+    /** "live" | "backoff" | "quarantined". */
+    std::string state = "live";
+};
+
+/** Fleet-level supervision summary (fleet documents only). */
+struct SupervisionInfo
+{
+    bool enabled = false;
+    /** "ready" | "draining" | "degraded". */
+    std::string health = "ready";
+    uint64_t restarts = 0;
+    uint64_t crashes = 0;
+    /** Watchdog kills: shards that stopped heartbeating and were
+     * SIGKILLed — accounted distinctly from crashes. */
+    uint64_t wedged_shards = 0;
+    /** Shards currently quarantined after rapid crash loops. */
+    uint64_t quarantined = 0;
+};
 
 /** In-memory form of one stats document (shard-local or fleet). */
 struct StatSnapshot
@@ -83,9 +122,18 @@ struct StatSnapshot
         uint64_t w60_requests = 0;
         double w60_rate_per_s = 0.0;
         uint64_t w60_p99_us = 0;
+        // Supervision columns (fleet documents with a supervisor).
+        int64_t pid = -1;
+        uint64_t restarts = 0;
+        /** "" = unknown (serialized from stale), else the supervisor's
+         * view: "live" | "backoff" | "quarantined". */
+        std::string state;
     };
     /** Per-shard breakdown (fleet documents only). */
     std::vector<ShardRow> per_shard;
+
+    /** Supervision summary; serialized only when enabled. */
+    SupervisionInfo supervision;
 };
 
 /** Build one process's snapshot from its merged metrics. */
@@ -111,6 +159,18 @@ StatSnapshot parseStats(const std::string &json);
  */
 std::string mergeShardStats(const std::vector<std::string> &shard_jsons,
                             uint64_t now_s);
+
+/**
+ * As above, but stamped with the supervisor's view: @p sup becomes the
+ * document's "supervision" object and @p shard_sup[i] (when provided)
+ * fills shard i's pid/restarts/state columns. A quarantined or
+ * backoff shard answers no polls, so its row shows the supervision
+ * state instead of a bare "STALE".
+ */
+std::string
+mergeShardStats(const std::vector<std::string> &shard_jsons,
+                uint64_t now_s, const SupervisionInfo &sup,
+                const std::vector<ShardSupervision> &shard_sup);
 
 /** Render a snapshot as the `mdesc top` dashboard text. */
 std::string renderStats(const StatSnapshot &snap);

@@ -246,6 +246,34 @@ ArtifactStore::ArtifactStore(StoreConfig config)
     if (ec || !fs::is_directory(config_.dir))
         throw MdesError("cannot create store directory '" + config_.dir +
                         "': " + ec.message());
+    // A writer killed between temp-write and rename (kill -9, OOM,
+    // crash) leaves a ".tmp-*" orphan that the sscanf-keyed walks in
+    // prune()/list() skip forever. Sweep them at open: any live
+    // publisher whose temp we race loses one rename, retries with a
+    // fresh temp name, and succeeds.
+    const uint64_t swept = sweepResidue();
+    if (swept > 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.residue_swept += swept;
+    }
+}
+
+uint64_t
+ArtifactStore::sweepResidue()
+{
+    uint64_t removed = 0;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(config_.dir, ec)) {
+        if (!de.is_regular_file(ec))
+            continue;
+        const std::string name = de.path().filename().string();
+        if (name.rfind(".tmp-", 0) != 0)
+            continue;
+        std::error_code rmec;
+        if (fs::remove(de.path(), rmec) && !rmec)
+            ++removed;
+    }
+    return removed;
 }
 
 std::string
@@ -519,8 +547,17 @@ ArtifactStore::prune(uint64_t max_bytes)
         if (!de.is_regular_file(ec))
             continue;
         fs::path p = de.path();
+        const std::string name = p.filename().string();
+        if (name.rfind(".tmp-", 0) == 0) {
+            // Orphaned publish temp (crashed writer); same rationale
+            // as the open-time sweep in the constructor.
+            std::error_code rmec;
+            if (fs::remove(p, rmec) && !rmec)
+                ++result.residue_removed;
+            continue;
+        }
         uint64_t key = 0;
-        if (std::sscanf(p.filename().string().c_str(), "%16llx",
+        if (std::sscanf(name.c_str(), "%16llx",
                         (unsigned long long *)&key) != 1)
             continue;
         if (p.extension() == ".bad") {
@@ -567,9 +604,10 @@ ArtifactStore::prune(uint64_t max_bytes)
         result.bytes_after -= e.bytes;
         ++result.removed;
     }
-    if (result.removed) {
+    if (result.removed || result.residue_removed) {
         std::lock_guard<std::mutex> lock(mu_);
         stats_.evictions += result.removed;
+        stats_.residue_swept += result.residue_removed;
     }
     return result;
 }

@@ -104,6 +104,11 @@ struct StoreStats
     /** Backoff retries taken after transient I/O failures (loads and
      * publishes combined). */
     uint64_t retries = 0;
+    /** Orphaned publish temp files (".tmp-*") removed at open or by
+     * prune() — residue of a writer killed between temp-write and
+     * rename (the supervision plane's kill -9 restarts make this a
+     * routine occurrence, not a curiosity; DESIGN.md §15). */
+    uint64_t residue_swept = 0;
 };
 
 /** One store entry as reported by list() / `mdesc store stat`. */
@@ -129,6 +134,8 @@ struct PruneResult
     uint64_t removed = 0;
     uint64_t bytes_before = 0;
     uint64_t bytes_after = 0;
+    /** Orphaned publish temp files removed by the sweep. */
+    uint64_t residue_removed = 0;
 };
 
 /**
@@ -228,6 +235,8 @@ class ArtifactStore
                  const std::function<bool()> &cancel);
     void quarantine(uint64_t key);
     void writeMeta(uint64_t key, const Header &header);
+    /** Remove orphaned ".tmp-*" publish files; returns count removed. */
+    uint64_t sweepResidue();
 
     StoreConfig config_;
     mutable std::mutex mu_;

@@ -93,6 +93,11 @@ enum class Site : uint32_t {
     /** net::Connection write path - the write stalls delay_us before
      * proceeding (exercises EPOLLOUT backpressure paths). */
     NetStalledWrite,
+    /** Shard child supervision channel - a watchdog heartbeat reply is
+     * dropped (the parent sees a silent shard and, past the deadline,
+     * SIGKILLs and restarts it; DESIGN.md §15). Appended after the
+     * socket-I/O sites so existing seeds replay unchanged. */
+    NetHeartbeatDrop,
     kNumSites
 };
 

@@ -1,14 +1,22 @@
 #include "support/flightrec.h"
 
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <cstring>
 #include <deque>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <mutex>
 #include <system_error>
+
+#include "support/diagnostics.h"
 
 #include "support/json.h"
 #include "support/trace.h"
@@ -159,6 +167,31 @@ struct Ring
     }
 };
 
+// ---- Crash-capture ring table -------------------------------------
+//
+// The Registry below guards its rings with a mutex, which a fatal-
+// signal handler must never take. Rings are registered once and never
+// freed, so a parallel lock-free table of raw pointers is safe for the
+// handler to walk: registration publishes the pointer with a release
+// store before bumping the count, and the handler loads the count with
+// acquire. Capped; threads past the cap simply aren't captured.
+
+inline constexpr size_t kMaxCrashRings = 256;
+std::atomic<Ring *> g_crash_rings[kMaxCrashRings];
+std::atomic<size_t> g_crash_ring_count{0};
+
+void
+publishCrashRing(Ring *ring)
+{
+    // Serialized by the Registry mutex; only the count's ordering
+    // against the slot store matters for the signal-handler reader.
+    const size_t idx = g_crash_ring_count.load(std::memory_order_relaxed);
+    if (idx >= kMaxCrashRings)
+        return;
+    g_crash_rings[idx].store(ring, std::memory_order_release);
+    g_crash_ring_count.store(idx + 1, std::memory_order_release);
+}
+
 /** Ring registry: one ring per thread, registered once, never removed
  * (same lifetime contract as trace::Collector's buffers). */
 class Registry
@@ -182,6 +215,7 @@ class Registry
         Ring *raw = owned.get();
         std::lock_guard<std::mutex> lock(mu_);
         rings_.push_back(std::move(owned));
+        publishCrashRing(raw);
         return *raw;
     }
 
@@ -510,6 +544,307 @@ SpoolStats
 spoolStats()
 {
     return Spool::instance().stats();
+}
+
+// ---- Crash capture ------------------------------------------------
+
+namespace {
+
+// On-disk .mdcr layout, host-endian (captures are decoded on the
+// machine that wrote them). A fixed header, then ring_count rings of
+// (CrashRingHeader + nrec CrashRecords). Timestamps stay in raw ticks;
+// the header carries two (ticks, us) calibration points - the origin
+// pinned at arm time and the crash instant - so the decoder can derive
+// the tick rate without trusting the dying process to do math.
+struct CrashFileHeader
+{
+    char magic[4]; // "MDCR"
+    uint32_t version;
+    uint32_t signo;
+    uint32_t ring_count;
+    uint64_t pid;
+    uint64_t fault_addr;
+    uint64_t origin_ticks;
+    uint64_t origin_us;
+    uint64_t crash_ticks;
+    uint64_t crash_us;
+};
+
+struct CrashRingHeader
+{
+    uint32_t tid;
+    uint32_t nrec;
+};
+
+struct CrashRecord
+{
+    char name[40]; // NUL-terminated span name, truncated
+    uint64_t trace_id;
+    uint64_t ts_ticks;
+    uint64_t dur_ticks;
+};
+
+inline constexpr char kCrashMagic[4] = {'M', 'D', 'C', 'R'};
+inline constexpr uint32_t kCrashVersion = 1;
+
+// Handler state, all set before sigaction() installs anything. The
+// directory is a plain char buffer: the handler may not touch
+// std::string.
+char g_crash_dir[3584];
+std::atomic<bool> g_crash_armed{false};
+uint64_t g_crash_origin_ticks = 0;
+uint64_t g_crash_origin_us = 0;
+alignas(16) char g_crash_stack[64 * 1024];
+
+/** write() all of @p len, ignoring EINTR; best-effort. */
+void
+crashWrite(int fd, const void *data, size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        p += n;
+        len -= size_t(n);
+    }
+}
+
+/** Decimal-format @p v into @p out; returns digits written. */
+size_t
+crashFmtU64(char *out, uint64_t v)
+{
+    char tmp[20];
+    size_t n = 0;
+    do {
+        tmp[n++] = char('0' + v % 10);
+        v /= 10;
+    } while (v != 0);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = tmp[n - 1 - i];
+    return n;
+}
+
+/** The fatal-signal handler. Restricted to async-signal-safe calls:
+ * open/write/close/getpid/raise, atomic loads, and clock_gettime via
+ * trace::nowUs() (whose statics armCrashCapture() pre-initialized). */
+extern "C" void
+crashCaptureHandler(int sig, siginfo_t *info, void *)
+{
+    // "<dir>/crash-<pid>-<signo>.mdcr"
+    char path[4096];
+    size_t off = 0;
+    const size_t dirlen = ::strlen(g_crash_dir);
+    ::memcpy(path, g_crash_dir, dirlen);
+    off = dirlen;
+    ::memcpy(path + off, "/crash-", 7);
+    off += 7;
+    off += crashFmtU64(path + off, uint64_t(::getpid()));
+    path[off++] = '-';
+    off += crashFmtU64(path + off, uint64_t(sig));
+    ::memcpy(path + off, ".mdcr", 6);
+
+    int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+        const size_t nrings = std::min(
+            g_crash_ring_count.load(std::memory_order_acquire),
+            kMaxCrashRings);
+        CrashFileHeader h{};
+        ::memcpy(h.magic, kCrashMagic, sizeof(kCrashMagic));
+        h.version = kCrashVersion;
+        h.signo = uint32_t(sig);
+        h.ring_count = uint32_t(nrings);
+        h.pid = uint64_t(::getpid());
+        h.fault_addr =
+            info != nullptr ? uint64_t(uintptr_t(info->si_addr)) : 0;
+        h.origin_ticks = g_crash_origin_ticks;
+        h.origin_us = g_crash_origin_us;
+        h.crash_us = trace::nowUs();
+        h.crash_ticks = nowTicks();
+        crashWrite(fd, &h, sizeof h);
+
+        for (size_t r = 0; r < nrings; ++r) {
+            Ring *ring =
+                g_crash_rings[r].load(std::memory_order_acquire);
+            if (ring == nullptr)
+                continue;
+            // Other threads may still be pushing; their in-progress
+            // slot can tear. Crash forensics tolerates one garbled
+            // event per surviving thread.
+            const uint64_t head =
+                ring->head.load(std::memory_order_acquire);
+            const uint64_t lo =
+                head > kRingSlots ? head - kRingSlots : 0;
+            CrashRingHeader rh{ring->tid, uint32_t(head - lo)};
+            crashWrite(fd, &rh, sizeof rh);
+            CrashRecord batch[64];
+            size_t filled = 0;
+            for (uint64_t i = lo; i < head; ++i) {
+                const Slot &s = ring->slots[i & (kRingSlots - 1)];
+                CrashRecord &rec = batch[filled];
+                ::memset(rec.name, 0, sizeof rec.name);
+                const char *name =
+                    s.name.load(std::memory_order_relaxed);
+                if (name != nullptr) {
+                    // Span names are string literals in this process;
+                    // copy by hand (strncpy is not on the safe list).
+                    size_t k = 0;
+                    while (k < sizeof(rec.name) - 1 && name[k] != '\0') {
+                        rec.name[k] = name[k];
+                        ++k;
+                    }
+                }
+                rec.trace_id =
+                    s.trace_id.load(std::memory_order_relaxed);
+                rec.ts_ticks =
+                    s.ts_ticks.load(std::memory_order_relaxed);
+                rec.dur_ticks =
+                    s.dur_ticks.load(std::memory_order_relaxed);
+                if (++filled == sizeof(batch) / sizeof(batch[0])) {
+                    crashWrite(fd, batch, sizeof batch);
+                    filled = 0;
+                }
+            }
+            if (filled > 0)
+                crashWrite(fd, batch, filled * sizeof(CrashRecord));
+        }
+        ::close(fd);
+    }
+
+    // SA_RESETHAND restored the default disposition on entry; re-raise
+    // so the process dies with the real signal (status, cores intact).
+    ::raise(sig);
+}
+
+} // namespace
+
+bool
+armCrashCapture(const std::string &dir)
+{
+    if (dir.empty() || dir.size() >= sizeof(g_crash_dir) - 1)
+        return false;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    std::memcpy(g_crash_dir, dir.c_str(), dir.size() + 1);
+    // Pre-initialize every static the handler touches while it is
+    // still legal to take locks: the tick origin pair and the
+    // trace-clock epoch inside trace::nowUs().
+    const TickOrigin &origin = tickOrigin();
+    g_crash_origin_ticks = origin.ticks;
+    g_crash_origin_us = origin.us;
+
+    stack_t ss{};
+    ss.ss_sp = g_crash_stack;
+    ss.ss_size = sizeof g_crash_stack;
+    if (sigaltstack(&ss, nullptr) != 0)
+        return false;
+
+    struct sigaction sa{};
+    sa.sa_sigaction = crashCaptureHandler;
+    sa.sa_flags = SA_SIGINFO | SA_RESETHAND | SA_ONSTACK;
+    sigemptyset(&sa.sa_mask);
+    for (int sig : {SIGSEGV, SIGBUS, SIGABRT}) {
+        if (sigaction(sig, &sa, nullptr) != 0)
+            return false;
+    }
+    g_crash_armed.store(true, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+crashCaptureArmed()
+{
+    return g_crash_armed.load(std::memory_order_relaxed);
+}
+
+std::string
+decodeCrashCapture(const std::string &path, CrashInfo *info)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw MdesError("flightrec: cannot open crash capture '" + path +
+                        "'");
+    std::string raw((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    if (raw.size() < sizeof(CrashFileHeader))
+        throw MdesError("flightrec: truncated crash capture '" + path +
+                        "'");
+    CrashFileHeader h;
+    std::memcpy(&h, raw.data(), sizeof h);
+    if (std::memcmp(h.magic, kCrashMagic, sizeof(kCrashMagic)) != 0)
+        throw MdesError("flightrec: bad crash-capture magic in '" + path +
+                        "'");
+    if (h.version != kCrashVersion)
+        throw MdesError("flightrec: unsupported crash-capture version " +
+                        std::to_string(h.version));
+
+    // Tick rate from the two calibration points the handler recorded.
+    const uint64_t dus =
+        h.crash_us > h.origin_us ? h.crash_us - h.origin_us : 1;
+    const uint64_t dticks = h.crash_ticks > h.origin_ticks
+                                ? h.crash_ticks - h.origin_ticks
+                                : dus;
+    const double rate = double(dticks) / double(dus);
+
+    std::deque<std::string> names; // stable storage behind Event.name
+    std::vector<Event> events;
+    size_t off = sizeof h;
+    for (uint32_t r = 0; r < h.ring_count; ++r) {
+        if (off + sizeof(CrashRingHeader) > raw.size())
+            throw MdesError("flightrec: truncated ring header in '" +
+                            path + "'");
+        CrashRingHeader rh;
+        std::memcpy(&rh, raw.data() + off, sizeof rh);
+        off += sizeof rh;
+        if (rh.nrec > kRingSlots)
+            throw MdesError("flightrec: implausible ring length in '" +
+                            path + "'");
+        for (uint32_t i = 0; i < rh.nrec; ++i) {
+            if (off + sizeof(CrashRecord) > raw.size())
+                throw MdesError("flightrec: truncated record in '" +
+                                path + "'");
+            CrashRecord rec;
+            std::memcpy(&rec, raw.data() + off, sizeof rec);
+            off += sizeof rec;
+            rec.name[sizeof(rec.name) - 1] = '\0';
+            if (rec.name[0] == '\0')
+                continue; // never-written or torn slot
+            Event e;
+            names.emplace_back(rec.name);
+            e.name = names.back().c_str();
+            e.trace_id = rec.trace_id;
+            e.ts_us = rec.ts_ticks <= h.origin_ticks
+                          ? h.origin_us
+                          : h.origin_us +
+                                uint64_t(double(rec.ts_ticks -
+                                                h.origin_ticks) /
+                                         rate);
+            e.dur_us = uint64_t(double(rec.dur_ticks) / rate);
+            e.tid = rh.tid;
+            events.push_back(e);
+        }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) {
+                  return a.ts_us < b.ts_us;
+              });
+
+    if (info != nullptr) {
+        info->signo = int(h.signo);
+        info->pid = h.pid;
+        info->fault_addr = h.fault_addr;
+        info->rings = h.ring_count;
+        info->events = events.size();
+    }
+    const char *reason = h.signo == SIGSEGV  ? "crash-sigsegv"
+                         : h.signo == SIGBUS ? "crash-sigbus"
+                         : h.signo == SIGABRT
+                             ? "crash-sigabrt"
+                             : "crash";
+    return toChromeJson(events, 0, reason);
 }
 
 } // namespace mdes::flightrec

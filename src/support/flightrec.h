@@ -152,6 +152,49 @@ struct SpoolStats
 
 SpoolStats spoolStats();
 
+// ---- Crash capture (DESIGN.md §15) --------------------------------
+//
+// The spool path above gathers/serializes under locks and allocates -
+// none of which is legal inside a fatal-signal handler. Crash capture
+// is its async-signal-safe sibling: a pre-registered, lock-free table
+// of ring pointers lets a SIGSEGV/SIGBUS/SIGABRT handler dump every
+// thread's raw ring (plus a minimal crash report) to one ".mdcr" file
+// using only open/write/close, so every crash arrives with its last
+// milliseconds of spans. The binary capture is decoded offline by
+// `mdesc flight decode`.
+
+/** Crash report decoded from a .mdcr capture header. */
+struct CrashInfo
+{
+    int signo = 0;
+    uint64_t pid = 0;
+    uint64_t fault_addr = 0;
+    uint64_t rings = 0;
+    uint64_t events = 0;
+};
+
+/**
+ * Arm the crash handler: SIGSEGV, SIGBUS and SIGABRT write
+ * "<dir>/crash-<pid>-<signo>.mdcr" (raw ring snapshot + crash report)
+ * and then re-raise with the default disposition, preserving the exit
+ * status a supervisor observes. Handlers run on an alternate stack so
+ * stack-overflow SIGSEGVs are captured too. Safe to call again after
+ * fork() to point a child at its own directory. Returns false when
+ * @p dir is empty/oversized or handler installation failed.
+ */
+bool armCrashCapture(const std::string &dir);
+
+/** True once armCrashCapture() installed handlers in this process. */
+bool crashCaptureArmed();
+
+/**
+ * Decode a .mdcr capture into a standalone Chrome trace-event JSON
+ * document (the spool-file shape). Fills @p info when non-null.
+ * Throws MdesError on unreadable or malformed input.
+ */
+std::string decodeCrashCapture(const std::string &path,
+                               CrashInfo *info = nullptr);
+
 } // namespace mdes::flightrec
 
 #endif // MDES_SUPPORT_FLIGHTREC_H

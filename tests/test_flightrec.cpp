@@ -6,6 +6,10 @@
  * FIFO that never exceeds its byte budget.
  */
 
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -282,6 +286,61 @@ TEST(FlightRecorder, EmptyTracesAndUnarmedSpoolsWriteNothing)
     EXPECT_TRUE(fs::directory_iterator(dir) == fs::directory_iterator{})
         << "empty spool still produced a file";
     flightrec::disarmSpool();
+    fs::remove_all(dir);
+}
+
+TEST(CrashCapture, SegfaultLeavesADecodableCapture)
+{
+    const std::string dir = freshDir("crash");
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: arm, record a little ring history, then die the way a
+        // real crash would. The handler must write the capture and
+        // re-raise so the parent sees the true SIGSEGV exit status.
+        if (!flightrec::armCrashCapture(dir))
+            _exit(3);
+        for (int i = 0; i < 32; ++i)
+            flightrec::record("crash-test-span", kIdBase + 90,
+                              flightrec::nowTicks(), 100);
+        raise(SIGSEGV);
+        _exit(4); // unreachable: the default disposition kills us
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status))
+        << "child exited instead of crashing, status " << status;
+    EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+    std::string path;
+    for (const auto &entry : fs::directory_iterator(dir))
+        if (entry.path().extension() == ".mdcr")
+            path = entry.path().string();
+    ASSERT_FALSE(path.empty()) << "no .mdcr capture in " << dir;
+
+    flightrec::CrashInfo info;
+    std::string json;
+    ASSERT_NO_THROW(json = flightrec::decodeCrashCapture(path, &info));
+    EXPECT_EQ(info.signo, SIGSEGV);
+    EXPECT_EQ(info.pid, uint64_t(pid));
+    EXPECT_GE(info.rings, 1u);
+    EXPECT_GT(info.events, 0u);
+    // The decoded document is well-formed JSON carrying the child's
+    // last spans.
+    EXPECT_NO_THROW(parseJson(json));
+    EXPECT_NE(json.find("crash-test-span"), std::string::npos);
+    fs::remove_all(dir);
+}
+
+TEST(CrashCapture, DecodeRejectsGarbageAndMissingFiles)
+{
+    const std::string dir = freshDir("crash_garbage");
+    fs::create_directories(dir);
+    const std::string path = dir + "/not-a-capture.mdcr";
+    std::ofstream(path, std::ios::binary) << "this is not a capture";
+    EXPECT_THROW(flightrec::decodeCrashCapture(path), MdesError);
+    EXPECT_THROW(flightrec::decodeCrashCapture(dir + "/missing.mdcr"),
+                 MdesError);
     fs::remove_all(dir);
 }
 

@@ -25,6 +25,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -775,6 +776,163 @@ TEST(NetServer, StatFloodCoalescesInsteadOfBufferingUnbounded)
     EXPECT_GE(m.net.stats_coalesced, 1u);
     EXPECT_EQ(m.net.stats_coalesced + uint64_t(responses),
               uint64_t(kPolls));
+}
+
+TEST(NetServer, PeerClosingMidResponseNeverKillsTheServer)
+{
+    // SIGPIPE regression (DESIGN.md §15): a peer that writes a request
+    // and slams the connection shut forces the server to write into a
+    // dead socket. Without MSG_NOSIGNAL on every send that raises
+    // SIGPIPE and kills the process; with it the write fails with
+    // EPIPE and only that connection dies.
+    net::ServerConfig sc;
+    sc.service.num_workers = 1;
+    net::Server server(sc);
+    server.start();
+
+    service::ScheduleRequest r;
+    r.machine = "K5";
+    r.synth_ops = 80;
+    r.seed = 3;
+    Frame f;
+    f.type = FrameType::Request;
+    f.payload = service::renderRequestLine(r);
+    for (int i = 0; i < 8; ++i) {
+        int fd = rawConnect(server.port());
+        ASSERT_GE(fd, 0);
+        f.id = uint64_t(i + 1);
+        std::string wire = net::encodeFrame(f);
+        ASSERT_EQ(send(fd, wire.data(), wire.size(), 0),
+                  ssize_t(wire.size()));
+        // Close without reading: the response lands on a dead socket.
+        close(fd);
+    }
+
+    // The server (this process) is alive and still answers.
+    net::BlockingClient probe("127.0.0.1", server.port());
+    ASSERT_TRUE(probe.connected());
+    EXPECT_TRUE(probe.ping());
+    net::NetResponse resp =
+        probe.request(service::renderRequestLine(r));
+    ASSERT_TRUE(resp.transport_ok);
+    EXPECT_EQ(resp.code, service::ErrorCode::Ok) << resp.error;
+    server.stop();
+}
+
+TEST(NetServer, HealthOpReportsReadyInBothWireModes)
+{
+    net::ServerConfig sc;
+    sc.service.num_workers = 1;
+    net::Server server(sc);
+    server.start();
+
+    net::BlockingClient bin("127.0.0.1", server.port(), false);
+    net::BlockingClient json("127.0.0.1", server.port(), true);
+    ASSERT_TRUE(bin.connected());
+    ASSERT_TRUE(json.connected());
+    EXPECT_NE(bin.health().find("\"health\":\"ready\""),
+              std::string::npos);
+    EXPECT_NE(json.health().find("\"health\":\"ready\""),
+              std::string::npos);
+    EXPECT_FALSE(server.draining());
+    server.stop();
+}
+
+TEST(NetServer, DrainFinishesInFlightShedsNewAndFlipsHealth)
+{
+    net::ServerConfig sc;
+    sc.service.num_workers = 1;
+    net::Server server(sc);
+    server.start();
+
+    // Conn A: a request in flight when the drain begins (written raw
+    // so this thread does not block on the response).
+    int a = rawConnect(server.port());
+    ASSERT_GE(a, 0);
+    service::ScheduleRequest slow;
+    slow.machine = "K5";
+    slow.synth_ops = 2000;
+    slow.seed = 9;
+    Frame f;
+    f.type = FrameType::Request;
+    f.id = 77;
+    f.payload = service::renderRequestLine(slow);
+    std::string wire = net::encodeFrame(f);
+    ASSERT_EQ(send(a, wire.data(), wire.size(), 0), ssize_t(wire.size()));
+
+    // Conn B: opened before the drain (the listen socket closes with
+    // it), polling health across the flip.
+    net::BlockingClient b("127.0.0.1", server.port());
+    ASSERT_TRUE(b.connected());
+    EXPECT_NE(b.health().find("\"ready\""), std::string::npos);
+
+    server.beginDrain(10000);
+    EXPECT_TRUE(server.draining());
+    // Health answers on the live connection and reports the flip.
+    EXPECT_NE(b.health().find("\"draining\""), std::string::npos);
+
+    // A new request after the flip is shed with the typed code.
+    service::ScheduleRequest fast;
+    fast.machine = "K5";
+    fast.synth_ops = 40;
+    net::NetResponse shed =
+        b.request(service::renderRequestLine(fast));
+    ASSERT_TRUE(shed.transport_ok);
+    EXPECT_EQ(shed.code, service::ErrorCode::Draining) << shed.error;
+
+    // The in-flight request still completes Ok.
+    FrameDecoder dec;
+    char buf[16384];
+    net::NetResponse inflight;
+    bool got = false;
+    while (!got) {
+        Frame fr;
+        FrameDecoder::Status st;
+        while ((st = dec.next(&fr)) == FrameDecoder::Status::Ready) {
+            if (fr.type == FrameType::Response && fr.id == 77) {
+                inflight = net::parseResponseJson(fr.payload);
+                got = true;
+            }
+        }
+        if (got)
+            break;
+        ssize_t n = recv(a, buf, sizeof(buf), 0);
+        ASSERT_GT(n, 0) << "in-flight response lost in drain";
+        dec.feed(buf, size_t(n));
+    }
+    EXPECT_EQ(inflight.code, service::ErrorCode::Ok) << inflight.error;
+    close(a);
+
+    server.stop();
+    service::ServiceMetrics m = server.metrics();
+    EXPECT_GE(m.net.draining_shed, 1u);
+}
+
+TEST(NetServer, DrainDeadlineEvictsStuckClients)
+{
+    net::ServerConfig sc;
+    sc.service.num_workers = 1;
+    net::Server server(sc);
+    server.start();
+
+    // A client that connects and then does nothing: it will neither
+    // finish work nor close, so only the deadline can end the drain.
+    int stuck = rawConnect(server.port());
+    ASSERT_GE(stuck, 0);
+    // Give the loop a moment to accept before the listen socket goes.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    auto t0 = std::chrono::steady_clock::now();
+    server.beginDrain(300);
+    server.waitUntilStopped();
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    // Bounded: well past the deadline is a hang, well under it means
+    // the deadline was ignored and the loop exited for another reason.
+    EXPECT_LT(elapsed, 5000) << "drain did not respect its deadline";
+    close(stuck);
+    server.stop();
 }
 
 } // namespace

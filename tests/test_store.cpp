@@ -129,6 +129,40 @@ TEST(Store, PublishIsAtomicAndRoundTrips)
     fs::remove_all(dir);
 }
 
+TEST(Store, OrphanedPublishTempsAreSweptAtOpenAndByPrune)
+{
+    // A publisher killed between temp-write and rename (kill -9 under
+    // the supervision plane) leaves a ".tmp-*" orphan. The next open
+    // must sweep it, count it, and leave real artifacts alone.
+    fs::path dir = freshDir("residue");
+    {
+        ArtifactStore s(StoreConfig{.dir = dir.string()});
+        LowMdes low = LowMdes::lower(tinyMachine(), {});
+        ASSERT_TRUE(s.store(0xBEEF, low, 7));
+    }
+    std::ofstream(dir / ".tmp-123-abc") << "half-written artifact";
+    std::ofstream(dir / ".tmp-456-def") << "another casualty";
+
+    ArtifactStore s(StoreConfig{.dir = dir.string()});
+    EXPECT_EQ(s.stats().residue_swept, 2u);
+    for (const auto &entry : fs::directory_iterator(dir))
+        EXPECT_EQ(entry.path().filename().string().find(".tmp-"),
+                  std::string::npos)
+            << entry.path();
+    // The real artifact survived the sweep.
+    EXPECT_NE(s.load(0xBEEF), nullptr);
+
+    // prune() also sweeps residue that appeared while the store was
+    // open (a sibling process crashing mid-publish into the same dir).
+    std::ofstream(dir / ".tmp-789-ghi") << "late orphan";
+    store::PruneResult pr = s.prune(UINT64_MAX);
+    EXPECT_EQ(pr.residue_removed, 1u);
+    EXPECT_EQ(pr.removed, 0u);
+    EXPECT_EQ(s.stats().residue_swept, 3u);
+    EXPECT_FALSE(fs::exists(dir / ".tmp-789-ghi"));
+    fs::remove_all(dir);
+}
+
 TEST(Store, MissOnAbsentKey)
 {
     fs::path dir = freshDir("miss");

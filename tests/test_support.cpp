@@ -1,16 +1,27 @@
 /**
  * @file
  * Unit tests for the support library: bit vectors, deterministic RNG,
- * histograms, text tables, diagnostics.
+ * histograms, text tables, diagnostics, EINTR-safe I/O wrappers.
  */
 
-#include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstring>
 #include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
 
 #include "support/bit_vector.h"
 #include "support/diagnostics.h"
 #include "support/histogram.h"
+#include "support/io_retry.h"
 #include "support/json.h"
 #include "support/rng.h"
 #include "support/text_table.h"
@@ -369,6 +380,121 @@ TEST(Diagnostics, CollectsAndRenders)
     EXPECT_EQ(diags.diagnostics()[1].toString(), "3:4: error: boom");
     EXPECT_NE(diags.toString().find("warning: watch out"),
               std::string::npos);
+}
+
+// ----------------------------------------------------------------- io_retry
+
+TEST(IoRetry, ReadWriteRoundTripOverAPipe)
+{
+    int p[2];
+    ASSERT_EQ(pipe(p), 0);
+    const char msg[] = "supervision plane";
+    ASSERT_EQ(io::writeRetry(p[1], msg, sizeof(msg)),
+              ssize_t(sizeof(msg)));
+    char buf[64] = {};
+    ASSERT_EQ(io::readRetry(p[0], buf, sizeof(buf)),
+              ssize_t(sizeof(msg)));
+    EXPECT_STREQ(buf, msg);
+    close(p[0]);
+    close(p[1]);
+}
+
+TEST(IoRetry, SendRetryToClosedPeerIsEpipeNotSigpipe)
+{
+    // sendRetry must OR in MSG_NOSIGNAL: writing to a peer that already
+    // closed has to come back as -1/EPIPE. Without the flag the kernel
+    // raises SIGPIPE and this whole test binary dies here.
+    int sv[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    close(sv[1]);
+    char byte = 'x';
+    // First send may land in the (now orphaned) buffer; the second is
+    // guaranteed to see the broken pipe.
+    io::sendRetry(sv[0], &byte, 1);
+    ssize_t n = io::sendRetry(sv[0], &byte, 1);
+    EXPECT_EQ(n, -1);
+    EXPECT_EQ(errno, EPIPE);
+    close(sv[0]);
+}
+
+TEST(IoRetry, RetryIntrRerunsUntilNotEintr)
+{
+    int calls = 0;
+    long r = io::retryIntr([&]() -> long {
+        if (++calls < 3) {
+            errno = EINTR;
+            return -1;
+        }
+        return 42;
+    });
+    EXPECT_EQ(r, 42);
+    EXPECT_EQ(calls, 3);
+
+    // A non-EINTR failure is returned immediately, errno intact.
+    calls = 0;
+    r = io::retryIntr([&]() -> long {
+        ++calls;
+        errno = ECONNRESET;
+        return -1;
+    });
+    EXPECT_EQ(r, -1);
+    EXPECT_EQ(errno, ECONNRESET);
+    EXPECT_EQ(calls, 1);
+}
+
+namespace {
+void ignoreSigusr1(int) {}
+} // namespace
+
+TEST(IoRetry, ReadRetrySurvivesARealSignalInterruption)
+{
+    // Install a no-SA_RESTART handler so the blocking read genuinely
+    // returns -1/EINTR, then prove readRetry hides the interruption.
+    struct sigaction sa = {};
+    struct sigaction old = {};
+    sa.sa_handler = ignoreSigusr1;
+    ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+    int p[2];
+    ASSERT_EQ(pipe(p), 0);
+    std::atomic<bool> reading{false};
+    pthread_t self = pthread_self();
+    std::thread interrupter([&] {
+        while (!reading.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        for (int i = 0; i < 5; ++i) {
+            pthread_kill(self, SIGUSR1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        const char msg[] = "finally";
+        io::writeRetry(p[1], msg, sizeof(msg));
+    });
+
+    char buf[32] = {};
+    reading.store(true);
+    ssize_t n = io::readRetry(p[0], buf, sizeof(buf));
+    interrupter.join();
+    EXPECT_EQ(n, ssize_t(sizeof("finally")));
+    EXPECT_STREQ(buf, "finally");
+    close(p[0]);
+    close(p[1]);
+    sigaction(SIGUSR1, &old, nullptr);
+}
+
+TEST(IoRetry, EpollWaitRetryHonoursItsTimeout)
+{
+    int ep = epoll_create1(0);
+    ASSERT_GE(ep, 0);
+    epoll_event ev;
+    auto t0 = std::chrono::steady_clock::now();
+    int n = io::epollWaitRetry(ep, &ev, 1, 60);
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    EXPECT_EQ(n, 0);
+    EXPECT_GE(ms, 50);
+    EXPECT_LT(ms, 2000);
+    close(ep);
 }
 
 } // namespace

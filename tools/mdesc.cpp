@@ -64,6 +64,7 @@
 #include "machines/machines.h"
 #include "exp/runner.h"
 #include "net/chaos_socket.h"
+#include "net/crash_chaos.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "exact/exact_scheduler.h"
@@ -112,10 +113,19 @@ usage()
         "              [--requests N] [--store-dir <dir>]\n"
         "              [--report <file.json>] [--socket]\n"
         "              [--flightrec <dir>] [--no-flightrec]\n"
+        "  mdesc chaos --crash [--seeds N] [--first-seed N]\n"
+        "              [--shards N] [--workers N] [--requests N]\n"
+        "              [--kill-rounds N] [--store-dir <dir>]\n"
+        "              [--report <file.json>] [--no-quarantine-probe]\n"
         "  mdesc serve [--listen <host:port>] [--workers N]\n"
         "              [--max-queue N] [--store <dir>] [--shards N]\n"
         "              [--json] [--flightrec <dir>] (spool off unless given)\n"
         "              [--flightrec-max-bytes N] [--flightrec-slow-ms N]\n"
+        "              [--drain-ms N] [--backoff-base-ms N]\n"
+        "              [--backoff-max-ms N] [--rapid-window-ms N]\n"
+        "              [--quarantine-after N] [--heartbeat-ms N]\n"
+        "              [--heartbeat-timeout-ms N]\n"
+        "  mdesc flight decode <file.mdcr> [-o <file.json>]\n"
         "  mdesc stat --socket <host:port> [--json] [--json-mode]\n"
         "  mdesc top <host:port> [--interval-ms N] [--count N]\n"
         "  mdesc netbatch <host:port> <file.req | --stdin>\n"
@@ -813,9 +823,100 @@ cmdBatch(const std::vector<std::string> &args)
  * and exits non-zero on any violation; --report dumps the JSON verdict
  * CI uploads when a seed fails.
  */
+/**
+ * `mdesc chaos --crash`: the supervision-plane gate (DESIGN.md §15).
+ * Seeded process-level faults - SIGKILL, SIGSEGV, SIGSTOP - against a
+ * live sharded fleet, asserting restart/backoff/watchdog/drain/crash-
+ * capture invariants (src/net/crash_chaos.h). Exits non-zero on any
+ * violation; --report dumps the JSON verdict CI uploads on failure.
+ */
+int
+cmdCrashChaos(const std::vector<std::string> &args)
+{
+    net::CrashChaosConfig config;
+    std::string report_path;
+    auto number = [](const std::string &flag, const std::string &w,
+                     auto &out) {
+        auto [end, ec] =
+            std::from_chars(w.data(), w.data() + w.size(), out);
+        if (ec != std::errc() || end != w.data() + w.size()) {
+            std::fprintf(stderr, "mdesc: bad %s value '%s'\n",
+                         flag.c_str(), w.c_str());
+            return false;
+        }
+        return true;
+    };
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--seeds" && i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1], config.num_seeds))
+                return 1;
+            ++i;
+        } else if (args[i] == "--first-seed" && i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1], config.first_seed))
+                return 1;
+            ++i;
+        } else if (args[i] == "--shards" && i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1], config.shards))
+                return 1;
+            ++i;
+        } else if (args[i] == "--workers" && i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1], config.workers))
+                return 1;
+            ++i;
+        } else if (args[i] == "--requests" && i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1], config.requests))
+                return 1;
+            ++i;
+        } else if (args[i] == "--kill-rounds" && i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1], config.kill_rounds))
+                return 1;
+            ++i;
+        } else if (args[i] == "--store-dir" && i + 1 < args.size()) {
+            config.store_base_dir = args[++i];
+        } else if (args[i] == "--report" && i + 1 < args.size()) {
+            report_path = args[++i];
+        } else if (args[i] == "--no-quarantine-probe") {
+            config.quarantine_probe = false;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         args[i].c_str());
+            return usage();
+        }
+    }
+    if (config.store_base_dir.empty()) {
+        config.store_base_dir =
+            (std::filesystem::temp_directory_path() /
+             "mdesc-crash-chaos")
+                .string();
+    }
+    net::CrashSweepReport report = net::runCrashSweep(config);
+    std::printf("%s", report.toText().c_str());
+    if (!report_path.empty()) {
+        std::ofstream out(report_path,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "mdesc: cannot write report '%s'\n",
+                         report_path.c_str());
+            return 1;
+        }
+        out << report.toJson() << "\n";
+        std::printf("wrote %s\n", report_path.c_str());
+    }
+    return report.ok() ? 0 : 1;
+}
+
 int
 cmdChaos(const std::vector<std::string> &args)
 {
+    // --crash anywhere in the arguments selects the process-level
+    // sweep; the remaining flags are its own.
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--crash") {
+            std::vector<std::string> rest = args;
+            rest.erase(rest.begin() + long(i));
+            return cmdCrashChaos(rest);
+        }
+    }
     service::chaos::ChaosConfig config;
     std::string report_path;
     std::string flightrec_dir = "flightrec";
@@ -975,6 +1076,44 @@ cmdServe(const std::vector<std::string> &args)
         } else if (args[i] == "--flightrec-slow-ms" &&
                    i + 1 < args.size()) {
             if (!number(args[i], args[i + 1], opts.flightrec_slow_ms))
+                return 1;
+            ++i;
+        } else if (args[i] == "--drain-ms" && i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1], opts.drain_deadline_ms))
+                return 1;
+            ++i;
+        } else if (args[i] == "--backoff-base-ms" &&
+                   i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1],
+                        opts.restart_backoff_base_ms))
+                return 1;
+            ++i;
+        } else if (args[i] == "--backoff-max-ms" &&
+                   i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1],
+                        opts.restart_backoff_max_ms))
+                return 1;
+            ++i;
+        } else if (args[i] == "--rapid-window-ms" &&
+                   i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1],
+                        opts.rapid_crash_window_ms))
+                return 1;
+            ++i;
+        } else if (args[i] == "--quarantine-after" &&
+                   i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1], opts.quarantine_after))
+                return 1;
+            ++i;
+        } else if (args[i] == "--heartbeat-ms" && i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1],
+                        opts.heartbeat_interval_ms))
+                return 1;
+            ++i;
+        } else if (args[i] == "--heartbeat-timeout-ms" &&
+                   i + 1 < args.size()) {
+            if (!number(args[i], args[i + 1],
+                        opts.heartbeat_timeout_ms))
                 return 1;
             ++i;
         } else {
@@ -1337,6 +1476,7 @@ cmdStoreStat(const std::string &dir, bool json)
         w.key("count").value(uint64_t(infos.size()));
         w.key("total_bytes").value(total_bytes);
         w.key("quarantined").value(quarantined);
+        w.key("residue_swept").value(st.stats().residue_swept);
         w.endObject();
         std::printf("%s\n", w.str().c_str());
         return 0;
@@ -1364,6 +1504,9 @@ cmdStoreStat(const std::string &dir, bool json)
     if (quarantined)
         std::printf(" (%llu quarantined)",
                     (unsigned long long)quarantined);
+    if (uint64_t swept = st.stats().residue_swept)
+        std::printf(", swept %llu orphaned temp file(s)",
+                    (unsigned long long)swept);
     std::printf("\n");
     return 0;
 }
@@ -1402,6 +1545,9 @@ cmdStorePrune(const std::string &dir,
                 (unsigned long long)result.bytes_before,
                 (unsigned long long)result.bytes_after,
                 (unsigned long long)max_bytes);
+    if (result.residue_removed)
+        std::printf("swept %llu orphaned temp file(s)\n",
+                    (unsigned long long)result.residue_removed);
     return 0;
 }
 
@@ -1487,6 +1633,53 @@ cmdStore(const std::vector<std::string> &args)
     return usage();
 }
 
+/**
+ * `mdesc flight decode <file.mdcr>`: turn a crash capture (the raw
+ * ring snapshot a fatal-signal handler wrote; DESIGN.md §15) into
+ * Chrome trace-event JSON. The crash report header goes to stderr so
+ * stdout stays pipeable into a trace viewer.
+ */
+int
+cmdFlight(const std::vector<std::string> &args)
+{
+    if (args.size() < 2 || args[0] != "decode")
+        return usage();
+    const std::string &path = args[1];
+    std::string out_path;
+    for (size_t i = 2; i < args.size(); ++i) {
+        if (args[i] == "-o" && i + 1 < args.size()) {
+            out_path = args[++i];
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         args[i].c_str());
+            return usage();
+        }
+    }
+    flightrec::CrashInfo info;
+    std::string json = flightrec::decodeCrashCapture(path, &info);
+    std::fprintf(stderr,
+                 "crash capture: signal %d (%s), pid %llu, fault addr "
+                 "0x%llx, %llu ring(s), %llu event(s)\n",
+                 info.signo, strsignal(info.signo),
+                 (unsigned long long)info.pid,
+                 (unsigned long long)info.fault_addr,
+                 (unsigned long long)info.rings,
+                 (unsigned long long)info.events);
+    if (out_path.empty()) {
+        std::printf("%s\n", json.c_str());
+        return 0;
+    }
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "mdesc: cannot write '%s'\n",
+                     out_path.c_str());
+        return 1;
+    }
+    out << json << "\n";
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+    return 0;
+}
+
 int
 cmdExport(const std::vector<std::string> &args)
 {
@@ -1538,6 +1731,8 @@ main(int argc, char **argv)
             return cmdTop(args);
         if (cmd == "store")
             return cmdStore(args);
+        if (cmd == "flight")
+            return cmdFlight(args);
         if (cmd == "lint")
             return cmdLint(args);
         if (cmd == "export")
