@@ -10,6 +10,9 @@ or `bench_perf_scheduler --json` (see bench/perf_json.h). The gate:
     file;
   - fingerprints must match bit-for-bit (the engines made identical
     scheduling decisions - wall-time wins must not change behavior);
+    entries without a fingerprint (e.g. bench_store_coldstart's
+    disk/memory wall ratio, whose schedule identity is asserted
+    in-process) skip this check;
   - the checks-per-work metric (checks_per_attempt / checks_per_op)
     must not regress by more than TOLERANCE (5%);
   - a baseline entry carrying "band": [lo, hi] gates its metric inside
@@ -28,7 +31,7 @@ import sys
 TOLERANCE = 0.05
 
 METRICS = ("checks_per_attempt", "checks_per_op", "shed_rate",
-           "exact_rate")
+           "exact_rate", "disk_memory_ratio")
 
 
 def load(path):
@@ -62,7 +65,8 @@ def main(argv):
         if cur is None:
             failures.append(f"{name}: missing from current results")
             continue
-        if str(base["fingerprint"]) != str(cur["fingerprint"]):
+        if "fingerprint" in base and \
+                str(base["fingerprint"]) != str(cur.get("fingerprint")):
             failures.append(
                 f"{name}: fingerprint changed "
                 f"{base['fingerprint']} -> {cur['fingerprint']} "

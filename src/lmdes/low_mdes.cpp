@@ -216,7 +216,7 @@ LowMdes::resourceName(uint32_t r) const
 int32_t
 LowMdes::flowLatency(uint32_t producer, uint32_t consumer) const
 {
-    for (const auto &bp : bypasses_) {
+    for (const auto &bp : bypasses()) {
         if (bp.from == producer && bp.to == consumer)
             return bp.latency;
     }
@@ -236,20 +236,20 @@ LowMdes::findOpClass(const std::string &name) const
 uint64_t
 LowMdes::expandedOptionCount(uint32_t tree) const
 {
-    const LowTree &t = trees_[tree];
+    const LowTree &t = trees()[tree];
     uint64_t product = 1;
     for (uint32_t i = 0; i < t.num_or_trees; ++i)
-        product *= or_trees_[or_refs_[t.first_or_ref + i]].num_options;
+        product *= orTrees()[orRefs()[t.first_or_ref + i]].num_options;
     return product;
 }
 
 uint64_t
 LowMdes::leafOptionCount(uint32_t tree) const
 {
-    const LowTree &t = trees_[tree];
+    const LowTree &t = trees()[tree];
     uint64_t sum = 0;
     for (uint32_t i = 0; i < t.num_or_trees; ++i)
-        sum += or_trees_[or_refs_[t.first_or_ref + i]].num_options;
+        sum += orTrees()[orRefs()[t.first_or_ref + i]].num_options;
     return sum;
 }
 
@@ -257,13 +257,35 @@ MemoryBreakdown
 LowMdes::memory() const
 {
     MemoryBreakdown mem;
-    mem.check_bytes = checks_.size() * 8;
-    mem.option_bytes = options_.size() * 8;
-    mem.option_ref_bytes = option_refs_.size() * 4;
-    mem.or_tree_bytes = or_trees_.size() * 8;
-    mem.or_ref_bytes = or_refs_.size() * 4;
-    mem.tree_bytes = trees_.size() * 8;
+    mem.check_bytes = checks().size() * 8;
+    mem.option_bytes = options().size() * 8;
+    mem.option_ref_bytes = optionRefs().size() * 4;
+    mem.or_tree_bytes = orTrees().size() * 8;
+    mem.or_ref_bytes = orRefs().size() * 4;
+    mem.tree_bytes = trees().size() * 8;
     return mem;
+}
+
+bool
+LowMdes::operator==(const LowMdes &other) const
+{
+    // Content equality through the accessors, so an mmap-backed object
+    // compares equal to the owned copy it was serialized from.
+    auto eq = [](auto a, auto b) {
+        return std::equal(a.begin(), a.end(), b.begin(), b.end());
+    };
+    return machine_name_ == other.machine_name_ &&
+           num_resources_ == other.num_resources_ &&
+           slot_words_ == other.slot_words_ && packed_ == other.packed_ &&
+           resource_names_ == other.resource_names_ &&
+           op_classes_ == other.op_classes_ &&
+           eq(checks(), other.checks()) && eq(options(), other.options()) &&
+           eq(optionRefs(), other.optionRefs()) &&
+           eq(orTrees(), other.orTrees()) && eq(orRefs(), other.orRefs()) &&
+           eq(trees(), other.trees()) &&
+           eq(treeSummaries(), other.treeSummaries()) &&
+           eq(prefilter(), other.prefilter()) &&
+           eq(bypasses(), other.bypasses());
 }
 
 } // namespace mdes::lmdes

@@ -17,6 +17,20 @@
  * cycle merge into a single check word, so one AND against the RU map
  * probes them all.
  *
+ * Since format v7 a LowMdes has two backing modes, invisible to callers:
+ *
+ *  - *owned*: every pool lives in this object's heap vectors (the
+ *    result of lower(), load(), or a deep copy);
+ *  - *mapped*: the POD pools are spans straight into a refcounted
+ *    position-independent image (typically an mmap'ed store artifact;
+ *    see image.h), validated once at attach time. Only the small text
+ *    pieces (machine name, resource names, op-class names/comments) are
+ *    materialized, so attaching is O(validation), not O(image).
+ *
+ * Accessors return std::span either way; the span for an owned pool
+ * views the member vector, so construction and mutation order never
+ * leave a dangling view. Copies of a mapped LowMdes share the backing.
+ *
  * Memory accounting model (documented in DESIGN.md §2.3): check entries
  * and descriptors are 8 bytes, membership list entries 4 bytes. The
  * absolute bytes differ from the paper's 1996 implementation; reduction
@@ -26,6 +40,8 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,7 +68,7 @@ struct Check
 
 /**
  * Per-tree probe summary, computed at lowering time and serialized with
- * the description (format v6).
+ * the description (since format v6).
  *
  * `min_slot`/`max_slot` bound every check slot reachable from the tree,
  * letting the constraint checker address the RU map with one
@@ -161,6 +177,24 @@ struct LowerOptions
     bool prefilter = true;
 };
 
+/** How LowMdes::fromImage should relate to the caller's image bytes. */
+struct ImageSource
+{
+    /**
+     * Keeps the image alive for as long as any copy of the resulting
+     * LowMdes exists (e.g. an munmap-on-release mapping handle). Null
+     * means "the bytes are transient": the pools are deep-copied into
+     * owned vectors instead of borrowed.
+     */
+    std::shared_ptr<const void> backing;
+    /**
+     * Verify Header::checksum before parsing. The store's mmap path
+     * passes false because the whole-file trailer it just verified
+     * already covers the image ("checksum verified once at open").
+     */
+    bool verify_checksum = true;
+};
+
 /**
  * The packed low-level MDES. Construct via lower(); query from the
  * constraint checker and the scheduler.
@@ -178,9 +212,12 @@ class LowMdes
     uint32_t slotWords() const { return slot_words_; }
     bool packed() const { return packed_; }
 
+    /** True when the POD pools borrow a mapped image (see fromImage). */
+    bool mapped() const { return backing_ != nullptr; }
+
     /** Per-instance resource names ("Name" or "Name[i]" in declaration
-     * order), kept for conflict-profiling reports. Empty for artifacts
-     * serialized before format v5. */
+     * order), kept for conflict-profiling reports. Always materialized,
+     * even in mapped mode. */
     const std::vector<std::string> &resourceNames() const
     {
         return resource_names_;
@@ -189,21 +226,53 @@ class LowMdes
     /** Name of resource instance @p r; "r<id>" when names are absent. */
     std::string resourceName(uint32_t r) const;
 
-    const std::vector<Check> &checks() const { return checks_; }
-    const std::vector<LowOption> &options() const { return options_; }
-    const std::vector<uint32_t> &optionRefs() const { return option_refs_; }
-    const std::vector<LowOrTree> &orTrees() const { return or_trees_; }
-    const std::vector<uint32_t> &orRefs() const { return or_refs_; }
-    const std::vector<LowTree> &trees() const { return trees_; }
-    /** Per-tree probe summaries, parallel to trees(). */
-    const std::vector<TreeSummary> &treeSummaries() const
+    std::span<const Check> checks() const
     {
-        return tree_summaries_;
+        return mapped() ? view_.checks : std::span<const Check>(checks_);
+    }
+    std::span<const LowOption> options() const
+    {
+        return mapped() ? view_.options
+                        : std::span<const LowOption>(options_);
+    }
+    std::span<const uint32_t> optionRefs() const
+    {
+        return mapped() ? view_.option_refs
+                        : std::span<const uint32_t>(option_refs_);
+    }
+    std::span<const LowOrTree> orTrees() const
+    {
+        return mapped() ? view_.or_trees
+                        : std::span<const LowOrTree>(or_trees_);
+    }
+    std::span<const uint32_t> orRefs() const
+    {
+        return mapped() ? view_.or_refs
+                        : std::span<const uint32_t>(or_refs_);
+    }
+    std::span<const LowTree> trees() const
+    {
+        return mapped() ? view_.trees : std::span<const LowTree>(trees_);
+    }
+    /** Per-tree probe summaries, parallel to trees(). */
+    std::span<const TreeSummary> treeSummaries() const
+    {
+        return mapped() ? view_.tree_summaries
+                        : std::span<const TreeSummary>(tree_summaries_);
     }
     /** Collision-vector prefilter pool (see TreeSummary). */
-    const std::vector<Check> &prefilter() const { return prefilter_; }
+    std::span<const Check> prefilter() const
+    {
+        return mapped() ? view_.prefilter
+                        : std::span<const Check>(prefilter_);
+    }
+    /** Operation classes. Always materialized (they carry strings). */
     const std::vector<LowOpClass> &opClasses() const { return op_classes_; }
-    const std::vector<LowBypass> &bypasses() const { return bypasses_; }
+    std::span<const LowBypass> bypasses() const
+    {
+        return mapped() ? view_.bypasses
+                        : std::span<const LowBypass>(bypasses_);
+    }
 
     /**
      * Effective flow latency when @p consumer directly consumes
@@ -225,13 +294,31 @@ class LowMdes
     /** Byte accounting under the documented model. */
     MemoryBreakdown memory() const;
 
-    /** Serialize to a binary stream. */
+    /** Serialize as a v7 position-independent image (works in either
+     * backing mode). */
     void save(std::ostream &os) const;
 
-    /** Deserialize; throws MdesError on malformed input. */
+    /**
+     * Deserialize into owned storage; throws MdesError on malformed
+     * input and MdesVersionError (see image.h) on a version this build
+     * does not speak. Counts as a full deserialization.
+     */
     static LowMdes load(std::istream &is);
 
-    bool operator==(const LowMdes &) const = default;
+    /**
+     * Attach to (or copy out of) a v7 image of @p size bytes at @p base,
+     * which must be at least 8-byte aligned (mmap'ed files and
+     * uint64_t-backed buffers both qualify). The image is bounds- and
+     * cross-reference-validated before any span is published; throws
+     * MdesError / MdesVersionError like load(). With src.backing set the
+     * result borrows the image zero-copy; otherwise the pools are
+     * deep-copied and the call counts as a full deserialization.
+     */
+    static LowMdes fromImage(const void *base, size_t size,
+                             const ImageSource &src = {});
+
+    /** Content equality, regardless of backing mode. */
+    bool operator==(const LowMdes &other) const;
 
   private:
     /** Derive tree_summaries_/prefilter_ from the lowered pools (called
@@ -239,6 +326,25 @@ class LowMdes
      * @p prefilter false, slot windows are still computed but every
      * prefilter slice stays empty (see LowerOptions::prefilter). */
     void computeTreeSummaries(bool prefilter);
+
+    /** Copy every borrowed pool into the owned vectors and drop the
+     * backing (used by load() and the deep-copy path of fromImage). */
+    void materialize();
+
+    /** Spans into a borrowed image; meaningful only when backing_ is
+     * non-null. */
+    struct ImageView
+    {
+        std::span<const Check> checks;
+        std::span<const LowOption> options;
+        std::span<const uint32_t> option_refs;
+        std::span<const LowOrTree> or_trees;
+        std::span<const uint32_t> or_refs;
+        std::span<const LowTree> trees;
+        std::span<const TreeSummary> tree_summaries;
+        std::span<const Check> prefilter;
+        std::span<const LowBypass> bypasses;
+    };
 
     std::string machine_name_;
     uint32_t num_resources_ = 0;
@@ -255,6 +361,9 @@ class LowMdes
     std::vector<Check> prefilter_;
     std::vector<LowOpClass> op_classes_;
     std::vector<LowBypass> bypasses_;
+    /** Null in owned mode; keeps the mapped image alive otherwise. */
+    std::shared_ptr<const void> backing_;
+    ImageView view_;
 };
 
 } // namespace mdes::lmdes

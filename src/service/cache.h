@@ -181,9 +181,15 @@ class DescriptionCache
         uint64_t disk_misses = 0;
         /** Compiled artifacts successfully published to the store. */
         uint64_t disk_stores = 0;
-        /** On-disk artifacts quarantined as corrupt/stale (from the
-         * store's own counters). */
+        /** Disk hits served zero-copy from an mmap of the artifact
+         * (from the store's own counters; a subset of disk_hits). */
+        uint64_t disk_mapped = 0;
+        /** On-disk artifacts quarantined as corrupt (from the store's
+         * own counters). */
         uint64_t disk_corrupt = 0;
+        /** Old-format artifacts silently evicted and recompiled - not
+         * corruption (from the store's own counters). */
+        uint64_t disk_stale = 0;
         /** Artifacts evicted by the store's size-budget sweep. */
         uint64_t disk_evictions = 0;
         /** Transient-I/O backoff retries taken by the store. */

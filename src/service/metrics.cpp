@@ -425,13 +425,16 @@ ServiceMetrics::toTable() const
 
     if (cache.disk_enabled) {
         TextTable disk;
-        disk.setHeader({"Store Hits", "Store Misses", "Store Hit Rate",
-                        "Publishes", "Corrupt", "Store Evictions"});
+        disk.setHeader({"Store Hits", "Mapped", "Store Misses",
+                        "Store Hit Rate", "Publishes", "Corrupt", "Stale",
+                        "Store Evictions"});
         disk.addRow({std::to_string(cache.disk_hits),
+                     std::to_string(cache.disk_mapped),
                      std::to_string(cache.disk_misses),
                      TextTable::percent(cache.diskHitRate()),
                      std::to_string(cache.disk_stores),
                      std::to_string(cache.disk_corrupt),
+                     std::to_string(cache.disk_stale),
                      std::to_string(cache.disk_evictions)});
         out += disk.toString();
     }
@@ -644,10 +647,12 @@ ServiceMetrics::toJson() const
     if (cache.disk_enabled) {
         w.key("disk").beginObject();
         w.key("hits").value(cache.disk_hits);
+        w.key("mapped").value(cache.disk_mapped);
         w.key("misses").value(cache.disk_misses);
         w.key("hit_rate").value(cache.diskHitRate());
         w.key("stores").value(cache.disk_stores);
         w.key("corrupt").value(cache.disk_corrupt);
+        w.key("stale").value(cache.disk_stale);
         w.key("evictions").value(cache.disk_evictions);
         w.key("retries").value(cache.disk_retries);
         w.endObject();

@@ -9,11 +9,15 @@
 #include <fstream>
 #include <system_error>
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <sstream>
 #include <thread>
 
+#include "lmdes/image.h"
 #include "support/diagnostics.h"
 #include "support/faultsim.h"
 #include "support/json.h"
@@ -27,8 +31,15 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr char kStoreMagic[4] = {'M', 'D', 'S', 'T'};
-// Version 2 appended the whole-file integrity trailer.
-constexpr uint32_t kStoreVersion = 2;
+// Version 2 appended the whole-file integrity trailer. Version 3 pads
+// the header to kImageAlign and stores the LMDES payload as the
+// position-independent v7 image, so a load can mmap the file and serve
+// it in place with zero deserialization.
+constexpr uint32_t kStoreVersion = 3;
+/** The v7 image starts on this boundary so its 64-byte-aligned internal
+ * sections stay aligned within the file (and within any page-aligned
+ * mapping of it). */
+constexpr size_t kImageAlign = lmdes::v7::kAlign;
 /** Bytes of the FNV-1a trailer covering header + payload. Without it a
  * bit flip inside the header's unvalidated fields (timestamps, label
  * strings) would be served silently; with it any flipped or missing
@@ -138,6 +149,82 @@ readStr(std::istream &is, const char *what)
     return s;
 }
 
+/**
+ * A refcounted MAP_PRIVATE read-only mapping of one artifact file.
+ * Handed to LowMdes::fromImage as the backing, so the munmap happens
+ * exactly when the last LowMdes (or Checker holding one) releases it -
+ * even if the file was pruned, quarantined, or republished meanwhile
+ * (the mapping pins the old inode).
+ */
+struct Mapping
+{
+    const char *data = nullptr;
+    size_t size = 0;
+
+    Mapping() = default;
+    Mapping(const Mapping &) = delete;
+    Mapping &operator=(const Mapping &) = delete;
+    ~Mapping()
+    {
+        if (data)
+            ::munmap(const_cast<char *>(data), size);
+    }
+};
+
+/** Bounds-checked cursor over an in-memory artifact (the mmap'ed file
+ * or a fault-mangled copy); mirrors the istream helpers above. */
+class MemReader
+{
+  public:
+    MemReader(const char *data, size_t size) : data_(data), size_(size) {}
+
+    size_t offset() const { return off_; }
+
+    void
+    readBytes(void *out, size_t n, const char *what)
+    {
+        if (size_ - off_ < n)
+            throw MdesError(
+                std::string("truncated store header reading ") + what);
+        std::memcpy(out, data_ + off_, n);
+        off_ += n;
+    }
+
+    uint32_t
+    readU32(const char *what)
+    {
+        uint32_t v = 0;
+        readBytes(&v, sizeof(v), what);
+        return v;
+    }
+
+    uint64_t
+    readU64(const char *what)
+    {
+        uint64_t v = 0;
+        readBytes(&v, sizeof(v), what);
+        return v;
+    }
+
+    std::string
+    readStr(const char *what)
+    {
+        uint32_t n = readU32(what);
+        if (n > kMaxHeaderString)
+            throw MdesError(
+                std::string("implausible store header string (") + what +
+                "): " + std::to_string(n) + " bytes");
+        std::string s(n, '\0');
+        readBytes(s.data(), n, what);
+        return s;
+    }
+
+  private:
+    const char *data_;
+    size_t size_;
+    size_t off_ = 0;
+};
+
 } // namespace
 
 uint64_t
@@ -210,20 +297,30 @@ struct ArtifactStore::Header
         writeStr(os, machine);
     }
 
-    /** Throws MdesError when the header is not a valid current-version
-     * store header for @p expected_key. */
+    /**
+     * Throws MdesError when the header is not a valid store header for
+     * @p expected_key. With @p version_out, headers of *older* known
+     * versions (whose field layout is unchanged) parse too and report
+     * their version, so list() can flag stale entries; without it the
+     * read is strict about the current version.
+     */
     static Header
-    read(std::istream &is, uint64_t expected_key)
+    read(std::istream &is, uint64_t expected_key,
+         uint32_t *version_out = nullptr)
     {
         char magic[4] = {};
         is.read(magic, 4);
         if (!is || std::memcmp(magic, kStoreMagic, 4) != 0)
             throw MdesError("not a store artifact (bad MDST magic)");
         uint32_t version = readU32(is, "version");
-        if (version != kStoreVersion)
+        const bool known_old =
+            version_out && version >= 1 && version < kStoreVersion;
+        if (version != kStoreVersion && !known_old)
             throw MdesError("store artifact version " +
                             std::to_string(version) + ", expected " +
                             std::to_string(kStoreVersion));
+        if (version_out)
+            *version_out = version;
         Header h;
         h.key = readU64(is, "key");
         if (h.key != expected_key)
@@ -303,58 +400,140 @@ ArtifactStore::backoff(uint64_t key, uint32_t attempt,
 }
 
 ArtifactStore::LoadOutcome
+ArtifactStore::parseArtifact(const char *data, size_t size, uint64_t key,
+                             const std::shared_ptr<const void> &backing,
+                             std::shared_ptr<const lmdes::LowMdes> *out,
+                             Header *header_out)
+{
+    // Verify the integrity trailer before touching the contents: the
+    // last 8 bytes checksum everything before them. This is the one
+    // whole-artifact scan a load performs ("checksum verified once at
+    // open"); the LMDES image's own checksum is skipped because the
+    // trailer already covers those bytes.
+    if (size < kTrailerBytes)
+        return LoadOutcome::Corrupt;
+    uint64_t stored_sum = 0;
+    std::memcpy(&stored_sum, data + size - kTrailerBytes, kTrailerBytes);
+    uint64_t sum = kFnvOffset;
+    fnvBytes(sum, data, size - kTrailerBytes);
+    if (sum != stored_sum)
+        return LoadOutcome::Corrupt;
+    const size_t body_size = size - kTrailerBytes;
+    try {
+        MemReader r(data, body_size);
+        char magic[4] = {};
+        r.readBytes(magic, 4, "magic");
+        if (std::memcmp(magic, kStoreMagic, 4) != 0)
+            return LoadOutcome::Corrupt;
+        const uint32_t version = r.readU32("version");
+        if (version != kStoreVersion)
+            return LoadOutcome::Stale;
+        Header h;
+        h.key = r.readU64("key");
+        if (h.key != key)
+            return LoadOutcome::Corrupt;
+        h.config_fingerprint = r.readU64("config fingerprint");
+        h.created_unix = r.readU64("creation time");
+        h.creator = r.readStr("creator");
+        h.machine = r.readStr("machine");
+        const size_t img_off =
+            (r.offset() + kImageAlign - 1) / kImageAlign * kImageAlign;
+        if (img_off > body_size)
+            return LoadOutcome::Corrupt;
+        lmdes::LowMdes low = lmdes::LowMdes::fromImage(
+            data + img_off, body_size - img_off,
+            lmdes::ImageSource{backing, /*verify_checksum=*/false});
+        *out = std::make_shared<const lmdes::LowMdes>(std::move(low));
+        if (header_out)
+            *header_out = std::move(h);
+        return LoadOutcome::Hit;
+    } catch (const lmdes::MdesVersionError &) {
+        // The container is current but the image inside speaks another
+        // LMDES version: still "written by another release", not damage.
+        return LoadOutcome::Stale;
+    } catch (const std::exception &) {
+        return LoadOutcome::Corrupt;
+    }
+}
+
+ArtifactStore::LoadOutcome
 ArtifactStore::loadOnce(uint64_t key,
                         std::shared_ptr<const lmdes::LowMdes> *out)
 {
     std::string path = pathFor(artifactFileName(key));
     if (faultsim::probe(faultsim::Site::StoreOpenRead).fired)
         return LoadOutcome::TransientIo;
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
         // Distinguish "not there" (a plain miss) from "there but
         // unreadable" (worth a retry: NFS hiccup, EMFILE, ...).
-        std::error_code ec;
-        return fs::exists(path, ec) && !ec ? LoadOutcome::TransientIo
-                                           : LoadOutcome::Miss;
+        return errno == ENOENT ? LoadOutcome::Miss
+                               : LoadOutcome::TransientIo;
     }
-    std::string bytes((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
-    if (in.bad())
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        ::close(fd);
         return LoadOutcome::TransientIo;
-    // Simulated bit rot / truncation: mangle the in-memory copy only,
-    // so the parser (and its checksum) sees what a damaged disk would
-    // feed it without physically rewriting the artifact.
-    if (!bytes.empty()) {
+    }
+    const size_t size = size_t(st.st_size);
+    if (size < kTrailerBytes) {
+        ::close(fd);
+        return LoadOutcome::Corrupt;
+    }
+    if (faultsim::probe(faultsim::Site::StoreMap).fired) {
+        ::close(fd);
+        return LoadOutcome::TransientIo;
+    }
+    void *base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping holds its own reference to the inode
+    if (base == MAP_FAILED)
+        return LoadOutcome::TransientIo;
+    auto mapping = std::make_shared<Mapping>();
+    mapping->data = static_cast<const char *>(base);
+    mapping->size = size;
+
+    // Simulated bit rot / truncation: mangle an in-memory copy only, so
+    // the parser (and the trailer check) sees what a damaged disk would
+    // feed it without physically rewriting the artifact. The copy is
+    // transient, so it gets no backing (were it ever to parse, the
+    // pools would be deep-copied).
+    std::vector<uint64_t> mangled;
+    size_t mangled_size = 0;
+    auto mangle = [&]() -> char * {
+        if (mangled.empty()) {
+            mangled_size = size;
+            mangled.assign((size + 7) / 8, 0);
+            std::memcpy(mangled.data(), mapping->data, size);
+        }
+        return reinterpret_cast<char *>(mangled.data());
+    };
+    {
         faultsim::FireInfo fi =
             faultsim::probe(faultsim::Site::StoreShortRead);
-        if (fi.fired)
-            bytes.resize(fi.value % bytes.size());
+        if (fi.fired && size > 0) {
+            mangle();
+            mangled_size = fi.value % size;
+        }
     }
-    if (!bytes.empty()) {
+    {
         faultsim::FireInfo fi =
             faultsim::probe(faultsim::Site::StoreCorruptByte);
-        if (fi.fired)
-            bytes[fi.value % bytes.size()] ^=
-                char(1u << ((fi.value >> 32) % 8));
+        if (fi.fired) {
+            char *bytes = mangle();
+            if (mangled_size > 0)
+                bytes[fi.value % mangled_size] ^=
+                    char(1u << ((fi.value >> 32) % 8));
+        }
     }
-    // Verify the integrity trailer before touching the contents: the
-    // last 8 bytes checksum everything before them.
-    if (bytes.size() < kTrailerBytes)
-        return LoadOutcome::Corrupt;
-    uint64_t stored_sum = 0;
-    std::memcpy(&stored_sum, bytes.data() + bytes.size() - kTrailerBytes,
-                kTrailerBytes);
-    uint64_t sum = kFnvOffset;
-    fnvBytes(sum, bytes.data(), bytes.size() - kTrailerBytes);
-    if (sum != stored_sum)
-        return LoadOutcome::Corrupt;
-    bytes.resize(bytes.size() - kTrailerBytes);
-    try {
-        std::istringstream stream(bytes);
-        Header header = Header::read(stream, key);
-        auto low = std::make_shared<const lmdes::LowMdes>(
-            lmdes::LowMdes::load(stream));
 
+    Header header;
+    LoadOutcome outcome =
+        mangled.empty()
+            ? parseArtifact(mapping->data, size, key, mapping, out,
+                            &header)
+            : parseArtifact(reinterpret_cast<const char *>(mangled.data()),
+                            mangled_size, key, nullptr, out, &header);
+    if (outcome == LoadOutcome::Hit) {
         // Touch the access-time sidecar (recreating it if lost) so the
         // eviction sweep sees this entry as recently used.
         std::error_code ec;
@@ -362,12 +541,8 @@ ArtifactStore::loadOnce(uint64_t key,
         fs::last_write_time(meta, fs::file_time_type::clock::now(), ec);
         if (ec)
             writeMeta(key, header);
-
-        *out = std::move(low);
-        return LoadOutcome::Hit;
-    } catch (const std::exception &) {
-        return LoadOutcome::Corrupt;
     }
+    return outcome;
 }
 
 std::shared_ptr<const lmdes::LowMdes>
@@ -380,6 +555,8 @@ ArtifactStore::load(uint64_t key, const std::function<bool()> &cancel)
         case LoadOutcome::Hit: {
             std::lock_guard<std::mutex> lock(mu_);
             ++stats_.hits;
+            if (low->mapped())
+                ++stats_.mapped_hits;
             return low;
         }
         case LoadOutcome::Miss: {
@@ -388,14 +565,26 @@ ArtifactStore::load(uint64_t key, const std::function<bool()> &cancel)
             return nullptr;
         }
         case LoadOutcome::Corrupt:
-            // Corrupt, truncated, version-mismatched, or mislabeled: a
-            // miss, never an error, and never retried - damage does not
-            // heal. Quarantine so the next publish starts clean and the
-            // bad bytes stay inspectable.
+            // Corrupt, truncated, or mislabeled: a miss, never an
+            // error, and never retried - damage does not heal.
+            // Quarantine so the next publish starts clean and the bad
+            // bytes stay inspectable.
             quarantine(key);
             {
                 std::lock_guard<std::mutex> lock(mu_);
                 ++stats_.corrupt;
+                ++stats_.misses;
+            }
+            return nullptr;
+        case LoadOutcome::Stale:
+            // Written by another format version: perfectly healthy
+            // bytes this build cannot use. Evict silently (no .bad
+            // residue, no corrupt count) so an upgrade reads as a cache
+            // flush, then let the caller recompile and republish.
+            removeStale(key);
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++stats_.stale_evicted;
                 ++stats_.misses;
             }
             return nullptr;
@@ -436,9 +625,17 @@ ArtifactStore::storeOnce(uint64_t key, const lmdes::LowMdes &low,
             if (!out)
                 throw MdesError("cannot open temp file");
             // Serialize to memory first so the integrity trailer can
-            // cover header and payload alike.
+            // cover header and payload alike. The header is zero-padded
+            // to kImageAlign so the v7 image's 64-byte-aligned sections
+            // land aligned in the file - and therefore in any
+            // page-aligned mapping of it.
             std::ostringstream body;
             header.write(body);
+            const size_t header_end = size_t(body.tellp());
+            const size_t img_off = (header_end + kImageAlign - 1) /
+                                   kImageAlign * kImageAlign;
+            static const char zeros[kImageAlign] = {};
+            body.write(zeros, std::streamsize(img_off - header_end));
             low.save(body);
             const std::string payload = body.str();
             uint64_t sum = kFnvOffset;
@@ -516,6 +713,14 @@ ArtifactStore::writeMeta(uint64_t key, const Header &header)
     std::ofstream out(pathFor(metaFileName(key)),
                       std::ios::binary | std::ios::trunc);
     out << w.str() << "\n";
+}
+
+void
+ArtifactStore::removeStale(uint64_t key)
+{
+    std::error_code ec;
+    fs::remove(pathFor(artifactFileName(key)), ec);
+    fs::remove(pathFor(metaFileName(key)), ec);
 }
 
 void
@@ -633,11 +838,13 @@ ArtifactStore::list() const
         std::ifstream in(p, std::ios::binary);
         if (in) {
             try {
-                Header h = Header::read(in, info.key);
+                uint32_t version = 0;
+                Header h = Header::read(in, info.key, &version);
                 info.config_fingerprint = h.config_fingerprint;
                 info.created_unix = h.created_unix;
                 info.creator = h.creator;
                 info.machine = h.machine;
+                info.stale = !bad && version != kStoreVersion;
             } catch (const std::exception &) {
                 // Unreadable header: report the file with bare sizes.
             }

@@ -17,14 +17,29 @@
  *
  *   <key>.lmdes   the artifact: a self-describing store header (magic
  *                 "MDST", store format version, key, transform-config
- *                 fingerprint, creation metadata) followed by the
- *                 checksummed LMDES stream of serialize.cpp
+ *                 fingerprint, creation metadata), zero-padded to a
+ *                 64-byte boundary, followed by the position-independent
+ *                 LMDES v7 image of serialize.cpp, followed by an 8-byte
+ *                 whole-file FNV-1a trailer
  *   <key>.meta    small JSON sidecar; its mtime is the entry's
  *                 last-access time (touched on every hit), which drives
  *                 LRU eviction
  *   <key>.bad     a quarantined artifact that failed to load (corrupt,
- *                 truncated, or version-mismatched); kept for post-mortem,
- *                 replaced on the next publish
+ *                 truncated, or mislabeled); kept for post-mortem,
+ *                 replaced on the next publish. Artifacts that are merely
+ *                 *stale* (written by another format version) are NOT
+ *                 quarantined: they are silently removed and recompiled
+ *                 (see StoreStats::stale_evicted)
+ *
+ * Since store version 3 a load does not deserialize the artifact at
+ * all: the file is mmap(2)'ed MAP_PRIVATE read-only, the trailer is
+ * verified with one pass at open, and the returned LowMdes borrows the
+ * mapping zero-copy (LowMdes::fromImage), released by munmap when the
+ * last shared_ptr owner drops. Because the mapping pins the inode,
+ * prune() and quarantine() can unlink or rename the file while readers
+ * hold live views — the views stay valid until release, and N sharded
+ * server processes mapping one artifact share a single physical copy
+ * through the page cache.
  *
  * where <key> is the 16-hex-digit content hash of (hmdes source,
  * transform config, bit-vector flag, representation) — the same key the
@@ -93,11 +108,20 @@ std::string quarantineFileName(uint64_t key);
 struct StoreStats
 {
     uint64_t hits = 0;
+    /** Hits served zero-copy from a live mmap of the artifact (the
+     * normal case; a subset of hits). */
+    uint64_t mapped_hits = 0;
     uint64_t misses = 0;
     /** Loads that found a file but quarantined it (corrupt, truncated,
-     * version-mismatched, or mislabeled). Such loads also count as
-     * misses, so hits + misses is always the total lookup count. */
+     * or mislabeled). Such loads also count as misses, so hits + misses
+     * is always the total lookup count. */
     uint64_t corrupt = 0;
+    /** Loads that found an artifact written by a different store/LMDES
+     * format version: not damage, so it is silently removed (no .bad
+     * residue, no corrupt count) and the caller recompiles. Also counts
+     * as a miss. This is what makes a format upgrade a clean cache
+     * flush instead of a mass quarantine. */
+    uint64_t stale_evicted = 0;
     uint64_t stores = 0;
     uint64_t store_failures = 0;
     uint64_t evictions = 0;
@@ -125,6 +149,9 @@ struct ArtifactInfo
     int64_t last_access_unix = 0;
     /** True for quarantined (.bad) entries. */
     bool quarantined = false;
+    /** True when the artifact was written by an older store format and
+     * will be silently evicted + recompiled on its next load. */
+    bool stale = false;
 };
 
 /** What an eviction sweep did. */
@@ -180,14 +207,20 @@ class ArtifactStore
 
     /**
      * Tolerant lookup: the artifact for @p key, or nullptr on a miss.
-     * A file that exists but cannot be loaded — corrupt, truncated,
-     * wrong version, or labeled with a different key — counts as a
-     * miss: it is quarantined (renamed to .bad) so the caller
-     * recompiles and republishes. A transiently-unreadable file (I/O
-     * error on open/read) is retried per the RetryPolicy, then treated
-     * as a miss. Never throws for bad on-disk state; only
-     * CancelledError escapes, when @p cancel reports the caller gave
-     * up mid-retry. A hit touches the entry's access-time sidecar.
+     * A hit is served zero-copy: the returned LowMdes borrows an
+     * mmap'ed, trailer-verified view of the file, munmapped when the
+     * last owner releases it (so it stays valid even if the entry is
+     * pruned or republished meanwhile). A file that exists but cannot
+     * be loaded — corrupt, truncated, or labeled with a different key —
+     * counts as a miss: it is quarantined (renamed to .bad) so the
+     * caller recompiles and republishes. A file written by a different
+     * format version is *stale*, not corrupt: silently removed, counted
+     * under stale_evicted, and likewise reported as a miss. A
+     * transiently-unreadable file (I/O error on open/stat/mmap) is
+     * retried per the RetryPolicy, then treated as a miss. Never throws
+     * for bad on-disk state; only CancelledError escapes, when
+     * @p cancel reports the caller gave up mid-retry. A hit touches the
+     * entry's access-time sidecar.
      */
     std::shared_ptr<const lmdes::LowMdes>
     load(uint64_t key, const std::function<bool()> &cancel = {});
@@ -221,12 +254,21 @@ class ArtifactStore
   private:
     struct Header;
 
-    /** What one load attempt observed (drives the retry decision). */
-    enum class LoadOutcome { Hit, Miss, Corrupt, TransientIo };
+    /** What one load attempt observed (drives the retry decision).
+     * Stale = written by another format version: evict silently and
+     * recompile, never quarantine. */
+    enum class LoadOutcome { Hit, Miss, Corrupt, Stale, TransientIo };
 
     std::string pathFor(const std::string &name) const;
     LoadOutcome loadOnce(uint64_t key,
                          std::shared_ptr<const lmdes::LowMdes> *out);
+    /** Verify the trailer and parse a complete in-memory artifact
+     * (header + padding + v7 image). With @p backing the result
+     * borrows @p data zero-copy; without it the pools are copied. */
+    LoadOutcome parseArtifact(const char *data, size_t size, uint64_t key,
+                              const std::shared_ptr<const void> &backing,
+                              std::shared_ptr<const lmdes::LowMdes> *out,
+                              Header *header_out);
     bool storeOnce(uint64_t key, const lmdes::LowMdes &low,
                    uint64_t config_fingerprint);
     /** Sleep the jittered exponential backoff before retry @p attempt;
@@ -234,6 +276,9 @@ class ArtifactStore
     void backoff(uint64_t key, uint32_t attempt,
                  const std::function<bool()> &cancel);
     void quarantine(uint64_t key);
+    /** Remove a stale (old-format) artifact and its sidecar without
+     * leaving .bad residue. */
+    void removeStale(uint64_t key);
     void writeMeta(uint64_t key, const Header &header);
     /** Remove orphaned ".tmp-*" publish files; returns count removed. */
     uint64_t sweepResidue();

@@ -15,10 +15,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstring>
+#include <sstream>
+
 #include "core/collision.h"
 #include "core/expand.h"
 #include "core/transforms.h"
 #include "hmdes/compile.h"
+#include "lmdes/image.h"
 #include "lmdes/low_mdes.h"
 #include "machines/machines.h"
 #include "random_mdes.h"
@@ -293,6 +298,167 @@ TEST(Fuzz, LexerAndParserNeverCrashOnMutatedText)
             EXPECT_EQ(result->validate(), "");
         }
     }
+}
+
+namespace {
+
+/** FNV-1a64, matching the v7 image checksum in serialize.cpp. */
+uint64_t
+imageFnv1a64(const char *data, size_t n)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= uint8_t(data[i]);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Re-seal a mutated v7 image: recompute the header checksum so the
+ * mutation reaches structural validation instead of dying at the
+ * checksum gate. */
+void
+resealImage(std::string &data)
+{
+    uint64_t sum =
+        imageFnv1a64(data.data() + sizeof(mdes::lmdes::v7::Header),
+                     data.size() - sizeof(mdes::lmdes::v7::Header));
+    std::memcpy(&data[offsetof(mdes::lmdes::v7::Header, checksum)], &sum,
+                sizeof(sum));
+}
+
+/** Load @p data and require either an MdesError or a structurally valid
+ * description - never a crash, never a dangling reference. */
+void
+expectThrowOrValid(const std::string &data)
+{
+    std::stringstream buf(data);
+    try {
+        lmdes::LowMdes loaded = lmdes::LowMdes::load(buf);
+        for (const auto &oc : loaded.opClasses())
+            ASSERT_LT(oc.tree, loaded.trees().size());
+        for (const auto &o : loaded.options())
+            ASSERT_LE(size_t(o.first_check) + o.num_checks,
+                      loaded.checks().size());
+    } catch (const MdesError &) {
+        // Rejection is the expected outcome.
+    }
+}
+
+} // namespace
+
+TEST(Fuzz, SectionTableMutationsNeverEscapeValidation)
+{
+    // The v7 analogue of fuzzing v4's length prefixes: mutate the header
+    // scalars and section table *behind a re-sealed checksum*, so every
+    // mutation reaches the ByteReader-style table validation rather than
+    // being deflected by the checksum gate.
+    Rng rng(0xF0228);
+    using mdes::lmdes::v7::Header;
+    for (int trial = 0; trial < 12; ++trial) {
+        Mdes m = mdes::testing::randomMdes(rng);
+        lmdes::LowerOptions lopts;
+        lopts.pack_bit_vector = rng.chance(0.5);
+        lmdes::LowMdes low = lmdes::LowMdes::lower(m, lopts);
+        std::stringstream buf;
+        low.save(buf);
+        const std::string data = buf.str();
+
+        for (int mut = 0; mut < 40; ++mut) {
+            std::string mutated = data;
+            // Target the header past the checksum field: scalars,
+            // string refs, section count, and the section table.
+            size_t at = offsetof(Header, num_resources) +
+                        rng.below(sizeof(Header) -
+                                  offsetof(Header, num_resources));
+            if (rng.chance(0.5)) {
+                mutated[at] = char(uint8_t(mutated[at]) ^
+                                   uint8_t(1u << rng.below(8)));
+            } else {
+                // Whole-field rewrites reach offsets single bit flips
+                // rarely produce (huge, unaligned, overlapping).
+                uint64_t v = rng.below(2) ? rng.below(data.size() * 2)
+                                          : (uint64_t(1) << 40) + 1;
+                size_t n = std::min(sizeof(v), mutated.size() - at);
+                std::memcpy(&mutated[at], &v, n);
+            }
+            resealImage(mutated);
+            expectThrowOrValid(mutated);
+        }
+    }
+}
+
+TEST(Fuzz, SectionTableTargetedCorruptionRejected)
+{
+    // Deterministic table attacks a random sweep might miss; each is
+    // re-sealed, so only table validation stands between the crafted
+    // entry and an out-of-image span.
+    using mdes::lmdes::v7::Header;
+    using mdes::lmdes::v7::kChecks;
+    using mdes::lmdes::v7::kOptions;
+    Mdes m = hmdes::compileOrThrow(machines::superSparc().source);
+    lmdes::LowMdes low = lmdes::LowMdes::lower(m, {});
+    std::stringstream buf;
+    low.save(buf);
+    const std::string data = buf.str();
+
+    Header hdr;
+    std::memcpy(&hdr, data.data(), sizeof(hdr));
+    ASSERT_GT(hdr.sections[kChecks].bytes, 0u);
+
+    auto patched = [&](auto mutate) {
+        Header h = hdr;
+        mutate(h);
+        std::string out = data;
+        std::memcpy(out.data(), &h, sizeof(h));
+        resealImage(out);
+        return out;
+    };
+    auto expectRejected = [&](const std::string &img, const char *needle) {
+        std::stringstream in(img);
+        try {
+            lmdes::LowMdes::load(in);
+            FAIL() << "accepted image crafted for '" << needle << "'";
+        } catch (const MdesError &e) {
+            EXPECT_NE(std::string(e.what()).find(needle),
+                      std::string::npos)
+                << e.what();
+        }
+    };
+
+    // Misaligned section offset.
+    expectRejected(patched([](Header &h) {
+                       h.sections[kChecks].offset += 8;
+                   }),
+                   "misaligned");
+    // Section escaping the end of the image.
+    expectRejected(patched([&](Header &h) {
+                       h.sections[kChecks].bytes =
+                           hdr.image_bytes; // extends past the end
+                   }),
+                   "outside the image");
+    // Section pointing into the header.
+    expectRejected(patched([](Header &h) {
+                       h.sections[kChecks].offset = 64;
+                   }),
+                   "outside the image");
+    // Byte count that is not a whole number of elements.
+    expectRejected(patched([](Header &h) {
+                       h.sections[kChecks].bytes -= 1;
+                   }),
+                   "multiple");
+    // Two sections aliasing the same bytes.
+    expectRejected(patched([&](Header &h) {
+                       h.sections[kOptions] = hdr.sections[kChecks];
+                   }),
+                   "overlap");
+    // Section-count drift.
+    expectRejected(patched([](Header &h) { h.section_count = 11; }),
+                   "section count");
+    // Image-size lie (stream delivers fewer bytes than the header
+    // claims once re-parsed by fromImage).
+    expectRejected(patched([&](Header &h) { h.image_bytes += 64; }),
+                   "truncated");
 }
 
 TEST(Fuzz, RedundantOptionRemovalNeverChangesSchedules)

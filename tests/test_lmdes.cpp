@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstring>
 #include <sstream>
 
 #include "hmdes/compile.h"
+#include "lmdes/image.h"
 #include "lmdes/low_mdes.h"
 #include "machines/machines.h"
 #include "random_mdes.h"
@@ -251,9 +253,24 @@ TEST(Serialize, VersionMismatchReportsFoundAndExpected)
     } catch (const MdesError &e) {
         EXPECT_NE(std::string(e.what()).find("99"), std::string::npos)
             << e.what();
-        EXPECT_NE(std::string(e.what()).find("6"), std::string::npos)
+        EXPECT_NE(std::string(e.what()).find("7"), std::string::npos)
             << e.what();
     }
+}
+
+TEST(Serialize, VersionMismatchIsDistinguishableFromCorruption)
+{
+    // The store decides stale-vs-quarantine on this distinction: an
+    // otherwise intact image from another release must throw the
+    // *version* error type, not plain MdesError.
+    Mdes m = twoCycleMachine();
+    std::stringstream buf;
+    LowMdes::lower(m, {}).save(buf);
+    std::string data = buf.str();
+    uint32_t old_version = 6;
+    std::memcpy(&data[4], &old_version, sizeof(old_version));
+    std::stringstream patched(data);
+    EXPECT_THROW(LowMdes::load(patched), lmdes::MdesVersionError);
 }
 
 TEST(Serialize, ChecksumMismatchReportsStoredAndComputed)
@@ -275,6 +292,173 @@ TEST(Serialize, ChecksumMismatchReportsStoredAndComputed)
         EXPECT_NE(what.find("checksum"), std::string::npos) << what;
         EXPECT_NE(what.find("stored"), std::string::npos) << what;
         EXPECT_NE(what.find("computed"), std::string::npos) << what;
+    }
+}
+
+/** FNV-1a64, matching the image checksum in serialize.cpp. */
+uint64_t
+fnv1a64(const char *data, size_t n)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= uint8_t(data[i]);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Recompute and patch the header checksum of a (possibly mutated) v7
+ * image so validation runs against checksum-*valid* crafted payloads. */
+void
+resealImage(std::string &data)
+{
+    ASSERT_GE(data.size(), sizeof(lmdes::v7::Header));
+    uint64_t sum = fnv1a64(data.data() + sizeof(lmdes::v7::Header),
+                           data.size() - sizeof(lmdes::v7::Header));
+    std::memcpy(&data[offsetof(lmdes::v7::Header, checksum)], &sum,
+                sizeof(sum));
+}
+
+TEST(Serialize, CraftedMaskBeyondDeclaredResourcesRejected)
+{
+    // A checksum-valid image whose check selects resource bits past
+    // num_resources would index out of the checker's RU map. The
+    // crafted payload must be rejected by content validation, not by
+    // luck of the checksum.
+    Mdes m = twoCycleMachine(); // 3 resources, one RU-map word
+    std::stringstream buf;
+    LowMdes::lower(m, {}).save(buf);
+    std::string data = buf.str();
+
+    lmdes::v7::Header hdr;
+    std::memcpy(&hdr, data.data(), sizeof(hdr));
+    ASSERT_EQ(hdr.num_resources, 3u);
+    const auto &sec = hdr.sections[lmdes::v7::kChecks];
+    ASSERT_GE(sec.bytes, sizeof(lmdes::Check));
+    lmdes::Check c;
+    std::memcpy(&c, data.data() + sec.offset, sizeof(c));
+    c.mask |= uint64_t(1) << 10; // resource 10 of 3
+    std::memcpy(&data[sec.offset], &c, sizeof(c));
+    resealImage(data);
+
+    std::stringstream patched(data);
+    try {
+        LowMdes::load(patched);
+        FAIL() << "mask with undeclared resource bits accepted";
+    } catch (const MdesError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("beyond"), std::string::npos) << what;
+        EXPECT_NE(what.find("3 declared"), std::string::npos) << what;
+    }
+}
+
+TEST(Serialize, CraftedImplausibleSlotRejected)
+{
+    // A wild slot (beyond any sane pipeline depth) must be rejected
+    // before it can size an RU-map overlay in the checker.
+    Mdes m = twoCycleMachine();
+    std::stringstream buf;
+    LowMdes::lower(m, {}).save(buf);
+    std::string data = buf.str();
+
+    lmdes::v7::Header hdr;
+    std::memcpy(&hdr, data.data(), sizeof(hdr));
+    const auto &sec = hdr.sections[lmdes::v7::kChecks];
+    ASSERT_GE(sec.bytes, sizeof(lmdes::Check));
+    lmdes::Check c;
+    std::memcpy(&c, data.data() + sec.offset, sizeof(c));
+    c.slot = int32_t(lmdes::v7::kMaxSlotMagnitude) + 1;
+    std::memcpy(&data[sec.offset], &c, sizeof(c));
+    resealImage(data);
+
+    std::stringstream patched(data);
+    try {
+        LowMdes::load(patched);
+        FAIL() << "implausible slot accepted";
+    } catch (const MdesError &e) {
+        EXPECT_NE(std::string(e.what()).find("slot"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Serialize, CraftedSlotOutsideSummaryWindowRejected)
+{
+    // A plausible-magnitude slot that escapes the owning tree's summary
+    // window would defeat the checker's direct-index fast path.
+    Mdes m = twoCycleMachine();
+    std::stringstream buf;
+    LowMdes::lower(m, {}).save(buf);
+    std::string data = buf.str();
+
+    lmdes::v7::Header hdr;
+    std::memcpy(&hdr, data.data(), sizeof(hdr));
+    const auto &sec = hdr.sections[lmdes::v7::kChecks];
+    ASSERT_GE(sec.bytes, sizeof(lmdes::Check));
+    lmdes::Check c;
+    std::memcpy(&c, data.data() + sec.offset, sizeof(c));
+    c.slot = 1000; // far past the two-cycle window, well under the cap
+    std::memcpy(&data[sec.offset], &c, sizeof(c));
+    resealImage(data);
+
+    std::stringstream patched(data);
+    try {
+        LowMdes::load(patched);
+        FAIL() << "out-of-window slot accepted";
+    } catch (const MdesError &e) {
+        EXPECT_NE(std::string(e.what()).find("window"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Serialize, MappedImageMatchesOwnedAndSkipsDeserialization)
+{
+    // The zero-copy contract: attaching an image via fromImage with a
+    // backing yields the same description as a full load, borrows the
+    // caller's bytes (mapped() == true), and does not count as a full
+    // deserialization.
+    for (const auto *info : machines::all()) {
+        SCOPED_TRACE(info->name);
+        Mdes m = hmdes::compileOrThrow(info->source);
+        LowerOptions opts;
+        opts.pack_bit_vector = true;
+        LowMdes low = LowMdes::lower(m, opts);
+        std::stringstream buf;
+        low.save(buf);
+        const std::string data = buf.str();
+
+        auto backing =
+            std::make_shared<std::vector<uint64_t>>((data.size() + 7) / 8);
+        std::memcpy(backing->data(), data.data(), data.size());
+
+        uint64_t before = lmdes::fullDeserializations();
+        lmdes::ImageSource src;
+        src.backing =
+            std::shared_ptr<const void>(backing, backing->data());
+        LowMdes mapped =
+            LowMdes::fromImage(backing->data(), data.size(), src);
+        EXPECT_EQ(lmdes::fullDeserializations(), before);
+        EXPECT_TRUE(mapped.mapped());
+        EXPECT_EQ(mapped, low);
+        // The spans really point into the caller's buffer.
+        const char *base = reinterpret_cast<const char *>(backing->data());
+        if (!mapped.checks().empty()) {
+            const char *p =
+                reinterpret_cast<const char *>(mapped.checks().data());
+            EXPECT_GE(p, base);
+            EXPECT_LT(p, base + data.size());
+        }
+
+        // A mapped object re-saves byte-identically.
+        std::stringstream resaved;
+        mapped.save(resaved);
+        EXPECT_EQ(resaved.str(), data);
+
+        // The stream path deep-copies and counts the deserialization.
+        std::stringstream again(data);
+        LowMdes owned = LowMdes::load(again);
+        EXPECT_EQ(lmdes::fullDeserializations(), before + 1);
+        EXPECT_FALSE(owned.mapped());
+        EXPECT_EQ(owned, mapped);
     }
 }
 

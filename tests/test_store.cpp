@@ -10,12 +10,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <thread>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include "lmdes/image.h"
 #include "random_mdes.h"
 #include "service/cache.h"
 #include "service/service.h"
@@ -54,6 +58,39 @@ tinyMachine(int salt = 0)
     TreeId tree = m.addTree({"Tbl", {t}});
     m.addOpClass({"OP", tree, 2, kInvalidId, "test"});
     return m;
+}
+
+/** Read a whole file into a string. */
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+/** FNV-1a64, matching the store's integrity trailer. */
+uint64_t
+storeFnv1a64(const char *data, size_t n)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= uint8_t(data[i]);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Rewrite @p path with @p data plus a freshly computed whole-file
+ * trailer, so deliberate *format* patches are not mistaken for rot. */
+void
+resealArtifact(const fs::path &path, std::string data)
+{
+    ASSERT_GE(data.size(), 8u);
+    uint64_t sum = storeFnv1a64(data.data(), data.size() - 8);
+    std::memcpy(&data[data.size() - 8], &sum, sizeof(sum));
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), std::streamsize(data.size()));
 }
 
 /** Flip one byte of @p path at @p offset (from the end if negative). */
@@ -354,13 +391,20 @@ TEST(Store, SizeBudgetTriggersEvictionOnPublish)
 {
     fs::path dir = freshDir("budget");
     LowMdes low = LowMdes::lower(tinyMachine(), {});
-    std::stringstream sized;
-    low.save(sized);
-    // Budget below two artifacts: after every publish at most one file
-    // survives.
-    ArtifactStore s(StoreConfig{
-        .dir = dir.string(),
-        .max_bytes = uint64_t(sized.str().size() + 64)});
+    // Measure one published artifact (container header + padding +
+    // image + trailer); every key yields the same size, so a budget of
+    // exactly one file means at most one survives each publish.
+    uint64_t artifact_bytes = 0;
+    {
+        fs::path probe_dir = freshDir("budget_probe");
+        ArtifactStore probe(StoreConfig{.dir = probe_dir.string()});
+        ASSERT_TRUE(probe.store(1, low, 0));
+        artifact_bytes =
+            fs::file_size(probe_dir / store::artifactFileName(1));
+        fs::remove_all(probe_dir);
+    }
+    ArtifactStore s(StoreConfig{.dir = dir.string(),
+                                .max_bytes = artifact_bytes});
     for (uint64_t key = 1; key <= 4; ++key)
         ASSERT_TRUE(s.store(key, low, 0));
     uint64_t artifacts = 0;
@@ -387,6 +431,231 @@ TEST(Store, RandomMachinesRoundTripThroughDisk)
         ASSERT_NE(loaded, nullptr);
         EXPECT_EQ(*loaded, low);
     }
+    fs::remove_all(dir);
+}
+
+TEST(Store, MappedHitBorrowsTheFileAndSkipsDeserialization)
+{
+    // The tentpole contract: a warm load attaches the artifact in place
+    // (mapped, zero full deserializations), it does not parse it.
+    fs::path dir = freshDir("mapped");
+    ArtifactStore s(StoreConfig{.dir = dir.string()});
+    LowMdes low = LowMdes::lower(tinyMachine(), {});
+    ASSERT_TRUE(s.store(5, low, 0));
+
+    uint64_t before = lmdes::fullDeserializations();
+    auto loaded = s.load(5);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_TRUE(loaded->mapped());
+    EXPECT_EQ(lmdes::fullDeserializations(), before);
+    EXPECT_EQ(*loaded, low);
+    EXPECT_EQ(s.stats().mapped_hits, 1u);
+    fs::remove_all(dir);
+}
+
+TEST(Store, StaleContainerVersionIsEvictedNotQuarantined)
+{
+    // Plant an artifact whose *container* claims an older store format:
+    // healthy bytes from another release. The load must read as a plain
+    // miss, silently drop the entry (no .bad residue, no corrupt
+    // count), and let a republish heal the slot.
+    fs::path dir = freshDir("stale_container");
+    ArtifactStore s(StoreConfig{.dir = dir.string()});
+    LowMdes low = LowMdes::lower(tinyMachine(), {});
+    uint64_t key = 31;
+    ASSERT_TRUE(s.store(key, low, 0));
+
+    fs::path file = dir / store::artifactFileName(key);
+    std::string data = slurp(file);
+    uint32_t old_version = 2;
+    std::memcpy(&data[4], &old_version, sizeof(old_version));
+    resealArtifact(file, std::move(data));
+
+    // list() can see the staleness before any load touches it.
+    auto infos = s.list();
+    ASSERT_EQ(infos.size(), 1u);
+    EXPECT_TRUE(infos[0].stale);
+    EXPECT_FALSE(infos[0].quarantined);
+
+    EXPECT_EQ(s.load(key), nullptr);
+    EXPECT_FALSE(fs::exists(file));
+    EXPECT_FALSE(fs::exists(dir / store::metaFileName(key)));
+    EXPECT_FALSE(fs::exists(dir / store::quarantineFileName(key)));
+    store::StoreStats st = s.stats();
+    EXPECT_EQ(st.stale_evicted, 1u);
+    EXPECT_EQ(st.corrupt, 0u);
+    EXPECT_EQ(st.misses, 1u);
+
+    // The recompile-and-republish path starts from a clean slot.
+    ASSERT_TRUE(s.store(key, low, 0));
+    auto healed = s.load(key);
+    ASSERT_NE(healed, nullptr);
+    EXPECT_EQ(*healed, low);
+    fs::remove_all(dir);
+}
+
+TEST(Store, StaleImageVersionIsEvictedNotQuarantined)
+{
+    // Same contract one layer down: the container is current but the
+    // LMDES image inside speaks an older format version. Still "written
+    // by another release", still a silent evict-and-recompile.
+    fs::path dir = freshDir("stale_image");
+    ArtifactStore s(StoreConfig{.dir = dir.string()});
+    LowMdes low = LowMdes::lower(tinyMachine(), {});
+    uint64_t key = 33;
+    ASSERT_TRUE(s.store(key, low, 0));
+
+    fs::path file = dir / store::artifactFileName(key);
+    std::string data = slurp(file);
+    size_t img_off = data.find("LMDS", 4);
+    ASSERT_NE(img_off, std::string::npos);
+    uint32_t old_version = 6;
+    std::memcpy(&data[img_off + 4], &old_version, sizeof(old_version));
+    resealArtifact(file, std::move(data));
+
+    EXPECT_EQ(s.load(key), nullptr);
+    EXPECT_FALSE(fs::exists(file));
+    EXPECT_FALSE(fs::exists(dir / store::quarantineFileName(key)));
+    store::StoreStats st = s.stats();
+    EXPECT_EQ(st.stale_evicted, 1u);
+    EXPECT_EQ(st.corrupt, 0u);
+    fs::remove_all(dir);
+}
+
+TEST(Store, MidPageCorruptionQuarantines)
+{
+    // A flip in the middle of the image (not near the header or the
+    // trailer) must still read as Corrupt: the trailer covers every
+    // byte of the file.
+    fs::path dir = freshDir("midpage");
+    ArtifactStore s(StoreConfig{.dir = dir.string()});
+    LowMdes low = LowMdes::lower(tinyMachine(), {});
+    uint64_t key = 40;
+    ASSERT_TRUE(s.store(key, low, 0));
+    fs::path file = dir / store::artifactFileName(key);
+    flipByte(file, int64_t(fs::file_size(file) / 2));
+
+    EXPECT_EQ(s.load(key), nullptr);
+    EXPECT_TRUE(fs::exists(dir / store::quarantineFileName(key)));
+    store::StoreStats st = s.stats();
+    EXPECT_EQ(st.corrupt, 1u);
+    EXPECT_EQ(st.stale_evicted, 0u);
+    fs::remove_all(dir);
+}
+
+TEST(Store, LiveMappingSurvivesPruneAndQuarantine)
+{
+    // The munmap-on-release contract: a held artifact stays valid after
+    // the file underneath it is pruned, republished, corrupted, and
+    // quarantined - the mapping pins the old inode.
+    fs::path dir = freshDir("live_mapping");
+    ArtifactStore s(StoreConfig{.dir = dir.string()});
+    LowMdes low = LowMdes::lower(tinyMachine(), {});
+    uint64_t key = 50;
+    ASSERT_TRUE(s.store(key, low, 0));
+
+    auto held = s.load(key);
+    ASSERT_NE(held, nullptr);
+    ASSERT_TRUE(held->mapped());
+
+    // Prune everything out from under the mapping.
+    s.prune(0);
+    EXPECT_FALSE(fs::exists(dir / store::artifactFileName(key)));
+    EXPECT_EQ(*held, low);
+
+    // Republish, corrupt, quarantine - the held view never wobbles.
+    ASSERT_TRUE(s.store(key, low, 0));
+    auto second = s.load(key);
+    ASSERT_NE(second, nullptr);
+    flipByte(dir / store::artifactFileName(key), -10);
+    EXPECT_EQ(s.load(key), nullptr);
+    EXPECT_TRUE(fs::exists(dir / store::quarantineFileName(key)));
+    EXPECT_EQ(*held, low);
+    EXPECT_EQ(*second, low);
+
+    // Releasing the views (munmap) after all that must be clean too.
+    held.reset();
+    second.reset();
+    fs::remove_all(dir);
+}
+
+/** Order-sensitive FNV over every POD pool of @p low, so two processes
+ * can compare the bytes they are actually scheduling from. */
+uint64_t
+podFingerprint(const lmdes::LowMdes &low)
+{
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](const void *p, size_t n) {
+        const auto *b = static_cast<const unsigned char *>(p);
+        for (size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 1099511628211ull;
+        }
+    };
+    auto span = [&mix](auto s) { mix(s.data(), s.size_bytes()); };
+    span(low.checks());
+    span(low.options());
+    span(low.optionRefs());
+    span(low.orTrees());
+    span(low.orRefs());
+    span(low.trees());
+    span(low.treeSummaries());
+    span(low.prefilter());
+    span(low.bypasses());
+    return h;
+}
+
+TEST(Store, ForkedProcessesServeBitIdenticalArtifacts)
+{
+    // N sharded `mdesc serve` processes are modeled by a fork: parent
+    // and child each open the store and map the same artifact; the
+    // bytes they serve must be bit-identical (one physical copy in the
+    // page cache, not N deserialized replicas).
+    fs::path dir = freshDir("forked");
+    LowMdes low = LowMdes::lower(tinyMachine(), {});
+    uint64_t key = 60;
+    {
+        ArtifactStore publisher(StoreConfig{.dir = dir.string()});
+        ASSERT_TRUE(publisher.store(key, low, 0));
+    }
+
+    int pipefd[2];
+    ASSERT_EQ(::pipe(pipefd), 0);
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: its own store handle, its own mapping, its own
+        // fingerprint back through the pipe. _exit keeps gtest and
+        // stdio state out of the forked copy.
+        ::close(pipefd[0]);
+        uint64_t fp = 0;
+        try {
+            ArtifactStore child(StoreConfig{.dir = dir.string()});
+            auto loaded = child.load(key);
+            if (loaded && loaded->mapped())
+                fp = podFingerprint(*loaded);
+        } catch (...) {
+        }
+        ssize_t n = ::write(pipefd[1], &fp, sizeof(fp));
+        ::close(pipefd[1]);
+        ::_exit(n == sizeof(fp) ? 0 : 1);
+    }
+    ::close(pipefd[1]);
+    uint64_t child_fp = 0;
+    ASSERT_EQ(::read(pipefd[0], &child_fp, sizeof(child_fp)),
+              ssize_t(sizeof(child_fp)));
+    ::close(pipefd[0]);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+    ArtifactStore parent(StoreConfig{.dir = dir.string()});
+    auto loaded = parent.load(key);
+    ASSERT_NE(loaded, nullptr);
+    ASSERT_TRUE(loaded->mapped());
+    EXPECT_NE(child_fp, 0u);
+    EXPECT_EQ(podFingerprint(*loaded), child_fp);
+    EXPECT_EQ(podFingerprint(low), child_fp);
     fs::remove_all(dir);
 }
 

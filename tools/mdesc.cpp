@@ -1453,7 +1453,7 @@ cmdStoreStat(const std::string &dir, bool json)
               [](const auto &a, const auto &b) { return a.key < b.key; });
 
     if (json) {
-        uint64_t total_bytes = 0, quarantined = 0;
+        uint64_t total_bytes = 0, quarantined = 0, stale = 0;
         JsonWriter w;
         w.beginObject();
         w.key("dir").value(dir);
@@ -1461,6 +1461,7 @@ cmdStoreStat(const std::string &dir, bool json)
         for (const auto &info : infos) {
             total_bytes += info.bytes;
             quarantined += info.quarantined;
+            stale += info.stale;
             w.beginObject();
             w.key("key").value(
                 mdes::store::artifactFileName(info.key).substr(0, 16));
@@ -1470,12 +1471,14 @@ cmdStoreStat(const std::string &dir, bool json)
             w.key("last_access_unix").value(info.last_access_unix);
             w.key("creator").value(info.creator);
             w.key("quarantined").value(bool(info.quarantined));
+            w.key("stale").value(bool(info.stale));
             w.endObject();
         }
         w.endArray();
         w.key("count").value(uint64_t(infos.size()));
         w.key("total_bytes").value(total_bytes);
         w.key("quarantined").value(quarantined);
+        w.key("stale").value(stale);
         w.key("residue_swept").value(st.stats().residue_swept);
         w.endObject();
         std::printf("%s\n", w.str().c_str());
@@ -1485,10 +1488,11 @@ cmdStoreStat(const std::string &dir, bool json)
     TextTable table;
     table.setHeader({"Key", "Machine", "Bytes", "Created", "Last access",
                      "Creator", "State"});
-    uint64_t total_bytes = 0, quarantined = 0;
+    uint64_t total_bytes = 0, quarantined = 0, stale = 0;
     for (const auto &info : infos) {
         total_bytes += info.bytes;
         quarantined += info.quarantined;
+        stale += info.stale;
         table.addRow({mdes::store::artifactFileName(info.key)
                           .substr(0, 16),
                       info.machine.empty() ? "?" : info.machine,
@@ -1496,7 +1500,8 @@ cmdStoreStat(const std::string &dir, bool json)
                       formatUnixTime(int64_t(info.created_unix)),
                       formatUnixTime(info.last_access_unix),
                       info.creator.empty() ? "?" : info.creator,
-                      info.quarantined ? "QUARANTINED" : "ok"});
+                      info.quarantined ? "QUARANTINED"
+                                       : (info.stale ? "STALE" : "ok")});
     }
     std::printf("%s", table.toString().c_str());
     std::printf("%zu artifact(s), %llu bytes", infos.size(),
@@ -1504,6 +1509,9 @@ cmdStoreStat(const std::string &dir, bool json)
     if (quarantined)
         std::printf(" (%llu quarantined)",
                     (unsigned long long)quarantined);
+    if (stale)
+        std::printf(" (%llu stale, evicted on next load)",
+                    (unsigned long long)stale);
     if (uint64_t swept = st.stats().residue_swept)
         std::printf(", swept %llu orphaned temp file(s)",
                     (unsigned long long)swept);
